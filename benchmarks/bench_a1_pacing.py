@@ -1,0 +1,84 @@
+"""A1 (ablation) — budget pacing vs time-to-coverage.
+
+The paper costs Treads per impression; a deployed provider also chooses a
+*daily* budget. This ablation runs the same campaign (20 users x 10
+attributes + control at a $2-CPM market) under increasingly tight daily
+caps and reports days-to-saturation and total spend: spend is invariant
+(every wanted impression is eventually bought at the market price) while
+campaign duration scales inversely with the cap — the knob trades
+latency, never money or coverage.
+"""
+
+from benchmarks.conftest import make_platform, record_table
+from repro.analysis.tables import format_table
+from repro.core.provider import TransparencyProvider
+from repro.core.scheduler import PacedCampaignRunner
+from repro.platform.web import WebDirectory
+from repro.workloads.browsing import BrowsingModel
+from repro.workloads.competition import fixed_competition
+
+DAILY_BUDGETS = (None, 0.20, 0.10, 0.05, 0.02)
+USERS = 20
+ATTRS = 10
+WANTED_IMPRESSIONS = USERS * (ATTRS + 1)
+
+
+def run_pacing_sweep():
+    rows = []
+    for daily_budget in DAILY_BUDGETS:
+        platform = make_platform(
+            name=f"a1-{daily_budget}", partner_count=25,
+            competing_draw=fixed_competition(2.0),
+        )
+        web = WebDirectory()
+        provider = TransparencyProvider(platform, web, budget=10.0,
+                                        bid_cap_cpm=10.0)
+        attrs = platform.catalog.partner_attributes()[:ATTRS]
+        for _ in range(USERS):
+            user = platform.register_user()
+            for attr in attrs:
+                user.set_attribute(attr)
+            provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep(attrs)
+        runner = PacedCampaignRunner(
+            provider, daily_budget=daily_budget,
+            browsing_model=BrowsingModel(mean_slots=40.0,
+                                         heavy_user_fraction=0.0),
+            patience=2,
+        )
+        result = runner.run(max_days=60)
+        rows.append((
+            daily_budget,
+            result.total_days,
+            result.total_impressions,
+            result.total_spend,
+            result.saturated,
+        ))
+    return rows
+
+
+def test_a1_pacing(benchmark):
+    rows = benchmark.pedantic(run_pacing_sweep, rounds=1, iterations=1)
+    table_rows = [
+        ("unpaced" if cap is None else f"${cap:.2f}/day",
+         days, f"{impressions}/{WANTED_IMPRESSIONS}",
+         f"${spend:.3f}", "yes" if saturated else "no")
+        for cap, days, impressions, spend, saturated in rows
+    ]
+    record_table(format_table(
+        ("daily budget", "days to saturation", "impressions", "spend",
+         "saturated"),
+        table_rows,
+        title="A1  Ablation: daily-budget pacing trades latency, not "
+              "coverage or cost",
+    ))
+    results = {cap: (days, imps, spend) for cap, days, imps, spend, _
+               in rows}
+    # every setting reaches full coverage at identical spend
+    for days, imps, spend in results.values():
+        assert imps == WANTED_IMPRESSIONS
+        assert spend == round(WANTED_IMPRESSIONS * 0.002, 10) or \
+            abs(spend - WANTED_IMPRESSIONS * 0.002) < 1e-9
+    # tighter caps take longer
+    assert results[0.02][0] > results[0.20][0] > 0
+    assert results[None][0] <= results[0.20][0]

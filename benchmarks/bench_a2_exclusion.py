@@ -1,0 +1,93 @@
+"""A2 (ablation) — exclusion Treads: information vs cost.
+
+Section 3.1 notes a Tread that *excludes* users with an attribute reveals
+to its recipients that the attribute is "either set to false, or is
+missing". Running the sweep WITH exclusion Treads answers every
+attribute definitively for every user — but each user now receives one
+impression per catalog attribute (set -> inclusion Tread, unset ->
+exclusion Tread), so per-user cost grows from (attributes set) x CPM/1000
+to (attributes total) x CPM/1000. This ablation measures both sides.
+"""
+
+from benchmarks.conftest import make_platform, record_table
+from repro.analysis.tables import format_table
+from repro.core.client import TreadClient
+from repro.core.provider import TransparencyProvider
+from repro.platform.web import WebDirectory
+from repro.workloads.competition import fixed_competition
+
+ATTRS = 20
+SET_PER_USER = 6
+USERS = 10
+
+
+def run_variant(include_exclusions):
+    platform = make_platform(
+        name=f"a2-{include_exclusions}", partner_count=25,
+        competing_draw=fixed_competition(2.0),
+    )
+    web = WebDirectory()
+    provider = TransparencyProvider(platform, web, budget=10.0,
+                                    bid_cap_cpm=10.0)
+    attrs = platform.catalog.partner_attributes()[:ATTRS]
+    users = []
+    for index in range(USERS):
+        user = platform.register_user()
+        for attr in attrs[index % 3:index % 3 + SET_PER_USER]:
+            user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+        users.append(user)
+    provider.launch_attribute_sweep(
+        attrs, include_exclusions=include_exclusions
+    )
+    provider.run_delivery(max_rounds=100)
+    pack = provider.publish_decode_pack()
+
+    answered = 0
+    exact = 0
+    for user in users:
+        profile = TreadClient(user.user_id, platform, pack).sync()
+        decided = profile.set_attributes | profile.false_or_missing
+        answered += len(decided & {a.attr_id for a in attrs})
+        truth = {a.attr_id for a in attrs if user.has_attribute(a.attr_id)}
+        if profile.set_attributes == truth:
+            exact += 1
+    return {
+        "ads": len(provider.treads),
+        "impressions": provider.total_impressions(),
+        "spend": provider.total_spend(),
+        "answered": answered,
+        "exact": exact,
+    }
+
+
+def test_a2_exclusion(benchmark):
+    plain = benchmark.pedantic(run_variant, args=(False,), rounds=1,
+                               iterations=1)
+    full = run_variant(True)
+    questions = USERS * ATTRS
+    rows = [
+        ("ads run", plain["ads"], full["ads"]),
+        ("impressions (user pays)", plain["impressions"],
+         full["impressions"]),
+        ("spend", f"${plain['spend']:.3f}", f"${full['spend']:.3f}"),
+        ("attribute questions answered definitively",
+         f"{plain['answered']}/{questions}",
+         f"{full['answered']}/{questions}"),
+        ("users with exact positive reveal", f"{plain['exact']}/{USERS}",
+         f"{full['exact']}/{USERS}"),
+    ]
+    record_table(format_table(
+        ("quantity", "inclusion only", "with exclusion Treads"),
+        rows,
+        title="A2  Ablation: exclusion Treads answer every attribute, at "
+              "full-catalog cost (sec 3.1)",
+    ))
+    # inclusion-only answers exactly the set attributes
+    assert plain["answered"] == USERS * SET_PER_USER
+    # exclusions answer EVERYTHING
+    assert full["answered"] == questions
+    # and cost one impression per (user, attribute) plus controls
+    assert full["impressions"] == USERS * (ATTRS + 1)
+    assert plain["impressions"] == USERS * (SET_PER_USER + 1)
+    assert plain["exact"] == full["exact"] == USERS

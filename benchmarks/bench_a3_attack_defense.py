@@ -1,0 +1,126 @@
+"""A3 (ablation) — the inference-attack/Treads tension (section 5).
+
+The paper's privacy analysis assumes the platform "would not leak
+information about individual users to advertisers" and that known leaks
+(Korolova [21], Venkatadri et al. [36]) "will be patched". This ablation
+measures what that patching costs Treads:
+
+* the size-estimate attack is already dead (reach floor);
+* the delivery/billing attack works on the undefended (2018-like)
+  platform and dies under the ``min_delivery_match_count`` defense;
+* the same defense silences Treads for opted-in groups smaller than the
+  threshold — attack and mechanism exploit the same deliver-iff-match
+  contract, so the defense knob trades one against the other.
+"""
+
+from benchmarks.conftest import make_platform, record_table
+from repro.analysis.tables import format_table
+from repro.attacks import DeliveryInferenceAttack, SizeEstimateAttack
+from repro.core.client import TreadClient
+from repro.core.provider import TransparencyProvider
+from repro.platform.web import WebDirectory
+
+VICTIM_EMAIL = "victim@example.com"
+GROUP_SIZES = (2, 5, 10, 20, 50)
+DEFENSE_THRESHOLD = 20
+
+
+def _attack_run(min_match, has_attr, label):
+    platform = make_platform(
+        name=f"a3-{label}", partner_count=25,
+        min_delivery_match_count=min_match,
+    )
+    victim = platform.register_user()
+    platform.users.attach_pii(victim.user_id, "email", VICTIM_EMAIL)
+    attr = platform.catalog.partner_attributes()[0]
+    if has_attr:
+        victim.set_attribute(attr)
+    size_outcome = SizeEstimateAttack(platform, label=f"s-{label}").run(
+        VICTIM_EMAIL, attr.attr_id, ground_truth=has_attr
+    )
+    delivery_outcome = DeliveryInferenceAttack(
+        platform, label=f"d-{label}"
+    ).run(VICTIM_EMAIL, attr.attr_id, ground_truth=has_attr)
+    return size_outcome, delivery_outcome
+
+
+def _treads_coverage(min_match, group_size):
+    platform = make_platform(
+        name=f"a3t-{min_match}-{group_size}", partner_count=25,
+        min_delivery_match_count=min_match,
+    )
+    web = WebDirectory()
+    provider = TransparencyProvider(platform, web, budget=100.0)
+    attr = platform.catalog.partner_attributes()[0]
+    users = []
+    for _ in range(group_size):
+        user = platform.register_user()
+        user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+        users.append(user)
+    provider.launch_attribute_sweep([attr], include_control=False)
+    provider.run_delivery()
+    pack = provider.publish_decode_pack()
+    revealed = sum(
+        1 for user in users
+        if attr.attr_id in TreadClient(user.user_id, platform,
+                                       pack).sync().set_attributes
+    )
+    return revealed, group_size
+
+
+def run_ablation():
+    size_pos, delivery_pos = _attack_run(0, True, "undef-pos")
+    _, delivery_pos_defended = _attack_run(DEFENSE_THRESHOLD, True,
+                                           "def-pos")
+    treads_rows = []
+    for defended in (0, DEFENSE_THRESHOLD):
+        for group in GROUP_SIZES:
+            revealed, total = _treads_coverage(defended, group)
+            treads_rows.append((defended, group, revealed, total))
+    return size_pos, delivery_pos, delivery_pos_defended, treads_rows
+
+
+def test_a3_attack_defense(benchmark):
+    (size_pos, delivery_pos, delivery_pos_defended,
+     treads_rows) = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    record_table(format_table(
+        ("attack channel", "platform", "attacker learns victim's bit?"),
+        [
+            ("audience-size estimate", "2018 defaults",
+             "no — " + size_pos.observable),
+            ("delivery/billing probe", "2018 defaults (undefended)",
+             "YES — " + delivery_pos.observable),
+            ("delivery/billing probe",
+             f"min-match defense ({DEFENSE_THRESHOLD})",
+             "no — " + delivery_pos_defended.observable),
+        ],
+        title="A3  Single-victim inference attacks vs platform defenses "
+              "(sec 5)",
+    ))
+    record_table(format_table(
+        ("defense", "opted-in users w/ attribute", "Treads revealed"),
+        [
+            ("off" if defense == 0 else f"min-match {defense}",
+             group, f"{revealed}/{total}")
+            for defense, group, revealed, total in treads_rows
+        ],
+        title="A3b The defense's cost to Treads: coverage vs group size",
+    ))
+
+    assert size_pos.inferred_bit is None
+    assert delivery_pos.inferred_bit is True and delivery_pos.correct
+    assert delivery_pos_defended.inferred_bit is None
+    by_key = {(d, g): (r, t) for d, g, r, t in treads_rows}
+    # undefended: Treads always work
+    for group in GROUP_SIZES:
+        revealed, total = by_key[(0, group)]
+        assert revealed == total
+    # defended: silence below threshold, full coverage at/above it
+    for group in GROUP_SIZES:
+        revealed, total = by_key[(DEFENSE_THRESHOLD, group)]
+        if group < DEFENSE_THRESHOLD:
+            assert revealed == 0
+        else:
+            assert revealed == total

@@ -1,0 +1,112 @@
+"""E3 — the cost analysis (section 3.1, "Cost").
+
+Paper figures: $0.002 per attribute at the recommended $2 CPM; $0.01 at
+the validation's $10 CPM (footnote 4); $0.10 for a 50-attribute user;
+zero for unset attributes; ~one impression per user for an m-valued
+attribute. Measured two ways: the analytic model, and the realised cost
+of an actual simulated campaign billed by the platform's ledger.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_platform, record_table
+from repro.analysis.tables import format_table
+from repro.core.costs import CampaignCostSummary, CostModel
+from repro.core.provider import TransparencyProvider
+from repro.platform.web import WebDirectory
+from repro.workloads.competition import fixed_competition
+
+
+def run_measured_campaign(cpm_bid, competing_cpm, user_count, attrs_per_user):
+    """A campaign billed at exactly the competing price (second-price
+    auction with fixed competition just below the bid)."""
+    platform = make_platform(
+        name=f"e3-{cpm_bid}", partner_count=120,
+        competing_draw=fixed_competition(competing_cpm),
+    )
+    web = WebDirectory()
+    provider = TransparencyProvider(platform, web, budget=500.0,
+                                    bid_cap_cpm=cpm_bid)
+    partner = platform.catalog.partner_attributes()
+    for _ in range(user_count):
+        user = platform.register_user()
+        for attr in partner[:attrs_per_user]:
+            user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+    provider.launch_partner_sweep()
+    provider.run_delivery(max_rounds=300)
+    return CampaignCostSummary(
+        total_spend=provider.total_spend(),
+        impressions=provider.total_impressions(),
+        treads_launched=len(provider.treads),
+        users_opted_in=user_count,
+    )
+
+
+def test_e3_cost(benchmark):
+    summary = benchmark.pedantic(
+        run_measured_campaign,
+        kwargs=dict(cpm_bid=2.5, competing_cpm=2.0, user_count=4,
+                    attrs_per_user=50),
+        rounds=1, iterations=1,
+    )
+    model_default = CostModel(cpm=2.0)
+    model_elevated = CostModel(cpm=10.0)
+    expected_impressions = 4 * 51  # 50 attrs + control each
+
+    rows = [
+        ("per-attribute cost @ $2 CPM (model)", "$0.002",
+         f"${model_default.per_attribute():.3f}"),
+        ("per-attribute cost @ $10 CPM (model)", "$0.01",
+         f"${model_elevated.per_attribute():.3f}"),
+        ("50-attribute user @ $2 CPM (model)", "$0.10",
+         f"${model_default.full_profile(50):.2f}"),
+        ("unset attribute cost", "$0 (never shown)",
+         f"${model_default.unset_attribute():.2f}"),
+        ("campaign impressions (4 users x 50+1)", expected_impressions,
+         summary.impressions),
+        ("campaign effective CPM (2nd price at $2 market)", "$2.00",
+         f"${summary.effective_cpm:.2f}"),
+        ("campaign cost per user", "$0.102",
+         f"${summary.cost_per_user:.3f}"),
+    ]
+    record_table(format_table(
+        ("quantity", "paper", "measured"), rows,
+        title="E3  Cost analysis (sec 3.1): model and measured campaign",
+    ))
+    assert model_default.per_attribute() == pytest.approx(0.002)
+    assert model_elevated.per_attribute() == pytest.approx(0.01)
+    assert summary.impressions == expected_impressions
+    assert summary.effective_cpm == pytest.approx(2.0)
+    # 50 attrs + control, at the $2 market price
+    assert summary.cost_per_user == pytest.approx(51 * 0.002)
+
+
+def test_e3_zero_cost_for_unset_attributes(benchmark):
+    """A user with NO partner attributes generates exactly one impression
+    (the control) no matter how many Treads the sweep runs."""
+    def run():
+        platform = make_platform(name="e3z", partner_count=120,
+                                 competing_draw=fixed_competition(2.0))
+        web = WebDirectory()
+        provider = TransparencyProvider(platform, web, budget=100.0,
+                                        bid_cap_cpm=10.0)
+        user = platform.register_user()
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_partner_sweep()
+        provider.run_delivery(max_rounds=300)
+        return provider
+
+    provider = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(format_table(
+        ("quantity", "paper", "measured"),
+        [
+            ("Treads run", 121, len(provider.treads)),
+            ("impressions billed for unprofiled user", 1,
+             provider.total_impressions()),
+            ("spend on the 120 unset attributes", "$0",
+             f"${provider.total_spend() - 0.002:.4f} + control"),
+        ],
+        title="E3b Zero cost for unset attributes (sec 3.1)",
+    ))
+    assert provider.total_impressions() == 1

@@ -1,0 +1,128 @@
+"""E4 — the scale analysis (section 3.1, "Scale").
+
+Paper claims: m binary attributes need m Treads; an m-valued attribute
+needs only ceil(log2 m) Treads under bit-splitting (vs m under value
+enumeration), and the user still learns their exact value. Measured: the
+ad counts across m, plus an end-to-end bit-split reveal of a 7-valued
+attribute (education level) driving real ads through the simulator.
+"""
+
+import math
+
+from benchmarks.conftest import make_platform, record_table
+from repro.analysis.tables import format_table
+from repro.core import bitsplit
+from repro.core.client import TreadClient
+from repro.core.provider import TransparencyProvider
+from repro.platform.web import WebDirectory
+
+
+def run_scale_table():
+    rows = []
+    for m in (2, 8, 97, 1000, 4096):
+        rows.append((
+            m,
+            bitsplit.treads_needed_enumeration(m),
+            math.ceil(math.log2(m)),
+            bitsplit.bits_needed(m),
+        ))
+    return rows
+
+
+def run_end_to_end_bitsplit():
+    platform = make_platform(name="e4", partner_count=25)
+    web = WebDirectory()
+    provider = TransparencyProvider(platform, web, budget=100.0)
+    education = platform.catalog.get("pf-education-level")
+    users = []
+    for index, value in enumerate(education.values):
+        user = platform.register_user()
+        user.set_attribute(education, value)
+        provider.optin.via_page_like(user.user_id)
+        users.append((user, value))
+    provider.launch_attribute_sweep([])  # control
+    launch = provider.launch_value_reveal(education.attr_id,
+                                          scheme="bitsplit")
+    provider.run_delivery()
+    pack = provider.publish_decode_pack()
+    correct = sum(
+        1 for user, value in users
+        if TreadClient(user.user_id, platform, pack).sync()
+        .values.get(education.attr_id) == value
+    )
+    return education, launch, correct, len(users)
+
+
+def test_e4_scale(benchmark):
+    rows = benchmark(run_scale_table)
+    table_rows = [
+        (f"m = {m}", enum_count, f"log2(m) = {paper_bits}", measured_bits)
+        for m, enum_count, paper_bits, measured_bits in rows
+    ]
+    record_table(format_table(
+        ("attribute size", "enumeration ads", "paper (bit-split)",
+         "measured"),
+        table_rows,
+        title="E4  Scale: Treads needed per m-valued attribute (sec 3.1)",
+    ))
+    for m, _, paper_bits, measured_bits in rows:
+        assert measured_bits == paper_bits
+
+
+def run_age_reveal():
+    """The paper's own example: age (97 values) via 7 bit-Treads."""
+    platform = make_platform(name="e4age", partner_count=25)
+    web = WebDirectory()
+    provider = TransparencyProvider(platform, web, budget=100.0)
+    sample_ages = (13, 29, 42, 64, 87, 109)
+    users = []
+    for age in sample_ages:
+        user = platform.register_user(age=age)
+        provider.optin.via_page_like(user.user_id)
+        users.append(user)
+    provider.launch_attribute_sweep([])  # control
+    launch = provider.launch_age_reveal(13, 109)
+    provider.run_delivery()
+    pack = provider.publish_decode_pack()
+    correct = sum(
+        1 for user in users
+        if TreadClient(user.user_id, platform, pack).sync()
+        .values.get(provider.AGE_ATTR_ID) == str(user.age)
+    )
+    return launch, correct, len(users)
+
+
+def test_e4_age_example(benchmark):
+    launch, correct, total = benchmark.pedantic(run_age_reveal, rounds=1,
+                                                iterations=1)
+    record_table(format_table(
+        ("quantity", "paper", "measured"),
+        [
+            ("ads for age (97 values, 13..109)", "log2(97) -> 7",
+             len(launch.treads)),
+            ("sampled users reconstructing exact age", f"{total}/{total}",
+             f"{correct}/{total}"),
+        ],
+        title="E4c The paper's age example end-to-end (sec 3.1, Scale)",
+    ))
+    assert len(launch.treads) == 7
+    assert correct == total
+
+
+def test_e4_bitsplit_end_to_end(benchmark):
+    education, launch, correct, total = benchmark.pedantic(
+        run_end_to_end_bitsplit, rounds=1, iterations=1
+    )
+    m = len(education.values)
+    record_table(format_table(
+        ("quantity", "paper", "measured"),
+        [
+            (f"ads for {m}-valued education attr", f"ceil(log2 {m}) = 3",
+             len(launch.treads)),
+            ("users reconstructing exact value", f"{total}/{total}",
+             f"{correct}/{total}"),
+        ],
+        title="E4b Bit-split reveal end-to-end (education level, m=7)",
+    ))
+    assert len(launch.treads) == bitsplit.bits_needed(m)
+    assert correct == total

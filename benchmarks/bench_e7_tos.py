@@ -1,0 +1,90 @@
+"""E7 — ToS compliance by encoding and placement (section 4).
+
+Paper: explicit in-ad Treads "may violate these ToS"; "Treads where the
+information about targeting parameters is obfuscated would appear to meet
+the current ToS of platforms, especially if this obfuscated information
+is placed on an external landing page". Measured: a 100-attribute sweep
+submitted under every supported (encoding, placement) mode on three
+platform-alikes with different review strictness, reporting the review
+pass rate of each cell.
+"""
+
+from benchmarks.conftest import make_platform, record_table
+from repro.analysis.tables import format_table
+from repro.core.creative import SUPPORTED_MODES
+from repro.core.provider import TransparencyProvider
+from repro.core.treads import Encoding, Placement, RevealKind
+from repro.platform.web import WebDirectory
+
+MODE_LABELS = {
+    (Encoding.EXPLICIT, Placement.IN_AD_TEXT): "explicit, in ad (Fig 1a)",
+    (Encoding.CODEBOOK, Placement.IN_AD_TEXT): "codebook, in ad (Fig 1b)",
+    (Encoding.STEGANOGRAPHIC, Placement.IN_AD_IMAGE): "stego, in image",
+    (Encoding.EXPLICIT, Placement.LANDING_PAGE): "explicit, landing page",
+    (Encoding.CODEBOOK, Placement.LANDING_PAGE): "codebook, landing page",
+}
+
+PAPER_EXPECTATION = {
+    (Encoding.EXPLICIT, Placement.IN_AD_TEXT): "violates ToS",
+    (Encoding.CODEBOOK, Placement.IN_AD_TEXT): "passes",
+    (Encoding.STEGANOGRAPHIC, Placement.IN_AD_IMAGE): "passes",
+    (Encoding.EXPLICIT, Placement.LANDING_PAGE): "passes",
+    (Encoding.CODEBOOK, Placement.LANDING_PAGE): "passes",
+}
+
+
+def run_tos_matrix():
+    results = {}
+    for strictness in ("lenient", "standard", "strict"):
+        for mode in SUPPORTED_MODES:
+            encoding, placement = mode
+            platform = make_platform(
+                name=f"e7-{strictness}-{encoding.value[:4]}-"
+                     f"{placement.value[:4]}",
+                partner_count=100,
+                policy_strictness=strictness,
+            )
+            web = WebDirectory()
+            provider = TransparencyProvider(
+                platform, web, budget=100.0,
+                encoding=encoding, placement=placement,
+            )
+            report = provider.launch_partner_sweep()
+            attribute_treads = [
+                t for t in report.treads
+                if t.payload.kind is RevealKind.ATTRIBUTE_SET
+            ]
+            passed = sum(1 for t in attribute_treads if not t.rejected)
+            results[(strictness, mode)] = (passed, len(attribute_treads))
+    return results
+
+
+def test_e7_tos(benchmark):
+    results = benchmark.pedantic(run_tos_matrix, rounds=1, iterations=1)
+    rows = []
+    for mode in SUPPORTED_MODES:
+        cells = []
+        for strictness in ("lenient", "standard", "strict"):
+            passed, total = results[(strictness, mode)]
+            cells.append(f"{passed}/{total}")
+        rows.append((MODE_LABELS[mode], PAPER_EXPECTATION[mode], *cells))
+    record_table(format_table(
+        ("Tread mode", "paper (sec 4)", "lenient", "standard", "strict"),
+        rows,
+        title="E7  ToS review pass rate: 100-attribute sweep x review "
+              "strictness",
+    ))
+    # paper shape under the standard (2018-like) reviewer:
+    explicit_in_ad = results[("standard",
+                              (Encoding.EXPLICIT, Placement.IN_AD_TEXT))]
+    assert explicit_in_ad[0] == 0  # all rejected
+    for mode, expectation in PAPER_EXPECTATION.items():
+        if expectation == "passes":
+            passed, total = results[("standard", mode)]
+            assert passed == total, mode
+    # even a strict reviewer cannot touch landing-page/stego Treads
+    for mode in ((Encoding.STEGANOGRAPHIC, Placement.IN_AD_IMAGE),
+                 (Encoding.EXPLICIT, Placement.LANDING_PAGE),
+                 (Encoding.CODEBOOK, Placement.LANDING_PAGE)):
+        passed, total = results[("strict", mode)]
+        assert passed == total, mode

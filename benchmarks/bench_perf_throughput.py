@@ -1,0 +1,90 @@
+"""Performance benchmarks: simulator throughput on realistic shapes.
+
+Unlike the E*/A* benches (which reproduce paper results and run their
+scenario once), these measure raw component throughput with real
+pytest-benchmark statistics — the numbers a user sizing a larger
+simulation study cares about.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_platform
+from repro.core.client import TreadClient
+from repro.core.provider import TransparencyProvider
+from repro.platform.catalog import build_us_catalog
+from repro.platform.web import WebDirectory
+from repro.workloads.personas import AVERAGE_CONSUMER
+from repro.workloads.population import PopulationBuilder
+
+
+def test_perf_catalog_build(benchmark):
+    """Full 1,121-attribute US catalog generation."""
+    catalog = benchmark(build_us_catalog)
+    assert len(catalog) == 1121
+
+
+def test_perf_population_build(benchmark):
+    """100 persona users incl. PII attachment and broker staging."""
+    def build():
+        platform = make_platform(name="perfpop", partner_count=120)
+        builder = PopulationBuilder(platform, seed=1)
+        builder.spawn(AVERAGE_CONSUMER, 100)
+        builder.finalize()
+        return platform
+
+    platform = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(platform.users) == 100
+
+
+def test_perf_sweep_launch(benchmark):
+    """Rendering + review + submission of a 507-ad partner sweep."""
+    def launch():
+        platform = make_platform(name="perflaunch")
+        web = WebDirectory()
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        return provider.launch_partner_sweep()
+
+    report = benchmark.pedantic(launch, rounds=3, iterations=1)
+    assert len(report.treads) == 508
+
+
+def test_perf_delivery_throughput(benchmark):
+    """Saturating delivery: 50 users x (20 attrs + control) = 1,050
+    impressions against a 21-ad campaign."""
+    def run():
+        platform = make_platform(name="perfdeliver", partner_count=25)
+        web = WebDirectory()
+        provider = TransparencyProvider(platform, web, budget=500.0)
+        attrs = platform.catalog.partner_attributes()[:20]
+        for _ in range(50):
+            user = platform.register_user()
+            for attr in attrs:
+                user.set_attribute(attr)
+            provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep(attrs)
+        provider.run_delivery()
+        return provider
+
+    provider = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert provider.total_impressions() == 50 * 21
+
+
+def test_perf_client_decode(benchmark):
+    """Decoding a 21-Tread feed (codebook tokens) client-side."""
+    platform = make_platform(name="perfdecode", partner_count=25)
+    web = WebDirectory()
+    provider = TransparencyProvider(platform, web, budget=100.0)
+    attrs = platform.catalog.partner_attributes()[:20]
+    user = platform.register_user()
+    for attr in attrs:
+        user.set_attribute(attr)
+    provider.optin.via_page_like(user.user_id)
+    provider.launch_attribute_sweep(attrs)
+    provider.run_delivery()
+    pack = provider.publish_decode_pack()
+
+    def decode():
+        return TreadClient(user.user_id, platform, pack).sync()
+
+    profile = benchmark(decode)
+    assert len(profile.set_attributes) == 20

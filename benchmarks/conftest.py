@@ -1,0 +1,56 @@
+"""Benchmark harness plumbing.
+
+Every benchmark reproduces one paper artifact (see DESIGN.md section 4)
+and registers a paper-vs-measured table via :func:`record_table`; the
+tables are printed in the terminal summary so ``pytest benchmarks/
+--benchmark-only`` emits the full results even with output capture on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.platform.catalog import build_us_catalog
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.platform.web import WebDirectory
+from repro.workloads.competition import zero_competition
+
+_TABLES: List[str] = []
+
+
+def record_table(text: str) -> None:
+    """Queue a result table for the end-of-run summary."""
+    _TABLES.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line(
+        "TREADS REPRODUCTION — paper-vs-measured results"
+    )
+    terminalreporter.write_line("=" * 72)
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    _TABLES.clear()
+
+
+@pytest.fixture
+def web():
+    return WebDirectory()
+
+
+def make_platform(name="bench", platform_count=614, partner_count=507,
+                  competing_draw=None, **config_kw):
+    """Fresh platform for a bench scenario (deterministic by default)."""
+    return AdPlatform(
+        config=PlatformConfig(name=name, **config_kw),
+        catalog=build_us_catalog(platform_count, partner_count),
+        competing_draw=competing_draw or zero_competition(),
+    )

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Longitudinal transparency: watching your broker profile change.
+
+A transparency provider is most useful as a *subscription*: brokers ship
+new feeds continuously, and the interesting question becomes "what did
+the platform learn about me since last month?". This example runs two
+monthly sweeps around a broker update and a partial profile scrub, diffs
+the reveal snapshots, and shows the decode pack travelling as JSON —
+the artifact a real provider would publish to subscribers.
+
+Run:  python examples/broker_churn_monitoring.py
+"""
+
+from repro import AdPlatform, TransparencyProvider, TreadClient, WebDirectory
+from repro.core.monitoring import diff_profiles
+from repro.core.packformat import pack_from_json, pack_to_json, validate_pack
+
+platform = AdPlatform()
+web = WebDirectory()
+provider = TransparencyProvider(platform, web, name="treads-monthly",
+                                budget=200.0)
+
+user = platform.register_user(age=41)
+platform.users.attach_pii(user.user_id, "email", "sam@example.com")
+catalog = platform.catalog
+month_one_attrs = ["pc-networth-004", "pc-restaurants-001",
+                   "pc-travel-000"]
+for attr_id in month_one_attrs:
+    user.set_attribute(catalog.get(attr_id))
+provider.optin.via_page_like(user.user_id)
+
+# ---- month 1 ---------------------------------------------------------------
+provider.launch_partner_sweep()
+provider.run_delivery()
+
+# the pack travels to subscribers as JSON; a careful subscriber validates
+wire = pack_to_json(provider.publish_decode_pack())
+pack = pack_from_json(wire)
+issues = validate_pack(pack, catalog)
+print(f"decode pack: {len(wire):,} bytes as JSON, "
+      f"{len(issues)} validation issue(s)")
+
+january = TreadClient(user.user_id, platform, pack).sync()
+print(f"\nMonth 1: platform holds {len(january.set_attributes)} partner "
+      f"attributes about {user.user_id}:")
+for attr_id in sorted(january.set_attributes):
+    print(f"  - {catalog.get(attr_id).name}")
+
+# ---- the world changes -----------------------------------------------------
+# a broker ships a new record (a car-shopping signal) ...
+platform.brokers.broker("Oracle Data Cloud").add_record(
+    "feb-001", [("email", "sam@example.com")],
+    [("pc-autointent-007", None)],
+)
+platform.ingest_brokers()
+# ... and one old restaurant segment ages out of the profile
+user.clear_attribute("pc-restaurants-001")
+
+# ---- month 2: a FRESH sweep against the current profile --------------------
+# (re-reading the old feed would mix stale January reveals with February
+# state; a monthly service runs a new campaign per epoch)
+provider2 = TransparencyProvider(platform, web, name="treads-monthly-feb",
+                                 budget=200.0)
+provider2.optin.via_page_like(user.user_id)
+provider2.launch_partner_sweep()
+provider2.run_delivery()
+february = TreadClient(user.user_id, platform,
+                       provider2.publish_decode_pack()).sync()
+# keep the diff keyed to the same user snapshot object shape
+february.user_id = january.user_id
+
+diff = diff_profiles(january, february)
+print(f"\nMonth 2 diff (reliable: {diff.reliable}):")
+for attr_id in diff.gained_attributes:
+    print(f"  + platform LEARNED:  {catalog.get(attr_id).name}")
+for attr_id in diff.lost_attributes:
+    print(f"  - platform DROPPED:  {catalog.get(attr_id).name}")
+if diff.is_empty:
+    print("  (no changes)")
+
+assert diff.gained_attributes == ("pc-autointent-007",)
+assert diff.lost_attributes == ("pc-restaurants-001",)
+print("\nOK: the monthly diff reports exactly the broker churn.")

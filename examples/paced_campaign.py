@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A realistic week-by-week Tread campaign with budget pacing.
+
+The paper prices Treads per impression; an actual provider also plans a
+daily budget and watches coverage converge as subscribers browse. This
+example runs a 60-subscriber partner-category campaign under a $0.10/day
+cap, prints the day-by-day convergence, checks the pre-launch cost
+estimate against the realised spend, and finishes with the provider's
+campaign report — which, by construction, contains only aggregates.
+
+Run:  python examples/paced_campaign.py
+"""
+
+from repro import AdPlatform, TransparencyProvider, WebDirectory
+from repro.analysis.report import campaign_report
+from repro.core.scheduler import PacedCampaignRunner, coverage_curve
+from repro.platform.catalog import build_us_catalog
+from repro.platform.platform import PlatformConfig
+from repro.workloads.browsing import BrowsingModel
+from repro.workloads.competition import lognormal_competition
+from repro.workloads.personas import AVERAGE_CONSUMER, PRIVACY_MINIMALIST
+from repro.workloads.population import PopulationBuilder
+
+platform = AdPlatform(
+    config=PlatformConfig(name="fbsim"),
+    catalog=build_us_catalog(platform_count=200, partner_count=120),
+    competing_draw=lognormal_competition(median_cpm=2.0, seed=99),
+)
+web = WebDirectory()
+
+builder = PopulationBuilder(platform, seed=31)
+subscribers = builder.spawn_mix(
+    (AVERAGE_CONSUMER, PRIVACY_MINIMALIST), count=60, weights=(3, 1)
+)
+builder.finalize()
+
+provider = TransparencyProvider(platform, web, name="paced-treads",
+                                budget=20.0, bid_cap_cpm=10.0)
+for user in subscribers:
+    provider.optin.via_page_like(user.user_id)
+
+attrs = platform.catalog.partner_attributes()
+estimate = provider.estimate_sweep_cost(attrs)
+print(f"Pre-launch worst-case estimate for {len(attrs)} attributes "
+      f"x {len(subscribers)} subscribers: ${estimate:.2f}")
+
+provider.launch_partner_sweep()
+
+runner = PacedCampaignRunner(
+    provider,
+    daily_budget=0.10,
+    browsing_model=BrowsingModel(mean_slots=25.0),
+    patience=2,
+)
+result = runner.run(max_days=30)
+
+print(f"\nDay-by-day convergence (daily cap $0.10):")
+for day, cumulative in coverage_curve(result):
+    bar = "#" * (cumulative // 10)
+    print(f"  day {day:2d}: {cumulative:4d} impressions {bar}")
+
+print(f"\nsaturated: {result.saturated}   "
+      f"budget exhausted: {result.exhausted_budget}")
+print(f"realised spend ${result.total_spend:.4f} "
+      f"(estimate was the ${estimate:.2f} upper bound)")
+
+print()
+print(campaign_report(provider, top_attributes=5))
+assert result.total_spend <= estimate
+assert result.saturated

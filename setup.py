@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so `pip install -e .` (PEP 660) cannot build an editable wheel; `python
+setup.py develop` installs the same editable package without it."""
+from setuptools import setup
+
+setup()

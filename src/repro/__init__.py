@@ -1,0 +1,61 @@
+"""Reproduction of "Treads: Transparency-Enhancing Ads" (HotNets 2018).
+
+Treads are targeted advertisements whose content reveals their own
+targeting to the users who receive them, turning an ad platform's
+deliver-iff-match contract into a transparency channel: a *transparency
+provider* signs up as an ordinary advertiser, lets users opt in, and runs
+one Tread per targeting attribute — each user learns exactly the
+attributes the platform holds on them, while the provider learns only
+aggregate reach counts.
+
+The original evaluation ran on Facebook's live ad platform; this
+reproduction supplies a full simulated substrate
+(:mod:`repro.platform`) implementing the same behavioural contract —
+profiles, data brokers, boolean targeting, PII/pixel/page audiences,
+second-price CPM auctions, thresholded reporting, and ToS review — and
+builds the paper's contribution (:mod:`repro.core`), baselines
+(:mod:`repro.baselines`), and workloads (:mod:`repro.workloads`) on top.
+
+Quickstart::
+
+    from repro import AdPlatform, TransparencyProvider, TreadClient, WebDirectory
+
+    platform = AdPlatform()
+    web = WebDirectory()
+    user = platform.register_user()
+    user.set_attribute(platform.catalog.get("pc-networth-006"))
+
+    provider = TransparencyProvider(platform, web, budget=100.0)
+    provider.optin.via_page_like(user.user_id)
+    provider.launch_partner_sweep()
+    provider.run_delivery()
+
+    client = TreadClient(user.user_id, platform, provider.publish_decode_pack())
+    print(client.sync().set_attributes)  # {'pc-networth-006'}
+"""
+
+from repro.core.client import TreadClient
+from repro.core.codebook import Codebook
+from repro.core.provider import TransparencyProvider
+from repro.core.scheduler import PacedCampaignRunner
+from repro.core.treads import Encoding, Placement, RevealKind, RevealPayload, Tread
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.platform.web import WebDirectory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdPlatform",
+    "Codebook",
+    "PacedCampaignRunner",
+    "Encoding",
+    "Placement",
+    "PlatformConfig",
+    "RevealKind",
+    "RevealPayload",
+    "Tread",
+    "TreadClient",
+    "TransparencyProvider",
+    "WebDirectory",
+    "__version__",
+]

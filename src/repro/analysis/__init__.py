@@ -1,0 +1,15 @@
+"""Scoring and presentation helpers for experiments."""
+
+from repro.analysis.metrics import (
+    CoverageScore,
+    mechanism_completeness,
+    score_reveal,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "CoverageScore",
+    "format_table",
+    "mechanism_completeness",
+    "score_reveal",
+]

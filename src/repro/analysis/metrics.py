@@ -1,0 +1,137 @@
+"""Reveal-quality metrics.
+
+A transparency mechanism's output for one user is a set of revealed facts;
+the simulation knows the ground truth (the platform's actual profile).
+These metrics score mechanisms the way the paper frames the comparison:
+the status quo "present[s] an incomplete view" while Treads reveal the
+full targetable profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Set
+
+
+@dataclass(frozen=True)
+class CoverageScore:
+    """Precision / recall / F1 of one revealed fact-set vs ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 1.0  # revealed nothing wrong
+        return self.true_positives / denominator
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 1.0  # nothing to reveal
+        return self.true_positives / denominator
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+
+def score_reveal(revealed: Set[str], truth: Set[str]) -> CoverageScore:
+    """Score one user's revealed attribute ids against ground truth."""
+    return CoverageScore(
+        true_positives=len(revealed & truth),
+        false_positives=len(revealed - truth),
+        false_negatives=len(truth - revealed),
+    )
+
+
+def mechanism_completeness(
+    revealed_by_user: Mapping[str, Set[str]],
+    truth_by_user: Mapping[str, Set[str]],
+) -> float:
+    """Population-level completeness: total facts revealed / total facts.
+
+    Users with empty ground truth contribute nothing to either sum (they
+    have nothing to reveal), mirroring how the paper's unprofiled author
+    is not a miss for Treads.
+    """
+    revealed_total = 0
+    truth_total = 0
+    for user_id, truth in truth_by_user.items():
+        truth_total += len(truth)
+        revealed_total += len(revealed_by_user.get(user_id, set()) & truth)
+    if truth_total == 0:
+        return 1.0
+    return revealed_total / truth_total
+
+
+@dataclass(frozen=True)
+class DeliveryDisparity:
+    """Delivery-rate comparison between two user groups for one ad.
+
+    The measurement behind the discriminatory-advertising findings the
+    paper recounts in section 5: an ad can *formally* target something
+    innocuous yet reach protected groups at very different rates.
+    """
+
+    group_a_reached: int
+    group_a_total: int
+    group_b_reached: int
+    group_b_total: int
+
+    @property
+    def rate_a(self) -> float:
+        return self.group_a_reached / self.group_a_total \
+            if self.group_a_total else 0.0
+
+    @property
+    def rate_b(self) -> float:
+        return self.group_b_reached / self.group_b_total \
+            if self.group_b_total else 0.0
+
+    @property
+    def disparate_impact_ratio(self) -> float:
+        """rate_b / rate_a — the 80%-rule statistic (1.0 = parity;
+        below 0.8 is the conventional adverse-impact threshold)."""
+        if self.rate_a == 0.0:
+            return 1.0 if self.rate_b == 0.0 else float("inf")
+        return self.rate_b / self.rate_a
+
+
+def delivery_disparity(
+    reached_user_ids: Set[str],
+    group_a_ids: Set[str],
+    group_b_ids: Set[str],
+) -> DeliveryDisparity:
+    """Score one ad's reach against two disjoint user groups."""
+    return DeliveryDisparity(
+        group_a_reached=len(reached_user_ids & group_a_ids),
+        group_a_total=len(group_a_ids),
+        group_b_reached=len(reached_user_ids & group_b_ids),
+        group_b_total=len(group_b_ids),
+    )
+
+
+def macro_scores(
+    revealed_by_user: Mapping[str, Set[str]],
+    truth_by_user: Mapping[str, Set[str]],
+) -> Dict[str, float]:
+    """Macro-averaged precision/recall/F1 across users."""
+    scores = [
+        score_reveal(revealed_by_user.get(user_id, set()), truth)
+        for user_id, truth in truth_by_user.items()
+    ]
+    if not scores:
+        return {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+    return {
+        "precision": sum(s.precision for s in scores) / len(scores),
+        "recall": sum(s.recall for s in scores) / len(scores),
+        "f1": sum(s.f1 for s in scores) / len(scores),
+    }

@@ -1,0 +1,71 @@
+"""Provider-side campaign reports.
+
+Renders a human-readable summary of a Tread campaign from exactly the
+data a real provider would hold: its own Tread plan, the platform's
+performance reports, and the billing invoice. Used by the CLI and the
+examples; tests assert it never contains user identities.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import format_table
+from repro.core.provider import TransparencyProvider
+from repro.core.treads import RevealKind
+
+
+def campaign_report(provider: TransparencyProvider,
+                    top_attributes: int = 10) -> str:
+    """A text report of one provider's campaign so far."""
+    lines: List[str] = []
+    launched = [t for t in provider.treads if t.launched]
+    rejected = [t for t in provider.treads if t.rejected]
+    invoice = provider.platform.invoice(provider.account.account_id)
+
+    by_kind: dict = {}
+    for tread in launched:
+        key = tread.payload.kind.value
+        by_kind[key] = by_kind.get(key, 0) + 1
+
+    overview_rows = [
+        ("Treads launched", len(launched)),
+        ("Treads rejected by review", len(rejected)),
+        ("impressions billed", invoice.impressions),
+        ("total spend", f"${invoice.total:.4f}"),
+        ("effective CPM",
+         f"${1000 * invoice.total / invoice.impressions:.2f}"
+         if invoice.impressions else "-"),
+        ("remaining budget", f"${provider.account.budget:.2f}"),
+    ]
+    lines.append(format_table(
+        ("quantity", "value"), overview_rows,
+        title=f"Campaign report — {provider.name} on "
+              f"{provider.platform.name}",
+    ))
+    lines.append("")
+    lines.append(format_table(
+        ("Tread kind", "count"), sorted(by_kind.items()),
+        title="Launched Treads by kind",
+    ))
+
+    counts = provider.aggregate_attribute_counts()
+    nonzero = sorted(
+        ((attr_id, count) for attr_id, count in counts.items() if count),
+        key=lambda item: (-item[1], item[0]),
+    )
+    if nonzero:
+        catalog = provider.platform.catalog
+        rows = [
+            (catalog.get(attr_id).name if attr_id in catalog else attr_id,
+             count)
+            for attr_id, count in nonzero[:top_attributes]
+        ]
+        lines.append("")
+        lines.append(format_table(
+            ("attribute (aggregate reach)", "opted-in users"),
+            rows,
+            title=f"Top attributes among subscribers "
+                  f"(aggregates only — the provider never sees users)",
+        ))
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Statistical helpers for provider-side estimates.
+
+The provider "can estimate how many of the opted-in users have a
+particular attribute" (paper section 3.1). When the opted-in population
+is itself a sample of some larger population of interest, that count is a
+binomial observation; the Wilson score interval turns it into an honest
+population-prevalence estimate. Pure-python (no scipy needed here) so the
+provider-side code keeps its light dependency footprint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: z for the conventional 95% interval.
+_Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class PrevalenceEstimate:
+    """A prevalence point estimate with its Wilson 95% interval."""
+
+    count: int
+    sample_size: int
+    point: float
+    low: float
+    high: float
+
+    def __str__(self) -> str:
+        return (f"{self.point:.1%} "
+                f"[{self.low:.1%}, {self.high:.1%}] "
+                f"(n={self.sample_size})")
+
+
+def wilson_interval(count: int, sample_size: int,
+                    z: float = _Z_95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because Tread counts are
+    often tiny (the paper's validation had n=2) where Wald intervals
+    collapse to nonsense.
+    """
+    if sample_size <= 0:
+        raise ValueError("sample size must be positive")
+    if not 0 <= count <= sample_size:
+        raise ValueError("count must lie in [0, sample size]")
+    p_hat = count / sample_size
+    denom = 1 + z * z / sample_size
+    centre = (p_hat + z * z / (2 * sample_size)) / denom
+    margin = (z / denom) * math.sqrt(
+        p_hat * (1 - p_hat) / sample_size
+        + z * z / (4 * sample_size * sample_size)
+    )
+    low = max(0.0, centre - margin)
+    high = min(1.0, centre + margin)
+    # At the boundaries the Wilson endpoints equal 0/1 exactly in real
+    # arithmetic; pin them so float round-off cannot produce a "low" of
+    # 3e-17 that excludes the observed proportion.
+    if count == 0:
+        low = 0.0
+    if count == sample_size:
+        high = 1.0
+    return (low, high)
+
+
+def prevalence_estimate(count: int, sample_size: int) -> PrevalenceEstimate:
+    """Point + Wilson 95% interval for one attribute's prevalence."""
+    low, high = wilson_interval(count, sample_size)
+    return PrevalenceEstimate(
+        count=count,
+        sample_size=sample_size,
+        point=count / sample_size,
+        low=low,
+        high=high,
+    )

@@ -1,0 +1,68 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+Every bench prints paper-vs-measured rows; this renderer keeps them
+aligned and diff-friendly (stable column widths, right-aligned numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 0.01:
+            return f"{cell:.5f}"
+        return f"{cell:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(format_table(("a", "b"), [(1, 2.5)]))
+    a |   b
+    --+----
+    1 | 2.5
+    """
+    str_rows: List[List[str]] = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[index]) if index == 0 else
+            cell.rjust(widths[index])
+            for index, cell in enumerate(cells)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                title: str = "") -> None:
+    print(format_table(headers, rows, title=title))
+    print()

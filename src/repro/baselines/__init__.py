@@ -1,0 +1,15 @@
+"""Baselines Treads is compared against.
+
+* :mod:`~repro.baselines.platform_transparency` — the status quo: what a
+  user learns from the platform's own ad-preferences page and per-ad
+  explanations (section 2.2; incomplete by construction).
+* :mod:`~repro.baselines.correlation` — outside-in auditing in the style
+  of XRay / Sunlight (section 5): correlate ad deliveries across many
+  control accounts to infer targeting; needs a large account population
+  for statistical confidence, where Treads need one advertiser account.
+"""
+
+from repro.baselines.correlation import CorrelationAuditor
+from repro.baselines.platform_transparency import status_quo_view
+
+__all__ = ["CorrelationAuditor", "status_quo_view"]

@@ -1,0 +1,65 @@
+"""The status-quo baseline: platform-driven transparency only.
+
+What can a user learn *without* Treads? Exactly two surfaces (paper
+section 2.2):
+
+1. the **ad-preferences page** — their platform-computed attributes (never
+   the partner/data-broker ones) and the advertisers holding them in
+   custom audiences;
+2. the **per-ad explanations** of ads they happened to receive — at most
+   one (platform-sourced, most-prevalent) attribute each.
+
+:func:`status_quo_view` aggregates both into the same "set of revealed
+attribute ids" shape the Treads client produces, so
+:mod:`repro.analysis.metrics` can score the two mechanisms head-to-head
+(benchmark E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.platform.platform import AdPlatform
+
+
+@dataclass
+class StatusQuoView:
+    """Everything platform-driven transparency shows one user."""
+
+    user_id: str
+    #: Attribute ids from the ad-preferences page.
+    preferences_attributes: Set[str] = field(default_factory=set)
+    #: Attribute ids surfaced by explanations of received ads.
+    explanation_attributes: Set[str] = field(default_factory=set)
+    #: Advertiser accounts disclosed as holding the user in audiences.
+    advertisers: Set[str] = field(default_factory=set)
+
+    @property
+    def revealed_attributes(self) -> Set[str]:
+        return self.preferences_attributes | self.explanation_attributes
+
+
+def status_quo_view(platform: AdPlatform, user_id: str) -> StatusQuoView:
+    """Collect what the platform's own surfaces reveal to one user.
+
+    The user checks their ad-preferences page and clicks "Why am I seeing
+    this?" on every ad in their feed — the maximal status-quo effort.
+    """
+    view = StatusQuoView(user_id=user_id)
+    preferences = platform.ad_preferences_for(user_id)
+    view.preferences_attributes = set(preferences.shown_attribute_ids)
+    view.advertisers = set(preferences.advertisers_with_custom_audiences)
+    for delivered in platform.feed(user_id):
+        explanation = platform.explain_ad(user_id, delivered.ad_id)
+        if explanation.revealed_attribute is not None:
+            view.explanation_attributes.add(explanation.revealed_attribute)
+    return view
+
+
+def status_quo_views(
+    platform: AdPlatform, user_ids: Sequence[str]
+) -> Dict[str, StatusQuoView]:
+    return {
+        user_id: status_quo_view(platform, user_id) for user_id in user_ids
+    }

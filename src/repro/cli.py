@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``catalog stats``
+    Catalog composition (the 614 + 507 split, per-source, per-broker).
+``catalog search <keyword>``
+    Keyword search over the advertiser-facing catalog, like the ads UI.
+``demo``
+    The quickstart scenario: one user, full partner sweep, decoded reveal.
+``validate``
+    The paper's section 3.1 validation (two authors, 507 Treads, $10 CPM)
+    with the paper-vs-measured summary table.
+``cost``
+    The section 3.1 cost table for a given CPM and attribute counts.
+``scale``
+    Enumeration-vs-bit-split ad counts for m-valued attributes.
+``attack``
+    The section 5 single-victim inference probe, with and without the
+    narrow-targeting defense, plus the defense's cost to Treads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.bitsplit import bits_needed, treads_needed_enumeration
+from repro.core.client import TreadClient
+from repro.core.costs import CostModel
+from repro.core.provider import TransparencyProvider
+from repro.platform.catalog import build_us_catalog
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.platform.web import WebDirectory
+from repro.workloads.competition import lognormal_competition
+from repro.workloads.personas import (
+    ESTABLISHED_PROFESSIONAL,
+    RECENT_ARRIVAL_GRAD_STUDENT,
+)
+from repro.workloads.population import PopulationBuilder
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Treads (HotNets 2018) reproduction: transparency-enhancing "
+            "ads on a simulated ad platform."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    catalog = commands.add_parser("catalog", help="inspect the attribute "
+                                                  "catalog")
+    catalog_sub = catalog.add_subparsers(dest="catalog_command",
+                                         required=True)
+    catalog_sub.add_parser("stats", help="catalog composition")
+    search = catalog_sub.add_parser("search", help="keyword search")
+    search.add_argument("keyword")
+    search.add_argument("--limit", type=int, default=15)
+
+    commands.add_parser("demo", help="quickstart scenario")
+
+    validate = commands.add_parser(
+        "validate", help="the paper's section 3.1 validation"
+    )
+    validate.add_argument("--seed", type=int, default=7)
+    validate.add_argument("--bid-cpm", type=float, default=10.0)
+
+    cost = commands.add_parser("cost", help="section 3.1 cost table")
+    cost.add_argument("--cpm", type=float, default=2.0)
+    cost.add_argument("--attributes", type=int, nargs="+",
+                      default=[1, 10, 50, 100])
+
+    scale = commands.add_parser("scale", help="section 3.1 scale table")
+    scale.add_argument("--m", type=int, nargs="+",
+                       default=[2, 8, 97, 1000, 4096])
+
+    attack = commands.add_parser(
+        "attack", help="section 5 inference attack vs defenses"
+    )
+    attack.add_argument("--defense-threshold", type=int, default=20)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_catalog_stats() -> int:
+    catalog = build_us_catalog()
+    partner = catalog.partner_attributes()
+    platform_attrs = catalog.platform_attributes()
+    by_broker: dict = {}
+    for attribute in partner:
+        by_broker[attribute.broker] = by_broker.get(attribute.broker, 0) + 1
+    rows = [
+        ("platform-computed attributes", len(platform_attrs)),
+        ("  of which multi-valued",
+         sum(1 for a in platform_attrs if not a.is_binary)),
+        ("partner (data-broker) attributes", len(partner)),
+    ]
+    rows += [(f"  from {broker}", count)
+             for broker, count in sorted(by_broker.items())]
+    rows.append(("total", len(catalog)))
+    print(format_table(("segment", "attributes"), rows,
+                       title="US targeting catalog (early-2018 shape)"))
+    return 0
+
+
+def _cmd_catalog_search(keyword: str, limit: int) -> int:
+    catalog = build_us_catalog()
+    hits = catalog.search(keyword)
+    if not hits:
+        print(f"no attributes match {keyword!r}")
+        return 1
+    rows = [
+        (a.attr_id, a.name, a.source.value,
+         a.broker or "-")
+        for a in hits[:limit]
+    ]
+    print(format_table(("id", "name", "source", "broker"), rows,
+                       title=f"{len(hits)} match(es) for {keyword!r}"))
+    if len(hits) > limit:
+        print(f"... and {len(hits) - limit} more (raise --limit)")
+    return 0
+
+
+def _cmd_demo() -> int:
+    platform = AdPlatform()
+    web = WebDirectory()
+    user = platform.register_user(age=34)
+    hidden = ["pc-networth-006", "pc-jobrole-000", "pc-autointent-007"]
+    for attr_id in hidden:
+        user.set_attribute(platform.catalog.get(attr_id))
+    provider = TransparencyProvider(platform, web, budget=100.0,
+                                    bid_cap_cpm=10.0)
+    provider.optin.via_page_like(user.user_id)
+    provider.launch_partner_sweep()
+    provider.run_delivery()
+    profile = TreadClient(user.user_id, platform,
+                          provider.publish_decode_pack()).sync()
+    print("ad-preferences page shows: "
+          f"{len(platform.ad_preferences_for(user.user_id).shown_attributes)}"
+          " attributes (partner data hidden)")
+    print(f"Treads revealed {len(profile.set_attributes)}:")
+    for attr_id in sorted(profile.set_attributes):
+        print(f"  - {platform.catalog.get(attr_id).name}")
+    print(f"spend: ${provider.total_spend():.4f} for "
+          f"{provider.total_impressions()} impressions")
+    return 0 if profile.set_attributes == set(hidden) else 1
+
+
+def _cmd_validate(seed: int, bid_cpm: float) -> int:
+    platform = AdPlatform(
+        config=PlatformConfig(name="fbsim"),
+        competing_draw=lognormal_competition(median_cpm=2.0, seed=seed),
+    )
+    web = WebDirectory()
+    builder = PopulationBuilder(platform, seed=seed)
+    profiled = builder.spawn(ESTABLISHED_PROFESSIONAL, 1)[0]
+    unprofiled = builder.spawn(RECENT_ARRIVAL_GRAD_STUDENT, 1)[0]
+    builder.finalize()
+    provider = TransparencyProvider(platform, web, budget=500.0,
+                                    bid_cap_cpm=bid_cpm)
+    provider.optin.via_page_like(profiled.user_id)
+    provider.optin.via_page_like(unprofiled.user_id)
+    launch = provider.launch_partner_sweep()
+    provider.run_delivery(max_rounds=200)
+    pack = provider.publish_decode_pack()
+    reveal_a = TreadClient(profiled.user_id, platform, pack).sync()
+    reveal_b = TreadClient(unprofiled.user_id, platform, pack).sync()
+    truth_a = {a for a in profiled.binary_attrs if a.startswith("pc-")}
+    rows = [
+        ("Treads run", 508, len(launch.treads)),
+        ("profiled author reveals", "11 (paper)",
+         len(reveal_a.set_attributes)),
+        ("profiled author exact vs ground truth", "yes",
+         "yes" if reveal_a.set_attributes == truth_a else "NO"),
+        ("unprofiled author reveals", 0, len(reveal_b.set_attributes)),
+        ("both received control", "yes",
+         "yes" if reveal_a.control_received and reveal_b.control_received
+         else "NO"),
+        ("total spend", "(2nd-price)",
+         f"${provider.total_spend():.4f}"),
+    ]
+    print(format_table(("quantity", "paper", "measured"), rows,
+                       title=f"Section 3.1 validation (seed {seed}, "
+                             f"bid ${bid_cpm:.0f} CPM)"))
+    ok = (reveal_a.set_attributes == truth_a
+          and not reveal_b.set_attributes
+          and reveal_a.control_received and reveal_b.control_received)
+    return 0 if ok else 1
+
+
+def _cmd_cost(cpm: float, attribute_counts: Sequence[int]) -> int:
+    model = CostModel(cpm=cpm)
+    rows = [("one attribute", f"${model.per_attribute():.4f}")]
+    rows += [
+        (f"user with {count} set attributes",
+         f"${model.full_profile(count):.4f}")
+        for count in attribute_counts
+    ]
+    rows.append(("any unset attribute", "$0.0000 (never delivered)"))
+    print(format_table(("reveal", "cost"), rows,
+                       title=f"Treads cost at ${cpm:.2f} CPM (sec 3.1)"))
+    return 0
+
+
+def _cmd_scale(ms: Sequence[int]) -> int:
+    rows = [
+        (m, treads_needed_enumeration(m), bits_needed(m))
+        for m in ms
+    ]
+    print(format_table(
+        ("m (values)", "enumeration ads", "bit-split ads (ceil log2 m)"),
+        rows, title="Treads needed per m-valued attribute (sec 3.1)",
+    ))
+    return 0
+
+
+def _cmd_attack(defense_threshold: int) -> int:
+    from repro.attacks import DeliveryInferenceAttack, SizeEstimateAttack
+    from repro.workloads.competition import zero_competition
+
+    def fresh(min_match):
+        platform = AdPlatform(
+            config=PlatformConfig(name=f"cli-atk{min_match}",
+                                  min_delivery_match_count=min_match),
+            catalog=build_us_catalog(60, 30),
+            competing_draw=zero_competition(),
+        )
+        victim = platform.register_user()
+        platform.users.attach_pii(victim.user_id, "email",
+                                  "victim@example.com")
+        attr = platform.catalog.partner_attributes()[0]
+        victim.set_attribute(attr)
+        return platform, attr
+
+    platform, attr = fresh(0)
+    size = SizeEstimateAttack(platform).run(
+        "victim@example.com", attr.attr_id, ground_truth=True
+    )
+    delivery = DeliveryInferenceAttack(platform).run(
+        "victim@example.com", attr.attr_id, ground_truth=True
+    )
+    patched_platform, patched_attr = fresh(defense_threshold)
+    patched = DeliveryInferenceAttack(patched_platform).run(
+        "victim@example.com", patched_attr.attr_id, ground_truth=True
+    )
+    rows = [
+        ("size estimate, 2018 defaults",
+         str(size.inferred_bit), size.observable),
+        ("delivery probe, 2018 defaults",
+         str(delivery.inferred_bit), delivery.observable),
+        (f"delivery probe, min-match {defense_threshold}",
+         str(patched.inferred_bit), patched.observable),
+    ]
+    print(format_table(
+        ("attack channel / platform", "bit learned", "observable"),
+        rows, title="Section 5 single-victim inference attack",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "catalog":
+        if args.catalog_command == "stats":
+            return _cmd_catalog_stats()
+        return _cmd_catalog_search(args.keyword, args.limit)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "validate":
+        return _cmd_validate(args.seed, args.bid_cpm)
+    if args.command == "cost":
+        return _cmd_cost(args.cpm, args.attributes)
+    if args.command == "scale":
+        return _cmd_scale(args.m)
+    if args.command == "attack":
+        return _cmd_attack(args.defense_threshold)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Treads — transparency-enhancing advertisements (the paper's contribution).
+
+A *Tread* is a targeted advertisement whose content reveals the targeting
+used to place it. Because the platform delivers it iff the viewer matches
+the targeting, each received Tread teaches the viewer one fact about the
+platform's profile of them — without the advertiser (the *transparency
+provider*) learning which users got which Treads.
+
+Public entry points:
+
+* :class:`~repro.core.provider.TransparencyProvider` — the non-profit-style
+  operator: opt-in flows, campaign planning/launch, spend accounting;
+* :class:`~repro.core.client.TreadClient` — the user side ("browser
+  extension"): collects delivered Treads, decodes payloads, reconstructs
+  the revealed profile;
+* :mod:`~repro.core.planner` — one-Tread-per-attribute, exclusion Treads,
+  and the log2(m) bit-splitting scheme for multi-valued attributes;
+* :mod:`~repro.core.costs` — the paper's cost arithmetic ($0.002 per
+  attribute at $2 CPM);
+* :mod:`~repro.core.privacy` — what the provider can and cannot learn;
+* :mod:`~repro.core.advertiser` — advertiser-driven explanations (section 4);
+* :mod:`~repro.core.crowdsource` — sharding Treads across accounts to
+  evade shutdown (section 4).
+"""
+
+from repro.core.client import RevealedProfile, TreadClient
+from repro.core.codebook import Codebook
+from repro.core.monitoring import ProfileDiff, diff_profiles
+from repro.core.packformat import pack_from_json, pack_to_json, validate_pack
+from repro.core.provider import DecodePack, TransparencyProvider
+from repro.core.scheduler import PacedCampaignRunner
+from repro.core.treads import (
+    Encoding,
+    Placement,
+    RevealKind,
+    RevealPayload,
+    Tread,
+)
+
+__all__ = [
+    "Codebook",
+    "DecodePack",
+    "PacedCampaignRunner",
+    "ProfileDiff",
+    "RevealedProfile",
+    "diff_profiles",
+    "pack_from_json",
+    "pack_to_json",
+    "validate_pack",
+    "Encoding",
+    "Placement",
+    "RevealKind",
+    "RevealPayload",
+    "Tread",
+    "TreadClient",
+    "TransparencyProvider",
+]

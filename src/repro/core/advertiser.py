@@ -1,0 +1,191 @@
+"""Advertiser-driven transparency (paper section 4).
+
+Beyond the transparency-provider use, Treads "allow any *advertiser* ...
+to directly include explanations about why they are targeting a particular
+ad". Two mechanisms from section 4 are modelled:
+
+* **intent declarations** — the advertiser states who they actually wanted
+  to reach ("experienced professional Salsa dancers"), which may differ
+  from the targeting the platform's options forced on them ("people aged
+  30 and above who are interested in Salsa dance"). An advertiser
+  explanation can be **verified against** the platform's independently
+  generated explanation: the platform's revealed attribute must be among
+  the advertiser's declared targeting attributes, and the declaration is
+  scored for completeness against the ad's real targeting spec.
+* **learn-on-click disclosure** — "advertisers can often learn information
+  about users who click on their ads (e.g., by associating the targeting
+  parameters of the ad with the user's cookie); advertisers could be
+  required to reveal the learnt information to users."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.platform.ads import Ad
+from repro.platform.explanations import AdExplanation
+
+
+@dataclass(frozen=True)
+class AdvertiserExplanation:
+    """The advertiser's own explanation for one ad."""
+
+    ad_id: str
+    #: The advertiser's true intent, in their words.
+    intent: str
+    #: Attribute ids the advertiser *declares* it targeted.
+    declared_attribute_ids: Tuple[str, ...]
+    #: Whether a PII/customer-list audience was used, declared honestly.
+    declares_customer_list: bool = False
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Cross-checking an advertiser explanation against the platform's.
+
+    ``consistent`` — the platform's (single) revealed attribute appears in
+    the advertiser's declaration, and customer-list usage claims agree.
+    ``completeness`` — fraction of the ad's actual targeting attributes
+    the advertiser declared (1.0 = full disclosure).
+    ``undeclared`` — actually-targeted attributes missing from the
+    declaration (what a dishonest advertiser hid).
+    """
+
+    ad_id: str
+    consistent: bool
+    completeness: float
+    undeclared: Tuple[str, ...]
+    overdeclared: Tuple[str, ...]
+
+
+def verify_explanation(
+    ad: Ad,
+    advertiser_explanation: AdvertiserExplanation,
+    platform_explanation: AdExplanation,
+) -> VerificationResult:
+    """Verify an advertiser's explanation (section 4, "Trusting
+    advertiser-provided explanations").
+
+    The platform explanation reveals at most one attribute, so it can only
+    *refute* a declaration (platform mentions an attribute the advertiser
+    hid), never fully confirm it — exactly the paper's point that the two
+    explanation channels are complementary.
+    """
+    declared = set(advertiser_explanation.declared_attribute_ids)
+    actual = set(ad.targeting.positively_targeted_attributes())
+
+    consistent = True
+    if platform_explanation.revealed_attribute is not None and \
+            platform_explanation.revealed_attribute not in declared:
+        consistent = False
+    if platform_explanation.mentions_customer_list and \
+            not advertiser_explanation.declares_customer_list:
+        consistent = False
+
+    completeness = 1.0 if not actual else len(declared & actual) / len(actual)
+    return VerificationResult(
+        ad_id=ad.ad_id,
+        consistent=consistent,
+        completeness=completeness,
+        undeclared=tuple(sorted(actual - declared)),
+        overdeclared=tuple(sorted(declared - actual)),
+    )
+
+
+@dataclass
+class ClickLearning:
+    """What an advertiser learns from clicks on a targeted ad.
+
+    When a user clicks, the advertiser's landing page sees a first-party
+    cookie and knows the click came from ad ``ad_id`` — so it can attach
+    the ad's targeting parameters to that cookie. This is the learning the
+    paper says advertisers should be required to disclose.
+    """
+
+    ad_id: str
+    targeting_attributes: Tuple[str, ...]
+    #: cookie -> attributes now associated with it.
+    learned: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def record_click(self, cookie_id: Optional[str]) -> None:
+        if cookie_id is None:
+            return  # cookieless click teaches nothing durable
+        self.learned.setdefault(cookie_id, set()).update(
+            self.targeting_attributes
+        )
+
+    def disclosure_for(self, cookie_id: str) -> "ClickDisclosure":
+        """The mandated disclosure to the clicking user."""
+        return ClickDisclosure(
+            ad_id=self.ad_id,
+            cookie_id=cookie_id,
+            attributes_learned=tuple(
+                sorted(self.learned.get(cookie_id, set()))
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ClickDisclosure:
+    """"We learned the following about this cookie when you clicked"."""
+
+    ad_id: str
+    cookie_id: str
+    attributes_learned: Tuple[str, ...]
+
+
+def click_learning_for_ad(ad: Ad) -> ClickLearning:
+    """Initialise the advertiser-side click tracker for one ad."""
+    return ClickLearning(
+        ad_id=ad.ad_id,
+        targeting_attributes=tuple(
+            ad.targeting.positively_targeted_attributes()
+        ),
+    )
+
+
+def launch_intent_tread(
+    platform,
+    account_id: str,
+    campaign_id: str,
+    base_ad: Ad,
+    intent: str,
+    codebook,
+    bid_cap_cpm: Optional[float] = None,
+):
+    """Run a companion Tread declaring an ad's intent to its audience.
+
+    Section 4's mandate made executable: "advertisers might be required
+    to explain their intent in targeting a particular set of users". The
+    companion ad reuses the base ad's exact targeting spec, so it reaches
+    precisely the people the base ad reaches, and carries the intent as a
+    codebook token (innocuous text, passes review). Subscribers' clients
+    decode it into :attr:`RevealedProfile.intents`.
+
+    Returns the submitted companion :class:`~repro.platform.ads.Ad`.
+    """
+    from repro.core.creative import render
+    from repro.core.treads import (
+        Encoding,
+        Placement,
+        RevealKind,
+        RevealPayload,
+    )
+
+    if "|" in intent:
+        raise ValueError(
+            "intent text may not contain '|' (reserved by the canonical "
+            "payload encoding)"
+        )
+    payload = RevealPayload(kind=RevealKind.INTENT, display=intent)
+    rendered = render(payload, Encoding.CODEBOOK, Placement.IN_AD_TEXT,
+                      codebook)
+    return platform.submit_ad(
+        account_id=account_id,
+        campaign_id=campaign_id,
+        creative=rendered.creative,
+        targeting=base_ad.targeting,
+        bid_cap_cpm=(bid_cap_cpm if bid_cap_cpm is not None
+                     else base_ad.bid_cap_cpm),
+    )

@@ -1,0 +1,140 @@
+"""The log2(m) bit-splitting scheme for multi-valued attributes.
+
+Paper section 3.1, "Scale": *"For a non-binary attribute (such as age)
+with m possible values, only log2(m) Treads are required in total to allow
+any user to learn which of the m possible values they have (since each
+Tread can represent one of the log2(m) bits to be learnt)."*
+
+The construction: index the attribute's values 0..m-1. For each bit
+position b in 0..ceil(log2 m)-1, run one Tread targeting the users whose
+assigned value's index has bit b set — an OR over the matching values.
+A user assigned value v receives exactly the Treads for v's set bits;
+missing bit-Treads decode as 0 (the control ad establishes the user was
+reachable, so absence is informative). The recipient reconstructs v's
+index and looks the value up in the published value table.
+
+Compare with *value enumeration*: m Treads, one per value, of which each
+user receives exactly one. Both cost the user O(1)-ish impressions; the
+provider's ad count differs by m / log2(m) — the benchmark E4 table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.treads import RevealKind, RevealPayload
+from repro.errors import CatalogError, EncodingError
+from repro.platform.attributes import Attribute, AttributeKind
+
+
+def bits_needed(m: int) -> int:
+    """ceil(log2(m)) — Treads needed to distinguish m values; 0 for m=1."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    if m == 1:
+        return 0
+    return (m - 1).bit_length()
+
+
+def treads_needed_enumeration(m: int) -> int:
+    """Ads needed by the naive one-Tread-per-value scheme."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    return m
+
+
+def values_with_bit(values: Sequence[str], bit_index: int) -> List[str]:
+    """Values whose index has ``bit_index`` set — one Tread's OR-targets."""
+    return [
+        value for index, value in enumerate(values)
+        if (index >> bit_index) & 1
+    ]
+
+
+@dataclass(frozen=True)
+class BitTread:
+    """One planned bit-Tread: its payload plus the value OR-list."""
+
+    payload: RevealPayload
+    attr_id: str
+    bit_index: int
+    or_values: Tuple[str, ...]
+
+    def targeting_term(self) -> str:
+        """The compact targeting fragment for this bit-Tread."""
+        clauses = [
+            f"value:{self.attr_id}={value}" for value in self.or_values
+        ]
+        if len(clauses) == 1:
+            return clauses[0]
+        return "(" + " | ".join(clauses) + ")"
+
+
+def plan_bit_treads(attribute: Attribute) -> List[BitTread]:
+    """The ceil(log2 m) bit-Treads for one multi-valued attribute."""
+    if attribute.kind is not AttributeKind.MULTI:
+        raise CatalogError(
+            f"bit-splitting needs a multi attribute, got {attribute.attr_id!r}"
+        )
+    plans: List[BitTread] = []
+    for bit_index in range(bits_needed(len(attribute.values))):
+        or_values = values_with_bit(attribute.values, bit_index)
+        if not or_values:
+            continue  # can't happen for bit < bits_needed, kept defensive
+        payload = RevealPayload(
+            kind=RevealKind.VALUE_BIT,
+            attr_id=attribute.attr_id,
+            bit_index=bit_index,
+            bit_value=1,
+            display=attribute.name,
+        )
+        plans.append(
+            BitTread(
+                payload=payload,
+                attr_id=attribute.attr_id,
+                bit_index=bit_index,
+                or_values=tuple(or_values),
+            )
+        )
+    return plans
+
+
+def expected_impressions_per_user(attribute: Attribute) -> float:
+    """Average bit-Treads a uniformly-assigned user receives (= mean
+    popcount of value indices). Bounded by bits_needed(m)."""
+    m = len(attribute.values)
+    total = sum(bin(index).count("1") for index in range(m))
+    return total / m
+
+
+def reconstruct_value(
+    attribute_values: Sequence[str],
+    received_bits: Dict[int, int],
+    total_bits: Optional[int] = None,
+) -> str:
+    """User-side: rebuild the assigned value from received bit-Treads.
+
+    ``received_bits`` maps bit_index -> bit_value for every bit-Tread the
+    user received; positions absent from the map decode as 0. The result
+    index must fall inside the value table — an out-of-range index means
+    the campaign did not saturate (or the user decoded garbage), and is an
+    error rather than a silent wrong answer.
+    """
+    width = total_bits if total_bits is not None \
+        else bits_needed(len(attribute_values))
+    index = 0
+    for bit_index, bit_value in received_bits.items():
+        if bit_index >= width:
+            raise EncodingError(
+                f"bit index {bit_index} outside {width}-bit encoding"
+            )
+        if bit_value:
+            index |= 1 << bit_index
+    if index >= len(attribute_values):
+        raise EncodingError(
+            f"reconstructed index {index} outside value table of size "
+            f"{len(attribute_values)}"
+        )
+    return attribute_values[index]

@@ -1,0 +1,329 @@
+"""The user side: a "browser extension" that collects and decodes Treads.
+
+"Users see these Treads while browsing normally (and can potentially save
+these using a browser extension)" (paper section 3.1). The
+:class:`TreadClient` plays that extension: it scans the user's ad feed for
+ads from the subscribed provider, decodes each reveal payload (explicit
+text, codebook token, steganographic image, or landing-page token), and
+folds everything into a :class:`RevealedProfile` — the user's
+reconstruction of what the platform knows about them.
+
+Decoding never talks to the provider: everything needed is in the
+:class:`~repro.core.provider.DecodePack` published at opt-in, plus the
+(semi-public) attribute name catalog. Following landing-page links is
+opt-in (``follow_landing``) because it is the one channel that can leak to
+the provider — unless the user clears cookies first, which the client
+does when asked (``clear_cookies_first``), mirroring the paper's
+mitigation ("users can avert any possible leakage by clearing out their
+cookies ... before they start receiving any Treads").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bitsplit import reconstruct_value
+from repro.core.codebook import Codebook
+from repro.core.provider import DecodePack
+from repro.core.stego import try_extract
+from repro.core.treads import RevealKind, RevealPayload, payload_from_canonical
+from repro.errors import EncodingError
+from repro.platform.attributes import AttributeCatalog
+from repro.platform.delivery import DeliveredAd
+from repro.platform.platform import AdPlatform
+from repro.platform.web import Browser, WebDirectory
+
+_TOKEN_RE = re.compile(r"\b\d{1,3}(?:,\d{3})+\b|\b\d{7}\b")
+_EXPLICIT_SET_RE = re.compile(
+    r"According to this ad platform, you are: (?P<display>.+)\.$"
+)
+_EXPLICIT_EXCLUDED_RE = re.compile(
+    r"the attribute '(?P<display>.+)' is false for you or missing"
+)
+_EXPLICIT_VALUE_RE = re.compile(
+    r"According to this ad platform, your (?P<display>.+) is: "
+    r"(?P<value>.+)\.$"
+)
+_EXPLICIT_PII_RE = re.compile(
+    r"This ad platform has your (?P<kind>[a-z_]+) \(hash (?P<prefix>[0-9a-f]+)"
+)
+_EXPLICIT_CUSTOM_RE = re.compile(
+    r"You match the custom attribute '(?P<label>.+)' according"
+)
+_EXPLICIT_CONTROL_RE = re.compile(
+    r"You are reachable by ads from your transparency provider"
+)
+_EXPLICIT_INTENT_RE = re.compile(
+    r"The advertiser's intent in targeting you: (?P<intent>.+)$"
+)
+_LANDING_TOKEN_RE = re.compile(r"/t/(?P<digits>\d+)$")
+
+
+@dataclass
+class RevealedProfile:
+    """What the user has learnt about the platform's profile of them."""
+
+    user_id: str
+    #: Binary attributes the platform has SET (attr ids).
+    set_attributes: Set[str] = field(default_factory=set)
+    #: Attributes revealed as false-or-missing via exclusion Treads.
+    false_or_missing: Set[str] = field(default_factory=set)
+    #: Multi-valued attribute assignments (direct VALUE_IS reveals and
+    #: bit-split reconstructions).
+    values: Dict[str, str] = field(default_factory=dict)
+    #: PII kinds the platform provably holds for this user.
+    pii_present: Set[str] = field(default_factory=set)
+    #: Custom attribute labels the user matched.
+    custom_matches: Set[str] = field(default_factory=set)
+    #: Advertiser intent statements received (section 4).
+    intents: List[str] = field(default_factory=list)
+    #: Whether the control ad arrived (reachability established).
+    control_received: bool = False
+    #: Raw bit-Treads received: attr_id -> {bit_index: bit_value}.
+    raw_bits: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    #: Provider ads we could not decode (should be empty; surfaced for
+    #: debugging rather than silently dropped).
+    undecoded: List[str] = field(default_factory=list)
+
+    @property
+    def total_facts(self) -> int:
+        """Count of distinct facts learnt (the paper's "bits revealed")."""
+        return (
+            len(self.set_attributes)
+            + len(self.false_or_missing)
+            + len(self.values)
+            + len(self.pii_present)
+            + len(self.custom_matches)
+        )
+
+
+class TreadClient:
+    """One user's Tread-decoding extension, bound to one provider."""
+
+    def __init__(
+        self,
+        user_id: str,
+        platform: AdPlatform,
+        pack: DecodePack,
+        catalog: Optional[AttributeCatalog] = None,
+        web: Optional[WebDirectory] = None,
+        browser: Optional[Browser] = None,
+        follow_landing: bool = False,
+        clear_cookies_first: bool = True,
+    ):
+        self.user_id = user_id
+        self._platform = platform
+        self._pack = pack
+        self._codebook = Codebook.from_snapshot(
+            pack.codebook_snapshot, salt=pack.codebook_salt
+        )
+        self._catalog = catalog if catalog is not None else platform.catalog
+        self._name_to_attr = {
+            attribute.name: attribute.attr_id for attribute in self._catalog
+        }
+        self._web = web
+        self._browser = browser
+        self.follow_landing = follow_landing
+        self.clear_cookies_first = clear_cookies_first
+        self._provider_accounts = set(pack.account_ids.values())
+        self._landing_domains = set(pack.landing_domains)
+
+    # ------------------------------------------------------------------
+
+    def provider_ads(self) -> List[DeliveredAd]:
+        """The subset of the feed that came from the provider's account."""
+        return [
+            ad for ad in self._platform.feed(self.user_id)
+            if ad.account_id in self._provider_accounts
+        ]
+
+    def sync(self) -> RevealedProfile:
+        """Scan the feed, decode every provider ad, rebuild the profile."""
+        profile = RevealedProfile(user_id=self.user_id)
+        for ad in self.provider_ads():
+            payload = self._decode_ad(ad)
+            if payload is None:
+                profile.undecoded.append(ad.ad_id)
+                continue
+            self._apply(payload, profile)
+        self._reconstruct_bitsplit_values(profile)
+        return profile
+
+    # ------------------------------------------------------------------
+    # per-ad decoding
+    # ------------------------------------------------------------------
+
+    def _decode_ad(self, ad: DeliveredAd) -> Optional[RevealPayload]:
+        # 1. codebook token anywhere in the ad text
+        for match in _TOKEN_RE.finditer(f"{ad.headline}\n{ad.body}"):
+            payload = self._codebook.try_decode(match.group(0))
+            if payload is not None:
+                return payload
+        # 2. steganographic image
+        if ad.image is not None:
+            canonical = try_extract(ad.image)
+            if canonical is not None:
+                try:
+                    return payload_from_canonical(canonical)
+                except EncodingError:
+                    pass
+        # 3. landing-page token (decodable from the URL alone; the visit
+        #    is optional and only for the human-readable page)
+        if ad.landing_url is not None:
+            payload = self._decode_landing(ad)
+            if payload is not None:
+                return payload
+        # 4. explicit sentence in the ad body
+        return self._parse_explicit(ad.body)
+
+    def _decode_landing(self, ad: DeliveredAd) -> Optional[RevealPayload]:
+        landing_url = ad.landing_url or ""
+        domain = _domain_of(landing_url)
+        if domain not in self._landing_domains:
+            return None
+        match = _LANDING_TOKEN_RE.search(landing_url)
+        if match is None:
+            return None
+        if self.follow_landing:
+            self._visit_landing(ad, domain,
+                                f"/t/{match.group('digits')}")
+        return self._codebook.try_decode(match.group("digits"))
+
+    def _visit_landing(self, ad: DeliveredAd, domain: str,
+                       path: str) -> None:
+        """Actually click through (leaks a cookie to the provider's
+        first-party log unless cleared first). The click itself is
+        recorded by the platform, which surfaces it to the provider only
+        as a CTR count."""
+        if self._web is None or self._browser is None:
+            return
+        self._platform.click_ad(self.user_id, ad.ad_id)
+        if self.clear_cookies_first:
+            self._browser.clear_cookies()
+        self._browser.visit(self._web.resolve(domain), path)
+
+    def _parse_explicit(self, body: str) -> Optional[RevealPayload]:
+        match = _EXPLICIT_SET_RE.search(body)
+        if match:
+            attr_id = self._name_to_attr.get(match.group("display"))
+            if attr_id is not None:
+                return RevealPayload(
+                    kind=RevealKind.ATTRIBUTE_SET,
+                    attr_id=attr_id,
+                    display=match.group("display"),
+                )
+        match = _EXPLICIT_EXCLUDED_RE.search(body)
+        if match:
+            attr_id = self._name_to_attr.get(match.group("display"))
+            if attr_id is not None:
+                return RevealPayload(
+                    kind=RevealKind.ATTRIBUTE_EXCLUDED,
+                    attr_id=attr_id,
+                    display=match.group("display"),
+                )
+        match = _EXPLICIT_VALUE_RE.search(body)
+        if match:
+            attr_id = self._name_to_attr.get(match.group("display"))
+            if attr_id is not None:
+                return RevealPayload(
+                    kind=RevealKind.VALUE_IS,
+                    attr_id=attr_id,
+                    value=match.group("value"),
+                    display=match.group("display"),
+                )
+        match = _EXPLICIT_PII_RE.search(body)
+        if match:
+            return RevealPayload(
+                kind=RevealKind.PII_PRESENT,
+                pii_kind=match.group("kind"),
+                pii_digest=match.group("prefix"),
+            )
+        match = _EXPLICIT_CUSTOM_RE.search(body)
+        if match:
+            return RevealPayload(
+                kind=RevealKind.CUSTOM_ATTRIBUTE,
+                custom_label=match.group("label"),
+            )
+        match = _EXPLICIT_INTENT_RE.search(body)
+        if match:
+            return RevealPayload(
+                kind=RevealKind.INTENT,
+                display=match.group("intent"),
+            )
+        if _EXPLICIT_CONTROL_RE.search(body):
+            return RevealPayload(kind=RevealKind.CONTROL)
+        return None
+
+    # ------------------------------------------------------------------
+    # folding payloads into the profile
+    # ------------------------------------------------------------------
+
+    def _apply(self, payload: RevealPayload,
+               profile: RevealedProfile) -> None:
+        kind = payload.kind
+        if kind is RevealKind.ATTRIBUTE_SET and payload.attr_id:
+            profile.set_attributes.add(payload.attr_id)
+        elif kind is RevealKind.ATTRIBUTE_EXCLUDED and payload.attr_id:
+            profile.false_or_missing.add(payload.attr_id)
+        elif kind is RevealKind.VALUE_IS and payload.attr_id:
+            profile.values[payload.attr_id] = payload.value or ""
+        elif kind is RevealKind.VALUE_BIT and payload.attr_id is not None:
+            bits = profile.raw_bits.setdefault(payload.attr_id, {})
+            bits[payload.bit_index or 0] = payload.bit_value or 0
+        elif kind is RevealKind.PII_PRESENT and payload.pii_kind:
+            profile.pii_present.add(payload.pii_kind)
+        elif kind is RevealKind.CUSTOM_ATTRIBUTE and payload.custom_label:
+            profile.custom_matches.add(payload.custom_label)
+        elif kind is RevealKind.INTENT:
+            profile.intents.append(payload.display)
+        elif kind is RevealKind.CONTROL:
+            profile.control_received = True
+
+    def _reconstruct_bitsplit_values(self, profile: RevealedProfile) -> None:
+        """Turn received bit-Treads into value assignments.
+
+        Absent bits decode as 0 — valid only once the control ad proved
+        the user reachable (otherwise "no Tread" could mean "no
+        delivery"), so reconstruction waits for the control.
+        """
+        if not profile.control_received:
+            return
+        widths = self._bit_widths_in_codebook()
+        # Iterate the attributes the CAMPAIGN covered (from the published
+        # codebook), not just those the user received bits for: a user
+        # whose value index is 0 receives no bit-Treads at all, and the
+        # control ad is what licenses decoding that silence as index 0.
+        for attr_id, width in widths.items():
+            table = self._pack.value_tables.get(attr_id)
+            if table is None:
+                continue
+            bits = profile.raw_bits.get(attr_id, {})
+            try:
+                profile.values[attr_id] = reconstruct_value(
+                    table, bits, total_bits=width
+                )
+            except EncodingError:
+                profile.undecoded.append(f"bitsplit:{attr_id}")
+
+    def _bit_widths_in_codebook(self) -> Dict[str, int]:
+        """How many bit positions each attribute's campaign used, learnt
+        from the published codebook."""
+        widths: Dict[str, int] = {}
+        for canonical in self._pack.codebook_snapshot.values():
+            try:
+                payload = payload_from_canonical(canonical)
+            except EncodingError:
+                continue
+            if payload.kind is RevealKind.VALUE_BIT and payload.attr_id:
+                current = widths.get(payload.attr_id, 0)
+                widths[payload.attr_id] = max(
+                    current, (payload.bit_index or 0) + 1
+                )
+        return widths
+
+
+def _domain_of(url: str) -> str:
+    without_scheme = url.split("//", 1)[-1]
+    return without_scheme.split("/", 1)[0]

@@ -1,0 +1,126 @@
+"""Obfuscation codebooks: payloads <-> innocuous numeric tokens.
+
+Figure 1b of the paper shows a Tread "obfuscating its targeting, encoding
+the parameter as part of the ad ('2,830,120')". The mapping from targeting
+information to such encodings "is provided to users" when they opt in
+(section 3, section 3.1 "User opt-in"), so a browser extension can decode
+received Treads while the ad text stays innocuous for ToS review.
+
+A :class:`Codebook` deterministically assigns each payload a unique
+seven-digit token, rendered with thousands separators exactly like the
+figure. The provider builds one codebook per campaign; the user-side
+client holds a copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.treads import RevealPayload, payload_from_canonical
+from repro.errors import EncodingError
+
+_TOKEN_SPACE = 9_000_000  # seven-digit tokens: 1,000,000 .. 9,999,999
+_TOKEN_BASE = 1_000_000
+
+
+def _token_for(canonical: str, salt: str, attempt: int) -> int:
+    digest = hashlib.sha256(
+        f"{salt}:{attempt}:{canonical}".encode("utf-8")
+    ).digest()
+    return _TOKEN_BASE + int.from_bytes(digest[:8], "big") % _TOKEN_SPACE
+
+
+@dataclass
+class Codebook:
+    """A bidirectional payload/token mapping shared at opt-in.
+
+    ``salt`` namespaces campaigns: two providers (or two campaigns) derive
+    disjoint-looking token sets, so a user subscribed to both cannot
+    confuse their Treads.
+    """
+
+    salt: str = "treads"
+    _by_canonical: Dict[str, int] = field(default_factory=dict)
+    _by_token: Dict[int, str] = field(default_factory=dict)
+
+    def register(self, payload: RevealPayload) -> str:
+        """Assign (or return the existing) token for a payload.
+
+        Hash collisions inside one codebook are resolved by rehashing with
+        an attempt counter, so registration never fails.
+        """
+        canonical = payload.canonical()
+        if canonical in self._by_canonical:
+            return self.render(self._by_canonical[canonical])
+        attempt = 0
+        token = _token_for(canonical, self.salt, attempt)
+        while token in self._by_token:
+            attempt += 1
+            token = _token_for(canonical, self.salt, attempt)
+        self._by_canonical[canonical] = token
+        self._by_token[token] = canonical
+        return self.render(token)
+
+    def register_all(self, payloads: Iterable[RevealPayload]) -> List[str]:
+        return [self.register(payload) for payload in payloads]
+
+    @staticmethod
+    def render(token: int) -> str:
+        """Format a token with thousands separators ("2,830,120")."""
+        return f"{token:,}"
+
+    @staticmethod
+    def parse_token(text: str) -> int:
+        cleaned = text.replace(",", "").strip()
+        if not cleaned.isdigit():
+            raise EncodingError(f"{text!r} is not a codebook token")
+        return int(cleaned)
+
+    def token_for(self, payload: RevealPayload) -> Optional[str]:
+        """Rendered token for a payload, or None when unregistered."""
+        token = self._by_canonical.get(payload.canonical())
+        if token is None:
+            return None
+        return self.render(token)
+
+    def decode(self, token_text: str) -> RevealPayload:
+        """Token text (with or without separators) back to its payload."""
+        token = self.parse_token(token_text)
+        canonical = self._by_token.get(token)
+        if canonical is None:
+            raise EncodingError(f"token {token_text!r} not in codebook")
+        return payload_from_canonical(canonical)
+
+    def try_decode(self, token_text: str) -> Optional[RevealPayload]:
+        """Like :meth:`decode` but returns None for unknown/invalid text —
+        the extension scans all ad text and most of it is not a token."""
+        try:
+            return self.decode(token_text)
+        except EncodingError:
+            return None
+
+    def __len__(self) -> int:
+        return len(self._by_token)
+
+    def snapshot(self) -> Dict[str, str]:
+        """Serializable view ``rendered-token -> canonical payload`` — what
+        the provider actually publishes to opted-in users."""
+        return {
+            self.render(token): canonical
+            for token, canonical in sorted(self._by_token.items())
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, str],
+                      salt: str = "treads") -> "Codebook":
+        """Rebuild a codebook from its published snapshot (user side)."""
+        book = cls(salt=salt)
+        for rendered, canonical in snapshot.items():
+            token = cls.parse_token(rendered)
+            if token in book._by_token:
+                raise EncodingError(f"duplicate token {rendered!r}")
+            book._by_token[token] = canonical
+            book._by_canonical[canonical] = token
+        return book

@@ -1,0 +1,141 @@
+"""The Treads cost model (paper section 3.1, "Cost").
+
+The arithmetic the paper reports, reproduced both analytically (this
+module) and empirically (the billing ledger of a simulated campaign):
+
+* at the recommended **$2 CPM**, one impression — one attribute revealed —
+  costs **$0.002**;
+* at the validation's elevated **$10 CPM**, **$0.01** per attribute;
+* a user with 50 set attributes costs **$0.10** to fully reveal;
+* attributes a user does *not* have cost **zero** (their Treads are never
+  shown to that user);
+* an m-valued attribute still costs ~one impression per user (the user
+  receives only their own value's Tread).
+
+The funding models sketched in the paper — provider-funded via donations,
+or user-pays ("users opting-in could pay the transparency provider a
+nominal fee (the cost of their own impressions)") — are modelled by
+:class:`FundingPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+#: Paper constants.
+DEFAULT_CPM_USD = 2.0
+VALIDATION_CPM_USD = 10.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Analytic per-impression cost at a given CPM bid."""
+
+    cpm: float = DEFAULT_CPM_USD
+
+    @property
+    def per_impression(self) -> float:
+        """Dollars per single impression: CPM / 1000."""
+        return self.cpm / 1000.0
+
+    def per_attribute(self) -> float:
+        """Cost to reveal one set attribute to one user: one impression."""
+        return self.per_impression
+
+    def full_profile(self, set_attribute_count: int,
+                     include_control: bool = False) -> float:
+        """Cost to reveal a user's whole profile of set attributes.
+
+        Only *set* attributes cost anything; the sweep's other Treads are
+        never delivered to this user. ``include_control`` adds the control
+        ad's impression.
+        """
+        if set_attribute_count < 0:
+            raise ValueError("attribute count cannot be negative")
+        impressions = set_attribute_count + (1 if include_control else 0)
+        return impressions * self.per_impression
+
+    def nonbinary_attribute(self, treads_received: int = 1) -> float:
+        """Cost of revealing one m-valued attribute to one user.
+
+        Enumeration: exactly one Tread received (the user's value), so the
+        default matches the paper's "only have to pay for one impression
+        per user, costing around $0.002". Bit-splitting pays one
+        impression per set bit — pass the popcount.
+        """
+        return treads_received * self.per_impression
+
+    def unset_attribute(self) -> float:
+        """Zero, structurally: undelivered Treads are unbilled."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class CampaignCostSummary:
+    """Measured (ledger-derived) cost figures for one Tread campaign."""
+
+    total_spend: float
+    impressions: int
+    treads_launched: int
+    users_opted_in: int
+
+    @property
+    def cost_per_impression(self) -> float:
+        if self.impressions == 0:
+            return 0.0
+        return self.total_spend / self.impressions
+
+    @property
+    def effective_cpm(self) -> float:
+        return 1000.0 * self.cost_per_impression
+
+    @property
+    def cost_per_user(self) -> float:
+        if self.users_opted_in == 0:
+            return 0.0
+        return self.total_spend / self.users_opted_in
+
+
+@dataclass(frozen=True)
+class FundingPlan:
+    """How a provider covers campaign costs (section 3.1, "Cost").
+
+    ``user_fee`` is what each opted-in user is asked to pay; donations
+    cover the remainder. ``break_even_user_fee`` is the fee making the
+    operation self-sustaining ("users opting-in could pay ... the cost of
+    their own impressions").
+    """
+
+    summary: CampaignCostSummary
+    donation_pool: float = 0.0
+
+    @property
+    def break_even_user_fee(self) -> float:
+        return self.summary.cost_per_user
+
+    @property
+    def donation_shortfall(self) -> float:
+        """Unfunded spend if users pay nothing."""
+        return max(0.0, self.summary.total_spend - self.donation_pool)
+
+    def user_fee_with_donations(self) -> float:
+        """Per-user fee after donations are applied."""
+        if self.summary.users_opted_in == 0:
+            return 0.0
+        return self.donation_shortfall / self.summary.users_opted_in
+
+
+def per_user_cost_curve(
+    attribute_counts: Iterable[int],
+    cpm: float = DEFAULT_CPM_USD,
+) -> List[Dict[str, float]]:
+    """Rows of (attributes set, cost) — the E3 sweep table."""
+    model = CostModel(cpm=cpm)
+    rows = []
+    for count in attribute_counts:
+        rows.append({
+            "attributes_set": float(count),
+            "cost_usd": model.full_profile(count),
+        })
+    return rows

@@ -1,0 +1,130 @@
+"""Creative builders: render a reveal payload into a platform creative.
+
+Each combination of :class:`~repro.core.treads.Encoding` and
+:class:`~repro.core.treads.Placement` has a rendering rule (paper section
+3 and Figure 1):
+
+* EXPLICIT + IN_AD_TEXT — the Figure 1a ad: the reveal sentence is the ad
+  body. Asserts a personal attribute, so platform review rejects it — that
+  rejection is itself a result the E2/E7 benchmarks reproduce.
+* CODEBOOK + IN_AD_TEXT — the Figure 1b ad: an innocuous sentence carrying
+  the codebook token ("2,830,120").
+* STEGANOGRAPHIC + IN_AD_IMAGE — neutral text, payload in image LSBs.
+* EXPLICIT/CODEBOOK + LANDING_PAGE — neutral ad, reveal on a provider-owned
+  landing page the ad links to (review never fetches it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.codebook import Codebook
+from repro.core.stego import embed
+from repro.core.treads import Encoding, Placement, RevealPayload
+from repro.errors import EncodingError
+from repro.platform.ads import AdCreative, AdImage, LandingURL
+
+#: (encoding, placement) pairs that have a rendering rule.
+SUPPORTED_MODES = (
+    (Encoding.EXPLICIT, Placement.IN_AD_TEXT),
+    (Encoding.CODEBOOK, Placement.IN_AD_TEXT),
+    (Encoding.STEGANOGRAPHIC, Placement.IN_AD_IMAGE),
+    (Encoding.EXPLICIT, Placement.LANDING_PAGE),
+    (Encoding.CODEBOOK, Placement.LANDING_PAGE),
+)
+
+_NEUTRAL_HEADLINE = "A note from the Transparency Project"
+_NEUTRAL_BODY = "Thanks for subscribing. Tap through for this week's update."
+_TOKEN_BODY_TEMPLATE = "Transparency Project update. Reference: {token}."
+
+
+@dataclass(frozen=True)
+class RenderedCreative:
+    """A built creative plus the artefacts the provider must track.
+
+    ``token`` is set for codebook renderings (it is also the landing-page
+    path component); ``landing_path`` + ``landing_content`` describe the
+    page the provider must publish on its website before launching.
+    """
+
+    creative: AdCreative
+    token: Optional[str] = None
+    landing_path: Optional[str] = None
+    landing_content: Optional[str] = None
+
+
+def render(
+    payload: RevealPayload,
+    encoding: Encoding,
+    placement: Placement,
+    codebook: Codebook,
+    landing_domain: Optional[str] = None,
+    image_size: int = 64,
+) -> RenderedCreative:
+    """Render ``payload`` under one (encoding, placement) mode.
+
+    The codebook is consulted (and extended) for CODEBOOK renderings and
+    for landing-page paths, which are keyed by token so that one page
+    serves one payload. ``landing_domain`` is required for LANDING_PAGE
+    placement.
+    """
+    if (encoding, placement) not in SUPPORTED_MODES:
+        raise EncodingError(
+            f"no rendering rule for {encoding.value} + {placement.value}"
+        )
+
+    if placement is Placement.IN_AD_TEXT:
+        if encoding is Encoding.EXPLICIT:
+            return RenderedCreative(
+                creative=AdCreative(
+                    headline=_NEUTRAL_HEADLINE,
+                    body=payload.explicit_text(),
+                )
+            )
+        token = codebook.register(payload)
+        return RenderedCreative(
+            creative=AdCreative(
+                headline=_NEUTRAL_HEADLINE,
+                body=_TOKEN_BODY_TEMPLATE.format(token=token),
+            ),
+            token=token,
+        )
+
+    if placement is Placement.IN_AD_IMAGE:
+        carrier = embed(
+            AdImage.blank(width=image_size, height=image_size),
+            payload.canonical(),
+        )
+        return RenderedCreative(
+            creative=AdCreative(
+                headline=_NEUTRAL_HEADLINE,
+                body=_NEUTRAL_BODY,
+                image=carrier,
+            )
+        )
+
+    # LANDING_PAGE
+    if landing_domain is None:
+        raise EncodingError("landing-page placement needs a landing_domain")
+    token = codebook.register(payload)
+    path = landing_path_for_token(token)
+    if encoding is Encoding.EXPLICIT:
+        content = payload.explicit_text()
+    else:
+        content = _TOKEN_BODY_TEMPLATE.format(token=token)
+    return RenderedCreative(
+        creative=AdCreative(
+            headline=_NEUTRAL_HEADLINE,
+            body=_NEUTRAL_BODY,
+            landing_url=LandingURL(domain=landing_domain, path=path),
+        ),
+        token=token,
+        landing_path=path,
+        landing_content=content,
+    )
+
+
+def landing_path_for_token(token: str) -> str:
+    """Landing-page path for a codebook token: ``/t/2830120``."""
+    return "/t/" + token.replace(",", "")

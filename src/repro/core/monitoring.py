@@ -1,0 +1,71 @@
+"""Longitudinal monitoring: what changed since the last sweep?
+
+The paper frames Treads as an ongoing service ("help users understand
+what information has been collected about them"), and platform profiles
+churn — brokers ship monthly feeds, interests appear and disappear. A
+provider therefore re-runs sweeps periodically, and the user-side
+extension wants to answer "what did the platform learn about me since
+last month?". :func:`diff_profiles` computes exactly that from two
+:class:`~repro.core.client.RevealedProfile` snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from repro.core.client import RevealedProfile
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Changes between two reveal snapshots of the same user."""
+
+    #: Attributes newly revealed as set ("the platform learned this").
+    gained_attributes: Tuple[str, ...]
+    #: Attributes previously set, now absent from a *complete* later sweep
+    #: ("the platform dropped or lost this").
+    lost_attributes: Tuple[str, ...]
+    #: Multi-valued attributes whose revealed value changed:
+    #: attr_id -> (old value, new value).
+    changed_values: Dict[str, Tuple[str, str]]
+    #: PII kinds the platform newly holds.
+    gained_pii: Tuple[str, ...]
+    #: Whether the diff is trustworthy: both snapshots received their
+    #: control ad, so absences are informative rather than delivery gaps.
+    reliable: bool
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.gained_attributes or self.lost_attributes
+                    or self.changed_values or self.gained_pii)
+
+
+def diff_profiles(before: RevealedProfile,
+                  after: RevealedProfile) -> ProfileDiff:
+    """Compare two reveal snapshots taken after separate sweeps.
+
+    Raises :class:`ValueError` when the snapshots belong to different
+    users — diffing across users is always a caller bug.
+    """
+    if before.user_id != after.user_id:
+        raise ValueError(
+            f"cannot diff profiles of {before.user_id!r} and "
+            f"{after.user_id!r}"
+        )
+    changed: Dict[str, Tuple[str, str]] = {}
+    for attr_id, new_value in after.values.items():
+        old_value = before.values.get(attr_id)
+        if old_value is not None and old_value != new_value:
+            changed[attr_id] = (old_value, new_value)
+    return ProfileDiff(
+        gained_attributes=tuple(sorted(
+            after.set_attributes - before.set_attributes
+        )),
+        lost_attributes=tuple(sorted(
+            before.set_attributes - after.set_attributes
+        )),
+        changed_values=changed,
+        gained_pii=tuple(sorted(after.pii_present - before.pii_present)),
+        reliable=before.control_received and after.control_received,
+    )

@@ -1,0 +1,120 @@
+"""One opt-in, many platforms.
+
+Paper section 3.1: "by placing tracking pixels from multiple advertising
+platforms on the website, the transparency provider could at one shot
+allow the user to sign-up to learn the information collected about them by
+multiple advertising platforms."
+
+:class:`MultiPlatformProvider` runs one
+:class:`~repro.core.provider.TransparencyProvider` per platform, all
+sharing a single opt-in website: every provider installs its platform's
+pixel on the same ``/optin`` page, so one page visit opts the user into
+every platform at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.optin import OPTIN_PATH
+from repro.core.provider import DecodePack, LaunchReport, TransparencyProvider
+from repro.core.treads import Encoding, Placement
+from repro.errors import ProviderError
+from repro.platform.platform import AdPlatform
+from repro.platform.web import Browser, WebDirectory, Website
+
+
+class MultiPlatformProvider:
+    """A transparency provider spanning several ad platforms."""
+
+    def __init__(
+        self,
+        platforms: Sequence[AdPlatform],
+        web: WebDirectory,
+        name: str = "transparency-project",
+        budget_per_platform: float = 1000.0,
+        encoding: Encoding = Encoding.CODEBOOK,
+        placement: Placement = Placement.IN_AD_TEXT,
+        bid_cap_cpm: float = 10.0,
+    ):
+        if not platforms:
+            raise ProviderError("need at least one platform")
+        names = {platform.name for platform in platforms}
+        if len(names) != len(platforms):
+            raise ProviderError("platform names must be unique")
+        self.name = name
+        self.web = web
+        self.providers: Dict[str, TransparencyProvider] = {}
+        shared_domain = f"{name}.example.org"
+        for platform in platforms:
+            self.providers[platform.name] = TransparencyProvider(
+                platform=platform,
+                web=web,
+                name=name,
+                budget=budget_per_platform,
+                encoding=encoding,
+                placement=placement,
+                bid_cap_cpm=bid_cap_cpm,
+                website_domain=shared_domain,
+            )
+        self.website: Website = next(
+            iter(self.providers.values())
+        ).website
+
+    # ------------------------------------------------------------------
+
+    def optin_via_pixel(self, browser: Browser) -> None:
+        """One visit to the shared page opts into every platform.
+
+        Each platform only records its own pixel's fire; the others'
+        pixels on the same page are invisible to it.
+        """
+        visit = browser.visit(self.website, OPTIN_PATH)
+        for provider in self.providers.values():
+            provider.platform.observe_visit(visit)
+
+    def optin_via_page_like(self, platform_name: str, user_id: str) -> None:
+        """Page-like opt-in is inherently per-platform."""
+        self.provider(platform_name).optin.via_page_like(user_id)
+
+    def provider(self, platform_name: str) -> TransparencyProvider:
+        try:
+            return self.providers[platform_name]
+        except KeyError:
+            raise ProviderError(
+                f"no provider on platform {platform_name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+
+    def launch_partner_sweeps(
+        self,
+        audience_terms: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, LaunchReport]:
+        """Run the partner-category sweep on every platform.
+
+        ``audience_terms`` optionally overrides the audience term per
+        platform (e.g. pixel audience where the page route wasn't used).
+        """
+        reports: Dict[str, LaunchReport] = {}
+        for platform_name, provider in self.providers.items():
+            term = (audience_terms or {}).get(platform_name)
+            reports[platform_name] = provider.launch_partner_sweep(
+                audience_term=term
+            )
+        return reports
+
+    def run_delivery(self) -> None:
+        for provider in self.providers.values():
+            provider.run_delivery()
+
+    def decode_packs(self) -> Dict[str, DecodePack]:
+        """Per-platform decode packs for subscribers."""
+        return {
+            platform_name: provider.publish_decode_pack()
+            for platform_name, provider in self.providers.items()
+        }
+
+    def total_spend(self) -> float:
+        return sum(p.total_spend() for p in self.providers.values())

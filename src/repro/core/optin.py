@@ -1,0 +1,173 @@
+"""Opt-in flows: how users subscribe to a transparency provider.
+
+Paper section 3.1, "User opt-in", gives three routes, all modelled here:
+
+* **page like** — the validation's route: users like a platform page the
+  provider created ("had the two U.S.-based authors sign-up by liking a
+  Facebook page"). Not anonymous to the *platform* (nothing is), but the
+  provider learns nothing beyond its page's like count.
+* **anonymous pixel** — users visit the provider's opt-in website, where
+  the platform's tracking pixel fires; the provider can target the
+  resulting website-custom-audience while users stay anonymous to it.
+* **hashed PII** — users hand the provider *hashed* PII ("the user only
+  needs to provide PII to the transparency provider in hashed form"); the
+  provider builds PII audiences from the hashes.
+
+Per-attribute custom opt-in (section 3.1, "Supporting custom attributes")
+gives each custom attribute its own page with its own pixel, so the
+provider can target "visitors of this page who also have the attribute"
+without learning who opted in for what.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import OptInError, PIIError
+from repro.hashing import is_hashed
+from repro.platform.pii import PIIRecord
+from repro.platform.pixels import TrackingPixel
+from repro.platform.platform import AdPlatform
+from repro.platform.web import Browser, Website
+
+OPTIN_PATH = "/optin"
+CUSTOM_PATH_PREFIX = "/custom/"
+
+
+def _slugify(label: str) -> str:
+    cleaned = []
+    for ch in label.lower():
+        if ch.isalnum():
+            cleaned.append(ch)
+        elif cleaned and cleaned[-1] != "-":
+            cleaned.append("-")
+    return "".join(cleaned).strip("-") or "attribute"
+
+
+@dataclass
+class CustomOptIn:
+    """One custom attribute's dedicated opt-in page and pixel."""
+
+    label: str
+    path: str
+    pixel: TrackingPixel
+
+
+class OptInManager:
+    """The provider's subscription machinery on one platform."""
+
+    def __init__(
+        self,
+        platform: AdPlatform,
+        account_id: str,
+        website: Website,
+        page_id: str,
+    ):
+        self._platform = platform
+        self._account_id = account_id
+        self.website = website
+        self.page_id = page_id
+        self.optin_pixel = platform.issue_pixel(account_id, label="optin")
+        self._install_pixel(
+            OPTIN_PATH,
+            self.optin_pixel.pixel_id,
+            content=(
+                "Opt in to transparency reports. Loading this page lets "
+                "participating ad platforms note your visit; this site "
+                "itself does not identify you."
+            ),
+        )
+        self._pii_batches: Dict[str, List[PIIRecord]] = {}
+        self._custom: Dict[str, CustomOptIn] = {}
+        self._page_like_count = 0
+
+    def _install_pixel(self, path: str, pixel_id: str, content: str) -> None:
+        """Add a pixel to a page, creating the page if needed.
+
+        Appending (rather than replacing) is what makes the one-page
+        multi-platform opt-in of section 3.1 work: each platform's
+        provider installs its own pixel on the same shared page.
+        """
+        if path in self.website.pages:
+            page = self.website.get_page(path)
+            if pixel_id not in page.pixel_ids:
+                page.pixel_ids.append(pixel_id)
+            return
+        self.website.add_page(path, content=content, pixel_ids=[pixel_id])
+
+    # -- page-like route (the validation's) ---------------------------------
+
+    def via_page_like(self, user_id: str) -> None:
+        """The user likes the provider's platform page."""
+        self._platform.like_page(user_id, self.page_id)
+        self._page_like_count += 1
+
+    @property
+    def page_like_count(self) -> int:
+        """All the provider learns from this route: a counter."""
+        return self._page_like_count
+
+    # -- anonymous pixel route ------------------------------------------------
+
+    def via_pixel(self, browser: Browser) -> None:
+        """The user's browser loads the opt-in page; the platform's pixel
+        fires. The provider's own log sees at most a first-party cookie."""
+        visit = browser.visit(self.website, OPTIN_PATH)
+        self._platform.observe_visit(visit)
+
+    # -- hashed-PII route -----------------------------------------------------
+
+    def submit_hashed_pii(self, records: List[PIIRecord]) -> None:
+        """A user (or their extension) hands over hashed PII records.
+
+        Raw-looking values are rejected at :class:`PIIRecord` construction,
+        but we re-check here defensively: the provider must never be able
+        to accumulate raw PII.
+        """
+        if not records:
+            raise OptInError("empty PII submission")
+        for record in records:
+            if not is_hashed(record.digest):
+                raise PIIError("provider received non-hashed PII")
+            self._pii_batches.setdefault(record.kind, []).append(record)
+
+    def pii_batch(self, kind: str) -> List[PIIRecord]:
+        """All hashes collected for one PII kind (to build the audience)."""
+        return list(self._pii_batches.get(kind, []))
+
+    def pii_kinds(self) -> List[str]:
+        return sorted(self._pii_batches)
+
+    # -- per-attribute custom route --------------------------------------------
+
+    def custom_optin_page(self, label: str) -> CustomOptIn:
+        """Get-or-create the dedicated page + pixel for a custom attribute.
+
+        "a distinct (for each attribute) web-page on which they have placed
+        a distinct tracking pixel" (section 3.1).
+        """
+        slug = _slugify(label)
+        if slug in self._custom:
+            return self._custom[slug]
+        pixel = self._platform.issue_pixel(
+            self._account_id, label=f"custom:{slug}"
+        )
+        path = CUSTOM_PATH_PREFIX + slug
+        self._install_pixel(
+            path,
+            pixel.pixel_id,
+            content=f"Opt in to learn whether you match: {label}.",
+        )
+        optin = CustomOptIn(label=label, path=path, pixel=pixel)
+        self._custom[slug] = optin
+        return optin
+
+    def via_custom_pixel(self, browser: Browser, label: str) -> None:
+        """The user visits one custom attribute's opt-in page."""
+        optin = self.custom_optin_page(label)
+        visit = browser.visit(self.website, optin.path)
+        self._platform.observe_visit(visit)
+
+    def custom_optins(self) -> List[CustomOptIn]:
+        return list(self._custom.values())

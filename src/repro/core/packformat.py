@@ -1,0 +1,118 @@
+"""Decode-pack serialization and subscriber-side validation.
+
+The :class:`~repro.core.provider.DecodePack` is the artifact a provider
+actually *publishes* — so it needs a wire format
+(:func:`pack_to_json` / :func:`pack_from_json`) and, because subscribers
+should not blindly trust a provider, a validator
+(:func:`validate_pack`) that checks the pack's internal consistency and
+its plausibility against the platform's (semi-public) attribute catalog.
+
+A malformed or malicious pack cannot make the extension *reveal* wrong
+platform data (delivery is the ground truth), but it could mislabel what
+a token means — validation catches the detectable cases: duplicate
+tokens, undecodable canonicals, attribute ids absent from the catalog,
+and value tables inconsistent with the bit-split widths.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.core.bitsplit import bits_needed
+from repro.core.codebook import Codebook
+from repro.core.provider import DecodePack
+from repro.core.treads import RevealKind, payload_from_canonical
+from repro.errors import EncodingError
+from repro.platform.attributes import AttributeCatalog
+
+_FORMAT_VERSION = 1
+
+
+def pack_to_json(pack: DecodePack) -> str:
+    """Serialize a decode pack to a stable JSON document."""
+    return json.dumps({
+        "format": _FORMAT_VERSION,
+        "provider_name": pack.provider_name,
+        "codebook_salt": pack.codebook_salt,
+        "codebook": pack.codebook_snapshot,
+        "value_tables": {k: list(v) for k, v in pack.value_tables.items()},
+        "account_ids": pack.account_ids,
+        "landing_domains": list(pack.landing_domains),
+    }, sort_keys=True)
+
+
+def pack_from_json(text: str) -> DecodePack:
+    """Parse a published decode pack; rejects unknown format versions."""
+    data = json.loads(text)
+    if data.get("format") != _FORMAT_VERSION:
+        raise EncodingError(
+            f"unsupported decode-pack format {data.get('format')!r}"
+        )
+    return DecodePack(
+        provider_name=data["provider_name"],
+        codebook_snapshot=dict(data["codebook"]),
+        codebook_salt=data["codebook_salt"],
+        value_tables={k: tuple(v)
+                      for k, v in data["value_tables"].items()},
+        account_ids=dict(data["account_ids"]),
+        landing_domains=tuple(data["landing_domains"]),
+    )
+
+
+def validate_pack(pack: DecodePack,
+                  catalog: Optional[AttributeCatalog] = None) -> List[str]:
+    """Subscriber-side sanity check; returns human-readable issues.
+
+    An empty list means the pack is internally consistent (and, when a
+    catalog is supplied, plausible against it).
+    """
+    issues: List[str] = []
+    try:
+        Codebook.from_snapshot(pack.codebook_snapshot,
+                               salt=pack.codebook_salt)
+    except EncodingError as error:
+        issues.append(f"codebook snapshot invalid: {error}")
+
+    seen_attr_bits: dict = {}
+    for token, canonical in pack.codebook_snapshot.items():
+        try:
+            payload = payload_from_canonical(canonical)
+        except EncodingError:
+            issues.append(f"token {token}: undecodable canonical "
+                          f"{canonical!r}")
+            continue
+        if payload.kind in (RevealKind.ATTRIBUTE_SET,
+                            RevealKind.ATTRIBUTE_EXCLUDED,
+                            RevealKind.VALUE_IS):
+            attr_id = payload.attr_id or ""
+            if (catalog is not None and attr_id
+                    and not attr_id.startswith("demographic:")
+                    and attr_id not in catalog):
+                issues.append(
+                    f"token {token}: attribute {attr_id!r} not in the "
+                    "platform catalog"
+                )
+        if payload.kind is RevealKind.VALUE_BIT and payload.attr_id:
+            width = seen_attr_bits.get(payload.attr_id, 0)
+            seen_attr_bits[payload.attr_id] = max(
+                width, (payload.bit_index or 0) + 1
+            )
+
+    for attr_id, width in seen_attr_bits.items():
+        table = pack.value_tables.get(attr_id)
+        if table is None:
+            issues.append(
+                f"bit-split attribute {attr_id!r} has no value table"
+            )
+            continue
+        needed = bits_needed(len(table))
+        if width > needed:
+            issues.append(
+                f"bit-split attribute {attr_id!r}: {width} bit positions "
+                f"but the value table needs only {needed}"
+            )
+
+    if not pack.account_ids:
+        issues.append("pack names no provider accounts")
+    return issues

@@ -1,0 +1,240 @@
+"""Campaign planning: from attribute lists to concrete Tread plans.
+
+The provider "selects a set of such attributes (potentially the
+pre-selected set of attributes that the advertising platform offers
+advertisers), and pays to run one Tread corresponding to each attribute"
+(paper section 3.1). The planner turns attribute lists into
+:class:`~repro.core.treads.Tread` objects — payload + targeting — that the
+provider then renders and launches.
+
+Every plan conjoins an *audience term* (``audience:...`` or ``page:...``)
+restricting delivery to opted-in users, because targeting the whole
+country "might be prohibitively costly and might be undesirable to some
+users" (section 3.1, "User opt-in").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.bitsplit import plan_bit_treads
+from repro.core.treads import (
+    Encoding,
+    Placement,
+    RevealKind,
+    RevealPayload,
+    Tread,
+)
+from repro.errors import CatalogError
+from repro.platform.attributes import Attribute, AttributeKind
+
+
+def control_tread(
+    audience_term: str,
+    encoding: Encoding = Encoding.CODEBOOK,
+    placement: Placement = Placement.IN_AD_TEXT,
+) -> Tread:
+    """The control ad: opted-in audience, no extra targeting.
+
+    The validation ran one "to test whether the signed-up users were
+    reachable with ads" — without it, not receiving any Treads is
+    ambiguous between "no attributes" and "ads never delivered".
+    """
+    return Tread(
+        payload=RevealPayload(kind=RevealKind.CONTROL),
+        encoding=encoding,
+        placement=placement,
+        targeting_text=audience_term,
+    )
+
+
+def binary_attribute_tread(
+    attribute: Attribute,
+    audience_term: str,
+    encoding: Encoding = Encoding.CODEBOOK,
+    placement: Placement = Placement.IN_AD_TEXT,
+    exclude: bool = False,
+) -> Tread:
+    """One Tread for one binary attribute.
+
+    ``exclude=False``: targets opted-in users *with* the attribute —
+    recipients learn it is set. ``exclude=True``: targets opted-in users
+    *without* it — recipients learn it is "false, or missing from the
+    advertising platform's database" (section 3.1).
+    """
+    if attribute.kind is not AttributeKind.BINARY:
+        raise CatalogError(
+            f"binary sweep over non-binary attribute {attribute.attr_id!r}"
+        )
+    if exclude:
+        payload = RevealPayload(
+            kind=RevealKind.ATTRIBUTE_EXCLUDED,
+            attr_id=attribute.attr_id,
+            display=attribute.name,
+        )
+        targeting = f"!attr:{attribute.attr_id} & {audience_term}"
+    else:
+        payload = RevealPayload(
+            kind=RevealKind.ATTRIBUTE_SET,
+            attr_id=attribute.attr_id,
+            display=attribute.name,
+        )
+        targeting = f"attr:{attribute.attr_id} & {audience_term}"
+    return Tread(
+        payload=payload,
+        encoding=encoding,
+        placement=placement,
+        targeting_text=targeting,
+    )
+
+
+def binary_sweep(
+    attributes: Iterable[Attribute],
+    audience_term: str,
+    encoding: Encoding = Encoding.CODEBOOK,
+    placement: Placement = Placement.IN_AD_TEXT,
+    include_exclusions: bool = False,
+    include_control: bool = True,
+) -> List[Tread]:
+    """One Tread per binary attribute (m Treads for m attributes —
+    section 3.1 "Scale"), optionally with exclusion Treads and the
+    control ad. This is the paper's validation campaign shape."""
+    treads: List[Tread] = []
+    if include_control:
+        treads.append(control_tread(audience_term, encoding, placement))
+    for attribute in attributes:
+        treads.append(
+            binary_attribute_tread(
+                attribute, audience_term, encoding, placement, exclude=False
+            )
+        )
+        if include_exclusions:
+            treads.append(
+                binary_attribute_tread(
+                    attribute, audience_term, encoding, placement,
+                    exclude=True,
+                )
+            )
+    return treads
+
+
+def value_enumeration(
+    attribute: Attribute,
+    audience_term: str,
+    encoding: Encoding = Encoding.CODEBOOK,
+    placement: Placement = Placement.IN_AD_TEXT,
+) -> List[Tread]:
+    """m Treads for an m-valued attribute, one per value.
+
+    Each user receives at most one (their value's), so "the provider would
+    run one Tread targeting each possible value, but would only have to
+    pay for one impression per user" (section 3.1, "Cost").
+    """
+    if attribute.kind is not AttributeKind.MULTI:
+        raise CatalogError(
+            f"value enumeration needs a multi attribute, got "
+            f"{attribute.attr_id!r}"
+        )
+    treads: List[Tread] = []
+    for value in attribute.values:
+        payload = RevealPayload(
+            kind=RevealKind.VALUE_IS,
+            attr_id=attribute.attr_id,
+            value=value,
+            display=attribute.name,
+        )
+        treads.append(
+            Tread(
+                payload=payload,
+                encoding=encoding,
+                placement=placement,
+                targeting_text=(
+                    f"value:{attribute.attr_id}={value} & {audience_term}"
+                ),
+            )
+        )
+    return treads
+
+
+def value_bitsplit(
+    attribute: Attribute,
+    audience_term: str,
+    encoding: Encoding = Encoding.CODEBOOK,
+    placement: Placement = Placement.IN_AD_TEXT,
+) -> List[Tread]:
+    """ceil(log2 m) bit-Treads for an m-valued attribute (section 3.1,
+    "Scale"). See :mod:`repro.core.bitsplit` for the construction."""
+    treads: List[Tread] = []
+    for bit_plan in plan_bit_treads(attribute):
+        treads.append(
+            Tread(
+                payload=bit_plan.payload,
+                encoding=encoding,
+                placement=placement,
+                targeting_text=(
+                    f"{bit_plan.targeting_term()} & {audience_term}"
+                ),
+            )
+        )
+    return treads
+
+
+def pii_reveal_tread(
+    pii_kind: str,
+    audience_id: str,
+    batch_label: str,
+    encoding: Encoding = Encoding.CODEBOOK,
+    placement: Placement = Placement.IN_AD_TEXT,
+) -> Tread:
+    """One Tread at a PII-based audience built from opted-in users' hashes.
+
+    Receiving it tells a user the platform holds the PII item they handed
+    the provider (hashed) for ``pii_kind`` (section 3.1, "Supporting PII").
+    """
+    payload = RevealPayload(
+        kind=RevealKind.PII_PRESENT,
+        pii_kind=pii_kind,
+        pii_digest=batch_label,
+    )
+    return Tread(
+        payload=payload,
+        encoding=encoding,
+        placement=placement,
+        targeting_text=f"audience:{audience_id}",
+    )
+
+
+def custom_attribute_tread(
+    label: str,
+    pixel_audience_id: str,
+    attribute_term: str,
+    encoding: Encoding = Encoding.CODEBOOK,
+    placement: Placement = Placement.IN_AD_TEXT,
+) -> Tread:
+    """Per-attribute custom opt-in (section 3.1, "Supporting custom
+    attributes"): target the visitors of the attribute's dedicated opt-in
+    page *who also have* the attribute.
+
+    ``attribute_term`` is the targeting fragment for the custom attribute
+    (e.g. ``attr:pf-interest-042``); ``pixel_audience_id`` is the audience
+    of users who opted in for exactly this attribute.
+    """
+    payload = RevealPayload(
+        kind=RevealKind.CUSTOM_ATTRIBUTE,
+        custom_label=label,
+    )
+    return Tread(
+        payload=payload,
+        encoding=encoding,
+        placement=placement,
+        targeting_text=f"{attribute_term} & audience:{pixel_audience_id}",
+    )
+
+
+def plan_summary(treads: Sequence[Tread]) -> dict:
+    """Counts by reveal kind — used in reports and tests."""
+    counts: dict = {}
+    for tread in treads:
+        key = tread.payload.kind.value
+        counts[key] = counts.get(key, 0) + 1
+    return counts

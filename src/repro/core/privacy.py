@@ -1,0 +1,192 @@
+"""Privacy analysis: what the transparency provider can and cannot learn.
+
+Paper section 3.1, "Privacy analysis". The threat model grants the
+provider (a) the platform's performance statistics (reach estimates per
+Tread) and (b) its own websites' first-party logs (cookies on landing
+pages). The claims to verify:
+
+1. the provider "can estimate how many of the opted-in users have a
+   particular attribute" — aggregate counts ARE learnable;
+2. "the transparency provider cannot learn *which* particular users have
+   which attributes" — an individual-inference attack from reports alone
+   does no better than base rate;
+3. with IN_AD placements "there is no scope for leakage except via the
+   platform"; with LANDING_PAGE placement the provider's cookie can link
+   a visitor's Treads together — unless the user clears/disables cookies.
+
+This module implements the provider-side attacker for (2) and the
+first-party-log linkage analysis for (3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.platform.web import Website
+
+
+@dataclass(frozen=True)
+class AggregateKnowledge:
+    """What the provider's reports actually disclose."""
+
+    optin_count: int
+    #: attr_id -> reported reach of its Tread (possibly quantized).
+    attribute_counts: Dict[str, int]
+
+    def prevalence(self, attr_id: str) -> float:
+        """Provider-side estimate of Pr[user has attribute]."""
+        if self.optin_count == 0:
+            return 0.0
+        return self.attribute_counts.get(attr_id, 0) / self.optin_count
+
+
+@dataclass
+class InferenceAttackResult:
+    """Outcome of the provider's best individual-level attack."""
+
+    attribute_count: int
+    #: Mean per-attribute accuracy of the provider's guesses.
+    attack_accuracy: float
+    #: Accuracy of always guessing the majority class (the floor any
+    #: aggregate-only attacker can trivially achieve).
+    baseline_accuracy: float
+
+    @property
+    def advantage(self) -> float:
+        """Attack accuracy above the trivial baseline; ~0 when the
+        platform's aggregation does its job."""
+        return self.attack_accuracy - self.baseline_accuracy
+
+
+def aggregate_inference_attack(
+    knowledge: AggregateKnowledge,
+    optin_user_ids: Sequence[str],
+    ground_truth: Mapping[str, Set[str]],
+) -> InferenceAttackResult:
+    """The provider's optimal attack given only aggregate counts.
+
+    With no per-user signal, the Bayes-optimal guess for every user is the
+    majority class of each attribute (has it iff prevalence > 0.5). The
+    attack therefore collapses to the baseline — that equality is the
+    privacy property, and the test suite asserts it. ``ground_truth`` maps
+    attr_id -> set of opted-in user ids that truly have the attribute
+    (simulation-level omniscience, used only for scoring).
+    """
+    if not optin_user_ids:
+        raise ValueError("no opted-in users to attack")
+    total_correct = 0
+    total_guesses = 0
+    baseline_correct = 0
+    for attr_id, truthy_users in ground_truth.items():
+        prevalence = knowledge.prevalence(attr_id)
+        guess_has = prevalence > 0.5
+        positives = len(set(truthy_users) & set(optin_user_ids))
+        negatives = len(optin_user_ids) - positives
+        if guess_has:
+            total_correct += positives
+        else:
+            total_correct += negatives
+        baseline_correct += max(positives, negatives)
+        total_guesses += len(optin_user_ids)
+    return InferenceAttackResult(
+        attribute_count=len(ground_truth),
+        attack_accuracy=total_correct / total_guesses,
+        baseline_accuracy=baseline_correct / total_guesses,
+    )
+
+
+@dataclass(frozen=True)
+class AnonymitySets:
+    """Per-attribute anonymity: each recipient hides among the reported
+    reach of that attribute's Tread."""
+
+    #: attr_id -> anonymity-set size (the Tread's reach).
+    sizes: Dict[str, int]
+
+    def smallest(self) -> int:
+        if not self.sizes:
+            return 0
+        return min(self.sizes.values())
+
+    def singletons(self) -> List[str]:
+        """Attributes whose Tread reached exactly one user — the provider
+        knows *someone* unique has it, though still not who."""
+        return [attr for attr, size in self.sizes.items() if size == 1]
+
+
+def anonymity_sets(attribute_counts: Mapping[str, int]) -> AnonymitySets:
+    return AnonymitySets(sizes={
+        attr_id: count
+        for attr_id, count in attribute_counts.items()
+        if count > 0
+    })
+
+
+# ---------------------------------------------------------------------------
+# Landing-page cookie leakage (the one provider-side channel)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LinkageReport:
+    """What the provider's first-party log lets it reconstruct.
+
+    ``profiles`` maps each cookie id to the set of Tread landing paths it
+    visited — i.e. a pseudonymous profile of revealed attributes. The
+    paper's mitigation (clear/disable cookies) collapses every profile to
+    size <= 1 or removes cookies entirely.
+    """
+
+    total_landing_visits: int
+    cookieless_visits: int
+    profiles: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def largest_profile(self) -> int:
+        if not self.profiles:
+            return 0
+        return max(len(paths) for paths in self.profiles.values())
+
+    @property
+    def linkable_multi_visit_cookies(self) -> int:
+        """Cookies tying 2+ Tread visits together — real linkage events."""
+        return sum(1 for paths in self.profiles.values() if len(paths) >= 2)
+
+
+def landing_page_linkage(
+    website: Website,
+    landing_paths: Iterable[str],
+) -> LinkageReport:
+    """Analyse the provider's own web log for Tread-visit linkage."""
+    tracked = set(landing_paths)
+    profiles: Dict[str, Set[str]] = defaultdict(set)
+    total = 0
+    cookieless = 0
+    for entry in website.access_log:
+        if entry.path not in tracked:
+            continue
+        total += 1
+        if entry.cookie_id is None:
+            cookieless += 1
+            continue
+        profiles[entry.cookie_id].add(entry.path)
+    return LinkageReport(
+        total_landing_visits=total,
+        cookieless_visits=cookieless,
+        profiles=dict(profiles),
+    )
+
+
+def reach_quantization_error(
+    true_counts: Mapping[str, int],
+    reported_counts: Mapping[str, int],
+) -> float:
+    """Mean absolute error the platform's reach quantization introduces in
+    the provider's aggregate estimates (the E5 ablation metric)."""
+    keys = set(true_counts) | set(reported_counts)
+    if not keys:
+        return 0.0
+    return sum(
+        abs(true_counts.get(k, 0) - reported_counts.get(k, 0)) for k in keys
+    ) / len(keys)

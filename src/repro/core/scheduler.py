@@ -1,0 +1,173 @@
+"""Paced multi-day campaign execution.
+
+The paper costs Treads per impression, but a real provider runs them over
+days of ordinary user browsing ("Users see these Treads while browsing
+normally", section 3.1) under a daily budget. This module is the
+provider-side harness for that: it advances simulated days of browsing,
+enforces a daily spend cap by escrowing the account budget, and decides
+when the campaign has *saturated* using only provider-observable signals
+(platform reports' cumulative impressions flat for ``patience`` days —
+the provider cannot see platform-internal eligibility).
+
+It also surfaces an honest failure mode the paper glosses over: if the
+budget runs out mid-campaign, users who already received the control ad
+may wrongly read missing attribute Treads as "attribute not set". The
+runner reports ``exhausted_budget`` so a provider can warn subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.provider import TransparencyProvider
+from repro.workloads.browsing import BrowsingModel, simulate_day
+
+
+@dataclass(frozen=True)
+class DayRecord:
+    """One simulated day of a paced campaign (provider-observable)."""
+
+    day: int
+    spend: float
+    impressions: int
+    cumulative_spend: float
+    cumulative_impressions: int
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a paced run."""
+
+    days: List[DayRecord] = field(default_factory=list)
+    #: True when the stop reason was impressions flat for `patience` days.
+    saturated: bool = False
+    #: True when the account could no longer afford a single impression.
+    exhausted_budget: bool = False
+
+    @property
+    def total_days(self) -> int:
+        return len(self.days)
+
+    @property
+    def total_spend(self) -> float:
+        if not self.days:
+            return 0.0
+        return self.days[-1].cumulative_spend
+
+    @property
+    def total_impressions(self) -> int:
+        if not self.days:
+            return 0
+        return self.days[-1].cumulative_impressions
+
+
+class PacedCampaignRunner:
+    """Runs a launched Tread campaign day by day under a spend cap.
+
+    Parameters
+    ----------
+    provider:
+        A provider whose Treads are already launched.
+    daily_budget:
+        Maximum dollars chargeable per simulated day (None = unpaced).
+        Enforced by escrowing the rest of the account budget during the
+        day — the delivery engine's affordability check then does the
+        capping naturally.
+    browsing_model:
+        How many ad slots each user's daily browsing exposes.
+    patience:
+        Days of flat cumulative impressions before declaring saturation.
+    seed:
+        Browsing randomness seed (each day derives its own stream).
+    """
+
+    def __init__(
+        self,
+        provider: TransparencyProvider,
+        daily_budget: Optional[float] = None,
+        browsing_model: Optional[BrowsingModel] = None,
+        patience: int = 2,
+        seed: int = 101,
+    ):
+        if daily_budget is not None and daily_budget <= 0:
+            raise ValueError("daily budget must be positive")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self._provider = provider
+        self._platform = provider.platform
+        self.daily_budget = daily_budget
+        self.browsing_model = browsing_model or BrowsingModel()
+        self.patience = patience
+        self.seed = seed
+
+    def run(self, max_days: int = 30) -> ScheduleResult:
+        """Advance up to ``max_days`` days; stop early on saturation or
+        budget exhaustion."""
+        result = ScheduleResult()
+        account = self._provider.account
+        flat_days = 0
+        previous_cumulative = self._provider.total_impressions()
+        cumulative_spend_start = self._provider.total_spend()
+
+        for day in range(1, max_days + 1):
+            escrow = 0.0
+            if self.daily_budget is not None:
+                allowance = min(account.budget, self.daily_budget)
+                escrow = account.budget - allowance
+                account.budget = allowance
+
+            spend_before = self._provider.total_spend()
+            simulate_day(
+                self._platform,
+                list(self._platform.users),
+                self.browsing_model,
+                seed=self.seed + day,
+            )
+            account.budget += escrow
+
+            cumulative_impressions = self._provider.total_impressions()
+            cumulative_spend = self._provider.total_spend()
+            result.days.append(DayRecord(
+                day=day,
+                spend=cumulative_spend - spend_before,
+                impressions=cumulative_impressions - previous_cumulative,
+                cumulative_spend=cumulative_spend - cumulative_spend_start,
+                cumulative_impressions=cumulative_impressions,
+            ))
+
+            if cumulative_impressions == previous_cumulative:
+                flat_days += 1
+            else:
+                flat_days = 0
+            previous_cumulative = cumulative_impressions
+
+            cheapest_bid = self._cheapest_active_bid()
+            if cheapest_bid is not None and \
+                    not account.can_afford(cheapest_bid):
+                result.exhausted_budget = True
+                break
+            if flat_days >= self.patience:
+                result.saturated = True
+                break
+        return result
+
+    def _cheapest_active_bid(self) -> Optional[float]:
+        """Cheapest-possible next impression for this account's ads."""
+        bids = [
+            ad.bid_per_impression
+            for ad in self._platform.inventory.ads_owned_by(
+                self._provider.account.account_id
+            )
+            if ad.status.value == "active"
+        ]
+        if not bids:
+            return None
+        return min(bids)
+
+
+def coverage_curve(result: ScheduleResult) -> List[tuple]:
+    """(day, cumulative impressions) points — the time-to-coverage curve a
+    provider would plot from its own reports."""
+    return [(record.day, record.cumulative_impressions)
+            for record in result.days]

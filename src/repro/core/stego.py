@@ -1,0 +1,91 @@
+"""LSB steganography for Tread images.
+
+Paper section 3: the targeting information "could be encoded into the ad
+image or other multimedia content (in the ad or in the landing page) via
+steganographic techniques, which can be extracted by code".
+
+The scheme is classic least-significant-bit embedding over the grayscale
+:class:`~repro.platform.ads.AdImage`: a 32-bit big-endian length header
+followed by the UTF-8 payload, one bit per pixel. It is invisible to the
+platform's text-based ToS review (and visually: each pixel moves by at
+most 1/255), and trivially extracted by the user-side extension.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import EncodingError
+from repro.platform.ads import AdImage
+
+_HEADER_BITS = 32
+#: Magic prefix so extraction can tell a carrier from a clean image.
+_MAGIC = b"TR"
+
+
+def capacity_bytes(image: AdImage) -> int:
+    """Payload bytes an image can carry (after header and magic)."""
+    usable_bits = len(image.pixels) - _HEADER_BITS
+    if usable_bits <= 0:
+        return 0
+    return max(0, usable_bits // 8 - len(_MAGIC))
+
+
+def embed(image: AdImage, payload: str) -> AdImage:
+    """Return a copy of ``image`` carrying ``payload`` in pixel LSBs."""
+    data = _MAGIC + payload.encode("utf-8")
+    needed_bits = _HEADER_BITS + len(data) * 8
+    if needed_bits > len(image.pixels):
+        raise EncodingError(
+            f"payload needs {needed_bits} pixels, image has "
+            f"{len(image.pixels)}"
+        )
+    carrier = image.copy()
+    bits = _int_bits(len(data), _HEADER_BITS) + _bytes_bits(data)
+    for index, bit in enumerate(bits):
+        carrier.pixels[index] = (carrier.pixels[index] & 0xFE) | bit
+    return carrier
+
+
+def extract(image: AdImage) -> str:
+    """Extract an embedded payload; raises when none is present."""
+    payload = try_extract(image)
+    if payload is None:
+        raise EncodingError("image carries no Tread payload")
+    return payload
+
+
+def try_extract(image: AdImage) -> Optional[str]:
+    """Extract if a payload is present, else None (extension-side scan)."""
+    if len(image.pixels) < _HEADER_BITS:
+        return None
+    length = 0
+    for index in range(_HEADER_BITS):
+        length = (length << 1) | (image.pixels[index] & 1)
+    total_bits = _HEADER_BITS + length * 8
+    if length < len(_MAGIC) or total_bits > len(image.pixels):
+        return None
+    data = bytearray()
+    for byte_index in range(length):
+        value = 0
+        for bit_index in range(8):
+            pixel = image.pixels[_HEADER_BITS + byte_index * 8 + bit_index]
+            value = (value << 1) | (pixel & 1)
+        data.append(value)
+    if bytes(data[: len(_MAGIC)]) != _MAGIC:
+        return None
+    try:
+        return bytes(data[len(_MAGIC):]).decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+def _int_bits(value: int, width: int) -> list:
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def _bytes_bits(data: bytes) -> list:
+    bits = []
+    for byte in data:
+        bits.extend(_int_bits(byte, 8))
+    return bits

@@ -1,0 +1,225 @@
+"""The Tread object and its reveal payloads.
+
+Paper section 3: the targeting information a Tread reveals "could be
+included directly within the content of the ad ... or could be in one of
+the landing pages that the links within the ad point to. Further, this
+information could either be explicit (immediately readable by humans), or
+encoded (and thus obfuscated)".
+
+That gives two orthogonal axes, modelled by :class:`Placement` and
+:class:`Encoding`; and the *meaning* of a Tread — which bit of profile
+information it reveals — is a :class:`RevealPayload` of some
+:class:`RevealKind`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import EncodingError
+
+
+class Placement(enum.Enum):
+    """Where the reveal payload travels."""
+
+    #: In the ad's visible text (Figure 1 of the paper).
+    IN_AD_TEXT = "in_ad_text"
+    #: Steganographically inside the ad image.
+    IN_AD_IMAGE = "in_ad_image"
+    #: On the external landing page the ad links to.
+    LANDING_PAGE = "landing_page"
+
+
+class Encoding(enum.Enum):
+    """How the payload is written down."""
+
+    #: Immediately human-readable ("You are interested in Salsa dancing
+    #: according to this ad platform") — violates platform ToS in-ad.
+    EXPLICIT = "explicit"
+    #: An innocuous token from a codebook shared at opt-in (Figure 1b's
+    #: "2,830,120"); needs the extension/codebook to decode.
+    CODEBOOK = "codebook"
+    #: Bits hidden in image pixels; needs the extension to extract.
+    STEGANOGRAPHIC = "steganographic"
+
+
+class RevealKind(enum.Enum):
+    """What kind of fact one Tread reveals to its recipients."""
+
+    #: Recipient *has* a binary attribute set.
+    ATTRIBUTE_SET = "attribute_set"
+    #: Recipient was *excluded* by the attribute: it is false or missing
+    #: from the platform's database (paper section 3.1).
+    ATTRIBUTE_EXCLUDED = "attribute_excluded"
+    #: Recipient's multi-valued attribute equals a specific value.
+    VALUE_IS = "value_is"
+    #: One bit of the recipient's value index for a multi-valued attribute
+    #: (the log2(m) scheme of section 3.1 "Scale").
+    VALUE_BIT = "value_bit"
+    #: The platform holds a specific (hashed) PII item for the recipient.
+    PII_PRESENT = "pii_present"
+    #: The recipient matched a custom (keyword/pixel-defined) attribute.
+    CUSTOM_ATTRIBUTE = "custom_attribute"
+    #: Control ad: recipient is reachable at all (no extra targeting).
+    CONTROL = "control"
+    #: Advertiser-declared intent (section 4, advertiser-driven
+    #: transparency).
+    INTENT = "intent"
+
+
+@dataclass(frozen=True)
+class RevealPayload:
+    """The canonical content of one Tread, independent of encoding.
+
+    The ``detail`` fields are kind-dependent:
+
+    =====================  =================================================
+    kind                   fields used
+    =====================  =================================================
+    ATTRIBUTE_SET          ``attr_id``, ``display``
+    ATTRIBUTE_EXCLUDED     ``attr_id``, ``display``
+    VALUE_IS               ``attr_id``, ``value``, ``display``
+    VALUE_BIT              ``attr_id``, ``bit_index``, ``bit_value``
+    PII_PRESENT            ``pii_kind``, ``pii_digest``
+    CUSTOM_ATTRIBUTE       ``custom_label``
+    CONTROL                (none)
+    INTENT                 ``display`` (the advertiser's intent statement)
+    =====================  =================================================
+
+    ``display`` is the human-readable attribute name used for explicit
+    renderings.
+    """
+
+    kind: RevealKind
+    attr_id: Optional[str] = None
+    value: Optional[str] = None
+    bit_index: Optional[int] = None
+    bit_value: Optional[int] = None
+    pii_kind: Optional[str] = None
+    pii_digest: Optional[str] = None
+    custom_label: Optional[str] = None
+    display: str = ""
+
+    def canonical(self) -> str:
+        """A stable string key for codebooks and stego embedding.
+
+        The inverse is :func:`payload_from_canonical`; the pair round-trips
+        for every payload kind (property-tested).
+        """
+        parts = [self.kind.value]
+        if self.kind in (RevealKind.ATTRIBUTE_SET,
+                         RevealKind.ATTRIBUTE_EXCLUDED):
+            parts.append(self.attr_id or "")
+        elif self.kind is RevealKind.VALUE_IS:
+            parts.extend((self.attr_id or "", self.value or ""))
+        elif self.kind is RevealKind.VALUE_BIT:
+            parts.extend((self.attr_id or "", str(self.bit_index),
+                          str(self.bit_value)))
+        elif self.kind is RevealKind.PII_PRESENT:
+            parts.extend((self.pii_kind or "", self.pii_digest or ""))
+        elif self.kind is RevealKind.CUSTOM_ATTRIBUTE:
+            parts.append(self.custom_label or "")
+        elif self.kind is RevealKind.INTENT:
+            parts.append(self.display)
+        return "|".join(parts)
+
+    def explicit_text(self) -> str:
+        """The human-readable reveal sentence (Figure 1a style)."""
+        if self.kind is RevealKind.ATTRIBUTE_SET:
+            return (
+                f"According to this ad platform, you are: {self.display}."
+            )
+        if self.kind is RevealKind.ATTRIBUTE_EXCLUDED:
+            return (
+                f"According to this ad platform, the attribute "
+                f"{self.display!r} is false for you or missing from its "
+                f"database."
+            )
+        if self.kind is RevealKind.VALUE_IS:
+            return (
+                f"According to this ad platform, your {self.display} "
+                f"is: {self.value}."
+            )
+        if self.kind is RevealKind.VALUE_BIT:
+            return (
+                f"Bit {self.bit_index} of your {self.attr_id} value index "
+                f"is {self.bit_value} according to this ad platform."
+            )
+        if self.kind is RevealKind.PII_PRESENT:
+            return (
+                f"This ad platform has your {self.pii_kind} "
+                f"(hash {self.pii_digest[:12] if self.pii_digest else ''}...)."
+            )
+        if self.kind is RevealKind.CUSTOM_ATTRIBUTE:
+            return (
+                f"You match the custom attribute {self.custom_label!r} "
+                f"according to this ad platform."
+            )
+        if self.kind is RevealKind.INTENT:
+            return f"The advertiser's intent in targeting you: {self.display}"
+        return "You are reachable by ads from your transparency provider."
+
+
+def payload_from_canonical(canonical: str) -> RevealPayload:
+    """Invert :meth:`RevealPayload.canonical`."""
+    parts = canonical.split("|")
+    try:
+        kind = RevealKind(parts[0])
+    except ValueError:
+        raise EncodingError(f"unknown payload kind in {canonical!r}") from None
+    rest = parts[1:]
+    if kind in (RevealKind.ATTRIBUTE_SET, RevealKind.ATTRIBUTE_EXCLUDED):
+        _require(rest, 1, canonical)
+        return RevealPayload(kind=kind, attr_id=rest[0])
+    if kind is RevealKind.VALUE_IS:
+        _require(rest, 2, canonical)
+        return RevealPayload(kind=kind, attr_id=rest[0], value=rest[1])
+    if kind is RevealKind.VALUE_BIT:
+        _require(rest, 3, canonical)
+        return RevealPayload(
+            kind=kind, attr_id=rest[0],
+            bit_index=int(rest[1]), bit_value=int(rest[2]),
+        )
+    if kind is RevealKind.PII_PRESENT:
+        _require(rest, 2, canonical)
+        return RevealPayload(kind=kind, pii_kind=rest[0], pii_digest=rest[1])
+    if kind is RevealKind.CUSTOM_ATTRIBUTE:
+        _require(rest, 1, canonical)
+        return RevealPayload(kind=kind, custom_label=rest[0])
+    if kind is RevealKind.INTENT:
+        _require(rest, 1, canonical)
+        return RevealPayload(kind=kind, display=rest[0])
+    return RevealPayload(kind=RevealKind.CONTROL)
+
+
+def _require(rest, count: int, canonical: str) -> None:
+    if len(rest) != count:
+        raise EncodingError(
+            f"payload {canonical!r} needs {count} fields, got {len(rest)}"
+        )
+
+
+@dataclass
+class Tread:
+    """One planned (and possibly launched) transparency-enhancing ad.
+
+    ``targeting_text`` is the compact targeting-spec string submitted to
+    the platform; ``ad_id`` is filled in once the provider launches the
+    Tread; ``landing_path`` is set for LANDING_PAGE placement.
+    """
+
+    payload: RevealPayload
+    encoding: Encoding
+    placement: Placement
+    targeting_text: str
+    token: Optional[str] = None
+    landing_path: Optional[str] = None
+    ad_id: Optional[str] = None
+    rejected: bool = False
+    review_note: str = ""
+
+    @property
+    def launched(self) -> bool:
+        return self.ad_id is not None and not self.rejected

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the Treads reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures with a single ``except`` clause while
+still distinguishing platform-side rejections (e.g. a creative failing ad
+review) from caller bugs (e.g. targeting an attribute that does not exist).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CatalogError(ReproError):
+    """An attribute or attribute value was not found in a catalog."""
+
+
+class TargetingError(ReproError):
+    """A targeting specification is malformed or references unknown data."""
+
+
+class TargetingSyntaxError(TargetingError):
+    """The compact targeting-spec string could not be parsed."""
+
+
+class AudienceError(ReproError):
+    """An audience operation failed (unknown audience, wrong owner, ...)."""
+
+
+class AudienceTooSmallError(AudienceError):
+    """The platform refused an audience below its minimum-size gate.
+
+    Real platforms refuse to run ads against very small custom audiences to
+    make single-user targeting harder; the simulator enforces the same gate.
+    """
+
+
+class AccountError(ReproError):
+    """An ad-account operation failed (unknown account, not authorised)."""
+
+
+class BudgetError(ReproError):
+    """An ad account has insufficient budget for the requested spend."""
+
+
+class PolicyViolationError(ReproError):
+    """A creative was rejected by the platform's ToS review.
+
+    The paper (section 4) quotes the relevant policy text: ads "must not
+    contain content that asserts or implies personal attributes".
+    """
+
+    def __init__(self, message: str, rule_id: str = "personal-attributes"):
+        super().__init__(message)
+        self.rule_id = rule_id
+
+
+class CampaignError(ReproError):
+    """A campaign operation failed (paused campaign, unknown ad, ...)."""
+
+
+class PIIError(ReproError):
+    """A PII record is malformed or was submitted unhashed where hashes
+    are required."""
+
+
+class EncodingError(ReproError):
+    """A Tread payload could not be encoded or decoded."""
+
+
+class OptInError(ReproError):
+    """An opt-in flow failed (duplicate opt-in, unknown user, ...)."""
+
+
+class ProviderError(ReproError):
+    """A transparency-provider operation failed."""

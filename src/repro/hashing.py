@@ -1,0 +1,121 @@
+"""PII normalization and hashing.
+
+All major advertising platforms accept custom-audience uploads as *hashed*
+PII (SHA-256 over a normalized form) so that the advertiser's raw customer
+list never reaches the platform in the clear, and — in the Treads setting —
+so that an opting-in user never reveals raw PII to the transparency
+provider (paper section 3.1, "Supporting PII").
+
+The normalization rules below follow the publicly documented requirements
+of Facebook's Customer File custom audiences and Google Customer Match:
+
+* emails: trim, lowercase;
+* phone numbers: digits only, with a default country code prefixed when the
+  national significant number is given without one;
+* names: trim, lowercase, strip punctuation and inner whitespace;
+* ZIP codes: first five digits (US) / trimmed lowercase otherwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Iterable, List
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_NON_DIGIT_RE = re.compile(r"\D")
+_NAME_STRIP_RE = re.compile(r"[^a-z]")
+
+#: Hex-digest length of SHA-256 — used to recognise already-hashed input.
+SHA256_HEX_LEN = 64
+_HEX_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def normalize_email(email: str) -> str:
+    """Normalize an email address: trim surrounding whitespace, lowercase."""
+    return email.strip().lower()
+
+
+def normalize_phone(phone: str, default_country_code: str = "1") -> str:
+    """Normalize a phone number to digits with a country code.
+
+    ``"(617) 555-0199"`` becomes ``"16175550199"`` with the default US
+    country code. A leading ``+`` marks an already-internationalized number
+    and suppresses prefixing.
+    """
+    has_plus = phone.strip().startswith("+")
+    digits = _NON_DIGIT_RE.sub("", phone)
+    if not digits:
+        return ""
+    if has_plus:
+        return digits
+    if default_country_code and not digits.startswith(default_country_code):
+        return default_country_code + digits
+    return digits
+
+
+def normalize_name(name: str) -> str:
+    """Normalize a personal name: lowercase, letters only."""
+    return _NAME_STRIP_RE.sub("", name.strip().lower())
+
+
+def normalize_zip(zip_code: str) -> str:
+    """Normalize a postal code: US ZIP+4 is truncated to five digits."""
+    cleaned = zip_code.strip().lower()
+    if re.match(r"^\d{5}(-\d{4})?$", cleaned):
+        return cleaned[:5]
+    return _WHITESPACE_RE.sub("", cleaned)
+
+
+def normalize_maid(maid: str) -> str:
+    """Normalize a mobile advertising ID (IDFA/AAID): lowercase hex+dash.
+
+    Platforms accept device-id lists for activity-based targeting (paper
+    section 2.1: "advertising IDs from mobile devices"); normalization
+    mirrors the documented requirements (lowercase, keep dashes).
+    """
+    return "".join(
+        ch for ch in maid.strip().lower() if ch in "0123456789abcdef-"
+    )
+
+
+_NORMALIZERS = {
+    "email": normalize_email,
+    "phone": normalize_phone,
+    "first_name": normalize_name,
+    "last_name": normalize_name,
+    "zip": normalize_zip,
+    "maid": normalize_maid,
+}
+
+#: PII kinds accepted by the platforms' custom-audience upload endpoints.
+PII_KINDS = tuple(sorted(_NORMALIZERS))
+
+
+def normalize_pii(kind: str, value: str) -> str:
+    """Normalize one PII value according to its ``kind``.
+
+    Raises :class:`KeyError` for unknown kinds so that typos fail loudly.
+    """
+    return _NORMALIZERS[kind](value)
+
+
+def hash_pii(kind: str, value: str) -> str:
+    """Normalize then SHA-256 one PII value; returns the hex digest.
+
+    The digest is namespaced by kind (``sha256(kind + ":" + normalized)``)
+    so that a phone number and a ZIP code with the same digits cannot
+    collide across kinds.
+    """
+    normalized = normalize_pii(kind, value)
+    return hashlib.sha256(f"{kind}:{normalized}".encode("utf-8")).hexdigest()
+
+
+def is_hashed(value: str) -> bool:
+    """Return True when ``value`` looks like a SHA-256 hex digest."""
+    return bool(_HEX_RE.match(value))
+
+
+def hash_pii_batch(kind: str, values: Iterable[str]) -> List[str]:
+    """Hash a batch of same-kind PII values, preserving order."""
+    return [hash_pii(kind, value) for value in values]

@@ -1,0 +1,51 @@
+"""Simulated online advertising platform (the substrate).
+
+The Treads mechanism (paper section 3) relies only on the behavioural
+*contract* of targeted-advertising platforms:
+
+1. an ad is delivered to a user iff the user satisfies the ad's targeting
+   specification and the ad wins the impression auction;
+2. the platform never reveals to the advertiser *which* individual users
+   matched or saw an ad — only thresholded aggregates;
+3. advertisers pay per impression (CPM) under a bid cap;
+4. audiences can be built from attributes, uploaded (hashed) PII, and
+   tracking-pixel activity;
+5. ad creatives pass a ToS review that forbids asserting personal
+   attributes.
+
+This subpackage implements that contract from scratch: user profiles and an
+attribute catalog (:mod:`~repro.platform.attributes`,
+:mod:`~repro.platform.catalog`), data brokers
+(:mod:`~repro.platform.databroker`), targeting
+(:mod:`~repro.platform.targeting`), audiences
+(:mod:`~repro.platform.audiences`), auctions and delivery
+(:mod:`~repro.platform.auction`, :mod:`~repro.platform.delivery`), billing
+and privacy-thresholded reporting (:mod:`~repro.platform.billing`,
+:mod:`~repro.platform.reporting`), policy review
+(:mod:`~repro.platform.policy`), and the platform's own (incomplete)
+transparency surfaces (:mod:`~repro.platform.adpreferences`,
+:mod:`~repro.platform.explanations`).
+
+The :class:`~repro.platform.platform.AdPlatform` facade wires everything
+together; instantiate several with different configs to model
+Facebook/Google/Twitter-alikes.
+"""
+
+from repro.platform.attributes import (
+    Attribute,
+    AttributeCatalog,
+    AttributeKind,
+    AttributeSource,
+)
+from repro.platform.catalog import build_us_catalog
+from repro.platform.platform import AdPlatform, PlatformConfig
+
+__all__ = [
+    "AdPlatform",
+    "Attribute",
+    "AttributeCatalog",
+    "AttributeKind",
+    "AttributeSource",
+    "PlatformConfig",
+    "build_us_catalog",
+]

@@ -1,0 +1,110 @@
+"""The public ad archive (paper section 2.2).
+
+"primarily driven by pressure from lawmakers and regulators ... ad
+platforms have also begun to make advertiser activity more transparent on
+their platforms" — Facebook's ad archive and Twitter's Ads Transparency
+Center. The archive is *public*: anyone (not just the targeted users) can
+browse every ad an advertiser has run, with its creative text and a coarse
+reach band — but never the targeting spec or any viewer identity.
+
+Two Treads-relevant consequences, both exercised in tests:
+
+* a transparency provider's whole sweep is publicly visible, which is how
+  an outside observer (or the platform itself) can spot the one-ad-per-
+  attribute signature — the archive feeds the
+  :class:`~repro.platform.policy.TreadPatternDetector` story of
+  section 4's cat-and-mouse;
+* conversely, the archive is itself a (weak) transparency mechanism the
+  status-quo baseline can count: it reveals *that* campaigns ran, never
+  *what the platform knows about you* — the gap Treads fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.platform.ads import AdInventory, AdStatus
+from repro.platform.audiences import ReachEstimate, round_reach
+from repro.platform.delivery import DeliveryEngine
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """One publicly visible archived ad."""
+
+    ad_id: str
+    advertiser_name: str
+    account_id: str
+    headline: str
+    body: str
+    status: str
+    #: Coarse public reach band ("below 1000", "~1500", ...).
+    reach_band: str
+    has_image: bool
+    landing_domain: Optional[str]
+
+
+class AdArchiveService:
+    """Builds the public archive view from platform-internal state."""
+
+    def __init__(self, inventory: AdInventory, delivery: DeliveryEngine,
+                 reach_floor: int = 1000, reach_quantum: int = 50):
+        self._inventory = inventory
+        self._delivery = delivery
+        self.reach_floor = reach_floor
+        self.reach_quantum = reach_quantum
+
+    def _entry(self, ad) -> ArchiveEntry:
+        account = self._inventory.account(ad.account_id)
+        true_reach = len(self._delivery.unique_reach(ad.ad_id))
+        band: ReachEstimate = round_reach(
+            true_reach, floor=self.reach_floor, quantum=self.reach_quantum
+        )
+        landing_domain = (
+            ad.creative.landing_url.domain
+            if ad.creative.landing_url is not None else None
+        )
+        return ArchiveEntry(
+            ad_id=ad.ad_id,
+            advertiser_name=account.owner_name,
+            account_id=ad.account_id,
+            headline=ad.creative.headline,
+            body=ad.creative.body,
+            status=ad.status.value,
+            reach_band=str(band),
+            has_image=ad.creative.image is not None,
+            landing_domain=landing_domain,
+        )
+
+    def entries(self) -> List[ArchiveEntry]:
+        """Every non-rejected ad ever submitted (rejected ads never ran,
+        so they are not advertiser *activity*)."""
+        return [
+            self._entry(ad) for ad in self._inventory.ads()
+            if ad.status is not AdStatus.REJECTED
+        ]
+
+    def by_advertiser(self, account_id: str) -> List[ArchiveEntry]:
+        return [e for e in self.entries() if e.account_id == account_id]
+
+    def search(self, text: str) -> List[ArchiveEntry]:
+        """Public full-text search over archived creative text."""
+        needle = text.strip().lower()
+        if not needle:
+            return []
+        return [
+            entry for entry in self.entries()
+            if needle in f"{entry.headline}\n{entry.body}".lower()
+        ]
+
+    def campaign_footprints(self) -> List[Tuple[str, int]]:
+        """(advertiser account, archived-ad count), largest first.
+
+        The outside-observer statistic that makes monolithic Tread sweeps
+        conspicuous: 500+ near-identical ads from one account.
+        """
+        counts: dict = {}
+        for entry in self.entries():
+            counts[entry.account_id] = counts.get(entry.account_id, 0) + 1
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))

@@ -1,0 +1,90 @@
+"""The platform's "ad preferences" page — the incomplete status quo.
+
+Platforms "reveal to a user a list of their attributes that an advertiser
+can use" via an ad-preferences page (paper section 2.2), but prior work
+([1], recounted in section 1) showed Facebook's page "does not reveal any
+user information that is sourced from third parties (e.g., data brokers),
+despite this information being available to advertisers for targeting".
+
+This module reproduces that incompleteness precisely, because it is the
+baseline Treads is measured against (benchmark E12):
+
+* platform-computed attributes: **shown**;
+* partner (data-broker) attributes: **hidden**;
+* advertisers targeting the user via customer lists or pixels: listed *by
+  name only* — never which PII or which activity was used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.platform.ads import AdInventory
+from repro.platform.attributes import AttributeCatalog, AttributeSource
+from repro.platform.audiences import AudienceRegistry
+from repro.platform.users import UserProfile
+
+
+@dataclass(frozen=True)
+class AdPreferencesView:
+    """What one user sees on the ad-preferences page."""
+
+    user_id: str
+    #: (attr_id, display name) of platform-computed attributes only.
+    shown_attributes: Tuple[Tuple[str, str], ...]
+    #: Advertiser account ids that have included this user in a custom
+    #: (PII or pixel) audience — names only, no mechanism details.
+    advertisers_with_custom_audiences: Tuple[str, ...]
+
+    @property
+    def shown_attribute_ids(self) -> Tuple[str, ...]:
+        return tuple(attr_id for attr_id, _ in self.shown_attributes)
+
+
+class AdPreferencesService:
+    """Builds the (incomplete) user-facing transparency page."""
+
+    def __init__(
+        self,
+        catalog: AttributeCatalog,
+        audiences: AudienceRegistry,
+        inventory: AdInventory,
+    ):
+        self._catalog = catalog
+        self._audiences = audiences
+        self._inventory = inventory
+
+    def view_for(self, user: UserProfile) -> AdPreferencesView:
+        shown: List[Tuple[str, str]] = []
+        for attr_id in sorted(user.binary_attrs | set(user.multi_attrs)):
+            if attr_id not in self._catalog:
+                continue  # e.g. partner categories after shutdown
+            attribute = self._catalog.get(attr_id)
+            if attribute.source is AttributeSource.PARTNER:
+                continue  # the documented gap: broker data is never shown
+            shown.append((attr_id, attribute.name))
+
+        advertisers: List[str] = []
+        for account in self._inventory.accounts():
+            for audience in self._audiences.audiences_owned_by(
+                    account.account_id):
+                if user.user_id in self._audiences.members(
+                        audience.audience_id):
+                    advertisers.append(account.account_id)
+                    break
+        return AdPreferencesView(
+            user_id=user.user_id,
+            shown_attributes=tuple(shown),
+            advertisers_with_custom_audiences=tuple(sorted(set(advertisers))),
+        )
+
+    def hidden_partner_attributes(self, user: UserProfile) -> List[str]:
+        """Ground truth of what the page hides — used by the completeness
+        metrics, never by any user/advertiser-facing surface."""
+        hidden = []
+        for attr_id in sorted(user.binary_attrs | set(user.multi_attrs)):
+            if attr_id in self._catalog and \
+                    self._catalog.get(attr_id).source is AttributeSource.PARTNER:
+                hidden.append(attr_id)
+        return hidden

@@ -1,0 +1,270 @@
+"""Ad accounts, pages, campaigns, ads, and creatives.
+
+"Anyone with a Facebook account can be an advertiser on Facebook" (paper
+section 3.1) — an :class:`AdAccount` is cheap to create, which is also what
+makes the crowdsourced-provider evasion of section 4 feasible.
+
+An :class:`Ad` bundles a creative (text, optional image, optional landing
+URL), a targeting spec, and a CPM bid cap. Ads start in review
+(:class:`AdStatus.PENDING_REVIEW`) and must pass the ToS check
+(:mod:`repro.platform.policy`) before they can win impressions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AccountError, BudgetError, CampaignError
+from repro.platform.targeting import TargetingSpec
+
+
+@dataclass
+class AdImage:
+    """A tiny raster image: one grayscale byte per pixel, row-major.
+
+    Enough structure for the steganographic Treads of section 3 ("this
+    information could be encoded into the ad image ... via steganographic
+    techniques") without pulling in an imaging library.
+    """
+
+    width: int
+    height: int
+    pixels: bytearray
+
+    @classmethod
+    def blank(cls, width: int = 64, height: int = 64,
+              shade: int = 128) -> "AdImage":
+        if not 0 <= shade <= 255:
+            raise ValueError("shade must be a byte")
+        return cls(width=width, height=height,
+                   pixels=bytearray([shade]) * (width * height))
+
+    def __len__(self) -> int:
+        return len(self.pixels)
+
+    def copy(self) -> "AdImage":
+        return AdImage(self.width, self.height, bytearray(self.pixels))
+
+
+@dataclass(frozen=True)
+class LandingURL:
+    """Destination of an ad click: a domain plus a path."""
+
+    domain: str
+    path: str = "/"
+
+    def __str__(self) -> str:
+        return f"https://{self.domain}{self.path}"
+
+
+@dataclass
+class AdCreative:
+    """The user-visible content of an ad.
+
+    For Treads, the targeting payload lives in ``body`` (explicit or
+    codebook-encoded), in ``image`` (steganographic), or on the page
+    behind ``landing_url``.
+    """
+
+    headline: str
+    body: str
+    image: Optional[AdImage] = None
+    landing_url: Optional[LandingURL] = None
+
+    def visible_text(self) -> str:
+        """All human-readable text the ToS reviewer scans."""
+        return f"{self.headline}\n{self.body}"
+
+
+class AdStatus(enum.Enum):
+    PENDING_REVIEW = "pending_review"
+    ACTIVE = "active"
+    REJECTED = "rejected"
+    PAUSED = "paused"
+
+
+@dataclass
+class Ad:
+    """One ad: creative + targeting + bid, with review state.
+
+    ``special_category`` marks housing/employment/credit ads, which are
+    subject to the anti-discrimination targeting review (see
+    :meth:`repro.platform.policy.PolicyEngine.review_targeting` and the
+    paper's section 5 discussion of discriminatory advertising).
+    """
+
+    ad_id: str
+    account_id: str
+    campaign_id: str
+    creative: AdCreative
+    targeting: TargetingSpec
+    #: Maximum bid, in dollars per thousand impressions (paper: the
+    #: recommended default for US users is $2 CPM; the validation used $10).
+    bid_cap_cpm: float
+    status: AdStatus = AdStatus.PENDING_REVIEW
+    review_note: str = ""
+    special_category: Optional[str] = None
+
+    @property
+    def bid_per_impression(self) -> float:
+        """Bid cap expressed per single impression."""
+        return self.bid_cap_cpm / 1000.0
+
+    def require_active(self) -> None:
+        if self.status is not AdStatus.ACTIVE:
+            raise CampaignError(
+                f"ad {self.ad_id!r} is {self.status.value}, not active"
+            )
+
+
+@dataclass
+class Campaign:
+    """A named group of ads sharing an account and a budget."""
+
+    campaign_id: str
+    account_id: str
+    name: str
+    ad_ids: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PlatformPage:
+    """A page *on the platform* (not a website page) that users can like.
+
+    The paper's validation created one and had the authors like it as the
+    opt-in signal.
+    """
+
+    page_id: str
+    owner_account_id: str
+    name: str
+
+
+@dataclass
+class AdAccount:
+    """An advertiser account with a prepaid budget.
+
+    ``budget`` is decremented by the billing engine as impressions are
+    charged; ads stop delivering when the budget is exhausted.
+    """
+
+    account_id: str
+    owner_name: str
+    country: str = "US"
+    budget: float = 0.0
+    campaign_ids: List[str] = field(default_factory=list)
+    page_ids: List[str] = field(default_factory=list)
+
+    def deposit(self, amount: float) -> None:
+        if amount <= 0:
+            raise BudgetError("deposit must be positive")
+        self.budget += amount
+
+    def charge(self, amount: float) -> None:
+        """Deduct a charge; overdrafts are a billing-engine bug."""
+        if amount < 0:
+            raise BudgetError("charge must be non-negative")
+        if amount > self.budget + 1e-12:
+            raise BudgetError(
+                f"account {self.account_id!r} cannot pay {amount:.6f}; "
+                f"budget is {self.budget:.6f}"
+            )
+        self.budget -= amount
+
+    def can_afford(self, amount: float) -> bool:
+        return self.budget + 1e-12 >= amount
+
+
+class AdInventory:
+    """Platform-internal store of accounts, pages, campaigns, and ads."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, AdAccount] = {}
+        self._campaigns: Dict[str, Campaign] = {}
+        self._ads: Dict[str, Ad] = {}
+        self._pages: Dict[str, PlatformPage] = {}
+
+    # -- accounts ------------------------------------------------------
+
+    def add_account(self, account: AdAccount) -> AdAccount:
+        if account.account_id in self._accounts:
+            raise AccountError(f"duplicate account {account.account_id!r}")
+        self._accounts[account.account_id] = account
+        return account
+
+    def account(self, account_id: str) -> AdAccount:
+        try:
+            return self._accounts[account_id]
+        except KeyError:
+            raise AccountError(f"unknown account {account_id!r}") from None
+
+    def accounts(self) -> List[AdAccount]:
+        return list(self._accounts.values())
+
+    # -- pages -----------------------------------------------------------
+
+    def add_page(self, page: PlatformPage) -> PlatformPage:
+        if page.page_id in self._pages:
+            raise AccountError(f"duplicate page {page.page_id!r}")
+        self._pages[page.page_id] = page
+        self.account(page.owner_account_id).page_ids.append(page.page_id)
+        return page
+
+    def page(self, page_id: str) -> PlatformPage:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise AccountError(f"unknown page {page_id!r}") from None
+
+    # -- campaigns & ads ---------------------------------------------------
+
+    def add_campaign(self, campaign: Campaign) -> Campaign:
+        if campaign.campaign_id in self._campaigns:
+            raise CampaignError(f"duplicate campaign {campaign.campaign_id!r}")
+        self.account(campaign.account_id)  # must exist
+        self._campaigns[campaign.campaign_id] = campaign
+        self.account(campaign.account_id).campaign_ids.append(
+            campaign.campaign_id
+        )
+        return campaign
+
+    def campaign(self, campaign_id: str) -> Campaign:
+        try:
+            return self._campaigns[campaign_id]
+        except KeyError:
+            raise CampaignError(f"unknown campaign {campaign_id!r}") from None
+
+    def add_ad(self, ad: Ad) -> Ad:
+        if ad.ad_id in self._ads:
+            raise CampaignError(f"duplicate ad {ad.ad_id!r}")
+        campaign = self.campaign(ad.campaign_id)
+        if campaign.account_id != ad.account_id:
+            raise CampaignError(
+                f"ad {ad.ad_id!r} account does not match its campaign"
+            )
+        self._ads[ad.ad_id] = ad
+        campaign.ad_ids.append(ad.ad_id)
+        return ad
+
+    def ad(self, ad_id: str) -> Ad:
+        try:
+            return self._ads[ad_id]
+        except KeyError:
+            raise CampaignError(f"unknown ad {ad_id!r}") from None
+
+    def ads(self) -> List[Ad]:
+        return list(self._ads.values())
+
+    def active_ads(self) -> List[Ad]:
+        return [ad for ad in self._ads.values()
+                if ad.status is AdStatus.ACTIVE]
+
+    def ads_in_campaign(self, campaign_id: str) -> List[Ad]:
+        return [self._ads[ad_id]
+                for ad_id in self.campaign(campaign_id).ad_ids]
+
+    def ads_owned_by(self, account_id: str) -> List[Ad]:
+        return [ad for ad in self._ads.values()
+                if ad.account_id == account_id]

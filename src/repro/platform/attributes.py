@@ -1,0 +1,295 @@
+"""Targeting attributes and the attribute catalog.
+
+Advertising platforms expose a pre-selected list of *targeting attributes*
+(paper section 2.1). Attributes are typically binary ("is single", "net
+worth $1M-$2M") but some — age, location, relationship status — range over
+many values. Attributes are either computed by the platform itself or
+sourced from third-party data brokers ("partner categories" in Facebook's
+terminology); as of early 2018 Facebook offered 614 platform attributes and
+507 US partner attributes (paper section 2.1, citing [1]).
+
+This module defines the :class:`Attribute` value object and the
+:class:`AttributeCatalog` container with the lookup/search operations that
+the targeting layer and the Treads planner rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError
+
+
+class AttributeSource(enum.Enum):
+    """Where an attribute's data comes from."""
+
+    #: Computed by the platform from on/off-platform activity.
+    PLATFORM = "platform"
+    #: Sourced from an external data broker ("partner category").
+    PARTNER = "partner"
+
+
+class AttributeKind(enum.Enum):
+    """Value structure of an attribute."""
+
+    #: The attribute is set or not set for a user (the common case).
+    BINARY = "binary"
+    #: The attribute takes exactly one of an enumerated set of values.
+    MULTI = "multi"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One entry of a platform's targeting-attribute catalog.
+
+    Attributes are immutable and hashable so they can key dictionaries and
+    populate sets throughout the simulator.
+
+    Parameters
+    ----------
+    attr_id:
+        Stable identifier, unique within a catalog (``"pc-networth-007"``).
+    name:
+        Human-readable name shown to advertisers ("Net worth: $2M+").
+    source:
+        :class:`AttributeSource` — platform-computed or broker-sourced.
+    kind:
+        :class:`AttributeKind` — binary or multi-valued.
+    category:
+        Hierarchical category path as shown in the advertiser UI,
+        e.g. ``("Financial", "Net worth")``.
+    values:
+        For MULTI attributes, the enumerated value set (in a stable order);
+        empty for BINARY attributes.
+    broker:
+        Name of the sourcing data broker for PARTNER attributes.
+    countries:
+        Country codes where the attribute is offered to advertisers.
+        Facebook provides different partner attributes per country (paper
+        section 3.1); the validation uses the US catalog.
+    """
+
+    attr_id: str
+    name: str
+    source: AttributeSource
+    kind: AttributeKind = AttributeKind.BINARY
+    category: Tuple[str, ...] = ()
+    values: Tuple[str, ...] = ()
+    broker: Optional[str] = None
+    countries: Tuple[str, ...] = ("US",)
+
+    def __post_init__(self) -> None:
+        if self.kind is AttributeKind.MULTI and not self.values:
+            raise CatalogError(
+                f"multi-valued attribute {self.attr_id!r} needs values"
+            )
+        if self.kind is AttributeKind.BINARY and self.values:
+            raise CatalogError(
+                f"binary attribute {self.attr_id!r} must not carry values"
+            )
+        if self.source is AttributeSource.PARTNER and not self.broker:
+            raise CatalogError(
+                f"partner attribute {self.attr_id!r} needs a broker name"
+            )
+
+    @property
+    def is_partner(self) -> bool:
+        """True for data-broker-sourced ("partner category") attributes."""
+        return self.source is AttributeSource.PARTNER
+
+    @property
+    def is_binary(self) -> bool:
+        return self.kind is AttributeKind.BINARY
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values a user's assignment can take.
+
+        Binary attributes count as 2 (set / not-set); multi-valued
+        attributes count their enumerated values.
+        """
+        if self.kind is AttributeKind.BINARY:
+            return 2
+        return len(self.values)
+
+    def value_index(self, value: str) -> int:
+        """Position of ``value`` in the enumerated value set.
+
+        The Treads bit-splitting scheme (paper section 3.1 "Scale") encodes
+        a user's value as its index, revealed one bit per Tread.
+        """
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise CatalogError(
+                f"{value!r} is not a value of attribute {self.attr_id!r}"
+            ) from None
+
+    def offered_in(self, country: str) -> bool:
+        """Whether advertisers in ``country`` may target this attribute."""
+        return country in self.countries
+
+
+@dataclass
+class AttributeCatalog:
+    """The pre-selected attribute list a platform offers advertisers.
+
+    Supports id lookup, keyword search (platforms let advertisers search
+    the catalog by keyword — paper section 2.1), and the source/country
+    filters the Treads planner needs to enumerate "all US partner
+    categories".
+    """
+
+    attributes: List[Attribute] = field(default_factory=list)
+    _by_id: Dict[str, Attribute] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for attribute in self.attributes:
+            if attribute.attr_id in self._by_id:
+                raise CatalogError(f"duplicate attribute id {attribute.attr_id!r}")
+            self._by_id[attribute.attr_id] = attribute
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, attr_id: str) -> bool:
+        return attr_id in self._by_id
+
+    def add(self, attribute: Attribute) -> None:
+        """Add one attribute; duplicate ids are rejected."""
+        if attribute.attr_id in self._by_id:
+            raise CatalogError(f"duplicate attribute id {attribute.attr_id!r}")
+        self.attributes.append(attribute)
+        self._by_id[attribute.attr_id] = attribute
+
+    def remove(self, attr_id: str) -> Attribute:
+        """Remove and return an attribute.
+
+        Used to model Facebook shutting down partner categories (paper
+        footnote 2): the broker-sourced attributes disappear from the
+        catalog offered to advertisers.
+        """
+        attribute = self.get(attr_id)
+        self.attributes.remove(attribute)
+        del self._by_id[attr_id]
+        return attribute
+
+    def get(self, attr_id: str) -> Attribute:
+        """Look up an attribute by id; raises :class:`CatalogError`."""
+        try:
+            return self._by_id[attr_id]
+        except KeyError:
+            raise CatalogError(f"unknown attribute id {attr_id!r}") from None
+
+    def search(self, keyword: str, country: str = "US") -> List[Attribute]:
+        """Keyword search over names and categories, like the advertiser UI.
+
+        Case-insensitive substring match over the attribute name and its
+        category path, restricted to attributes offered in ``country``.
+        """
+        needle = keyword.strip().lower()
+        if not needle:
+            return []
+        hits = []
+        for attribute in self.attributes:
+            if not attribute.offered_in(country):
+                continue
+            haystack = " ".join((attribute.name, *attribute.category)).lower()
+            if needle in haystack:
+                hits.append(attribute)
+        return hits
+
+    def by_source(
+        self, source: AttributeSource, country: str = "US"
+    ) -> List[Attribute]:
+        """All attributes of one source offered in ``country``."""
+        return [
+            attribute
+            for attribute in self.attributes
+            if attribute.source is source and attribute.offered_in(country)
+        ]
+
+    def partner_attributes(self, country: str = "US") -> List[Attribute]:
+        """The "partner categories" — broker-sourced attributes.
+
+        These are the attributes the paper's validation makes transparent:
+        available to advertisers for targeting but hidden from users by
+        the platform's own transparency surfaces.
+        """
+        return self.by_source(AttributeSource.PARTNER, country)
+
+    def platform_attributes(self, country: str = "US") -> List[Attribute]:
+        """Platform-computed attributes offered in ``country``."""
+        return self.by_source(AttributeSource.PLATFORM, country)
+
+    def binary_attributes(self, country: str = "US") -> List[Attribute]:
+        """All binary attributes offered in ``country``."""
+        return [
+            attribute
+            for attribute in self.attributes
+            if attribute.is_binary and attribute.offered_in(country)
+        ]
+
+    def multi_attributes(self, country: str = "US") -> List[Attribute]:
+        """All multi-valued attributes offered in ``country``."""
+        return [
+            attribute
+            for attribute in self.attributes
+            if not attribute.is_binary and attribute.offered_in(country)
+        ]
+
+    def subset(self, attr_ids: Iterable[str]) -> "AttributeCatalog":
+        """A new catalog holding only the named attributes (stable order)."""
+        wanted = set(attr_ids)
+        missing = wanted - set(self._by_id)
+        if missing:
+            raise CatalogError(f"unknown attribute ids: {sorted(missing)}")
+        kept = [a for a in self.attributes if a.attr_id in wanted]
+        return AttributeCatalog(attributes=kept)
+
+
+def make_binary(
+    attr_id: str,
+    name: str,
+    category: Sequence[str],
+    source: AttributeSource = AttributeSource.PLATFORM,
+    broker: Optional[str] = None,
+    countries: Sequence[str] = ("US",),
+) -> Attribute:
+    """Convenience constructor for the common binary-attribute case."""
+    return Attribute(
+        attr_id=attr_id,
+        name=name,
+        source=source,
+        kind=AttributeKind.BINARY,
+        category=tuple(category),
+        broker=broker,
+        countries=tuple(countries),
+    )
+
+
+def make_multi(
+    attr_id: str,
+    name: str,
+    category: Sequence[str],
+    values: Sequence[str],
+    source: AttributeSource = AttributeSource.PLATFORM,
+    broker: Optional[str] = None,
+    countries: Sequence[str] = ("US",),
+) -> Attribute:
+    """Convenience constructor for multi-valued attributes (age, ZIP, ...)."""
+    return Attribute(
+        attr_id=attr_id,
+        name=name,
+        source=source,
+        kind=AttributeKind.MULTI,
+        category=tuple(category),
+        values=tuple(values),
+        broker=broker,
+        countries=tuple(countries),
+    )

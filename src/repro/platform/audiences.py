@@ -1,0 +1,372 @@
+"""Audiences: PII-based, pixel-based, and page-engagement.
+
+An *audience* is "the resulting set of users" of some targeting criteria
+(paper section 2.1). Three audience kinds matter for Treads:
+
+* **PII custom audiences** — the advertiser uploads hashed PII; the
+  platform matches it to users internally (``PII-based targeting``). The
+  advertiser never learns which hashes matched.
+* **Website (pixel) custom audiences** — everyone who fired one of the
+  advertiser's tracking pixels. This is the paper's anonymous opt-in.
+* **Page audiences** — users who liked one of the advertiser's pages; the
+  paper's validation used exactly this ("had the two U.S.-based authors
+  sign-up by liking a Facebook page").
+
+Platforms impose a **minimum size** on uploaded/custom audiences before
+ads may run against them, precisely to frustrate single-user targeting.
+Page-connection targeting historically had no such gate — which is *why*
+the validation in the paper opted users in via a page like rather than a
+two-person custom audience. The simulator reproduces that asymmetry.
+
+Advertisers only ever see a **rounded reach estimate**
+(:class:`ReachEstimate`), never a member list.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AudienceError, AudienceTooSmallError
+from repro.platform.attributes import AttributeCatalog
+from repro.platform.pii import PIIRecord, validate_upload
+from repro.platform.pixels import PixelRegistry
+from repro.platform.users import UserStore
+
+
+class AudienceKind(enum.Enum):
+    PII = "pii"
+    PIXEL = "pixel"
+    PAGE = "page"
+    #: Google-style "custom intent/affinity": the advertiser supplies
+    #: keyword phrases and the platform internally matches users (paper
+    #: section 2.1).
+    KEYWORD = "keyword"
+    #: Expansion of a seed audience to "people similar to them" — the
+    #: phrasing platform explanations use for customer-list targeting.
+    LOOKALIKE = "lookalike"
+
+
+@dataclass(frozen=True)
+class ReachEstimate:
+    """What the platform tells an advertiser about an audience's size.
+
+    ``displayed`` is rounded; ``is_floor`` marks "below N" answers for
+    small audiences (real platforms report e.g. "Below 1,000" rather than
+    an exact small count — one of the aggregation behaviours the Treads
+    privacy analysis relies on).
+    """
+
+    displayed: int
+    is_floor: bool = False
+
+    def __str__(self) -> str:
+        if self.is_floor:
+            return f"below {self.displayed}"
+        return f"~{self.displayed}"
+
+
+def round_reach(true_size: int, floor: int = 1000, quantum: int = 50) -> ReachEstimate:
+    """Round a true audience size the way platforms do.
+
+    Sizes under ``floor`` are reported only as "below floor"; larger sizes
+    are rounded to the nearest ``quantum``.
+    """
+    if true_size < floor:
+        return ReachEstimate(displayed=floor, is_floor=True)
+    rounded = int(round(true_size / quantum)) * quantum
+    return ReachEstimate(displayed=rounded)
+
+
+@dataclass
+class Audience:
+    """One audience owned by one advertiser account.
+
+    Membership is resolved lazily for dynamic kinds (pixel, page) so the
+    audience always reflects the latest activity; PII audiences are frozen
+    at upload-match time, like real customer-list audiences.
+    """
+
+    audience_id: str
+    owner_account_id: str
+    kind: AudienceKind
+    name: str = ""
+    #: PII audiences: matched user ids, frozen at creation (internal).
+    _matched_user_ids: Set[str] = field(default_factory=set, repr=False)
+    #: Pixel audiences: the sourcing pixel.
+    pixel_id: Optional[str] = None
+    #: Page audiences: the sourcing page.
+    page_id: Optional[str] = None
+    #: Keyword audiences: the advertiser's phrases (what Google calls a
+    #: custom intent/affinity definition).
+    phrases: Tuple[str, ...] = ()
+    #: Lookalike audiences: the seed audience and the minimum number of
+    #: shared binary attributes for a user to count as "similar".
+    seed_audience_id: Optional[str] = None
+    similarity_threshold: int = 0
+
+
+class AudienceRegistry:
+    """Platform-internal audience store and membership resolver."""
+
+    def __init__(
+        self,
+        users: UserStore,
+        pixels: PixelRegistry,
+        catalog: Optional[AttributeCatalog] = None,
+        min_custom_audience_size: int = 20,
+        reach_floor: int = 1000,
+        reach_quantum: int = 50,
+    ):
+        self._users = users
+        self._pixels = pixels
+        self._catalog = catalog
+        self._audiences: Dict[str, Audience] = {}
+        self.min_custom_audience_size = min_custom_audience_size
+        self.reach_floor = reach_floor
+        self.reach_quantum = reach_quantum
+
+    # -- creation ----------------------------------------------------------
+
+    def create_pii_audience(
+        self,
+        audience_id: str,
+        owner_account_id: str,
+        records: Sequence[PIIRecord],
+        name: str = "",
+    ) -> Audience:
+        """Match an upload of hashed PII into a frozen audience.
+
+        The advertiser receives the audience handle and (on request) a
+        rounded reach — never the per-record match outcome.
+        """
+        unique = validate_upload(records)
+        matched: Set[str] = set()
+        for record in unique:
+            matched |= self._users.users_matching_pii(record.kind, record.digest)
+        return self._register(
+            Audience(
+                audience_id=audience_id,
+                owner_account_id=owner_account_id,
+                kind=AudienceKind.PII,
+                name=name,
+                _matched_user_ids=matched,
+            )
+        )
+
+    def create_pixel_audience(
+        self,
+        audience_id: str,
+        owner_account_id: str,
+        pixel_id: str,
+        name: str = "",
+    ) -> Audience:
+        """Audience of visitors who fired one of the account's pixels."""
+        pixel = self._pixels.get(pixel_id)
+        if pixel.owner_account_id != owner_account_id:
+            raise AudienceError(
+                f"pixel {pixel_id!r} belongs to another advertiser"
+            )
+        return self._register(
+            Audience(
+                audience_id=audience_id,
+                owner_account_id=owner_account_id,
+                kind=AudienceKind.PIXEL,
+                name=name,
+                pixel_id=pixel_id,
+            )
+        )
+
+    def create_page_audience(
+        self,
+        audience_id: str,
+        owner_account_id: str,
+        page_id: str,
+        name: str = "",
+    ) -> Audience:
+        """Audience of users who liked a page ("connections" targeting)."""
+        return self._register(
+            Audience(
+                audience_id=audience_id,
+                owner_account_id=owner_account_id,
+                kind=AudienceKind.PAGE,
+                name=name,
+                page_id=page_id,
+            )
+        )
+
+    def create_keyword_audience(
+        self,
+        audience_id: str,
+        owner_account_id: str,
+        phrases: Sequence[str],
+        name: str = "",
+    ) -> Audience:
+        """Custom intent/affinity audience from keyword phrases.
+
+        "advertisers can specify a series of phrases or URLs that describe
+        the users they want to target, which are then internally used by
+        Google to create an audience of matching users" (paper section
+        2.1). Matching is platform-internal: a user belongs iff any of
+        their attributes' names/categories match any phrase. The
+        advertiser never learns which attribute matched whom.
+        """
+        cleaned = tuple(p.strip() for p in phrases if p.strip())
+        if not cleaned:
+            raise AudienceError("keyword audience needs at least one phrase")
+        if self._catalog is None:
+            raise AudienceError(
+                "this platform does not support keyword audiences "
+                "(no catalog wired)"
+            )
+        return self._register(
+            Audience(
+                audience_id=audience_id,
+                owner_account_id=owner_account_id,
+                kind=AudienceKind.KEYWORD,
+                name=name,
+                phrases=cleaned,
+            )
+        )
+
+    def _register(self, audience: Audience) -> Audience:
+        if audience.audience_id in self._audiences:
+            raise AudienceError(
+                f"duplicate audience id {audience.audience_id!r}"
+            )
+        self._audiences[audience.audience_id] = audience
+        return audience
+
+    def create_lookalike_audience(
+        self,
+        audience_id: str,
+        owner_account_id: str,
+        seed_audience_id: str,
+        similarity_threshold: int = 3,
+        name: str = "",
+    ) -> Audience:
+        """"People similar to" a seed audience the advertiser owns.
+
+        Platform-internal similarity: a user belongs iff they share at
+        least ``similarity_threshold`` binary attributes with any seed
+        member. The advertiser supplies only the seed handle — it never
+        sees the expansion logic's inputs or outputs, mirroring real
+        lookalike products.
+        """
+        seed = self.get(seed_audience_id)
+        if seed.owner_account_id != owner_account_id:
+            raise AudienceError(
+                f"seed audience {seed_audience_id!r} belongs to another "
+                "advertiser"
+            )
+        if similarity_threshold < 1:
+            raise AudienceError("similarity threshold must be >= 1")
+        return self._register(
+            Audience(
+                audience_id=audience_id,
+                owner_account_id=owner_account_id,
+                kind=AudienceKind.LOOKALIKE,
+                name=name,
+                seed_audience_id=seed_audience_id,
+                similarity_threshold=similarity_threshold,
+            )
+        )
+
+    # -- resolution (platform-internal) -------------------------------------
+
+    def get(self, audience_id: str) -> Audience:
+        try:
+            return self._audiences[audience_id]
+        except KeyError:
+            raise AudienceError(f"unknown audience {audience_id!r}") from None
+
+    def members(self, audience_id: str) -> Set[str]:
+        """Current member user ids. PLATFORM-INTERNAL — never shown to
+        advertisers; delivery and reach estimation consume this."""
+        audience = self.get(audience_id)
+        if audience.kind is AudienceKind.PII:
+            return set(audience._matched_user_ids)
+        if audience.kind is AudienceKind.PIXEL:
+            assert audience.pixel_id is not None
+            return self._pixels.visitors(audience.pixel_id)
+        if audience.kind is AudienceKind.KEYWORD:
+            return self._keyword_members(audience)
+        if audience.kind is AudienceKind.LOOKALIKE:
+            return self._lookalike_members(audience)
+        assert audience.page_id is not None
+        return {
+            profile.user_id
+            for profile in self._users
+            if audience.page_id in profile.liked_pages
+        }
+
+    def _keyword_members(self, audience: Audience) -> Set[str]:
+        """Platform-internal keyword match: phrase -> attributes -> users."""
+        assert self._catalog is not None
+        matched_attr_ids: Set[str] = set()
+        for phrase in audience.phrases:
+            for attribute in self._catalog.search(phrase):
+                matched_attr_ids.add(attribute.attr_id)
+        members: Set[str] = set()
+        for attr_id in matched_attr_ids:
+            members |= {
+                profile.user_id
+                for profile in self._users.users_with_attribute(attr_id)
+            }
+        return members
+
+    def is_member(self, audience_id: str, user_id: str) -> bool:
+        """The :data:`~repro.platform.targeting.AudienceResolver` hook."""
+        return user_id in self.members(audience_id)
+
+    def check_runnable(self, audience_id: str) -> None:
+        """Enforce the minimum-size gate for custom (PII/pixel) audiences.
+
+        Page audiences are exempt — the asymmetry the paper's validation
+        exploited to reach a two-person audience.
+        """
+        audience = self.get(audience_id)
+        if audience.kind is AudienceKind.PAGE:
+            return
+        size = len(self.members(audience_id))
+        if size < self.min_custom_audience_size:
+            raise AudienceTooSmallError(
+                f"audience {audience_id!r} has {size} members; platform "
+                f"minimum is {self.min_custom_audience_size}"
+            )
+
+    def _lookalike_members(self, audience: Audience) -> Set[str]:
+        """Expand a seed audience by binary-attribute overlap.
+
+        Seed members themselves are included (real lookalikes exclude
+        them, but for Treads purposes inclusion is harmless and the
+        exclusion is one NOT-term away in targeting).
+        """
+        assert audience.seed_audience_id is not None
+        seed_ids = self.members(audience.seed_audience_id)
+        seed_profiles = [self._users.get(user_id) for user_id in seed_ids]
+        members = set(seed_ids)
+        for profile in self._users:
+            if profile.user_id in members:
+                continue
+            for seed_profile in seed_profiles:
+                shared = profile.binary_attrs & seed_profile.binary_attrs
+                if len(shared) >= audience.similarity_threshold:
+                    members.add(profile.user_id)
+                    break
+        return members
+
+    # -- advertiser-facing -------------------------------------------------
+
+    def estimated_reach(self, audience_id: str) -> ReachEstimate:
+        """Rounded potential reach, the only size signal advertisers get."""
+        return round_reach(
+            len(self.members(audience_id)),
+            floor=self.reach_floor,
+            quantum=self.reach_quantum,
+        )
+
+    def audiences_owned_by(self, account_id: str) -> List[Audience]:
+        return [a for a in self._audiences.values()
+                if a.owner_account_id == account_id]

@@ -1,0 +1,458 @@
+"""Deterministic generation of the US targeting-attribute catalog.
+
+The paper (section 2.1, citing [1]) reports that as of early 2018
+Facebook's advertising platform offered **614 attributes computed
+internally** plus **507 additional US attributes sourced from data brokers**
+such as Acxiom and Oracle Data Cloud ("partner categories"). The paper's
+validation (section 3.1) runs one Tread per US binary partner attribute —
+507 ads — so the reproduction needs a catalog with exactly those counts.
+
+Real catalogs are proprietary; this module synthesizes one with the same
+*structure*: the partner side covers the category families the paper's
+author was actually revealed (net worth, purchase behaviour for restaurants
+and apparel, job role, home type, likely auto purchase, ...), organised
+under the named brokers, and topped up with numbered consumer segments —
+which is faithful to how broker taxonomies actually look. Generation is
+purely deterministic (no RNG), so attribute ids are stable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.platform.attributes import (
+    Attribute,
+    AttributeCatalog,
+    AttributeSource,
+    make_binary,
+    make_multi,
+)
+
+#: Catalog sizes reported for early-2018 Facebook (paper section 2.1).
+US_PLATFORM_ATTRIBUTE_COUNT = 614
+US_PARTNER_ATTRIBUTE_COUNT = 507
+
+#: Data brokers named in the paper.
+BROKERS = ("Acxiom", "Oracle Data Cloud", "Epsilon", "Experian")
+
+_NET_WORTH_BANDS = (
+    "Under $100K",
+    "$100K - $250K",
+    "$250K - $500K",
+    "$500K - $750K",
+    "$750K - $1M",
+    "$1M - $2M",
+    "Over $2M",
+)
+
+_INCOME_BANDS = (
+    "Under $30K",
+    "$30K - $40K",
+    "$40K - $50K",
+    "$50K - $75K",
+    "$75K - $100K",
+    "$100K - $125K",
+    "$125K - $150K",
+    "$150K - $250K",
+    "$250K - $350K",
+    "$350K - $500K",
+    "Over $500K",
+)
+
+_RESTAURANT_KINDS = (
+    "Fast food", "Fast casual", "Casual dining", "Fine dining", "Pizza",
+    "Coffee shops", "Sandwich shops", "Steakhouses", "Seafood", "Sushi",
+    "Mexican", "Italian", "Chinese", "Indian", "Thai", "Family-style",
+    "Buffets", "Delivery-first", "Vegetarian", "Bakeries",
+)
+
+_APPAREL_KINDS = (
+    "Luxury apparel", "Discount apparel", "Business attire", "Casual wear",
+    "Athletic wear", "Children's apparel", "Footwear", "Accessories",
+    "Outerwear", "Denim", "Formal wear", "Plus-size apparel",
+    "Petite apparel", "Big & tall apparel", "Swimwear", "Sleepwear",
+)
+
+_JOB_ROLES = (
+    "C-suite executive", "Middle management", "Professional / technical",
+    "Healthcare practitioner", "Legal professional", "Educator",
+    "Sales", "Office & administrative", "Skilled trades", "Farming",
+    "Protective services", "Food service", "Personal care",
+    "Transportation", "Military", "Clergy", "Self-employed",
+    "Small business owner", "Government employee", "Retired",
+)
+
+_HOME_TYPES = (
+    "Single family home", "Condominium", "Townhouse", "Apartment",
+    "Multi-family home", "Mobile home", "Farm / ranch",
+)
+
+_HOME_VALUE_BANDS = (
+    "Under $100K", "$100K - $200K", "$200K - $300K", "$300K - $400K",
+    "$400K - $500K", "$500K - $750K", "$750K - $1M", "Over $1M",
+)
+
+_AUTO_CLASSES = (
+    "Economy car", "Mid-size car", "Full-size car", "Luxury sedan",
+    "Sports car", "Compact SUV", "Full-size SUV", "Luxury SUV",
+    "Minivan", "Pickup truck", "Hybrid vehicle", "Electric vehicle",
+    "Crossover", "Convertible", "Motorcycle",
+)
+
+_AUTO_BRAND_TIERS = (
+    "Domestic brand loyalist", "Import brand loyalist",
+    "Luxury brand intender", "Value brand intender",
+    "New vehicle shopper", "Used vehicle shopper",
+    "Recent vehicle purchaser", "Vehicle lessee",
+)
+
+_CHARITY_CAUSES = (
+    "Animal welfare", "Arts and culture", "Children's causes",
+    "Environmental causes", "Health causes", "International aid",
+    "Political causes", "Religious causes", "Veterans' causes",
+    "Community causes",
+)
+
+_TRAVEL_SEGMENTS = (
+    "Frequent flyer", "Frequent international traveler", "Cruise intender",
+    "Business traveler", "Budget traveler", "Luxury traveler",
+    "Timeshare owner", "Casino vacationer", "Theme park visitor",
+    "Frequent hotel guest", "Vacation home owner", "RV owner",
+)
+
+_CREDIT_SEGMENTS = (
+    "Premium credit card holder", "Travel rewards card holder",
+    "Cash-back card holder", "Store card holder", "High card spender",
+    "Revolver", "Transactor", "New credit seeker", "Debit-primary",
+    "Likely mortgage holder", "Likely auto loan holder",
+    "Likely student loan holder",
+)
+
+_GROCERY_SEGMENTS = (
+    "Organic food buyer", "Premium grocery buyer", "Value grocery buyer",
+    "Warehouse club shopper", "Convenience store shopper",
+    "Natural food buyer", "Frozen food buyer", "Snack food buyer",
+    "Soft drink buyer", "Pet food buyer", "Baby product buyer",
+    "Vitamin & supplement buyer",
+)
+
+_INTEREST_TOPICS = (
+    "Salsa dancing", "Musicals", "Jazz", "Classical music", "Hip hop",
+    "Rock music", "Country music", "Photography", "Painting", "Sculpture",
+    "Hiking", "Camping", "Fishing", "Hunting", "Running", "Yoga",
+    "Cycling", "Swimming", "Skiing", "Snowboarding", "Surfing",
+    "Basketball", "American football", "Baseball", "Soccer", "Tennis",
+    "Golf", "Hockey", "Boxing", "Martial arts", "Chess", "Board games",
+    "Video games", "Esports", "Cooking", "Baking", "Grilling", "Wine",
+    "Craft beer", "Cocktails", "Coffee", "Tea", "Gardening",
+    "Home improvement", "Interior design", "Fashion", "Jewelry",
+    "Watches", "Sneakers", "Technology", "Gadgets", "Programming",
+    "Data science", "Astronomy", "Physics", "History", "Philosophy",
+    "Poetry", "Novels", "Science fiction", "Fantasy", "Mystery novels",
+    "Comics", "Anime", "Movies", "Documentaries", "Theater", "Opera",
+    "Ballet", "Stand-up comedy", "Podcasts", "Travel", "Beaches",
+    "Mountains", "National parks", "Road trips", "Cruises", "Backpacking",
+    "Meditation", "Fitness", "Bodybuilding", "Crossfit", "Pilates",
+    "Nutrition", "Veganism", "Vegetarianism", "Parenting", "Weddings",
+    "Pets", "Dogs", "Cats", "Birds", "Aquariums", "Horses", "Cars",
+    "Motorcycles", "Boats", "Aviation", "Trains", "Architecture",
+    "Real estate", "Investing", "Cryptocurrency", "Entrepreneurship",
+    "Marketing", "Public speaking", "Volunteering", "Genealogy",
+    "Knitting", "Quilting", "Woodworking", "Pottery", "Calligraphy",
+    "Magic tricks", "Karaoke", "Dancing", "Ballroom dancing",
+    "Tango", "Language learning", "Spanish language", "French language",
+)
+
+_BEHAVIOR_SEGMENTS = (
+    "Frequent international caller", "Early technology adopter",
+    "Console gamer", "Mobile gamer", "Online shopper",
+    "Coupon user", "Small business page admin", "Event creator",
+    "Frequent event attendee", "Lives away from hometown",
+    "Recently moved", "Returned from travel recently",
+    "Uses a tablet", "Uses a smart TV", "Uses public wifi often",
+    "Accesses site via 4G", "Accesses site via older device",
+    "Operating system: desktop Linux", "Operating system: macOS",
+    "Operating system: Windows", "Browser: Chrome", "Browser: Firefox",
+    "Browser: Safari", "Primary device: Android", "Primary device: iOS",
+    "Engaged shopper", "Clicked call-to-action recently",
+    "Page admin", "Photo uploader", "Status updater",
+)
+
+_LIFE_EVENTS = (
+    "Recently engaged", "Newlywed", "New parent", "Parent of toddler",
+    "Parent of teenager", "Empty nester", "New job", "New relationship",
+    "Recently graduated", "Upcoming birthday", "Anniversary within 30 days",
+    "Away from family", "Long-distance relationship", "Recently retired",
+)
+
+_DEMOGRAPHIC_BINARY = (
+    "Expat", "Recent immigrant", "First-generation American",
+    "Veteran", "Active military", "Union member", "Likely voter",
+    "Registered voter", "Donates to political campaigns",
+    "Interested in politics", "Politically liberal leaning",
+    "Politically conservative leaning", "Politically moderate leaning",
+    "Frequent news reader", "College alumni association member",
+)
+
+_EDUCATION_LEVELS = (
+    "High school", "Some college", "Associate degree", "College degree",
+    "Master's degree", "Professional degree", "Doctorate",
+)
+
+_RELATIONSHIP_STATUSES = (
+    "Single", "In a relationship", "Engaged", "Married", "Civil union",
+    "Separated", "Divorced", "Widowed",
+)
+
+_PARENT_CHILD_AGES = (
+    "0-12 months", "1-2 years", "3-5 years", "6-8 years",
+    "9-12 years", "13-17 years", "18-26 years",
+)
+
+_LIFE_STAGES = (
+    "Student", "Young professional", "Established professional",
+    "Young family", "Established family", "Pre-retirement", "Retired",
+)
+
+
+def _slug(text: str) -> str:
+    """Lowercase alphanumeric-and-dash slug for ids."""
+    cleaned = []
+    for ch in text.lower():
+        if ch.isalnum():
+            cleaned.append(ch)
+        elif cleaned and cleaned[-1] != "-":
+            cleaned.append("-")
+    return "".join(cleaned).strip("-")
+
+
+def _partner_family(
+    prefix: str,
+    category: Sequence[str],
+    names: Iterable[str],
+    broker: str,
+    name_template: str = "{name}",
+) -> List[Attribute]:
+    """Build one family of binary partner attributes."""
+    out = []
+    for index, name in enumerate(names):
+        out.append(
+            make_binary(
+                attr_id=f"pc-{prefix}-{index:03d}",
+                name=name_template.format(name=name),
+                category=category,
+                source=AttributeSource.PARTNER,
+                broker=broker,
+            )
+        )
+    return out
+
+
+def _platform_family(
+    prefix: str,
+    category: Sequence[str],
+    names: Iterable[str],
+    name_template: str = "{name}",
+) -> List[Attribute]:
+    """Build one family of binary platform attributes."""
+    out = []
+    for index, name in enumerate(names):
+        out.append(
+            make_binary(
+                attr_id=f"pf-{prefix}-{index:03d}",
+                name=name_template.format(name=name),
+                category=category,
+            )
+        )
+    return out
+
+
+def build_partner_attributes(
+    count: int = US_PARTNER_ATTRIBUTE_COUNT,
+) -> List[Attribute]:
+    """The ``count`` binary US partner-category attributes.
+
+    Families mirror the attribute categories the paper's validation
+    actually revealed (net worth, restaurant and apparel purchase
+    behaviour, job role, home type, auto purchase intent) plus the broker
+    staples (income, credit, travel, charitable giving); the remainder is
+    numbered consumer segments split across the named brokers.
+    """
+    families: List[Attribute] = []
+    families += _partner_family(
+        "networth", ("Financial", "Net worth"), _NET_WORTH_BANDS, "Acxiom",
+        "Net worth: {name}",
+    )
+    families += _partner_family(
+        "income", ("Financial", "Household income"), _INCOME_BANDS, "Acxiom",
+        "Household income: {name}",
+    )
+    families += _partner_family(
+        "credit", ("Financial", "Credit"), _CREDIT_SEGMENTS, "Experian",
+    )
+    families += _partner_family(
+        "restaurants", ("Purchase behavior", "Restaurants"),
+        _RESTAURANT_KINDS, "Oracle Data Cloud",
+        "Purchases at: {name} restaurants",
+    )
+    families += _partner_family(
+        "apparel", ("Purchase behavior", "Apparel"),
+        _APPAREL_KINDS, "Oracle Data Cloud", "Buys: {name}",
+    )
+    families += _partner_family(
+        "grocery", ("Purchase behavior", "Grocery"),
+        _GROCERY_SEGMENTS, "Oracle Data Cloud",
+    )
+    families += _partner_family(
+        "jobrole", ("Demographics", "Job role"), _JOB_ROLES, "Acxiom",
+        "Job role: {name}",
+    )
+    families += _partner_family(
+        "hometype", ("Home", "Home type"), _HOME_TYPES, "Acxiom",
+        "Home type: {name}",
+    )
+    families += _partner_family(
+        "homevalue", ("Home", "Home value"), _HOME_VALUE_BANDS, "Acxiom",
+        "Home value: {name}",
+    )
+    families += _partner_family(
+        "autointent", ("Automotive", "Purchase intent"),
+        _AUTO_CLASSES, "Oracle Data Cloud",
+        "Likely to purchase: {name}",
+    )
+    families += _partner_family(
+        "autobrand", ("Automotive", "Ownership"),
+        _AUTO_BRAND_TIERS, "Oracle Data Cloud",
+    )
+    families += _partner_family(
+        "charity", ("Charitable donations",), _CHARITY_CAUSES, "Epsilon",
+        "Donates to: {name}",
+    )
+    families += _partner_family(
+        "travel", ("Travel",), _TRAVEL_SEGMENTS, "Epsilon",
+    )
+    if len(families) >= count:
+        return families[:count]
+    for pad_index in range(count - len(families)):
+        broker = BROKERS[pad_index % len(BROKERS)]
+        families.append(
+            make_binary(
+                attr_id=f"pc-segment-{pad_index:03d}",
+                name=f"Consumer segment {pad_index + 1:03d}",
+                category=("Consumer segments", broker),
+                source=AttributeSource.PARTNER,
+                broker=broker,
+            )
+        )
+    return families
+
+
+def build_platform_attributes(
+    count: int = US_PLATFORM_ATTRIBUTE_COUNT,
+) -> List[Attribute]:
+    """The ``count`` platform-computed attributes (mostly binary).
+
+    Includes the multi-valued staples real platforms expose — education
+    level, relationship status, age of children, life stage — which the
+    Treads bit-splitting scheme (paper section 3.1 "Scale") exercises.
+    """
+    attrs: List[Attribute] = [
+        make_multi(
+            "pf-education-level", "Education level",
+            ("Demographics", "Education"), _EDUCATION_LEVELS,
+        ),
+        make_multi(
+            "pf-relationship-status", "Relationship status",
+            ("Demographics", "Relationship"), _RELATIONSHIP_STATUSES,
+        ),
+        make_multi(
+            "pf-parents-child-age", "Parents by age of child",
+            ("Demographics", "Parents"), _PARENT_CHILD_AGES,
+        ),
+        make_multi(
+            "pf-life-stage", "Life stage",
+            ("Demographics", "Life stage"), _LIFE_STAGES,
+        ),
+    ]
+    attrs += _platform_family(
+        "interest", ("Interests",), _INTEREST_TOPICS,
+        "Interested in: {name}",
+    )
+    attrs += _platform_family(
+        "behavior", ("Behaviors",), _BEHAVIOR_SEGMENTS,
+    )
+    attrs += _platform_family(
+        "lifeevent", ("Life events",), _LIFE_EVENTS,
+    )
+    attrs += _platform_family(
+        "demo", ("Demographics", "Misc"), _DEMOGRAPHIC_BINARY,
+    )
+    if len(attrs) >= count:
+        return attrs[:count]
+    for pad_index in range(count - len(attrs)):
+        attrs.append(
+            make_binary(
+                attr_id=f"pf-topic-{pad_index:03d}",
+                name=f"Interest topic {pad_index + 1:03d}",
+                category=("Interests", "Topics"),
+            )
+        )
+    return attrs
+
+
+def build_us_catalog(
+    platform_count: int = US_PLATFORM_ATTRIBUTE_COUNT,
+    partner_count: int = US_PARTNER_ATTRIBUTE_COUNT,
+) -> AttributeCatalog:
+    """The full early-2018 US catalog: 614 platform + 507 partner attrs.
+
+    Pass smaller counts to build reduced catalogs for fast tests.
+    """
+    attributes = build_platform_attributes(platform_count)
+    attributes += build_partner_attributes(partner_count)
+    return AttributeCatalog(attributes=attributes)
+
+
+def build_country_catalogs(
+    countries: Sequence[str] = ("US", "DE", "IN"),
+    partner_counts: Sequence[int] = (US_PARTNER_ATTRIBUTE_COUNT, 120, 40),
+) -> AttributeCatalog:
+    """A multi-country catalog.
+
+    Facebook provides different partner attributes in different countries
+    (paper section 3.1); non-US countries get a country-specific slice of
+    numbered segments while platform attributes are offered everywhere.
+    """
+    if len(countries) != len(partner_counts):
+        raise ValueError("countries and partner_counts must align")
+    attributes: List[Attribute] = []
+    for attribute in build_platform_attributes():
+        attributes.append(
+            Attribute(
+                attr_id=attribute.attr_id,
+                name=attribute.name,
+                source=attribute.source,
+                kind=attribute.kind,
+                category=attribute.category,
+                values=attribute.values,
+                broker=attribute.broker,
+                countries=tuple(countries),
+            )
+        )
+    for country, partner_count in zip(countries, partner_counts):
+        if country == "US":
+            country_partners = build_partner_attributes(partner_count)
+        else:
+            country_partners = [
+                make_binary(
+                    attr_id=f"pc-{country.lower()}-segment-{i:03d}",
+                    name=f"{country} consumer segment {i + 1:03d}",
+                    category=("Consumer segments", country),
+                    source=AttributeSource.PARTNER,
+                    broker=BROKERS[i % len(BROKERS)],
+                    countries=(country,),
+                )
+                for i in range(partner_count)
+            ]
+        attributes.extend(country_partners)
+    return AttributeCatalog(attributes=attributes)

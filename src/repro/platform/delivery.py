@@ -1,0 +1,283 @@
+"""The ad delivery engine.
+
+Delivery stitches everything together: as users browse, their sessions
+expose ad slots; for each slot the engine collects the active ads whose
+targeting the user satisfies (the deliver-iff-match contract), auctions
+the slot against ambient competing demand, charges the winner, and places
+the winning creative in the user's feed.
+
+The per-user **frequency cap** (default 1 impression per ad per user)
+reflects how a transparency provider would configure Tread campaigns: each
+Tread needs to reach each matching user exactly once, which is what makes
+the paper's per-attribute cost exactly one CPM-priced impression.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.platform.ads import Ad, AdImage, AdInventory, AdStatus
+from repro.platform.auction import AuctionOutcome, CompetingBidDraw, run_auction
+from repro.platform.audiences import AudienceRegistry
+from repro.platform.billing import BillingLedger
+from repro.platform.users import UserProfile, UserStore
+
+
+@dataclass(frozen=True)
+class Impression:
+    """Platform-internal record of one delivered impression."""
+
+    seq: int
+    ad_id: str
+    account_id: str
+    user_id: str
+    price: float
+
+
+@dataclass(frozen=True)
+class Click:
+    """Platform-internal record of one ad click."""
+
+    ad_id: str
+    user_id: str
+    click_seq: int
+
+
+@dataclass(frozen=True)
+class DeliveredAd:
+    """What lands in a user's feed: the creative plus a handle for the
+    "Why am I seeing this?" explanation. The user never sees the bid,
+    the price, or the full targeting spec (the platform's explanation is
+    deliberately partial — see :mod:`repro.platform.explanations`).
+
+    ``image`` is a copy of the rendered creative image — users see ad
+    images, so a Tread-decoding browser extension can scan their pixels.
+    """
+
+    ad_id: str
+    account_id: str
+    headline: str
+    body: str
+    image: Optional["AdImage"]
+    landing_url: Optional[str]
+    impression_seq: int
+
+    @property
+    def has_image(self) -> bool:
+        return self.image is not None
+
+
+@dataclass
+class DeliveryStats:
+    """Counters for one delivery run."""
+
+    slots: int = 0
+    filled_by_tracked_ads: int = 0
+    lost_to_competition: int = 0
+    no_eligible_ad: int = 0
+
+
+class DeliveryEngine:
+    """Serves ad slots for browsing users."""
+
+    def __init__(
+        self,
+        inventory: AdInventory,
+        audiences: AudienceRegistry,
+        ledger: BillingLedger,
+        competing_draw: CompetingBidDraw,
+        frequency_cap: int = 1,
+        floor_price_cpm: float = 0.0,
+        min_match_count: int = 0,
+    ):
+        if frequency_cap < 1:
+            raise ValueError("frequency cap must be >= 1")
+        if min_match_count < 0:
+            raise ValueError("min match count cannot be negative")
+        self._inventory = inventory
+        self._audiences = audiences
+        self._ledger = ledger
+        self._competing_draw = competing_draw
+        self.frequency_cap = frequency_cap
+        self.floor_price = floor_price_cpm / 1000.0
+        self.min_match_count = min_match_count
+        self._user_store: Optional[UserStore] = None
+        self._match_count_cache: Dict[str, int] = {}
+        self._impression_seq = 0
+        self._impressions: List[Impression] = []
+        self._clicks: List[Click] = []
+        self._feeds: Dict[str, List[DeliveredAd]] = defaultdict(list)
+        self._shown_counts: Dict[str, int] = defaultdict(int)
+
+    # -- eligibility ---------------------------------------------------------
+
+    def attach_user_store(self, users: UserStore) -> None:
+        """Wire the platform's user store (needed for the narrow-targeting
+        defense's match counting)."""
+        self._user_store = users
+
+    def _matches_enough_users(self, ad: Ad) -> bool:
+        """Narrow-targeting defense: an ad whose full spec matches fewer
+        than ``min_match_count`` users is withheld from every auction.
+
+        The match count is snapshot once per ad (profiles are effectively
+        static within a campaign run); this is the platform-side
+        countermeasure to single-user delivery/billing inference (paper
+        section 5) and is OFF by default, as on 2018 platforms.
+        """
+        if self.min_match_count <= 0 or self._user_store is None:
+            return True
+        cached = self._match_count_cache.get(ad.ad_id)
+        if cached is None:
+            cached = sum(
+                1 for profile in self._user_store
+                if ad.targeting.matches(profile, self._audiences.is_member)
+            )
+            self._match_count_cache[ad.ad_id] = cached
+        return cached >= self.min_match_count
+
+    def _eligible_ads(self, user: UserProfile) -> List[Ad]:
+        eligible: List[Ad] = []
+        for ad in self._inventory.active_ads():
+            if self._shown_counts[f"{ad.ad_id}:{user.user_id}"] >= \
+                    self.frequency_cap:
+                continue
+            account = self._inventory.account(ad.account_id)
+            if not account.can_afford(ad.bid_per_impression):
+                continue
+            if not self._matches_enough_users(ad):
+                continue
+            if ad.targeting.matches(user, self._audiences.is_member):
+                eligible.append(ad)
+        return eligible
+
+    # -- slot serving --------------------------------------------------------
+
+    def serve_slot(self, user: UserProfile) -> AuctionOutcome:
+        """Auction one ad slot in ``user``'s session; deliver the winner."""
+        eligible = self._eligible_ads(user)
+        outcome = run_auction(
+            eligible,
+            competing_bid=self._competing_draw(),
+            floor_price=self.floor_price,
+        )
+        if outcome.winner is not None:
+            self._deliver(outcome.winner, user, outcome.price)
+        return outcome
+
+    def _deliver(self, ad: Ad, user: UserProfile, price: float) -> None:
+        seq = self._impression_seq
+        self._impression_seq += 1
+        self._ledger.charge_impression(
+            ad_id=ad.ad_id,
+            account_id=ad.account_id,
+            amount=price,
+            impression_seq=seq,
+        )
+        self._impressions.append(
+            Impression(seq=seq, ad_id=ad.ad_id, account_id=ad.account_id,
+                       user_id=user.user_id, price=price)
+        )
+        self._shown_counts[f"{ad.ad_id}:{user.user_id}"] += 1
+        creative = ad.creative
+        self._feeds[user.user_id].append(
+            DeliveredAd(
+                ad_id=ad.ad_id,
+                account_id=ad.account_id,
+                headline=creative.headline,
+                body=creative.body,
+                image=(creative.image.copy()
+                       if creative.image is not None else None),
+                landing_url=(
+                    str(creative.landing_url) if creative.landing_url else None
+                ),
+                impression_seq=seq,
+            )
+        )
+
+    def run_sessions(
+        self,
+        users: Sequence[UserProfile],
+        slots_per_user: int,
+    ) -> DeliveryStats:
+        """Serve ``slots_per_user`` ad slots for each user, round-robin.
+
+        Round-robin (rather than user-at-a-time) interleaves demand the way
+        concurrent browsing would, which matters when budgets run out
+        mid-run.
+        """
+        stats = DeliveryStats()
+        for _ in range(slots_per_user):
+            for user in users:
+                outcome = self.serve_slot(user)
+                stats.slots += 1
+                if outcome.won:
+                    stats.filled_by_tracked_ads += 1
+                elif outcome.competing_bid > 0 and self._had_eligible(user):
+                    stats.lost_to_competition += 1
+                else:
+                    stats.no_eligible_ad += 1
+        return stats
+
+    def _had_eligible(self, user: UserProfile) -> bool:
+        return bool(self._eligible_ads(user))
+
+    def run_until_saturated(
+        self,
+        users: Sequence[UserProfile],
+        max_rounds: int = 50,
+    ) -> DeliveryStats:
+        """Serve slots until no tracked ad can deliver another impression.
+
+        This is the Treads campaign mode: keep going until every matching
+        (user, ad) pair has hit the frequency cap or budgets are spent.
+        """
+        stats = DeliveryStats()
+        for _ in range(max_rounds):
+            progressed = False
+            for user in users:
+                if not self._eligible_ads(user):
+                    continue
+                outcome = self.serve_slot(user)
+                stats.slots += 1
+                if outcome.won:
+                    stats.filled_by_tracked_ads += 1
+                    progressed = True
+                else:
+                    stats.lost_to_competition += 1
+            if not progressed:
+                break
+        return stats
+
+    # -- views ---------------------------------------------------------------
+
+    def feed(self, user_id: str) -> List[DeliveredAd]:
+        """The ads a user has seen, in delivery order (user-visible)."""
+        return list(self._feeds[user_id])
+
+    def impressions(self) -> List[Impression]:
+        """Platform-internal impression log (reporting reads this)."""
+        return list(self._impressions)
+
+    def impressions_for_ad(self, ad_id: str) -> List[Impression]:
+        return [imp for imp in self._impressions if imp.ad_id == ad_id]
+
+    def record_click(self, user_id: str, ad_id: str) -> None:
+        """Record a click; only users who actually received the ad can
+        click it (anything else is a caller bug, not ad traffic)."""
+        if self._shown_counts.get(f"{ad_id}:{user_id}", 0) == 0:
+            raise ValueError(
+                f"user {user_id!r} never received ad {ad_id!r}"
+            )
+        self._clicks.append(Click(ad_id=ad_id, user_id=user_id,
+                                  click_seq=len(self._clicks)))
+
+    def clicks_for_ad(self, ad_id: str) -> int:
+        return sum(1 for click in self._clicks if click.ad_id == ad_id)
+
+    def unique_reach(self, ad_id: str) -> Set[str]:
+        """Distinct users reached by an ad (platform-internal)."""
+        return {imp.user_id for imp in self._impressions
+                if imp.ad_id == ad_id}

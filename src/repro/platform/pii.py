@@ -1,0 +1,62 @@
+"""PII upload handling for custom audiences.
+
+Platforms accept customer lists only as *hashed* PII (paper section 3.1,
+"Supporting PII": "advertising platforms generally only require hashed PII
+to create a PII-based audience"). This module models the upload format and
+its validation: an advertiser submits :class:`PIIRecord` rows whose values
+must already be SHA-256 digests; raw-looking values are rejected, which is
+the property that lets Treads users hand hashed PII to the transparency
+provider without revealing the raw values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set
+
+from repro.errors import PIIError
+from repro.hashing import PII_KINDS, hash_pii, is_hashed
+
+
+@dataclass(frozen=True)
+class PIIRecord:
+    """One hashed PII value of one kind, as uploaded by an advertiser."""
+
+    kind: str
+    digest: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in PII_KINDS:
+            raise PIIError(f"unknown PII kind {self.kind!r}")
+        if not is_hashed(self.digest):
+            raise PIIError(
+                f"PII value for kind {self.kind!r} is not a SHA-256 digest; "
+                "platforms only accept hashed uploads"
+            )
+
+
+def record_from_raw(kind: str, raw_value: str) -> PIIRecord:
+    """Hash a raw value into an uploadable record (client-side helper)."""
+    return PIIRecord(kind=kind, digest=hash_pii(kind, raw_value))
+
+
+def records_from_raw(kind: str, raw_values: Iterable[str]) -> List[PIIRecord]:
+    """Hash a batch of raw values of one kind."""
+    return [record_from_raw(kind, value) for value in raw_values]
+
+
+def validate_upload(records: Sequence[PIIRecord]) -> List[PIIRecord]:
+    """Validate an upload batch: de-duplicate, reject empties.
+
+    Returns the de-duplicated records in first-seen order. Platforms
+    silently drop duplicates; an empty upload is an advertiser error.
+    """
+    if not records:
+        raise PIIError("PII upload is empty")
+    seen: Set[PIIRecord] = set()
+    unique: List[PIIRecord] = []
+    for record in records:
+        if record not in seen:
+            seen.add(record)
+            unique.append(record)
+    return unique

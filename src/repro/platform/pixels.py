@@ -1,0 +1,109 @@
+"""Tracking pixels and the platform's pixel event log.
+
+Advertisers obtain a *tracking pixel* from the platform and embed it on
+their websites; when a platform user visits an instrumented page, the
+platform records the event against that user's platform identity. The
+advertiser can then target "visitors of my site" — a *website custom
+audience* — without ever learning who those visitors are (paper section
+3.1, footnote 3: "the identity of users who browse a site with a tracking
+pixel is not revealed to advertisers").
+
+This anonymity property is what makes the paper's anonymous opt-in work:
+users visit the transparency provider's opt-in page, the platform's pixel
+fires, and the provider can target the resulting audience while the users
+remain anonymous to the provider. Per-attribute custom opt-in (section 3.1,
+"Supporting custom attributes") simply uses one distinct pixel per
+attribute page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.errors import AudienceError
+from repro.platform.web import Visit
+
+
+@dataclass(frozen=True)
+class TrackingPixel:
+    """A pixel issued by the platform to one advertiser account."""
+
+    pixel_id: str
+    owner_account_id: str
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class PixelEvent:
+    """One pixel fire, recorded platform-side with the user's identity."""
+
+    pixel_id: str
+    user_id: str
+    domain: str
+    path: str
+    visit_seq: int
+
+
+@dataclass
+class PixelRegistry:
+    """Platform-internal registry of pixels and their event logs."""
+
+    _pixels: Dict[str, TrackingPixel] = field(default_factory=dict)
+    _events: Dict[str, List[PixelEvent]] = field(default_factory=dict)
+
+    def issue(self, pixel_id: str, owner_account_id: str,
+              label: str = "") -> TrackingPixel:
+        """Issue a new pixel to an advertiser account."""
+        if pixel_id in self._pixels:
+            raise AudienceError(f"pixel id {pixel_id!r} already issued")
+        pixel = TrackingPixel(pixel_id=pixel_id,
+                              owner_account_id=owner_account_id, label=label)
+        self._pixels[pixel_id] = pixel
+        self._events[pixel_id] = []
+        return pixel
+
+    def get(self, pixel_id: str) -> TrackingPixel:
+        try:
+            return self._pixels[pixel_id]
+        except KeyError:
+            raise AudienceError(f"unknown pixel id {pixel_id!r}") from None
+
+    def record_visit(self, visit: Visit) -> List[PixelEvent]:
+        """Fire every pixel embedded on a visited page.
+
+        Called by the platform facade for each visit; unknown pixel ids on
+        the page (e.g. another platform's pixel) are ignored — each
+        platform records only its own pixels' events.
+        """
+        fired: List[PixelEvent] = []
+        for pixel_id in visit.pixel_ids:
+            if pixel_id not in self._pixels:
+                continue
+            event = PixelEvent(
+                pixel_id=pixel_id,
+                user_id=visit.user_id,
+                domain=visit.domain,
+                path=visit.path,
+                visit_seq=visit.visit_seq,
+            )
+            self._events[pixel_id].append(event)
+            fired.append(event)
+        return fired
+
+    def events(self, pixel_id: str) -> List[PixelEvent]:
+        """Platform-internal: the raw event log for a pixel.
+
+        Never exposed to advertisers; audience materialization uses
+        :meth:`visitors` and reporting applies privacy thresholds.
+        """
+        self.get(pixel_id)
+        return list(self._events[pixel_id])
+
+    def visitors(self, pixel_id: str) -> Set[str]:
+        """Distinct platform user ids that fired a pixel (internal)."""
+        return {event.user_id for event in self.events(pixel_id)}
+
+    def pixels_owned_by(self, account_id: str) -> List[TrackingPixel]:
+        return [p for p in self._pixels.values()
+                if p.owner_account_id == account_id]

@@ -1,0 +1,299 @@
+"""ToS review: the "personal attributes" rule, and Tread-pattern detection.
+
+Section 4 of the paper quotes the policy text of all three major
+platforms: Facebook ads "must not contain content that asserts or implies
+personal attributes"; Twitter ads "must not assert or imply knowledge of
+personal information"; Google forbids ads that "imply knowledge of
+personally identifiable or sensitive information within the ad".
+
+Two properties of real review matter for Treads and are reproduced here:
+
+1. review scans only the **ad's visible text** — not external landing
+   pages — so a Tread that reveals targeting on its landing page, or one
+   that obfuscates the payload into an innocuous code ("2,830,120"),
+   passes review (paper section 4, "Co-operation from platforms");
+2. review is per-ad and lexicon-driven — it flags second-person assertions
+   of sensitive attributes, the "creepy ad" pattern the rule exists for.
+
+:class:`TreadPatternDetector` models the *future* countermeasure the paper
+anticipates ("If advertising platforms forbid all forms of Treads"): a
+platform-side auditor that flags accounts running many near-identical
+single-attribute ads at the same audience. The crowdsourcing evasion of
+section 4 shards the attribute set across accounts to stay under its
+per-account threshold (benchmark E11).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.platform.ads import Ad, AdCreative
+from repro.platform.attributes import AttributeCatalog
+
+#: Second-person phrasings that "assert or imply" something about the viewer.
+_SECOND_PERSON_PATTERNS = (
+    r"\byou are\b",
+    r"\byou're\b",
+    r"\byou have\b",
+    r"\byou recently\b",
+    r"\byou live\b",
+    r"\byou earn\b",
+    r"\byou bought\b",
+    r"\byou visited\b",
+    r"\byour\b",
+    r"\baccording to (this|the) (ad )?platform\b",
+    r"\bwe know\b",
+    r"\bthis platform (thinks|believes|knows)\b",
+)
+
+#: Sensitive-attribute vocabulary (financial, relationship, health,
+#: employment, purchase behaviour) drawn from the categories platforms'
+#: policies call out.
+_SENSITIVE_TERMS = (
+    "net worth", "income", "salary", "debt", "credit",
+    "single", "married", "divorced", "widowed", "engaged",
+    "relationship", "pregnant", "parent",
+    "unemployed", "job role", "job", "employer", "occupation",
+    "purchase", "purchases", "bought", "buys", "shopping",
+    "donate", "donates", "donation",
+    "medical", "health", "diagnosis",
+    "religion", "religious", "ethnic", "race",
+    "age", "birthday", "net-worth",
+    "interested in", "interests",
+    "home type", "home value", "homeowner", "renter",
+    "automobile", "vehicle", "car you",
+    "worth over", "worth between",
+)
+
+_SECOND_PERSON_RE = re.compile(
+    "|".join(_SECOND_PERSON_PATTERNS), re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class ReviewResult:
+    """Outcome of reviewing one creative."""
+
+    approved: bool
+    rule_id: Optional[str] = None
+    reasons: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.approved
+
+
+class PolicyEngine:
+    """The platform's ad-review pipeline.
+
+    ``strictness`` tunes how aggressively implied attributes are flagged:
+
+    * ``"standard"`` — flag second-person + sensitive-term co-occurrence
+      and second-person + verbatim catalog attribute names (default;
+      models review as the paper found it in 2018);
+    * ``"lenient"`` — only flag explicit "according to this platform"
+      style assertions;
+    * ``"strict"`` — additionally flag any verbatim catalog attribute
+      name in ad text, even without second-person phrasing.
+    """
+
+    RULE_PERSONAL_ATTRIBUTES = "personal-attributes"
+
+    def __init__(self, catalog: AttributeCatalog, strictness: str = "standard"):
+        if strictness not in ("lenient", "standard", "strict"):
+            raise ValueError(f"unknown strictness {strictness!r}")
+        self._catalog = catalog
+        self.strictness = strictness
+        # Pre-lower attribute names once; review runs per submitted ad.
+        self._attribute_names = [
+            attribute.name.lower() for attribute in catalog
+        ]
+
+    def review(self, creative: AdCreative) -> ReviewResult:
+        """Review one creative's visible text (landing pages NOT fetched)."""
+        text = creative.visible_text().lower()
+        reasons: List[str] = []
+
+        second_person = bool(_SECOND_PERSON_RE.search(text))
+        explicit_assertion = bool(
+            re.search(r"according to (this|the) (ad )?platform", text)
+        )
+        sensitive_hits = [term for term in _SENSITIVE_TERMS if term in text]
+        name_hits = [name for name in self._attribute_names if name in text]
+
+        if explicit_assertion:
+            reasons.append("explicitly asserts platform knowledge")
+        if self.strictness in ("standard", "strict"):
+            if second_person and sensitive_hits:
+                reasons.append(
+                    "second-person assertion of sensitive attribute "
+                    f"({', '.join(sensitive_hits[:3])})"
+                )
+            if second_person and name_hits:
+                reasons.append(
+                    f"second-person use of catalog attribute name "
+                    f"({name_hits[0]!r})"
+                )
+        if self.strictness == "strict" and name_hits:
+            reasons.append(
+                f"verbatim catalog attribute name ({name_hits[0]!r})"
+            )
+
+        if reasons:
+            return ReviewResult(
+                approved=False,
+                rule_id=self.RULE_PERSONAL_ATTRIBUTES,
+                reasons=tuple(reasons),
+            )
+        return ReviewResult(approved=True)
+
+
+#: Categories subject to the anti-discrimination targeting rules
+#: (Facebook's post-ProPublica "special ad categories").
+SPECIAL_AD_CATEGORIES = ("housing", "employment", "credit")
+
+#: Partner-attribute id prefixes considered proxies for protected classes
+#: or financial standing in special-category review.
+_SPECIAL_SENSITIVE_PREFIXES = (
+    "pc-networth", "pc-income", "pc-credit", "pc-homevalue",
+)
+
+
+def review_targeting_for_special_category(
+    spec: "TargetingSpec",
+    special_category: str,
+) -> ReviewResult:
+    """Anti-discrimination review of a housing/employment/credit ad.
+
+    Section 5 recounts the ProPublica findings ("Facebook Lets
+    Advertisers Exclude Users by Race", still exploitable as of late
+    2017). The rule set mirrors the remediation platforms adopted:
+    special-category ads may not use age, gender, or ZIP targeting, may
+    not EXCLUDE any attribute, and may not target financial-standing
+    proxies. Note what it deliberately does NOT catch — the covert
+    proxy channels of [29] (e.g. lookalikes of a skewed seed audience)
+    pass, which the tests document as the rule's known limitation.
+    """
+    from repro.platform.targeting import (
+        AgeBetween,
+        GenderIs,
+        HasAttr,
+        InZip,
+        Not,
+        TargetingSpec,
+    )
+
+    if special_category not in SPECIAL_AD_CATEGORIES:
+        raise ValueError(
+            f"unknown special ad category {special_category!r}"
+        )
+    reasons: List[str] = []
+    for node in spec.expr.walk():
+        if isinstance(node, AgeBetween):
+            reasons.append("age targeting forbidden for special-category "
+                           "ads")
+        elif isinstance(node, GenderIs):
+            reasons.append("gender targeting forbidden for "
+                           "special-category ads")
+        elif isinstance(node, InZip):
+            reasons.append("ZIP targeting forbidden for special-category "
+                           "ads")
+        elif isinstance(node, Not):
+            for inner in node.child.walk():
+                if isinstance(inner, HasAttr):
+                    reasons.append(
+                        f"exclusion targeting ({inner.attr_id!r}) "
+                        "forbidden for special-category ads"
+                    )
+                    break
+    for attr_id in spec.referenced_attributes():
+        if any(attr_id.startswith(prefix)
+               for prefix in _SPECIAL_SENSITIVE_PREFIXES):
+            reasons.append(
+                f"financial-standing attribute ({attr_id!r}) forbidden "
+                "for special-category ads"
+            )
+    if reasons:
+        return ReviewResult(
+            approved=False,
+            rule_id=f"special-category-{special_category}",
+            reasons=tuple(dict.fromkeys(reasons)),
+        )
+    return ReviewResult(approved=True)
+
+
+@dataclass(frozen=True)
+class AccountFlag:
+    """One account flagged by the Tread-pattern detector."""
+
+    account_id: str
+    score: int
+    reason: str
+
+
+class TreadPatternDetector:
+    """Platform-side auditor for transparency-campaign patterns.
+
+    Scores each account by the number of active ads that (a) positively
+    target exactly one catalog attribute and (b) share a common custom
+    audience with the account's other single-attribute ads. Accounts whose
+    score reaches ``per_account_threshold`` are flagged.
+
+    The threshold models review economics: a handful of single-attribute
+    ads is ordinary A/B practice; hundreds at one audience is the Tread
+    signature. Section 4's evasion spreads the catalog across many small
+    accounts so each stays under threshold.
+    """
+
+    def __init__(self, per_account_threshold: int = 50):
+        if per_account_threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.per_account_threshold = per_account_threshold
+
+    def _single_attribute_ads(self, ads: Sequence[Ad]) -> List[Ad]:
+        return [
+            ad for ad in ads
+            if len(ad.targeting.positively_targeted_attributes()) == 1
+        ]
+
+    def score_account(self, ads: Sequence[Ad]) -> int:
+        """Suspicion score for one account's ads.
+
+        The score is the size of the largest group of single-attribute ads
+        sharing one audience anchor — a custom audience or a liked page —
+        (0 when ads target no such anchor).
+        """
+        from repro.platform.targeting import InAudience, LikesPage
+
+        groups: Dict[str, int] = {}
+        for ad in self._single_attribute_ads(ads):
+            anchors = set()
+            for node in ad.targeting.expr.walk():
+                if isinstance(node, InAudience):
+                    anchors.add(f"audience:{node.audience_id}")
+                elif isinstance(node, LikesPage):
+                    anchors.add(f"page:{node.page_id}")
+            for anchor in anchors:
+                groups[anchor] = groups.get(anchor, 0) + 1
+        if not groups:
+            return 0
+        return max(groups.values())
+
+    def audit(self, ads_by_account: Dict[str, Sequence[Ad]]) -> List[AccountFlag]:
+        """Audit all accounts; returns flags for those over threshold."""
+        flags: List[AccountFlag] = []
+        for account_id, ads in sorted(ads_by_account.items()):
+            score = self.score_account(ads)
+            if score >= self.per_account_threshold:
+                flags.append(
+                    AccountFlag(
+                        account_id=account_id,
+                        score=score,
+                        reason=(
+                            f"{score} single-attribute ads at one audience "
+                            f"(threshold {self.per_account_threshold})"
+                        ),
+                    )
+                )
+        return flags

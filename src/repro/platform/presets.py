@@ -1,0 +1,90 @@
+"""Platform presets: Facebook-, Google-, and Twitter-alikes.
+
+The paper treats "Facebook, Google, and Twitter" as the three platforms a
+transparency provider would cover (sections 1-2), and quotes each one's
+ToS in section 4. These factories encode the public differences that
+matter to Treads:
+
+* **catalog shape** — Facebook's 614+507 catalog with partner categories;
+  Google and Twitter with platform-computed attributes only (their broker
+  integrations worked differently and are not the paper's target);
+* **minimum custom-audience sizes** — Facebook's 20 vs the ~100 floor
+  Google Customer Match and Twitter Tailored Audiences enforced;
+* **review strictness** — Google's personalized-advertising policy was
+  the broadest ("imply knowledge of ... sensitive information"), modelled
+  as the strict reviewer;
+* **market price level** — distinct competing-bid medians so multi-
+  platform examples exercise different cost regimes.
+
+The numbers are order-of-magnitude public knowledge, not measurements;
+what matters for the reproduction is that the *differences* exist and the
+Treads mechanics survive all three configurations (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platform.catalog import build_us_catalog
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.workloads.competition import lognormal_competition
+
+
+def facebook_like(name: str = "fbsim", seed: int = 18,
+                  platform_count: int = 614,
+                  partner_count: int = 507) -> AdPlatform:
+    """The paper's validation target: partner categories, page-like
+    opt-in loophole (min audience size 20 but page audiences exempt)."""
+    return AdPlatform(
+        config=PlatformConfig(
+            name=name,
+            default_cpm=2.0,
+            min_custom_audience_size=20,
+            policy_strictness="standard",
+        ),
+        catalog=build_us_catalog(platform_count, partner_count),
+        competing_draw=lognormal_competition(median_cpm=2.0, seed=seed),
+    )
+
+
+def google_like(name: str = "googsim", seed: int = 19,
+                platform_count: int = 450) -> AdPlatform:
+    """Customer Match-style platform: no partner categories, keyword
+    (custom intent/affinity) audiences, 100-member audience floor,
+    strict personalized-advertising review."""
+    return AdPlatform(
+        config=PlatformConfig(
+            name=name,
+            default_cpm=2.5,
+            min_custom_audience_size=100,
+            policy_strictness="strict",
+        ),
+        catalog=build_us_catalog(platform_count, 0),
+        competing_draw=lognormal_competition(median_cpm=2.5, seed=seed),
+    )
+
+
+def twitter_like(name: str = "twtrsim", seed: int = 20,
+                 platform_count: int = 300) -> AdPlatform:
+    """Tailored Audiences-style platform: smaller catalog, 100-member
+    audience floor, standard review."""
+    return AdPlatform(
+        config=PlatformConfig(
+            name=name,
+            default_cpm=1.5,
+            min_custom_audience_size=100,
+            policy_strictness="standard",
+        ),
+        catalog=build_us_catalog(platform_count, 0),
+        competing_draw=lognormal_competition(median_cpm=1.5, seed=seed),
+    )
+
+
+def all_major_platforms(seed: Optional[int] = None) -> list:
+    """The paper's trio, ready for a MultiPlatformProvider."""
+    kwargs = {} if seed is None else {"seed": seed}
+    return [
+        facebook_like(**kwargs),
+        google_like(**({} if seed is None else {"seed": seed + 1})),
+        twitter_like(**({} if seed is None else {"seed": seed + 2})),
+    ]

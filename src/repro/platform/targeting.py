@@ -1,0 +1,503 @@
+"""Targeting specifications: AST, compact syntax parser, and evaluator.
+
+Platforms let advertisers "construct Boolean expressions for targeting"
+(paper section 2.1) — e.g. *Millennials who live in Chicago, are interested
+in musicals, are currently unemployed, and are not in a relationship*. A
+:class:`TargetingSpec` wraps an expression tree over these predicates:
+
+======================  =====================================================
+predicate               meaning
+======================  =====================================================
+``attr:ID``             user has binary attribute ID set (or multi assigned)
+``value:ID=V``          user's multi attribute ID is assigned value V
+``age:MIN-MAX``         user age in the inclusive range
+``gender:G``            user gender equals G
+``country:CC``          user country equals CC
+``zip:Z1/Z2/...``       user ZIP is one of the listed codes
+``audience:AID``        user belongs to custom audience AID
+``page:PID``            user liked page PID
+``all``                 matches every user
+======================  =====================================================
+
+combined with ``&`` (AND), ``|`` (OR), ``!`` (NOT) and parentheses; ``&``
+binds tighter than ``|``. :func:`parse` and ``Expr.to_string`` round-trip.
+
+The delivery-iff-match contract evaluated here is the entire foundation of
+Treads (paper section 1): "a user is supposed to see a targeted ad if and
+only if they satisfy the advertiser's targeting parameters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import TargetingError, TargetingSyntaxError
+from repro.platform.attributes import AttributeCatalog, AttributeKind
+from repro.platform.users import UserProfile
+
+#: Resolves custom-audience membership: (audience_id, user_id) -> bool.
+AudienceResolver = Callable[[str, str], bool]
+
+
+def _no_audiences(audience_id: str, user_id: str) -> bool:
+    raise TargetingError(
+        f"spec references audience {audience_id!r} but no resolver was given"
+    )
+
+
+class Expr:
+    """Base class for targeting expression nodes."""
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        raise NotImplementedError
+
+    def to_string(self) -> str:
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class All(Expr):
+    """Matches every user — the paper's control ad targets the opted-in
+    audience "without specifying any additional targeting parameters"."""
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return True
+
+    def to_string(self) -> str:
+        return "all"
+
+
+@dataclass(frozen=True)
+class HasAttr(Expr):
+    """User has the attribute set (binary) or assigned (multi)."""
+
+    attr_id: str
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return user.has_attribute(self.attr_id)
+
+    def to_string(self) -> str:
+        return f"attr:{self.attr_id}"
+
+
+@dataclass(frozen=True)
+class AttrIs(Expr):
+    """User's multi-valued attribute is assigned a specific value."""
+
+    attr_id: str
+    value: str
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return user.attribute_value(self.attr_id) == self.value
+
+    def to_string(self) -> str:
+        return f"value:{self.attr_id}={self.value}"
+
+
+@dataclass(frozen=True)
+class AgeBetween(Expr):
+    """User age within an inclusive range (platforms clamp to 13..65+)."""
+
+    min_age: int
+    max_age: int
+
+    def __post_init__(self) -> None:
+        if self.min_age > self.max_age:
+            raise TargetingError(
+                f"age range {self.min_age}-{self.max_age} is inverted"
+            )
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return self.min_age <= user.age <= self.max_age
+
+    def to_string(self) -> str:
+        return f"age:{self.min_age}-{self.max_age}"
+
+
+@dataclass(frozen=True)
+class GenderIs(Expr):
+    gender: str
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return user.gender == self.gender
+
+    def to_string(self) -> str:
+        return f"gender:{self.gender}"
+
+
+@dataclass(frozen=True)
+class InCountry(Expr):
+    country: str
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return user.country == self.country
+
+    def to_string(self) -> str:
+        return f"country:{self.country}"
+
+
+@dataclass(frozen=True)
+class InZip(Expr):
+    """User's ZIP code is one of the listed codes (location targeting)."""
+
+    zips: FrozenSet[str]
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return user.zip_code in self.zips
+
+    def to_string(self) -> str:
+        return "zip:" + "/".join(sorted(self.zips))
+
+
+@dataclass(frozen=True)
+class InAudience(Expr):
+    """User belongs to a custom audience (PII-based, pixel-based, ...)."""
+
+    audience_id: str
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return resolver(self.audience_id, user.user_id)
+
+    def to_string(self) -> str:
+        return f"audience:{self.audience_id}"
+
+
+@dataclass(frozen=True)
+class LikesPage(Expr):
+    """User liked a platform page — the validation's opt-in signal."""
+
+    page_id: str
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return self.page_id in user.liked_pages
+
+    def to_string(self) -> str:
+        return f"page:{self.page_id}"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Exclusion — the paper's false-or-missing Treads hinge on this:
+    excluding users with an attribute reveals to recipients that the
+    attribute is "either set to false, or is missing" (section 3.1)."""
+
+    child: Expr
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return not self.child.matches(user, resolver)
+
+    def to_string(self) -> str:
+        return f"!({self.child.to_string()})"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    operands: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise TargetingError("AND needs at least two operands")
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return all(op.matches(user, resolver) for op in self.operands)
+
+    def to_string(self) -> str:
+        return "(" + " & ".join(op.to_string() for op in self.operands) + ")"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.operands
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    operands: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise TargetingError("OR needs at least two operands")
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return any(op.matches(user, resolver) for op in self.operands)
+
+    def to_string(self) -> str:
+        return "(" + " | ".join(op.to_string() for op in self.operands) + ")"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.operands
+
+
+@dataclass(frozen=True)
+class TargetingSpec:
+    """An ad's complete targeting specification.
+
+    Wraps the expression tree and offers the introspection the platform
+    needs: referenced attributes (for explanations and review) and
+    referenced audiences (for ownership checks).
+    """
+
+    expr: Expr
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return self.expr.matches(user, resolver)
+
+    def to_string(self) -> str:
+        return self.expr.to_string()
+
+    def referenced_attributes(self) -> List[str]:
+        """Attribute ids mentioned anywhere in the spec, in tree order."""
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for node in self.expr.walk():
+            attr_id: Optional[str] = None
+            if isinstance(node, HasAttr):
+                attr_id = node.attr_id
+            elif isinstance(node, AttrIs):
+                attr_id = node.attr_id
+            if attr_id is not None and attr_id not in seen:
+                seen.add(attr_id)
+                ordered.append(attr_id)
+        return ordered
+
+    def positively_targeted_attributes(self) -> List[str]:
+        """Attribute ids required (not under a NOT) by the spec.
+
+        Used by the platform's explanation generator, which only ever
+        mentions inclusion criteria.
+        """
+        ordered: List[str] = []
+
+        def visit(node: Expr, negated: bool) -> None:
+            if isinstance(node, Not):
+                visit(node.child, not negated)
+                return
+            if isinstance(node, (HasAttr, AttrIs)) and not negated:
+                if node.attr_id not in ordered:
+                    ordered.append(node.attr_id)
+            for child in node.children():
+                visit(child, negated)
+
+        visit(self.expr, False)
+        return ordered
+
+    def referenced_audiences(self) -> List[str]:
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for node in self.expr.walk():
+            if isinstance(node, InAudience) and node.audience_id not in seen:
+                seen.add(node.audience_id)
+                ordered.append(node.audience_id)
+        return ordered
+
+    def validate(self, catalog: AttributeCatalog) -> None:
+        """Check every attribute reference against the catalog.
+
+        Raises :class:`TargetingError` for unknown attributes, for
+        ``value:`` predicates on binary attributes, and for values outside
+        a multi attribute's enumerated set. The platform runs this at ad
+        submission; it is also how the "partner categories shut down"
+        scenario bites — specs referencing removed attributes fail.
+        """
+        for node in self.expr.walk():
+            if isinstance(node, HasAttr):
+                catalog.get(node.attr_id)
+            elif isinstance(node, AttrIs):
+                attribute = catalog.get(node.attr_id)
+                if attribute.kind is not AttributeKind.MULTI:
+                    raise TargetingError(
+                        f"value targeting needs a multi attribute, "
+                        f"{node.attr_id!r} is binary"
+                    )
+                attribute.value_index(node.value)
+
+
+# ---------------------------------------------------------------------------
+# Parser for the compact syntax.
+# ---------------------------------------------------------------------------
+
+_ATOM_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789:-_=./$+' "
+)
+
+
+class _Tokenizer:
+    """Splits a spec string into '(', ')', '&', '|', '!' and atom tokens."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+
+    def tokens(self) -> List[str]:
+        out: List[str] = []
+        while self._pos < len(self._text):
+            ch = self._text[self._pos]
+            if ch.isspace():
+                self._pos += 1
+            elif ch in "()&|!":
+                out.append(ch)
+                self._pos += 1
+            elif ch in _ATOM_CHARS:
+                out.append(self._read_atom())
+            else:
+                raise TargetingSyntaxError(
+                    f"unexpected character {ch!r} at position {self._pos}"
+                )
+        return out
+
+    def _read_atom(self) -> str:
+        start = self._pos
+        while (self._pos < len(self._text)
+               and self._text[self._pos] in _ATOM_CHARS
+               and self._text[self._pos] not in "()&|!"):
+            self._pos += 1
+        return self._text[start:self._pos].strip()
+
+
+class _Parser:
+    """Recursive-descent parser: or_expr > and_expr > unary > atom."""
+
+    def __init__(self, tokens: List[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def parse(self) -> Expr:
+        expr = self._or_expr()
+        if self._pos != len(self._tokens):
+            raise TargetingSyntaxError(
+                f"trailing tokens: {self._tokens[self._pos:]}"
+            )
+        return expr
+
+    def _peek(self) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise TargetingSyntaxError("unexpected end of spec")
+        self._pos += 1
+        return token
+
+    def _or_expr(self) -> Expr:
+        operands = [self._and_expr()]
+        while self._peek() == "|":
+            self._take()
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _and_expr(self) -> Expr:
+        operands = [self._unary()]
+        while self._peek() == "&":
+            self._take()
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _unary(self) -> Expr:
+        if self._peek() == "!":
+            self._take()
+            return Not(self._unary())
+        if self._peek() == "(":
+            self._take()
+            inner = self._or_expr()
+            if self._take() != ")":
+                raise TargetingSyntaxError("expected ')'")
+            return inner
+        return self._atom(self._take())
+
+    def _atom(self, token: str) -> Expr:
+        if token == "all":
+            return All()
+        if ":" not in token:
+            raise TargetingSyntaxError(f"malformed predicate {token!r}")
+        head, _, rest = token.partition(":")
+        if head == "attr":
+            return HasAttr(rest)
+        if head == "value":
+            attr_id, sep, value = rest.partition("=")
+            if not sep or not value:
+                raise TargetingSyntaxError(
+                    f"value predicate needs attr=value, got {token!r}"
+                )
+            return AttrIs(attr_id, value)
+        if head == "age":
+            low, sep, high = rest.partition("-")
+            if not sep:
+                raise TargetingSyntaxError(f"age range needs MIN-MAX: {token!r}")
+            try:
+                return AgeBetween(int(low), int(high))
+            except ValueError:
+                raise TargetingSyntaxError(
+                    f"non-numeric age bound in {token!r}"
+                ) from None
+            except TargetingError as error:
+                # e.g. inverted range: a *syntax-level* mistake when it
+                # arrives as text
+                raise TargetingSyntaxError(str(error)) from None
+        if head == "gender":
+            return GenderIs(rest)
+        if head == "country":
+            return InCountry(rest)
+        if head == "zip":
+            codes = frozenset(z for z in rest.split("/") if z)
+            if not codes:
+                raise TargetingSyntaxError("zip predicate needs codes")
+            return InZip(codes)
+        if head == "audience":
+            return InAudience(rest)
+        if head == "page":
+            return LikesPage(rest)
+        raise TargetingSyntaxError(f"unknown predicate kind {head!r}")
+
+
+def parse(text: str) -> TargetingSpec:
+    """Parse the compact spec syntax into a :class:`TargetingSpec`.
+
+    >>> parse("attr:pc-networth-006 & audience:aud-0").to_string()
+    '(attr:pc-networth-006 & audience:aud-0)'
+    """
+    if not text or not text.strip():
+        raise TargetingSyntaxError("empty targeting spec")
+    tokens = _Tokenizer(text).tokens()
+    return TargetingSpec(expr=_Parser(tokens).parse())

@@ -1,0 +1,179 @@
+"""Platform user accounts and profiles.
+
+The platform keeps a detailed per-user profile "based on activity and
+information from both on and off their platform" (paper section 1):
+demographics, binary attribute memberships, multi-valued attribute
+assignments, PII it has collected (from the user or elsewhere — see [35]),
+page likes, and the audiences the user has been matched into.
+
+Profiles are *internal to the platform*: advertisers never see them, and
+the platform's own transparency surfaces deliberately show users only a
+subset (see :mod:`repro.platform.adpreferences`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.errors import CatalogError, PIIError
+from repro.hashing import PII_KINDS, hash_pii
+from repro.platform.attributes import Attribute, AttributeCatalog, AttributeKind
+
+
+@dataclass
+class UserProfile:
+    """Everything the platform knows about one user.
+
+    Parameters
+    ----------
+    user_id:
+        Platform-assigned id.
+    country, age, gender, zip_code:
+        Core demographics used by demographic targeting predicates.
+    binary_attrs:
+        Ids of BINARY catalog attributes that are *set* for this user.
+        Absence means false-or-unknown — the platform does not distinguish,
+        which is exactly why the paper's exclusion Treads can only reveal
+        "false or missing" (section 3.1).
+    multi_attrs:
+        MULTI catalog attribute id -> assigned value.
+    pii_hashes:
+        Hashed PII the platform has associated with this user, as
+        ``kind -> set of sha256 hex digests``. The platform may hold PII
+        the user never provided directly (contact-list sync, 2FA numbers —
+        paper section 5, citing [35]).
+    liked_pages:
+        Page ids the user has liked; page-engagement audiences build on
+        this (the paper's validation opt-in is a page like).
+    """
+
+    user_id: str
+    country: str = "US"
+    age: int = 30
+    gender: str = "unknown"
+    zip_code: str = "00000"
+    binary_attrs: Set[str] = field(default_factory=set)
+    multi_attrs: Dict[str, str] = field(default_factory=dict)
+    pii_hashes: Dict[str, Set[str]] = field(default_factory=dict)
+    liked_pages: Set[str] = field(default_factory=set)
+
+    def has_attribute(self, attr_id: str) -> bool:
+        """True when a binary attribute is set (or a multi attr assigned)."""
+        return attr_id in self.binary_attrs or attr_id in self.multi_attrs
+
+    def attribute_value(self, attr_id: str) -> Optional[str]:
+        """Assigned value of a multi attribute, or None when unassigned."""
+        return self.multi_attrs.get(attr_id)
+
+    def add_pii_hash(self, kind: str, digest: str) -> None:
+        """Associate one hashed PII value with this user."""
+        if kind not in PII_KINDS:
+            raise PIIError(f"unknown PII kind {kind!r}")
+        self.pii_hashes.setdefault(kind, set()).add(digest)
+
+    def add_pii(self, kind: str, raw_value: str) -> None:
+        """Associate raw PII (hashed internally) with this user."""
+        self.add_pii_hash(kind, hash_pii(kind, raw_value))
+
+    def has_pii_hash(self, kind: str, digest: str) -> bool:
+        """Whether the platform holds this exact hashed PII for the user."""
+        return digest in self.pii_hashes.get(kind, set())
+
+    def set_attribute(self, attribute: Attribute, value: Optional[str] = None) -> None:
+        """Set a catalog attribute on this profile.
+
+        Binary attributes are flagged set; multi attributes require a
+        ``value`` drawn from the attribute's enumerated values.
+        """
+        if attribute.kind is AttributeKind.BINARY:
+            if value is not None:
+                raise CatalogError(
+                    f"binary attribute {attribute.attr_id!r} takes no value"
+                )
+            self.binary_attrs.add(attribute.attr_id)
+            return
+        if value is None:
+            raise CatalogError(
+                f"multi attribute {attribute.attr_id!r} needs a value"
+            )
+        attribute.value_index(value)  # validates membership
+        self.multi_attrs[attribute.attr_id] = value
+
+    def clear_attribute(self, attr_id: str) -> None:
+        """Unset an attribute (used by the broker-shutdown scenario)."""
+        self.binary_attrs.discard(attr_id)
+        self.multi_attrs.pop(attr_id, None)
+
+    def set_attributes(self, attrs: Dict[str, Optional[str]],
+                       catalog: AttributeCatalog) -> None:
+        """Bulk-set attributes from ``attr_id -> value-or-None``."""
+        for attr_id, value in attrs.items():
+            self.set_attribute(catalog.get(attr_id), value)
+
+
+class UserStore:
+    """The platform's internal registry of user profiles.
+
+    Provides the reverse PII index the custom-audience matcher needs
+    (hashed PII -> user) and iteration for audience materialization.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, UserProfile] = {}
+        self._pii_index: Dict[str, Set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[UserProfile]:
+        return iter(self._profiles.values())
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._profiles
+
+    def add(self, profile: UserProfile) -> UserProfile:
+        """Register a profile; re-registering the same id is an error."""
+        if profile.user_id in self._profiles:
+            raise CatalogError(f"duplicate user id {profile.user_id!r}")
+        self._profiles[profile.user_id] = profile
+        for kind, digests in profile.pii_hashes.items():
+            for digest in digests:
+                self._index_pii(kind, digest, profile.user_id)
+        return profile
+
+    def get(self, user_id: str) -> UserProfile:
+        try:
+            return self._profiles[user_id]
+        except KeyError:
+            raise CatalogError(f"unknown user id {user_id!r}") from None
+
+    def attach_pii(self, user_id: str, kind: str, raw_value: str) -> str:
+        """Attach raw PII to a user and index it; returns the digest."""
+        digest = hash_pii(kind, raw_value)
+        self.attach_pii_hash(user_id, kind, digest)
+        return digest
+
+    def attach_pii_hash(self, user_id: str, kind: str, digest: str) -> None:
+        """Attach already-hashed PII to a user and index it."""
+        profile = self.get(user_id)
+        profile.add_pii_hash(kind, digest)
+        self._index_pii(kind, digest, user_id)
+
+    def _index_pii(self, kind: str, digest: str, user_id: str) -> None:
+        self._pii_index.setdefault(f"{kind}:{digest}", set()).add(user_id)
+
+    def users_matching_pii(self, kind: str, digest: str) -> Set[str]:
+        """User ids whose profile carries this hashed PII.
+
+        This is the platform-internal match step of PII-based targeting
+        (paper section 2.1): uploaded hashes are joined against profiles.
+        """
+        return set(self._pii_index.get(f"{kind}:{digest}", set()))
+
+    def users_with_attribute(self, attr_id: str) -> List[UserProfile]:
+        """All profiles with ``attr_id`` set/assigned (platform-internal)."""
+        return [p for p in self._profiles.values() if p.has_attribute(attr_id)]
+
+    def user_ids(self) -> List[str]:
+        return list(self._profiles)

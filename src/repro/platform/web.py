@@ -1,0 +1,178 @@
+"""Websites, browsers, cookies, and visits.
+
+This is the off-platform web the simulation needs: the transparency
+provider hosts an opt-in website carrying the platform's tracking pixel
+(paper section 3.1, "User opt-in"), and Tread landing pages live on
+provider-owned sites. Browsers carry per-site first-party cookies — the
+channel through which a provider *could* associate targeting information
+with a user who clicks through to a landing page (paper "Privacy
+analysis"), and which users defeat by clearing or disabling cookies.
+
+Identity resolution is deliberately asymmetric, mirroring reality:
+
+* the *site owner's* first-party log sees only the browser's site-local
+  cookie id (or nothing when cookies are disabled);
+* the *platform's* pixel (see :mod:`repro.platform.pixels`) recognises its
+  own logged-in user, but that identity stays inside the platform.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Page:
+    """One page of a website.
+
+    ``pixel_ids`` lists tracking pixels embedded on the page (possibly
+    from several platforms — the multi-platform opt-in page of section
+    3.1). ``content`` is the page body; Tread landing pages put the
+    revealed targeting information here.
+    """
+
+    path: str
+    content: str = ""
+    pixel_ids: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FirstPartyLogEntry:
+    """What a site owner's own web log records for one visit."""
+
+    path: str
+    cookie_id: Optional[str]
+    visit_seq: int
+
+
+@dataclass
+class Website:
+    """A website owned by some entity (e.g. the transparency provider)."""
+
+    domain: str
+    owner: str
+    pages: Dict[str, Page] = field(default_factory=dict)
+    access_log: List[FirstPartyLogEntry] = field(default_factory=list)
+
+    def add_page(self, path: str, content: str = "",
+                 pixel_ids: Optional[List[str]] = None) -> Page:
+        """Create (or replace) a page at ``path``."""
+        page = Page(path=path, content=content,
+                    pixel_ids=list(pixel_ids or []))
+        self.pages[path] = page
+        return page
+
+    def get_page(self, path: str) -> Page:
+        try:
+            return self.pages[path]
+        except KeyError:
+            raise KeyError(f"{self.domain} has no page {path!r}") from None
+
+
+class Browser:
+    """One user's browser: cookie jar plus visit mechanics.
+
+    The browser belongs to a platform user (``user_id``) but websites never
+    learn that id; they see only their own first-party cookie. Cookies can
+    be cleared or disabled entirely — the mitigations the paper recommends
+    before receiving Treads with external landing pages.
+    """
+
+    _cookie_counter = itertools.count()
+    _visit_counter = itertools.count()
+
+    def __init__(self, user_id: str, cookies_enabled: bool = True):
+        self.user_id = user_id
+        self.cookies_enabled = cookies_enabled
+        self._cookies: Dict[str, str] = {}
+
+    def cookie_for(self, domain: str) -> Optional[str]:
+        """The first-party cookie this browser presents to ``domain``.
+
+        A fresh cookie is minted on first contact; None when cookies are
+        disabled.
+        """
+        if not self.cookies_enabled:
+            return None
+        if domain not in self._cookies:
+            self._cookies[domain] = f"ck-{next(Browser._cookie_counter):08d}"
+        return self._cookies[domain]
+
+    def clear_cookies(self) -> None:
+        """Drop all cookies; subsequent visits look like a new visitor."""
+        self._cookies.clear()
+
+    def disable_cookies(self) -> None:
+        """Stop presenting cookies entirely."""
+        self.cookies_enabled = False
+        self._cookies.clear()
+
+    def enable_cookies(self) -> None:
+        self.cookies_enabled = True
+
+    def visit(self, website: Website, path: str = "/") -> "Visit":
+        """Visit a page: log in the site's first-party log, return the
+        visit so the caller (the platform facade) can fire pixels."""
+        page = website.get_page(path)
+        cookie_id = self.cookie_for(website.domain)
+        seq = next(Browser._visit_counter)
+        website.access_log.append(
+            FirstPartyLogEntry(path=path, cookie_id=cookie_id, visit_seq=seq)
+        )
+        return Visit(
+            user_id=self.user_id,
+            domain=website.domain,
+            path=path,
+            cookie_id=cookie_id,
+            pixel_ids=list(page.pixel_ids),
+            visit_seq=seq,
+        )
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One page visit, as seen end-to-end.
+
+    ``user_id`` is carried here for the *platform pixel's* benefit only
+    (platforms recognise their logged-in users); first-party site logs
+    never receive it.
+    """
+
+    user_id: str
+    domain: str
+    path: str
+    cookie_id: Optional[str]
+    pixel_ids: List[str]
+    visit_seq: int
+
+
+class WebDirectory:
+    """DNS-of-sorts: resolves domains to :class:`Website` objects.
+
+    The off-platform web is shared infrastructure — the provider's opt-in
+    site, Tread landing pages, and ordinary sites all live here so that a
+    click on an ad's landing URL can actually be followed.
+    """
+
+    def __init__(self) -> None:
+        self._sites: Dict[str, Website] = {}
+
+    def register(self, website: Website) -> Website:
+        if website.domain in self._sites:
+            raise KeyError(f"domain {website.domain!r} already registered")
+        self._sites[website.domain] = website
+        return website
+
+    def create_site(self, domain: str, owner: str) -> Website:
+        return self.register(Website(domain=domain, owner=owner))
+
+    def resolve(self, domain: str) -> Website:
+        try:
+            return self._sites[domain]
+        except KeyError:
+            raise KeyError(f"no website at domain {domain!r}") from None
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._sites

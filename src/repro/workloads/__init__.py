@@ -1,0 +1,34 @@
+"""Synthetic workloads: users, brokers feeds, browsing, and competition.
+
+The paper's validation ran against two real people — one with a rich
+data-broker footprint and one (a recently arrived graduate student)
+without. :mod:`~repro.workloads.personas` encodes such archetypes;
+:mod:`~repro.workloads.population` turns them into platform users, PII,
+and broker records; :mod:`~repro.workloads.browsing` generates ad-slot
+traffic; :mod:`~repro.workloads.competition` models the ambient bid
+pressure the paper's $2-CPM-default / $10-CPM-elevated reasoning assumes.
+"""
+
+from repro.workloads.personas import (
+    AVERAGE_CONSUMER,
+    ESTABLISHED_PROFESSIONAL,
+    PERSONAS,
+    PRIVACY_MINIMALIST,
+    RECENT_ARRIVAL_GRAD_STUDENT,
+    RETIREE,
+    YOUNG_PARENT,
+    Persona,
+)
+from repro.workloads.population import PopulationBuilder
+
+__all__ = [
+    "AVERAGE_CONSUMER",
+    "ESTABLISHED_PROFESSIONAL",
+    "PERSONAS",
+    "PRIVACY_MINIMALIST",
+    "RECENT_ARRIVAL_GRAD_STUDENT",
+    "RETIREE",
+    "YOUNG_PARENT",
+    "Persona",
+    "PopulationBuilder",
+]

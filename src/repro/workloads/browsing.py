@@ -1,0 +1,96 @@
+"""Browsing-session generation.
+
+"Users see these Treads while browsing normally" (paper section 3.1) —
+this module supplies the "normally": each user gets a heavy-tailed number
+of ad slots per simulated day, so light and heavy browsers coexist and a
+Tread campaign's time-to-coverage depends on user activity, not just on
+auction wins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.platform.delivery import DeliveryStats
+from repro.platform.platform import AdPlatform
+from repro.platform.users import UserProfile
+
+
+@dataclass(frozen=True)
+class BrowsingModel:
+    """How many ad slots a user's daily browsing exposes.
+
+    Slots are geometric with mean ``mean_slots`` (heavy-tailed enough for
+    the purpose), floored at ``min_slots``. ``heavy_user_fraction`` of
+    draws are multiplied by ``heavy_multiplier`` to model the long tail of
+    very active users.
+    """
+
+    mean_slots: float = 20.0
+    min_slots: int = 1
+    heavy_user_fraction: float = 0.1
+    heavy_multiplier: int = 4
+
+    def slots_for(self, rng: random.Random) -> int:
+        if self.mean_slots <= 0:
+            return self.min_slots
+        p = 1.0 / (1.0 + self.mean_slots)
+        slots = 0
+        while rng.random() > p:
+            slots += 1
+            if slots > 50 * self.mean_slots:
+                break  # geometric tail guard
+        if rng.random() < self.heavy_user_fraction:
+            slots *= self.heavy_multiplier
+        return max(self.min_slots, slots)
+
+
+@dataclass
+class BrowsingDay:
+    """Result of simulating one day of browsing."""
+
+    stats: DeliveryStats
+    slots_by_user: Dict[str, int] = field(default_factory=dict)
+
+
+def simulate_day(
+    platform: AdPlatform,
+    users: Sequence[UserProfile],
+    model: Optional[BrowsingModel] = None,
+    seed: int = 99,
+) -> BrowsingDay:
+    """One day: every user browses, each slot runs an auction."""
+    model = model or BrowsingModel()
+    rng = random.Random(seed)
+    stats = DeliveryStats()
+    slots_by_user: Dict[str, int] = {}
+    for user in users:
+        slots = model.slots_for(rng)
+        slots_by_user[user.user_id] = slots
+        for _ in range(slots):
+            outcome = platform.delivery.serve_slot(user)
+            stats.slots += 1
+            if outcome.won:
+                stats.filled_by_tracked_ads += 1
+    return BrowsingDay(stats=stats, slots_by_user=slots_by_user)
+
+
+def days_until_coverage(
+    platform: AdPlatform,
+    users: Sequence[UserProfile],
+    expected_impressions: int,
+    model: Optional[BrowsingModel] = None,
+    seed: int = 99,
+    max_days: int = 60,
+) -> int:
+    """Simulated days until the campaign has delivered
+    ``expected_impressions`` tracked impressions (or ``max_days``)."""
+    delivered = 0
+    for day in range(1, max_days + 1):
+        result = simulate_day(platform, users, model, seed=seed + day)
+        delivered += result.stats.filled_by_tracked_ads
+        if delivered >= expected_impressions:
+            return day
+    return max_days

@@ -1,0 +1,145 @@
+"""User personas: archetypes controlling profile and broker coverage.
+
+The paper's validation outcome hinged on persona differences: the author
+with a long U.S. consumer history received eleven partner-category Treads
+(net worth, restaurant and apparel purchases, job role, home type, likely
+auto purchase); the author who "has only been in the U.S. for over a year"
+received none — data brokers simply had no record of him (section 3.1).
+
+A :class:`Persona` captures exactly the knobs that produce such outcomes:
+demographics, how many platform attributes the user accrues, the
+probability data brokers hold a record on them, and — when they do — how
+many partner attributes of which families the record carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Partner-attribute id prefixes (see :mod:`repro.platform.catalog`).
+NETWORTH = "pc-networth"
+INCOME = "pc-income"
+CREDIT = "pc-credit"
+RESTAURANTS = "pc-restaurants"
+APPAREL = "pc-apparel"
+GROCERY = "pc-grocery"
+JOB_ROLE = "pc-jobrole"
+HOME_TYPE = "pc-hometype"
+HOME_VALUE = "pc-homevalue"
+AUTO_INTENT = "pc-autointent"
+AUTO_BRAND = "pc-autobrand"
+CHARITY = "pc-charity"
+TRAVEL = "pc-travel"
+SEGMENTS = "pc-segment"
+
+
+@dataclass(frozen=True)
+class Persona:
+    """One user archetype.
+
+    ``partner_families`` lists the partner-attribute id prefixes a broker
+    record for this persona draws from first (topped up from the generic
+    segments); ``broker_coverage`` is the probability brokers hold any
+    record at all.
+    """
+
+    name: str
+    age_range: Tuple[int, int]
+    genders: Tuple[str, ...]
+    platform_attr_range: Tuple[int, int]
+    partner_attr_range: Tuple[int, int]
+    broker_coverage: float
+    partner_families: Tuple[str, ...]
+    pii_kinds: Tuple[str, ...] = ("email", "phone")
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.broker_coverage <= 1.0:
+            raise ValueError("broker_coverage must be a probability")
+        if self.age_range[0] > self.age_range[1]:
+            raise ValueError("age range inverted")
+
+
+#: The paper's profiled author archetype: long U.S. residence, rich
+#: offline consumer footprint, exactly the attribute families the
+#: validation revealed.
+ESTABLISHED_PROFESSIONAL = Persona(
+    name="established_professional",
+    age_range=(32, 55),
+    genders=("male", "female"),
+    platform_attr_range=(12, 30),
+    partner_attr_range=(9, 14),
+    broker_coverage=1.0,
+    partner_families=(
+        NETWORTH, RESTAURANTS, APPAREL, JOB_ROLE, HOME_TYPE,
+        AUTO_INTENT, INCOME, CREDIT,
+    ),
+)
+
+#: The paper's unprofiled author archetype: "a graduate student who has
+#: only been in the U.S. for over a year" — zero broker coverage.
+RECENT_ARRIVAL_GRAD_STUDENT = Persona(
+    name="recent_arrival_grad_student",
+    age_range=(23, 30),
+    genders=("male", "female"),
+    platform_attr_range=(6, 16),
+    partner_attr_range=(0, 0),
+    broker_coverage=0.0,
+    partner_families=(),
+)
+
+AVERAGE_CONSUMER = Persona(
+    name="average_consumer",
+    age_range=(21, 64),
+    genders=("male", "female", "unknown"),
+    platform_attr_range=(8, 20),
+    partner_attr_range=(3, 10),
+    broker_coverage=0.85,
+    partner_families=(
+        RESTAURANTS, APPAREL, GROCERY, INCOME, TRAVEL, SEGMENTS,
+    ),
+)
+
+PRIVACY_MINIMALIST = Persona(
+    name="privacy_minimalist",
+    age_range=(25, 50),
+    genders=("male", "female", "unknown"),
+    platform_attr_range=(2, 6),
+    partner_attr_range=(0, 3),
+    broker_coverage=0.3,
+    partner_families=(SEGMENTS,),
+    pii_kinds=("email",),
+)
+
+RETIREE = Persona(
+    name="retiree",
+    age_range=(65, 85),
+    genders=("male", "female"),
+    platform_attr_range=(5, 12),
+    partner_attr_range=(6, 12),
+    broker_coverage=0.95,
+    partner_families=(
+        NETWORTH, HOME_VALUE, HOME_TYPE, CHARITY, TRAVEL, CREDIT,
+    ),
+)
+
+YOUNG_PARENT = Persona(
+    name="young_parent",
+    age_range=(26, 40),
+    genders=("male", "female"),
+    platform_attr_range=(10, 22),
+    partner_attr_range=(4, 9),
+    broker_coverage=0.9,
+    partner_families=(
+        GROCERY, APPAREL, AUTO_INTENT, INCOME, HOME_TYPE, SEGMENTS,
+    ),
+)
+
+PERSONAS: Tuple[Persona, ...] = (
+    ESTABLISHED_PROFESSIONAL,
+    RECENT_ARRIVAL_GRAD_STUDENT,
+    AVERAGE_CONSUMER,
+    PRIVACY_MINIMALIST,
+    RETIREE,
+    YOUNG_PARENT,
+)

@@ -1,0 +1,206 @@
+"""Population generation: personas -> platform users + broker records.
+
+The builder creates platform users from personas, attaches synthetic PII,
+sets platform-computed attributes directly (the platform "computes" them
+from activity, which the simulation abstracts), and writes data-broker
+records keyed by the same PII. Calling :meth:`PopulationBuilder.finalize`
+runs the broker ingest pipeline, which PII-matches records onto users and
+sets their partner attributes — the exact pipeline the paper's Treads make
+visible.
+
+Everything is driven by one seeded ``random.Random``, so populations are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.platform.attributes import Attribute, AttributeKind
+from repro.platform.databroker import IngestReport
+from repro.platform.platform import AdPlatform
+from repro.platform.users import UserProfile
+from repro.workloads.personas import Persona
+
+_ZIP_POOL = tuple(f"{z:05d}" for z in range(10001, 10051))
+
+
+@dataclass
+class PopulationBuilder:
+    """Builds a persona-mixed population on one platform."""
+
+    platform: AdPlatform
+    seed: int = 42
+    broker_name: str = "Acxiom"
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._record_counter = 0
+        #: user_id -> persona name (simulation-level ground truth).
+        self.persona_of: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def spawn(self, persona: Persona, count: int = 1) -> List[UserProfile]:
+        """Create ``count`` users of one persona (broker records staged,
+        not yet ingested — call :meth:`finalize`)."""
+        users = []
+        for _ in range(count):
+            users.append(self._spawn_one(persona))
+        return users
+
+    def spawn_mix(
+        self,
+        personas: Sequence[Persona],
+        count: int,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[UserProfile]:
+        """Create ``count`` users drawn from a persona mix."""
+        chosen = self._rng.choices(
+            list(personas), weights=list(weights) if weights else None,
+            k=count,
+        )
+        return [self._spawn_one(persona) for persona in chosen]
+
+    def finalize(self) -> List[IngestReport]:
+        """Run the broker ingest pipeline; returns per-broker reports."""
+        return self.platform.ingest_brokers()
+
+    # ------------------------------------------------------------------
+
+    def _spawn_one(self, persona: Persona) -> UserProfile:
+        rng = self._rng
+        user = self.platform.register_user(
+            country=self.platform.config.country,
+            age=rng.randint(*persona.age_range),
+            gender=rng.choice(persona.genders),
+            zip_code=rng.choice(_ZIP_POOL),
+        )
+        self.persona_of[user.user_id] = persona.name
+        pii = self._attach_pii(user, persona)
+        self._set_platform_attributes(user, persona)
+        if rng.random() < persona.broker_coverage:
+            self._stage_broker_record(user, persona, pii)
+        return user
+
+    def _attach_pii(
+        self, user: UserProfile, persona: Persona
+    ) -> List[Tuple[str, str]]:
+        """Synthesize raw PII and register it with the platform.
+
+        The raw values are derived from the user id, so tests can
+        re-derive them; the platform stores only hashes.
+        """
+        suffix = user.user_id.rsplit("-", 1)[-1]
+        raw_values = {
+            "email": f"user{suffix}@example.com",
+            "phone": f"+1617555{int(suffix) % 10000:04d}",
+            "first_name": f"First{suffix}",
+            "last_name": f"Last{suffix}",
+            "zip": user.zip_code,
+        }
+        attached = []
+        for kind in persona.pii_kinds:
+            value = raw_values[kind]
+            self.platform.users.attach_pii(user.user_id, kind, value)
+            attached.append((kind, value))
+        return attached
+
+    def _set_platform_attributes(self, user: UserProfile,
+                                 persona: Persona) -> None:
+        rng = self._rng
+        catalog = self.platform.catalog
+        binary_pool = [
+            attribute
+            for attribute in catalog.platform_attributes(user.country)
+            if attribute.kind is AttributeKind.BINARY
+        ]
+        count = rng.randint(*persona.platform_attr_range)
+        count = min(count, len(binary_pool))
+        for attribute in rng.sample(binary_pool, count):
+            user.set_attribute(attribute)
+        for attribute in catalog.multi_attributes(user.country):
+            user.set_attribute(attribute, rng.choice(attribute.values))
+
+    def _stage_broker_record(
+        self,
+        user: UserProfile,
+        persona: Persona,
+        pii: List[Tuple[str, str]],
+    ) -> None:
+        """Write one broker record carrying this persona's partner attrs."""
+        rng = self._rng
+        count = rng.randint(*persona.partner_attr_range)
+        if count == 0 or not pii:
+            return
+        chosen = self._choose_partner_attributes(user, persona, count)
+        if not chosen:
+            return
+        broker = self.platform.brokers.broker(self.broker_name)
+        self._record_counter += 1
+        broker.add_record(
+            record_id=f"rec-{self.seed}-{self._record_counter:06d}",
+            raw_pii=pii,
+            attributes=[(attribute.attr_id, None) for attribute in chosen],
+        )
+
+    def _choose_partner_attributes(
+        self, user: UserProfile, persona: Persona, count: int
+    ) -> List[Attribute]:
+        """Prefer the persona's families; avoid contradictory picks within
+        one exclusive family (one net-worth band, not three)."""
+        rng = self._rng
+        catalog = self.platform.catalog
+        partner_pool = catalog.partner_attributes(user.country)
+        preferred = [
+            attribute for attribute in partner_pool
+            if any(attribute.attr_id.startswith(prefix)
+                   for prefix in persona.partner_families)
+        ]
+        rest = [a for a in partner_pool if a not in preferred]
+        rng.shuffle(preferred)
+        rng.shuffle(rest)
+        chosen: List[Attribute] = []
+        used_exclusive: set = set()
+        for attribute in preferred + rest:
+            if len(chosen) >= count:
+                break
+            family = _exclusive_family(attribute.attr_id)
+            if family is not None:
+                if family in used_exclusive:
+                    continue
+                used_exclusive.add(family)
+            chosen.append(attribute)
+        return chosen
+
+
+#: Families where a consumer realistically holds exactly one value.
+_EXCLUSIVE_FAMILIES = ("pc-networth", "pc-income", "pc-hometype",
+                       "pc-homevalue", "pc-jobrole")
+
+
+def _exclusive_family(attr_id: str) -> Optional[str]:
+    for family in _EXCLUSIVE_FAMILIES:
+        if attr_id.startswith(family):
+            return family
+    return None
+
+
+def ground_truth_partner_attrs(
+    platform: AdPlatform, user_ids: Sequence[str]
+) -> Dict[str, set]:
+    """Simulation-level ground truth: user_id -> set partner attr ids.
+
+    Used only for scoring reveals — never by any provider/advertiser code.
+    """
+    partner_ids = {
+        attribute.attr_id
+        for attribute in platform.catalog.partner_attributes()
+    }
+    truth: Dict[str, set] = {}
+    for user_id in user_ids:
+        profile = platform.users.get(user_id)
+        truth[user_id] = set(profile.binary_attrs) & partner_ids
+    return truth

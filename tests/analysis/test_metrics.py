@@ -1,0 +1,81 @@
+"""Tests for reveal-quality metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    CoverageScore,
+    macro_scores,
+    mechanism_completeness,
+    score_reveal,
+)
+
+
+class TestCoverageScore:
+    def test_perfect(self):
+        score = score_reveal({"a", "b"}, {"a", "b"})
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_partial_recall(self):
+        score = score_reveal({"a"}, {"a", "b"})
+        assert score.precision == 1.0
+        assert score.recall == 0.5
+        assert score.f1 == pytest.approx(2 / 3)
+
+    def test_false_positive(self):
+        score = score_reveal({"a", "x"}, {"a"})
+        assert score.precision == 0.5
+        assert score.recall == 1.0
+
+    def test_empty_revealed_nothing_to_reveal(self):
+        score = score_reveal(set(), set())
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_revealed_nothing_but_truth_exists(self):
+        score = score_reveal(set(), {"a"})
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+
+class TestMechanismCompleteness:
+    def test_full(self):
+        assert mechanism_completeness(
+            {"u1": {"a", "b"}}, {"u1": {"a", "b"}}
+        ) == 1.0
+
+    def test_half(self):
+        assert mechanism_completeness(
+            {"u1": {"a"}, "u2": set()}, {"u1": {"a"}, "u2": {"b"}}
+        ) == 0.5
+
+    def test_user_with_no_truth_ignored(self):
+        """The unprofiled author is not a miss for Treads."""
+        assert mechanism_completeness(
+            {"u1": {"a"}, "u2": set()}, {"u1": {"a"}, "u2": set()}
+        ) == 1.0
+
+    def test_spurious_reveals_dont_inflate(self):
+        assert mechanism_completeness(
+            {"u1": {"x", "y", "z"}}, {"u1": {"a"}}
+        ) == 0.0
+
+    def test_empty_truth_is_complete(self):
+        assert mechanism_completeness({}, {}) == 1.0
+
+
+class TestMacroScores:
+    def test_averaged_across_users(self):
+        scores = macro_scores(
+            {"u1": {"a"}, "u2": set()},
+            {"u1": {"a"}, "u2": {"b"}},
+        )
+        assert scores["recall"] == pytest.approx(0.5)
+        assert scores["precision"] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert macro_scores({}, {}) == {
+            "precision": 1.0, "recall": 1.0, "f1": 1.0
+        }

@@ -1,0 +1,51 @@
+"""Tests for the provider campaign report."""
+
+import pytest
+
+from repro.analysis.report import campaign_report
+from repro.core.provider import TransparencyProvider
+
+
+@pytest.fixture
+def run_provider(platform, web):
+    provider = TransparencyProvider(platform, web, budget=100.0)
+    attrs = platform.catalog.partner_attributes()[:3]
+    for _ in range(4):
+        user = platform.register_user()
+        for attr in attrs[:2]:
+            user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+    provider.launch_attribute_sweep(attrs)
+    provider.run_delivery()
+    return provider
+
+
+class TestCampaignReport:
+    def test_contains_overview_numbers(self, run_provider):
+        report = campaign_report(run_provider)
+        assert "Treads launched" in report
+        assert "impressions billed" in report
+        # 4 users x (2 set attrs + control) = 12
+        assert "12" in report
+
+    def test_aggregate_attribute_section(self, run_provider, platform):
+        report = campaign_report(run_provider)
+        top_attr = platform.catalog.partner_attributes()[0]
+        assert top_attr.name in report
+        assert "aggregates only" in report
+
+    def test_never_contains_user_ids(self, run_provider, platform):
+        report = campaign_report(run_provider)
+        for profile in platform.users:
+            assert profile.user_id not in report
+
+    def test_empty_campaign(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=10.0)
+        report = campaign_report(provider)
+        assert "Treads launched" in report
+        assert "-" in report  # no effective CPM yet
+
+    def test_top_attributes_limit(self, run_provider):
+        short = campaign_report(run_provider, top_attributes=1)
+        full = campaign_report(run_provider, top_attributes=10)
+        assert len(short) <= len(full)

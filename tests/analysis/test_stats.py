@@ -1,0 +1,62 @@
+"""Tests for the Wilson-interval prevalence estimates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import prevalence_estimate, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_half_and_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert high - low < 0.25
+
+    def test_zero_count_interval_starts_at_zero(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0
+        assert 0.0 < high < 0.5
+
+    def test_full_count_interval_ends_at_one(self):
+        low, high = wilson_interval(10, 10)
+        assert high == 1.0
+        assert 0.5 < low < 1.0
+
+    def test_paper_scale_n2_is_wide(self):
+        """The validation's n=2: any estimate is nearly uninformative —
+        which Wilson reports honestly (unlike a Wald interval)."""
+        low, high = wilson_interval(1, 2)
+        assert high - low > 0.8
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+
+class TestPrevalenceEstimate:
+    def test_fields(self):
+        estimate = prevalence_estimate(3, 10)
+        assert estimate.point == pytest.approx(0.3)
+        assert estimate.low < 0.3 < estimate.high
+        assert "n=10" in str(estimate)
+
+
+@given(
+    sample_size=st.integers(1, 5000),
+    data=st.data(),
+)
+def test_interval_properties(sample_size, data):
+    """For any observation: interval within [0,1], contains the point
+    estimate, and narrows with sample size."""
+    count = data.draw(st.integers(0, sample_size))
+    low, high = wilson_interval(count, sample_size)
+    point = count / sample_size
+    assert 0.0 <= low <= point <= high <= 1.0
+    # a 100x larger sample with the same proportion gives a narrower CI
+    low_big, high_big = wilson_interval(count * 100, sample_size * 100)
+    assert (high_big - low_big) <= (high - low) + 1e-12

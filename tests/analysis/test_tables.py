@@ -1,0 +1,38 @@
+"""Tests for the table renderer."""
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("name", "n"), [("alpha", 1), ("b", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].startswith("alpha")
+        # numeric column right-aligned
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_title(self):
+        out = format_table(("a",), [(1,)], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_float_formatting(self):
+        out = format_table(("x",), [(0.002,), (1234.5,), (0.0,)])
+        assert "0.00200" in out
+        assert "1,234.5" in out
+
+    def test_bool_formatting(self):
+        out = format_table(("ok",), [(True,), (False,)])
+        assert "yes" in out and "no" in out
+
+    def test_int_thousands(self):
+        out = format_table(("n",), [(1234567,)])
+        assert "1,234,567" in out
+
+    def test_widths_accommodate_long_cells(self):
+        out = format_table(("h",), [("a much longer cell",)])
+        header, rule, row = out.splitlines()
+        assert len(rule) >= len(row.rstrip())

@@ -1,0 +1,84 @@
+"""Tests for trace capture and JSONL round-trip."""
+
+import pytest
+
+from repro.analysis.traces import (
+    Trace,
+    capture_trace,
+    dump_jsonl,
+    load_jsonl,
+    spend_by_day_of_seq,
+)
+from repro.core.provider import TransparencyProvider
+
+
+@pytest.fixture
+def traced(platform, web):
+    provider = TransparencyProvider(platform, web, budget=100.0)
+    attrs = platform.catalog.partner_attributes()[:3]
+    user = platform.register_user()
+    for attr in attrs:
+        user.set_attribute(attr)
+    provider.optin.via_page_like(user.user_id)
+    provider.optin.via_pixel(platform.browser_for(user.user_id))
+    provider.launch_attribute_sweep(attrs)
+    provider.run_delivery()
+    return provider, capture_trace(platform, websites=[provider.website])
+
+
+class TestCapture:
+    def test_impressions_and_charges_captured(self, traced):
+        provider, trace = traced
+        assert len(trace.of_kind("impression")) == 4  # 3 attrs + control
+        assert len(trace.of_kind("charge")) == 4
+
+    def test_web_visits_captured(self, traced):
+        _, trace = traced
+        visits = trace.of_kind("web_visit")
+        assert len(visits) == 1
+        assert visits[0]["path"] == "/optin"
+
+    def test_header_metadata(self, traced, platform):
+        _, trace = traced
+        assert trace.header["platform"] == platform.name
+        assert trace.header["users"] == 1
+
+    def test_visibility_labels(self, traced):
+        _, trace = traced
+        assert all(e["visibility"] == "platform-internal"
+                   for e in trace.of_kind("impression"))
+        assert all(e["visibility"] == "advertiser"
+                   for e in trace.of_kind("charge"))
+
+
+class TestRoundTrip:
+    def test_dump_load_identity(self, traced):
+        _, trace = traced
+        restored = load_jsonl(dump_jsonl(trace))
+        assert restored.header == trace.header
+        assert restored.events == trace.events
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            load_jsonl("")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            load_jsonl('{"kind": "impression"}')
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError):
+            load_jsonl('{"kind": "header", "schema": 99}')
+
+
+class TestDownstreamAnalysis:
+    def test_spend_buckets(self, traced):
+        _, trace = traced
+        buckets = spend_by_day_of_seq(trace, seqs_per_day=2)
+        assert sum(buckets.values()) == pytest.approx(
+            sum(e["amount"] for e in trace.of_kind("charge"))
+        )
+
+    def test_bad_bucket_size_rejected(self):
+        with pytest.raises(ValueError):
+            spend_by_day_of_seq(Trace(), seqs_per_day=0)

@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Most tests want a *deterministic* platform: zero ambient competition (so
+every eligible ad wins its auction) and a reduced catalog (so sweeps are
+fast). The full 614+507 catalog is exercised where counts matter (catalog
+tests, validation-scenario integration tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.catalog import build_us_catalog
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.platform.web import WebDirectory
+from repro.workloads.competition import zero_competition
+
+
+@pytest.fixture
+def small_catalog():
+    """A reduced catalog: 40 platform (incl. 4 multi) + 25 partner attrs."""
+    return build_us_catalog(platform_count=40, partner_count=25)
+
+
+@pytest.fixture
+def platform(small_catalog):
+    """Deterministic platform: zero competition, small catalog."""
+    return AdPlatform(
+        config=PlatformConfig(name="fbsim"),
+        catalog=small_catalog,
+        competing_draw=zero_competition(),
+    )
+
+
+@pytest.fixture
+def web():
+    return WebDirectory()
+
+
+@pytest.fixture
+def full_platform():
+    """Full-catalog deterministic platform for count-sensitive tests."""
+    return AdPlatform(
+        config=PlatformConfig(name="fbfull"),
+        competing_draw=zero_competition(),
+    )
+
+
+@pytest.fixture
+def funded_account(platform):
+    return platform.create_ad_account("advertiser", budget=100.0)
+
+
+@pytest.fixture
+def campaign(platform, funded_account):
+    return platform.create_campaign(funded_account.account_id, "camp")

@@ -1,0 +1,208 @@
+"""Tests for the user-side Tread client (decoding and reconstruction)."""
+
+import pytest
+
+from repro.core.client import TreadClient
+from repro.core.provider import TransparencyProvider
+from repro.core.treads import Encoding, Placement
+from repro.platform.ads import AdCreative
+
+
+@pytest.fixture
+def provider(platform, web):
+    return TransparencyProvider(platform, web, budget=200.0)
+
+
+def _user_with(platform, provider, attrs=()):
+    user = platform.register_user()
+    for attr in attrs:
+        user.set_attribute(attr)
+    provider.optin.via_page_like(user.user_id)
+    return user
+
+
+def _client(platform, provider, user, **kw):
+    return TreadClient(user.user_id, platform,
+                       provider.publish_decode_pack(), **kw)
+
+
+class TestCodebookDecoding:
+    def test_reconstructs_set_attributes(self, platform, web, provider):
+        attrs = platform.catalog.partner_attributes()[:3]
+        user = _user_with(platform, provider, attrs)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert profile.set_attributes == {a.attr_id for a in attrs}
+        assert profile.control_received
+        assert profile.undecoded == []
+
+    def test_nothing_revealed_without_attrs(self, platform, web, provider):
+        user = _user_with(platform, provider)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert profile.set_attributes == set()
+        assert profile.control_received
+
+    def test_exclusion_treads_reveal_false_or_missing(self, platform, web,
+                                                      provider):
+        attrs = platform.catalog.partner_attributes()[:2]
+        user = _user_with(platform, provider, attrs[:1])
+        provider.launch_attribute_sweep(attrs, include_exclusions=True)
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert profile.set_attributes == {attrs[0].attr_id}
+        assert attrs[1].attr_id in profile.false_or_missing
+
+    def test_ads_from_other_advertisers_ignored(self, platform, web,
+                                                provider, funded_account,
+                                                campaign):
+        user = _user_with(platform, provider)
+        platform.submit_ad(
+            funded_account.account_id, campaign.campaign_id,
+            AdCreative("h", "Reference: 1,234,567."), "country:US",
+            bid_cap_cpm=10.0,
+        )
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+        client = _client(platform, provider, user)
+        assert all(
+            ad.account_id == provider.account.account_id
+            for ad in client.provider_ads()
+        )
+        profile = client.sync()
+        assert profile.undecoded == []
+
+
+class TestStegoDecoding:
+    def test_image_treads_decoded(self, platform, web):
+        provider = TransparencyProvider(
+            platform, web, budget=200.0,
+            encoding=Encoding.STEGANOGRAPHIC,
+            placement=Placement.IN_AD_IMAGE,
+        )
+        attrs = platform.catalog.partner_attributes()[:2]
+        user = _user_with(platform, provider, attrs)
+        provider.launch_attribute_sweep(attrs)
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert profile.set_attributes == {a.attr_id for a in attrs}
+
+
+class TestLandingDecoding:
+    def test_landing_treads_decoded_without_visit(self, platform, web):
+        provider = TransparencyProvider(
+            platform, web, budget=200.0,
+            placement=Placement.LANDING_PAGE,
+        )
+        attrs = platform.catalog.partner_attributes()[:2]
+        user = _user_with(platform, provider, attrs)
+        provider.launch_attribute_sweep(attrs)
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert profile.set_attributes == {a.attr_id for a in attrs}
+        # no visit -> provider first-party log saw nothing
+        tread_paths = [t.landing_path for t in provider.treads
+                       if t.landing_path]
+        visited = {e.path for e in provider.website.access_log}
+        assert visited.isdisjoint(tread_paths)
+
+    def test_follow_landing_visits_page(self, platform, web):
+        provider = TransparencyProvider(
+            platform, web, budget=200.0,
+            placement=Placement.LANDING_PAGE,
+        )
+        attrs = platform.catalog.partner_attributes()[:1]
+        user = _user_with(platform, provider, attrs)
+        provider.launch_attribute_sweep(attrs)
+        provider.run_delivery()
+        browser = platform.browser_for(user.user_id)
+        client = _client(platform, provider, user, web=web,
+                         browser=browser, follow_landing=True)
+        client.sync()
+        visited = {e.path for e in provider.website.access_log}
+        tread_paths = {t.landing_path for t in provider.treads
+                       if t.landing_path}
+        assert visited & tread_paths
+
+    def test_clear_cookies_unlinks_visits(self, platform, web):
+        """The paper's mitigation: with cookie clearing, each landing
+        visit presents a fresh cookie."""
+        provider = TransparencyProvider(
+            platform, web, budget=200.0,
+            placement=Placement.LANDING_PAGE,
+        )
+        attrs = platform.catalog.partner_attributes()[:3]
+        user = _user_with(platform, provider, attrs)
+        provider.launch_attribute_sweep(attrs)
+        provider.run_delivery()
+        browser = platform.browser_for(user.user_id)
+        client = _client(platform, provider, user, web=web,
+                         browser=browser, follow_landing=True,
+                         clear_cookies_first=True)
+        client.sync()
+        tread_paths = {t.landing_path for t in provider.treads
+                       if t.landing_path}
+        cookies = [e.cookie_id for e in provider.website.access_log
+                   if e.path in tread_paths]
+        assert len(cookies) >= 3
+        assert len(set(cookies)) == len(cookies)  # all distinct
+
+
+class TestBitsplitReconstruction:
+    def test_value_reconstructed(self, platform, web, provider):
+        multi = platform.catalog.multi_attributes()[0]
+        user = platform.register_user()
+        user.set_attribute(multi, multi.values[3])
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep([])  # control only
+        provider.launch_value_reveal(multi.attr_id, scheme="bitsplit")
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert profile.values[multi.attr_id] == multi.values[3]
+
+    def test_value_zero_index_needs_control(self, platform, web, provider):
+        """A user with value index 0 receives NO bit-Treads; only the
+        control ad disambiguates 'all zero bits' from 'no delivery'."""
+        multi = platform.catalog.multi_attributes()[0]
+        user = platform.register_user()
+        user.set_attribute(multi, multi.values[0])
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep([])  # control only
+        provider.launch_value_reveal(multi.attr_id, scheme="bitsplit")
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert profile.control_received
+        assert profile.values[multi.attr_id] == multi.values[0]
+
+    def test_no_control_no_reconstruction(self, platform, web, provider):
+        multi = platform.catalog.multi_attributes()[0]
+        user = platform.register_user()
+        user.set_attribute(multi, multi.values[3])
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_value_reveal(multi.attr_id, scheme="bitsplit")
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert multi.attr_id not in profile.values
+        assert profile.raw_bits  # bits arrived but are held back
+
+    def test_enumeration_values_direct(self, platform, web, provider):
+        multi = platform.catalog.multi_attributes()[0]
+        user = platform.register_user()
+        user.set_attribute(multi, multi.values[2])
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_value_reveal(multi.attr_id, scheme="enumeration")
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert profile.values[multi.attr_id] == multi.values[2]
+
+
+class TestTotalFacts:
+    def test_counts_distinct_facts(self, platform, web, provider):
+        attrs = platform.catalog.partner_attributes()[:2]
+        user = _user_with(platform, provider, attrs)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+        profile = _client(platform, provider, user).sync()
+        assert profile.total_facts == 2

@@ -1,0 +1,100 @@
+"""Unit and property tests for the obfuscation codebook."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.codebook import Codebook
+from repro.core.treads import RevealKind, RevealPayload
+from repro.errors import EncodingError
+
+
+def _payload(attr_id):
+    return RevealPayload(kind=RevealKind.ATTRIBUTE_SET, attr_id=attr_id)
+
+
+class TestRegisterDecode:
+    def test_round_trip(self):
+        book = Codebook()
+        token = book.register(_payload("pc-networth-006"))
+        decoded = book.decode(token)
+        assert decoded.attr_id == "pc-networth-006"
+
+    def test_token_format_like_figure_1b(self):
+        """Figure 1b shows '2,830,120' — seven digits, comma-grouped."""
+        token = Codebook().register(_payload("x"))
+        digits = token.replace(",", "")
+        assert digits.isdigit()
+        assert len(digits) == 7
+        assert "," in token
+
+    def test_idempotent_registration(self):
+        book = Codebook()
+        assert book.register(_payload("x")) == book.register(_payload("x"))
+        assert len(book) == 1
+
+    def test_distinct_payloads_distinct_tokens(self):
+        book = Codebook()
+        tokens = {book.register(_payload(f"attr-{i}")) for i in range(600)}
+        assert len(tokens) == 600
+
+    def test_decode_without_separators(self):
+        book = Codebook()
+        token = book.register(_payload("x"))
+        assert book.decode(token.replace(",", "")).attr_id == "x"
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(EncodingError):
+            Codebook().decode("1,234,567")
+
+    def test_non_numeric_token_raises(self):
+        with pytest.raises(EncodingError):
+            Codebook().decode("hello")
+
+    def test_try_decode_returns_none(self):
+        book = Codebook()
+        assert book.try_decode("9,999,999") is None
+        assert book.try_decode("not a token") is None
+
+    def test_token_for_unregistered_is_none(self):
+        assert Codebook().token_for(_payload("x")) is None
+
+    def test_salt_separates_campaigns(self):
+        a, b = Codebook(salt="prov-a"), Codebook(salt="prov-b")
+        assert a.register(_payload("x")) != b.register(_payload("x"))
+
+
+class TestSnapshot:
+    def test_snapshot_round_trip(self):
+        book = Codebook(salt="prov")
+        token = book.register(_payload("x"))
+        book.register(RevealPayload(kind=RevealKind.CONTROL))
+        restored = Codebook.from_snapshot(book.snapshot(), salt="prov")
+        assert restored.decode(token).attr_id == "x"
+        assert len(restored) == 2
+
+    def test_snapshot_is_sorted_and_serializable(self):
+        book = Codebook()
+        book.register_all([_payload(f"a-{i}") for i in range(10)])
+        snapshot = book.snapshot()
+        assert all(isinstance(k, str) and isinstance(v, str)
+                   for k, v in snapshot.items())
+        tokens = [Codebook.parse_token(t) for t in snapshot]
+        assert tokens == sorted(tokens)
+
+    def test_duplicate_token_in_snapshot_rejected(self):
+        # "1,000,001" and "1000001" parse to the same token value
+        snapshot = {"1,000,001": "attribute_set|a",
+                    "1000001": "attribute_set|b"}
+        with pytest.raises(EncodingError):
+            Codebook.from_snapshot(snapshot)
+
+
+@given(st.lists(st.text("abcdefgh-0123456789", min_size=1, max_size=20),
+                min_size=1, max_size=100, unique=True))
+def test_registration_always_decodable_property(attr_ids):
+    book = Codebook(salt="prop")
+    for attr_id in attr_ids:
+        token = book.register(_payload(attr_id))
+        assert book.decode(token).attr_id == attr_id
+    assert len(book) == len(attr_ids)

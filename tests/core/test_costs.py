@@ -1,0 +1,116 @@
+"""Tests for the cost model — the paper's section 3.1 arithmetic."""
+
+import pytest
+
+from repro.core.costs import (
+    DEFAULT_CPM_USD,
+    VALIDATION_CPM_USD,
+    CampaignCostSummary,
+    CostModel,
+    FundingPlan,
+    per_user_cost_curve,
+)
+
+
+class TestPaperNumbers:
+    """Every dollar figure quoted in section 3.1, "Cost"."""
+
+    def test_each_attribute_costs_0_002_at_default_bid(self):
+        assert CostModel(cpm=2.0).per_attribute() == pytest.approx(0.002)
+
+    def test_each_attribute_costs_0_01_at_validation_bid(self):
+        """Footnote 4: 'For our elevated bid of $10 CPM ... each attribute
+        would cost $0.01 to reveal.'"""
+        assert CostModel(cpm=10.0).per_attribute() == pytest.approx(0.01)
+
+    def test_50_attribute_user_costs_0_10(self):
+        """'it would cost the provider $0.10 to run ads to reveal all
+        targeting parameters to a user who had (say) 50 targeting
+        parameters'."""
+        assert CostModel(cpm=2.0).full_profile(50) == pytest.approx(0.10)
+
+    def test_unset_attributes_cost_zero(self):
+        """'there is ZERO per-user cost for running Treads corresponding
+        to targeting parameters that a user does not have'."""
+        assert CostModel(cpm=2.0).unset_attribute() == 0.0
+        assert CostModel(cpm=2.0).full_profile(0) == 0.0
+
+    def test_nonbinary_attribute_one_impression(self):
+        """m-valued attribute: 'only have to pay for one impression per
+        user, costing around $0.002'."""
+        assert CostModel(cpm=2.0).nonbinary_attribute() == \
+            pytest.approx(0.002)
+
+    def test_constants(self):
+        assert DEFAULT_CPM_USD == 2.0
+        assert VALIDATION_CPM_USD == 10.0
+
+
+class TestCostModel:
+    def test_control_adds_one_impression(self):
+        model = CostModel(cpm=2.0)
+        assert model.full_profile(10, include_control=True) == \
+            pytest.approx(0.022)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().full_profile(-1)
+
+    def test_bitsplit_nonbinary_cost(self):
+        # a user whose value index has 3 set bits pays 3 impressions
+        assert CostModel(cpm=2.0).nonbinary_attribute(3) == \
+            pytest.approx(0.006)
+
+    def test_cost_curve_linear(self):
+        rows = per_user_cost_curve([0, 10, 50, 100], cpm=2.0)
+        assert [r["cost_usd"] for r in rows] == \
+            pytest.approx([0.0, 0.02, 0.10, 0.20])
+
+
+class TestCampaignCostSummary:
+    def _summary(self):
+        return CampaignCostSummary(
+            total_spend=0.10, impressions=50, treads_launched=508,
+            users_opted_in=5,
+        )
+
+    def test_cost_per_impression(self):
+        assert self._summary().cost_per_impression == pytest.approx(0.002)
+
+    def test_effective_cpm(self):
+        assert self._summary().effective_cpm == pytest.approx(2.0)
+
+    def test_cost_per_user(self):
+        assert self._summary().cost_per_user == pytest.approx(0.02)
+
+    def test_zero_division_guards(self):
+        empty = CampaignCostSummary(0.0, 0, 0, 0)
+        assert empty.cost_per_impression == 0.0
+        assert empty.cost_per_user == 0.0
+
+
+class TestFundingPlan:
+    def test_break_even_fee_is_cost_per_user(self):
+        plan = FundingPlan(
+            summary=CampaignCostSummary(0.10, 50, 508, 5),
+        )
+        assert plan.break_even_user_fee == pytest.approx(0.02)
+
+    def test_donations_reduce_user_fee(self):
+        plan = FundingPlan(
+            summary=CampaignCostSummary(0.10, 50, 508, 5),
+            donation_pool=0.05,
+        )
+        assert plan.donation_shortfall == pytest.approx(0.05)
+        assert plan.user_fee_with_donations() == pytest.approx(0.01)
+
+    def test_fully_funded_means_free(self):
+        plan = FundingPlan(
+            summary=CampaignCostSummary(0.10, 50, 508, 5),
+            donation_pool=1.0,
+        )
+        assert plan.user_fee_with_donations() == 0.0
+
+    def test_no_users_no_fee(self):
+        plan = FundingPlan(summary=CampaignCostSummary(0.0, 0, 0, 0))
+        assert plan.user_fee_with_donations() == 0.0

@@ -1,0 +1,113 @@
+"""Unit tests for creative rendering (encoding x placement modes)."""
+
+import pytest
+
+from repro.core import stego
+from repro.core.codebook import Codebook
+from repro.core.creative import (
+    SUPPORTED_MODES,
+    landing_path_for_token,
+    render,
+)
+from repro.core.treads import Encoding, Placement, RevealKind, RevealPayload
+from repro.errors import EncodingError
+
+
+@pytest.fixture
+def payload():
+    return RevealPayload(kind=RevealKind.ATTRIBUTE_SET,
+                         attr_id="pc-networth-006",
+                         display="Net worth: Over $2M")
+
+
+@pytest.fixture
+def book():
+    return Codebook(salt="test")
+
+
+class TestExplicitInAd:
+    def test_body_is_reveal_sentence(self, payload, book):
+        rendered = render(payload, Encoding.EXPLICIT, Placement.IN_AD_TEXT,
+                          book)
+        assert "Net worth: Over $2M" in rendered.creative.body
+        assert rendered.token is None
+        assert rendered.creative.landing_url is None
+
+
+class TestCodebookInAd:
+    def test_body_contains_token_not_attribute(self, payload, book):
+        rendered = render(payload, Encoding.CODEBOOK, Placement.IN_AD_TEXT,
+                          book)
+        assert rendered.token in rendered.creative.body
+        assert "Net worth" not in rendered.creative.body
+        assert book.decode(rendered.token).attr_id == "pc-networth-006"
+
+
+class TestStegoInImage:
+    def test_payload_recoverable_from_image(self, payload, book):
+        rendered = render(payload, Encoding.STEGANOGRAPHIC,
+                          Placement.IN_AD_IMAGE, book)
+        image = rendered.creative.image
+        assert image is not None
+        assert stego.extract(image) == payload.canonical()
+
+    def test_body_is_neutral(self, payload, book):
+        rendered = render(payload, Encoding.STEGANOGRAPHIC,
+                          Placement.IN_AD_IMAGE, book)
+        assert "Net worth" not in rendered.creative.visible_text()
+
+
+class TestLandingPage:
+    def test_explicit_landing_content(self, payload, book):
+        rendered = render(payload, Encoding.EXPLICIT,
+                          Placement.LANDING_PAGE, book,
+                          landing_domain="prov.org")
+        assert rendered.landing_path is not None
+        assert rendered.creative.landing_url.domain == "prov.org"
+        assert "Net worth: Over $2M" in rendered.landing_content
+        # ad itself carries nothing sensitive
+        assert "Net worth" not in rendered.creative.visible_text()
+
+    def test_codebook_landing_content(self, payload, book):
+        rendered = render(payload, Encoding.CODEBOOK,
+                          Placement.LANDING_PAGE, book,
+                          landing_domain="prov.org")
+        assert rendered.token in rendered.landing_content
+
+    def test_landing_path_derived_from_token(self, payload, book):
+        rendered = render(payload, Encoding.CODEBOOK,
+                          Placement.LANDING_PAGE, book,
+                          landing_domain="prov.org")
+        assert rendered.landing_path == \
+            landing_path_for_token(rendered.token)
+        assert rendered.landing_path.startswith("/t/")
+        assert "," not in rendered.landing_path
+
+    def test_missing_domain_rejected(self, payload, book):
+        with pytest.raises(EncodingError):
+            render(payload, Encoding.CODEBOOK, Placement.LANDING_PAGE, book)
+
+
+class TestModeMatrix:
+    def test_unsupported_modes_rejected(self, payload, book):
+        all_modes = [(e, p) for e in Encoding for p in Placement]
+        unsupported = [m for m in all_modes if m not in SUPPORTED_MODES]
+        assert unsupported  # matrix is not full by design
+        for encoding, placement in unsupported:
+            with pytest.raises(EncodingError):
+                render(payload, encoding, placement, book,
+                       landing_domain="prov.org")
+
+    def test_all_supported_modes_render(self, payload, book):
+        for encoding, placement in SUPPORTED_MODES:
+            rendered = render(payload, encoding, placement, book,
+                              landing_domain="prov.org")
+            assert rendered.creative.headline
+
+    def test_same_payload_same_token_across_modes(self, payload, book):
+        in_ad = render(payload, Encoding.CODEBOOK, Placement.IN_AD_TEXT,
+                       book)
+        landing = render(payload, Encoding.CODEBOOK,
+                         Placement.LANDING_PAGE, book,
+                         landing_domain="prov.org")
+        assert in_ad.token == landing.token

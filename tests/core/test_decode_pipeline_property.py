@@ -1,0 +1,98 @@
+"""Property test: render -> deliver -> decode round-trips in every mode.
+
+The creative renderer and the client decoder are written independently;
+this property pins them together: for ANY payload and ANY supported
+review-passing (encoding, placement) mode, a payload rendered into a
+DeliveredAd decodes back to itself.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codebook import Codebook
+from repro.core.creative import SUPPORTED_MODES, render
+from repro.core.provider import DecodePack
+from repro.core.client import TreadClient
+from repro.core.treads import Encoding, Placement, RevealKind, RevealPayload
+from repro.platform.catalog import build_us_catalog
+from repro.platform.delivery import DeliveredAd
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.workloads.competition import zero_competition
+
+_DECODABLE_MODES = [
+    mode for mode in SUPPORTED_MODES
+    if mode != (Encoding.EXPLICIT, Placement.IN_AD_TEXT)
+    # explicit in-ad never survives review; its decode path is tested
+    # separately via explicit controls
+]
+
+_PLATFORM = AdPlatform(
+    config=PlatformConfig(name="decodeprop"),
+    catalog=build_us_catalog(40, 25),
+    competing_draw=zero_competition(),
+)
+_ATTR_IDS = [a.attr_id for a in _PLATFORM.catalog.partner_attributes()]
+
+_payloads = st.one_of(
+    st.builds(
+        RevealPayload,
+        kind=st.just(RevealKind.ATTRIBUTE_SET),
+        attr_id=st.sampled_from(_ATTR_IDS),
+    ),
+    st.builds(
+        RevealPayload,
+        kind=st.just(RevealKind.ATTRIBUTE_EXCLUDED),
+        attr_id=st.sampled_from(_ATTR_IDS),
+    ),
+    st.builds(
+        RevealPayload,
+        kind=st.just(RevealKind.VALUE_BIT),
+        attr_id=st.sampled_from(_ATTR_IDS),
+        bit_index=st.integers(0, 9),
+        bit_value=st.just(1),
+    ),
+    st.builds(
+        RevealPayload,
+        kind=st.just(RevealKind.CUSTOM_ATTRIBUTE),
+        custom_label=st.text(
+            "abcdefghijklmnopqrstuvwxyz -", min_size=1, max_size=24
+        ).map(str.strip).filter(bool),
+    ),
+    st.just(RevealPayload(kind=RevealKind.CONTROL)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=_payloads, mode=st.sampled_from(_DECODABLE_MODES))
+def test_render_decode_round_trip(payload, mode):
+    encoding, placement = mode
+    book = Codebook(salt="prop")
+    rendered = render(payload, encoding, placement, book,
+                      landing_domain="prov.example.org")
+    pack = DecodePack(
+        provider_name="prop",
+        codebook_snapshot=book.snapshot(),
+        codebook_salt="prop",
+        value_tables={},
+        account_ids={"decodeprop": "acct-x"},
+        landing_domains=("prov.example.org",),
+    )
+    creative = rendered.creative
+    delivered = DeliveredAd(
+        ad_id="ad-x",
+        account_id="acct-x",
+        headline=creative.headline,
+        body=creative.body,
+        image=creative.image,
+        landing_url=(str(creative.landing_url)
+                     if creative.landing_url else None),
+        impression_seq=0,
+    )
+    client = TreadClient("user-x", _PLATFORM, pack)
+    decoded = client._decode_ad(delivered)
+    assert decoded is not None
+    assert decoded.kind is payload.kind
+    assert decoded.attr_id == payload.attr_id
+    assert decoded.bit_index == payload.bit_index
+    assert decoded.custom_label == payload.custom_label

@@ -1,0 +1,99 @@
+"""Tests for age (bit-split) and ZIP (enumeration) demographic reveals."""
+
+import pytest
+
+from repro.core.bitsplit import bits_needed
+from repro.core.client import TreadClient
+from repro.core.provider import TransparencyProvider
+from repro.errors import ProviderError
+
+
+@pytest.fixture
+def provider(platform, web):
+    return TransparencyProvider(platform, web, budget=200.0)
+
+
+def _optin(platform, provider, **kw):
+    user = platform.register_user(**kw)
+    provider.optin.via_page_like(user.user_id)
+    return user
+
+
+class TestAgeReveal:
+    def test_log2_tread_count_for_97_ages(self, provider):
+        """The paper's example: age with 97 values needs 7 Treads."""
+        report = provider.launch_age_reveal(13, 109)
+        assert len(report.treads) == 7
+        assert bits_needed(97) == 7
+
+    def test_users_reconstruct_exact_age(self, platform, web, provider):
+        users = [
+            _optin(platform, provider, age=age)
+            for age in (13, 14, 37, 64, 109)
+        ]
+        provider.launch_attribute_sweep([])  # control
+        provider.launch_age_reveal(13, 109)
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+        for user in users:
+            profile = TreadClient(user.user_id, platform, pack).sync()
+            assert profile.values[provider.AGE_ATTR_ID] == str(user.age)
+
+    def test_min_age_user_needs_only_control(self, platform, web,
+                                             provider):
+        """Age 13 = index 0 = all-zero bits: no age Treads delivered, yet
+        the reconstruction still lands via the control ad."""
+        user = _optin(platform, provider, age=13)
+        provider.launch_attribute_sweep([])
+        provider.launch_age_reveal(13, 109)
+        provider.run_delivery()
+        profile = TreadClient(user.user_id, platform,
+                              provider.publish_decode_pack()).sync()
+        assert profile.values[provider.AGE_ATTR_ID] == "13"
+        # and the user paid exactly one impression (the control)
+        assert len(platform.feed(user.user_id)) == 1
+
+    def test_inverted_range_rejected(self, provider):
+        with pytest.raises(ProviderError):
+            provider.launch_age_reveal(50, 20)
+
+    def test_impressions_bounded_by_log2(self, platform, web, provider):
+        user = _optin(platform, provider, age=109)  # worst-case popcount
+        provider.launch_age_reveal(13, 109)
+        provider.run_delivery()
+        assert len(platform.feed(user.user_id)) <= 7
+
+
+class TestLocationReveal:
+    def test_user_learns_their_zip(self, platform, web, provider):
+        candidates = [f"{z:05d}" for z in range(10001, 10021)]
+        user = _optin(platform, provider, zip_code="10007")
+        report = provider.launch_location_reveal(candidates)
+        assert len(report.treads) == 20
+        provider.run_delivery()
+        profile = TreadClient(user.user_id, platform,
+                              provider.publish_decode_pack()).sync()
+        assert profile.values[provider.ZIP_ATTR_ID] == "10007"
+
+    def test_one_impression_regardless_of_candidates(self, platform, web,
+                                                     provider):
+        """"the provider ... would only have to pay for one impression
+        per user" (section 3.1, Cost, non-binary attributes)."""
+        candidates = [f"{z:05d}" for z in range(10001, 10051)]
+        user = _optin(platform, provider, zip_code="10025")
+        provider.launch_location_reveal(candidates)
+        provider.run_delivery()
+        assert len(platform.feed(user.user_id)) == 1
+
+    def test_zip_outside_candidates_reveals_nothing(self, platform, web,
+                                                    provider):
+        user = _optin(platform, provider, zip_code="99999")
+        provider.launch_location_reveal(["10001", "10002"])
+        provider.run_delivery()
+        profile = TreadClient(user.user_id, platform,
+                              provider.publish_decode_pack()).sync()
+        assert provider.ZIP_ATTR_ID not in profile.values
+
+    def test_empty_candidates_rejected(self, provider):
+        with pytest.raises(ProviderError):
+            provider.launch_location_reveal([])

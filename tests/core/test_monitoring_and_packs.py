@@ -1,0 +1,195 @@
+"""Tests for profile diffs, pack serialization, and pack validation."""
+
+import pytest
+
+from repro.core.client import RevealedProfile, TreadClient
+from repro.core.monitoring import diff_profiles
+from repro.core.packformat import pack_from_json, pack_to_json, validate_pack
+from repro.core.provider import DecodePack, TransparencyProvider
+from repro.errors import EncodingError
+
+
+class TestDiffProfiles:
+    def _profile(self, user_id="u1", attrs=(), values=None, pii=(),
+                 control=True):
+        return RevealedProfile(
+            user_id=user_id,
+            set_attributes=set(attrs),
+            values=dict(values or {}),
+            pii_present=set(pii),
+            control_received=control,
+        )
+
+    def test_gained_and_lost(self):
+        diff = diff_profiles(
+            self._profile(attrs=["a", "b"]),
+            self._profile(attrs=["b", "c"]),
+        )
+        assert diff.gained_attributes == ("c",)
+        assert diff.lost_attributes == ("a",)
+        assert diff.reliable
+
+    def test_changed_values(self):
+        diff = diff_profiles(
+            self._profile(values={"m": "x"}),
+            self._profile(values={"m": "y", "n": "z"}),
+        )
+        assert diff.changed_values == {"m": ("x", "y")}
+
+    def test_gained_pii(self):
+        diff = diff_profiles(
+            self._profile(pii=["email"]),
+            self._profile(pii=["email", "phone"]),
+        )
+        assert diff.gained_pii == ("phone",)
+
+    def test_unreliable_without_controls(self):
+        diff = diff_profiles(
+            self._profile(control=False), self._profile()
+        )
+        assert not diff.reliable
+
+    def test_cross_user_rejected(self):
+        with pytest.raises(ValueError):
+            diff_profiles(self._profile("u1"), self._profile("u2"))
+
+    def test_empty_diff(self):
+        diff = diff_profiles(self._profile(attrs=["a"]),
+                             self._profile(attrs=["a"]))
+        assert diff.is_empty
+
+    def test_end_to_end_broker_churn(self, platform, web):
+        """A broker ships a new record between sweeps; the second sweep's
+        diff reports exactly the new attribute."""
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        attrs = platform.catalog.partner_attributes()[:2]
+        user = platform.register_user()
+        platform.users.attach_pii(user.user_id, "email", "churn@x.y")
+        user.set_attribute(attrs[0])
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+        before = TreadClient(user.user_id, platform, pack).sync()
+
+        # the broker learns something new about the user
+        platform.brokers.broker("Acxiom").add_record(
+            "late-1", [("email", "churn@x.y")], [(attrs[1].attr_id, None)]
+        )
+        platform.ingest_brokers()
+        provider.run_delivery()  # undelivered Treads now match
+        after = TreadClient(user.user_id, platform, pack).sync()
+
+        diff = diff_profiles(before, after)
+        assert diff.gained_attributes == (attrs[1].attr_id,)
+        assert diff.reliable
+
+
+class TestPackSerialization:
+    def _pack(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=50.0)
+        provider.launch_partner_sweep()
+        multi = platform.catalog.multi_attributes()[0]
+        provider.launch_value_reveal(multi.attr_id)
+        return provider.publish_decode_pack()
+
+    def test_json_round_trip(self, platform, web):
+        pack = self._pack(platform, web)
+        restored = pack_from_json(pack_to_json(pack))
+        assert restored == pack
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(EncodingError):
+            pack_from_json('{"format": 99}')
+
+    def test_serialized_pack_still_decodes(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=50.0)
+        attr = platform.catalog.partner_attributes()[0]
+        user = platform.register_user()
+        user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep([attr])
+        provider.run_delivery()
+        wire = pack_to_json(provider.publish_decode_pack())
+        profile = TreadClient(user.user_id, platform,
+                              pack_from_json(wire)).sync()
+        assert attr.attr_id in profile.set_attributes
+
+
+class TestValidatePack:
+    def test_clean_pack_validates(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=50.0)
+        provider.launch_partner_sweep()
+        multi = platform.catalog.multi_attributes()[0]
+        provider.launch_value_reveal(multi.attr_id)
+        issues = validate_pack(provider.publish_decode_pack(),
+                               platform.catalog)
+        assert issues == []
+
+    def test_unknown_attribute_flagged(self, platform):
+        pack = DecodePack(
+            provider_name="sketchy",
+            codebook_snapshot={"1,000,001": "attribute_set|made-up-attr"},
+            codebook_salt="s",
+            value_tables={},
+            account_ids={"p": "acct"},
+            landing_domains=(),
+        )
+        issues = validate_pack(pack, platform.catalog)
+        assert any("not in the platform catalog" in i for i in issues)
+
+    def test_undecodable_canonical_flagged(self):
+        pack = DecodePack(
+            provider_name="broken",
+            codebook_snapshot={"1,000,001": "martian|x"},
+            codebook_salt="s",
+            value_tables={},
+            account_ids={"p": "acct"},
+            landing_domains=(),
+        )
+        issues = validate_pack(pack)
+        assert any("undecodable" in i for i in issues)
+
+    def test_missing_value_table_flagged(self):
+        pack = DecodePack(
+            provider_name="gappy",
+            codebook_snapshot={"1,000,001": "value_bit|m1|0|1"},
+            codebook_salt="s",
+            value_tables={},
+            account_ids={"p": "acct"},
+            landing_domains=(),
+        )
+        issues = validate_pack(pack)
+        assert any("no value table" in i for i in issues)
+
+    def test_excess_bits_flagged(self):
+        pack = DecodePack(
+            provider_name="padded",
+            codebook_snapshot={
+                "1,000,001": "value_bit|m1|0|1",
+                "1,000,002": "value_bit|m1|5|1",
+            },
+            codebook_salt="s",
+            value_tables={"m1": ("a", "b")},
+            account_ids={"p": "acct"},
+            landing_domains=(),
+        )
+        issues = validate_pack(pack)
+        assert any("bit positions" in i for i in issues)
+
+    def test_no_accounts_flagged(self):
+        pack = DecodePack(
+            provider_name="ghost", codebook_snapshot={}, codebook_salt="s",
+            value_tables={}, account_ids={}, landing_domains=(),
+        )
+        assert any("no provider accounts" in i for i in validate_pack(pack))
+
+    def test_demographic_attr_ids_allowed(self, platform, web):
+        """demographic:age / demographic:zip live outside the catalog by
+        design and must not be flagged."""
+        provider = TransparencyProvider(platform, web, budget=50.0)
+        provider.launch_age_reveal(13, 20)
+        provider.launch_location_reveal(["10001"])
+        issues = validate_pack(provider.publish_decode_pack(),
+                               platform.catalog)
+        assert issues == []

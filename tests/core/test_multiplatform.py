@@ -1,0 +1,110 @@
+"""Tests for multi-platform opt-in and sweeps."""
+
+import pytest
+
+from repro.core.client import TreadClient
+from repro.core.multiplatform import MultiPlatformProvider
+from repro.errors import ProviderError
+from repro.platform.catalog import build_us_catalog
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.workloads.competition import zero_competition
+
+
+def _platform(name):
+    return AdPlatform(
+        config=PlatformConfig(name=name),
+        catalog=build_us_catalog(platform_count=40, partner_count=10),
+        competing_draw=zero_competition(),
+    )
+
+
+@pytest.fixture
+def platforms():
+    return [_platform("fb"), _platform("goog"), _platform("twtr")]
+
+
+@pytest.fixture
+def multi(platforms, web):
+    return MultiPlatformProvider(platforms, web, budget_per_platform=100.0)
+
+
+class TestConstruction:
+    def test_one_provider_per_platform(self, multi, platforms):
+        assert set(multi.providers) == {"fb", "goog", "twtr"}
+
+    def test_shared_optin_page_carries_all_pixels(self, multi):
+        page = multi.website.get_page("/optin")
+        assert len(page.pixel_ids) == 3
+
+    def test_empty_platform_list_rejected(self, web):
+        with pytest.raises(ProviderError):
+            MultiPlatformProvider([], web)
+
+    def test_duplicate_platform_names_rejected(self, web):
+        with pytest.raises(ProviderError):
+            MultiPlatformProvider([_platform("same"), _platform("same")],
+                                  web)
+
+    def test_unknown_provider_lookup(self, multi):
+        with pytest.raises(ProviderError):
+            multi.provider("myspace")
+
+
+class TestOneShotOptIn:
+    def test_single_visit_opts_into_every_platform(self, multi, platforms):
+        """Section 3.1: pixels from multiple platforms on one page let the
+        user sign up for all of them 'at one shot'."""
+        users = {p.name: p.register_user() for p in platforms}
+        # one physical person: use the fb identity's browser; each
+        # platform recognises its own user id. Simulate with one browser
+        # per platform visiting the SAME page once.
+        for platform in platforms:
+            browser = platform.browser_for(users[platform.name].user_id)
+            multi.optin_via_pixel(browser)
+        for platform in platforms:
+            pixel = multi.provider(platform.name).optin.optin_pixel
+            assert platform.pixels.visitors(pixel.pixel_id) == {
+                users[platform.name].user_id
+            }
+
+    def test_platform_only_sees_own_pixel(self, multi, platforms):
+        fb = platforms[0]
+        user = fb.register_user()
+        multi.optin_via_pixel(fb.browser_for(user.user_id))
+        goog_pixel = multi.provider("goog").optin.optin_pixel
+        assert platforms[1].pixels.visitors(goog_pixel.pixel_id) == set()
+
+
+class TestSweeps:
+    def test_sweeps_run_everywhere(self, multi, platforms):
+        users = {}
+        for platform in platforms:
+            user = platform.register_user()
+            attr = platform.catalog.partner_attributes()[0]
+            user.set_attribute(attr)
+            multi.optin_via_page_like(platform.name, user.user_id)
+            users[platform.name] = (user, attr)
+        reports = multi.launch_partner_sweeps()
+        assert set(reports) == {"fb", "goog", "twtr"}
+        multi.run_delivery()
+        packs = multi.decode_packs()
+        for platform in platforms:
+            user, attr = users[platform.name]
+            client = TreadClient(user.user_id, platform,
+                                 packs[platform.name])
+            profile = client.sync()
+            assert profile.set_attributes == {attr.attr_id}
+
+    def test_total_spend_sums_platforms(self, multi, platforms):
+        for platform in platforms:
+            user = platform.register_user()
+            user.set_attribute(platform.catalog.partner_attributes()[0])
+            multi.optin_via_page_like(platform.name, user.user_id)
+        multi.launch_partner_sweeps()
+        multi.run_delivery()
+        assert multi.total_spend() == pytest.approx(sum(
+            p.total_spend() for p in multi.providers.values()
+        ))
+        impressions = sum(p.total_impressions()
+                          for p in multi.providers.values())
+        assert impressions == 6  # 3 platforms x (1 attr + control)

@@ -1,0 +1,123 @@
+"""Unit tests for the opt-in flows."""
+
+import pytest
+
+from repro.core.optin import CUSTOM_PATH_PREFIX, OPTIN_PATH, OptInManager
+from repro.errors import OptInError, PIIError
+from repro.platform.pii import PIIRecord, record_from_raw
+
+
+@pytest.fixture
+def manager(platform, web, funded_account):
+    page = platform.create_page(funded_account.account_id, "Updates")
+    site = web.create_site("prov.org", owner="prov")
+    return OptInManager(
+        platform=platform,
+        account_id=funded_account.account_id,
+        website=site,
+        page_id=page.page_id,
+    )
+
+
+class TestPageLike:
+    def test_like_recorded_on_platform(self, manager, platform):
+        user = platform.register_user()
+        manager.via_page_like(user.user_id)
+        assert manager.page_id in platform.users.get(user.user_id).liked_pages
+
+    def test_provider_sees_only_counter(self, manager, platform):
+        for _ in range(3):
+            manager.via_page_like(platform.register_user().user_id)
+        assert manager.page_like_count == 3
+
+
+class TestPixelOptIn:
+    def test_pixel_fires_for_platform(self, manager, platform):
+        user = platform.register_user()
+        browser = platform.browser_for(user.user_id)
+        manager.via_pixel(browser)
+        visitors = platform.pixels.visitors(manager.optin_pixel.pixel_id)
+        assert visitors == {user.user_id}
+
+    def test_provider_log_anonymous(self, manager, platform):
+        """The provider's own web log must never contain platform ids."""
+        user = platform.register_user()
+        manager.via_pixel(platform.browser_for(user.user_id))
+        entry = manager.website.access_log[0]
+        assert entry.cookie_id != user.user_id
+        assert user.user_id not in str(entry)
+
+    def test_optin_page_exists(self, manager):
+        page = manager.website.get_page(OPTIN_PATH)
+        assert manager.optin_pixel.pixel_id in page.pixel_ids
+
+
+class TestSharedOptInPage:
+    def test_second_platform_pixel_appended(self, manager, platform,
+                                            funded_account):
+        """Multi-platform opt-in: pixels accumulate on the shared page."""
+        second = platform.issue_pixel(funded_account.account_id, "second")
+        manager._install_pixel(OPTIN_PATH, second.pixel_id, content="x")
+        page = manager.website.get_page(OPTIN_PATH)
+        assert manager.optin_pixel.pixel_id in page.pixel_ids
+        assert second.pixel_id in page.pixel_ids
+
+    def test_reinstall_idempotent(self, manager):
+        manager._install_pixel(OPTIN_PATH, manager.optin_pixel.pixel_id,
+                               content="x")
+        page = manager.website.get_page(OPTIN_PATH)
+        assert page.pixel_ids.count(manager.optin_pixel.pixel_id) == 1
+
+
+class TestHashedPII:
+    def test_accumulates_by_kind(self, manager):
+        manager.submit_hashed_pii([record_from_raw("email", "a@b.c")])
+        manager.submit_hashed_pii([record_from_raw("phone", "6175550100"),
+                                   record_from_raw("email", "d@e.f")])
+        assert manager.pii_kinds() == ["email", "phone"]
+        assert len(manager.pii_batch("email")) == 2
+
+    def test_empty_submission_rejected(self, manager):
+        with pytest.raises(OptInError):
+            manager.submit_hashed_pii([])
+
+    def test_raw_pii_rejected_at_record_level(self, manager):
+        with pytest.raises(PIIError):
+            manager.submit_hashed_pii([
+                PIIRecord(kind="email", digest="raw@example.com")
+            ])
+
+    def test_batch_copy_returned(self, manager):
+        manager.submit_hashed_pii([record_from_raw("email", "a@b.c")])
+        batch = manager.pii_batch("email")
+        batch.clear()
+        assert len(manager.pii_batch("email")) == 1
+
+
+class TestCustomOptIn:
+    def test_distinct_page_and_pixel_per_attribute(self, manager):
+        first = manager.custom_optin_page("salsa pro")
+        second = manager.custom_optin_page("expat chef")
+        assert first.path != second.path
+        assert first.pixel.pixel_id != second.pixel.pixel_id
+        assert first.path.startswith(CUSTOM_PATH_PREFIX)
+
+    def test_get_or_create_idempotent(self, manager):
+        first = manager.custom_optin_page("salsa pro")
+        again = manager.custom_optin_page("salsa pro")
+        assert first.pixel.pixel_id == again.pixel.pixel_id
+        assert len(manager.custom_optins()) == 1
+
+    def test_via_custom_pixel_fires(self, manager, platform):
+        user = platform.register_user()
+        browser = platform.browser_for(user.user_id)
+        manager.via_custom_pixel(browser, "salsa pro")
+        optin = manager.custom_optin_page("salsa pro")
+        assert platform.pixels.visitors(optin.pixel.pixel_id) == \
+            {user.user_id}
+
+    def test_custom_visit_does_not_fire_main_pixel(self, manager, platform):
+        user = platform.register_user()
+        manager.via_custom_pixel(platform.browser_for(user.user_id),
+                                 "salsa pro")
+        assert platform.pixels.visitors(manager.optin_pixel.pixel_id) == set()

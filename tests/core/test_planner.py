@@ -1,0 +1,121 @@
+"""Unit tests for campaign planning."""
+
+import pytest
+
+from repro.core import planner
+from repro.core.treads import Encoding, Placement, RevealKind
+from repro.errors import CatalogError
+from repro.platform.attributes import make_binary, make_multi
+from repro.platform.targeting import parse
+
+BIN_A = make_binary("b-a", "Attr A", ("Cat",))
+BIN_B = make_binary("b-b", "Attr B", ("Cat",))
+MULTI = make_multi("m1", "Multi", ("Cat",), values=("x", "y", "z"))
+AUDIENCE = "page:page-0"
+
+
+class TestControlTread:
+    def test_targets_audience_only(self):
+        tread = planner.control_tread(AUDIENCE)
+        assert tread.targeting_text == AUDIENCE
+        assert tread.payload.kind is RevealKind.CONTROL
+
+
+class TestBinaryAttributeTread:
+    def test_inclusion_targeting(self):
+        tread = planner.binary_attribute_tread(BIN_A, AUDIENCE)
+        assert tread.targeting_text == f"attr:b-a & {AUDIENCE}"
+        assert tread.payload.kind is RevealKind.ATTRIBUTE_SET
+        assert tread.payload.display == "Attr A"
+        parse(tread.targeting_text)  # must be valid syntax
+
+    def test_exclusion_targeting(self):
+        tread = planner.binary_attribute_tread(BIN_A, AUDIENCE,
+                                               exclude=True)
+        assert tread.targeting_text == f"!attr:b-a & {AUDIENCE}"
+        assert tread.payload.kind is RevealKind.ATTRIBUTE_EXCLUDED
+        parse(tread.targeting_text)
+
+    def test_multi_attribute_rejected(self):
+        with pytest.raises(CatalogError):
+            planner.binary_attribute_tread(MULTI, AUDIENCE)
+
+
+class TestBinarySweep:
+    def test_one_tread_per_attribute_plus_control(self):
+        treads = planner.binary_sweep([BIN_A, BIN_B], AUDIENCE)
+        assert len(treads) == 3
+        kinds = [t.payload.kind for t in treads]
+        assert kinds[0] is RevealKind.CONTROL
+
+    def test_exclusions_double_the_sweep(self):
+        treads = planner.binary_sweep([BIN_A, BIN_B], AUDIENCE,
+                                      include_exclusions=True)
+        assert len(treads) == 5
+
+    def test_no_control(self):
+        treads = planner.binary_sweep([BIN_A], AUDIENCE,
+                                      include_control=False)
+        assert len(treads) == 1
+
+    def test_encoding_and_placement_propagated(self):
+        treads = planner.binary_sweep(
+            [BIN_A], AUDIENCE,
+            encoding=Encoding.STEGANOGRAPHIC,
+            placement=Placement.IN_AD_IMAGE,
+        )
+        assert all(t.encoding is Encoding.STEGANOGRAPHIC for t in treads)
+        assert all(t.placement is Placement.IN_AD_IMAGE for t in treads)
+
+
+class TestValueEnumeration:
+    def test_one_tread_per_value(self):
+        treads = planner.value_enumeration(MULTI, AUDIENCE)
+        assert len(treads) == 3
+        assert [t.payload.value for t in treads] == ["x", "y", "z"]
+        for tread in treads:
+            parse(tread.targeting_text)
+
+    def test_binary_rejected(self):
+        with pytest.raises(CatalogError):
+            planner.value_enumeration(BIN_A, AUDIENCE)
+
+
+class TestValueBitsplit:
+    def test_log2_tread_count(self):
+        treads = planner.value_bitsplit(MULTI, AUDIENCE)
+        assert len(treads) == 2  # ceil(log2 3)
+        for tread in treads:
+            assert tread.payload.kind is RevealKind.VALUE_BIT
+            parse(tread.targeting_text)
+
+    def test_audience_conjoined(self):
+        for tread in planner.value_bitsplit(MULTI, AUDIENCE):
+            assert AUDIENCE in tread.targeting_text
+
+
+class TestPIIAndCustom:
+    def test_pii_reveal_tread(self):
+        tread = planner.pii_reveal_tread("phone", "aud-7", "batch-7")
+        assert tread.targeting_text == "audience:aud-7"
+        assert tread.payload.pii_kind == "phone"
+        assert tread.payload.kind is RevealKind.PII_PRESENT
+
+    def test_custom_attribute_tread(self):
+        tread = planner.custom_attribute_tread(
+            "salsa pro", "aud-9", "attr:pf-interest-000"
+        )
+        assert tread.targeting_text == \
+            "attr:pf-interest-000 & audience:aud-9"
+        assert tread.payload.custom_label == "salsa pro"
+        parse(tread.targeting_text)
+
+
+class TestPlanSummary:
+    def test_counts_by_kind(self):
+        treads = planner.binary_sweep([BIN_A, BIN_B], AUDIENCE,
+                                      include_exclusions=True)
+        summary = planner.plan_summary(treads)
+        assert summary == {
+            "control": 1, "attribute_set": 2, "attribute_excluded": 2,
+        }

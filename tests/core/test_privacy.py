@@ -1,0 +1,130 @@
+"""Tests for the privacy analysis (section 3.1 claims made executable)."""
+
+import pytest
+
+from repro.core.privacy import (
+    AggregateKnowledge,
+    aggregate_inference_attack,
+    anonymity_sets,
+    landing_page_linkage,
+    reach_quantization_error,
+)
+from repro.platform.web import Browser, Website
+
+
+class TestAggregateKnowledge:
+    def test_prevalence(self):
+        knowledge = AggregateKnowledge(
+            optin_count=10, attribute_counts={"a": 4}
+        )
+        assert knowledge.prevalence("a") == pytest.approx(0.4)
+        assert knowledge.prevalence("unknown") == 0.0
+
+    def test_empty_population(self):
+        knowledge = AggregateKnowledge(optin_count=0, attribute_counts={})
+        assert knowledge.prevalence("a") == 0.0
+
+
+class TestAggregateInferenceAttack:
+    def test_attack_never_beats_baseline(self):
+        """The paper's claim: the provider cannot learn WHICH users have
+        which attributes — aggregate-only attack == trivial baseline."""
+        users = [f"u{i}" for i in range(10)]
+        truth = {"a": set(users[:4]), "b": set(users[:9])}
+        knowledge = AggregateKnowledge(
+            optin_count=10, attribute_counts={"a": 4, "b": 9}
+        )
+        result = aggregate_inference_attack(knowledge, users, truth)
+        assert result.advantage == pytest.approx(0.0)
+
+    def test_accuracy_values(self):
+        users = [f"u{i}" for i in range(10)]
+        truth = {"a": set(users[:4])}
+        knowledge = AggregateKnowledge(optin_count=10,
+                                       attribute_counts={"a": 4})
+        result = aggregate_inference_attack(knowledge, users, truth)
+        # best guess: nobody has it -> 6/10 correct
+        assert result.attack_accuracy == pytest.approx(0.6)
+        assert result.baseline_accuracy == pytest.approx(0.6)
+
+    def test_majority_attribute_guessed_positively(self):
+        users = [f"u{i}" for i in range(10)]
+        truth = {"a": set(users[:8])}
+        knowledge = AggregateKnowledge(optin_count=10,
+                                       attribute_counts={"a": 8})
+        result = aggregate_inference_attack(knowledge, users, truth)
+        assert result.attack_accuracy == pytest.approx(0.8)
+
+    def test_empty_users_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_inference_attack(
+                AggregateKnowledge(0, {}), [], {}
+            )
+
+
+class TestAnonymitySets:
+    def test_sizes_from_counts(self):
+        sets_ = anonymity_sets({"a": 5, "b": 1, "c": 0})
+        assert sets_.sizes == {"a": 5, "b": 1}
+        assert sets_.smallest() == 1
+        assert sets_.singletons() == ["b"]
+
+    def test_empty(self):
+        assert anonymity_sets({}).smallest() == 0
+
+
+class TestLandingPageLinkage:
+    def _site_with_visits(self, clear_cookies):
+        site = Website(domain="prov.org", owner="prov")
+        for path in ("/t/1", "/t/2", "/t/3"):
+            site.add_page(path, content="x")
+        browser = Browser(user_id="u1")
+        for path in ("/t/1", "/t/2", "/t/3"):
+            if clear_cookies:
+                browser.clear_cookies()
+            browser.visit(site, path)
+        return site
+
+    def test_sticky_cookie_links_profile(self):
+        """Without the mitigation, the provider links all three Tread
+        visits to one pseudonymous profile."""
+        site = self._site_with_visits(clear_cookies=False)
+        report = landing_page_linkage(site, ["/t/1", "/t/2", "/t/3"])
+        assert report.largest_profile == 3
+        assert report.linkable_multi_visit_cookies == 1
+
+    def test_cleared_cookies_unlink(self):
+        site = self._site_with_visits(clear_cookies=True)
+        report = landing_page_linkage(site, ["/t/1", "/t/2", "/t/3"])
+        assert report.largest_profile == 1
+        assert report.linkable_multi_visit_cookies == 0
+
+    def test_disabled_cookies_counted(self):
+        site = Website(domain="prov.org", owner="prov")
+        site.add_page("/t/1", content="x")
+        browser = Browser(user_id="u1")
+        browser.disable_cookies()
+        browser.visit(site, "/t/1")
+        report = landing_page_linkage(site, ["/t/1"])
+        assert report.cookieless_visits == 1
+        assert report.profiles == {}
+
+    def test_non_tread_paths_ignored(self):
+        site = Website(domain="prov.org", owner="prov")
+        site.add_page("/optin", content="x")
+        Browser(user_id="u1").visit(site, "/optin")
+        report = landing_page_linkage(site, ["/t/1"])
+        assert report.total_landing_visits == 0
+
+
+class TestReachQuantizationError:
+    def test_zero_when_exact(self):
+        assert reach_quantization_error({"a": 5}, {"a": 5}) == 0.0
+
+    def test_mean_absolute_error(self):
+        assert reach_quantization_error(
+            {"a": 7, "b": 3}, {"a": 5, "b": 5}
+        ) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert reach_quantization_error({}, {}) == 0.0

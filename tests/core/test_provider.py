@@ -1,0 +1,229 @@
+"""Tests for the transparency provider orchestration."""
+
+import pytest
+
+from repro.core.provider import TransparencyProvider
+from repro.core.treads import Encoding, Placement, RevealKind
+from repro.errors import ProviderError
+
+
+@pytest.fixture
+def provider(platform, web):
+    return TransparencyProvider(platform, web, budget=200.0)
+
+
+def _optin_users(platform, provider, count, with_attrs=()):
+    users = []
+    for _ in range(count):
+        user = platform.register_user()
+        for attr in with_attrs:
+            user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+        users.append(user)
+    return users
+
+
+class TestSetup:
+    def test_provider_owns_account_page_site(self, provider, platform, web):
+        assert provider.account.budget == 200.0
+        assert provider.page.owner_account_id == provider.account.account_id
+        assert provider.website.domain in web
+
+    def test_audience_terms(self, provider):
+        assert provider.page_audience_term() == \
+            f"page:{provider.page.page_id}"
+        term = provider.pixel_audience_term()
+        assert term.startswith("audience:")
+        # idempotent: same audience on second call
+        assert provider.pixel_audience_term() == term
+
+
+class TestPartnerSweep:
+    def test_sweep_covers_all_partner_attrs_plus_control(self, provider,
+                                                         platform):
+        report = provider.launch_partner_sweep()
+        partner_count = len(platform.catalog.partner_attributes())
+        assert len(report.treads) == partner_count + 1
+        assert report.launch_rate == 1.0
+
+    def test_explicit_sweep_is_rejected_by_review(self, platform, web):
+        """Explicit Treads assert personal attributes -> review rejects
+        the attribute Treads (the control passes: it asserts nothing)."""
+        provider = TransparencyProvider(
+            platform, web, budget=200.0, encoding=Encoding.EXPLICIT,
+        )
+        report = provider.launch_partner_sweep()
+        attribute_treads = [
+            t for t in report.treads
+            if t.payload.kind is RevealKind.ATTRIBUTE_SET
+        ]
+        assert all(t.rejected for t in attribute_treads)
+        assert all(t.review_note for t in attribute_treads)
+
+    def test_rejection_recorded_not_raised(self, platform, web):
+        provider = TransparencyProvider(
+            platform, web, budget=200.0, encoding=Encoding.EXPLICIT,
+        )
+        report = provider.launch_partner_sweep()  # must not raise
+        assert report.launch_rate < 1.0
+
+    def test_delivery_and_spend(self, provider, platform):
+        attrs = platform.catalog.partner_attributes()[:4]
+        _optin_users(platform, provider, 2, with_attrs=attrs)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+        # 2 users x (4 attrs + control) = 10 impressions
+        assert provider.total_impressions() == 10
+        # zero ambient competition -> zero second price, echoing the
+        # paper's own validation: "The above ads had zero cost since too
+        # few users were reached."
+        assert provider.total_spend() == 0.0
+
+    def test_aggregate_attribute_counts(self, provider, platform):
+        attrs = platform.catalog.partner_attributes()
+        _optin_users(platform, provider, 3, with_attrs=attrs[:2])
+        _optin_users(platform, provider, 2)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+        counts = provider.aggregate_attribute_counts()
+        assert counts[attrs[0].attr_id] == 3
+        assert counts[attrs[1].attr_id] == 3
+        assert counts[attrs[5].attr_id] == 0
+
+
+class TestPrevalenceEstimates:
+    def test_estimates_from_provider_visible_numbers(self, provider,
+                                                     platform):
+        attrs = platform.catalog.partner_attributes()
+        _optin_users(platform, provider, 6, with_attrs=attrs[:1])
+        _optin_users(platform, provider, 4)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+        estimates = provider.prevalence_estimates()
+        estimate = estimates[attrs[0].attr_id]
+        assert estimate.count == 6
+        assert estimate.sample_size == 10  # control reach
+        assert estimate.point == 0.6
+        assert estimate.low < 0.6 < estimate.high
+
+    def test_empty_before_delivery(self, provider, platform):
+        provider.launch_partner_sweep()
+        assert provider.prevalence_estimates() == {}
+
+
+class TestValueReveal:
+    def test_bitsplit_scheme(self, provider, platform):
+        multi = platform.catalog.multi_attributes()[0]
+        report = provider.launch_value_reveal(multi.attr_id,
+                                              scheme="bitsplit")
+        import math
+        assert len(report.treads) == \
+            math.ceil(math.log2(len(multi.values)))
+
+    def test_enumeration_scheme(self, provider, platform):
+        multi = platform.catalog.multi_attributes()[0]
+        report = provider.launch_value_reveal(multi.attr_id,
+                                              scheme="enumeration")
+        assert len(report.treads) == len(multi.values)
+
+    def test_unknown_scheme_rejected(self, provider, platform):
+        multi = platform.catalog.multi_attributes()[0]
+        with pytest.raises(ProviderError):
+            provider.launch_value_reveal(multi.attr_id, scheme="magic")
+
+    def test_value_table_published(self, provider, platform):
+        multi = platform.catalog.multi_attributes()[0]
+        provider.launch_value_reveal(multi.attr_id)
+        pack = provider.publish_decode_pack()
+        assert pack.value_tables[multi.attr_id] == tuple(multi.values)
+
+
+class TestKeywordReveal:
+    def test_keyword_reveal_end_to_end(self, platform, web):
+        from repro.core.client import TreadClient
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        salsa = platform.catalog.search("salsa")[0]
+        matching, others = [], []
+        # 22 matching users: the keyword audience is itself a custom
+        # audience and must clear the platform's 20-member minimum.
+        for index in range(40):
+            user = platform.register_user()
+            if index < 22:
+                user.set_attribute(salsa)
+                matching.append(user)
+            else:
+                others.append(user)
+            provider.optin.via_page_like(user.user_id)
+        report = provider.launch_keyword_reveal("keyword: salsa",
+                                                ["salsa"])
+        assert report.launch_rate == 1.0
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+        for user in matching:
+            profile = TreadClient(user.user_id, platform, pack).sync()
+            assert "keyword: salsa" in profile.custom_matches
+        for user in others:
+            profile = TreadClient(user.user_id, platform, pack).sync()
+            assert profile.custom_matches == set()
+
+
+class TestLandingPlacement:
+    def test_landing_pages_published_before_launch(self, platform, web):
+        provider = TransparencyProvider(
+            platform, web, budget=200.0,
+            placement=Placement.LANDING_PAGE,
+        )
+        attrs = platform.catalog.partner_attributes()[:3]
+        report = provider.launch_attribute_sweep(attrs)
+        for tread in report.treads:
+            assert tread.landing_path is not None
+            page = provider.website.get_page(tread.landing_path)
+            assert page.content
+
+    def test_landing_sweep_passes_review(self, platform, web):
+        """Landing-page Treads always pass ToS review (section 4)."""
+        provider = TransparencyProvider(
+            platform, web, budget=200.0,
+            encoding=Encoding.EXPLICIT, placement=Placement.LANDING_PAGE,
+        )
+        report = provider.launch_attribute_sweep(
+            platform.catalog.partner_attributes()[:5]
+        )
+        assert report.launch_rate == 1.0
+
+
+class TestDecodePack:
+    def test_pack_contents(self, provider, platform):
+        provider.launch_partner_sweep()
+        pack = provider.publish_decode_pack()
+        assert pack.account_ids == {
+            platform.name: provider.account.account_id
+        }
+        assert provider.website.domain in pack.landing_domains
+        # one codebook entry per attribute tread + control
+        assert len(pack.codebook_snapshot) == len(provider.treads)
+
+    def test_pack_has_no_user_data(self, provider, platform):
+        _optin_users(platform, provider, 3)
+        provider.launch_partner_sweep()
+        pack = provider.publish_decode_pack()
+        blob = str(pack)
+        for profile in platform.users:
+            assert profile.user_id not in blob
+
+
+class TestSharedCodebook:
+    def test_two_providers_can_share(self, platform, web):
+        from repro.core.codebook import Codebook
+        book = Codebook(salt="coop")
+        first = TransparencyProvider(platform, web, name="coop-a",
+                                     budget=10.0, codebook=book)
+        second = TransparencyProvider(platform, web, name="coop-b",
+                                      budget=10.0, codebook=book)
+        first.launch_attribute_sweep(
+            platform.catalog.partner_attributes()[:2],
+            include_control=False)
+        second.launch_attribute_sweep(
+            platform.catalog.partner_attributes()[2:4],
+            include_control=False)
+        assert len(book) == 4

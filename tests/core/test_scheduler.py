@@ -1,0 +1,142 @@
+"""Tests for the paced campaign runner."""
+
+import pytest
+
+from repro.core.provider import TransparencyProvider
+from repro.core.scheduler import (
+    PacedCampaignRunner,
+    ScheduleResult,
+    coverage_curve,
+)
+from repro.workloads.browsing import BrowsingModel
+
+
+@pytest.fixture
+def launched(platform, web):
+    provider = TransparencyProvider(platform, web, budget=100.0)
+    attrs = platform.catalog.partner_attributes()[:5]
+    for _ in range(4):
+        user = platform.register_user()
+        for attr in attrs:
+            user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+    provider.launch_attribute_sweep(attrs)
+    return provider
+
+
+class TestRun:
+    def test_saturates_and_covers_everything(self, launched):
+        runner = PacedCampaignRunner(
+            launched, browsing_model=BrowsingModel(mean_slots=30.0),
+            patience=2,
+        )
+        result = runner.run(max_days=20)
+        assert result.saturated
+        assert not result.exhausted_budget
+        # 4 users x (5 attrs + control)
+        assert result.total_impressions == 24
+
+    def test_cumulative_monotone(self, launched):
+        runner = PacedCampaignRunner(
+            launched, browsing_model=BrowsingModel(mean_slots=10.0),
+        )
+        result = runner.run(max_days=10)
+        cumulative = [r.cumulative_impressions for r in result.days]
+        assert cumulative == sorted(cumulative)
+        assert result.days[-1].day == len(result.days)
+
+    def test_stops_at_max_days(self, launched):
+        runner = PacedCampaignRunner(
+            launched, browsing_model=BrowsingModel(mean_slots=1.0,
+                                                   min_slots=1),
+            patience=50,
+        )
+        result = runner.run(max_days=3)
+        assert result.total_days == 3
+        assert not result.saturated
+
+    def test_coverage_curve_shape(self, launched):
+        runner = PacedCampaignRunner(
+            launched, browsing_model=BrowsingModel(mean_slots=30.0),
+        )
+        result = runner.run(max_days=20)
+        curve = coverage_curve(result)
+        assert curve[0][0] == 1
+        assert curve[-1][1] == result.total_impressions
+
+
+class TestDailyBudget:
+    def test_daily_cap_limits_spend(self, platform, web):
+        """With a binding daily cap against priced competition, per-day
+        spend never exceeds the cap."""
+        from repro.platform.catalog import build_us_catalog
+        from repro.platform.platform import AdPlatform, PlatformConfig
+        from repro.workloads.competition import fixed_competition
+
+        priced = AdPlatform(
+            config=PlatformConfig(name="paced"),
+            catalog=build_us_catalog(40, 25),
+            competing_draw=fixed_competition(2.0),
+        )
+        from repro.platform.web import WebDirectory
+        provider = TransparencyProvider(priced, WebDirectory(),
+                                        budget=100.0, bid_cap_cpm=10.0)
+        attrs = priced.catalog.partner_attributes()[:10]
+        for _ in range(20):
+            user = priced.register_user()
+            for attr in attrs:
+                user.set_attribute(attr)
+            provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep(attrs)
+
+        cap = 0.05  # 25 impressions/day at $2 CPM market price
+        runner = PacedCampaignRunner(
+            provider, daily_budget=cap,
+            browsing_model=BrowsingModel(mean_slots=40.0),
+        )
+        result = runner.run(max_days=30)
+        assert result.total_impressions == 20 * 11
+        assert all(r.spend <= cap + 1e-9 for r in result.days)
+        # pacing stretches the campaign over multiple days
+        assert result.total_days >= 2
+
+    def test_budget_exhaustion_reported(self, platform, web):
+        from repro.platform.catalog import build_us_catalog
+        from repro.platform.platform import AdPlatform, PlatformConfig
+        from repro.platform.web import WebDirectory
+        from repro.workloads.competition import fixed_competition
+
+        priced = AdPlatform(
+            config=PlatformConfig(name="broke"),
+            catalog=build_us_catalog(40, 25),
+            competing_draw=fixed_competition(2.0),
+        )
+        provider = TransparencyProvider(priced, WebDirectory(),
+                                        budget=0.02, bid_cap_cpm=10.0)
+        attrs = priced.catalog.partner_attributes()[:10]
+        user = priced.register_user()
+        for attr in attrs:
+            user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep(attrs)
+        runner = PacedCampaignRunner(
+            provider, browsing_model=BrowsingModel(mean_slots=40.0),
+        )
+        result = runner.run(max_days=10)
+        assert result.exhausted_budget
+        # partial delivery: the honest failure mode the module documents
+        assert 0 < result.total_impressions < 11
+
+    def test_invalid_params_rejected(self, launched):
+        with pytest.raises(ValueError):
+            PacedCampaignRunner(launched, daily_budget=0.0)
+        with pytest.raises(ValueError):
+            PacedCampaignRunner(launched, patience=0)
+
+
+class TestEmptyResult:
+    def test_zero_state(self):
+        result = ScheduleResult()
+        assert result.total_days == 0
+        assert result.total_spend == 0.0
+        assert result.total_impressions == 0

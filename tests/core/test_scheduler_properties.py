@@ -1,0 +1,68 @@
+"""Property tests for the paced campaign runner's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.provider import TransparencyProvider
+from repro.core.scheduler import PacedCampaignRunner
+from repro.platform.catalog import build_us_catalog
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.platform.web import WebDirectory
+from repro.workloads.browsing import BrowsingModel
+from repro.workloads.competition import fixed_competition
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    daily_budget=st.one_of(st.none(),
+                           st.floats(min_value=0.01, max_value=0.2)),
+    mean_slots=st.floats(min_value=2.0, max_value=30.0),
+    users=st.integers(1, 6),
+)
+def test_scheduler_invariants(seed, daily_budget, mean_slots, users):
+    """For any browsing seed, pacing cap, activity level and population:
+
+    1. cumulative impressions are monotone non-decreasing;
+    2. each day's spend respects the daily cap (when set);
+    3. total spend never exceeds the initial budget;
+    4. impressions never exceed the campaign's wanted total;
+    5. if the run saturated, coverage is complete.
+    """
+    platform = AdPlatform(
+        config=PlatformConfig(name=f"sp{seed}"),
+        catalog=build_us_catalog(40, 25),
+        competing_draw=fixed_competition(2.0),
+    )
+    web = WebDirectory()
+    initial_budget = 5.0
+    provider = TransparencyProvider(platform, web, budget=initial_budget,
+                                    bid_cap_cpm=10.0)
+    attrs = platform.catalog.partner_attributes()[:4]
+    for _ in range(users):
+        user = platform.register_user()
+        for attr in attrs:
+            user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+    provider.launch_attribute_sweep(attrs)
+    wanted = users * (len(attrs) + 1)
+
+    runner = PacedCampaignRunner(
+        provider,
+        daily_budget=daily_budget,
+        browsing_model=BrowsingModel(mean_slots=mean_slots),
+        patience=2,
+        seed=seed,
+    )
+    result = runner.run(max_days=25)
+
+    cumulative = [record.cumulative_impressions for record in result.days]
+    assert cumulative == sorted(cumulative)
+    if daily_budget is not None:
+        assert all(record.spend <= daily_budget + 1e-9
+                   for record in result.days)
+    assert result.total_spend <= initial_budget + 1e-9
+    assert result.total_impressions <= wanted
+    if result.saturated:
+        assert result.total_impressions == wanted

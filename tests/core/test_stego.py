@@ -1,0 +1,78 @@
+"""Unit and property tests for LSB steganography."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import stego
+from repro.errors import EncodingError
+from repro.platform.ads import AdImage
+
+
+class TestEmbedExtract:
+    def test_round_trip(self):
+        image = AdImage.blank(64, 64)
+        carrier = stego.embed(image, "attribute_set|pc-networth-006")
+        assert stego.extract(carrier) == "attribute_set|pc-networth-006"
+
+    def test_original_untouched(self):
+        image = AdImage.blank(64, 64, shade=200)
+        stego.embed(image, "payload")
+        assert all(p == 200 for p in image.pixels)
+
+    def test_visual_distortion_at_most_one_level(self):
+        image = AdImage.blank(64, 64, shade=200)
+        carrier = stego.embed(image, "payload")
+        assert all(abs(a - b) <= 1
+                   for a, b in zip(image.pixels, carrier.pixels))
+
+    def test_clean_image_yields_none(self):
+        assert stego.try_extract(AdImage.blank(64, 64)) is None
+
+    def test_extract_on_clean_image_raises(self):
+        with pytest.raises(EncodingError):
+            stego.extract(AdImage.blank(64, 64))
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(EncodingError):
+            stego.embed(AdImage.blank(4, 4), "a long payload that wont fit")
+
+    def test_tiny_image_extract_none(self):
+        assert stego.try_extract(AdImage.blank(2, 2)) is None
+
+    def test_capacity(self):
+        image = AdImage.blank(64, 64)  # 4096 pixels
+        capacity = stego.capacity_bytes(image)
+        assert capacity == (4096 - 32) // 8 - 2
+        stego.embed(image, "x" * capacity)  # exactly fits
+        with pytest.raises(EncodingError):
+            stego.embed(image, "x" * (capacity + 1))
+
+    def test_capacity_of_tiny_image_zero(self):
+        assert stego.capacity_bytes(AdImage.blank(4, 4)) == 0
+
+    def test_empty_payload(self):
+        carrier = stego.embed(AdImage.blank(16, 16), "")
+        assert stego.extract(carrier) == ""
+
+    def test_corrupted_magic_yields_none(self):
+        carrier = stego.embed(AdImage.blank(64, 64), "payload")
+        # flip the LSBs holding the magic prefix
+        for index in range(32, 48):
+            carrier.pixels[index] ^= 1
+        assert stego.try_extract(carrier) is None
+
+
+@given(st.text(min_size=0, max_size=200))
+def test_round_trip_property(payload):
+    """Any unicode payload fitting the carrier survives embed/extract."""
+    image = AdImage.blank(96, 96)
+    if len(payload.encode("utf-8")) > stego.capacity_bytes(image):
+        return
+    assert stego.extract(stego.embed(image, payload)) == payload
+
+
+@given(st.integers(0, 255))
+def test_round_trip_independent_of_background(shade):
+    image = AdImage.blank(32, 32, shade=shade)
+    assert stego.extract(stego.embed(image, "probe")) == "probe"

@@ -1,0 +1,115 @@
+"""Unit and property tests for reveal payloads and canonical round-trip."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.treads import (
+    Encoding,
+    Placement,
+    RevealKind,
+    RevealPayload,
+    Tread,
+    payload_from_canonical,
+)
+from repro.errors import EncodingError
+
+_attr_ids = st.sampled_from(["pc-networth-006", "pf-interest-000", "a|b?"])
+_safe_attr_ids = st.sampled_from(["pc-networth-006", "pf-interest-000"])
+
+_payloads = st.one_of(
+    st.builds(RevealPayload, kind=st.just(RevealKind.ATTRIBUTE_SET),
+              attr_id=_safe_attr_ids),
+    st.builds(RevealPayload, kind=st.just(RevealKind.ATTRIBUTE_EXCLUDED),
+              attr_id=_safe_attr_ids),
+    st.builds(RevealPayload, kind=st.just(RevealKind.VALUE_IS),
+              attr_id=_safe_attr_ids,
+              value=st.sampled_from(["x", "Some college"])),
+    st.builds(RevealPayload, kind=st.just(RevealKind.VALUE_BIT),
+              attr_id=_safe_attr_ids,
+              bit_index=st.integers(0, 11), bit_value=st.integers(0, 1)),
+    st.builds(RevealPayload, kind=st.just(RevealKind.PII_PRESENT),
+              pii_kind=st.sampled_from(["email", "phone"]),
+              pii_digest=st.text("0123456789abcdef", min_size=8,
+                                 max_size=64)),
+    st.builds(RevealPayload, kind=st.just(RevealKind.CUSTOM_ATTRIBUTE),
+              custom_label=st.sampled_from(["salsa pro", "expat"])),
+    st.builds(RevealPayload, kind=st.just(RevealKind.INTENT),
+              display=st.sampled_from(["reach dancers", "sell shoes"])),
+    st.just(RevealPayload(kind=RevealKind.CONTROL)),
+)
+
+
+@given(_payloads)
+def test_canonical_round_trip(payload):
+    """canonical() and payload_from_canonical() are inverse on the fields
+    that define the payload (display is presentation-only)."""
+    rebuilt = payload_from_canonical(payload.canonical())
+    assert rebuilt.kind is payload.kind
+    assert rebuilt.attr_id == payload.attr_id
+    assert rebuilt.value == payload.value
+    assert rebuilt.bit_index == payload.bit_index
+    assert rebuilt.bit_value == payload.bit_value
+    assert rebuilt.pii_kind == payload.pii_kind
+    assert rebuilt.pii_digest == payload.pii_digest
+    assert rebuilt.custom_label == payload.custom_label
+
+
+@given(_payloads, _payloads)
+def test_canonical_injective(a, b):
+    """Distinct payloads never share a canonical string."""
+    if a.canonical() == b.canonical():
+        assert payload_from_canonical(a.canonical()) == \
+            payload_from_canonical(b.canonical())
+
+
+class TestCanonicalErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(EncodingError):
+            payload_from_canonical("martian|x")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(EncodingError):
+            payload_from_canonical("value_is|only-attr")
+
+    def test_control_round_trip(self):
+        assert payload_from_canonical("control").kind is RevealKind.CONTROL
+
+
+class TestExplicitText:
+    def test_attribute_set_text(self):
+        payload = RevealPayload(kind=RevealKind.ATTRIBUTE_SET,
+                                attr_id="a", display="Net worth: Over $2M")
+        text = payload.explicit_text()
+        assert "you are: Net worth: Over $2M" in text
+        assert "According to this ad platform" in text
+
+    def test_excluded_text_mentions_false_or_missing(self):
+        payload = RevealPayload(kind=RevealKind.ATTRIBUTE_EXCLUDED,
+                                attr_id="a", display="Expat")
+        assert "false for you or missing" in payload.explicit_text()
+
+    def test_control_text(self):
+        payload = RevealPayload(kind=RevealKind.CONTROL)
+        assert "reachable" in payload.explicit_text()
+
+    def test_pii_text_truncates_digest(self):
+        payload = RevealPayload(kind=RevealKind.PII_PRESENT,
+                                pii_kind="phone", pii_digest="ab" * 32)
+        assert ("ab" * 32)[:12] in payload.explicit_text()
+        assert "ab" * 32 not in payload.explicit_text()
+
+
+class TestTread:
+    def test_launched_requires_ad_and_no_rejection(self):
+        tread = Tread(
+            payload=RevealPayload(kind=RevealKind.CONTROL),
+            encoding=Encoding.CODEBOOK,
+            placement=Placement.IN_AD_TEXT,
+            targeting_text="all",
+        )
+        assert not tread.launched
+        tread.ad_id = "ad-1"
+        assert tread.launched
+        tread.rejected = True
+        assert not tread.launched

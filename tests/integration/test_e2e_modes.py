@@ -1,0 +1,200 @@
+"""Integration: every supported encoding x placement mode end-to-end,
+plus PII reveals, custom attributes, and the pixel opt-in route."""
+
+import pytest
+
+from repro.core.client import TreadClient
+from repro.core.creative import SUPPORTED_MODES
+from repro.core.provider import TransparencyProvider
+from repro.core.treads import Encoding, Placement
+from repro.platform.pii import record_from_raw
+
+
+@pytest.mark.parametrize("encoding,placement", [
+    (e, p) for e, p in SUPPORTED_MODES if e is not Encoding.EXPLICIT
+    or p is Placement.LANDING_PAGE
+])
+def test_mode_reveals_end_to_end(platform, web, encoding, placement):
+    """Every review-passing mode delivers and decodes identically.
+
+    (EXPLICIT + IN_AD_TEXT is excluded: review rejects it by design —
+    covered in test_provider and benchmark E7.)
+    """
+    provider = TransparencyProvider(
+        platform, web, budget=200.0, encoding=encoding, placement=placement,
+    )
+    attrs = platform.catalog.partner_attributes()[:4]
+    user = platform.register_user()
+    for attr in attrs[:2]:
+        user.set_attribute(attr)
+    provider.optin.via_page_like(user.user_id)
+    report = provider.launch_attribute_sweep(attrs)
+    assert report.launch_rate == 1.0
+    provider.run_delivery()
+    profile = TreadClient(user.user_id, platform,
+                          provider.publish_decode_pack()).sync()
+    assert profile.set_attributes == {a.attr_id for a in attrs[:2]}
+    assert profile.control_received
+    assert profile.undecoded == []
+
+
+class TestPixelOptInRoute:
+    def test_pixel_audience_needs_minimum_size(self, platform, web):
+        from repro.errors import AudienceTooSmallError
+        provider = TransparencyProvider(platform, web, budget=200.0)
+        user = platform.register_user()
+        provider.optin.via_pixel(platform.browser_for(user.user_id))
+        attrs = platform.catalog.partner_attributes()[:1]
+        with pytest.raises(AudienceTooSmallError):
+            provider.launch_attribute_sweep(
+                attrs, audience_term=provider.pixel_audience_term()
+            )
+
+    def test_pixel_route_works_at_scale(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=200.0)
+        attr = platform.catalog.partner_attributes()[0]
+        users = []
+        for index in range(25):
+            user = platform.register_user()
+            if index < 10:
+                user.set_attribute(attr)
+            provider.optin.via_pixel(platform.browser_for(user.user_id))
+            users.append(user)
+        provider.launch_attribute_sweep(
+            [attr], audience_term=provider.pixel_audience_term()
+        )
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+        revealed = sum(
+            1 for user in users
+            if attr.attr_id in TreadClient(user.user_id, platform,
+                                           pack).sync().set_attributes
+        )
+        assert revealed == 10
+
+    def test_anonymous_to_provider(self, platform, web):
+        """Pixel opt-in keeps users anonymous to the provider: its site
+        log holds only cookies, and platform reports only counts."""
+        provider = TransparencyProvider(platform, web, budget=200.0)
+        user = platform.register_user()
+        provider.optin.via_pixel(platform.browser_for(user.user_id))
+        log_blob = str(provider.website.access_log)
+        assert user.user_id not in log_blob
+
+
+class TestLateOptIn:
+    def test_user_opting_in_after_launch_still_revealed(self, platform,
+                                                        web):
+        """Page audiences are dynamic: a user who likes the provider's
+        page AFTER the sweep launched still receives their Treads on the
+        next delivery rounds — subscriptions don't require re-launching
+        507 ads."""
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        attrs = platform.catalog.partner_attributes()[:3]
+        provider.launch_attribute_sweep(attrs)
+        provider.run_delivery()  # nobody opted in yet; nothing delivered
+
+        latecomer = platform.register_user()
+        for attr in attrs[:2]:
+            latecomer.set_attribute(attr)
+        provider.optin.via_page_like(latecomer.user_id)
+        provider.run_delivery()
+
+        profile = TreadClient(latecomer.user_id, platform,
+                              provider.publish_decode_pack()).sync()
+        assert profile.set_attributes == {a.attr_id for a in attrs[:2]}
+        assert profile.control_received
+
+
+class TestPIIReveals:
+    def _setup(self, platform, web, holders, non_holders):
+        """holders: users whose phone the platform has; non_holders: it
+        doesn't. All submit hashed phones to the provider."""
+        provider = TransparencyProvider(platform, web, budget=200.0)
+        users = []
+        for index in range(holders + non_holders):
+            user = platform.register_user()
+            phone = f"617555{index:04d}"
+            if index < holders:
+                platform.users.attach_pii(user.user_id, "phone", phone)
+            provider.optin.via_page_like(user.user_id)
+            provider.optin.submit_hashed_pii(
+                [record_from_raw("phone", phone)]
+            )
+            users.append(user)
+        return provider, users
+
+    def test_reveals_exactly_who_platform_knows(self, platform, web):
+        provider, users = self._setup(platform, web, holders=25,
+                                      non_holders=10)
+        report = provider.launch_pii_reveals()
+        assert report.launch_rate == 1.0
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+        for index, user in enumerate(users):
+            profile = TreadClient(user.user_id, platform, pack).sync()
+            if index < 25:
+                assert profile.pii_present == {"phone"}
+            else:
+                assert profile.pii_present == set()
+
+    def test_provider_never_sees_raw_pii(self, platform, web):
+        provider, _ = self._setup(platform, web, holders=25, non_holders=0)
+        batches = [provider.optin.pii_batch(k)
+                   for k in provider.optin.pii_kinds()]
+        from repro.hashing import is_hashed
+        for batch in batches:
+            assert all(is_hashed(record.digest) for record in batch)
+
+
+class TestCustomAttributes:
+    def test_per_attribute_optin_reveal(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=200.0)
+        attr = [a for a in platform.catalog.platform_attributes()
+                if a.is_binary][0]
+        label = "custom: " + attr.name
+        users = []
+        for index in range(30):
+            user = platform.register_user()
+            if index < 12:
+                user.set_attribute(attr)
+            provider.optin.via_page_like(user.user_id)
+            provider.optin.via_custom_pixel(
+                platform.browser_for(user.user_id), label
+            )
+            users.append(user)
+        report = provider.launch_custom_attribute(
+            label, f"attr:{attr.attr_id}"
+        )
+        assert report.launch_rate == 1.0
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+        matched = [
+            u for u in users
+            if label in TreadClient(u.user_id, platform,
+                                    pack).sync().custom_matches
+        ]
+        assert len(matched) == 12
+
+    def test_only_optedin_visitors_targeted(self, platform, web):
+        """A user with the attribute who did NOT visit the custom page
+        must not receive the custom Tread."""
+        provider = TransparencyProvider(platform, web, budget=200.0)
+        attr = [a for a in platform.catalog.platform_attributes()
+                if a.is_binary][0]
+        label = "selective"
+        visitor_users, outsider = [], None
+        for index in range(25):
+            user = platform.register_user()
+            user.set_attribute(attr)
+            provider.optin.via_custom_pixel(
+                platform.browser_for(user.user_id), label
+            )
+            visitor_users.append(user)
+        outsider = platform.register_user()
+        outsider.set_attribute(attr)
+        provider.launch_custom_attribute(label, f"attr:{attr.attr_id}")
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+        profile = TreadClient(outsider.user_id, platform, pack).sync()
+        assert profile.custom_matches == set()

@@ -1,0 +1,66 @@
+"""Integration: per-country catalogs (section 3.1: "Facebook provides
+different attributes in different countries; we only focus on those
+provided to U.S.-based advertisers")."""
+
+import pytest
+
+from repro.core.client import TreadClient
+from repro.core.provider import TransparencyProvider
+from repro.errors import TargetingError
+from repro.platform.catalog import build_country_catalogs
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.platform.web import WebDirectory
+from repro.workloads.competition import zero_competition
+
+
+@pytest.fixture
+def world_platform():
+    return AdPlatform(
+        config=PlatformConfig(name="world"),
+        catalog=build_country_catalogs(
+            countries=("US", "DE"), partner_counts=(507, 60)
+        ),
+        competing_draw=zero_competition(),
+    )
+
+
+class TestCountryCatalogs:
+    def test_us_advertiser_cannot_target_de_attributes(self,
+                                                       world_platform):
+        platform = world_platform
+        web = WebDirectory()
+        us_provider = TransparencyProvider(platform, web, name="us-np",
+                                           budget=50.0)
+        de_attr = platform.catalog.partner_attributes("DE")[0]
+        with pytest.raises(TargetingError):
+            platform.submit_ad(
+                us_provider.account.account_id,
+                us_provider.campaign.campaign_id,
+                __import__("repro.platform.ads",
+                           fromlist=["AdCreative"]).AdCreative("h", "b"),
+                f"attr:{de_attr.attr_id} & {us_provider.page_audience_term()}",
+            )
+
+    def test_de_provider_sweeps_de_catalog(self, world_platform):
+        platform = world_platform
+        web = WebDirectory()
+        de_provider = TransparencyProvider(platform, web, name="de-np",
+                                           budget=100.0)
+        de_provider.account.country = "DE"
+        de_attrs = platform.catalog.partner_attributes("DE")
+        user = platform.register_user(country="DE")
+        for attr in de_attrs[:4]:
+            user.set_attribute(attr)
+        de_provider.optin.via_page_like(user.user_id)
+        report = de_provider.launch_partner_sweep()
+        # sweep enumerates the DE catalog: 60 attrs + control
+        assert len(report.treads) == 61
+        de_provider.run_delivery()
+        profile = TreadClient(user.user_id, platform,
+                              de_provider.publish_decode_pack()).sync()
+        assert profile.set_attributes == {a.attr_id for a in de_attrs[:4]}
+
+    def test_partner_counts_differ_by_country(self, world_platform):
+        platform = world_platform
+        assert len(platform.catalog.partner_attributes("US")) == 507
+        assert len(platform.catalog.partner_attributes("DE")) == 60

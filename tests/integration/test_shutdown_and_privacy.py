@@ -1,0 +1,110 @@
+"""Integration: the partner-category shutdown and the privacy claims."""
+
+import pytest
+
+from repro.core.client import TreadClient
+from repro.core.privacy import (
+    AggregateKnowledge,
+    aggregate_inference_attack,
+)
+from repro.core.provider import TransparencyProvider
+from repro.errors import CatalogError
+from repro.platform.databroker import shutdown_partner_categories
+from repro.workloads.personas import AVERAGE_CONSUMER
+from repro.workloads.population import (
+    PopulationBuilder,
+    ground_truth_partner_attrs,
+)
+
+
+class TestShutdownScenario:
+    """Paper footnote 2: Facebook removed partner categories in 2018."""
+
+    def test_sweep_impossible_after_shutdown(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        partner_ids = [a.attr_id
+                       for a in platform.catalog.partner_attributes()]
+        shutdown_partner_categories(
+            platform.catalog, platform.users, platform.brokers
+        )
+        # the sweep finds no partner attributes to run against
+        report = provider.launch_partner_sweep()
+        kinds = [t.payload.kind.value for t in report.treads]
+        assert kinds == ["control"]
+        # and explicitly targeting a removed attribute fails validation
+        from repro.platform.ads import AdCreative
+        with pytest.raises(CatalogError):
+            platform.submit_ad(
+                provider.account.account_id,
+                provider.campaign.campaign_id,
+                AdCreative("h", "b"),
+                f"attr:{partner_ids[0]} & {provider.page_audience_term()}",
+            )
+
+    def test_treads_before_shutdown_still_decoded(self, platform, web):
+        """Reveals already collected survive the catalog change."""
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        attrs = platform.catalog.partner_attributes()[:2]
+        user = platform.register_user()
+        for attr in attrs:
+            user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep(attrs)
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+        # catalog reference must be taken before shutdown for name mapping
+        catalog_before = platform.catalog.subset(
+            [a.attr_id for a in platform.catalog]
+        )
+        shutdown_partner_categories(
+            platform.catalog, platform.users, platform.brokers
+        )
+        profile = TreadClient(user.user_id, platform, pack,
+                              catalog=catalog_before).sync()
+        assert profile.set_attributes == {a.attr_id for a in attrs}
+
+
+class TestPrivacyEndToEnd:
+    def test_provider_cannot_deanonymize_from_reports(self, platform, web):
+        """Run a real campaign over 40 users; the provider's best
+        aggregate-only attack has zero advantage over baseline."""
+        builder = PopulationBuilder(platform, seed=11)
+        users = builder.spawn(AVERAGE_CONSUMER, 40)
+        builder.finalize()
+        provider = TransparencyProvider(platform, web, budget=300.0)
+        for user in users:
+            provider.optin.via_page_like(user.user_id)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+
+        user_ids = [u.user_id for u in users]
+        counts = provider.aggregate_attribute_counts()
+        knowledge = AggregateKnowledge(
+            optin_count=len(users), attribute_counts=counts
+        )
+        truth_by_user = ground_truth_partner_attrs(platform, user_ids)
+        truth_by_attr = {}
+        for user_id, attrs in truth_by_user.items():
+            for attr_id in attrs:
+                truth_by_attr.setdefault(attr_id, set()).add(user_id)
+        result = aggregate_inference_attack(knowledge, user_ids,
+                                            truth_by_attr)
+        assert result.advantage == pytest.approx(0.0, abs=1e-9)
+
+    def test_aggregate_counts_are_accurate(self, platform, web):
+        """The flip side: the provider DOES learn accurate aggregates."""
+        builder = PopulationBuilder(platform, seed=12)
+        users = builder.spawn(AVERAGE_CONSUMER, 30)
+        builder.finalize()
+        provider = TransparencyProvider(platform, web, budget=300.0)
+        for user in users:
+            provider.optin.via_page_like(user.user_id)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+        counts = provider.aggregate_attribute_counts()
+        truth = ground_truth_partner_attrs(platform,
+                                           [u.user_id for u in users])
+        for attr in platform.catalog.partner_attributes():
+            true_count = sum(1 for attrs in truth.values()
+                             if attr.attr_id in attrs)
+            assert counts[attr.attr_id] == true_count

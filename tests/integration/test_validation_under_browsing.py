@@ -1,0 +1,68 @@
+"""Integration: the paper's validation under fully realistic conditions.
+
+E1-style scenario but with nothing idealized: log-normal auction
+competition, heavy-tailed browsing sessions, a daily budget, and the
+paced runner's provider-observable stopping rule. The paper's outcome
+must survive all of it.
+"""
+
+import pytest
+
+from repro.core.client import TreadClient
+from repro.core.provider import TransparencyProvider
+from repro.core.scheduler import PacedCampaignRunner
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.platform.web import WebDirectory
+from repro.workloads.browsing import BrowsingModel
+from repro.workloads.competition import lognormal_competition
+from repro.workloads.personas import (
+    ESTABLISHED_PROFESSIONAL,
+    RECENT_ARRIVAL_GRAD_STUDENT,
+)
+from repro.workloads.population import PopulationBuilder
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_validation_outcome_robust_to_randomness(seed):
+    platform = AdPlatform(
+        config=PlatformConfig(name=f"rob{seed}"),
+        competing_draw=lognormal_competition(median_cpm=2.0, seed=seed),
+    )
+    web = WebDirectory()
+    builder = PopulationBuilder(platform, seed=seed)
+    profiled = builder.spawn(ESTABLISHED_PROFESSIONAL, 1)[0]
+    unprofiled = builder.spawn(RECENT_ARRIVAL_GRAD_STUDENT, 1)[0]
+    builder.finalize()
+
+    provider = TransparencyProvider(platform, web, budget=500.0,
+                                    bid_cap_cpm=10.0)
+    provider.optin.via_page_like(profiled.user_id)
+    provider.optin.via_page_like(unprofiled.user_id)
+    provider.launch_partner_sweep()
+
+    runner = PacedCampaignRunner(
+        provider,
+        daily_budget=0.10,
+        browsing_model=BrowsingModel(mean_slots=30.0),
+        patience=3,
+        seed=seed * 7,
+    )
+    result = runner.run(max_days=60)
+    assert result.saturated
+    assert not result.exhausted_budget
+
+    pack = provider.publish_decode_pack()
+    reveal_profiled = TreadClient(profiled.user_id, platform, pack).sync()
+    reveal_unprofiled = TreadClient(unprofiled.user_id, platform,
+                                    pack).sync()
+    truth = {a for a in profiled.binary_attrs if a.startswith("pc-")}
+
+    # the paper's qualitative outcome, under full stochasticity
+    assert reveal_profiled.control_received
+    assert reveal_unprofiled.control_received
+    assert reveal_profiled.set_attributes == truth
+    assert reveal_profiled.set_attributes  # non-empty by persona
+    assert reveal_unprofiled.set_attributes == set()
+    # and the paced runner paid second prices, not the cap
+    effective_cpm = 1000 * result.total_spend / result.total_impressions
+    assert effective_cpm < 10.0

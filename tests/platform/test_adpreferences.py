@@ -1,0 +1,76 @@
+"""Tests for the ad-preferences page's documented incompleteness."""
+
+import pytest
+
+from repro.platform.pii import record_from_raw
+
+
+class TestShownAttributes:
+    def test_platform_attributes_shown(self, platform):
+        user = platform.register_user()
+        attr = [a for a in platform.catalog.platform_attributes()
+                if a.is_binary][0]
+        user.set_attribute(attr)
+        view = platform.ad_preferences_for(user.user_id)
+        assert attr.attr_id in view.shown_attribute_ids
+
+    def test_partner_attributes_hidden(self, platform):
+        """[1]: Facebook's page reveals no data-broker information."""
+        user = platform.register_user()
+        partner = platform.catalog.partner_attributes()[0]
+        user.set_attribute(partner)
+        view = platform.ad_preferences_for(user.user_id)
+        assert partner.attr_id not in view.shown_attribute_ids
+
+    def test_hidden_partner_ground_truth_helper(self, platform):
+        user = platform.register_user()
+        partner = platform.catalog.partner_attributes()[0]
+        user.set_attribute(partner)
+        hidden = platform.ad_preferences.hidden_partner_attributes(user)
+        assert hidden == [partner.attr_id]
+
+    def test_multi_attributes_shown(self, platform):
+        user = platform.register_user()
+        multi = platform.catalog.multi_attributes()[0]
+        user.set_attribute(multi, multi.values[0])
+        view = platform.ad_preferences_for(user.user_id)
+        assert multi.attr_id in view.shown_attribute_ids
+
+    def test_attribute_removed_from_catalog_not_shown(self, platform):
+        user = platform.register_user()
+        attr = [a for a in platform.catalog.platform_attributes()
+                if a.is_binary][0]
+        user.set_attribute(attr)
+        platform.catalog.remove(attr.attr_id)
+        view = platform.ad_preferences_for(user.user_id)
+        assert attr.attr_id not in view.shown_attribute_ids
+
+
+class TestAdvertiserList:
+    def test_advertiser_with_custom_audience_listed(self, platform):
+        user = platform.register_user()
+        platform.users.attach_pii(user.user_id, "email", "a@b.c")
+        account = platform.create_ad_account("adv", budget=1.0)
+        platform.create_pii_audience(
+            account.account_id, [record_from_raw("email", "a@b.c")]
+        )
+        view = platform.ad_preferences_for(user.user_id)
+        assert account.account_id in view.advertisers_with_custom_audiences
+
+    def test_uninvolved_advertiser_not_listed(self, platform):
+        user = platform.register_user()
+        account = platform.create_ad_account("adv", budget=1.0)
+        view = platform.ad_preferences_for(user.user_id)
+        assert account.account_id not in view.advertisers_with_custom_audiences
+
+    def test_which_pii_never_disclosed(self, platform):
+        """Platforms list advertisers but never which PII they used."""
+        user = platform.register_user()
+        platform.users.attach_pii(user.user_id, "email", "a@b.c")
+        account = platform.create_ad_account("adv", budget=1.0)
+        platform.create_pii_audience(
+            account.account_id, [record_from_raw("email", "a@b.c")]
+        )
+        view = platform.ad_preferences_for(user.user_id)
+        field_names = set(vars(view))
+        assert "pii" not in " ".join(field_names).lower()

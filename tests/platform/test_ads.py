@@ -1,0 +1,159 @@
+"""Unit tests for ad inventory: accounts, budgets, campaigns, ads."""
+
+import pytest
+
+from repro.errors import AccountError, BudgetError, CampaignError
+from repro.platform.ads import (
+    Ad,
+    AdAccount,
+    AdCreative,
+    AdImage,
+    AdInventory,
+    AdStatus,
+    Campaign,
+    LandingURL,
+    PlatformPage,
+)
+from repro.platform.targeting import parse
+
+
+def _inventory():
+    inventory = AdInventory()
+    inventory.add_account(AdAccount(account_id="acct-1", owner_name="np",
+                                    budget=10.0))
+    inventory.add_campaign(Campaign(campaign_id="camp-1",
+                                    account_id="acct-1", name="c"))
+    return inventory
+
+
+def _ad(ad_id="ad-1", account_id="acct-1", campaign_id="camp-1",
+        bid=10.0):
+    return Ad(
+        ad_id=ad_id,
+        account_id=account_id,
+        campaign_id=campaign_id,
+        creative=AdCreative(headline="h", body="b"),
+        targeting=parse("all"),
+        bid_cap_cpm=bid,
+    )
+
+
+class TestAdImage:
+    def test_blank_dimensions(self):
+        image = AdImage.blank(8, 4, shade=100)
+        assert len(image) == 32
+        assert all(p == 100 for p in image.pixels)
+
+    def test_bad_shade_rejected(self):
+        with pytest.raises(ValueError):
+            AdImage.blank(shade=300)
+
+    def test_copy_is_independent(self):
+        image = AdImage.blank(4, 4)
+        clone = image.copy()
+        clone.pixels[0] = 0
+        assert image.pixels[0] != 0
+
+
+class TestLandingURL:
+    def test_str(self):
+        assert str(LandingURL("x.org", "/t/123")) == "https://x.org/t/123"
+
+
+class TestAccountBudget:
+    def test_deposit_and_charge(self):
+        account = AdAccount(account_id="a", owner_name="o")
+        account.deposit(5.0)
+        account.charge(2.0)
+        assert account.budget == pytest.approx(3.0)
+
+    def test_nonpositive_deposit_rejected(self):
+        with pytest.raises(BudgetError):
+            AdAccount(account_id="a", owner_name="o").deposit(0.0)
+
+    def test_overdraft_rejected(self):
+        account = AdAccount(account_id="a", owner_name="o", budget=1.0)
+        with pytest.raises(BudgetError):
+            account.charge(2.0)
+
+    def test_negative_charge_rejected(self):
+        account = AdAccount(account_id="a", owner_name="o", budget=1.0)
+        with pytest.raises(BudgetError):
+            account.charge(-0.5)
+
+    def test_can_afford(self):
+        account = AdAccount(account_id="a", owner_name="o", budget=0.01)
+        assert account.can_afford(0.01)
+        assert not account.can_afford(0.02)
+
+
+class TestAd:
+    def test_bid_per_impression(self):
+        assert _ad(bid=2.0).bid_per_impression == pytest.approx(0.002)
+
+    def test_require_active(self):
+        ad = _ad()
+        with pytest.raises(CampaignError):
+            ad.require_active()
+        ad.status = AdStatus.ACTIVE
+        ad.require_active()
+
+
+class TestInventory:
+    def test_account_lifecycle(self):
+        inventory = _inventory()
+        assert inventory.account("acct-1").owner_name == "np"
+        with pytest.raises(AccountError):
+            inventory.account("ghost")
+        with pytest.raises(AccountError):
+            inventory.add_account(AdAccount(account_id="acct-1",
+                                            owner_name="dup"))
+
+    def test_campaign_needs_account(self):
+        inventory = AdInventory()
+        with pytest.raises(AccountError):
+            inventory.add_campaign(Campaign(campaign_id="c",
+                                            account_id="ghost", name="x"))
+
+    def test_campaign_registered_on_account(self):
+        inventory = _inventory()
+        assert inventory.account("acct-1").campaign_ids == ["camp-1"]
+
+    def test_ad_lifecycle(self):
+        inventory = _inventory()
+        inventory.add_ad(_ad())
+        assert inventory.ad("ad-1").ad_id == "ad-1"
+        assert inventory.campaign("camp-1").ad_ids == ["ad-1"]
+        with pytest.raises(CampaignError):
+            inventory.add_ad(_ad())  # duplicate
+
+    def test_ad_account_campaign_mismatch(self):
+        inventory = _inventory()
+        inventory.add_account(AdAccount(account_id="acct-2",
+                                        owner_name="other"))
+        with pytest.raises(CampaignError):
+            inventory.add_ad(_ad(account_id="acct-2"))
+
+    def test_active_ads_filter(self):
+        inventory = _inventory()
+        ad = inventory.add_ad(_ad())
+        assert inventory.active_ads() == []
+        ad.status = AdStatus.ACTIVE
+        assert inventory.active_ads() == [ad]
+
+    def test_ads_owned_by(self):
+        inventory = _inventory()
+        inventory.add_ad(_ad("ad-1"))
+        inventory.add_ad(_ad("ad-2"))
+        assert len(inventory.ads_owned_by("acct-1")) == 2
+        assert inventory.ads_owned_by("ghost") == []
+
+    def test_pages(self):
+        inventory = _inventory()
+        inventory.add_page(PlatformPage(page_id="p1",
+                                        owner_account_id="acct-1",
+                                        name="Page"))
+        assert inventory.page("p1").name == "Page"
+        assert inventory.account("acct-1").page_ids == ["p1"]
+        with pytest.raises(AccountError):
+            inventory.page("ghost")

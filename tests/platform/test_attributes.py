@@ -1,0 +1,151 @@
+"""Unit tests for the attribute model and catalog container."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.platform.attributes import (
+    Attribute,
+    AttributeCatalog,
+    AttributeKind,
+    AttributeSource,
+    make_binary,
+    make_multi,
+)
+
+
+def _binary(attr_id="b1", **kw):
+    defaults = dict(name="Binary one", category=("Cat",))
+    defaults.update(kw)
+    return make_binary(attr_id, **defaults)
+
+
+def _multi(attr_id="m1", values=("a", "b", "c"), **kw):
+    defaults = dict(name="Multi one", category=("Cat",), values=values)
+    defaults.update(kw)
+    return make_multi(attr_id, **defaults)
+
+
+class TestAttribute:
+    def test_binary_cardinality_is_two(self):
+        assert _binary().cardinality == 2
+
+    def test_multi_cardinality(self):
+        assert _multi(values=("x", "y", "z", "w")).cardinality == 4
+
+    def test_multi_without_values_rejected(self):
+        with pytest.raises(CatalogError):
+            Attribute(attr_id="bad", name="n",
+                      source=AttributeSource.PLATFORM,
+                      kind=AttributeKind.MULTI)
+
+    def test_binary_with_values_rejected(self):
+        with pytest.raises(CatalogError):
+            Attribute(attr_id="bad", name="n",
+                      source=AttributeSource.PLATFORM,
+                      kind=AttributeKind.BINARY, values=("a",))
+
+    def test_partner_needs_broker(self):
+        with pytest.raises(CatalogError):
+            Attribute(attr_id="bad", name="n",
+                      source=AttributeSource.PARTNER)
+
+    def test_value_index(self):
+        assert _multi().value_index("b") == 1
+
+    def test_value_index_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            _multi().value_index("nope")
+
+    def test_offered_in(self):
+        attr = _binary(countries=("US", "DE"))
+        assert attr.offered_in("DE")
+        assert not attr.offered_in("IN")
+
+    def test_is_partner(self):
+        partner = _binary(attr_id="p", source=AttributeSource.PARTNER,
+                          broker="Acxiom")
+        assert partner.is_partner
+        assert not _binary().is_partner
+
+    def test_hashable(self):
+        assert len({_binary(), _binary()}) == 1
+
+
+class TestAttributeCatalog:
+    def test_add_and_get(self):
+        catalog = AttributeCatalog()
+        catalog.add(_binary())
+        assert catalog.get("b1").name == "Binary one"
+
+    def test_duplicate_id_rejected(self):
+        catalog = AttributeCatalog(attributes=[_binary()])
+        with pytest.raises(CatalogError):
+            catalog.add(_binary())
+
+    def test_duplicate_in_constructor_rejected(self):
+        with pytest.raises(CatalogError):
+            AttributeCatalog(attributes=[_binary(), _binary()])
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(CatalogError):
+            AttributeCatalog().get("missing")
+
+    def test_contains_and_len(self):
+        catalog = AttributeCatalog(attributes=[_binary(), _multi()])
+        assert "b1" in catalog
+        assert "zzz" not in catalog
+        assert len(catalog) == 2
+
+    def test_remove(self):
+        catalog = AttributeCatalog(attributes=[_binary()])
+        removed = catalog.remove("b1")
+        assert removed.attr_id == "b1"
+        assert "b1" not in catalog
+        assert len(catalog) == 0
+
+    def test_search_matches_name(self):
+        catalog = AttributeCatalog(attributes=[
+            _binary("s1", name="Interested in Salsa dancing"),
+            _binary("s2", name="Net worth: $2M+"),
+        ])
+        hits = catalog.search("salsa")
+        assert [a.attr_id for a in hits] == ["s1"]
+
+    def test_search_matches_category(self):
+        catalog = AttributeCatalog(attributes=[
+            _binary("c1", category=("Financial", "Net worth")),
+        ])
+        assert catalog.search("net worth")[0].attr_id == "c1"
+
+    def test_search_respects_country(self):
+        catalog = AttributeCatalog(attributes=[
+            _binary("c1", name="Thing", countries=("DE",)),
+        ])
+        assert catalog.search("thing", country="US") == []
+        assert len(catalog.search("thing", country="DE")) == 1
+
+    def test_search_empty_keyword(self):
+        catalog = AttributeCatalog(attributes=[_binary()])
+        assert catalog.search("   ") == []
+
+    def test_partner_and_platform_filters(self):
+        partner = _binary("p", source=AttributeSource.PARTNER,
+                          broker="Acxiom")
+        catalog = AttributeCatalog(attributes=[_binary(), partner])
+        assert [a.attr_id for a in catalog.partner_attributes()] == ["p"]
+        assert [a.attr_id for a in catalog.platform_attributes()] == ["b1"]
+
+    def test_binary_and_multi_filters(self):
+        catalog = AttributeCatalog(attributes=[_binary(), _multi()])
+        assert [a.attr_id for a in catalog.binary_attributes()] == ["b1"]
+        assert [a.attr_id for a in catalog.multi_attributes()] == ["m1"]
+
+    def test_subset(self):
+        catalog = AttributeCatalog(attributes=[_binary(), _multi()])
+        sub = catalog.subset(["m1"])
+        assert len(sub) == 1
+        assert "m1" in sub
+
+    def test_subset_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            AttributeCatalog().subset(["ghost"])

@@ -1,0 +1,81 @@
+"""Unit tests for the billing ledger."""
+
+import pytest
+
+from repro.errors import BudgetError
+from repro.platform.ads import AdAccount, AdInventory
+from repro.platform.billing import BillingLedger
+
+
+@pytest.fixture
+def inventory():
+    inv = AdInventory()
+    inv.add_account(AdAccount(account_id="acct-1", owner_name="np",
+                              budget=1.0))
+    return inv
+
+
+@pytest.fixture
+def ledger(inventory):
+    return BillingLedger(inventory)
+
+
+class TestCharging:
+    def test_charge_decrements_budget(self, ledger, inventory):
+        ledger.charge_impression("ad-1", "acct-1", 0.002, 0)
+        assert inventory.account("acct-1").budget == pytest.approx(0.998)
+
+    def test_charge_beyond_budget_rejected(self, ledger):
+        with pytest.raises(BudgetError):
+            ledger.charge_impression("ad-1", "acct-1", 2.0, 0)
+
+    def test_per_ad_aggregates(self, ledger):
+        ledger.charge_impression("ad-1", "acct-1", 0.002, 0)
+        ledger.charge_impression("ad-1", "acct-1", 0.003, 1)
+        ledger.charge_impression("ad-2", "acct-1", 0.004, 2)
+        assert ledger.spend_for_ad("ad-1") == pytest.approx(0.005)
+        assert ledger.impressions_for_ad("ad-1") == 2
+        assert ledger.impressions_for_ad("ad-2") == 1
+
+    def test_unknown_ad_zero(self, ledger):
+        assert ledger.spend_for_ad("ghost") == 0.0
+        assert ledger.impressions_for_ad("ghost") == 0
+
+    def test_effective_cpm(self, ledger):
+        ledger.charge_impression("ad-1", "acct-1", 0.002, 0)
+        ledger.charge_impression("ad-1", "acct-1", 0.004, 1)
+        assert ledger.effective_cpm("ad-1") == pytest.approx(3.0)
+
+    def test_effective_cpm_no_impressions(self, ledger):
+        assert ledger.effective_cpm("ad-1") == 0.0
+
+
+class TestInvoice:
+    def test_invoice_totals(self, ledger):
+        ledger.charge_impression("ad-1", "acct-1", 0.002, 0)
+        ledger.charge_impression("ad-2", "acct-1", 0.003, 1)
+        invoice = ledger.invoice("acct-1")
+        assert invoice.total == pytest.approx(0.005)
+        assert invoice.impressions == 2
+        assert invoice.by_ad == {
+            "ad-1": pytest.approx(0.002), "ad-2": pytest.approx(0.003)
+        }
+
+    def test_invoice_isolated_per_account(self, ledger, inventory):
+        inventory.add_account(AdAccount(account_id="acct-2",
+                                        owner_name="x", budget=1.0))
+        ledger.charge_impression("ad-1", "acct-1", 0.002, 0)
+        ledger.charge_impression("ad-9", "acct-2", 0.005, 1)
+        assert ledger.invoice("acct-2").total == pytest.approx(0.005)
+        assert ledger.spend_for_account("acct-1") == pytest.approx(0.002)
+
+    def test_empty_invoice(self, ledger):
+        invoice = ledger.invoice("acct-1")
+        assert invoice.total == 0.0
+        assert invoice.impressions == 0
+
+    def test_all_charges_copy(self, ledger):
+        ledger.charge_impression("ad-1", "acct-1", 0.002, 0)
+        charges = ledger.all_charges()
+        charges.clear()
+        assert len(ledger.all_charges()) == 1

@@ -1,0 +1,124 @@
+"""Tests for the generated US attribute catalog (paper counts)."""
+
+import pytest
+
+from repro.platform.catalog import (
+    BROKERS,
+    US_PARTNER_ATTRIBUTE_COUNT,
+    US_PLATFORM_ATTRIBUTE_COUNT,
+    build_country_catalogs,
+    build_partner_attributes,
+    build_platform_attributes,
+    build_us_catalog,
+)
+from repro.platform.attributes import AttributeKind, AttributeSource
+
+
+class TestPaperCounts:
+    """Section 2.1: 614 platform + 507 partner attributes for the US."""
+
+    def test_platform_count(self):
+        catalog = build_us_catalog()
+        assert len(catalog.platform_attributes()) == 614
+
+    def test_partner_count(self):
+        catalog = build_us_catalog()
+        assert len(catalog.partner_attributes()) == 507
+
+    def test_total(self):
+        assert len(build_us_catalog()) == 614 + 507
+
+    def test_constants_match(self):
+        assert US_PLATFORM_ATTRIBUTE_COUNT == 614
+        assert US_PARTNER_ATTRIBUTE_COUNT == 507
+
+
+class TestPartnerAttributes:
+    def test_all_binary(self):
+        # the validation runs "each of the 507 binary partner attributes"
+        assert all(
+            a.kind is AttributeKind.BINARY
+            for a in build_partner_attributes()
+        )
+
+    def test_all_have_brokers(self):
+        attrs = build_partner_attributes()
+        assert all(a.broker in BROKERS for a in attrs)
+
+    def test_validation_families_present(self):
+        """The categories the paper's author was revealed must exist."""
+        catalog = build_us_catalog()
+        for keyword in ("net worth", "restaurants", "apparel", "job role",
+                        "home type", "likely to purchase"):
+            hits = catalog.search(keyword)
+            partner_hits = [a for a in hits if a.is_partner]
+            assert partner_hits, f"no partner attribute for {keyword!r}"
+
+    def test_net_worth_over_2m_exists(self):
+        """Figure 1 targets 'net worth of over $2M'."""
+        catalog = build_us_catalog()
+        hits = [a for a in catalog.search("net worth")
+                if "Over $2M" in a.name]
+        assert len(hits) == 1
+
+    def test_ids_stable_across_builds(self):
+        first = [a.attr_id for a in build_partner_attributes()]
+        second = [a.attr_id for a in build_partner_attributes()]
+        assert first == second
+
+    def test_ids_unique(self):
+        ids = [a.attr_id for a in build_partner_attributes()]
+        assert len(ids) == len(set(ids))
+
+    def test_reduced_count(self):
+        assert len(build_partner_attributes(200)) == 200
+
+    def test_small_count_truncates_family_order(self):
+        """Small test catalogs keep the head families (net worth first)."""
+        attrs = build_partner_attributes(10)
+        assert len(attrs) == 10
+        assert attrs[0].attr_id.startswith("pc-networth")
+
+
+class TestPlatformAttributes:
+    def test_contains_multi_valued(self):
+        attrs = build_platform_attributes()
+        multi = [a for a in attrs if a.kind is AttributeKind.MULTI]
+        assert {a.attr_id for a in multi} >= {
+            "pf-education-level", "pf-relationship-status", "pf-life-stage",
+        }
+
+    def test_interest_salsa_present(self):
+        """Paper's running example: 'interested in Salsa dancing'."""
+        catalog = build_us_catalog()
+        assert any("Salsa" in a.name for a in catalog.search("salsa"))
+
+    def test_all_platform_sourced(self):
+        assert all(
+            a.source is AttributeSource.PLATFORM
+            for a in build_platform_attributes()
+        )
+
+    def test_ids_unique(self):
+        ids = [a.attr_id for a in build_platform_attributes()]
+        assert len(ids) == len(set(ids))
+
+
+class TestCountryCatalogs:
+    def test_per_country_partner_counts(self):
+        catalog = build_country_catalogs(
+            countries=("US", "DE"), partner_counts=(507, 120)
+        )
+        assert len(catalog.partner_attributes("US")) == 507
+        assert len(catalog.partner_attributes("DE")) == 120
+
+    def test_platform_attrs_shared(self):
+        catalog = build_country_catalogs(
+            countries=("US", "DE"), partner_counts=(507, 120)
+        )
+        assert len(catalog.platform_attributes("US")) == 614
+        assert len(catalog.platform_attributes("DE")) == 614
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_country_catalogs(countries=("US",), partner_counts=(1, 2))

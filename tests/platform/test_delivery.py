@@ -1,0 +1,142 @@
+"""Tests for the delivery engine via the platform facade.
+
+These are the deliver-iff-match contract tests — the property the entire
+Treads mechanism rests on.
+"""
+
+import pytest
+
+from repro.platform.ads import AdCreative
+
+
+def _activate_sweep(platform, account, campaign, attr_ids, bid=10.0):
+    ads = []
+    for attr_id in attr_ids:
+        ads.append(platform.submit_ad(
+            account.account_id, campaign.campaign_id,
+            AdCreative("h", f"ref {attr_id}"),
+            f"attr:{attr_id} & country:US", bid_cap_cpm=bid,
+        ))
+    return ads
+
+
+class TestDeliverIffMatch:
+    def test_matching_user_receives_ad(self, platform, funded_account,
+                                       campaign):
+        user = platform.register_user()
+        attr = platform.catalog.partner_attributes()[0]
+        user.set_attribute(attr)
+        _activate_sweep(platform, funded_account, campaign, [attr.attr_id])
+        platform.run_until_saturated()
+        assert len(platform.feed(user.user_id)) == 1
+
+    def test_nonmatching_user_never_receives_ad(self, platform,
+                                                funded_account, campaign):
+        user = platform.register_user()
+        attr = platform.catalog.partner_attributes()[0]
+        _activate_sweep(platform, funded_account, campaign, [attr.attr_id])
+        platform.run_until_saturated()
+        assert platform.feed(user.user_id) == []
+
+    def test_each_user_gets_exactly_their_attributes(self, platform,
+                                                     funded_account,
+                                                     campaign):
+        partner = platform.catalog.partner_attributes()
+        user_a = platform.register_user()
+        user_b = platform.register_user()
+        for attr in partner[:5]:
+            user_a.set_attribute(attr)
+        for attr in partner[3:8]:
+            user_b.set_attribute(attr)
+        ads = _activate_sweep(platform, funded_account, campaign,
+                              [a.attr_id for a in partner[:8]])
+        platform.run_until_saturated()
+        by_body_a = {ad.body for ad in platform.feed(user_a.user_id)}
+        by_body_b = {ad.body for ad in platform.feed(user_b.user_id)}
+        assert by_body_a == {f"ref {a.attr_id}" for a in partner[:5]}
+        assert by_body_b == {f"ref {a.attr_id}" for a in partner[3:8]}
+
+    def test_frequency_cap_one_impression_per_user(self, platform,
+                                                   funded_account, campaign):
+        user = platform.register_user()
+        attr = platform.catalog.partner_attributes()[0]
+        user.set_attribute(attr)
+        _activate_sweep(platform, funded_account, campaign, [attr.attr_id])
+        platform.run_delivery(slots_per_user=10)
+        assert len(platform.feed(user.user_id)) == 1
+
+    def test_rejected_ad_never_delivers(self, platform, funded_account,
+                                        campaign):
+        user = platform.register_user()
+        attr = platform.catalog.partner_attributes()[0]
+        user.set_attribute(attr)
+        ad = platform.submit_ad(
+            funded_account.account_id, campaign.campaign_id,
+            AdCreative("h", "According to this ad platform, you are: rich."),
+            f"attr:{attr.attr_id} & country:US", bid_cap_cpm=10.0,
+        )
+        assert ad.status.value == "rejected"
+        platform.run_until_saturated()
+        assert platform.feed(user.user_id) == []
+
+
+class TestBudgets:
+    def test_broke_account_stops_delivering(self, platform, campaign,
+                                            funded_account):
+        funded_account.budget = 0.0
+        user = platform.register_user()
+        attr = platform.catalog.partner_attributes()[0]
+        user.set_attribute(attr)
+        _activate_sweep(platform, funded_account, campaign, [attr.attr_id])
+        platform.run_until_saturated()
+        assert platform.feed(user.user_id) == []
+
+    def test_budget_decremented_by_spend(self, platform, funded_account,
+                                         campaign):
+        user = platform.register_user()
+        attr = platform.catalog.partner_attributes()[0]
+        user.set_attribute(attr)
+        before = funded_account.budget
+        _activate_sweep(platform, funded_account, campaign, [attr.attr_id])
+        platform.run_until_saturated()
+        spend = platform.invoice(funded_account.account_id).total
+        assert funded_account.budget == pytest.approx(before - spend)
+
+
+class TestStatsAndViews:
+    def test_unique_reach(self, platform, funded_account, campaign):
+        users = [platform.register_user() for _ in range(3)]
+        attr = platform.catalog.partner_attributes()[0]
+        for user in users:
+            user.set_attribute(attr)
+        ads = _activate_sweep(platform, funded_account, campaign,
+                              [attr.attr_id])
+        platform.run_until_saturated()
+        assert platform.delivery.unique_reach(ads[0].ad_id) == {
+            u.user_id for u in users
+        }
+
+    def test_run_sessions_counts_slots(self, platform, funded_account,
+                                       campaign):
+        platform.register_user()
+        platform.register_user()
+        stats = platform.run_delivery(slots_per_user=3)
+        assert stats.slots == 6
+
+    def test_impression_sequence_monotone(self, platform, funded_account,
+                                          campaign):
+        users = [platform.register_user() for _ in range(4)]
+        attr = platform.catalog.partner_attributes()[0]
+        for user in users:
+            user.set_attribute(attr)
+        _activate_sweep(platform, funded_account, campaign, [attr.attr_id])
+        platform.run_until_saturated()
+        seqs = [imp.seq for imp in platform.delivery.impressions()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_feed_is_copy(self, platform, funded_account, campaign):
+        user = platform.register_user()
+        feed = platform.feed(user.user_id)
+        feed.append("junk")
+        assert platform.feed(user.user_id) == []

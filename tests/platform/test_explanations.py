@@ -1,0 +1,128 @@
+"""Tests for the platform's (deliberately partial) ad explanations.
+
+These reproduce the incompleteness findings of [1] that motivate the
+paper: at most one attribute, never partner data, most-prevalent choice.
+"""
+
+import pytest
+
+from repro.platform.ads import AdCreative
+
+
+def _submit(platform, account, campaign, targeting, bid=10.0):
+    return platform.submit_ad(
+        account.account_id, campaign.campaign_id,
+        AdCreative("h", "neutral"), targeting, bid_cap_cpm=bid,
+    )
+
+
+@pytest.fixture
+def setup(platform, funded_account, campaign):
+    user = platform.register_user(age=30)
+    platform_attrs = platform.catalog.platform_attributes()
+    binaries = [a for a in platform_attrs if a.is_binary]
+    return user, binaries
+
+
+class TestAtMostOneAttribute:
+    def test_multi_attribute_targeting_reveals_one(self, platform,
+                                                   funded_account, campaign,
+                                                   setup):
+        user, binaries = setup
+        for attr in binaries[:3]:
+            user.set_attribute(attr)
+        ad = _submit(
+            platform, funded_account, campaign,
+            f"attr:{binaries[0].attr_id} & attr:{binaries[1].attr_id} & "
+            f"attr:{binaries[2].attr_id}",
+        )
+        explanation = platform.explain_ad(user.user_id, ad.ad_id)
+        assert explanation.revealed_attribute in {
+            a.attr_id for a in binaries[:3]
+        }
+        mentioned = [a for a in binaries[:3]
+                     if a.name in explanation.text]
+        assert len(mentioned) == 1
+
+    def test_most_prevalent_attribute_chosen(self, platform, funded_account,
+                                             campaign, setup):
+        """[1]: the explanation names the *most common* attribute."""
+        user, binaries = setup
+        rare, common = binaries[0], binaries[1]
+        user.set_attribute(rare)
+        user.set_attribute(common)
+        for _ in range(5):
+            platform.register_user().set_attribute(common)
+        ad = _submit(platform, funded_account, campaign,
+                     f"attr:{rare.attr_id} & attr:{common.attr_id}")
+        explanation = platform.explain_ad(user.user_id, ad.ad_id)
+        assert explanation.revealed_attribute == common.attr_id
+
+
+class TestPartnerAttributesNeverRevealed:
+    def test_partner_targeting_gives_generic_explanation(self, platform,
+                                                         funded_account,
+                                                         campaign, setup):
+        """The transparency gap Treads exists to fill."""
+        user, _ = setup
+        partner = platform.catalog.partner_attributes()[0]
+        user.set_attribute(partner)
+        ad = _submit(platform, funded_account, campaign,
+                     f"attr:{partner.attr_id}")
+        explanation = platform.explain_ad(user.user_id, ad.ad_id)
+        assert explanation.revealed_attribute is None
+        assert partner.name not in explanation.text
+
+    def test_mixed_targeting_reveals_only_platform_attr(self, platform,
+                                                        funded_account,
+                                                        campaign, setup):
+        user, binaries = setup
+        partner = platform.catalog.partner_attributes()[0]
+        user.set_attribute(partner)
+        user.set_attribute(binaries[0])
+        ad = _submit(
+            platform, funded_account, campaign,
+            f"attr:{partner.attr_id} & attr:{binaries[0].attr_id}",
+        )
+        explanation = platform.explain_ad(user.user_id, ad.ad_id)
+        assert explanation.revealed_attribute == binaries[0].attr_id
+
+
+class TestOtherClauses:
+    def test_demographics_mentioned_generically(self, platform,
+                                                funded_account, campaign,
+                                                setup):
+        user, _ = setup
+        ad = _submit(platform, funded_account, campaign,
+                     "age:25-34 & country:US")
+        explanation = platform.explain_ad(user.user_id, ad.ad_id)
+        assert "between the ages of 25 and 34" in explanation.text
+        assert "you live in US" in explanation.text
+
+    def test_customer_list_mentioned_without_details(self, platform,
+                                                     funded_account,
+                                                     campaign, setup):
+        user, _ = setup
+        page = platform.create_page(funded_account.account_id, "P")
+        platform.like_page(user.user_id, page.page_id)
+        ad = _submit(platform, funded_account, campaign,
+                     f"page:{page.page_id}")
+        explanation = platform.explain_ad(user.user_id, ad.ad_id)
+        assert explanation.mentions_customer_list
+        # no PII, no page id leak in the text
+        assert page.page_id not in explanation.text
+
+    def test_excluded_attributes_never_mentioned(self, platform,
+                                                 funded_account, campaign,
+                                                 setup):
+        user, binaries = setup
+        ad = _submit(platform, funded_account, campaign,
+                     f"!attr:{binaries[0].attr_id} & country:US")
+        explanation = platform.explain_ad(user.user_id, ad.ad_id)
+        assert explanation.revealed_attribute is None
+
+    def test_fallback_text(self, platform, funded_account, campaign, setup):
+        user, _ = setup
+        ad = _submit(platform, funded_account, campaign, "all")
+        explanation = platform.explain_ad(user.user_id, ad.ad_id)
+        assert "people like you" in explanation.text

@@ -1,0 +1,93 @@
+"""Tests for lookalike ("people similar to them") audiences."""
+
+import pytest
+
+from repro.errors import AudienceError
+
+
+@pytest.fixture
+def seeded(platform, funded_account):
+    """A page-seeded audience of 2 users sharing 4 binary attributes."""
+    binaries = [a for a in platform.catalog.platform_attributes()
+                if a.is_binary]
+    page = platform.create_page(funded_account.account_id, "Seed")
+    seeds = []
+    for _ in range(2):
+        user = platform.register_user()
+        for attr in binaries[:4]:
+            user.set_attribute(attr)
+        platform.like_page(user.user_id, page.page_id)
+        seeds.append(user)
+    seed_audience = platform.create_page_audience(
+        funded_account.account_id, page.page_id
+    )
+    return binaries, seeds, seed_audience
+
+
+class TestLookalike:
+    def test_similar_user_included(self, platform, funded_account, seeded):
+        binaries, seeds, seed_audience = seeded
+        similar = platform.register_user()
+        for attr in binaries[:3]:
+            similar.set_attribute(attr)
+        lookalike = platform.create_lookalike_audience(
+            funded_account.account_id, seed_audience.audience_id,
+            similarity_threshold=3,
+        )
+        assert platform.audiences.is_member(lookalike.audience_id,
+                                            similar.user_id)
+
+    def test_dissimilar_user_excluded(self, platform, funded_account,
+                                      seeded):
+        binaries, _, seed_audience = seeded
+        stranger = platform.register_user()
+        stranger.set_attribute(binaries[10])
+        lookalike = platform.create_lookalike_audience(
+            funded_account.account_id, seed_audience.audience_id,
+            similarity_threshold=3,
+        )
+        assert not platform.audiences.is_member(lookalike.audience_id,
+                                                stranger.user_id)
+
+    def test_seed_members_included(self, platform, funded_account, seeded):
+        _, seeds, seed_audience = seeded
+        lookalike = platform.create_lookalike_audience(
+            funded_account.account_id, seed_audience.audience_id,
+        )
+        members = platform.audiences.members(lookalike.audience_id)
+        assert {s.user_id for s in seeds} <= members
+
+    def test_threshold_tightens_membership(self, platform, funded_account,
+                                           seeded):
+        binaries, _, seed_audience = seeded
+        partial = platform.register_user()
+        for attr in binaries[:2]:
+            partial.set_attribute(attr)
+        loose = platform.create_lookalike_audience(
+            funded_account.account_id, seed_audience.audience_id,
+            similarity_threshold=2,
+        )
+        tight = platform.create_lookalike_audience(
+            funded_account.account_id, seed_audience.audience_id,
+            similarity_threshold=4,
+        )
+        assert platform.audiences.is_member(loose.audience_id,
+                                            partial.user_id)
+        assert not platform.audiences.is_member(tight.audience_id,
+                                                partial.user_id)
+
+    def test_foreign_seed_rejected(self, platform, funded_account, seeded):
+        _, _, seed_audience = seeded
+        other = platform.create_ad_account("other", budget=1.0)
+        with pytest.raises(AudienceError):
+            platform.create_lookalike_audience(
+                other.account_id, seed_audience.audience_id
+            )
+
+    def test_bad_threshold_rejected(self, platform, funded_account, seeded):
+        _, _, seed_audience = seeded
+        with pytest.raises(AudienceError):
+            platform.create_lookalike_audience(
+                funded_account.account_id, seed_audience.audience_id,
+                similarity_threshold=0,
+            )

@@ -1,0 +1,53 @@
+"""Unit tests for hashed-PII upload validation."""
+
+import pytest
+
+from repro.errors import PIIError
+from repro.hashing import hash_pii
+from repro.platform.pii import (
+    PIIRecord,
+    record_from_raw,
+    records_from_raw,
+    validate_upload,
+)
+
+
+class TestPIIRecord:
+    def test_accepts_hashed(self):
+        record = PIIRecord(kind="email", digest=hash_pii("email", "a@b.c"))
+        assert record.kind == "email"
+
+    def test_rejects_raw_value(self):
+        """The property the whole PII flow depends on: platforms (and the
+        provider) only ever accept hashes."""
+        with pytest.raises(PIIError):
+            PIIRecord(kind="email", digest="alice@example.com")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(PIIError):
+            PIIRecord(kind="ssn", digest="0" * 64)
+
+    def test_record_from_raw_hashes(self):
+        record = record_from_raw("phone", "(617) 555-0100")
+        assert record.digest == hash_pii("phone", "6175550100")
+
+    def test_records_from_raw_batch(self):
+        records = records_from_raw("email", ["a@b.c", "d@e.f"])
+        assert len(records) == 2
+        assert records[0].digest != records[1].digest
+
+
+class TestValidateUpload:
+    def test_deduplicates_preserving_order(self):
+        a = record_from_raw("email", "a@b.c")
+        b = record_from_raw("email", "d@e.f")
+        assert validate_upload([a, b, a]) == [a, b]
+
+    def test_empty_upload_rejected(self):
+        with pytest.raises(PIIError):
+            validate_upload([])
+
+    def test_mixed_kinds_allowed(self):
+        records = [record_from_raw("email", "a@b.c"),
+                   record_from_raw("phone", "6175550100")]
+        assert validate_upload(records) == records

@@ -1,0 +1,74 @@
+"""Unit tests for tracking pixels and the pixel registry."""
+
+import pytest
+
+from repro.errors import AudienceError
+from repro.platform.pixels import PixelRegistry
+from repro.platform.web import Browser, Website
+
+
+def _visit(pixels, user_id="u1", path="/optin"):
+    site = Website(domain="prov.org", owner="prov")
+    site.add_page(path, pixel_ids=pixels)
+    return Browser(user_id=user_id).visit(site, path)
+
+
+class TestIssue:
+    def test_issue_and_get(self):
+        registry = PixelRegistry()
+        pixel = registry.issue("px-1", "acct-1", label="optin")
+        assert registry.get("px-1") is pixel
+
+    def test_duplicate_rejected(self):
+        registry = PixelRegistry()
+        registry.issue("px-1", "acct-1")
+        with pytest.raises(AudienceError):
+            registry.issue("px-1", "acct-2")
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(AudienceError):
+            PixelRegistry().get("ghost")
+
+    def test_pixels_owned_by(self):
+        registry = PixelRegistry()
+        registry.issue("px-1", "acct-1")
+        registry.issue("px-2", "acct-1")
+        registry.issue("px-3", "acct-2")
+        assert len(registry.pixels_owned_by("acct-1")) == 2
+
+
+class TestRecordVisit:
+    def test_fires_own_pixels(self):
+        registry = PixelRegistry()
+        registry.issue("px-1", "acct-1")
+        fired = registry.record_visit(_visit(["px-1"]))
+        assert len(fired) == 1
+        assert fired[0].user_id == "u1"
+
+    def test_ignores_foreign_pixels(self):
+        """A page carrying several platforms' pixels: each platform only
+        records its own (the multi-platform opt-in page)."""
+        registry = PixelRegistry()
+        registry.issue("px-1", "acct-1")
+        fired = registry.record_visit(_visit(["px-1", "other-platform-px"]))
+        assert [e.pixel_id for e in fired] == ["px-1"]
+
+    def test_visitors_deduplicated(self):
+        registry = PixelRegistry()
+        registry.issue("px-1", "acct-1")
+        registry.record_visit(_visit(["px-1"], user_id="u1"))
+        registry.record_visit(_visit(["px-1"], user_id="u1"))
+        registry.record_visit(_visit(["px-1"], user_id="u2"))
+        assert registry.visitors("px-1") == {"u1", "u2"}
+
+    def test_events_are_copies(self):
+        registry = PixelRegistry()
+        registry.issue("px-1", "acct-1")
+        registry.record_visit(_visit(["px-1"]))
+        events = registry.events("px-1")
+        events.clear()
+        assert len(registry.events("px-1")) == 1
+
+    def test_events_for_unknown_pixel_raise(self):
+        with pytest.raises(AudienceError):
+            PixelRegistry().events("ghost")

@@ -1,0 +1,159 @@
+"""Tests for the AdPlatform facade: submission checks, wiring, brokers."""
+
+import pytest
+
+from repro.errors import (
+    AccountError,
+    AudienceTooSmallError,
+    CatalogError,
+    TargetingError,
+)
+from repro.platform.ads import AdCreative, AdStatus
+from repro.platform.pii import record_from_raw
+
+
+class TestSubmission:
+    def test_clean_ad_activated(self, platform, funded_account, campaign):
+        ad = platform.submit_ad(
+            funded_account.account_id, campaign.campaign_id,
+            AdCreative("h", "neutral"), "country:US",
+        )
+        assert ad.status is AdStatus.ACTIVE
+
+    def test_policy_violation_rejected_with_note(self, platform,
+                                                 funded_account, campaign):
+        ad = platform.submit_ad(
+            funded_account.account_id, campaign.campaign_id,
+            AdCreative("h", "Your net worth is over $2M."), "country:US",
+        )
+        assert ad.status is AdStatus.REJECTED
+        assert ad.review_note
+
+    def test_default_bid_is_platform_default(self, platform, funded_account,
+                                             campaign):
+        ad = platform.submit_ad(
+            funded_account.account_id, campaign.campaign_id,
+            AdCreative("h", "neutral"), "country:US",
+        )
+        assert ad.bid_cap_cpm == platform.config.default_cpm
+
+    def test_unknown_attribute_rejected(self, platform, funded_account,
+                                        campaign):
+        with pytest.raises(CatalogError):
+            platform.submit_ad(
+                funded_account.account_id, campaign.campaign_id,
+                AdCreative("h", "b"), "attr:ghost",
+            )
+
+    def test_foreign_country_attribute_rejected(self, platform,
+                                                campaign, funded_account):
+        # make one attribute Germany-only
+        from repro.platform.attributes import make_binary
+        platform.catalog.add(make_binary(
+            "de-only", "DE only", ("Cat",), countries=("DE",)
+        ))
+        with pytest.raises(TargetingError):
+            platform.submit_ad(
+                funded_account.account_id, campaign.campaign_id,
+                AdCreative("h", "b"), "attr:de-only",
+            )
+
+    def test_foreign_audience_rejected(self, platform, funded_account,
+                                       campaign):
+        other = platform.create_ad_account("other", budget=1.0)
+        page = platform.create_page(other.account_id, "P")
+        audience = platform.create_page_audience(other.account_id,
+                                                 page.page_id)
+        with pytest.raises(AccountError):
+            platform.submit_ad(
+                funded_account.account_id, campaign.campaign_id,
+                AdCreative("h", "b"), f"audience:{audience.audience_id}",
+            )
+
+    def test_small_custom_audience_blocks_submission(self, platform,
+                                                     funded_account,
+                                                     campaign):
+        user = platform.register_user()
+        platform.users.attach_pii(user.user_id, "email", "a@b.c")
+        audience = platform.create_pii_audience(
+            funded_account.account_id, [record_from_raw("email", "a@b.c")]
+        )
+        with pytest.raises(AudienceTooSmallError):
+            platform.submit_ad(
+                funded_account.account_id, campaign.campaign_id,
+                AdCreative("h", "b"), f"audience:{audience.audience_id}",
+            )
+
+    def test_foreign_campaign_rejected(self, platform, funded_account):
+        other = platform.create_ad_account("other", budget=1.0)
+        foreign_campaign = platform.create_campaign(other.account_id, "c")
+        with pytest.raises(AccountError):
+            platform.submit_ad(
+                funded_account.account_id, foreign_campaign.campaign_id,
+                AdCreative("h", "b"), "country:US",
+            )
+
+    def test_pause_ad(self, platform, funded_account, campaign):
+        ad = platform.submit_ad(
+            funded_account.account_id, campaign.campaign_id,
+            AdCreative("h", "neutral"), "country:US",
+        )
+        platform.pause_ad(funded_account.account_id, ad.ad_id)
+        assert ad.status is AdStatus.PAUSED
+
+    def test_pause_foreign_ad_rejected(self, platform, funded_account,
+                                       campaign):
+        ad = platform.submit_ad(
+            funded_account.account_id, campaign.campaign_id,
+            AdCreative("h", "neutral"), "country:US",
+        )
+        other = platform.create_ad_account("other", budget=1.0)
+        with pytest.raises(AccountError):
+            platform.pause_ad(other.account_id, ad.ad_id)
+
+
+class TestUserSide:
+    def test_register_user_ids_unique(self, platform):
+        ids = {platform.register_user().user_id for _ in range(5)}
+        assert len(ids) == 5
+
+    def test_like_unknown_page_rejected(self, platform):
+        user = platform.register_user()
+        with pytest.raises(AccountError):
+            platform.like_page(user.user_id, "ghost-page")
+
+    def test_browser_for_unknown_user_rejected(self, platform):
+        with pytest.raises(CatalogError):
+            platform.browser_for("ghost")
+
+    def test_browser_observes_visits(self, platform, funded_account, web):
+        pixel = platform.issue_pixel(funded_account.account_id)
+        site = web.create_site("x.org", owner="x")
+        site.add_page("/p", pixel_ids=[pixel.pixel_id])
+        user = platform.register_user()
+        browser = platform.browser_for(user.user_id)
+        platform.observe_visit(browser.visit(site, "/p"))
+        assert platform.pixels.visitors(pixel.pixel_id) == {user.user_id}
+
+
+class TestBrokersIntegration:
+    def test_ingest_brokers_sets_partner_attrs(self, platform):
+        user = platform.register_user()
+        platform.users.attach_pii(user.user_id, "email", "a@b.c")
+        partner = platform.catalog.partner_attributes()[0]
+        platform.brokers.broker("Acxiom").add_record(
+            "r1", [("email", "a@b.c")], [(partner.attr_id, None)]
+        )
+        reports = platform.ingest_brokers()
+        assert reports[0].records_matched == 1
+        assert user.has_attribute(partner.attr_id)
+
+    def test_estimated_reach_requires_ownership(self, platform,
+                                                funded_account):
+        other = platform.create_ad_account("other", budget=1.0)
+        page = platform.create_page(other.account_id, "P")
+        audience = platform.create_page_audience(other.account_id,
+                                                 page.page_id)
+        with pytest.raises(AccountError):
+            platform.estimated_reach(funded_account.account_id,
+                                     audience.audience_id)

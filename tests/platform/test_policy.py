@@ -1,0 +1,161 @@
+"""Unit tests for ToS review and the Tread-pattern detector."""
+
+import pytest
+
+from repro.platform.ads import Ad, AdCreative
+from repro.platform.attributes import AttributeCatalog, make_binary
+from repro.platform.catalog import build_us_catalog
+from repro.platform.policy import PolicyEngine, TreadPatternDetector
+from repro.platform.targeting import parse
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return PolicyEngine(build_us_catalog(platform_count=40,
+                                         partner_count=25))
+
+
+def _creative(body, headline="Sponsored"):
+    return AdCreative(headline=headline, body=body)
+
+
+class TestPersonalAttributesRule:
+    def test_figure_1a_explicit_tread_rejected(self, engine):
+        """Figure 1a's explicit Tread asserts a personal attribute."""
+        result = engine.review(_creative(
+            "According to this ad platform, you are: Net worth: Over $2M."
+        ))
+        assert not result.approved
+        assert result.rule_id == "personal-attributes"
+
+    def test_figure_1b_obfuscated_tread_passes(self, engine):
+        """Figure 1b's codebook Tread is innocuous text plus a number."""
+        result = engine.review(_creative(
+            "Transparency Project update. Reference: 2,830,120."
+        ))
+        assert result.approved
+
+    def test_salsa_example_rejected(self, engine):
+        result = engine.review(_creative(
+            "You are interested in Salsa dancing according to this ad "
+            "platform"
+        ))
+        assert not result.approved
+
+    def test_second_person_plus_sensitive_term(self, engine):
+        result = engine.review(_creative(
+            "Your income qualifies you for our gold card."
+        ))
+        assert not result.approved
+
+    def test_sensitive_term_without_second_person_passes(self, engine):
+        result = engine.review(_creative(
+            "High income households choose Brand X."
+        ))
+        assert result.approved
+
+    def test_second_person_without_sensitive_term_passes(self, engine):
+        result = engine.review(_creative(
+            "We think you'll enjoy this week's update."
+        ))
+        assert result.approved
+
+    def test_ordinary_ad_passes(self, engine):
+        assert engine.review(_creative("Fresh pizza, delivered hot."))
+
+    def test_landing_page_content_not_reviewed(self, engine):
+        """Review scans ad text only — the loophole of section 4."""
+        from repro.platform.ads import LandingURL
+        creative = AdCreative(
+            headline="Sponsored",
+            body="Tap through for this week's update.",
+            landing_url=LandingURL("prov.org", "/t/2830120"),
+        )
+        assert engine.review(creative).approved
+
+    def test_headline_is_scanned(self, engine):
+        result = engine.review(_creative(
+            body="Neutral.", headline="Your net worth, revealed"
+        ))
+        assert not result.approved
+
+
+class TestStrictness:
+    def test_lenient_only_flags_explicit_assertions(self):
+        engine = PolicyEngine(AttributeCatalog(), strictness="lenient")
+        assert engine.review(_creative("Your income is huge")).approved
+        assert not engine.review(_creative(
+            "according to this platform you like jazz"
+        )).approved
+
+    def test_strict_flags_catalog_names_verbatim(self):
+        catalog = AttributeCatalog(attributes=[
+            make_binary("b1", "Frequent flyer", ("Travel",)),
+        ])
+        strict = PolicyEngine(catalog, strictness="strict")
+        standard = PolicyEngine(catalog, strictness="standard")
+        creative = _creative("Deals for every frequent flyer out there.")
+        assert standard.review(creative).approved
+        assert not strict.review(creative).approved
+
+    def test_unknown_strictness_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyEngine(AttributeCatalog(), strictness="maximal")
+
+
+def _tread_like_ad(ad_id, attr_id, anchor="page:p1"):
+    return Ad(
+        ad_id=ad_id,
+        account_id="acct-1",
+        campaign_id="camp-1",
+        creative=AdCreative(headline="h", body="b"),
+        targeting=parse(f"attr:{attr_id} & {anchor}"),
+        bid_cap_cpm=10.0,
+    )
+
+
+class TestTreadPatternDetector:
+    def test_scores_single_attribute_ads_at_shared_anchor(self):
+        detector = TreadPatternDetector(per_account_threshold=5)
+        ads = [_tread_like_ad(f"ad-{i}", f"attr-{i}") for i in range(8)]
+        assert detector.score_account(ads) == 8
+
+    def test_multi_attribute_ads_not_counted(self):
+        detector = TreadPatternDetector()
+        ad = Ad(
+            ad_id="ad-1", account_id="a", campaign_id="c",
+            creative=AdCreative("h", "b"),
+            targeting=parse("attr:x & attr:y & page:p1"),
+            bid_cap_cpm=2.0,
+        )
+        assert detector.score_account([ad]) == 0
+
+    def test_no_anchor_scores_zero(self):
+        detector = TreadPatternDetector()
+        ad = Ad(
+            ad_id="ad-1", account_id="a", campaign_id="c",
+            creative=AdCreative("h", "b"),
+            targeting=parse("attr:x & country:US"),
+            bid_cap_cpm=2.0,
+        )
+        assert detector.score_account([ad]) == 0
+
+    def test_audit_flags_over_threshold(self):
+        detector = TreadPatternDetector(per_account_threshold=5)
+        heavy = [_tread_like_ad(f"ad-{i}", f"attr-{i}") for i in range(6)]
+        light = [_tread_like_ad(f"ad-x{i}", f"attr-{i}") for i in range(2)]
+        flags = detector.audit({"heavy": heavy, "light": light})
+        assert [f.account_id for f in flags] == ["heavy"]
+        assert flags[0].score == 6
+
+    def test_audience_anchor_also_grouped(self):
+        detector = TreadPatternDetector(per_account_threshold=2)
+        ads = [
+            _tread_like_ad("ad-1", "a1", anchor="audience:aud-1"),
+            _tread_like_ad("ad-2", "a2", anchor="audience:aud-1"),
+        ]
+        assert detector.score_account(ads) == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            TreadPatternDetector(per_account_threshold=0)

@@ -1,0 +1,83 @@
+"""Tests for pre-launch potential-reach estimation and cost planning."""
+
+import pytest
+
+from repro.core.provider import TransparencyProvider
+from repro.errors import AccountError, CatalogError
+
+
+class TestEstimateSpecReach:
+    def test_small_reach_floored(self, platform, funded_account):
+        attr = platform.catalog.partner_attributes()[0]
+        for _ in range(5):
+            platform.register_user().set_attribute(attr)
+        estimate = platform.estimate_spec_reach(
+            funded_account.account_id, f"attr:{attr.attr_id}"
+        )
+        assert estimate.is_floor  # 5 < default floor 1000
+
+    def test_large_reach_quantized(self, platform, funded_account):
+        attr = platform.catalog.partner_attributes()[0]
+        for _ in range(1033):
+            platform.register_user().set_attribute(attr)
+        estimate = platform.estimate_spec_reach(
+            funded_account.account_id, f"attr:{attr.attr_id}"
+        )
+        assert not estimate.is_floor
+        assert estimate.displayed == 1050  # nearest 50
+
+    def test_validates_like_submission(self, platform, funded_account):
+        with pytest.raises(CatalogError):
+            platform.estimate_spec_reach(funded_account.account_id,
+                                         "attr:ghost")
+
+    def test_foreign_audience_rejected(self, platform, funded_account):
+        other = platform.create_ad_account("other", budget=1.0)
+        page = platform.create_page(other.account_id, "P")
+        audience = platform.create_page_audience(other.account_id,
+                                                 page.page_id)
+        with pytest.raises(AccountError):
+            platform.estimate_spec_reach(
+                funded_account.account_id,
+                f"audience:{audience.audience_id}",
+            )
+
+    def test_no_member_list_exposed(self, platform, funded_account):
+        estimate = platform.estimate_spec_reach(funded_account.account_id,
+                                                "country:US")
+        assert not hasattr(estimate, "user_ids")
+
+
+class TestEstimateSweepCost:
+    def test_upper_bounds_actual_spend(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=100.0,
+                                        bid_cap_cpm=10.0)
+        attrs = platform.catalog.partner_attributes()[:5]
+        for _ in range(10):
+            user = platform.register_user()
+            for attr in attrs[:3]:
+                user.set_attribute(attr)
+            provider.optin.via_page_like(user.user_id)
+        estimate = provider.estimate_sweep_cost(attrs)
+        provider.launch_attribute_sweep(attrs)
+        provider.run_delivery()
+        assert provider.total_spend() <= estimate
+
+    def test_estimate_uses_floored_reach(self, platform, web):
+        """Tiny audiences estimate at the reach floor — conservatively."""
+        provider = TransparencyProvider(platform, web, budget=100.0,
+                                        bid_cap_cpm=10.0)
+        attrs = platform.catalog.partner_attributes()[:2]
+        user = platform.register_user()
+        provider.optin.via_page_like(user.user_id)
+        estimate = provider.estimate_sweep_cost(attrs)
+        # 3 specs (2 attrs + control) x floor 1000 x $0.01
+        assert estimate == pytest.approx(3 * 1000 * 0.01)
+
+    def test_without_control(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        attrs = platform.catalog.partner_attributes()[:2]
+        with_control = provider.estimate_sweep_cost(attrs)
+        without = provider.estimate_sweep_cost(attrs,
+                                               include_control=False)
+        assert without < with_control

@@ -1,0 +1,275 @@
+"""Unit and property tests for the targeting language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TargetingError, TargetingSyntaxError
+from repro.platform.attributes import AttributeCatalog, make_binary, make_multi
+from repro.platform.targeting import (
+    AgeBetween,
+    All,
+    And,
+    AttrIs,
+    GenderIs,
+    HasAttr,
+    InAudience,
+    InCountry,
+    InZip,
+    LikesPage,
+    Not,
+    Or,
+    TargetingSpec,
+    parse,
+)
+from repro.platform.users import UserProfile
+
+CATALOG = AttributeCatalog(attributes=[
+    make_binary("b1", "Binary one", ("Cat",)),
+    make_binary("b2", "Binary two", ("Cat",)),
+    make_multi("m1", "Multi one", ("Cat",), values=("x", "y")),
+])
+
+
+def _user(**kw):
+    defaults = dict(user_id="u1", country="US", age=30, gender="female",
+                    zip_code="02115")
+    defaults.update(kw)
+    return UserProfile(**defaults)
+
+
+class TestPredicates:
+    def test_all_matches_everyone(self):
+        assert All().matches(_user())
+
+    def test_has_attr(self):
+        user = _user()
+        user.binary_attrs.add("b1")
+        assert HasAttr("b1").matches(user)
+        assert not HasAttr("b2").matches(user)
+
+    def test_has_attr_counts_multi_assignment(self):
+        user = _user()
+        user.multi_attrs["m1"] = "x"
+        assert HasAttr("m1").matches(user)
+
+    def test_attr_is(self):
+        user = _user()
+        user.multi_attrs["m1"] = "x"
+        assert AttrIs("m1", "x").matches(user)
+        assert not AttrIs("m1", "y").matches(user)
+
+    def test_age_between_inclusive(self):
+        assert AgeBetween(30, 35).matches(_user(age=30))
+        assert AgeBetween(25, 30).matches(_user(age=30))
+        assert not AgeBetween(31, 40).matches(_user(age=30))
+
+    def test_age_range_inverted_rejected(self):
+        with pytest.raises(TargetingError):
+            AgeBetween(40, 20)
+
+    def test_gender_country_zip(self):
+        user = _user()
+        assert GenderIs("female").matches(user)
+        assert InCountry("US").matches(user)
+        assert InZip(frozenset({"02115"})).matches(user)
+        assert not InZip(frozenset({"10001"})).matches(user)
+
+    def test_likes_page(self):
+        user = _user()
+        user.liked_pages.add("page-1")
+        assert LikesPage("page-1").matches(user)
+        assert not LikesPage("page-2").matches(user)
+
+    def test_in_audience_uses_resolver(self):
+        member = InAudience("aud-1")
+        assert member.matches(_user(), lambda aud, uid: True)
+        assert not member.matches(_user(), lambda aud, uid: False)
+
+    def test_in_audience_without_resolver_raises(self):
+        with pytest.raises(TargetingError):
+            InAudience("aud-1").matches(_user())
+
+
+class TestCombinators:
+    def test_and(self):
+        user = _user()
+        user.binary_attrs.add("b1")
+        assert And((HasAttr("b1"), AgeBetween(18, 65))).matches(user)
+        assert not And((HasAttr("b1"), HasAttr("b2"))).matches(user)
+
+    def test_or(self):
+        user = _user()
+        user.binary_attrs.add("b1")
+        assert Or((HasAttr("b2"), HasAttr("b1"))).matches(user)
+
+    def test_not(self):
+        assert Not(HasAttr("b1")).matches(_user())
+
+    def test_single_operand_rejected(self):
+        with pytest.raises(TargetingError):
+            And((HasAttr("b1"),))
+        with pytest.raises(TargetingError):
+            Or((HasAttr("b1"),))
+
+    def test_operator_overloads(self):
+        user = _user()
+        user.binary_attrs.add("b1")
+        expr = HasAttr("b1") & ~HasAttr("b2")
+        assert expr.matches(user)
+        expr2 = HasAttr("b2") | HasAttr("b1")
+        assert expr2.matches(user)
+
+    def test_paper_example_boolean_expression(self):
+        """'Millennials who live in Chicago, are interested in musicals,
+        are currently unemployed, and are not in a relationship'."""
+        spec = parse(
+            "age:25-40 & zip:60601/60602 & attr:b1 & !attr:b2"
+        )
+        millennial = _user(age=28, zip_code="60601")
+        millennial.binary_attrs.add("b1")
+        assert spec.matches(millennial)
+        taken = _user(age=28, zip_code="60601")
+        taken.binary_attrs.update({"b1", "b2"})
+        assert not spec.matches(taken)
+
+
+class TestParser:
+    def test_simple_attr(self):
+        spec = parse("attr:b1")
+        assert isinstance(spec.expr, HasAttr)
+
+    def test_precedence_and_binds_tighter(self):
+        spec = parse("attr:b1 | attr:b2 & age:20-30")
+        assert isinstance(spec.expr, Or)
+        assert isinstance(spec.expr.operands[1], And)
+
+    def test_parentheses(self):
+        spec = parse("(attr:b1 | attr:b2) & age:20-30")
+        assert isinstance(spec.expr, And)
+
+    def test_not_parsing(self):
+        spec = parse("!attr:b1 & page:p1")
+        assert isinstance(spec.expr.operands[0], Not)
+
+    def test_value_predicate(self):
+        spec = parse("value:m1=x")
+        assert spec.expr == AttrIs("m1", "x")
+
+    def test_value_with_spaces(self):
+        spec = parse("value:m1=Some college")
+        assert spec.expr == AttrIs("m1", "Some college")
+
+    def test_zip_list(self):
+        spec = parse("zip:02115/02116")
+        assert spec.expr == InZip(frozenset({"02115", "02116"}))
+
+    def test_all(self):
+        assert parse("all").expr == All()
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "attr:b1 &", "& attr:b1", "(attr:b1", "attr:b1)",
+        "age:20", "age:x-y", "age:40-20", "value:m1", "frob:x", "zip:",
+        "b1",
+    ])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(TargetingSyntaxError):
+            parse(bad)
+
+
+class TestIntrospection:
+    def test_referenced_attributes_ordered_unique(self):
+        spec = parse("attr:b1 & (value:m1=x | attr:b1) & !attr:b2")
+        assert spec.referenced_attributes() == ["b1", "m1", "b2"]
+
+    def test_positively_targeted_excludes_negated(self):
+        spec = parse("attr:b1 & !attr:b2")
+        assert spec.positively_targeted_attributes() == ["b1"]
+
+    def test_double_negation_is_positive(self):
+        spec = parse("!(!attr:b1)")
+        assert spec.positively_targeted_attributes() == ["b1"]
+
+    def test_referenced_audiences(self):
+        spec = parse("audience:a1 & (audience:a2 | audience:a1)")
+        assert spec.referenced_audiences() == ["a1", "a2"]
+
+    def test_validate_ok(self):
+        parse("attr:b1 & value:m1=y").validate(CATALOG)
+
+    def test_validate_unknown_attr(self):
+        with pytest.raises(Exception):
+            parse("attr:ghost").validate(CATALOG)
+
+    def test_validate_value_on_binary(self):
+        with pytest.raises(TargetingError):
+            parse("value:b1=x").validate(CATALOG)
+
+    def test_validate_bad_value(self):
+        with pytest.raises(Exception):
+            parse("value:m1=zzz").validate(CATALOG)
+
+
+# ---------------------------------------------------------------------------
+# property tests: to_string/parse round-trip
+# ---------------------------------------------------------------------------
+
+_leaf = st.one_of(
+    st.builds(HasAttr, st.sampled_from(["b1", "b2", "m1"])),
+    st.builds(AttrIs, st.just("m1"), st.sampled_from(["x", "y"])),
+    st.builds(
+        AgeBetween,
+        st.integers(13, 40),
+        st.integers(41, 90),
+    ),
+    st.builds(InCountry, st.sampled_from(["US", "DE"])),
+    st.builds(GenderIs, st.sampled_from(["male", "female"])),
+    st.builds(InAudience, st.sampled_from(["aud-1", "aud-2"])),
+    st.builds(LikesPage, st.sampled_from(["page-1"])),
+    st.just(All()),
+)
+
+_expr = st.recursive(
+    _leaf,
+    lambda children: st.one_of(
+        st.builds(Not, children),
+        st.builds(And, st.tuples(children, children)),
+        st.builds(Or, st.tuples(children, children, children)),
+    ),
+    max_leaves=12,
+)
+
+
+@given(_expr)
+def test_to_string_parse_round_trip(expr):
+    """Serialising any expression and parsing it back is semantics- and
+    syntax-preserving (the re-serialisation is a fixed point)."""
+    text = expr.to_string()
+    reparsed = parse(text)
+    assert reparsed.to_string() == parse(reparsed.to_string()).to_string()
+    # semantic equivalence on a probe user
+    probe = _user(age=30)
+    probe.binary_attrs.add("b1")
+    probe.multi_attrs["m1"] = "x"
+    probe.liked_pages.add("page-1")
+    resolver = lambda aud, uid: aud == "aud-1"
+    assert expr.matches(probe, resolver) == reparsed.matches(probe, resolver)
+
+
+@given(st.text(max_size=60))
+def test_parser_never_crashes_on_arbitrary_text(text):
+    """Fuzz: any input either parses or raises TargetingSyntaxError —
+    never an unrelated exception (the platform parses advertiser input)."""
+    try:
+        spec = parse(text)
+    except TargetingSyntaxError:
+        return
+    # if it parsed, it must serialize and re-parse
+    parse(spec.to_string())
+
+
+@given(_expr)
+def test_not_inverts_matches(expr):
+    probe = _user(age=25)
+    resolver = lambda aud, uid: False
+    assert Not(expr).matches(probe, resolver) != expr.matches(probe, resolver)

@@ -1,0 +1,110 @@
+"""Unit tests for websites, browsers, cookies, and the web directory."""
+
+import pytest
+
+from repro.platform.web import Browser, WebDirectory, Website
+
+
+def _site():
+    site = Website(domain="prov.example.org", owner="prov")
+    site.add_page("/optin", content="opt in", pixel_ids=["px-1"])
+    return site
+
+
+class TestWebsite:
+    def test_add_and_get_page(self):
+        site = _site()
+        assert site.get_page("/optin").content == "opt in"
+
+    def test_unknown_page_raises(self):
+        with pytest.raises(KeyError):
+            _site().get_page("/missing")
+
+    def test_page_replacement(self):
+        site = _site()
+        site.add_page("/optin", content="new")
+        assert site.get_page("/optin").content == "new"
+        assert site.get_page("/optin").pixel_ids == []
+
+
+class TestBrowserCookies:
+    def test_cookie_stable_per_domain(self):
+        browser = Browser(user_id="u1")
+        first = browser.cookie_for("a.com")
+        assert browser.cookie_for("a.com") == first
+
+    def test_cookies_differ_across_domains(self):
+        browser = Browser(user_id="u1")
+        assert browser.cookie_for("a.com") != browser.cookie_for("b.com")
+
+    def test_cookies_differ_across_browsers(self):
+        assert Browser("u1").cookie_for("a.com") != \
+            Browser("u2").cookie_for("a.com")
+
+    def test_clear_cookies_mints_fresh(self):
+        """The paper's landing-page mitigation: clearing cookies makes the
+        next visit unlinkable to earlier ones."""
+        browser = Browser(user_id="u1")
+        before = browser.cookie_for("a.com")
+        browser.clear_cookies()
+        assert browser.cookie_for("a.com") != before
+
+    def test_disable_cookies(self):
+        browser = Browser(user_id="u1")
+        browser.disable_cookies()
+        assert browser.cookie_for("a.com") is None
+
+    def test_enable_after_disable(self):
+        browser = Browser(user_id="u1")
+        browser.disable_cookies()
+        browser.enable_cookies()
+        assert browser.cookie_for("a.com") is not None
+
+
+class TestVisits:
+    def test_visit_returns_pixels(self):
+        browser = Browser(user_id="u1")
+        visit = browser.visit(_site(), "/optin")
+        assert visit.pixel_ids == ["px-1"]
+        assert visit.user_id == "u1"
+
+    def test_first_party_log_sees_cookie_not_user(self):
+        """Site owners never learn platform identities — only cookies."""
+        site = _site()
+        browser = Browser(user_id="u1")
+        browser.visit(site, "/optin")
+        entry = site.access_log[0]
+        assert entry.cookie_id == browser.cookie_for(site.domain)
+        assert not hasattr(entry, "user_id")
+
+    def test_cookieless_visit_logged_as_none(self):
+        site = _site()
+        browser = Browser(user_id="u1")
+        browser.disable_cookies()
+        browser.visit(site, "/optin")
+        assert site.access_log[0].cookie_id is None
+
+    def test_visit_seq_monotonic(self):
+        site = _site()
+        browser = Browser(user_id="u1")
+        a = browser.visit(site, "/optin")
+        b = browser.visit(site, "/optin")
+        assert b.visit_seq > a.visit_seq
+
+
+class TestWebDirectory:
+    def test_create_and_resolve(self):
+        web = WebDirectory()
+        site = web.create_site("x.org", owner="x")
+        assert web.resolve("x.org") is site
+        assert "x.org" in web
+
+    def test_duplicate_domain_rejected(self):
+        web = WebDirectory()
+        web.create_site("x.org", owner="x")
+        with pytest.raises(KeyError):
+            web.create_site("x.org", owner="y")
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(KeyError):
+            WebDirectory().resolve("ghost.org")

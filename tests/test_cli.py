@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCatalog:
+    def test_stats(self, capsys):
+        assert main(["catalog", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "614" in out
+        assert "507" in out
+        assert "Acxiom" in out
+
+    def test_search_hits(self, capsys):
+        assert main(["catalog", "search", "net worth"]) == 0
+        out = capsys.readouterr().out
+        assert "Net worth" in out
+        assert "partner" in out
+
+    def test_search_miss_exit_code(self, capsys):
+        assert main(["catalog", "search", "zzzznope"]) == 1
+
+    def test_search_limit(self, capsys):
+        main(["catalog", "search", "segment", "--limit", "2"])
+        out = capsys.readouterr().out
+        assert "more (raise --limit)" in out
+
+
+class TestDemoAndValidate:
+    def test_demo_succeeds(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Treads revealed 3" in out
+        assert "partner data hidden" in out
+
+    def test_validate_succeeds(self, capsys):
+        assert main(["validate", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "508" in out
+        assert "yes" in out
+
+    def test_validate_custom_bid(self, capsys):
+        assert main(["validate", "--seed", "7", "--bid-cpm", "20"]) == 0
+
+
+class TestCostAndScale:
+    def test_cost_table_paper_numbers(self, capsys):
+        assert main(["cost", "--cpm", "2.0", "--attributes", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "$0.0020" in out
+        assert "$0.1000" in out
+
+    def test_scale_table(self, capsys):
+        assert main(["scale", "--m", "97"]) == 0
+        out = capsys.readouterr().out
+        assert "97" in out
+        assert "7" in out
+
+    def test_attack_command(self, capsys):
+        assert main(["attack"]) == 0
+        out = capsys.readouterr().out
+        assert "billed impressions: 1" in out
+        assert "billed impressions: 0" in out
+        assert "below 1000" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,109 @@
+"""Unit tests for PII normalization and hashing."""
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import hashing
+
+
+class TestNormalizeEmail:
+    def test_lowercases_and_trims(self):
+        assert hashing.normalize_email("  Alice@Example.COM ") == \
+            "alice@example.com"
+
+    def test_already_normal(self):
+        assert hashing.normalize_email("bob@example.com") == "bob@example.com"
+
+
+class TestNormalizePhone:
+    def test_us_formatting_stripped(self):
+        assert hashing.normalize_phone("(617) 555-0199") == "16175550199"
+
+    def test_plus_prefix_respected(self):
+        assert hashing.normalize_phone("+49 30 1234567") == "49301234567"
+
+    def test_country_code_not_duplicated(self):
+        assert hashing.normalize_phone("1-617-555-0199") == "16175550199"
+
+    def test_empty_input(self):
+        assert hashing.normalize_phone("---") == ""
+
+
+class TestNormalizeName:
+    def test_punctuation_and_case(self):
+        assert hashing.normalize_name(" O'Brien ") == "obrien"
+
+    def test_inner_whitespace_removed(self):
+        assert hashing.normalize_name("Mary Jane") == "maryjane"
+
+
+class TestNormalizeZip:
+    def test_zip_plus_four_truncated(self):
+        assert hashing.normalize_zip("02115-3847") == "02115"
+
+    def test_plain_zip(self):
+        assert hashing.normalize_zip(" 02115 ") == "02115"
+
+    def test_non_us_postcode(self):
+        assert hashing.normalize_zip("SW1A 1AA") == "sw1a1aa"
+
+
+class TestNormalizeMaid:
+    def test_idfa_lowercased(self):
+        assert hashing.normalize_maid(" 6D92078A-8246-4BA4-AE5B-76104861E7DC ") == \
+            "6d92078a-8246-4ba4-ae5b-76104861e7dc"
+
+    def test_garbage_stripped(self):
+        assert hashing.normalize_maid("xyz!!") == ""
+
+    def test_maid_is_pii_kind(self):
+        assert "maid" in hashing.PII_KINDS
+
+
+class TestHashPii:
+    def test_deterministic(self):
+        assert hashing.hash_pii("email", "a@b.com") == \
+            hashing.hash_pii("email", "A@B.com ")
+
+    def test_kind_namespacing(self):
+        # same digits must not collide across kinds
+        assert hashing.hash_pii("zip", "12345") != \
+            hashing.hash_pii("phone", "12345")
+
+    def test_matches_manual_sha256(self):
+        expected = hashlib.sha256(b"email:a@b.com").hexdigest()
+        assert hashing.hash_pii("email", "a@b.com") == expected
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            hashing.normalize_pii("ssn", "123-45-6789")
+
+    def test_batch_preserves_order(self):
+        values = ["a@b.com", "c@d.com"]
+        batch = hashing.hash_pii_batch("email", values)
+        assert batch == [hashing.hash_pii("email", v) for v in values]
+
+
+class TestIsHashed:
+    def test_recognises_digest(self):
+        assert hashing.is_hashed(hashing.hash_pii("email", "x@y.z"))
+
+    def test_rejects_raw(self):
+        assert not hashing.is_hashed("alice@example.com")
+
+    def test_rejects_uppercase_hex(self):
+        assert not hashing.is_hashed("A" * 64)
+
+
+@given(st.emails())
+def test_email_hash_always_hashed_property(email):
+    assert hashing.is_hashed(hashing.hash_pii("email", email))
+
+
+@given(st.text(min_size=1, max_size=30))
+def test_name_normalization_idempotent(name):
+    once = hashing.normalize_name(name)
+    assert hashing.normalize_name(once) == once

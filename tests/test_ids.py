@@ -1,0 +1,36 @@
+"""Unit tests for deterministic id generation."""
+
+from repro.ids import IdFactory
+
+
+class TestIdFactory:
+    def test_sequence_per_kind(self):
+        ids = IdFactory()
+        assert ids.next("user") == "user-000000"
+        assert ids.next("user") == "user-000001"
+
+    def test_kinds_independent(self):
+        ids = IdFactory()
+        ids.next("user")
+        assert ids.next("ad") == "ad-000000"
+
+    def test_prefix(self):
+        ids = IdFactory(prefix="fb")
+        assert ids.next("user") == "fb-user-000000"
+
+    def test_two_factories_independent(self):
+        a, b = IdFactory(prefix="a"), IdFactory(prefix="b")
+        a.next("user")
+        assert b.next("user") == "b-user-000000"
+
+    def test_peek_count_does_not_consume(self):
+        ids = IdFactory()
+        ids.next("user")
+        ids.next("user")
+        assert ids.peek_count("user") == 2
+        assert ids.next("user") == "user-000002"
+
+    def test_peek_on_fresh_kind(self):
+        ids = IdFactory()
+        assert ids.peek_count("pixel") == 0
+        assert ids.next("pixel") == "pixel-000000"

@@ -1,0 +1,62 @@
+"""Tests pinning the public API surface and the README quickstart."""
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_quickstart_executes(self):
+        """The module-docstring quickstart must stay runnable verbatim."""
+        from repro import (
+            AdPlatform,
+            TransparencyProvider,
+            TreadClient,
+            WebDirectory,
+        )
+
+        platform = AdPlatform()
+        web = WebDirectory()
+        user = platform.register_user()
+        user.set_attribute(platform.catalog.get("pc-networth-006"))
+
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_partner_sweep()
+        provider.run_delivery()
+
+        client = TreadClient(user.user_id, platform,
+                             provider.publish_decode_pack())
+        assert client.sync().set_attributes == {"pc-networth-006"}
+
+
+class TestObfuscationIsNotEncryption:
+    def test_anyone_with_the_pack_decodes_any_feed(self, platform, web):
+        """Documented property: the codebook is shared with ALL
+        subscribers, so obfuscation hides Treads from the platform's
+        reviewer — not from anyone holding the decode pack who can see
+        the user's screen. (The paper's privacy analysis is about the
+        PROVIDER, which never sees feeds at all.)"""
+        from repro.core.client import TreadClient
+        from repro.core.provider import TransparencyProvider
+
+        provider = TransparencyProvider(platform, web, budget=50.0)
+        attr = platform.catalog.partner_attributes()[0]
+        user = platform.register_user()
+        user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep([attr])
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+
+        # a different subscriber's client instance, pointed at the same
+        # user id (i.e. shoulder-surfing the feed), decodes it fully
+        snoop = TreadClient(user.user_id, platform, pack)
+        assert attr.attr_id in snoop.sync().set_attributes

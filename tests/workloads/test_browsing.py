@@ -1,0 +1,82 @@
+"""Tests for browsing-session generation."""
+
+import random
+
+import pytest
+
+from repro.core.provider import TransparencyProvider
+from repro.workloads.browsing import (
+    BrowsingModel,
+    days_until_coverage,
+    simulate_day,
+)
+
+
+class TestBrowsingModel:
+    def test_slots_at_least_min(self):
+        model = BrowsingModel(mean_slots=0.5, min_slots=2)
+        rng = random.Random(1)
+        assert all(model.slots_for(rng) >= 2 for _ in range(100))
+
+    def test_mean_roughly_respected(self):
+        model = BrowsingModel(mean_slots=20.0, heavy_user_fraction=0.0)
+        rng = random.Random(2)
+        samples = [model.slots_for(rng) for _ in range(3000)]
+        assert 17 < sum(samples) / len(samples) < 23
+
+    def test_heavy_tail_raises_mean(self):
+        light = BrowsingModel(mean_slots=10.0, heavy_user_fraction=0.0)
+        heavy = BrowsingModel(mean_slots=10.0, heavy_user_fraction=0.5,
+                              heavy_multiplier=4)
+        rng_l, rng_h = random.Random(3), random.Random(3)
+        mean_l = sum(light.slots_for(rng_l) for _ in range(2000)) / 2000
+        mean_h = sum(heavy.slots_for(rng_h) for _ in range(2000)) / 2000
+        assert mean_h > mean_l * 1.5
+
+    def test_zero_mean(self):
+        model = BrowsingModel(mean_slots=0.0, min_slots=1)
+        assert model.slots_for(random.Random(1)) == 1
+
+
+class TestSimulateDay:
+    def test_slots_counted_per_user(self, platform, web):
+        users = [platform.register_user() for _ in range(5)]
+        day = simulate_day(platform, users, seed=4)
+        assert set(day.slots_by_user) == {u.user_id for u in users}
+        assert day.stats.slots == sum(day.slots_by_user.values())
+
+    def test_treads_delivered_through_browsing(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        attr = platform.catalog.partner_attributes()[0]
+        user = platform.register_user()
+        user.set_attribute(attr)
+        provider.optin.via_page_like(user.user_id)
+        provider.launch_attribute_sweep([attr])
+        day = simulate_day(platform, [user],
+                           BrowsingModel(mean_slots=30.0), seed=5)
+        assert day.stats.filled_by_tracked_ads == 2  # control + attribute
+
+
+class TestDaysUntilCoverage:
+    def test_active_users_covered_quickly(self, platform, web):
+        provider = TransparencyProvider(platform, web, budget=100.0)
+        attrs = platform.catalog.partner_attributes()[:3]
+        users = []
+        for _ in range(4):
+            user = platform.register_user()
+            for attr in attrs:
+                user.set_attribute(attr)
+            provider.optin.via_page_like(user.user_id)
+            users.append(user)
+        provider.launch_attribute_sweep(attrs)
+        expected = 4 * (3 + 1)
+        days = days_until_coverage(platform, users, expected,
+                                   BrowsingModel(mean_slots=30.0), seed=6)
+        assert days <= 3
+
+    def test_max_days_cap(self, platform, web):
+        user = platform.register_user()
+        days = days_until_coverage(platform, [user],
+                                   expected_impressions=100,
+                                   max_days=5, seed=7)
+        assert days == 5

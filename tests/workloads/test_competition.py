@@ -1,0 +1,50 @@
+"""Tests for competing-bid models."""
+
+import pytest
+
+from repro.workloads import competition
+
+
+class TestModels:
+    def test_fixed(self):
+        draw = competition.fixed_competition(2.0)
+        assert draw() == pytest.approx(0.002)
+        assert draw() == pytest.approx(0.002)
+
+    def test_zero(self):
+        assert competition.zero_competition()() == 0.0
+
+    def test_lognormal_median_calibration(self):
+        draw = competition.lognormal_competition(median_cpm=2.0, seed=1)
+        samples = sorted(draw() for _ in range(10_001))
+        median = samples[len(samples) // 2]
+        assert median == pytest.approx(0.002, rel=0.1)
+
+    def test_lognormal_reproducible(self):
+        a = competition.lognormal_competition(seed=5)
+        b = competition.lognormal_competition(seed=5)
+        assert [a() for _ in range(10)] == [b() for _ in range(10)]
+
+    def test_peak_offpeak_between_regimes(self):
+        draw = competition.peak_offpeak_competition(seed=2)
+        samples = [draw() for _ in range(5000)]
+        mean_cpm = 1000 * sum(samples) / len(samples)
+        assert 1.0 < mean_cpm < 4.5
+
+
+class TestWinRates:
+    def test_paper_calibration_points(self):
+        """$2 CPM wins ~half, $10 CPM (the validation's 5x) wins ~always."""
+        factory = lambda: competition.lognormal_competition(seed=9)
+        assert 0.45 < competition.win_rate(2.0, factory()) < 0.55
+        assert competition.win_rate(10.0, factory()) > 0.98
+
+    def test_win_rate_curve_monotone(self):
+        factory = lambda: competition.lognormal_competition(seed=9)
+        curve = competition.win_rate_curve(
+            [0.5, 1.0, 2.0, 5.0, 10.0, 20.0], factory, trials=5000
+        )
+        rates = [rate for _, rate in curve]
+        assert rates == sorted(rates)
+        assert rates[0] < 0.1
+        assert rates[-1] > 0.99

@@ -1,0 +1,53 @@
+"""Unit tests for persona definitions."""
+
+import pytest
+
+from repro.workloads.personas import (
+    ESTABLISHED_PROFESSIONAL,
+    PERSONAS,
+    RECENT_ARRIVAL_GRAD_STUDENT,
+    Persona,
+)
+
+
+class TestPaperPersonas:
+    def test_profiled_author_archetype(self):
+        """The author the validation revealed: full broker coverage with
+        the exact attribute families the paper lists."""
+        persona = ESTABLISHED_PROFESSIONAL
+        assert persona.broker_coverage == 1.0
+        assert persona.partner_attr_range[0] >= 9
+        for family in ("pc-networth", "pc-restaurants", "pc-apparel",
+                       "pc-jobrole", "pc-hometype", "pc-autointent"):
+            assert family in persona.partner_families
+
+    def test_unprofiled_author_archetype(self):
+        """'a graduate student who has only been in the U.S. for over a
+        year' — zero broker coverage, zero partner attributes."""
+        persona = RECENT_ARRIVAL_GRAD_STUDENT
+        assert persona.broker_coverage == 0.0
+        assert persona.partner_attr_range == (0, 0)
+
+
+class TestValidation:
+    def test_all_personas_well_formed(self):
+        for persona in PERSONAS:
+            assert persona.age_range[0] <= persona.age_range[1]
+            assert 0.0 <= persona.broker_coverage <= 1.0
+            assert persona.genders
+
+    def test_names_unique(self):
+        names = [p.name for p in PERSONAS]
+        assert len(names) == len(set(names))
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            Persona(name="x", age_range=(20, 30), genders=("male",),
+                    platform_attr_range=(1, 2), partner_attr_range=(0, 0),
+                    broker_coverage=1.5, partner_families=())
+
+    def test_inverted_age_rejected(self):
+        with pytest.raises(ValueError):
+            Persona(name="x", age_range=(30, 20), genders=("male",),
+                    platform_attr_range=(1, 2), partner_attr_range=(0, 0),
+                    broker_coverage=0.5, partner_families=())

@@ -1,0 +1,118 @@
+"""Tests for population generation and the broker pipeline."""
+
+import pytest
+
+from repro.workloads.personas import (
+    AVERAGE_CONSUMER,
+    ESTABLISHED_PROFESSIONAL,
+    RECENT_ARRIVAL_GRAD_STUDENT,
+)
+from repro.workloads.population import (
+    PopulationBuilder,
+    ground_truth_partner_attrs,
+)
+
+
+class TestSpawn:
+    def test_demographics_within_persona_ranges(self, platform):
+        builder = PopulationBuilder(platform, seed=1)
+        users = builder.spawn(ESTABLISHED_PROFESSIONAL, 10)
+        for user in users:
+            low, high = ESTABLISHED_PROFESSIONAL.age_range
+            assert low <= user.age <= high
+            assert user.gender in ESTABLISHED_PROFESSIONAL.genders
+
+    def test_platform_attribute_counts_in_range(self, platform):
+        builder = PopulationBuilder(platform, seed=1)
+        users = builder.spawn(AVERAGE_CONSUMER, 10)
+        multi_count = len(platform.catalog.multi_attributes())
+        for user in users:
+            low, high = AVERAGE_CONSUMER.platform_attr_range
+            binaries = len(user.binary_attrs)
+            # small test catalog may cap below the persona's upper bound
+            pool = len([a for a in platform.catalog.platform_attributes()
+                        if a.is_binary])
+            assert min(low, pool) <= binaries <= min(high, pool)
+            assert len(user.multi_attrs) == multi_count
+
+    def test_pii_attached_and_indexed(self, platform):
+        builder = PopulationBuilder(platform, seed=1)
+        user = builder.spawn(ESTABLISHED_PROFESSIONAL, 1)[0]
+        assert "email" in user.pii_hashes
+        assert "phone" in user.pii_hashes
+
+    def test_persona_ground_truth_recorded(self, platform):
+        builder = PopulationBuilder(platform, seed=1)
+        user = builder.spawn(RECENT_ARRIVAL_GRAD_STUDENT, 1)[0]
+        assert builder.persona_of[user.user_id] == \
+            "recent_arrival_grad_student"
+
+    def test_reproducible_with_same_seed(self, full_platform):
+        from repro.platform.catalog import build_us_catalog
+        from repro.platform.platform import AdPlatform, PlatformConfig
+        from repro.workloads.competition import zero_competition
+
+        def build():
+            platform = AdPlatform(
+                config=PlatformConfig(name="repro"),
+                catalog=build_us_catalog(40, 25),
+                competing_draw=zero_competition(),
+            )
+            builder = PopulationBuilder(platform, seed=7)
+            users = builder.spawn(AVERAGE_CONSUMER, 5)
+            builder.finalize()
+            return [(u.age, sorted(u.binary_attrs)) for u in users]
+
+        assert build() == build()
+
+
+class TestBrokerPipeline:
+    def test_established_professional_gets_partner_attrs(self, platform):
+        builder = PopulationBuilder(platform, seed=3)
+        user = builder.spawn(ESTABLISHED_PROFESSIONAL, 1)[0]
+        assert not any(a.startswith("pc-") for a in user.binary_attrs)
+        builder.finalize()
+        partner_attrs = {a for a in user.binary_attrs if a.startswith("pc-")}
+        low, high = ESTABLISHED_PROFESSIONAL.partner_attr_range
+        assert partner_attrs  # definitely covered (coverage=1.0)
+
+    def test_recent_arrival_gets_none(self, platform):
+        """The paper's key asymmetry, reproduced by construction."""
+        builder = PopulationBuilder(platform, seed=3)
+        user = builder.spawn(RECENT_ARRIVAL_GRAD_STUDENT, 1)[0]
+        builder.finalize()
+        assert not any(a.startswith("pc-") for a in user.binary_attrs)
+
+    def test_exclusive_families_single_pick(self, full_platform):
+        """A user gets at most one net-worth band, one job role, etc."""
+        builder = PopulationBuilder(full_platform, seed=5)
+        users = builder.spawn(ESTABLISHED_PROFESSIONAL, 10)
+        builder.finalize()
+        for user in users:
+            for family in ("pc-networth", "pc-jobrole", "pc-hometype"):
+                picks = [a for a in user.binary_attrs
+                         if a.startswith(family)]
+                assert len(picks) <= 1
+
+    def test_spawn_mix(self, platform):
+        builder = PopulationBuilder(platform, seed=2)
+        users = builder.spawn_mix(
+            [ESTABLISHED_PROFESSIONAL, RECENT_ARRIVAL_GRAD_STUDENT],
+            count=20,
+        )
+        assert len(users) == 20
+        personas = set(builder.persona_of.values())
+        assert personas <= {"established_professional",
+                            "recent_arrival_grad_student"}
+
+
+class TestGroundTruth:
+    def test_partner_only(self, platform):
+        builder = PopulationBuilder(platform, seed=3)
+        user = builder.spawn(ESTABLISHED_PROFESSIONAL, 1)[0]
+        builder.finalize()
+        truth = ground_truth_partner_attrs(platform, [user.user_id])
+        assert all(a.startswith("pc-") for a in truth[user.user_id])
+        assert truth[user.user_id] == {
+            a for a in user.binary_attrs if a.startswith("pc-")
+        }
