@@ -1,0 +1,25 @@
+PYTHON ?= python
+export PYTHONPATH := src:.
+
+.PHONY: test equivalence bench bench-perf check
+
+## Tier-1 test suite (the gate every change must keep green).
+test:
+	$(PYTHON) -m pytest -q
+
+## Compiled-vs-interpreted targeting equivalence suite on its own —
+## the property the delivery fast path rests on.
+equivalence:
+	$(PYTHON) -m pytest -q tests/platform/test_targeting_compile.py
+
+## Paper-reproduction benchmarks, single run each (fast, shape checks).
+bench:
+	$(PYTHON) -m pytest -q benchmarks/ --benchmark-disable
+
+## Delivery throughput tiers with real pytest-benchmark statistics.
+bench-perf:
+	$(PYTHON) -m pytest benchmarks/bench_perf_throughput.py --benchmark-only
+
+## What CI runs: tier-1 suite (includes the equivalence tests) plus the
+## benchmark shape checks.
+check: test bench

@@ -57,7 +57,7 @@ class AdArchiveService:
 
     def _entry(self, ad) -> ArchiveEntry:
         account = self._inventory.account(ad.account_id)
-        true_reach = len(self._delivery.unique_reach(ad.ad_id))
+        true_reach = self._delivery.reach_count(ad.ad_id)
         band: ReachEstimate = round_reach(
             true_reach, floor=self.reach_floor, quantum=self.reach_quantum
         )

@@ -32,6 +32,11 @@ class AdImage:
     width: int
     height: int
     pixels: bytearray
+    #: Cached read-only view handed to delivered feeds (see
+    #: :meth:`frozen`); never part of equality or the constructor.
+    _frozen_view: Optional["AdImage"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def blank(cls, width: int = 64, height: int = 64,
@@ -46,6 +51,22 @@ class AdImage:
 
     def copy(self) -> "AdImage":
         return AdImage(self.width, self.height, bytearray(self.pixels))
+
+    def frozen(self) -> "AdImage":
+        """A shared read-only view of this image.
+
+        Creative pixels are immutable once the ad is rendered and
+        submitted, so delivery hands every impression the *same* frozen
+        view (``bytes`` pixels) instead of deep-copying the buffer per
+        impression. The cached view is revalidated against the live
+        pixels, so a (contract-violating) post-render mutation still
+        yields a correct view rather than a stale one.
+        """
+        view = self._frozen_view
+        if view is None or view.pixels != self.pixels:
+            view = AdImage(self.width, self.height, bytes(self.pixels))
+            self._frozen_view = view
+        return view
 
 
 @dataclass(frozen=True)
@@ -256,6 +277,12 @@ class AdInventory:
 
     def ads(self) -> List[Ad]:
         return list(self._ads.values())
+
+    def ad_count(self) -> int:
+        """Number of ads ever added (ads are never removed, so this is a
+        monotonic version stamp the delivery index keys its incremental
+        maintenance on)."""
+        return len(self._ads)
 
     def active_ads(self) -> List[Ad]:
         return [ad for ad in self._ads.values()

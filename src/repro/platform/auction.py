@@ -64,28 +64,51 @@ def run_auction(
     """
     if competing_bid < 0:
         raise ValueError("competing bid cannot be negative")
+    # Lone-contender fast path: the delivery engine pre-deduplicates per
+    # account, so the common Tread-sweep slot arrives here with exactly
+    # one contender — no runner-up, price set by competition/floor alone.
+    if len(eligible_ads) == 1:
+        only = eligible_ads[0]
+        bid = only.bid_per_impression
+        if bid <= competing_bid or bid < floor_price:
+            return AuctionOutcome(winner=None, price=0.0,
+                                  competing_bid=competing_bid)
+        return AuctionOutcome(
+            winner=only,
+            price=min(max(competing_bid, floor_price), bid),
+            competing_bid=competing_bid,
+        )
+    # Single pass, no sorting: keep each account's best (highest bid,
+    # ties by ad id) — this runs once per served slot, so it stays O(n).
     best_per_account: dict = {}
-    for ad in sorted(eligible_ads,
-                     key=lambda a: (-a.bid_per_impression, a.ad_id)):
-        best_per_account.setdefault(ad.account_id, ad)
-    contenders = sorted(
-        best_per_account.values(),
-        key=lambda ad: (-ad.bid_per_impression, ad.ad_id),
-    )
-    if not contenders:
+    for ad in eligible_ads:
+        bid = ad.bid_per_impression
+        held = best_per_account.get(ad.account_id)
+        if held is None or bid > held[0] or \
+                (bid == held[0] and ad.ad_id < held[1].ad_id):
+            best_per_account[ad.account_id] = (bid, ad)
+    if not best_per_account:
         return AuctionOutcome(winner=None, price=0.0,
                               competing_bid=competing_bid)
-    best = contenders[0]
-    if best.bid_per_impression <= competing_bid or \
-            best.bid_per_impression < floor_price:
+    # Top-2 selection among the per-account contenders, same ordering.
+    best_bid = -1.0
+    best: Optional[Ad] = None
+    runner_up = 0.0
+    for bid, ad in best_per_account.values():
+        if best is None or bid > best_bid or \
+                (bid == best_bid and ad.ad_id < best.ad_id):
+            if best is not None and best_bid > runner_up:
+                runner_up = best_bid
+            best_bid, best = bid, ad
+        elif bid > runner_up:
+            runner_up = bid
+    assert best is not None
+    if best_bid <= competing_bid or best_bid < floor_price:
         return AuctionOutcome(winner=None, price=0.0,
                               competing_bid=competing_bid)
-    runner_up = (
-        contenders[1].bid_per_impression if len(contenders) > 1 else 0.0
-    )
     price = max(runner_up, competing_bid, floor_price)
     # Second price never exceeds the winner's own cap.
-    price = min(price, best.bid_per_impression)
+    price = min(price, best_bid)
     return AuctionOutcome(winner=best, price=price,
                           competing_bid=competing_bid)
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import AudienceError, AudienceTooSmallError
 from repro.platform.attributes import AttributeCatalog
@@ -319,6 +319,32 @@ class AudienceRegistry:
     def is_member(self, audience_id: str, user_id: str) -> bool:
         """The :data:`~repro.platform.targeting.AudienceResolver` hook."""
         return user_id in self.members(audience_id)
+
+    def cached_resolver(self) -> Callable[[str, str], bool]:
+        """A membership resolver that materializes each audience once.
+
+        :meth:`is_member` recomputes dynamic memberships (page scans,
+        pixel visitor sets, lookalike expansion) on *every* call, which
+        is correct but ruinous inside a delivery run that checks the same
+        audience for thousands of users. The returned resolver snapshots
+        each audience's member set on first use and answers subsequent
+        checks from the snapshot.
+
+        Only valid across a window in which memberships do not change —
+        e.g. one synchronous delivery run, which performs no opt-ins,
+        page likes, pixel fires, or PII uploads. Callers that cannot
+        guarantee that must use :meth:`is_member`.
+        """
+        snapshots: Dict[str, Set[str]] = {}
+
+        def resolve(audience_id: str, user_id: str) -> bool:
+            members = snapshots.get(audience_id)
+            if members is None:
+                members = self.members(audience_id)
+                snapshots[audience_id] = members
+            return user_id in members
+
+        return resolve
 
     def check_runnable(self, audience_id: str) -> None:
         """Enforce the minimum-size gate for custom (PII/pixel) audiences.

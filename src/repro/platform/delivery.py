@@ -10,19 +10,30 @@ The per-user **frequency cap** (default 1 impression per ad per user)
 reflects how a transparency provider would configure Tread campaigns: each
 Tread needs to reach each matching user exactly once, which is what makes
 the paper's per-attribute cost exactly one CPM-priced impression.
+
+Performance model (see docs/api_tour.md, "Performance model"): eligibility
+runs against an **inverted candidate index** — ads are bucketed under one
+attribute/page their spec *requires* (computed by the targeting compiler),
+so a slot only evaluates ads reachable from the user's own attributes and
+page likes, each via a **compiled flat matcher** instead of re-walking the
+spec's AST. Reporting reads (per-ad impressions, clicks, unique reach) are
+maintained incrementally at delivery time instead of scanning the logs.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.platform.ads import Ad, AdImage, AdInventory, AdStatus
 from repro.platform.auction import AuctionOutcome, CompetingBidDraw, run_auction
 from repro.platform.audiences import AudienceRegistry
 from repro.platform.billing import BillingLedger
+from repro.platform.targeting import AudienceResolver, CompiledSpec
 from repro.platform.users import UserProfile, UserStore
+
+_EMPTY_SET: frozenset = frozenset()
 
 
 @dataclass(frozen=True)
@@ -52,8 +63,10 @@ class DeliveredAd:
     the price, or the full targeting spec (the platform's explanation is
     deliberately partial — see :mod:`repro.platform.explanations`).
 
-    ``image`` is a copy of the rendered creative image — users see ad
-    images, so a Tread-decoding browser extension can scan their pixels.
+    ``image`` is a shared read-only view of the rendered creative image —
+    users see ad images, so a Tread-decoding browser extension can scan
+    their pixels. Creative pixels are immutable post-render, so one frozen
+    buffer serves every impression (no per-impression deep copy).
     """
 
     ad_id: str
@@ -109,7 +122,37 @@ class DeliveryEngine:
         self._impressions: List[Impression] = []
         self._clicks: List[Click] = []
         self._feeds: Dict[str, List[DeliveredAd]] = defaultdict(list)
-        self._shown_counts: Dict[str, int] = defaultdict(int)
+        #: (ad_id, user_id) -> impressions delivered. Tuple keys: no
+        #: per-slot string building, no collision with ids containing ':'.
+        self._shown_counts: Dict[Tuple[str, str], int] = {}
+        #: user_id -> ads this user can no longer receive (cap reached).
+        #: Incrementally maintained by :meth:`_deliver`; lets eligibility
+        #: skip saturated candidates with one set lookup.
+        self._capped_for_user: Dict[str, Set[str]] = {}
+        # -- inverted candidate index (see _ensure_index) ------------------
+        self._indexed_ad_count = 0
+        #: attr_id -> [(ad, account, bid, matcher)] for ads whose spec
+        #: requires that attribute.
+        self._index_by_attr: Dict[str, List[tuple]] = {}
+        #: page_id -> same, for ads anchored on a required page like.
+        self._index_by_page: Dict[str, List[tuple]] = {}
+        #: Ads with no attribute/page anchor — evaluated for every slot.
+        self._index_general: List[tuple] = []
+        #: Resolver in force for spec evaluation. Delivery runs swap in a
+        #: snapshot resolver (one membership materialization per audience
+        #: per run); one-off serve_slot calls use the live resolver.
+        self._resolver: AudienceResolver = audiences.is_member
+        #: Per-run cache: user_id -> index entries whose spec matches the
+        #: user. Match outcomes are static for the duration of one
+        #: synchronous run (profiles, likes, and memberships cannot change
+        #: mid-loop), so each (user, ad) pair is evaluated once per run
+        #: instead of once per slot. None outside runs — a one-off
+        #: serve_slot must see live state.
+        self._match_cache: Optional[Dict[str, List[tuple]]] = None
+        # -- indexed reporting views ---------------------------------------
+        self._impressions_by_ad: Dict[str, List[Impression]] = {}
+        self._reach_by_ad: Dict[str, Set[str]] = {}
+        self._clicks_by_ad: Dict[str, int] = {}
 
     # -- eligibility ---------------------------------------------------------
 
@@ -118,7 +161,7 @@ class DeliveryEngine:
         defense's match counting)."""
         self._user_store = users
 
-    def _matches_enough_users(self, ad: Ad) -> bool:
+    def _matches_enough_users(self, ad: Ad, matcher: CompiledSpec) -> bool:
         """Narrow-targeting defense: an ad whose full spec matches fewer
         than ``min_match_count`` users is withheld from every auction.
 
@@ -131,33 +174,138 @@ class DeliveryEngine:
             return True
         cached = self._match_count_cache.get(ad.ad_id)
         if cached is None:
+            resolver = self._resolver
+            fn = matcher.fn
             cached = sum(
-                1 for profile in self._user_store
-                if ad.targeting.matches(profile, self._audiences.is_member)
+                1 for profile in self._user_store if fn(profile, resolver)
             )
             self._match_count_cache[ad.ad_id] = cached
         return cached >= self.min_match_count
 
-    def _eligible_ads(self, user: UserProfile) -> List[Ad]:
-        eligible: List[Ad] = []
-        for ad in self._inventory.active_ads():
-            if self._shown_counts[f"{ad.ad_id}:{user.user_id}"] >= \
-                    self.frequency_cap:
-                continue
+    def _ensure_index(self) -> None:
+        """Bring the inverted candidate index up to date.
+
+        Each ad is compiled once and bucketed under exactly one *required*
+        anchor — an attribute (preferred: most selective), else a page
+        like, else the always-evaluated general bucket. Ads are never
+        removed from the inventory, so maintenance is incremental: only
+        ads added since the last sync are indexed. Status flips (pause,
+        un-pause, review outcomes) and budget exhaustion need no index
+        surgery — they are re-checked per candidate at evaluation time,
+        so the index can never serve a stale verdict.
+        """
+        count = self._inventory.ad_count()
+        if count == self._indexed_ad_count:
+            return
+        for ad in self._inventory.ads()[self._indexed_ad_count:]:
+            matcher = ad.targeting.compiled()
             account = self._inventory.account(ad.account_id)
-            if not account.can_afford(ad.bid_per_impression):
+            entry = (ad, account, ad.bid_per_impression, matcher)
+            if matcher.required_attributes:
+                anchor = min(matcher.required_attributes)
+                self._index_by_attr.setdefault(anchor, []).append(entry)
+            elif matcher.required_pages:
+                anchor = min(matcher.required_pages)
+                self._index_by_page.setdefault(anchor, []).append(entry)
+            else:
+                self._index_general.append(entry)
+        self._indexed_ad_count = count
+
+    def _candidate_buckets(self, user: UserProfile) -> List[List[tuple]]:
+        """Index buckets whose ads could possibly match ``user``.
+
+        Every ad lives in exactly one bucket, so the union is
+        duplicate-free: the buckets anchored on the user's own attributes
+        and page likes, plus the general bucket.
+        """
+        buckets: List[List[tuple]] = []
+        by_attr = self._index_by_attr
+        if by_attr:
+            for attr_id in user.attribute_ids():
+                bucket = by_attr.get(attr_id)
+                if bucket is not None:
+                    buckets.append(bucket)
+        by_page = self._index_by_page
+        if by_page:
+            for page_id in user.liked_pages:
+                bucket = by_page.get(page_id)
+                if bucket is not None:
+                    buckets.append(bucket)
+        if self._index_general:
+            buckets.append(self._index_general)
+        return buckets
+
+    def _matched_entries(self, user: UserProfile) -> List[tuple]:
+        """Index entries whose *targeting* matches ``user``.
+
+        Pure spec match — the dynamic conditions (status, frequency cap,
+        budget, min-match defense) are applied by the caller per slot.
+        Inside a run the result is cached per user (matches are static
+        for the run's duration); outside runs it is computed live.
+        """
+        cache = self._match_cache
+        if cache is not None:
+            cached = cache.get(user.user_id)
+            if cached is not None:
+                return cached
+        resolver = self._resolver
+        matched: List[tuple] = []
+        for bucket in self._candidate_buckets(user):
+            for entry in bucket:
+                if entry[3].fn(user, resolver):
+                    matched.append(entry)
+        if cache is not None:
+            cache[user.user_id] = matched
+        return matched
+
+    def _slot_contenders(self, user: UserProfile) -> Tuple[List[Ad], bool]:
+        """Eligible ads for one slot, already deduplicated per account.
+
+        Returns ``(contenders, had_eligible)``. The auction only ever
+        considers each account's best eligible ad (same bid/ad-id
+        ordering as :func:`repro.platform.auction.run_auction`), so the
+        dedup happens here, during the one pass over matched entries —
+        the auction then runs on the handful of per-account champions
+        instead of re-scanning the full eligible list. ``had_eligible``
+        feeds the run-loop stats (lost-to-competition vs no-eligible-ad)
+        without a second eligibility evaluation.
+        """
+        self._ensure_index()
+        capped = self._capped_for_user.get(user.user_id, _EMPTY_SET)
+        check_min_match = self.min_match_count > 0
+        active = AdStatus.ACTIVE
+        best: Dict[str, tuple] = {}
+        for ad, account, bid, matcher in self._matched_entries(user):
+            if ad.status is not active:
                 continue
-            if not self._matches_enough_users(ad):
+            if ad.ad_id in capped:
                 continue
-            if ad.targeting.matches(user, self._audiences.is_member):
-                eligible.append(ad)
-        return eligible
+            if account.budget + 1e-12 < bid:  # inlined Account.can_afford
+                continue
+            if check_min_match and \
+                    not self._matches_enough_users(ad, matcher):
+                continue
+            held = best.get(ad.account_id)
+            if held is None or bid > held[0] or \
+                    (bid == held[0] and ad.ad_id < held[1].ad_id):
+                best[ad.account_id] = (bid, ad)
+        return [pair[1] for pair in best.values()], bool(best)
 
     # -- slot serving --------------------------------------------------------
 
     def serve_slot(self, user: UserProfile) -> AuctionOutcome:
         """Auction one ad slot in ``user``'s session; deliver the winner."""
-        eligible = self._eligible_ads(user)
+        contenders, _ = self._slot_contenders(user)
+        return self._auction_slot(user, contenders)
+
+    def _auction_slot(self, user: UserProfile,
+                      eligible: Sequence[Ad]) -> AuctionOutcome:
+        """Auction one slot against a pre-computed eligible list.
+
+        The run loops thread their eligibility result through here so
+        each slot evaluates eligibility exactly once (previously the
+        stats paths re-evaluated it after the auction).
+        """
         outcome = run_auction(
             eligible,
             competing_bid=self._competing_draw(),
@@ -176,11 +324,34 @@ class DeliveryEngine:
             amount=price,
             impression_seq=seq,
         )
-        self._impressions.append(
-            Impression(seq=seq, ad_id=ad.ad_id, account_id=ad.account_id,
-                       user_id=user.user_id, price=price)
-        )
-        self._shown_counts[f"{ad.ad_id}:{user.user_id}"] += 1
+        impression = Impression(seq=seq, ad_id=ad.ad_id,
+                                account_id=ad.account_id,
+                                user_id=user.user_id, price=price)
+        self._impressions.append(impression)
+        # Reporting views, maintained at delivery time so report reads
+        # never scan the full impression log.
+        per_ad = self._impressions_by_ad.get(ad.ad_id)
+        if per_ad is None:
+            per_ad = self._impressions_by_ad[ad.ad_id] = []
+            self._reach_by_ad[ad.ad_id] = set()
+        per_ad.append(impression)
+        self._reach_by_ad[ad.ad_id].add(user.user_id)
+        key = (ad.ad_id, user.user_id)
+        shown = self._shown_counts.get(key, 0) + 1
+        self._shown_counts[key] = shown
+        if shown >= self.frequency_cap:
+            self._capped_for_user.setdefault(user.user_id, set()).add(ad.ad_id)
+            # Caps are monotone within a run, so a just-capped ad can be
+            # pruned from the user's cached match list — later slots then
+            # scan only still-deliverable entries instead of re-skipping
+            # every capped one.
+            cache = self._match_cache
+            if cache is not None:
+                matched = cache.get(user.user_id)
+                if matched is not None:
+                    cache[user.user_id] = [
+                        entry for entry in matched if entry[0] is not ad
+                    ]
         creative = ad.creative
         self._feeds[user.user_id].append(
             DeliveredAd(
@@ -188,7 +359,7 @@ class DeliveryEngine:
                 account_id=ad.account_id,
                 headline=creative.headline,
                 body=creative.body,
-                image=(creative.image.copy()
+                image=(creative.image.frozen()
                        if creative.image is not None else None),
                 landing_url=(
                     str(creative.landing_url) if creative.landing_url else None
@@ -209,20 +380,24 @@ class DeliveryEngine:
         mid-run.
         """
         stats = DeliveryStats()
-        for _ in range(slots_per_user):
-            for user in users:
-                outcome = self.serve_slot(user)
-                stats.slots += 1
-                if outcome.won:
-                    stats.filled_by_tracked_ads += 1
-                elif outcome.competing_bid > 0 and self._had_eligible(user):
-                    stats.lost_to_competition += 1
-                else:
-                    stats.no_eligible_ad += 1
+        self._resolver = self._audiences.cached_resolver()
+        self._match_cache = {}
+        try:
+            for _ in range(slots_per_user):
+                for user in users:
+                    contenders, had_eligible = self._slot_contenders(user)
+                    outcome = self._auction_slot(user, contenders)
+                    stats.slots += 1
+                    if outcome.won:
+                        stats.filled_by_tracked_ads += 1
+                    elif outcome.competing_bid > 0 and had_eligible:
+                        stats.lost_to_competition += 1
+                    else:
+                        stats.no_eligible_ad += 1
+        finally:
+            self._resolver = self._audiences.is_member
+            self._match_cache = None
         return stats
-
-    def _had_eligible(self, user: UserProfile) -> bool:
-        return bool(self._eligible_ads(user))
 
     def run_until_saturated(
         self,
@@ -235,20 +410,35 @@ class DeliveryEngine:
         (user, ad) pair has hit the frequency cap or budgets are spent.
         """
         stats = DeliveryStats()
-        for _ in range(max_rounds):
-            progressed = False
-            for user in users:
-                if not self._eligible_ads(user):
-                    continue
-                outcome = self.serve_slot(user)
-                stats.slots += 1
-                if outcome.won:
-                    stats.filled_by_tracked_ads += 1
-                    progressed = True
-                else:
-                    stats.lost_to_competition += 1
-            if not progressed:
-                break
+        self._resolver = self._audiences.cached_resolver()
+        self._match_cache = {}
+        try:
+            # Within one run every eligibility condition is monotone —
+            # caps only accumulate, budgets only shrink, statuses and
+            # matches are static — so a user whose eligible set empties
+            # can never regain one and is dropped from the rotation.
+            active = list(users)
+            for _ in range(max_rounds):
+                progressed = False
+                still_active: List[UserProfile] = []
+                for user in active:
+                    contenders, had_eligible = self._slot_contenders(user)
+                    if not had_eligible:
+                        continue
+                    still_active.append(user)
+                    outcome = self._auction_slot(user, contenders)
+                    stats.slots += 1
+                    if outcome.won:
+                        stats.filled_by_tracked_ads += 1
+                        progressed = True
+                    else:
+                        stats.lost_to_competition += 1
+                active = still_active
+                if not progressed:
+                    break
+        finally:
+            self._resolver = self._audiences.is_member
+            self._match_cache = None
         return stats
 
     # -- views ---------------------------------------------------------------
@@ -262,22 +452,26 @@ class DeliveryEngine:
         return list(self._impressions)
 
     def impressions_for_ad(self, ad_id: str) -> List[Impression]:
-        return [imp for imp in self._impressions if imp.ad_id == ad_id]
+        return list(self._impressions_by_ad.get(ad_id, ()))
 
     def record_click(self, user_id: str, ad_id: str) -> None:
         """Record a click; only users who actually received the ad can
         click it (anything else is a caller bug, not ad traffic)."""
-        if self._shown_counts.get(f"{ad_id}:{user_id}", 0) == 0:
+        if self._shown_counts.get((ad_id, user_id), 0) == 0:
             raise ValueError(
                 f"user {user_id!r} never received ad {ad_id!r}"
             )
         self._clicks.append(Click(ad_id=ad_id, user_id=user_id,
                                   click_seq=len(self._clicks)))
+        self._clicks_by_ad[ad_id] = self._clicks_by_ad.get(ad_id, 0) + 1
 
     def clicks_for_ad(self, ad_id: str) -> int:
-        return sum(1 for click in self._clicks if click.ad_id == ad_id)
+        return self._clicks_by_ad.get(ad_id, 0)
 
     def unique_reach(self, ad_id: str) -> Set[str]:
         """Distinct users reached by an ad (platform-internal)."""
-        return {imp.user_id for imp in self._impressions
-                if imp.ad_id == ad_id}
+        return set(self._reach_by_ad.get(ad_id, ()))
+
+    def reach_count(self, ad_id: str) -> int:
+        """Number of distinct users reached — O(1), no set copy."""
+        return len(self._reach_by_ad.get(ad_id, ()))

@@ -372,9 +372,10 @@ class AdPlatform:
                 raise AccountError(
                     f"audience {audience_id!r} belongs to another advertiser"
                 )
+        matcher = spec.compiled()
+        resolver = self.audiences.cached_resolver()
         matching = sum(
-            1 for user in self.users
-            if spec.matches(user, self.audiences.is_member)
+            1 for user in self.users if matcher.fn(user, resolver)
         )
         from repro.platform.audiences import round_reach
         return round_reach(matching, floor=self.config.reach_floor,

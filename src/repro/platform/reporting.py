@@ -88,11 +88,15 @@ class ReportingService:
             raise PermissionError(
                 f"account {account_id!r} does not own ad {ad_id!r}"
             )
-        true_reach_users = self._delivery.unique_reach(ad_id)
-        reach = self._quantize_reach(len(true_reach_users))
+        true_reach = self._delivery.reach_count(ad_id)
+        reach = self._quantize_reach(true_reach)
         demographics: Optional[Dict[str, int]] = None
-        if len(true_reach_users) >= self.config.breakdown_min_reach:
-            demographics = self._demographic_breakdown(true_reach_users)
+        if true_reach >= self.config.breakdown_min_reach:
+            # Only materialize the user set when a breakdown is owed;
+            # reach itself comes from the delivery engine's per-ad index.
+            demographics = self._demographic_breakdown(
+                self._delivery.unique_reach(ad_id)
+            )
         return AdPerformanceReport(
             ad_id=ad_id,
             impressions=self._ledger.impressions_for_ad(ad_id),

@@ -276,6 +276,12 @@ class TargetingSpec:
                 resolver: AudienceResolver = _no_audiences) -> bool:
         return self.expr.matches(user, resolver)
 
+    def compiled(self) -> "CompiledSpec":
+        """The (cached) compiled form of this spec — see
+        :func:`compile_spec`. Hot paths evaluate this instead of
+        re-interpreting the tree."""
+        return compile_spec(self)
+
     def to_string(self) -> str:
         return self.expr.to_string()
 
@@ -501,3 +507,162 @@ def parse(text: str) -> TargetingSpec:
         raise TargetingSyntaxError("empty targeting spec")
     tokens = _Tokenizer(text).tokens()
     return TargetingSpec(expr=_Parser(tokens).parse())
+
+
+# ---------------------------------------------------------------------------
+# Compiler: Expr tree -> flat matcher function.
+# ---------------------------------------------------------------------------
+#
+# The delivery hot path evaluates every candidate ad's spec against every
+# user in every slot. Interpreting the Expr tree there costs one Python
+# method call (plus ``all``/``any`` generator machinery) per node per
+# evaluation. :func:`compile_spec` lowers the tree once into a single flat
+# Python function — one call per evaluation, with every predicate inlined
+# as native attribute/set operations — and extracts the static structure
+# (required attributes / pages / audiences) that the delivery engine's
+# inverted candidate index is built from.
+
+
+@dataclass(frozen=True)
+class CompiledSpec:
+    """A targeting spec lowered to a flat matcher.
+
+    ``fn(user, resolver)`` is behaviourally identical to
+    ``expr.matches(user, resolver)`` — the deliver-iff-match contract is
+    preserved bit-for-bit, and ``tests/platform/test_targeting_compile.py``
+    enforces the equivalence property on randomized specs and profiles.
+
+    ``required_attributes`` / ``required_pages`` / ``required_audiences``
+    are *necessary conditions*: a user can only match if they carry every
+    listed attribute, like every listed page, and belong to every listed
+    audience. (Predicates under a NOT or in only some OR branches
+    contribute nothing.) The delivery engine anchors its inverted
+    candidate index on these.
+    """
+
+    source: str
+    fn: Callable[[UserProfile, AudienceResolver], bool]
+    required_attributes: FrozenSet[str]
+    required_pages: FrozenSet[str]
+    required_audiences: FrozenSet[str]
+
+    def matches(self, user: UserProfile,
+                resolver: AudienceResolver = _no_audiences) -> bool:
+        return self.fn(user, resolver)
+
+
+def _fragment(expr: Expr, env: dict, counter: List[int]) -> str:
+    """Python source fragment evaluating ``expr`` over locals ``u``/``r``.
+
+    String/int literals are inlined via ``repr``; container constants
+    (zip code sets) go into ``env`` so they are built once at compile
+    time, not per evaluation.
+    """
+    if isinstance(expr, All):
+        return "True"
+    if isinstance(expr, HasAttr):
+        a = repr(expr.attr_id)
+        return f"({a} in u.binary_attrs or {a} in u.multi_attrs)"
+    if isinstance(expr, AttrIs):
+        return f"(u.multi_attrs.get({expr.attr_id!r}) == {expr.value!r})"
+    if isinstance(expr, AgeBetween):
+        return f"({expr.min_age} <= u.age <= {expr.max_age})"
+    if isinstance(expr, GenderIs):
+        return f"(u.gender == {expr.gender!r})"
+    if isinstance(expr, InCountry):
+        return f"(u.country == {expr.country!r})"
+    if isinstance(expr, InZip):
+        name = f"_zips{counter[0]}"
+        counter[0] += 1
+        env[name] = expr.zips
+        return f"(u.zip_code in {name})"
+    if isinstance(expr, InAudience):
+        return f"r({expr.audience_id!r}, u.user_id)"
+    if isinstance(expr, LikesPage):
+        return f"({expr.page_id!r} in u.liked_pages)"
+    if isinstance(expr, Not):
+        return f"(not {_fragment(expr.child, env, counter)})"
+    if isinstance(expr, And):
+        return "(" + " and ".join(
+            _fragment(op, env, counter) for op in expr.operands
+        ) + ")"
+    if isinstance(expr, Or):
+        return "(" + " or ".join(
+            _fragment(op, env, counter) for op in expr.operands
+        ) + ")"
+    raise TargetingError(f"cannot compile node {type(expr).__name__}")
+
+
+def _required_anchors(
+    expr: Expr,
+) -> Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]:
+    """(attributes, pages, audiences) a user MUST have to match ``expr``.
+
+    AND unions its operands' requirements; OR keeps only what every
+    branch requires; NOT (and predicates that carry no set-membership
+    requirement) contribute nothing. Sound by construction: it only ever
+    *under*-approximates, so the candidate index built on it can skip an
+    ad for a user only when the ad provably cannot match.
+    """
+    if isinstance(expr, (HasAttr, AttrIs)):
+        return frozenset((expr.attr_id,)), frozenset(), frozenset()
+    if isinstance(expr, LikesPage):
+        return frozenset(), frozenset((expr.page_id,)), frozenset()
+    if isinstance(expr, InAudience):
+        return frozenset(), frozenset(), frozenset((expr.audience_id,))
+    if isinstance(expr, And):
+        attrs: FrozenSet[str] = frozenset()
+        pages: FrozenSet[str] = frozenset()
+        auds: FrozenSet[str] = frozenset()
+        for op in expr.operands:
+            a, p, d = _required_anchors(op)
+            attrs, pages, auds = attrs | a, pages | p, auds | d
+        return attrs, pages, auds
+    if isinstance(expr, Or):
+        parts = [_required_anchors(op) for op in expr.operands]
+        attrs, pages, auds = parts[0]
+        for a, p, d in parts[1:]:
+            attrs, pages, auds = attrs & a, pages & p, auds & d
+        return attrs, pages, auds
+    return frozenset(), frozenset(), frozenset()
+
+
+#: Compiled-spec cache, keyed by the spec's canonical string form. Specs
+#: are immutable and the sweep workloads reuse shapes heavily, so one
+#: compile per distinct spec string serves the whole process.
+_COMPILE_CACHE: dict = {}
+
+
+def compile_spec(spec: "TargetingSpec | Expr | str") -> CompiledSpec:
+    """Lower a targeting spec to a :class:`CompiledSpec` (cached).
+
+    Accepts a :class:`TargetingSpec`, a bare :class:`Expr`, or the
+    compact spec syntax. The cache key is the canonical
+    ``to_string()`` form, so structurally identical specs share one
+    compiled matcher.
+    """
+    if isinstance(spec, str):
+        expr = parse(spec).expr
+    elif isinstance(spec, TargetingSpec):
+        expr = spec.expr
+    else:
+        expr = spec
+    key = expr.to_string()
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    env: dict = {}
+    body = _fragment(expr, env, [0])
+    source = f"def _matcher(u, r):\n    return {body}\n"
+    namespace = dict(env)
+    exec(compile(source, f"<targeting:{key}>", "exec"), namespace)
+    attrs, pages, auds = _required_anchors(expr)
+    compiled = CompiledSpec(
+        source=key,
+        fn=namespace["_matcher"],
+        required_attributes=attrs,
+        required_pages=pages,
+        required_audiences=auds,
+    )
+    _COMPILE_CACHE[key] = compiled
+    return compiled

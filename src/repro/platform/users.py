@@ -62,6 +62,14 @@ class UserProfile:
         """True when a binary attribute is set (or a multi attr assigned)."""
         return attr_id in self.binary_attrs or attr_id in self.multi_attrs
 
+    def attribute_ids(self) -> Iterator[str]:
+        """All attribute ids present on this profile (binary then multi).
+
+        The delivery engine's inverted candidate index probes these to
+        collect the ads that could possibly match this user."""
+        yield from self.binary_attrs
+        yield from self.multi_attrs
+
     def attribute_value(self, attr_id: str) -> Optional[str]:
         """Assigned value of a multi attribute, or None when unassigned."""
         return self.multi_attrs.get(attr_id)

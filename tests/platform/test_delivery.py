@@ -140,3 +140,75 @@ class TestStatsAndViews:
         feed = platform.feed(user.user_id)
         feed.append("junk")
         assert platform.feed(user.user_id) == []
+
+
+class TestSharedCreativeImages:
+    """Delivered feeds share one frozen image buffer per creative instead
+    of deep-copying the pixels on every impression."""
+
+    def _image_ad(self, platform, account, campaign, attr_id):
+        from repro.platform.ads import AdImage
+        return platform.submit_ad(
+            account.account_id, campaign.campaign_id,
+            AdCreative("h", "img ad", image=AdImage.blank(16, 16)),
+            f"attr:{attr_id} & country:US", bid_cap_cpm=10.0,
+        )
+
+    def test_feed_images_share_one_frozen_buffer(self, platform,
+                                                 funded_account, campaign):
+        attr = platform.catalog.partner_attributes()[0]
+        users = [platform.register_user() for _ in range(2)]
+        for user in users:
+            user.set_attribute(attr)
+        ad = self._image_ad(platform, funded_account, campaign, attr.attr_id)
+        platform.run_until_saturated()
+        images = [platform.feed(u.user_id)[0].image for u in users]
+        assert images[0] is images[1]
+        # Read-only view: bytes, not the advertiser's mutable bytearray.
+        assert isinstance(images[0].pixels, bytes)
+        assert images[0].pixels == bytes(ad.creative.image.pixels)
+
+    def test_frozen_view_revalidates_on_pixel_change(self):
+        from repro.platform.ads import AdImage
+        image = AdImage.blank(4, 4, shade=10)
+        first = image.frozen()
+        assert image.frozen() is first
+        image.pixels[0] = 99
+        second = image.frozen()
+        assert second is not first
+        assert second.pixels[0] == 99
+
+    def test_delivered_feed_still_decodes_stego_payloads(self, platform,
+                                                         web):
+        from repro.core.client import TreadClient
+        from repro.core.provider import TransparencyProvider
+        from repro.core.treads import Encoding, Placement
+
+        provider = TransparencyProvider(
+            platform, web, budget=200.0,
+            encoding=Encoding.STEGANOGRAPHIC,
+            placement=Placement.IN_AD_IMAGE,
+        )
+        attrs = platform.catalog.partner_attributes()[:3]
+        users = []
+        for _ in range(2):
+            user = platform.register_user()
+            for attr in attrs:
+                user.set_attribute(attr)
+            provider.optin.via_page_like(user.user_id)
+            users.append(user)
+        provider.launch_attribute_sweep(attrs)
+        provider.run_delivery()
+        pack = provider.publish_decode_pack()
+        for user in users:
+            profile = TreadClient(user.user_id, platform, pack).sync()
+            assert profile.set_attributes == {a.attr_id for a in attrs}
+        # Both recipients decoded from the very same frozen buffers.
+        feeds = [platform.feed(u.user_id) for u in users]
+        shared = {
+            item.ad_id: item.image for item in feeds[0] if item.image
+        }
+        assert shared
+        for item in feeds[1]:
+            if item.ad_id in shared:
+                assert item.image is shared[item.ad_id]

@@ -1,0 +1,189 @@
+"""Randomized compiled-vs-interpreted equivalence for targeting specs.
+
+The delivery fast path evaluates :class:`CompiledSpec` matchers instead of
+interpreting the ``Expr`` tree, so the *entire* deliver-iff-match contract
+now rests on the equivalence ``compiled(user) == expr.matches(user)``.
+This suite generates ~200 random specs (round-tripped through the compact
+syntax parser, exactly as ads submit them), evaluates both forms on random
+user profiles — including audience predicates and NOT/exclusion trees —
+and requires bit-for-bit agreement. It also checks the soundness of the
+anchor analysis the inverted candidate index is built on.
+"""
+
+import random
+
+import pytest
+
+from repro.platform.targeting import (
+    AgeBetween,
+    All,
+    And,
+    AttrIs,
+    CompiledSpec,
+    GenderIs,
+    HasAttr,
+    InAudience,
+    InCountry,
+    InZip,
+    LikesPage,
+    Not,
+    Or,
+    TargetingSpec,
+    compile_spec,
+    parse,
+)
+from repro.platform.users import UserProfile
+
+BINARY_ATTRS = [f"pc-test-{i:03d}" for i in range(8)]
+MULTI_ATTRS = {f"pf-multi-{i}": [f"val{j}" for j in range(4)] for i in range(3)}
+AUDIENCES = [f"aud-{i}" for i in range(4)]
+PAGES = [f"page-{i}" for i in range(4)]
+COUNTRIES = ["US", "DE", "BR"]
+GENDERS = ["male", "female", "unknown"]
+ZIPS = ["02115", "94107", "60601", "10001"]
+
+
+def _resolver(audience_id: str, user_id: str) -> bool:
+    """Deterministic fake audience membership (stable across processes)."""
+    return (sum(map(ord, audience_id)) + sum(map(ord, user_id))) % 3 == 0
+
+
+def _random_atom(rng: random.Random):
+    kind = rng.randrange(9)
+    if kind == 0:
+        return HasAttr(rng.choice(BINARY_ATTRS))
+    if kind == 1:
+        attr_id = rng.choice(list(MULTI_ATTRS))
+        return AttrIs(attr_id, rng.choice(MULTI_ATTRS[attr_id]))
+    if kind == 2:
+        low = rng.randint(13, 60)
+        return AgeBetween(low, rng.randint(low, 70))
+    if kind == 3:
+        return GenderIs(rng.choice(GENDERS))
+    if kind == 4:
+        return InCountry(rng.choice(COUNTRIES))
+    if kind == 5:
+        return InZip(frozenset(rng.sample(ZIPS, rng.randint(1, 3))))
+    if kind == 6:
+        return InAudience(rng.choice(AUDIENCES))
+    if kind == 7:
+        return LikesPage(rng.choice(PAGES))
+    return All()
+
+
+def _random_expr(rng: random.Random, depth: int):
+    if depth <= 0 or rng.random() < 0.35:
+        atom = _random_atom(rng)
+        # Exercise NOT at the leaves too — the paper's exclusion Treads.
+        if rng.random() < 0.25:
+            return Not(atom)
+        return atom
+    roll = rng.random()
+    if roll < 0.15:
+        return Not(_random_expr(rng, depth - 1))
+    operands = tuple(
+        _random_expr(rng, depth - 1) for _ in range(rng.randint(2, 3))
+    )
+    return And(operands) if roll < 0.60 else Or(operands)
+
+
+def _random_profile(rng: random.Random, i: int) -> UserProfile:
+    profile = UserProfile(
+        user_id=f"user-{i}",
+        country=rng.choice(COUNTRIES),
+        age=rng.randint(13, 70),
+        gender=rng.choice(GENDERS),
+        zip_code=rng.choice(ZIPS),
+    )
+    profile.binary_attrs = set(
+        rng.sample(BINARY_ATTRS, rng.randint(0, len(BINARY_ATTRS)))
+    )
+    profile.multi_attrs = {
+        attr_id: rng.choice(values)
+        for attr_id, values in MULTI_ATTRS.items()
+        if rng.random() < 0.5
+    }
+    profile.liked_pages = set(rng.sample(PAGES, rng.randint(0, len(PAGES))))
+    return profile
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    rng = random.Random(99)
+    return [_random_profile(rng, i) for i in range(25)]
+
+
+class TestCompiledEquivalence:
+    def test_randomized_specs_agree_with_interpreter(self, profiles):
+        rng = random.Random(7)
+        for case in range(200):
+            spec = TargetingSpec(expr=_random_expr(rng, depth=3))
+            # Round-trip through the parser: the compiled form must match
+            # what an ad submitted as text would evaluate.
+            reparsed = parse(spec.to_string())
+            assert reparsed.to_string() == spec.to_string()
+            compiled = compile_spec(reparsed)
+            for profile in profiles:
+                interpreted = reparsed.matches(profile, _resolver)
+                assert compiled.matches(profile, _resolver) == interpreted, (
+                    f"case {case}: compiled disagrees with interpreter on "
+                    f"{spec.to_string()} for {profile.user_id}"
+                )
+
+    def test_required_anchors_are_sound(self, profiles):
+        """Whenever the compiled spec matches, the user provably carries
+        every required attribute/page and belongs to every required
+        audience — the property the delivery candidate index relies on
+        to skip ads."""
+        rng = random.Random(21)
+        for _ in range(200):
+            spec = TargetingSpec(expr=_random_expr(rng, depth=3))
+            compiled = compile_spec(spec)
+            for profile in profiles:
+                if not compiled.matches(profile, _resolver):
+                    continue
+                for attr_id in compiled.required_attributes:
+                    assert profile.has_attribute(attr_id)
+                for page_id in compiled.required_pages:
+                    assert page_id in profile.liked_pages
+                for audience_id in compiled.required_audiences:
+                    assert _resolver(audience_id, profile.user_id)
+
+
+class TestCompilerMechanics:
+    def test_cache_returns_same_object_for_same_spec(self):
+        a = compile_spec("attr:pc-test-000 & country:US")
+        b = compile_spec(parse("attr:pc-test-000 & country:US"))
+        assert a is b
+        assert isinstance(a, CompiledSpec)
+
+    def test_spec_compiled_convenience(self):
+        spec = parse("page:page-1 | audience:aud-2")
+        assert spec.compiled() is compile_spec(spec)
+
+    def test_anchor_extraction_examples(self):
+        sweep = compile_spec("attr:pc-test-001 & page:page-0")
+        assert sweep.required_attributes == frozenset({"pc-test-001"})
+        assert sweep.required_pages == frozenset({"page-0"})
+
+        exclusion = compile_spec("!attr:pc-test-001 & page:page-0")
+        assert exclusion.required_attributes == frozenset()
+        assert exclusion.required_pages == frozenset({"page-0"})
+
+        either = compile_spec(
+            "(attr:pc-test-001 & page:page-0) | (attr:pc-test-001 & age:18-24)"
+        )
+        assert either.required_attributes == frozenset({"pc-test-001"})
+        assert either.required_pages == frozenset()
+
+    def test_audience_predicate_uses_resolver(self):
+        compiled = compile_spec("audience:aud-0")
+        calls = []
+
+        def resolver(audience_id, user_id):
+            calls.append((audience_id, user_id))
+            return True
+
+        user = UserProfile(user_id="u-1")
+        assert compiled.matches(user, resolver)
+        assert calls == [("aud-0", "u-1")]
