@@ -34,6 +34,12 @@ Quickstart::
     print(client.sync().set_attributes)  # {'pc-networth-006'}
 """
 
+import logging as _logging
+
+# Library convention: "repro.*" loggers are silent unless the embedding
+# application (or the CLI's -v flag) configures handlers.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.core.client import TreadClient
 from repro.core.codebook import Codebook
 from repro.core.provider import TransparencyProvider

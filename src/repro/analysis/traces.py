@@ -2,11 +2,16 @@
 
 Benchmarks and examples sometimes need to hand a run's raw events to
 external tooling (plotting, spreadsheets, diffing two configurations).
-A trace is a list of flat JSON records — impressions, charges, pixel
-events, and web-log entries — with a header line carrying run metadata.
-Everything here is plain data the respective parties could log anyway;
-no platform-internal secrets are added (the impression log is
-platform-internal and marked as such in its records).
+A trace is a list of flat JSON records — impressions, clicks, charges,
+pixel events, and web-log entries — with a header line carrying run
+metadata. Everything here is plain data the respective parties could
+log anyway; no platform-internal secrets are added (the impression and
+click logs are platform-internal and marked as such in their records).
+
+Live observability streams merge in, too: records captured from
+:mod:`repro.obs.events` (via :func:`merge_event_stream`) interleave
+with the snapshot records under their own kinds, so one trace file can
+carry both the post-hoc state dump and the as-it-happened event log.
 """
 
 from __future__ import annotations
@@ -14,8 +19,9 @@ from __future__ import annotations
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
+from repro.obs.events import ObsEvent
 from repro.platform.platform import AdPlatform
 from repro.platform.web import Website
 
@@ -55,6 +61,14 @@ def capture_trace(platform: AdPlatform,
             "user_id": impression.user_id,
             "price": impression.price,
         })
+    for click in platform.delivery.clicks():
+        trace.events.append({
+            "kind": "click",
+            "visibility": "platform-internal",
+            "ad_id": click.ad_id,
+            "user_id": click.user_id,
+            "click_seq": click.click_seq,
+        })
     for charge in platform.ledger.all_charges():
         trace.events.append({
             "kind": "charge",
@@ -74,6 +88,29 @@ def capture_trace(platform: AdPlatform,
                 "cookie_id": entry.cookie_id,
                 "visit_seq": entry.visit_seq,
             })
+    return trace
+
+
+def merge_event_stream(
+    trace: Trace,
+    events: Iterable[Union[ObsEvent, Dict[str, object]]],
+) -> Trace:
+    """Fold a live obs event stream into a captured trace (in place).
+
+    ``events`` may be typed :class:`~repro.obs.events.ObsEvent` records
+    (e.g. from ``EventBus.capture()``) or already-flat dicts (e.g. a
+    parsed JSONL sink file). Each lands as one trace record under its
+    own kind, tagged ``"visibility": "observability"`` so downstream
+    tooling can separate live telemetry from the snapshot records.
+    Returns the trace for chaining.
+    """
+    for event in events:
+        record = event.record() if isinstance(event, ObsEvent) \
+            else dict(event)
+        record.setdefault("visibility", "observability")
+        if record.get("kind") == "header":
+            raise ValueError("event stream cannot carry a header record")
+        trace.events.append(record)
     return trace
 
 

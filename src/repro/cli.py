@@ -18,15 +18,30 @@ Commands
 ``attack``
     The section 5 single-victim inference probe, with and without the
     narrow-targeting defense, plus the defense's cost to Treads.
+``stats``
+    Run a scenario against a fresh metrics registry and dump every
+    instrument (table, Prometheus text format, or JSONL).
+
+Global flags: ``-v`` / ``-vv`` attach a stderr handler to the
+``repro.*`` loggers (INFO / DEBUG); ``--version`` prints the package
+version; ``--trace-out FILE`` on the delivery-running commands
+(``demo``, ``validate``, ``stats``) writes span JSONL for the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
+import logging
 import sys
 from typing import List, Optional, Sequence
 
+from repro import __version__
 from repro.analysis.tables import format_table
+from repro.obs import export as obs_export
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracing import Tracer, use_tracer
 from repro.core.bitsplit import bits_needed, treads_needed_enumeration
 from repro.core.client import TreadClient
 from repro.core.costs import CostModel
@@ -50,6 +65,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "ads on a simulated ad platform."
         ),
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log repro.* to stderr (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     catalog = commands.add_parser("catalog", help="inspect the attribute "
@@ -61,13 +83,25 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("keyword")
     search.add_argument("--limit", type=int, default=15)
 
-    commands.add_parser("demo", help="quickstart scenario")
+    demo = commands.add_parser("demo", help="quickstart scenario")
+    _add_trace_out(demo)
 
     validate = commands.add_parser(
         "validate", help="the paper's section 3.1 validation"
     )
     validate.add_argument("--seed", type=int, default=7)
     validate.add_argument("--bid-cpm", type=float, default=10.0)
+    _add_trace_out(validate)
+
+    stats = commands.add_parser(
+        "stats", help="run a scenario and dump its metrics"
+    )
+    stats.add_argument("--scenario", choices=("demo", "validate"),
+                       default="demo")
+    stats.add_argument("--format", dest="stats_format",
+                       choices=("table", "prometheus", "jsonl"),
+                       default="table")
+    _add_trace_out(stats)
 
     cost = commands.add_parser("cost", help="section 3.1 cost table")
     cost.add_argument("--cpm", type=float, default=2.0)
@@ -83,6 +117,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--defense-threshold", type=int, default=20)
     return parser
+
+
+def _add_trace_out(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write span JSONL for this run to FILE",
+    )
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the ``repro`` logger tree.
+
+    Idempotent: the handler is tagged so repeated ``main()`` calls in
+    one process (the test suite) adjust the level instead of stacking
+    duplicate handlers. Verbosity 0 leaves the library silent.
+    """
+    if verbosity <= 0:
+        return
+    logger = logging.getLogger("repro")
+    handler = next(
+        (h for h in logger.handlers
+         if getattr(h, "_repro_cli_handler", False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        handler._repro_cli_handler = True
+        logger.addHandler(handler)
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    handler.setLevel(level)
+    logger.setLevel(level)
 
 
 # ---------------------------------------------------------------------------
@@ -265,8 +333,34 @@ def _cmd_attack(defense_threshold: int) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _cmd_stats(scenario: str, stats_format: str) -> int:
+    """Run a scenario against a fresh registry and dump every metric.
+
+    The registry swap must happen *before* the scenario constructs its
+    platform — delivery/billing resolve their instruments at
+    construction time — which is why this re-runs the scenario rather
+    than reading whatever a previous command left behind. The
+    scenario's own stdout is swallowed; only the metrics dump prints.
+    """
+    registry = MetricsRegistry("cli-stats")
+    with use_registry(registry), \
+            contextlib.redirect_stdout(io.StringIO()):
+        if scenario == "demo":
+            _cmd_demo()
+        else:
+            _cmd_validate(seed=7, bid_cpm=10.0)
+    if stats_format == "prometheus":
+        sys.stdout.write(obs_export.to_prometheus(registry))
+    elif stats_format == "jsonl":
+        sys.stdout.write(obs_export.to_jsonl(registry))
+    else:
+        print(obs_export.to_table(
+            registry, title=f"metrics after {scenario!r} scenario"
+        ))
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "catalog":
         if args.catalog_command == "stats":
             return _cmd_catalog_stats()
@@ -275,6 +369,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_demo()
     if args.command == "validate":
         return _cmd_validate(args.seed, args.bid_cpm)
+    if args.command == "stats":
+        return _cmd_stats(args.scenario, args.stats_format)
     if args.command == "cost":
         return _cmd_cost(args.cpm, args.attributes)
     if args.command == "scale":
@@ -282,6 +378,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "attack":
         return _cmd_attack(args.defense_threshold)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        return _dispatch(args)
+    run_tracer = Tracer()
+    with use_tracer(run_tracer):
+        code = _dispatch(args)
+    with open(trace_out, "w", encoding="utf-8") as stream:
+        written = run_tracer.write_jsonl(stream)
+    print(f"wrote {written} spans to {trace_out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ cookies ... before they start receiving any Treads").
 
 from __future__ import annotations
 
+import logging
 import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -30,6 +31,8 @@ from repro.core.provider import DecodePack
 from repro.core.stego import try_extract
 from repro.core.treads import RevealKind, RevealPayload, payload_from_canonical
 from repro.errors import EncodingError
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import bind as _obs_bind
 from repro.platform.attributes import AttributeCatalog
 from repro.platform.delivery import DeliveredAd
 from repro.platform.platform import AdPlatform
@@ -59,6 +62,14 @@ _EXPLICIT_INTENT_RE = re.compile(
     r"The advertiser's intent in targeting you: (?P<intent>.+)$"
 )
 _LANDING_TOKEN_RE = re.compile(r"/t/(?P<digits>\d+)$")
+
+_log = logging.getLogger("repro.core.client")
+
+_obs_client = _obs_bind(lambda reg: (
+    reg.counter("client.syncs"),
+    reg.counter("client.treads_decoded"),
+    reg.counter("client.treads_undecoded"),
+))
 
 
 @dataclass
@@ -141,14 +152,23 @@ class TreadClient:
 
     def sync(self) -> RevealedProfile:
         """Scan the feed, decode every provider ad, rebuild the profile."""
+        syncs_c, decoded_c, undecoded_c = _obs_client()
+        syncs_c.inc()
         profile = RevealedProfile(user_id=self.user_id)
-        for ad in self.provider_ads():
-            payload = self._decode_ad(ad)
-            if payload is None:
-                profile.undecoded.append(ad.ad_id)
-                continue
-            self._apply(payload, profile)
-        self._reconstruct_bitsplit_values(profile)
+        with obs_tracing.tracer().span("client.sync",
+                                       user_id=self.user_id):
+            for ad in self.provider_ads():
+                payload = self._decode_ad(ad)
+                if payload is None:
+                    undecoded_c.inc()
+                    profile.undecoded.append(ad.ad_id)
+                    continue
+                decoded_c.inc()
+                self._apply(payload, profile)
+            self._reconstruct_bitsplit_values(profile)
+        _log.debug("sync for %s: %d facts, %d undecoded",
+                   self.user_id, profile.total_facts,
+                   len(profile.undecoded))
         return profile
 
     # ------------------------------------------------------------------

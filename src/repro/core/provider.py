@@ -15,6 +15,7 @@ provider's identifiers so the extension can recognise provider ads.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,12 +31,23 @@ from repro.core.treads import (
     Tread,
 )
 from repro.errors import ProviderError
+from repro.obs import events as obs_events
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import bind as _obs_bind
 from repro.platform.ads import AdStatus
 from repro.platform.attributes import Attribute, AttributeKind
 from repro.platform.audiences import Audience
 from repro.platform.platform import AdPlatform
 from repro.platform.reporting import AdPerformanceReport
 from repro.platform.web import WebDirectory
+
+_log = logging.getLogger("repro.core.provider")
+
+_obs_provider = _obs_bind(lambda reg: (
+    reg.counter("provider.treads_launched"),
+    reg.counter("provider.treads_rejected"),
+    reg.counter("provider.decode_packs_published"),
+))
 
 
 @dataclass(frozen=True)
@@ -181,23 +193,38 @@ class TransparencyProvider:
         """
         report = LaunchReport()
         bid = bid_cap_cpm if bid_cap_cpm is not None else self.bid_cap_cpm
-        for tread in treads:
-            rendered = self._render(tread)
-            self._publish_landing(rendered, tread)
-            ad = self.platform.submit_ad(
-                account_id=self.account.account_id,
-                campaign_id=self.campaign.campaign_id,
-                creative=rendered.creative,
-                targeting=tread.targeting_text,
-                bid_cap_cpm=bid,
-            )
-            tread.ad_id = ad.ad_id
-            tread.token = rendered.token
-            if ad.status is AdStatus.REJECTED:
-                tread.rejected = True
-                tread.review_note = ad.review_note
-            report.treads.append(tread)
-            self.treads.append(tread)
+        with obs_tracing.tracer().span("provider.launch",
+                                       provider=self.name,
+                                       batch=len(treads)):
+            for tread in treads:
+                rendered = self._render(tread)
+                self._publish_landing(rendered, tread)
+                ad = self.platform.submit_ad(
+                    account_id=self.account.account_id,
+                    campaign_id=self.campaign.campaign_id,
+                    creative=rendered.creative,
+                    targeting=tread.targeting_text,
+                    bid_cap_cpm=bid,
+                )
+                tread.ad_id = ad.ad_id
+                tread.token = rendered.token
+                if ad.status is AdStatus.REJECTED:
+                    tread.rejected = True
+                    tread.review_note = ad.review_note
+                report.treads.append(tread)
+                self.treads.append(tread)
+        launched_c, rejected_c, _ = _obs_provider()
+        launched_c.inc(len(report.launched))
+        rejected_c.inc(len(report.rejected))
+        _log.info("provider %r launched %d treads (%d rejected)",
+                  self.name, len(report.launched), len(report.rejected))
+        bus = obs_events.bus()
+        if bus.active:
+            bus.emit(obs_events.TreadsLaunched(
+                provider=self.name,
+                launched=len(report.launched),
+                rejected=len(report.rejected),
+            ))
         return report
 
     def _render(self, tread: Tread) -> RenderedCreative:
@@ -450,6 +477,7 @@ class TransparencyProvider:
 
     def publish_decode_pack(self) -> DecodePack:
         """The subscriber bundle: codebook + value tables + identifiers."""
+        _obs_provider()[2].inc()
         return DecodePack(
             provider_name=self.name,
             codebook_snapshot=self.codebook.snapshot(),

@@ -1,0 +1,107 @@
+"""Observability: metrics, structured events, span tracing, exporters.
+
+PR 1 made the deliver-iff-match hot path fast; this package makes it
+legible. Four pieces, one per module:
+
+* :mod:`~repro.obs.metrics` — a process-wide but injectable
+  :class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms)
+  with a shared no-op :data:`NULL_REGISTRY` for metrics-off runs;
+* :mod:`~repro.obs.events` — a typed event bus with a JSONL sink;
+* :mod:`~repro.obs.tracing` — monotonic-clock span tracing with
+  parent/child nesting (``with tracing.tracer().span("serve_slot")``);
+* :mod:`~repro.obs.export` — Prometheus text format, JSONL, and table
+  renderings of a registry.
+
+:mod:`~repro.obs.names` is the catalog every instrument name lives in;
+``docs/observability.md`` is kept in sync with it by test.
+
+The instrumented layers (delivery, auction, targeting compiler,
+platform facade, billing, provider, client) log through stdlib
+``logging.getLogger("repro.<module>")`` at INFO/DEBUG — silent by
+default, surfaced by the CLI's ``-v``.
+
+Quick taste::
+
+    from repro.obs import metrics, export
+
+    reg = metrics.registry()
+    # ... run any simulation ...
+    print(export.to_table(reg))            # doctest: +SKIP
+    prom_text = export.to_prometheus(reg)
+
+Disable everything (e.g. for benchmarking the bare hot path) with
+``REPRO_OBS=off`` in the environment, or scope it::
+
+    with metrics.use_registry(metrics.NULL_REGISTRY):
+        platform = AdPlatform()             # doctest: +SKIP
+"""
+
+from repro.obs import names
+from repro.obs.events import (
+    AdSubmitted,
+    BudgetExhausted,
+    ClickRecorded,
+    EventBus,
+    ImpressionDelivered,
+    JsonlSink,
+    ObsEvent,
+    TreadsLaunched,
+    bus,
+    event_from_record,
+    load_jsonl_events,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    bind,
+    registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    load_jsonl_spans,
+    set_tracer,
+    tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "AdSubmitted",
+    "BudgetExhausted",
+    "ClickRecorded",
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "ImpressionDelivered",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "ObsEvent",
+    "Span",
+    "Tracer",
+    "TreadsLaunched",
+    "bind",
+    "bus",
+    "event_from_record",
+    "load_jsonl_events",
+    "load_jsonl_spans",
+    "names",
+    "registry",
+    "set_registry",
+    "set_tracer",
+    "tracer",
+    "use_registry",
+    "use_tracer",
+]

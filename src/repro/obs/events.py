@@ -1,0 +1,190 @@
+"""The structured event bus: typed records, subscribers, JSONL sink.
+
+Metrics answer "how many / how fast"; events answer "what exactly
+happened, in order". Instrumented layers emit typed records
+(dataclasses, one per kind in :data:`repro.obs.names.EVENTS`) onto a
+process-wide :class:`EventBus`. With no subscribers an ``emit`` is one
+truthiness check — the hot path never pays for serialization nobody
+asked for. Attach a :class:`JsonlSink` (or any callable) to stream
+records out; :func:`repro.analysis.traces.merge_event_stream` folds the
+same records into a captured simulation trace.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, fields
+from typing import Callable, Dict, IO, Iterator, List, Union
+
+Subscriber = Callable[["ObsEvent"], None]
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """Base event record; subclasses set ``kind`` and add fields."""
+
+    kind = "event"
+
+    def record(self) -> Dict[str, object]:
+        """Flat JSON-ready dict, ``kind`` first."""
+        data: Dict[str, object] = {"kind": self.kind}
+        data.update(asdict(self))
+        return data
+
+
+@dataclass(frozen=True)
+class ImpressionDelivered(ObsEvent):
+    kind = "impression_delivered"
+
+    ad_id: str
+    account_id: str
+    user_id: str
+    price: float
+    impression_seq: int
+
+
+@dataclass(frozen=True)
+class ClickRecorded(ObsEvent):
+    kind = "click_recorded"
+
+    ad_id: str
+    user_id: str
+    click_seq: int
+
+
+@dataclass(frozen=True)
+class AdSubmitted(ObsEvent):
+    kind = "ad_submitted"
+
+    ad_id: str
+    account_id: str
+    approved: bool
+    review_note: str = ""
+
+
+@dataclass(frozen=True)
+class BudgetExhausted(ObsEvent):
+    kind = "budget_exhausted"
+
+    account_id: str
+    last_charge: float
+
+
+@dataclass(frozen=True)
+class TreadsLaunched(ObsEvent):
+    kind = "treads_launched"
+
+    provider: str
+    launched: int
+    rejected: int
+
+
+class EventBus:
+    """Fan-out of typed events to zero or more subscribers.
+
+    ``emit`` with no subscribers returns immediately (check ``active``
+    first to skip even building the event object on hot paths).
+    Subscriber exceptions propagate — observability code that throws is
+    a bug to surface, not swallow.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+
+    @property
+    def active(self) -> bool:
+        return bool(self._subscribers)
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Attach a subscriber; returns a zero-arg detach callable."""
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def emit(self, event: ObsEvent) -> None:
+        if not self._subscribers:
+            return
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+
+    @contextmanager
+    def capture(self) -> Iterator[List[ObsEvent]]:
+        """Collect every event emitted inside the block into a list."""
+        collected: List[ObsEvent] = []
+        unsubscribe = self.subscribe(collected.append)
+        try:
+            yield collected
+        finally:
+            unsubscribe()
+
+
+class JsonlSink:
+    """Subscriber writing one JSON object per event to a stream."""
+
+    def __init__(self, stream: IO[str]):
+        self._stream = stream
+        self.records_written = 0
+
+    def __call__(self, event: ObsEvent) -> None:
+        self._stream.write(json.dumps(event.record()))
+        self._stream.write("\n")
+        self.records_written += 1
+
+
+_BUS = EventBus()
+
+
+def bus() -> EventBus:
+    """The process-wide event bus."""
+    return _BUS
+
+
+_EVENT_TYPES = {
+    cls.kind: cls
+    for cls in (ImpressionDelivered, ClickRecorded, AdSubmitted,
+                BudgetExhausted, TreadsLaunched)
+}
+
+
+def event_from_record(record: Dict[str, object]) -> ObsEvent:
+    """Rebuild a typed event from its :meth:`ObsEvent.record` dict.
+
+    Unknown kinds raise :class:`ValueError`; extra keys are rejected by
+    the dataclass constructor — a round-tripped stream is either intact
+    or loudly broken.
+    """
+    kind = record.get("kind")
+    cls = _EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    kwargs = {k: v for k, v in record.items() if k != "kind"}
+    allowed = {f.name for f in fields(cls)}
+    unexpected = set(kwargs) - allowed
+    if unexpected:
+        raise ValueError(
+            f"unexpected fields for {kind!r}: {sorted(unexpected)}"
+        )
+    return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def load_jsonl_events(
+    text_or_lines: Union[str, Iterator[str], List[str]],
+) -> List[ObsEvent]:
+    """Parse a JSONL event stream back into typed records."""
+    if isinstance(text_or_lines, str):
+        lines: Union[List[str], Iterator[str]] = text_or_lines.splitlines()
+    else:
+        lines = text_or_lines
+    events: List[ObsEvent] = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(event_from_record(json.loads(line)))
+    return events

@@ -1,0 +1,97 @@
+"""Exporters: Prometheus text format, JSONL, and a terminal table.
+
+The registry itself is presentation-free; everything that leaves the
+process goes through here. Prometheus names must match
+``[a-zA-Z_:][a-zA-Z0-9_:]*``, so dotted metric names are rewritten with
+underscores and HELP text gets the exposition-format escaping
+(backslash and newline); the JSONL and table forms keep the dotted
+names as-is.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import format_table
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Dotted metric name -> Prometheus-legal name."""
+    candidate = _NAME_BAD_CHARS.sub("_", name)
+    if not candidate or not _NAME_OK.match(candidate):
+        candidate = f"_{candidate}"
+    return candidate
+
+
+def escape_help(text: str) -> str:
+    """HELP-line escaping per the Prometheus exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every instrument in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, instrument in sorted(registry.instruments().items()):
+        prom = prometheus_name(name)
+        help_text = getattr(instrument, "help", "")
+        if help_text:
+            lines.append(f"# HELP {prom} {escape_help(help_text)}")
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {prom} histogram")
+            for bound, count in instrument.bucket_counts():
+                lines.append(
+                    f'{prom}_bucket{{le="{_format_value(bound)}"}} {count}'
+                )
+            lines.append(f"{prom}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{prom}_count {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per instrument (the ``snapshot()`` dicts)."""
+    return "".join(
+        json.dumps(snapshot) + "\n"
+        for snapshot in registry.snapshot().values()
+    )
+
+
+def to_table(registry: MetricsRegistry, title: str = "metrics") -> str:
+    """Human-readable summary table (the ``repro stats`` default)."""
+    rows: List[Tuple[str, str, str]] = []
+    for name, instrument in sorted(registry.instruments().items()):
+        if isinstance(instrument, Histogram):
+            detail = (f"n={instrument.count} mean={instrument.mean:.4g}"
+                      if instrument.count else "n=0")
+            rows.append((name, "histogram", detail))
+        elif isinstance(instrument, Gauge):
+            rows.append((name, "gauge", _format_value(instrument.value)))
+        else:
+            rows.append((name, "counter", _format_value(instrument.value)))
+    if not rows:
+        return f"{title}\n(no metrics recorded)"
+    return format_table(("metric", "kind", "value"), rows, title=title)
+
+
+def snapshot_dict(registry: MetricsRegistry) -> Dict[str, Dict[str, object]]:
+    """Plain-dict snapshot (JSON-ready), for programmatic consumers."""
+    return registry.snapshot()

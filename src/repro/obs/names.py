@@ -1,0 +1,130 @@
+"""The instrument name catalog: every metric, event kind, and span name.
+
+One authoritative table per signal type. Modules creating instruments
+pull help text and histogram buckets from here so the same name always
+carries the same schema, and ``docs/observability.md`` is diffed against
+these tables by ``tests/obs/test_docs_sync.py`` — adding an instrument
+without documenting it (or documenting one that does not exist) fails
+the suite.
+
+Naming convention: ``<layer>.<noun>[_<verb>]``, dot-separated, all
+lowercase — ``delivery.slots_served``, ``auction.contenders``. The
+Prometheus exporter rewrites dots to underscores; everything else keeps
+the dotted form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Default histogram buckets for small non-negative counts (candidate
+#: set sizes, contender counts): upper bounds, +Inf implied.
+COUNT_BUCKETS: Tuple[float, ...] = (0, 1, 2, 5, 10, 25, 50, 100, 250, 500)
+
+#: Default histogram buckets for CPM-denominated dollar amounts.
+CPM_BUCKETS: Tuple[float, ...] = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+
+#: Default histogram buckets for wall-clock durations in seconds.
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Catalog entry: what kind of instrument a name denotes."""
+
+    kind: str
+    help: str
+    buckets: Optional[Tuple[float, ...]] = None
+
+
+METRICS: Dict[str, MetricSpec] = {
+    # -- delivery engine ---------------------------------------------------
+    "delivery.slots_served": MetricSpec(
+        COUNTER, "Ad slots auctioned by the delivery engine."),
+    "delivery.impressions_delivered": MetricSpec(
+        COUNTER, "Impressions placed in user feeds (auction wins)."),
+    "delivery.match_cache_hits": MetricSpec(
+        COUNTER, "Per-run match-cache lookups answered from cache."),
+    "delivery.match_cache_misses": MetricSpec(
+        COUNTER, "Per-run match-cache lookups that evaluated specs."),
+    "delivery.candidate_bucket_size": MetricSpec(
+        HISTOGRAM, "Candidate index entries probed per cache-miss slot.",
+        COUNT_BUCKETS),
+    "delivery.frequency_cap_rejections": MetricSpec(
+        COUNTER, "Matched candidates skipped because the per-user "
+                 "frequency cap was already reached."),
+    "delivery.saturation_pruned": MetricSpec(
+        COUNTER, "Capped ads pruned from a user's cached match list."),
+    "delivery.clicks_recorded": MetricSpec(
+        COUNTER, "Ad clicks recorded by the platform."),
+    # -- auction -----------------------------------------------------------
+    "auction.contenders": MetricSpec(
+        HISTOGRAM, "Per-account contenders entering each slot auction.",
+        COUNT_BUCKETS),
+    "auction.clearing_price_cpm": MetricSpec(
+        HISTOGRAM, "Clearing price of won auctions, CPM dollars.",
+        CPM_BUCKETS),
+    "auction.slots_won": MetricSpec(
+        COUNTER, "Auctions won by a tracked (submitted) ad."),
+    "auction.slots_lost": MetricSpec(
+        COUNTER, "Auctions where ambient competition outbid every "
+                 "tracked contender (or none was eligible)."),
+    # -- targeting compiler ------------------------------------------------
+    "targeting.specs_compiled": MetricSpec(
+        COUNTER, "Targeting specs lowered to flat matchers."),
+    "targeting.compile_cache_hits": MetricSpec(
+        COUNTER, "compile_spec calls served from the compiled-spec "
+                 "cache."),
+    # -- platform facade ---------------------------------------------------
+    "platform.ads_submitted": MetricSpec(
+        COUNTER, "Ads submitted through the advertiser API."),
+    "platform.ads_rejected": MetricSpec(
+        COUNTER, "Submitted ads rejected by policy review."),
+    "platform.users_registered": MetricSpec(
+        COUNTER, "User accounts created."),
+    # -- billing -----------------------------------------------------------
+    "billing.impressions_charged": MetricSpec(
+        COUNTER, "Impressions billed to advertiser accounts."),
+    "billing.budget_exhausted": MetricSpec(
+        COUNTER, "Accounts whose budget crossed to zero (or below the "
+                 "smallest billable amount) while being charged."),
+    # -- transparency provider --------------------------------------------
+    "provider.treads_launched": MetricSpec(
+        COUNTER, "Treads that passed review and went ACTIVE."),
+    "provider.treads_rejected": MetricSpec(
+        COUNTER, "Treads rejected by the platform's ad review."),
+    "provider.decode_packs_published": MetricSpec(
+        COUNTER, "Decode packs published to subscribers."),
+    # -- user-side client --------------------------------------------------
+    "client.syncs": MetricSpec(
+        COUNTER, "TreadClient feed syncs (full decode passes)."),
+    "client.treads_decoded": MetricSpec(
+        COUNTER, "Provider ads successfully decoded to a payload."),
+    "client.treads_undecoded": MetricSpec(
+        COUNTER, "Provider ads no decoder recognised."),
+}
+
+#: Span names emitted by the built-in instrumentation, name -> meaning.
+SPANS: Dict[str, str] = {
+    "delivery.run_sessions": "One round-robin delivery run.",
+    "delivery.run_until_saturated": "One saturating campaign run.",
+    "serve_slot": "One ad slot: eligibility, auction, delivery.",
+    "provider.launch": "Render + submit one batch of Treads.",
+    "client.sync": "One client-side feed scan and decode.",
+}
+
+#: Event kinds emitted on the obs event bus, kind -> meaning.
+EVENTS: Dict[str, str] = {
+    "impression_delivered": "An ad won a slot and entered a feed.",
+    "click_recorded": "A delivered ad was clicked.",
+    "ad_submitted": "An ad went through submission review.",
+    "budget_exhausted": "An account's budget ran out mid-charge.",
+    "treads_launched": "A provider launched a batch of Treads.",
+}

@@ -1,0 +1,194 @@
+"""Lightweight span tracing for the delivery path.
+
+``with trace.span("serve_slot", user_id=...):`` times a region on the
+monotonic clock and records it as a :class:`Span` with parent/child
+nesting (spans opened inside an open span point at it). The default
+process tracer is a :class:`NullTracer` — tracing is opt-in, unlike
+metrics — so library code guards per-slot spans with ``tracer.enabled``
+and pays one attribute read when tracing is off.
+
+Finished spans accumulate on the tracer and serialize to JSONL
+(``--trace-out`` on the CLI); records carry start offsets relative to
+the tracer's epoch, so two spans from one tracer order and nest
+correctly even though the monotonic clock has no wall-time meaning.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, IO, Iterator, List, Optional, Tuple
+
+#: Schema tag on every span record, bumped with the record shape.
+SPAN_SCHEMA = 1
+
+
+@dataclass
+class Span:
+    """One timed region; ``duration_s`` is monotonic-clock elapsed."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_s: float
+    end_s: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_s - self.start_s
+
+    def record(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "kind": "span",
+            "schema": SPAN_SCHEMA,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            data["attrs"] = self.attrs
+        return data
+
+
+class Tracer:
+    """Collects spans; one instance per traced run (or process).
+
+    Not thread-safe: the span stack is a plain list, matching the
+    synchronous simulator. ``spans`` holds finished spans in completion
+    order (children before parents — standard for tracers, since a
+    parent finishes last).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = perf_counter()
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self.spans: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        current = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start_s=perf_counter() - self._epoch,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._stack.append(current)
+        try:
+            yield current
+        finally:
+            current.end_s = perf_counter() - self._epoch
+            self._stack.pop()
+            self.spans.append(current)
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(span.record()) + "\n" for span in self.spans
+        )
+
+    def write_jsonl(self, stream: IO[str]) -> int:
+        """Write finished spans to ``stream``; returns the span count."""
+        stream.write(self.to_jsonl())
+        return len(self.spans)
+
+
+class _NullSpanContext:
+    """Reusable inert context manager (no allocation per use)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """Tracing disabled: ``span`` hands back one shared inert context."""
+
+    enabled = False
+    spans: Tuple[Span, ...] = ()
+
+    def span(self, name: str, **attrs: object) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def to_jsonl(self) -> str:
+        return ""
+
+
+NULL_TRACER = NullTracer()
+
+_current = NULL_TRACER
+
+
+def tracer():
+    """The current process-wide tracer (a no-op unless one is set)."""
+    return _current
+
+
+def set_tracer(new) -> object:
+    """Swap the process-wide tracer; returns the previous one."""
+    global _current
+    previous = _current
+    _current = new
+    return previous
+
+
+@contextmanager
+def use_tracer(new) -> Iterator[object]:
+    """Scope a tracer swap: ``with use_tracer(Tracer()) as t: ...``."""
+    previous = set_tracer(new)
+    try:
+        yield new
+    finally:
+        set_tracer(previous)
+
+
+def load_jsonl_spans(text: str) -> List[Span]:
+    """Parse ``Tracer.to_jsonl`` output back into :class:`Span` objects."""
+    spans: List[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("kind") != "span":
+            raise ValueError(f"not a span record: {record!r}")
+        if record.get("schema") != SPAN_SCHEMA:
+            raise ValueError(
+                f"unsupported span schema {record.get('schema')!r}"
+            )
+        span = Span(
+            name=record["name"],
+            span_id=record["span_id"],
+            parent_id=record["parent_id"],
+            start_s=record["start_s"],
+            end_s=record["start_s"] + record["duration_s"],
+            attrs=record.get("attrs", {}),
+        )
+        spans.append(span)
+    return spans

@@ -20,10 +20,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro.obs.metrics import bind
 from repro.platform.ads import Ad
 
 #: Draws the strongest competing bid (dollars per impression) for one slot.
 CompetingBidDraw = Callable[[], float]
+
+#: Late-bound auction instruments: resolved against the current metrics
+#: registry (identity-checked per call, so registry swaps take effect
+#: without a per-auction dict lookup). None while the registry is a
+#: no-op, so a disabled process pays one None check per auction instead
+#: of four null method calls.
+_instruments = bind(lambda reg: (
+    reg.histogram("auction.contenders"),
+    reg.histogram("auction.clearing_price_cpm"),
+    reg.counter("auction.slots_won"),
+    reg.counter("auction.slots_lost"),
+) if reg.enabled else None)
 
 
 @dataclass(frozen=True)
@@ -62,6 +75,26 @@ def run_auction(
     the same way — without this, a provider would pay its own bid cap
     instead of the market price on every impression).
     """
+    instruments = _instruments()
+    if instruments is None:
+        return _decide(eligible_ads, competing_bid, floor_price)
+    contenders, clearing_price, slots_won, slots_lost = instruments
+    contenders.observe(len(eligible_ads))
+    outcome = _decide(eligible_ads, competing_bid, floor_price)
+    if outcome.winner is not None:
+        slots_won.inc()
+        clearing_price.observe(outcome.price * 1000.0)
+    else:
+        slots_lost.inc()
+    return outcome
+
+
+def _decide(
+    eligible_ads: Sequence[Ad],
+    competing_bid: float,
+    floor_price: float,
+) -> AuctionOutcome:
+    """The auction decision itself, free of instrumentation."""
     if competing_bid < 0:
         raise ValueError("competing bid cannot be negative")
     # Lone-contender fast path: the delivery engine pre-deduplicates per

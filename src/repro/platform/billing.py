@@ -14,11 +14,20 @@ Treads corresponding to targeting parameters that a user does not have").
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.obs import events as obs_events
+from repro.obs.metrics import registry as obs_registry
 from repro.platform.ads import AdInventory
+
+_log = logging.getLogger("repro.platform.billing")
+
+#: Budgets this close to zero are spent: float dust left by repeated
+#: second-price charges must not keep an account formally solvent.
+_BUDGET_EPSILON = 1e-9
 
 
 @dataclass(frozen=True)
@@ -49,12 +58,28 @@ class BillingLedger:
         self._charges: List[ChargeRecord] = []
         self._spend_by_ad: Dict[str, float] = defaultdict(float)
         self._impressions_by_ad: Dict[str, int] = defaultdict(int)
+        reg = obs_registry()
+        self._obs_on = reg.enabled
+        self._obs_charged = reg.counter("billing.impressions_charged")
+        self._obs_exhausted = reg.counter("billing.budget_exhausted")
+        self._bus = obs_events.bus()
 
     def charge_impression(self, ad_id: str, account_id: str, amount: float,
                           impression_seq: int) -> ChargeRecord:
         """Charge one impression to the advertiser's account budget."""
         account = self._inventory.account(account_id)
+        solvent_before = account.budget > _BUDGET_EPSILON
         account.charge(amount)
+        if self._obs_on:
+            self._obs_charged.inc()
+        if solvent_before and account.budget <= _BUDGET_EPSILON:
+            self._obs_exhausted.inc()
+            _log.info("account %s budget exhausted (last charge $%.6f)",
+                      account_id, amount)
+            if self._bus.active:
+                self._bus.emit(obs_events.BudgetExhausted(
+                    account_id=account_id, last_charge=amount,
+                ))
         record = ChargeRecord(
             ad_id=ad_id,
             account_id=account_id,

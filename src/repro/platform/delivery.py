@@ -22,10 +22,14 @@ maintained incrementally at delivery time instead of scanning the logs.
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import events as obs_events
+from repro.obs import tracing as obs_tracing
+from repro.obs.metrics import MetricsRegistry, registry as obs_registry
 from repro.platform.ads import Ad, AdImage, AdInventory, AdStatus
 from repro.platform.auction import AuctionOutcome, CompetingBidDraw, run_auction
 from repro.platform.audiences import AudienceRegistry
@@ -34,6 +38,8 @@ from repro.platform.targeting import AudienceResolver, CompiledSpec
 from repro.platform.users import UserProfile, UserStore
 
 _EMPTY_SET: frozenset = frozenset()
+
+_log = logging.getLogger("repro.platform.delivery")
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,7 @@ class DeliveryEngine:
         frequency_cap: int = 1,
         floor_price_cpm: float = 0.0,
         min_match_count: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if frequency_cap < 1:
             raise ValueError("frequency cap must be >= 1")
@@ -153,6 +160,27 @@ class DeliveryEngine:
         self._impressions_by_ad: Dict[str, List[Impression]] = {}
         self._reach_by_ad: Dict[str, Set[str]] = {}
         self._clicks_by_ad: Dict[str, int] = {}
+        # -- observability -------------------------------------------------
+        # Instruments resolve once, at construction (pass ``metrics`` or
+        # swap the global registry *before* building the platform); the
+        # per-slot cost is then a bound-method call, a no-op under
+        # NULL_REGISTRY.
+        reg = metrics if metrics is not None else obs_registry()
+        # Hot paths branch on this flag instead of calling into null
+        # instruments: when metrics are off, one attribute read per
+        # event instead of a method call (bench_obs_overhead.py).
+        self._obs_on = reg.enabled
+        self._obs_slots = reg.counter("delivery.slots_served")
+        self._obs_impressions = reg.counter("delivery.impressions_delivered")
+        self._obs_cache_hits = reg.counter("delivery.match_cache_hits")
+        self._obs_cache_misses = reg.counter("delivery.match_cache_misses")
+        self._obs_bucket_size = reg.histogram(
+            "delivery.candidate_bucket_size")
+        self._obs_cap_rejections = reg.counter(
+            "delivery.frequency_cap_rejections")
+        self._obs_pruned = reg.counter("delivery.saturation_pruned")
+        self._obs_clicks = reg.counter("delivery.clicks_recorded")
+        self._bus = obs_events.bus()
 
     # -- eligibility ---------------------------------------------------------
 
@@ -247,13 +275,21 @@ class DeliveryEngine:
         if cache is not None:
             cached = cache.get(user.user_id)
             if cached is not None:
+                if self._obs_on:
+                    self._obs_cache_hits.inc()
                 return cached
+        if self._obs_on:
+            self._obs_cache_misses.inc()
         resolver = self._resolver
         matched: List[tuple] = []
+        candidates = 0
         for bucket in self._candidate_buckets(user):
+            candidates += len(bucket)
             for entry in bucket:
                 if entry[3].fn(user, resolver):
                     matched.append(entry)
+        if self._obs_on:
+            self._obs_bucket_size.observe(candidates)
         if cache is not None:
             cache[user.user_id] = matched
         return matched
@@ -279,6 +315,8 @@ class DeliveryEngine:
             if ad.status is not active:
                 continue
             if ad.ad_id in capped:
+                if self._obs_on:
+                    self._obs_cap_rejections.inc()
                 continue
             if account.budget + 1e-12 < bid:  # inlined Account.can_afford
                 continue
@@ -295,8 +333,9 @@ class DeliveryEngine:
 
     def serve_slot(self, user: UserProfile) -> AuctionOutcome:
         """Auction one ad slot in ``user``'s session; deliver the winner."""
-        contenders, _ = self._slot_contenders(user)
-        return self._auction_slot(user, contenders)
+        with obs_tracing.tracer().span("serve_slot", user_id=user.user_id):
+            contenders, _ = self._slot_contenders(user)
+            return self._auction_slot(user, contenders)
 
     def _auction_slot(self, user: UserProfile,
                       eligible: Sequence[Ad]) -> AuctionOutcome:
@@ -306,6 +345,8 @@ class DeliveryEngine:
         each slot evaluates eligibility exactly once (previously the
         stats paths re-evaluated it after the auction).
         """
+        if self._obs_on:
+            self._obs_slots.inc()
         outcome = run_auction(
             eligible,
             competing_bid=self._competing_draw(),
@@ -336,6 +377,16 @@ class DeliveryEngine:
             self._reach_by_ad[ad.ad_id] = set()
         per_ad.append(impression)
         self._reach_by_ad[ad.ad_id].add(user.user_id)
+        if self._obs_on:
+            self._obs_impressions.inc()
+        if self._bus.active:
+            self._bus.emit(obs_events.ImpressionDelivered(
+                ad_id=ad.ad_id,
+                account_id=ad.account_id,
+                user_id=user.user_id,
+                price=price,
+                impression_seq=seq,
+            ))
         key = (ad.ad_id, user.user_id)
         shown = self._shown_counts.get(key, 0) + 1
         self._shown_counts[key] = shown
@@ -349,6 +400,8 @@ class DeliveryEngine:
             if cache is not None:
                 matched = cache.get(user.user_id)
                 if matched is not None:
+                    if self._obs_on:
+                        self._obs_pruned.inc()
                     cache[user.user_id] = [
                         entry for entry in matched if entry[0] is not ad
                     ]
@@ -382,21 +435,40 @@ class DeliveryEngine:
         stats = DeliveryStats()
         self._resolver = self._audiences.cached_resolver()
         self._match_cache = {}
+        trc = obs_tracing.tracer()
+        traced = trc.enabled
         try:
-            for _ in range(slots_per_user):
-                for user in users:
-                    contenders, had_eligible = self._slot_contenders(user)
-                    outcome = self._auction_slot(user, contenders)
-                    stats.slots += 1
-                    if outcome.won:
-                        stats.filled_by_tracked_ads += 1
-                    elif outcome.competing_bid > 0 and had_eligible:
-                        stats.lost_to_competition += 1
-                    else:
-                        stats.no_eligible_ad += 1
+            with trc.span("delivery.run_sessions", users=len(users),
+                          slots_per_user=slots_per_user):
+                for _ in range(slots_per_user):
+                    for user in users:
+                        if traced:
+                            with trc.span("serve_slot",
+                                          user_id=user.user_id):
+                                contenders, had_eligible = \
+                                    self._slot_contenders(user)
+                                outcome = self._auction_slot(user,
+                                                             contenders)
+                        else:
+                            contenders, had_eligible = \
+                                self._slot_contenders(user)
+                            outcome = self._auction_slot(user, contenders)
+                        stats.slots += 1
+                        if outcome.won:
+                            stats.filled_by_tracked_ads += 1
+                        elif outcome.competing_bid > 0 and had_eligible:
+                            stats.lost_to_competition += 1
+                        else:
+                            stats.no_eligible_ad += 1
         finally:
             self._resolver = self._audiences.is_member
             self._match_cache = None
+        _log.info(
+            "run_sessions: %d slots (%d filled, %d lost, %d empty) "
+            "for %d users",
+            stats.slots, stats.filled_by_tracked_ads,
+            stats.lost_to_competition, stats.no_eligible_ad, len(users),
+        )
         return stats
 
     def run_until_saturated(
@@ -412,33 +484,55 @@ class DeliveryEngine:
         stats = DeliveryStats()
         self._resolver = self._audiences.cached_resolver()
         self._match_cache = {}
+        trc = obs_tracing.tracer()
+        traced = trc.enabled
         try:
             # Within one run every eligibility condition is monotone —
             # caps only accumulate, budgets only shrink, statuses and
             # matches are static — so a user whose eligible set empties
             # can never regain one and is dropped from the rotation.
-            active = list(users)
-            for _ in range(max_rounds):
-                progressed = False
-                still_active: List[UserProfile] = []
-                for user in active:
-                    contenders, had_eligible = self._slot_contenders(user)
-                    if not had_eligible:
-                        continue
-                    still_active.append(user)
-                    outcome = self._auction_slot(user, contenders)
-                    stats.slots += 1
-                    if outcome.won:
-                        stats.filled_by_tracked_ads += 1
-                        progressed = True
-                    else:
-                        stats.lost_to_competition += 1
-                active = still_active
-                if not progressed:
-                    break
+            with trc.span("delivery.run_until_saturated",
+                          users=len(users), max_rounds=max_rounds):
+                active = list(users)
+                for _ in range(max_rounds):
+                    progressed = False
+                    still_active: List[UserProfile] = []
+                    for user in active:
+                        if traced:
+                            with trc.span("serve_slot",
+                                          user_id=user.user_id):
+                                contenders, had_eligible = \
+                                    self._slot_contenders(user)
+                                if not had_eligible:
+                                    continue
+                                still_active.append(user)
+                                outcome = self._auction_slot(user,
+                                                             contenders)
+                        else:
+                            contenders, had_eligible = \
+                                self._slot_contenders(user)
+                            if not had_eligible:
+                                continue
+                            still_active.append(user)
+                            outcome = self._auction_slot(user, contenders)
+                        stats.slots += 1
+                        if outcome.won:
+                            stats.filled_by_tracked_ads += 1
+                            progressed = True
+                        else:
+                            stats.lost_to_competition += 1
+                    active = still_active
+                    if not progressed:
+                        break
         finally:
             self._resolver = self._audiences.is_member
             self._match_cache = None
+        _log.info(
+            "run_until_saturated: %d slots (%d filled, %d lost) "
+            "for %d users",
+            stats.slots, stats.filled_by_tracked_ads,
+            stats.lost_to_competition, len(users),
+        )
         return stats
 
     # -- views ---------------------------------------------------------------
@@ -461,9 +555,19 @@ class DeliveryEngine:
             raise ValueError(
                 f"user {user_id!r} never received ad {ad_id!r}"
             )
-        self._clicks.append(Click(ad_id=ad_id, user_id=user_id,
-                                  click_seq=len(self._clicks)))
+        click = Click(ad_id=ad_id, user_id=user_id,
+                      click_seq=len(self._clicks))
+        self._clicks.append(click)
         self._clicks_by_ad[ad_id] = self._clicks_by_ad.get(ad_id, 0) + 1
+        self._obs_clicks.inc()
+        if self._bus.active:
+            self._bus.emit(obs_events.ClickRecorded(
+                ad_id=ad_id, user_id=user_id, click_seq=click.click_seq,
+            ))
+
+    def clicks(self) -> List[Click]:
+        """Platform-internal click log, in click order."""
+        return list(self._clicks)
 
     def clicks_for_ad(self, ad_id: str) -> int:
         return self._clicks_by_ad.get(ad_id, 0)

@@ -17,6 +17,7 @@ values to model the multi-platform opt-in page of paper section 3.1.
 
 from __future__ import annotations
 
+import logging
 import math
 import random
 from dataclasses import dataclass, field
@@ -24,6 +25,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Unio
 
 from repro.errors import AccountError, TargetingError
 from repro.ids import IdFactory
+from repro.obs import events as obs_events
+from repro.obs.metrics import registry as obs_registry
 from repro.platform.ads import (
     Ad,
     AdAccount,
@@ -54,6 +57,8 @@ from repro.platform.reporting import (
 from repro.platform.targeting import TargetingSpec, parse
 from repro.platform.users import UserProfile, UserStore
 from repro.platform.web import Browser, Visit
+
+_log = logging.getLogger("repro.platform")
 
 
 def default_competition(
@@ -172,6 +177,13 @@ class AdPlatform:
             reach_quantum=self.config.reach_quantum,
         )
         self.brokers = BrokerNetwork()
+        reg = obs_registry()
+        self._obs_users = reg.counter("platform.users_registered")
+        self._obs_submitted = reg.counter("platform.ads_submitted")
+        self._obs_rejected = reg.counter("platform.ads_rejected")
+        self._bus = obs_events.bus()
+        _log.debug("platform %r up: %d catalog attributes",
+                   self.config.name, len(self.catalog))
 
     @property
     def name(self) -> str:
@@ -196,6 +208,7 @@ class AdPlatform:
             gender=gender,
             zip_code=zip_code,
         )
+        self._obs_users.inc()
         return self.users.add(profile)
 
     def browser_for(self, user_id: str) -> Browser:
@@ -452,6 +465,17 @@ class AdPlatform:
         else:
             ad.status = AdStatus.REJECTED
             ad.review_note = "; ".join(reasons)
+        self._obs_submitted.inc()
+        if not approved:
+            self._obs_rejected.inc()
+            _log.debug("ad %s rejected: %s", ad.ad_id, ad.review_note)
+        if self._bus.active:
+            self._bus.emit(obs_events.AdSubmitted(
+                ad_id=ad.ad_id,
+                account_id=account_id,
+                approved=approved,
+                review_note=ad.review_note or "",
+            ))
         return self.inventory.add_ad(ad)
 
     def _check_attribute_availability(self, spec: TargetingSpec,

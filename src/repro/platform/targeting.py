@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import TargetingError, TargetingSyntaxError
+from repro.obs.metrics import bind as _obs_bind
 from repro.platform.attributes import AttributeCatalog, AttributeKind
 from repro.platform.users import UserProfile
 
@@ -632,6 +633,14 @@ def _required_anchors(
 #: compile per distinct spec string serves the whole process.
 _COMPILE_CACHE: dict = {}
 
+#: Late-bound compiler instruments (see :func:`repro.obs.metrics.bind`).
+#: The cache outlives registry swaps, so a fresh registry legitimately
+#: sees high hit counts against compiles recorded by its predecessor.
+_obs_compile = _obs_bind(lambda reg: (
+    reg.counter("targeting.specs_compiled"),
+    reg.counter("targeting.compile_cache_hits"),
+))
+
 
 def compile_spec(spec: "TargetingSpec | Expr | str") -> CompiledSpec:
     """Lower a targeting spec to a :class:`CompiledSpec` (cached).
@@ -648,9 +657,12 @@ def compile_spec(spec: "TargetingSpec | Expr | str") -> CompiledSpec:
     else:
         expr = spec
     key = expr.to_string()
+    compiled_c, cache_hits_c = _obs_compile()
     cached = _COMPILE_CACHE.get(key)
     if cached is not None:
+        cache_hits_c.inc()
         return cached
+    compiled_c.inc()
     env: dict = {}
     body = _fragment(expr, env, [0])
     source = f"def _matcher(u, r):\n    return {body}\n"

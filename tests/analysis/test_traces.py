@@ -7,9 +7,11 @@ from repro.analysis.traces import (
     capture_trace,
     dump_jsonl,
     load_jsonl,
+    merge_event_stream,
     spend_by_day_of_seq,
 )
 from repro.core.provider import TransparencyProvider
+from repro.obs.events import ImpressionDelivered, bus
 
 
 @pytest.fixture
@@ -49,6 +51,74 @@ class TestCapture:
                    for e in trace.of_kind("impression"))
         assert all(e["visibility"] == "advertiser"
                    for e in trace.of_kind("charge"))
+
+
+class TestClickCapture:
+    def test_clicks_captured_with_visibility(self, traced, platform):
+        _, trace = traced
+        impression = platform.delivery.impressions()[0]
+        platform.delivery.record_click(impression.user_id, impression.ad_id)
+        trace = capture_trace(platform)
+        clicks = trace.of_kind("click")
+        assert len(clicks) == 1
+        assert clicks[0]["ad_id"] == impression.ad_id
+        assert clicks[0]["user_id"] == impression.user_id
+        assert clicks[0]["click_seq"] == 0
+        assert clicks[0]["visibility"] == "platform-internal"
+
+    def test_click_round_trip(self, traced, platform):
+        _, _ = traced
+        impression = platform.delivery.impressions()[0]
+        platform.delivery.record_click(impression.user_id, impression.ad_id)
+        trace = capture_trace(platform)
+        restored = load_jsonl(dump_jsonl(trace))
+        assert restored.of_kind("click") == trace.of_kind("click")
+
+    def test_no_clicks_no_click_events(self, traced):
+        _, trace = traced
+        assert trace.of_kind("click") == []
+
+
+class TestMergeEventStream:
+    def test_merges_typed_events(self):
+        trace = Trace(header={"schema": 1})
+        event = ImpressionDelivered(ad_id="ad-1", account_id="acct-1",
+                                    user_id="u-1", price=0.002,
+                                    impression_seq=0)
+        result = merge_event_stream(trace, [event])
+        assert result is trace
+        merged = trace.of_kind("impression_delivered")
+        assert len(merged) == 1
+        assert merged[0]["ad_id"] == "ad-1"
+        assert merged[0]["visibility"] == "observability"
+
+    def test_merges_plain_dicts_preserving_visibility(self):
+        trace = Trace()
+        merge_event_stream(trace, [
+            {"kind": "click_recorded", "ad_id": "ad-2",
+             "visibility": "custom"},
+        ])
+        assert trace.events[0]["visibility"] == "custom"
+
+    def test_header_records_rejected(self):
+        with pytest.raises(ValueError):
+            merge_event_stream(Trace(), [{"kind": "header", "schema": 1}])
+
+    def test_captured_bus_events_round_trip(self, platform, web):
+        with bus().capture() as captured:
+            provider = TransparencyProvider(platform, web, budget=100.0)
+            attr = platform.catalog.partner_attributes()[0]
+            user = platform.register_user()
+            user.set_attribute(attr)
+            provider.optin.via_page_like(user.user_id)
+            provider.launch_attribute_sweep([attr])
+            provider.run_delivery()
+        trace = merge_event_stream(capture_trace(platform), captured)
+        live = trace.of_kind("impression_delivered")
+        snapshot = trace.of_kind("impression")
+        assert len(live) == len(snapshot) > 0
+        restored = load_jsonl(dump_jsonl(trace))
+        assert restored.events == trace.events
 
 
 class TestRoundTrip:

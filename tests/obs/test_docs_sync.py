@@ -1,0 +1,121 @@
+"""Diffs docs/observability.md against the repro.obs.names catalog.
+
+Both directions: every registered metric/span/event must appear in the
+doc, and every instrument-shaped name the doc mentions must exist in
+the catalog — adding an instrument without documenting it (or
+documenting a phantom) fails here.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs import names
+
+DOC_PATH = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+#: Backticked tokens that look like instrument names: dotted lowercase
+#: words (metrics, spans) — `serve_slot`-style spans and event kinds are
+#: matched separately because bare snake_case collides with field names.
+_DOTTED = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    return DOC_PATH.read_text(encoding="utf-8")
+
+
+def _section(doc_text, heading):
+    """The doc text between ``heading`` and the next same-level heading."""
+    pattern = re.compile(
+        rf"^## {re.escape(heading)}$(.*?)(?=^## |\Z)",
+        re.MULTILINE | re.DOTALL,
+    )
+    match = pattern.search(doc_text)
+    assert match, f"docs/observability.md lost its '{heading}' section"
+    return match.group(1)
+
+
+class TestMetricCatalog:
+    def test_every_metric_documented(self, doc_text):
+        section = _section(doc_text, "Metric catalog")
+        missing = [name for name in names.METRICS
+                   if f"`{name}`" not in section]
+        assert not missing, f"metrics missing from docs: {missing}"
+
+    def test_no_phantom_metrics_documented(self, doc_text):
+        section = _section(doc_text, "Metric catalog")
+        documented = set(_DOTTED.findall(section))
+        phantoms = documented - set(names.METRICS)
+        assert not phantoms, f"docs mention unknown metrics: {phantoms}"
+
+    def test_documented_kinds_match_catalog(self, doc_text):
+        section = _section(doc_text, "Metric catalog")
+        for line in section.splitlines():
+            match = re.match(r"\| `([a-z0-9_.]+)` \| (\w+) \|", line)
+            if not match:
+                continue
+            name, kind = match.groups()
+            assert names.METRICS[name].kind == kind, (
+                f"{name} documented as {kind}, "
+                f"registered as {names.METRICS[name].kind}"
+            )
+
+
+class TestSpanAndEventCatalogs:
+    def test_every_span_documented(self, doc_text):
+        section = _section(doc_text, "Span names")
+        missing = [name for name in names.SPANS
+                   if f"`{name}`" not in section]
+        assert not missing, f"spans missing from docs: {missing}"
+
+    def test_no_phantom_spans_documented(self, doc_text):
+        section = _section(doc_text, "Span names")
+        documented = {m.group(1) for m in
+                      re.finditer(r"^\| `([a-z0-9_.]+)` \|", section,
+                                  re.MULTILINE)}
+        phantoms = documented - set(names.SPANS)
+        assert not phantoms, f"docs mention unknown spans: {phantoms}"
+
+    def test_every_event_documented(self, doc_text):
+        section = _section(doc_text, "Event schema")
+        missing = [kind for kind in names.EVENTS
+                   if f"`{kind}`" not in section]
+        assert not missing, f"event kinds missing from docs: {missing}"
+
+    def test_no_phantom_events_documented(self, doc_text):
+        section = _section(doc_text, "Event schema")
+        documented = {m.group(1) for m in
+                      re.finditer(r"^\| `([a-z0-9_.]+)` \|", section,
+                                  re.MULTILINE)}
+        phantoms = documented - set(names.EVENTS)
+        assert not phantoms, f"docs mention unknown events: {phantoms}"
+
+    def test_documented_event_fields_match_dataclasses(self, doc_text):
+        from dataclasses import fields
+        from repro.obs import events as events_mod
+
+        by_kind = {cls.kind: cls for cls in
+                   (events_mod.ImpressionDelivered,
+                    events_mod.ClickRecorded,
+                    events_mod.AdSubmitted,
+                    events_mod.BudgetExhausted,
+                    events_mod.TreadsLaunched)}
+        section = _section(doc_text, "Event schema")
+        rows = re.findall(r"^\| `([a-z0-9_]+)` \| [^|]+ \| ([^|]+) \|",
+                          section, re.MULTILINE)
+        assert rows, "event schema table not found"
+        for kind, field_cell in rows:
+            documented = {f.strip() for f in field_cell.split(",")}
+            actual = {f.name for f in fields(by_kind[kind])}
+            assert documented == actual, (
+                f"{kind}: docs say {sorted(documented)}, "
+                f"dataclass has {sorted(actual)}"
+            )
+
+    def test_catalog_tables_reference_each_other(self, doc_text):
+        # The doc must name its enforcement test and the names module,
+        # so a reader knows where the authoritative tables live.
+        assert "repro.obs.names" in doc_text
+        assert "test_docs_sync" in doc_text

@@ -1,0 +1,108 @@
+"""Tests for the typed event bus and its JSONL sink."""
+
+import io
+
+import pytest
+
+from repro.obs.events import (
+    AdSubmitted,
+    EventBus,
+    ImpressionDelivered,
+    JsonlSink,
+    TreadsLaunched,
+    bus,
+    event_from_record,
+    load_jsonl_events,
+)
+
+
+def _impression(seq=0):
+    return ImpressionDelivered(ad_id="ad-1", account_id="acct-1",
+                               user_id="u-1", price=0.002,
+                               impression_seq=seq)
+
+
+class TestEventBus:
+    def test_inactive_without_subscribers(self):
+        fresh = EventBus()
+        assert not fresh.active
+        fresh.emit(_impression())  # no-op, must not raise
+
+    def test_capture_collects_in_order(self):
+        fresh = EventBus()
+        with fresh.capture() as collected:
+            assert fresh.active
+            fresh.emit(_impression(0))
+            fresh.emit(_impression(1))
+        assert [e.impression_seq for e in collected] == [0, 1]
+        assert not fresh.active
+
+    def test_unsubscribe_detaches(self):
+        fresh = EventBus()
+        seen = []
+        unsubscribe = fresh.subscribe(seen.append)
+        fresh.emit(_impression())
+        unsubscribe()
+        unsubscribe()  # idempotent
+        fresh.emit(_impression())
+        assert len(seen) == 1
+
+    def test_subscriber_exceptions_propagate(self):
+        fresh = EventBus()
+
+        def broken(event):
+            raise RuntimeError("sink bug")
+
+        fresh.subscribe(broken)
+        with pytest.raises(RuntimeError):
+            fresh.emit(_impression())
+
+    def test_process_bus_is_shared(self):
+        assert bus() is bus()
+
+
+class TestRecords:
+    def test_record_puts_kind_first(self):
+        record = _impression().record()
+        assert list(record)[0] == "kind"
+        assert record["kind"] == "impression_delivered"
+        assert record["price"] == pytest.approx(0.002)
+
+    def test_round_trip_typed(self):
+        original = AdSubmitted(ad_id="ad-2", account_id="acct-9",
+                               approved=False, review_note="too narrow")
+        assert event_from_record(original.record()) == original
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_record({"kind": "mystery"})
+
+    def test_unexpected_fields_rejected(self):
+        record = _impression().record()
+        record["bogus"] = 1
+        with pytest.raises(ValueError):
+            event_from_record(record)
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_event_and_loads_back(self):
+        fresh = EventBus()
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        fresh.subscribe(sink)
+        events = [_impression(0),
+                  TreadsLaunched(provider="tp", launched=3, rejected=1)]
+        for event in events:
+            fresh.emit(event)
+        assert sink.records_written == 2
+        assert load_jsonl_events(buffer.getvalue()) == events
+
+    def test_load_skips_blank_lines(self):
+        assert load_jsonl_events("\n\n") == []
+
+    def test_load_accepts_line_iterables(self):
+        lines = [_impression(0).record(), _impression(1).record()]
+        import json
+        text_lines = [json.dumps(record) for record in lines]
+        events = load_jsonl_events(text_lines)
+        assert [e.impression_seq for e in events] == [0, 1]

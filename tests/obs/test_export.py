@@ -1,0 +1,84 @@
+"""Tests for the Prometheus/JSONL/table exporters."""
+
+import json
+
+from repro.obs.export import (
+    escape_help,
+    prometheus_name,
+    to_jsonl,
+    to_prometheus,
+    to_table,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry():
+    reg = MetricsRegistry("export-test")
+    reg.counter("delivery.slots_served").inc(7)
+    reg.gauge("pool.level").set(2.5)
+    hist = reg.histogram("auction.contenders")
+    hist.observe(0)
+    hist.observe(3)
+    return reg
+
+
+class TestPrometheusNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("delivery.slots_served") == \
+            "delivery_slots_served"
+
+    def test_arbitrary_bad_chars_rewritten(self):
+        assert prometheus_name("a-b c/d") == "a_b_c_d"
+
+    def test_leading_digit_gets_prefixed(self):
+        name = prometheus_name("2fast")
+        assert not name[0].isdigit()
+
+    def test_help_escaping(self):
+        assert escape_help("back\\slash\nnewline") == \
+            "back\\\\slash\\nnewline"
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        text = to_prometheus(_populated_registry())
+        assert "# TYPE delivery_slots_served counter" in text
+        assert "delivery_slots_served 7" in text
+        assert "# TYPE pool_level gauge" in text
+        assert "pool_level 2.5" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = to_prometheus(_populated_registry())
+        assert 'auction_contenders_bucket{le="0"} 1' in text
+        assert 'auction_contenders_bucket{le="5"} 2' in text
+        assert 'auction_contenders_bucket{le="+Inf"} 2' in text
+        assert "auction_contenders_sum 3" in text
+        assert "auction_contenders_count 2" in text
+
+    def test_help_lines_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("weird", help="line one\nline \\ two").inc()
+        text = to_prometheus(reg)
+        assert "# HELP weird line one\\nline \\\\ two" in text
+        assert "\nline one" not in text  # no raw newline mid-help
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonlAndTable:
+    def test_jsonl_is_strict_json_per_line(self):
+        lines = to_jsonl(_populated_registry()).splitlines()
+        records = [json.loads(line) for line in lines]
+        byname = {r["name"]: r for r in records}
+        assert byname["delivery.slots_served"]["value"] == 7
+        assert byname["auction.contenders"]["buckets"][-1][0] == "+Inf"
+
+    def test_table_lists_every_instrument(self):
+        table = to_table(_populated_registry(), title="t")
+        assert "delivery.slots_served" in table
+        assert "histogram" in table
+        assert "n=2" in table
+
+    def test_table_empty_registry(self):
+        assert "no metrics recorded" in to_table(MetricsRegistry())

@@ -1,0 +1,190 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.obs import metrics as metrics_mod
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    bind,
+    registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(2)
+        assert counter.snapshot() == {"kind": "counter", "name": "c",
+                                      "value": 2}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == pytest.approx(11.5)
+
+    def test_can_go_negative(self):
+        gauge = Gauge("g")
+        gauge.dec(3.0)
+        assert gauge.value == pytest.approx(-3.0)
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        hist = Histogram("h", buckets=(1, 5, 10))
+        for value in (0, 1, 1.5, 5, 7, 10, 11):
+            hist.observe(value)
+        # value == bound lands in that bound's bucket (inclusive upper).
+        assert hist.bucket_counts() == (
+            (1, 2),                 # 0, 1
+            (5, 4),                 # + 1.5, 5 (cumulative)
+            (10, 6),                # + 7, 10
+            (float("inf"), 7),      # + 11
+        )
+
+    def test_count_sum_mean(self):
+        hist = Histogram("h", buckets=(10,))
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(6.0)
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram("h", buckets=(1,)).mean == 0.0
+
+    def test_snapshot_serializes_inf_as_string(self):
+        hist = Histogram("h", buckets=(1,))
+        hist.observe(99)
+        snapshot = hist.snapshot()
+        assert snapshot["buckets"][-1] == ["+Inf", 1]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5, 1))
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1, 5))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_interns_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_help_and_buckets_default_from_catalog(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("delivery.slots_served")
+        assert "slot" in counter.help.lower()
+        hist = reg.histogram("auction.clearing_price_cpm")
+        assert hist.buckets[0] == pytest.approx(0.5)
+
+    def test_value_accessor(self):
+        reg = MetricsRegistry()
+        assert reg.value("never.touched") == 0
+        reg.counter("c").inc(3)
+        reg.histogram("h", buckets=(1,)).observe(0)
+        assert reg.value("c") == 3
+        assert reg.value("h") == 1  # histogram -> observation count
+
+    def test_reset_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == ()
+        assert reg.value("c") == 0
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(1)
+        assert list(reg.snapshot()) == ["a", "b"]
+
+
+class TestGlobals:
+    def test_use_registry_scopes_the_swap(self):
+        scoped = MetricsRegistry("scoped")
+        before = registry()
+        with use_registry(scoped):
+            assert registry() is scoped
+        assert registry() is before
+
+    def test_set_registry_works_before_first_registry_call(self, monkeypatch):
+        # Regression: set_registry used to call registry() while holding
+        # the (non-reentrant) module lock, deadlocking any process whose
+        # first metrics call was a swap — exactly what the CLI does.
+        monkeypatch.setattr(metrics_mod, "_current", None)
+        previous = set_registry(MetricsRegistry("fresh"))
+        assert previous is not None
+        set_registry(previous)
+
+    def test_bind_rebinds_on_registry_swap(self):
+        resolve = bind(lambda reg: reg.counter("bound.counter"))
+        first_reg = MetricsRegistry("one")
+        second_reg = MetricsRegistry("two")
+        with use_registry(first_reg):
+            resolve().inc()
+            assert resolve() is first_reg.counter("bound.counter")
+            with use_registry(second_reg):
+                resolve().inc(2)
+        assert first_reg.value("bound.counter") == 1
+        assert second_reg.value("bound.counter") == 2
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_returns_shared_inert_instruments(self):
+        reg = NullRegistry()
+        counter = reg.counter("a")
+        assert counter is reg.counter("b")
+        counter.inc(100)
+        assert counter.value == 0
+        gauge = reg.gauge("g")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 0
+        hist = reg.histogram("h")
+        hist.observe(3)
+        assert hist.count == 0
+
+    def test_nothing_interned(self):
+        reg = NullRegistry()
+        reg.counter("a")
+        reg.histogram("h")
+        assert reg.instruments() == {}

@@ -1,0 +1,50 @@
+"""Fails on stray ``print(`` calls in library code.
+
+Library modules must report through ``repro.*`` loggers or the obs
+layer; ``print`` is reserved for the modules whose *job* is terminal
+output (the CLI and the table renderer). The check is AST-based so
+strings, comments, and docstrings containing "print(" don't trip it.
+"""
+
+import ast
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Modules whose purpose is terminal output.
+EXEMPT = {
+    SRC_ROOT / "cli.py",
+    SRC_ROOT / "analysis" / "tables.py",
+}
+
+
+def _print_calls(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def test_no_stray_print_calls_in_library_code():
+    offenders = {}
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path in EXEMPT:
+            continue
+        lines = _print_calls(path)
+        if lines:
+            offenders[str(path.relative_to(SRC_ROOT))] = lines
+    assert not offenders, (
+        "print() in library code (use logging or repro.obs): "
+        f"{offenders}"
+    )
+
+
+def test_exempt_modules_exist():
+    # If an exempted module is renamed, drop it from the list rather
+    # than silently exempting nothing.
+    for path in EXEMPT:
+        assert path.exists(), f"stale exemption: {path}"

@@ -1,0 +1,119 @@
+"""Tests for span tracing: nesting, timing, JSONL round-trip."""
+
+import io
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    load_jsonl_spans,
+    tracer,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        trc = Tracer()
+        with trc.span("outer") as outer:
+            with trc.span("inner") as inner:
+                assert trc.open_depth == 2
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert trc.open_depth == 0
+
+    def test_children_finish_before_parents(self):
+        trc = Tracer()
+        with trc.span("outer"):
+            with trc.span("inner"):
+                pass
+        assert [s.name for s in trc.spans] == ["inner", "outer"]
+
+    def test_siblings_share_a_parent(self):
+        trc = Tracer()
+        with trc.span("parent") as parent:
+            with trc.span("a") as first:
+                pass
+            with trc.span("b") as second:
+                pass
+        assert first.parent_id == second.parent_id == parent.span_id
+
+    def test_durations_are_nonnegative_and_nested(self):
+        trc = Tracer()
+        with trc.span("outer") as outer:
+            with trc.span("inner") as inner:
+                pass
+        assert inner.duration_s >= 0
+        assert outer.duration_s >= inner.duration_s
+        assert inner.start_s >= outer.start_s
+
+    def test_open_span_duration_raises(self):
+        trc = Tracer()
+        with trc.span("open") as span:
+            with pytest.raises(ValueError):
+                _ = span.duration_s
+
+    def test_span_closed_even_on_exception(self):
+        trc = Tracer()
+        with pytest.raises(RuntimeError):
+            with trc.span("doomed"):
+                raise RuntimeError("boom")
+        assert trc.open_depth == 0
+        assert trc.find("doomed")[0].finished
+
+    def test_attrs_recorded(self):
+        trc = Tracer()
+        with trc.span("s", user_id="u-1", n=3):
+            pass
+        assert trc.find("s")[0].attrs == {"user_id": "u-1", "n": 3}
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        trc = Tracer()
+        with trc.span("outer", run=1):
+            with trc.span("inner"):
+                pass
+        loaded = load_jsonl_spans(trc.to_jsonl())
+        assert [(s.name, s.span_id, s.parent_id) for s in loaded] == \
+            [(s.name, s.span_id, s.parent_id) for s in trc.spans]
+        assert loaded[1].attrs == {"run": 1}
+        assert loaded[0].duration_s == pytest.approx(
+            trc.spans[0].duration_s)
+
+    def test_write_jsonl_returns_count(self):
+        trc = Tracer()
+        with trc.span("only"):
+            pass
+        buffer = io.StringIO()
+        assert trc.write_jsonl(buffer) == 1
+        assert load_jsonl_spans(buffer.getvalue())[0].name == "only"
+
+    def test_non_span_records_rejected(self):
+        with pytest.raises(ValueError):
+            load_jsonl_spans('{"kind": "counter"}')
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError):
+            load_jsonl_spans('{"kind": "span", "schema": 99}')
+
+
+class TestNullTracer:
+    def test_default_process_tracer_is_null(self):
+        assert tracer().enabled is False
+
+    def test_null_span_is_a_usable_context(self):
+        null = NullTracer()
+        with null.span("anything", user_id="u-1"):
+            pass
+        assert null.spans == ()
+        assert null.to_jsonl() == ""
+
+    def test_use_tracer_scopes_the_swap(self):
+        real = Tracer()
+        with use_tracer(real) as active:
+            assert active is real
+            assert tracer() is real
+        assert tracer() is NULL_TRACER

@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
+from repro import __version__
 from repro.cli import main
+from repro.obs.tracing import load_jsonl_spans
 
 
 class TestCatalog:
@@ -72,3 +77,96 @@ class TestCostAndScale:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStats:
+    def test_demo_scenario_table(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        # Scenario stdout is swallowed; only the metrics table prints.
+        assert "Treads revealed" not in out
+        for line in out.splitlines():
+            cells = [c.strip() for c in line.split("|")]
+            if cells[0] in ("delivery.slots_served",
+                            "delivery.match_cache_hits"):
+                assert int(cells[2]) > 0, line
+            if cells[0] == "auction.contenders":
+                assert "n=0" not in cells[2], line
+
+    def test_prometheus_format(self, capsys):
+        assert main(["stats", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE delivery_slots_served counter" in out
+        assert '_bucket{le="+Inf"}' in out
+
+    def test_jsonl_format_is_strict_json(self, capsys):
+        assert main(["stats", "--format", "jsonl"]) == 0
+        records = [json.loads(line) for line
+                   in capsys.readouterr().out.splitlines()]
+        names = {r["name"] for r in records}
+        assert "delivery.slots_served" in names
+        assert all("kind" in r for r in records)
+
+    def test_validate_scenario(self, capsys):
+        assert main(["stats", "--scenario", "validate"]) == 0
+        out = capsys.readouterr().out
+        assert "provider.treads_launched" in out
+
+
+class TestTraceOut:
+    def test_demo_writes_valid_span_jsonl(self, tmp_path, capsys):
+        trace_file = tmp_path / "spans.jsonl"
+        assert main(["demo", "--trace-out", str(trace_file)]) == 0
+        spans = load_jsonl_spans(trace_file.read_text())
+        names = {s.name for s in spans}
+        assert "serve_slot" in names
+        assert "delivery.run_until_saturated" in names
+        parents = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.name == "serve_slot":
+                assert parents[span.parent_id].name.startswith("delivery.")
+
+    def test_stats_accepts_trace_out(self, tmp_path, capsys):
+        trace_file = tmp_path / "spans.jsonl"
+        assert main(["stats", "--trace-out", str(trace_file)]) == 0
+        assert load_jsonl_spans(trace_file.read_text())
+
+
+class TestVerbosityAndVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_default_run_emits_nothing_on_stderr(self, capsys):
+        assert main(["demo"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_verbose_logs_to_stderr(self, capsys):
+        logger = logging.getLogger("repro")
+        before_level = logger.level
+        try:
+            assert main(["-v", "demo"]) == 0
+            err = capsys.readouterr().err
+            assert "INFO repro." in err
+        finally:
+            logger.setLevel(before_level)
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_cli_handler", False):
+                    logger.removeHandler(handler)
+
+    def test_verbose_handler_not_duplicated(self, capsys):
+        logger = logging.getLogger("repro")
+        before_level = logger.level
+        try:
+            main(["-v", "demo"])
+            main(["-v", "demo"])
+            cli_handlers = [h for h in logger.handlers
+                            if getattr(h, "_repro_cli_handler", False)]
+            assert len(cli_handlers) == 1
+        finally:
+            logger.setLevel(before_level)
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_cli_handler", False):
+                    logger.removeHandler(handler)

@@ -81,3 +81,24 @@ def test_api_tour_scenario_end_to_end():
     from repro.baselines import CorrelationAuditor, status_quo_view  # noqa: F401
     from repro.core.regulator import AdvertiserAuditor  # noqa: F401
     from repro.platform.policy import TreadPatternDetector  # noqa: F401
+
+    # 9. observability (section 8 is the performance model, measured in
+    # benchmarks/): registry swapped in before the platform is built
+    from repro.obs import export
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry("tour")) as reg:
+        obs_platform = AdPlatform(
+            config=PlatformConfig(name="tour-obs"),
+            catalog=build_us_catalog(),
+        )
+        obs_web = WebDirectory()
+        obs_user = obs_platform.register_user()
+        obs_user.set_attribute(obs_platform.catalog.get("pc-networth-006"))
+        obs_provider = TransparencyProvider(obs_platform, obs_web,
+                                            budget=100.0)
+        obs_provider.optin.via_page_like(obs_user.user_id)
+        obs_provider.launch_partner_sweep()
+        obs_provider.run_delivery()
+    assert reg.value("delivery.slots_served") > 0
+    assert "delivery.slots_served" in export.to_table(reg)
