@@ -16,6 +16,14 @@ from repro.core.client import TreadClient
 from repro.core.provider import TransparencyProvider
 from repro.platform.catalog import build_us_catalog
 from repro.platform.web import WebDirectory
+from repro.serve import (
+    AdRequest,
+    KeyedCompetition,
+    LoadConfig,
+    LoadGenerator,
+    RuntimeConfig,
+    ServingRuntime,
+)
 from repro.workloads.personas import AVERAGE_CONSUMER
 from repro.workloads.population import PopulationBuilder
 
@@ -112,6 +120,118 @@ def test_perf_delivery_scale(benchmark):
         title="PERF — compiled targeting + candidate index delivery",
     ))
     assert seconds < 10.0, "scale tier must stay single-digit seconds"
+
+
+def _serving_world(name: str, users: int = 300):
+    """A populated platform with a launched sweep for the serve tiers."""
+    platform = make_platform(name=name, partner_count=60)
+    web = WebDirectory()
+    provider = TransparencyProvider(platform, web, budget=5000.0)
+    builder = PopulationBuilder(platform, seed=1)
+    builder.spawn(AVERAGE_CONSUMER, users)
+    builder.finalize()
+    for user_id in platform.users.user_ids():
+        provider.optin.via_page_like(user_id)
+    provider.launch_partner_sweep()
+    return platform
+
+
+#: Shard-scaling results accumulated across the parametrized runs so
+#: the summary table prints all configs side by side.
+_SERVE_RESULTS: dict = {}
+
+SERVE_RPS = 1500.0
+SERVE_DURATION_S = 1.0
+SERVE_SHARD_CONFIGS = (1, 4, 8)
+
+
+@pytest.mark.parametrize("shards", SERVE_SHARD_CONFIGS)
+def test_perf_serve_loadgen(benchmark, shards):
+    """Serve tier: open-loop loadgen at a fixed RPS vs shard count.
+
+    The offered load is identical for every shard count (same seed,
+    same schedule), so the latency quantiles isolate what sharding
+    buys. Wall clock is pinned by the open-loop duration; the numbers
+    that matter are the p50/p95/p99 recorded in the summary table and
+    ``perf_trajectory.json``.
+    """
+    platform = _serving_world(f"perfserve{shards}")
+    runtime = ServingRuntime(
+        platform,
+        RuntimeConfig(num_shards=shards, queue_capacity=4096),
+        competition=KeyedCompetition(seed=7),
+    )
+    generator = LoadGenerator(
+        runtime, platform.users.user_ids(),
+        LoadConfig(rps=SERVE_RPS, duration_s=SERVE_DURATION_S, seed=1),
+    )
+
+    def run():
+        with runtime:
+            return generator.run()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.tally.errors == 0
+    assert report.tally.served == report.offered, \
+        "uncontended load must be fully served (nothing shed)"
+    quantiles = report.percentiles()
+    _SERVE_RESULTS[shards] = (report, quantiles)
+    if len(_SERVE_RESULTS) == len(SERVE_SHARD_CONFIGS):
+        rows = [
+            (f"{n} shard(s)", result.offered,
+             f"{result.achieved_rps:.0f}",
+             f"{qs['p50'] * 1000:.2f}",
+             f"{qs['p95'] * 1000:.2f}",
+             f"{qs['p99'] * 1000:.2f}")
+            for n, (result, qs) in sorted(_SERVE_RESULTS.items())
+        ]
+        record_table(format_table(
+            ("config", "offered", "rps", "p50 ms", "p95 ms", "p99 ms"),
+            rows,
+            title=f"PERF — serve tier: {SERVE_RPS:.0f} rps open-loop, "
+                  f"{SERVE_DURATION_S:.0f}s, 300 users",
+        ))
+
+
+def test_perf_serve_overload_sheds(benchmark):
+    """Overload tier: a burst beyond queue capacity must shed, not queue.
+
+    One shard, a 32-deep queue, and a 400-request pre-spawned burst:
+    exactly ``queue_capacity`` requests are served, the rest are SHED
+    at admission with zero work done — bounded queues are the proof
+    that overload cannot grow latency without bound.
+    """
+    platform = _serving_world("perfserveovl", users=200)
+    capacity = 32
+    runtime = ServingRuntime(
+        platform, RuntimeConfig(num_shards=1, queue_capacity=capacity)
+    )
+    user_ids = platform.users.user_ids()
+    requests = [AdRequest(user_ids[i % len(user_ids)])
+                for i in range(400)]
+
+    def burst():
+        runtime.start(spawn_workers=False)
+        futures = [runtime.submit(request) for request in requests]
+        runtime.spawn_workers()
+        results = [future.result(timeout=30.0) for future in futures]
+        runtime.stop()
+        return results
+
+    results = benchmark.pedantic(burst, rounds=1, iterations=1)
+    shed = sum(1 for r in results if r.status.name == "SHED")
+    served = sum(1 for r in results if r.ok)
+    assert shed == len(requests) - capacity
+    assert served == capacity
+    assert all(r.latency_s == 0.0 for r in results
+               if r.status.name == "SHED"), "shed must cost no work"
+    record_table(format_table(
+        ("outcome", "requests"),
+        [("offered burst", len(requests)),
+         (f"served (= queue capacity {capacity})", served),
+         ("shed at admission", shed)],
+        title="PERF — serve overload: bounded queue sheds the excess",
+    ))
 
 
 def test_perf_client_decode(benchmark):

@@ -47,18 +47,38 @@ from repro.core.scheduler import PacedCampaignRunner
 from repro.core.treads import Encoding, Placement, RevealKind, RevealPayload, Tread
 from repro.platform.platform import AdPlatform, PlatformConfig
 from repro.platform.web import WebDirectory
+from repro.serve import (
+    AdRequest,
+    AdResponse,
+    LoadConfig,
+    LoadGenerator,
+    RuntimeConfig,
+    ServeResult,
+    ServeStatus,
+    ServingRuntime,
+    ShardRouter,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdPlatform",
+    "AdRequest",
+    "AdResponse",
     "Codebook",
     "PacedCampaignRunner",
     "Encoding",
+    "LoadConfig",
+    "LoadGenerator",
     "Placement",
     "PlatformConfig",
     "RevealKind",
     "RevealPayload",
+    "RuntimeConfig",
+    "ServeResult",
+    "ServeStatus",
+    "ServingRuntime",
+    "ShardRouter",
     "Tread",
     "TreadClient",
     "TransparencyProvider",

@@ -21,11 +21,20 @@ Commands
 ``stats``
     Run a scenario against a fresh metrics registry and dump every
     instrument (table, Prometheus text format, or JSONL).
+``serve``
+    Start the sharded serving runtime over a persona-mix world and
+    drive it with generated traffic for a fixed duration; prints the
+    outcome tally, latency quantiles, and per-shard balance.
+``loadgen``
+    The same world and runtime, reported from the load generator's
+    side: offered vs achieved RPS, shed/timeout counts, and optionally
+    the full latency histogram as JSON (``--histogram-out``).
 
 Global flags: ``-v`` / ``-vv`` attach a stderr handler to the
 ``repro.*`` loggers (INFO / DEBUG); ``--version`` prints the package
 version; ``--trace-out FILE`` on the delivery-running commands
-(``demo``, ``validate``, ``stats``) writes span JSONL for the run.
+(``demo``, ``validate``, ``stats``, ``serve``, ``loadgen``) writes span
+JSONL for the run.
 """
 
 from __future__ import annotations
@@ -33,9 +42,10 @@ from __future__ import annotations
 import argparse
 import contextlib
 import io
+import json
 import logging
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.analysis.tables import format_table
@@ -49,8 +59,17 @@ from repro.core.provider import TransparencyProvider
 from repro.platform.catalog import build_us_catalog
 from repro.platform.platform import AdPlatform, PlatformConfig
 from repro.platform.web import WebDirectory
+from repro.serve import (
+    KeyedCompetition,
+    LoadConfig,
+    LoadGenerator,
+    LoadReport,
+    RuntimeConfig,
+    ServingRuntime,
+)
 from repro.workloads.competition import lognormal_competition
 from repro.workloads.personas import (
+    AVERAGE_CONSUMER,
     ESTABLISHED_PROFESSIONAL,
     RECENT_ARRIVAL_GRAD_STUDENT,
 )
@@ -116,6 +135,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "attack", help="section 5 inference attack vs defenses"
     )
     attack.add_argument("--defense-threshold", type=int, default=20)
+
+    serve = commands.add_parser(
+        "serve", help="run the sharded serving runtime under generated "
+                      "traffic"
+    )
+    loadgen = commands.add_parser(
+        "loadgen", help="open-loop load generation against the serving "
+                        "runtime"
+    )
+    for sub in (serve, loadgen):
+        sub.add_argument("--shards", type=int, default=4,
+                         help="user shards (engines + queues)")
+        sub.add_argument("--workers", type=int, default=1,
+                         help="worker threads per shard (1 = "
+                              "deterministic replay)")
+        sub.add_argument("--duration", type=float, default=2.0,
+                         help="offered-load duration, seconds")
+        sub.add_argument("--rps", type=float,
+                         default=200.0 if sub is serve else 500.0,
+                         help="target offered load, requests/second")
+        sub.add_argument("--users", type=int, default=200,
+                         help="persona-mix population size")
+        sub.add_argument("--seed", type=int, default=42,
+                         help="seed for population, arrivals, and "
+                              "competing bids")
+        sub.add_argument("--slots", type=int, default=1,
+                         help="ad slots per request")
+        sub.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-request latency budget; stale "
+                              "requests TIMEOUT unserved")
+        sub.add_argument("--queue-capacity", type=int, default=256,
+                         help="bounded per-shard queue; overflow is "
+                              "SHED")
+        _add_trace_out(sub)
+    loadgen.add_argument("--histogram-out", metavar="FILE", default=None,
+                        help="write the latency histogram + tally JSON "
+                             "to FILE")
     return parser
 
 
@@ -360,6 +416,109 @@ def _cmd_stats(scenario: str, stats_format: str) -> int:
     return 0
 
 
+def _run_serving_world(args: argparse.Namespace
+                       ) -> Tuple[ServingRuntime, LoadReport]:
+    """Build a persona-mix world with a full Tread sweep and load it.
+
+    Shared engine room for ``serve`` and ``loadgen`` — same world, same
+    runtime, same generator; the two commands differ only in which side
+    of the run they report.
+    """
+    platform = AdPlatform(config=PlatformConfig(name="serve"))
+    web = WebDirectory()
+    builder = PopulationBuilder(platform, seed=args.seed)
+    builder.spawn_mix(
+        [ESTABLISHED_PROFESSIONAL, AVERAGE_CONSUMER,
+         RECENT_ARRIVAL_GRAD_STUDENT],
+        args.users,
+    )
+    builder.finalize()
+    provider = TransparencyProvider(platform, web, budget=10_000.0,
+                                    bid_cap_cpm=10.0)
+    for user_id in platform.users.user_ids():
+        provider.optin.via_page_like(user_id)
+    provider.launch_partner_sweep()
+    runtime = ServingRuntime(
+        platform,
+        RuntimeConfig(
+            num_shards=args.shards,
+            workers_per_shard=args.workers,
+            queue_capacity=args.queue_capacity,
+        ),
+        competition=KeyedCompetition(seed=args.seed),
+    )
+    generator = LoadGenerator(
+        runtime,
+        platform.users.user_ids(),
+        LoadConfig(
+            rps=args.rps,
+            duration_s=args.duration,
+            slots=args.slots,
+            deadline_s=(args.deadline_ms / 1000.0
+                        if args.deadline_ms is not None else None),
+            seed=args.seed,
+        ),
+    )
+    with runtime:
+        report = generator.run()
+    return runtime, report
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    runtime, report = _run_serving_world(args)
+    quantiles = report.percentiles()
+    tally = report.tally
+    rows = [
+        ("shards x workers", f"{args.shards} x {args.workers}"),
+        ("offered / achieved rps",
+         f"{report.config.rps:.0f} / {report.achieved_rps:.0f}"),
+        ("served", tally.served),
+        ("shed (queue full)", tally.shed),
+        ("timeout (deadline)", tally.timeout),
+        ("errors", tally.errors),
+        ("impressions delivered", tally.impressions),
+        ("latency p50 / p95 / p99 (ms)",
+         " / ".join(f"{quantiles[p] * 1000:.2f}"
+                    for p in ("p50", "p95", "p99"))),
+    ]
+    for stats in runtime.router.snapshot_stats():
+        rows.append((f"  {stats['engine_id']}",
+                     f"{stats['impressions']} impressions, "
+                     f"{stats['users_with_feeds']} users"))
+    print(format_table(("serving runtime", "value"), rows,
+                       title=f"repro serve: {args.users} users, "
+                             f"{args.duration:.0f}s at {args.rps:.0f} rps"))
+    return 0 if tally.errors == 0 else 1
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    _, report = _run_serving_world(args)
+    quantiles = report.percentiles()
+    tally = report.tally
+    rows = [
+        ("offered", report.offered),
+        ("target / achieved rps",
+         f"{report.config.rps:.0f} / {report.achieved_rps:.0f}"),
+        ("served", tally.served),
+        ("shed (queue full)", tally.shed),
+        ("timeout (deadline)", tally.timeout),
+        ("errors", tally.errors),
+        ("p50 (ms)", f"{quantiles['p50'] * 1000:.3f}"),
+        ("p95 (ms)", f"{quantiles['p95'] * 1000:.3f}"),
+        ("p99 (ms)", f"{quantiles['p99'] * 1000:.3f}"),
+    ]
+    print(format_table(("load generation", "value"), rows,
+                       title=f"repro loadgen: {args.rps:.0f} rps for "
+                             f"{args.duration:.1f}s, seed {args.seed}"))
+    if args.histogram_out is not None:
+        with open(args.histogram_out, "w", encoding="utf-8") as stream:
+            json.dump(report.record(), stream, indent=2)
+            stream.write("\n")
+        print(f"wrote latency histogram to {args.histogram_out}",
+              file=sys.stderr)
+    return 0 if tally.errors == 0 and tally.served > 0 else 1
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "catalog":
         if args.catalog_command == "stats":
@@ -377,6 +536,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_scale(args.m)
     if args.command == "attack":
         return _cmd_attack(args.defense_threshold)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -129,6 +129,41 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Prometheus-style: find the bucket the target rank falls in and
+        interpolate linearly inside it (the lower edge of the first
+        bucket is 0). The estimate is only as fine as the bucket bounds
+        — pick buckets that bracket the latencies you care about (e.g.
+        :data:`repro.obs.names.LATENCY_BUCKETS` for request latencies).
+        Ranks landing in the +Inf bucket clamp to the highest finite
+        bound. Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, self._counts):
+            if running + count >= rank:
+                if count == 0:
+                    return bound
+                return lower + (bound - lower) * (rank - running) / count
+            running += count
+            lower = bound
+        return self.buckets[-1]
+
+    def percentiles(self, *qs: float) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ...}`` for the requested quantiles
+        (p50/p95/p99 when called with no arguments)."""
+        wanted = qs or (0.50, 0.95, 0.99)
+        return {
+            f"p{round(q * 100):d}": self.quantile(q) for q in wanted
+        }
+
     def bucket_counts(self) -> Tuple[Tuple[float, int], ...]:
         """Cumulative ``(upper_bound, count)`` pairs, +Inf last."""
         pairs = []

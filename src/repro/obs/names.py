@@ -34,6 +34,14 @@ SECONDS_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0,
 )
 
+#: Finer-grained duration buckets for request latencies: the serving
+#: runtime's p50/p95/p99 come out of these (see ``Histogram.quantile``),
+#: so the sub-100ms range gets most of the resolution.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0002, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
 
 @dataclass(frozen=True)
 class MetricSpec:
@@ -102,6 +110,26 @@ METRICS: Dict[str, MetricSpec] = {
         COUNTER, "Treads rejected by the platform's ad review."),
     "provider.decode_packs_published": MetricSpec(
         COUNTER, "Decode packs published to subscribers."),
+    # -- serving runtime ---------------------------------------------------
+    "serve.requests_submitted": MetricSpec(
+        COUNTER, "Requests accepted into a shard queue."),
+    "serve.requests_served": MetricSpec(
+        COUNTER, "Requests that completed a delivery pass (SERVED)."),
+    "serve.requests_shed": MetricSpec(
+        COUNTER, "Requests shed by admission control (queue full)."),
+    "serve.requests_timeout": MetricSpec(
+        COUNTER, "Requests whose deadline expired before service "
+                 "(shed at dequeue, before any delivery work)."),
+    "serve.requests_errored": MetricSpec(
+        COUNTER, "Requests that raised during a delivery pass (ERROR)."),
+    "serve.queue_depth": MetricSpec(
+        GAUGE, "Requests currently queued across all shards."),
+    "serve.batch_size": MetricSpec(
+        HISTOGRAM, "Requests coalesced into one micro-batched delivery "
+                   "pass.", COUNT_BUCKETS),
+    "serve.request_latency_s": MetricSpec(
+        HISTOGRAM, "End-to-end request latency (submit to result), "
+                   "seconds.", LATENCY_BUCKETS),
     # -- user-side client --------------------------------------------------
     "client.syncs": MetricSpec(
         COUNTER, "TreadClient feed syncs (full decode passes)."),
@@ -116,6 +144,8 @@ SPANS: Dict[str, str] = {
     "delivery.run_sessions": "One round-robin delivery run.",
     "delivery.run_until_saturated": "One saturating campaign run.",
     "serve_slot": "One ad slot: eligibility, auction, delivery.",
+    "serve.batch": "One micro-batched delivery pass on a shard.",
+    "loadgen.run": "One open-loop load-generation run.",
     "provider.launch": "Render + submit one batch of Treads.",
     "client.sync": "One client-side feed scan and decode.",
 }

@@ -22,10 +22,12 @@ maintained incrementally at delivery time instead of scanning the logs.
 
 from __future__ import annotations
 
+import itertools
 import logging
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.obs import events as obs_events
 from repro.obs import tracing as obs_tracing
@@ -98,8 +100,48 @@ class DeliveryStats:
     no_eligible_ad: int = 0
 
 
+@dataclass
+class DeliveryStateExport:
+    """Portable per-user delivery state (see ``export_state``).
+
+    The serving layer's shard rebalance migrates users between engines
+    by exporting their state from the old owner and importing it into
+    the new one: frequency caps (``shown_counts``) make deliver-once
+    survive the move, feeds keep the user-visible history, and the
+    impression/click logs keep cross-shard reporting aggregation exact.
+    """
+
+    impressions: List[Impression] = field(default_factory=list)
+    clicks: List[Click] = field(default_factory=list)
+    feeds: Dict[str, List[DeliveredAd]] = field(default_factory=dict)
+    shown_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+
+#: Process-wide engine id sequence for engines constructed without an
+#: explicit ``engine_id`` (debuggability: shard-owned engines name the
+#: shard instead).
+_ENGINE_IDS = itertools.count()
+
+
 class DeliveryEngine:
-    """Serves ad slots for browsing users."""
+    """Serves ad slots for browsing users.
+
+    Thread ownership
+    ----------------
+    An engine instance is **single-owner**: all mutating calls
+    (``serve_slot``, the run loops, ``record_click``, ``import_state``)
+    must come from one thread at a time. The engine takes no locks —
+    the serving layer (:mod:`repro.serve`) gives each shard its own
+    engine plus a shard lock and routes each user to exactly one shard,
+    which is what makes lock-free per-engine state safe. Shared *read*
+    structure (the inventory's ad list, compiled matchers from the
+    process-wide compile cache) is safe across engines because compiled
+    matchers are pure functions; everything mutable — match caches,
+    caps, feeds, logs, reporting views — is per-instance, created in
+    ``__init__`` and never shared. ``engine_id`` names the instance in
+    logs and :meth:`snapshot_stats` so shard-owned engines stay
+    debuggable.
+    """
 
     def __init__(
         self,
@@ -111,11 +153,14 @@ class DeliveryEngine:
         floor_price_cpm: float = 0.0,
         min_match_count: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        engine_id: Optional[str] = None,
     ):
         if frequency_cap < 1:
             raise ValueError("frequency cap must be >= 1")
         if min_match_count < 0:
             raise ValueError("min match count cannot be negative")
+        self.engine_id = (engine_id if engine_id is not None
+                          else f"engine-{next(_ENGINE_IDS)}")
         self._inventory = inventory
         self._audiences = audiences
         self._ledger = ledger
@@ -421,6 +466,29 @@ class DeliveryEngine:
             )
         )
 
+    @contextmanager
+    def serving_session(self) -> Iterator["DeliveryEngine"]:
+        """Snapshot resolver + match cache for a multi-slot serving window.
+
+        Inside the ``with`` block, audience memberships are materialized
+        once per audience and ``(user, ad)`` spec matches are evaluated
+        once per user — the fast-path state the run loops install.
+        Valid across any window in which profiles, likes, and audience
+        memberships do not change (one run loop; one serve-layer batch
+        window). Re-entrant: nesting installs a fresh snapshot and
+        restores the outer one on exit. The caller owns the engine for
+        the duration (see the class docstring's thread-ownership note).
+        """
+        outer_resolver = self._resolver
+        outer_cache = self._match_cache
+        self._resolver = self._audiences.cached_resolver()
+        self._match_cache = {}
+        try:
+            yield self
+        finally:
+            self._resolver = outer_resolver
+            self._match_cache = outer_cache
+
     def run_sessions(
         self,
         users: Sequence[UserProfile],
@@ -433,13 +501,11 @@ class DeliveryEngine:
         mid-run.
         """
         stats = DeliveryStats()
-        self._resolver = self._audiences.cached_resolver()
-        self._match_cache = {}
         trc = obs_tracing.tracer()
         traced = trc.enabled
-        try:
-            with trc.span("delivery.run_sessions", users=len(users),
-                          slots_per_user=slots_per_user):
+        with self.serving_session(), \
+                trc.span("delivery.run_sessions", users=len(users),
+                         slots_per_user=slots_per_user):
                 for _ in range(slots_per_user):
                     for user in users:
                         if traced:
@@ -460,9 +526,6 @@ class DeliveryEngine:
                             stats.lost_to_competition += 1
                         else:
                             stats.no_eligible_ad += 1
-        finally:
-            self._resolver = self._audiences.is_member
-            self._match_cache = None
         _log.info(
             "run_sessions: %d slots (%d filled, %d lost, %d empty) "
             "for %d users",
@@ -482,17 +545,15 @@ class DeliveryEngine:
         (user, ad) pair has hit the frequency cap or budgets are spent.
         """
         stats = DeliveryStats()
-        self._resolver = self._audiences.cached_resolver()
-        self._match_cache = {}
         trc = obs_tracing.tracer()
         traced = trc.enabled
-        try:
-            # Within one run every eligibility condition is monotone —
-            # caps only accumulate, budgets only shrink, statuses and
-            # matches are static — so a user whose eligible set empties
-            # can never regain one and is dropped from the rotation.
-            with trc.span("delivery.run_until_saturated",
-                          users=len(users), max_rounds=max_rounds):
+        # Within one run every eligibility condition is monotone —
+        # caps only accumulate, budgets only shrink, statuses and
+        # matches are static — so a user whose eligible set empties
+        # can never regain one and is dropped from the rotation.
+        with self.serving_session(), \
+                trc.span("delivery.run_until_saturated",
+                         users=len(users), max_rounds=max_rounds):
                 active = list(users)
                 for _ in range(max_rounds):
                     progressed = False
@@ -524,9 +585,6 @@ class DeliveryEngine:
                     active = still_active
                     if not progressed:
                         break
-        finally:
-            self._resolver = self._audiences.is_member
-            self._match_cache = None
         _log.info(
             "run_until_saturated: %d slots (%d filled, %d lost) "
             "for %d users",
@@ -579,3 +637,99 @@ class DeliveryEngine:
     def reach_count(self, ad_id: str) -> int:
         """Number of distinct users reached — O(1), no set copy."""
         return len(self._reach_by_ad.get(ad_id, ()))
+
+    # -- state snapshot / migration ------------------------------------------
+
+    def snapshot_stats(self) -> Dict[str, object]:
+        """Debug snapshot of this engine's accumulated state.
+
+        Cheap (counts only, no copies) and assertion-friendly: the
+        serving layer surfaces one per shard, keyed by ``engine_id``, so
+        an imbalanced or double-delivering shard is visible at a glance.
+        """
+        return {
+            "engine_id": self.engine_id,
+            "impressions": len(self._impressions),
+            "clicks": len(self._clicks),
+            "users_with_feeds": len(self._feeds),
+            "users_reached": len(
+                set().union(*self._reach_by_ad.values())
+                if self._reach_by_ad else ()
+            ),
+            "ads_delivered": len(self._impressions_by_ad),
+            "capped_pairs": sum(
+                len(ads) for ads in self._capped_for_user.values()
+            ),
+            "indexed_ads": self._indexed_ad_count,
+            "in_session": self._match_cache is not None,
+        }
+
+    def export_state(
+        self, user_ids: Optional[Set[str]] = None
+    ) -> DeliveryStateExport:
+        """Export per-user delivery state, optionally for a user subset.
+
+        Everything exported is per-user, so exporting the users a shard
+        is giving up and importing them elsewhere preserves every
+        engine-level invariant (deliver-once via ``shown_counts``, exact
+        reporting via the logs). Records are shared, not copied —
+        :class:`Impression`/:class:`Click`/:class:`DeliveredAd` are
+        frozen dataclasses.
+        """
+        if user_ids is None:
+            return DeliveryStateExport(
+                impressions=list(self._impressions),
+                clicks=list(self._clicks),
+                feeds={u: list(ads) for u, ads in self._feeds.items()},
+                shown_counts=dict(self._shown_counts),
+            )
+        return DeliveryStateExport(
+            impressions=[i for i in self._impressions
+                         if i.user_id in user_ids],
+            clicks=[c for c in self._clicks if c.user_id in user_ids],
+            feeds={u: list(ads) for u, ads in self._feeds.items()
+                   if u in user_ids},
+            shown_counts={key: count
+                          for key, count in self._shown_counts.items()
+                          if key[1] in user_ids},
+        )
+
+    def import_state(self, state: DeliveryStateExport) -> None:
+        """Merge exported per-user state into this engine.
+
+        The migration hook behind :meth:`repro.serve.ShardRouter.rebalance`:
+        reporting views, caps, and feeds are rebuilt incrementally so
+        every read (``impressions_for_ad``, ``unique_reach``,
+        ``record_click`` validation) answers as if this engine had
+        delivered the imported impressions itself. Must not be called
+        mid-session (single-owner rule; the serving layer only migrates
+        between serving windows).
+        """
+        if self._match_cache is not None:
+            raise RuntimeError(
+                f"{self.engine_id}: cannot import state inside a "
+                "serving session"
+            )
+        max_seq = self._impression_seq
+        for impression in state.impressions:
+            self._impressions.append(impression)
+            per_ad = self._impressions_by_ad.get(impression.ad_id)
+            if per_ad is None:
+                per_ad = self._impressions_by_ad[impression.ad_id] = []
+                self._reach_by_ad[impression.ad_id] = set()
+            per_ad.append(impression)
+            self._reach_by_ad[impression.ad_id].add(impression.user_id)
+            max_seq = max(max_seq, impression.seq + 1)
+        self._impression_seq = max_seq
+        for click in state.clicks:
+            self._clicks.append(click)
+            self._clicks_by_ad[click.ad_id] = (
+                self._clicks_by_ad.get(click.ad_id, 0) + 1
+            )
+        for user_id, delivered in state.feeds.items():
+            self._feeds[user_id].extend(delivered)
+        for (ad_id, user_id), count in state.shown_counts.items():
+            shown = self._shown_counts.get((ad_id, user_id), 0) + count
+            self._shown_counts[(ad_id, user_id)] = shown
+            if shown >= self.frequency_cap:
+                self._capped_for_user.setdefault(user_id, set()).add(ad_id)

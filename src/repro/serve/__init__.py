@@ -1,0 +1,47 @@
+"""repro.serve — sharded, concurrent ad serving with admission control.
+
+The simulator's delivery engine answers "who sees what" one synchronous
+call at a time; this package wraps it in the shape of a real serving
+system: typed requests with deadlines (:mod:`repro.serve.requests`),
+users consistently hashed onto shard-owned engines
+(:mod:`repro.serve.sharding`), worker pools with bounded queues,
+micro-batching and load shedding (:mod:`repro.serve.runtime`), and an
+open-loop load generator to measure it honestly
+(:mod:`repro.serve.loadgen`). Delivery semantics are unchanged — a
+fixed request sequence produces byte-identical reports for any shard
+count — so everything the paper's analyses say about reach and
+delivery still holds when served this way.
+"""
+
+from repro.serve.loadgen import LoadConfig, LoadGenerator, LoadReport
+from repro.serve.requests import (
+    AdRequest,
+    AdResponse,
+    ServeResult,
+    ServeStatus,
+    ServeTally,
+)
+from repro.serve.runtime import RuntimeConfig, ServingRuntime
+from repro.serve.sharding import (
+    KeyedCompetition,
+    Shard,
+    ShardRouter,
+    shard_index,
+)
+
+__all__ = [
+    "AdRequest",
+    "AdResponse",
+    "KeyedCompetition",
+    "LoadConfig",
+    "LoadGenerator",
+    "LoadReport",
+    "RuntimeConfig",
+    "ServeResult",
+    "ServeStatus",
+    "ServeTally",
+    "ServingRuntime",
+    "Shard",
+    "ShardRouter",
+    "shard_index",
+]

@@ -1,0 +1,181 @@
+"""Open-loop load generation against the serving runtime.
+
+Open-loop means arrivals are scheduled by the clock, not by
+completions: the generator draws exponential inter-arrival gaps for the
+target RPS up front and submits each request at its appointed time
+whether or not earlier ones have finished. That is the honest way to
+measure a serving system — a closed loop (wait for the response, then
+send the next) self-throttles exactly when the system degrades, hiding
+the queueing collapse an overload test exists to expose.
+
+Determinism: the whole arrival schedule (times, users, slot counts) is
+a pure function of the seed, drawn from a private ``random.Random``
+before the clock starts. Two generators with the same seed and config
+offer byte-identical request sequences; with a single-worker runtime
+the delivery outcome is then reproducible end to end (timing-dependent
+SHED/TIMEOUT splits aside — under no deadline and ample queues, those
+are empty too).
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import tracing as _tracing
+from repro.obs.metrics import Histogram
+from repro.obs.names import LATENCY_BUCKETS
+from repro.serve.requests import AdRequest, ServeResult, ServeTally
+from repro.serve.runtime import ServingRuntime
+
+_log = logging.getLogger("repro.serve.loadgen")
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load-generation run: how hard, how long, at whom."""
+
+    #: Target offered load, requests per second.
+    rps: float = 200.0
+    #: Wall-clock length of the offered schedule, seconds.
+    duration_s: float = 2.0
+    #: Ad slots requested per request.
+    slots: int = 1
+    #: Per-request latency budget handed to the runtime (None = none).
+    deadline_s: Optional[float] = None
+    #: Seed for the arrival schedule and user sampling.
+    seed: int = 42
+    #: Hard cap on total requests (None = whatever fits in duration).
+    max_requests: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rps <= 0:
+            raise ValueError("target rps must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.slots < 1:
+            raise ValueError("need at least one slot per request")
+
+
+@dataclass
+class LoadReport:
+    """What a run offered and what came back, with latency quantiles."""
+
+    config: LoadConfig
+    tally: ServeTally = field(default_factory=ServeTally)
+    latency: Histogram = field(default_factory=lambda: Histogram(
+        "loadgen.request_latency_s", buckets=LATENCY_BUCKETS))
+    #: Wall-clock seconds from first submission to last result.
+    wall_s: float = 0.0
+
+    @property
+    def offered(self) -> int:
+        return self.tally.submitted
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.offered / self.wall_s if self.wall_s > 0 else 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        return self.latency.percentiles()
+
+    def record(self) -> Dict[str, object]:
+        """JSON-serializable summary (CLI ``--histogram-out``, bench)."""
+        return {
+            "config": {
+                "rps": self.config.rps,
+                "duration_s": self.config.duration_s,
+                "slots": self.config.slots,
+                "deadline_s": self.config.deadline_s,
+                "seed": self.config.seed,
+            },
+            "offered": self.offered,
+            "achieved_rps": self.achieved_rps,
+            "wall_s": self.wall_s,
+            "tally": {
+                "served": self.tally.served,
+                "shed": self.tally.shed,
+                "timeout": self.tally.timeout,
+                "errors": self.tally.errors,
+                "impressions": self.tally.impressions,
+            },
+            "latency": dict(self.percentiles(),
+                            mean=self.latency.mean),
+            "latency_histogram": self.latency.snapshot(),
+        }
+
+
+class LoadGenerator:
+    """Drives a :class:`ServingRuntime` at a target RPS.
+
+    ``user_ids`` is the population to sample from — typically
+    ``platform.users.user_ids()`` after a persona-mix build, so the
+    request mix inherits the persona mix. The generator is
+    single-threaded: it owns the clock and the submissions; concurrency
+    lives in the runtime's shard workers.
+    """
+
+    def __init__(self, runtime: ServingRuntime,
+                 user_ids: Sequence[str],
+                 config: Optional[LoadConfig] = None):
+        if not user_ids:
+            raise ValueError("load generation needs at least one user")
+        self.runtime = runtime
+        self.user_ids = list(user_ids)
+        self.config = config or LoadConfig()
+
+    def schedule(self) -> List[Tuple[float, AdRequest]]:
+        """The full arrival plan: ``(offset_s, request)`` pairs.
+
+        Pure function of (seed, config, user population) — no clock
+        involved, so tests can compare two schedules directly.
+        """
+        rng = random.Random(self.config.seed)
+        plan: List[Tuple[float, AdRequest]] = []
+        clock = 0.0
+        while True:
+            clock += rng.expovariate(self.config.rps)
+            if clock >= self.config.duration_s:
+                break
+            if self.config.max_requests is not None \
+                    and len(plan) >= self.config.max_requests:
+                break
+            plan.append((clock, AdRequest(
+                user_id=rng.choice(self.user_ids),
+                slots=self.config.slots,
+                deadline_s=self.config.deadline_s,
+            )))
+        return plan
+
+    def run(self) -> LoadReport:
+        """Offer the schedule, wait for every result, report."""
+        plan = self.schedule()
+        report = LoadReport(config=self.config)
+        futures = []
+        trc = _tracing.tracer()
+        with trc.span("loadgen.run", rps=self.config.rps,
+                      offered=len(plan)):
+            start = time.perf_counter()
+            for offset, request in plan:
+                ahead = offset - (time.perf_counter() - start)
+                if ahead > 0:
+                    time.sleep(ahead)
+                futures.append(self.runtime.submit(request))
+            results: List[ServeResult] = [
+                future.result(timeout=60.0) for future in futures
+            ]
+            report.wall_s = time.perf_counter() - start
+        for result in results:
+            report.tally.add(result)
+            report.latency.observe(result.latency_s)
+        _log.info(
+            "loadgen: offered %d at %.0f rps target (%.0f achieved), "
+            "served=%d shed=%d timeout=%d errors=%d",
+            report.offered, self.config.rps, report.achieved_rps,
+            report.tally.served, report.tally.shed,
+            report.tally.timeout, report.tally.errors,
+        )
+        return report

@@ -1,0 +1,132 @@
+"""Typed requests and responses for the serving runtime.
+
+A real ad platform is request-shaped: a user's client asks for the ads
+to fill the slots on the page they are loading, under a latency budget.
+:class:`AdRequest` captures exactly that (user id, context page, slot
+count, deadline); :class:`AdResponse` is what delivery produced; and
+:class:`ServeResult` is the envelope the runtime always answers with —
+including when it *refused* to do the work, which is a first-class
+outcome (:class:`ServeStatus`), not an exception: an overloaded
+platform sheds load, it does not stack-trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class ServeStatus(enum.Enum):
+    """Terminal status of one request through the runtime."""
+
+    #: A delivery pass ran; the response says what (if anything) filled.
+    SERVED = "served"
+    #: Admission control refused the request (shard queue full) —
+    #: rejected *before* any delivery work was attempted.
+    SHED = "shed"
+    #: The request's deadline expired while it sat in the queue; it was
+    #: dropped at dequeue, again before any delivery work.
+    TIMEOUT = "timeout"
+    #: The delivery pass raised; ``ServeResult.error`` has the message.
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class AdRequest:
+    """One ad-serving request: fill ``slots`` ad slots for ``user_id``.
+
+    ``deadline_s`` is a relative latency budget in seconds, measured
+    from submission; requests still queued when it elapses are dropped
+    with :attr:`ServeStatus.TIMEOUT` (shedding stale work beats serving
+    an answer the page stopped waiting for). ``context_page`` is the
+    page the user is browsing — carried for realism and future
+    contextual targeting; the current delivery contract matches on the
+    user profile alone.
+    """
+
+    user_id: str
+    slots: int = 1
+    context_page: Optional[str] = None
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError("a request must ask for at least one slot")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError("deadline cannot be negative")
+
+
+@dataclass(frozen=True)
+class AdResponse:
+    """What a delivery pass produced for one request."""
+
+    user_id: str
+    #: Ad ids delivered, one per filled slot, in slot order.
+    ad_ids: Tuple[str, ...] = ()
+    #: Slots lost to ambient competition (auction ran, no tracked win).
+    lost_to_competition: int = 0
+    #: Slots with no eligible tracked ad and no competing winner.
+    unfilled: int = 0
+
+    @property
+    def filled_slots(self) -> int:
+        return len(self.ad_ids)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The runtime's answer envelope for one submitted request.
+
+    Always produced, whatever happened: ``status`` says how the request
+    ended, ``response`` is present only for :attr:`ServeStatus.SERVED`,
+    and the timing fields decompose end-to-end latency into queue wait
+    and service time (both 0 for requests shed at admission).
+    """
+
+    request: AdRequest
+    status: ServeStatus
+    shard_index: int
+    response: Optional[AdResponse] = None
+    error: Optional[str] = None
+    #: Seconds the request waited in the shard queue.
+    queued_s: float = 0.0
+    #: Seconds the delivery pass spent on this request.
+    service_s: float = 0.0
+    #: Requests coalesced into the batch that served this one (0 when
+    #: no batch ran, i.e. SHED).
+    batch_size: int = 0
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: queue wait plus service time."""
+        return self.queued_s + self.service_s
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ServeStatus.SERVED
+
+
+@dataclass
+class ServeTally:
+    """Mutable counts of results by status (loadgen and CLI summaries)."""
+
+    submitted: int = 0
+    served: int = 0
+    shed: int = 0
+    timeout: int = 0
+    errors: int = 0
+    impressions: int = 0
+
+    def add(self, result: ServeResult) -> None:
+        self.submitted += 1
+        if result.status is ServeStatus.SERVED:
+            self.served += 1
+            if result.response is not None:
+                self.impressions += result.response.filled_slots
+        elif result.status is ServeStatus.SHED:
+            self.shed += 1
+        elif result.status is ServeStatus.TIMEOUT:
+            self.timeout += 1
+        else:
+            self.errors += 1

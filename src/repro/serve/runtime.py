@@ -1,0 +1,399 @@
+"""The serving runtime: shard worker pools, micro-batching, admission.
+
+Request lifecycle::
+
+    submit() ──hash──> shard queue ──worker──> micro-batch ──> SERVED
+        │ queue full                  │ deadline expired
+        └──> SHED (no work done)      └──> TIMEOUT (no work done)
+
+Admission control happens at the two points where refusing is still
+cheap: a full shard queue sheds at submit time (backpressure — the
+bounded queue *is* the overload signal), and an expired deadline sheds
+at dequeue time (serving an answer the page stopped waiting for is pure
+waste). Both paths skip the delivery engine entirely; only requests
+that survive admission cost real work, which is what keeps latency
+bounded under overload instead of collapsing.
+
+Each worker drains its shard's queue in FIFO order and coalesces up to
+``max_batch`` waiting requests into one delivery pass under the shard
+lock, inside one engine serving session — so the audience snapshot and
+match cache amortize across the batch the same way they do across a
+``run_sessions`` round.
+
+Determinism contract: with ``workers_per_shard=1`` (the default), each
+user's requests are served in submission order (user→shard affinity +
+FIFO queue + single consumer), and competing bids are keyed per
+``(user, slot)`` — so a fixed request sequence yields byte-identical
+delivery reports for any shard count (``tests/serve/``). Raising
+``workers_per_shard`` buys throughput by letting batches from the same
+shard's queue interleave, which trades that replay guarantee away;
+aggregate invariants (caps, deliver-iff-match) still hold because the
+shard lock keeps each engine single-entrant.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+from concurrent.futures import Future
+from contextlib import nullcontext
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional, Sequence
+
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.platform.platform import AdPlatform
+from repro.serve.requests import (
+    AdRequest,
+    AdResponse,
+    ServeResult,
+    ServeStatus,
+)
+from repro.serve.sharding import KeyedCompetition, Shard, ShardRouter
+
+_log = logging.getLogger("repro.serve.runtime")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tuning knobs for :class:`ServingRuntime` (see ``docs/serving.md``)."""
+
+    #: Number of user shards (engines, queues, worker pools).
+    num_shards: int = 4
+    #: Worker threads per shard. 1 (default) preserves per-user request
+    #: order and therefore shard-count-invariant replay; more trades
+    #: that for throughput.
+    workers_per_shard: int = 1
+    #: Bounded shard queue size; submissions beyond it are SHED.
+    queue_capacity: int = 256
+    #: Max requests coalesced into one delivery pass.
+    max_batch: int = 32
+    #: Deadline applied to requests that do not carry their own.
+    default_deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.workers_per_shard < 1:
+            raise ValueError("need at least one worker per shard")
+        if self.queue_capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        if self.max_batch < 1:
+            raise ValueError("batch size must be positive")
+
+
+class _QueuedRequest:
+    """A request in flight: payload, its future, and admission facts."""
+
+    __slots__ = ("request", "future", "base_seq", "deadline_s",
+                 "enqueued_at")
+
+    def __init__(self, request: AdRequest, future: "Future[ServeResult]",
+                 base_seq: int, deadline_s: Optional[float],
+                 enqueued_at: float):
+        self.request = request
+        self.future = future
+        self.base_seq = base_seq
+        self.deadline_s = deadline_s
+        self.enqueued_at = enqueued_at
+
+
+class ServingRuntime:
+    """Concurrent ad serving over a :class:`ShardRouter`.
+
+    Use as a context manager (starts workers on enter, stops on exit)
+    or call :meth:`start` / :meth:`stop` explicitly. :meth:`submit`
+    never blocks and always resolves its future with a
+    :class:`ServeResult`; :meth:`serve_and_wait` is the synchronous
+    convenience the equivalence tests and CLI use.
+    """
+
+    def __init__(
+        self,
+        platform: AdPlatform,
+        config: Optional[RuntimeConfig] = None,
+        competition: Optional[KeyedCompetition] = None,
+        router: Optional[ShardRouter] = None,
+    ):
+        self.config = config or RuntimeConfig()
+        self.router = router or ShardRouter(
+            platform,
+            num_shards=self.config.num_shards,
+            competition=competition,
+        )
+        if router is not None and config is not None \
+                and router.num_shards != config.num_shards:
+            raise ValueError("router shard count disagrees with config")
+        self.platform = platform
+        self._queues: List["queue.Queue[_QueuedRequest]"] = [
+            queue.Queue(maxsize=self.config.queue_capacity)
+            for _ in range(self.router.num_shards)
+        ]
+        self._submit_locks = [threading.Lock()
+                              for _ in range(self.router.num_shards)]
+        self._workers: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._running = False
+        self._pending = 0
+        self._pending_cond = threading.Condition()
+        reg = _metrics.registry()
+        self._m_submitted = reg.counter("serve.requests_submitted")
+        self._m_served = reg.counter("serve.requests_served")
+        self._m_shed = reg.counter("serve.requests_shed")
+        self._m_timeout = reg.counter("serve.requests_timeout")
+        self._m_errored = reg.counter("serve.requests_errored")
+        self._m_depth = reg.gauge("serve.queue_depth")
+        self._m_batch = reg.histogram("serve.batch_size")
+        self._m_latency = reg.histogram("serve.request_latency_s")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, spawn_workers: bool = True) -> "ServingRuntime":
+        """Open for admission; spawn the shard worker pools.
+
+        ``spawn_workers=False`` opens admission without consumers —
+        queues fill and shed deterministically, which is how the
+        overload tests exercise backpressure without racing real
+        workers; call :meth:`spawn_workers` afterwards to serve
+        whatever was admitted.
+        """
+        if self._running:
+            raise RuntimeError("runtime already started")
+        self._stop.clear()
+        self._workers = []
+        self._running = True
+        if spawn_workers:
+            self.spawn_workers()
+        return self
+
+    def spawn_workers(self) -> None:
+        if self._workers:
+            raise RuntimeError("workers already spawned")
+        for shard in self.router.shards:
+            for worker_index in range(self.config.workers_per_shard):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(shard, self._queues[shard.index]),
+                    name=f"serve-shard{shard.index}-w{worker_index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._workers.append(thread)
+        _log.info("serving runtime started: %d shards x %d workers",
+                  self.router.num_shards, self.config.workers_per_shard)
+
+    def stop(self, drain: bool = True,
+             timeout: Optional[float] = 30.0) -> None:
+        """Stop workers; by default finishes queued work first."""
+        if not self._running:
+            return
+        if drain and self._workers:
+            self.drain(timeout=timeout)
+        self._stop.set()
+        for thread in self._workers:
+            thread.join(timeout=timeout)
+        self._workers = []
+        self._running = False
+
+    def __enter__(self) -> "ServingRuntime":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Block until every submitted request has a result.
+
+        Returns False if ``timeout`` elapsed first.
+        """
+        deadline = None if timeout is None else perf_counter() + timeout
+        with self._pending_cond:
+            while self._pending > 0:
+                remaining = (None if deadline is None
+                             else deadline - perf_counter())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._pending_cond.wait(timeout=remaining)
+        return True
+
+    def rebalance(self, num_shards: int) -> None:
+        """Re-shard users (must be stopped; see ``ShardRouter.rebalance``)."""
+        if self._running:
+            raise RuntimeError("stop the runtime before rebalancing")
+        self.router.rebalance(num_shards)
+        self._queues = [
+            queue.Queue(maxsize=self.config.queue_capacity)
+            for _ in range(num_shards)
+        ]
+        self._submit_locks = [threading.Lock() for _ in range(num_shards)]
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, request: AdRequest) -> "Future[ServeResult]":
+        """Admit one request; never blocks.
+
+        The returned future always resolves to a :class:`ServeResult`
+        — a full shard queue resolves it immediately as SHED.
+        """
+        if not self._running:
+            raise RuntimeError("runtime is not started")
+        shard = self.router.shard_for(request.user_id)
+        future: "Future[ServeResult]" = Future()
+        deadline_s = (request.deadline_s
+                      if request.deadline_s is not None
+                      else self.config.default_deadline_s)
+        self._m_submitted.inc()
+        with self._submit_locks[shard.index]:
+            # Slot indices are claimed at admission, under the submit
+            # lock, so the competing-bid key for each of this user's
+            # slots depends only on submission order — not on when a
+            # worker gets to the request or how many shards exist.
+            base_seq = shard.slot_seq.get(request.user_id, 0)
+            shard.slot_seq[request.user_id] = base_seq + request.slots
+            item = _QueuedRequest(
+                request=request,
+                future=future,
+                base_seq=base_seq,
+                deadline_s=deadline_s,
+                enqueued_at=perf_counter(),
+            )
+            try:
+                self._queues[shard.index].put_nowait(item)
+            except queue.Full:
+                self._m_shed.inc()
+                self._resolve(item, ServeResult(
+                    request=request,
+                    status=ServeStatus.SHED,
+                    shard_index=shard.index,
+                ), count_pending=False)
+                return future
+        with self._pending_cond:
+            self._pending += 1
+        self._m_depth.inc()
+        return future
+
+    def serve_and_wait(self, requests: Sequence[AdRequest],
+                       timeout: Optional[float] = 60.0
+                       ) -> List[ServeResult]:
+        """Submit a request sequence and wait for all results, in order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # -- the worker --------------------------------------------------------
+
+    def _worker_loop(self, shard: Shard,
+                     shard_queue: "queue.Queue[_QueuedRequest]") -> None:
+        while True:
+            try:
+                first = shard_queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            batch = [first]
+            while len(batch) < self.config.max_batch:
+                try:
+                    batch.append(shard_queue.get_nowait())
+                except queue.Empty:
+                    break
+            self._serve_batch(shard, batch)
+
+    def _serve_batch(self, shard: Shard,
+                     batch: List[_QueuedRequest]) -> None:
+        self._m_depth.dec(len(batch))
+        now = perf_counter()
+        live: List[_QueuedRequest] = []
+        for item in batch:
+            if item.deadline_s is not None \
+                    and now - item.enqueued_at > item.deadline_s:
+                # Stale before any work: drop it at the door.
+                self._m_timeout.inc()
+                self._resolve(item, ServeResult(
+                    request=item.request,
+                    status=ServeStatus.TIMEOUT,
+                    shard_index=shard.index,
+                    queued_s=now - item.enqueued_at,
+                ))
+            else:
+                live.append(item)
+        if not live:
+            return
+        self._m_batch.observe(len(live))
+        trc = _tracing.tracer()
+        # The Tracer's span stack is a plain list (not thread-safe); only
+        # emit batch spans when this runtime cannot interleave them.
+        single_threaded = (self.router.num_shards
+                           * self.config.workers_per_shard == 1)
+        span_cm = (trc.span("serve.batch", shard=shard.index,
+                            batch_size=len(live))
+                   if single_threaded or not trc.enabled
+                   else nullcontext())
+        with shard.lock, span_cm, shard.engine.serving_session():
+            for item in live:
+                started = perf_counter()
+                try:
+                    result = self._serve_one(shard, item, started,
+                                             len(live))
+                except Exception as exc:  # noqa: BLE001 - per-request fence
+                    self._m_errored.inc()
+                    result = ServeResult(
+                        request=item.request,
+                        status=ServeStatus.ERROR,
+                        shard_index=shard.index,
+                        error=f"{type(exc).__name__}: {exc}",
+                        queued_s=started - item.enqueued_at,
+                        service_s=perf_counter() - started,
+                        batch_size=len(live),
+                    )
+                self._resolve(item, result)
+
+    def _serve_one(self, shard: Shard, item: _QueuedRequest,
+                   started: float, batch_size: int) -> ServeResult:
+        request = item.request
+        user = self.platform.users.get(request.user_id)
+        outcomes = shard.serve_user_slots(
+            user, item.base_seq, request.slots
+        )
+        ad_ids = []
+        lost = 0
+        unfilled = 0
+        for outcome in outcomes:
+            if outcome.won:
+                ad_ids.append(outcome.winner.ad_id)
+            elif outcome.competing_bid > 0:
+                lost += 1
+            else:
+                unfilled += 1
+        self._m_served.inc()
+        return ServeResult(
+            request=request,
+            status=ServeStatus.SERVED,
+            shard_index=shard.index,
+            response=AdResponse(
+                user_id=request.user_id,
+                ad_ids=tuple(ad_ids),
+                lost_to_competition=lost,
+                unfilled=unfilled,
+            ),
+            queued_s=started - item.enqueued_at,
+            service_s=perf_counter() - started,
+            batch_size=batch_size,
+        )
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _resolve(self, item: _QueuedRequest, result: ServeResult,
+                 count_pending: bool = True) -> None:
+        self._m_latency.observe(result.latency_s)
+        item.future.set_result(result)
+        if count_pending:
+            with self._pending_cond:
+                self._pending -= 1
+                if self._pending <= 0:
+                    self._pending_cond.notify_all()

@@ -1,0 +1,396 @@
+"""User sharding: consistent routing, shard-owned engines, aggregation.
+
+The serving runtime scales by partitioning *users*, not ads: every ad is
+visible on every shard (the inventory is read-shared; compiled matchers
+are pure functions), but each user is owned by exactly one shard, and
+all mutable delivery state — frequency caps, feeds, impression logs,
+match caches — lives in that shard's own :class:`DeliveryEngine`. Since
+the deliver-iff-match contract is evaluated per ``(ad, user)`` pair and
+every per-pair invariant (cap, match, feed) involves one user, shards
+never need to coordinate during serving: the partition *is* the
+correctness argument, and it is also why cross-shard aggregation
+(:meth:`ShardRouter.aggregate_report`) reproduces the single-engine
+answer exactly.
+
+Two deliberate deviations from a single shared engine, both documented
+here because they are where "no shared mutable state" costs something:
+
+* **Budgets are enforced per shard.** Each shard sees its own copy of
+  every advertiser account (:class:`ShardAccountsView`), so an account
+  with budget ``B`` can in the worst case spend up to ``B`` *per
+  shard*. Global budget pacing needs cross-shard coordination — exactly
+  the kind of hot shared counter this design removes — and real
+  platforms solve it with asynchronous budget servers; that is future
+  work. :meth:`ShardRouter.total_spend` reports true combined spend.
+* **Competing demand is drawn per (user, slot), not per sequence.**
+  A stateful RNG would make auction outcomes depend on the global order
+  slots happen to be served in, and therefore on the shard count.
+  :class:`KeyedCompetition` derives each competing bid from
+  ``(seed, user_id, slot_index)`` alone, which makes delivery reports
+  byte-identical for 1, 4, or 8 shards (pinned by
+  ``tests/serve/test_runtime_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.platform.ads import AdAccount, AdInventory
+from repro.platform.billing import BillingLedger
+from repro.platform.delivery import DeliveryEngine, DeliveryStateExport
+from repro.platform.platform import AdPlatform
+
+_log = logging.getLogger("repro.serve.sharding")
+
+
+def shard_index(user_id: str, num_shards: int, salt: str = "") -> int:
+    """The shard that owns ``user_id`` — stable across processes.
+
+    Uses a keyed blake2b digest rather than the builtin ``hash`` so the
+    mapping survives ``PYTHONHASHSEED`` randomization: the same user
+    lands on the same shard in every process, which is what lets a
+    restarted runtime (or a test re-run) reproduce an earlier run.
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    if num_shards == 1:
+        return 0
+    digest = hashlib.blake2b(
+        f"{salt}|{user_id}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+class KeyedCompetition:
+    """Order-independent ambient competing demand.
+
+    ``bid(user_id, slot_index)`` is a pure function: the uniform draws
+    come from a keyed blake2b digest and are pushed through Box-Muller
+    into the same log-normal family as
+    :func:`repro.platform.platform.default_competition` (median
+    ``median_cpm`` dollars CPM). Because the bid depends only on the
+    key, it does not matter which shard serves the slot or in what
+    global order — the prerequisite for shard-count-invariant delivery.
+
+    ``sigma=0`` degenerates to a constant bid; ``median_cpm=0`` to no
+    competition at all.
+    """
+
+    def __init__(self, seed: int = 7, median_cpm: float = 2.0,
+                 sigma: float = 0.5):
+        self.seed = seed
+        self.median_cpm = median_cpm
+        self.sigma = sigma
+        self._mu = (math.log(median_cpm / 1000.0)
+                    if median_cpm > 0 else None)
+
+    def bid(self, user_id: str, slot_index: int) -> float:
+        """The competing top bid for one keyed slot, in dollars."""
+        if self._mu is None:
+            return 0.0
+        digest = hashlib.blake2b(
+            f"{self.seed}|{user_id}|{slot_index}".encode("utf-8"),
+            digest_size=16,
+        ).digest()
+        u1 = (int.from_bytes(digest[:8], "big") + 1) / (2 ** 64 + 1)
+        u2 = int.from_bytes(digest[8:], "big") / 2 ** 64
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        return math.exp(self._mu + self.sigma * z)
+
+    def cursor(self) -> "CompetitionCursor":
+        """A per-shard draw cursor (see :class:`CompetitionCursor`)."""
+        return CompetitionCursor(self)
+
+
+class CompetitionCursor:
+    """Adapts :class:`KeyedCompetition` to the engine's draw contract.
+
+    :class:`~repro.platform.delivery.DeliveryEngine` calls its competing
+    draw with no arguments, once per slot. The shard positions this
+    cursor on ``(user_id, slot_index)`` immediately before each
+    ``serve_slot`` call; the cursor then answers with the keyed bid.
+    One cursor per shard, owned by the shard's serving thread — never
+    shared (the key field is mutable state).
+    """
+
+    __slots__ = ("_competition", "key")
+
+    def __init__(self, competition: KeyedCompetition):
+        self._competition = competition
+        self.key: Optional[Tuple[str, int]] = None
+
+    def __call__(self) -> float:
+        if self.key is None:
+            raise RuntimeError(
+                "competition cursor drawn without a positioned key"
+            )
+        return self._competition.bid(*self.key)
+
+
+class ShardAccountsView:
+    """A shard's view of the ad inventory: shared ads, private accounts.
+
+    Ads, pages, and campaigns delegate to the platform's inventory
+    (read-only during serving — see the engine's thread-ownership
+    note). ``account()`` instead returns a shard-local copy, cloned on
+    first access with the account's *current* budget: the delivery
+    engine's affordability check and the shard ledger's charges then
+    touch only shard-owned state. The copy is the budget-locality
+    tradeoff documented in the module docstring.
+    """
+
+    def __init__(self, inventory: AdInventory, shard_name: str):
+        self._inventory = inventory
+        self._shard_name = shard_name
+        self._accounts: Dict[str, AdAccount] = {}
+
+    def account(self, account_id: str) -> AdAccount:
+        local = self._accounts.get(account_id)
+        if local is None:
+            origin = self._inventory.account(account_id)
+            local = AdAccount(
+                account_id=origin.account_id,
+                owner_name=origin.owner_name,
+                country=origin.country,
+                budget=origin.budget,
+                campaign_ids=list(origin.campaign_ids),
+                page_ids=list(origin.page_ids),
+            )
+            self._accounts[account_id] = local
+        return local
+
+    def local_accounts(self) -> Dict[str, AdAccount]:
+        """The shard-local account copies created so far."""
+        return dict(self._accounts)
+
+    def __getattr__(self, name: str):
+        # Everything not overridden (ads, ad_count, ad, page, campaign,
+        # ...) reads the shared inventory.
+        return getattr(self._inventory, name)
+
+
+@dataclass
+class Shard:
+    """One shard: an engine, its billing ledger, and its owned users.
+
+    ``lock`` serializes delivery passes on the engine (the engine itself
+    is lock-free single-owner); ``slot_seq`` is the per-user slot
+    counter that keys :class:`KeyedCompetition` — assigned at admission
+    time so the key depends on submission order, never on which worker
+    dequeues first.
+    """
+
+    index: int
+    engine: DeliveryEngine
+    ledger: BillingLedger
+    accounts: ShardAccountsView
+    cursor: CompetitionCursor
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    slot_seq: Dict[str, int] = field(default_factory=dict)
+
+    def serve_user_slots(self, user, base_seq: int,
+                         slots: int) -> List:
+        """Serve ``slots`` keyed slots for one user; returns outcomes.
+
+        Caller holds ``lock`` and an open engine serving session.
+        """
+        outcomes = []
+        for offset in range(slots):
+            self.cursor.key = (user.user_id, base_seq + offset)
+            outcomes.append(self.engine.serve_slot(user))
+        return outcomes
+
+
+class ShardRouter:
+    """Consistently hashes users onto shard-owned delivery engines.
+
+    Built over one :class:`~repro.platform.platform.AdPlatform`: the
+    catalog, user store, audience registry, and ad inventory stay
+    shared (read-only during serving), while each shard gets its own
+    engine, ledger, account view, and competition cursor. The router is
+    also the reporting plane: every per-ad aggregate is the merge of
+    disjoint per-shard answers, so the totals agree with a single
+    engine having served everything (``tests/serve/``).
+    """
+
+    def __init__(
+        self,
+        platform: AdPlatform,
+        num_shards: int = 4,
+        competition: Optional[KeyedCompetition] = None,
+        salt: str = "",
+    ):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.platform = platform
+        self.competition = competition or KeyedCompetition(
+            seed=platform.config.competition_seed,
+            median_cpm=platform.config.competition_median_cpm,
+            sigma=platform.config.competition_sigma,
+        )
+        self.salt = salt
+        #: Ledgers of shards retired by rebalance(); their charges are
+        #: part of total spend but no longer receive new ones.
+        self._retired_ledgers: List[BillingLedger] = []
+        self.shards: List[Shard] = self._build_shards(num_shards)
+
+    def _build_shards(self, num_shards: int) -> List[Shard]:
+        shards = []
+        for index in range(num_shards):
+            accounts = ShardAccountsView(
+                self.platform.inventory, shard_name=f"shard-{index}"
+            )
+            ledger = BillingLedger(accounts)
+            engine = DeliveryEngine(
+                inventory=accounts,
+                audiences=self.platform.audiences,
+                ledger=ledger,
+                competing_draw=(cursor := self.competition.cursor()),
+                frequency_cap=self.platform.config.frequency_cap,
+                floor_price_cpm=self.platform.config.floor_price_cpm,
+                min_match_count=(
+                    self.platform.config.min_delivery_match_count
+                ),
+                engine_id=f"shard-{index}/{num_shards}",
+            )
+            engine.attach_user_store(self.platform.users)
+            shards.append(Shard(
+                index=index,
+                engine=engine,
+                ledger=ledger,
+                accounts=accounts,
+                cursor=cursor,
+            ))
+        return shards
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_index(self, user_id: str) -> int:
+        return shard_index(user_id, len(self.shards), salt=self.salt)
+
+    def shard_for(self, user_id: str) -> Shard:
+        return self.shards[self.shard_index(user_id)]
+
+    # -- rebalance ---------------------------------------------------------
+
+    def rebalance(self, num_shards: int) -> None:
+        """Re-partition users onto ``num_shards`` fresh shards.
+
+        Quiescent-time operation (no serving in flight): exports every
+        old shard's per-user delivery state, rebuilds the shard set,
+        and imports each user's state into its new owner. Frequency
+        caps travel with the user, so an ad delivered before the
+        rebalance can never be delivered again after it; aggregate
+        reports are unchanged because the same records are merely
+        re-homed. Retired shard ledgers are kept so combined spend
+        stays exact.
+        """
+        old_shards = self.shards
+        for shard in old_shards:
+            shard.lock.acquire()
+        try:
+            exports = [shard.engine.export_state() for shard in old_shards]
+            slot_seqs: Dict[str, int] = {}
+            for shard in old_shards:
+                slot_seqs.update(shard.slot_seq)
+            self._retired_ledgers.extend(
+                shard.ledger for shard in old_shards
+            )
+            self.shards = self._build_shards(num_shards)
+            merged = DeliveryStateExport()
+            for export in exports:
+                merged.impressions.extend(export.impressions)
+                merged.clicks.extend(export.clicks)
+                merged.feeds.update(export.feeds)
+                merged.shown_counts.update(export.shown_counts)
+            per_shard = [DeliveryStateExport()
+                         for _ in range(num_shards)]
+            for impression in merged.impressions:
+                per_shard[self.shard_index(impression.user_id)] \
+                    .impressions.append(impression)
+            for click in merged.clicks:
+                per_shard[self.shard_index(click.user_id)] \
+                    .clicks.append(click)
+            for user_id, delivered in merged.feeds.items():
+                per_shard[self.shard_index(user_id)] \
+                    .feeds[user_id] = delivered
+            for key, count in merged.shown_counts.items():
+                per_shard[self.shard_index(key[1])] \
+                    .shown_counts[key] = count
+            for shard, state in zip(self.shards, per_shard):
+                shard.engine.import_state(state)
+            for user_id, seq in slot_seqs.items():
+                self.shards[self.shard_index(user_id)] \
+                    .slot_seq[user_id] = seq
+        finally:
+            for shard in old_shards:
+                shard.lock.release()
+        _log.info("rebalanced %d -> %d shards (%d impressions re-homed)",
+                  len(old_shards), num_shards, len(merged.impressions))
+
+    # -- cross-shard aggregation -------------------------------------------
+
+    def impressions_for_ad(self, ad_id: str) -> int:
+        return sum(len(s.engine.impressions_for_ad(ad_id))
+                   for s in self.shards)
+
+    def unique_reach(self, ad_id: str) -> Set[str]:
+        """Distinct users reached — the union of disjoint shard sets."""
+        reached: Set[str] = set()
+        for shard in self.shards:
+            reached |= shard.engine.unique_reach(ad_id)
+        return reached
+
+    def reach_count(self, ad_id: str) -> int:
+        return sum(s.engine.reach_count(ad_id) for s in self.shards)
+
+    def clicks_for_ad(self, ad_id: str) -> int:
+        return sum(s.engine.clicks_for_ad(ad_id) for s in self.shards)
+
+    def feed(self, user_id: str):
+        """A user's feed, answered by the owning shard alone."""
+        return self.shard_for(user_id).engine.feed(user_id)
+
+    def total_impressions(self) -> int:
+        return sum(len(s.engine.impressions()) for s in self.shards)
+
+    def total_spend(self, account_id: str) -> float:
+        """Combined spend across live and retired shard ledgers."""
+        ledgers = [s.ledger for s in self.shards]
+        ledgers.extend(self._retired_ledgers)
+        return sum(ledger.spend_for_account(account_id)
+                   for ledger in ledgers)
+
+    def aggregate_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-ad delivery report merged across shards.
+
+        ``{ad_id: {impressions, reach, clicks}}`` with ads sorted by
+        id — a canonical form, so two routers (or a router and a bare
+        engine) can be compared byte-for-byte after JSON serialization.
+        Only ads with at least one impression appear.
+        """
+        ad_ids: Set[str] = set()
+        for shard in self.shards:
+            ad_ids.update(
+                impression.ad_id
+                for impression in shard.engine.impressions()
+            )
+        return {
+            ad_id: {
+                "impressions": self.impressions_for_ad(ad_id),
+                "reach": len(self.unique_reach(ad_id)),
+                "clicks": self.clicks_for_ad(ad_id),
+            }
+            for ad_id in sorted(ad_ids)
+        }
+
+    def snapshot_stats(self) -> List[Dict[str, object]]:
+        """Per-shard engine snapshots (debugging / imbalance checks)."""
+        return [shard.engine.snapshot_stats() for shard in self.shards]

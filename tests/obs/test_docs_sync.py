@@ -119,3 +119,45 @@ class TestSpanAndEventCatalogs:
         # so a reader knows where the authoritative tables live.
         assert "repro.obs.names" in doc_text
         assert "test_docs_sync" in doc_text
+
+
+class TestServingInstrumentation:
+    """The serving runtime's instruments exist and are documented.
+
+    The generic both-direction diffs above already catch drift; these
+    pins name the serve instruments explicitly so a refactor that drops
+    them (or renames the layer prefix) fails with a message that says
+    which serving signal vanished.
+    """
+
+    SERVE_METRICS = (
+        "serve.requests_submitted",
+        "serve.requests_served",
+        "serve.requests_shed",
+        "serve.requests_timeout",
+        "serve.requests_errored",
+        "serve.queue_depth",
+        "serve.batch_size",
+        "serve.request_latency_s",
+    )
+    SERVE_SPANS = ("serve.batch", "loadgen.run")
+
+    def test_serve_metrics_registered(self):
+        for name in self.SERVE_METRICS:
+            assert name in names.METRICS, f"{name} left the catalog"
+
+    def test_serve_metrics_documented(self, doc_text):
+        section = _section(doc_text, "Metric catalog")
+        for name in self.SERVE_METRICS:
+            assert f"`{name}`" in section, f"{name} undocumented"
+
+    def test_serve_spans_registered_and_documented(self, doc_text):
+        section = _section(doc_text, "Span names")
+        for name in self.SERVE_SPANS:
+            assert name in names.SPANS, f"{name} left the catalog"
+            assert f"`{name}`" in section, f"{name} undocumented"
+
+    def test_latency_histogram_uses_latency_buckets(self):
+        spec = names.METRICS["serve.request_latency_s"]
+        assert spec.kind == names.HISTOGRAM
+        assert spec.buckets == names.LATENCY_BUCKETS

@@ -1,0 +1,72 @@
+"""CLI: ``repro serve`` and ``repro loadgen``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.obs.tracing import load_jsonl_spans
+
+FAST = ["--users", "40", "--duration", "0.3", "--rps", "150"]
+
+
+class TestServeCommand:
+    def test_serve_runs_and_reports(self, capsys):
+        assert main(["serve", "--shards", "2", *FAST,
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "repro serve" in out
+        assert "2 x 1" in out
+        assert "latency p50 / p95 / p99" in out
+        assert "shard-0/2" in out
+        assert "shard-1/2" in out
+
+    def test_serve_trace_out(self, capsys, tmp_path):
+        trace_file = tmp_path / "spans.jsonl"
+        assert main(["serve", "--shards", "1", *FAST,
+                     "--trace-out", str(trace_file)]) == 0
+        spans = load_jsonl_spans(trace_file.read_text())
+        names = {span.name for span in spans}
+        assert "loadgen.run" in names
+        assert "serve.batch" in names
+
+
+class TestLoadgenCommand:
+    def test_loadgen_runs_and_reports(self, capsys):
+        assert main(["loadgen", "--shards", "2", *FAST,
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "repro loadgen" in out
+        assert "target / achieved rps" in out
+        assert "p99 (ms)" in out
+
+    def test_loadgen_seed_is_reproducible(self, capsys, tmp_path):
+        """Same seed, same world, same offered count and tally."""
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        assert main(["loadgen", *FAST, "--seed", "5",
+                     "--histogram-out", str(out_a)]) == 0
+        assert main(["loadgen", *FAST, "--seed", "5",
+                     "--histogram-out", str(out_b)]) == 0
+        a = json.loads(out_a.read_text())
+        b = json.loads(out_b.read_text())
+        assert a["offered"] == b["offered"]
+        assert a["tally"]["impressions"] == b["tally"]["impressions"]
+        capsys.readouterr()
+
+    def test_loadgen_histogram_out(self, capsys, tmp_path):
+        out_file = tmp_path / "latency.json"
+        assert main(["loadgen", *FAST,
+                     "--histogram-out", str(out_file)]) == 0
+        record = json.loads(out_file.read_text())
+        assert record["offered"] > 0
+        assert record["tally"]["errors"] == 0
+        assert record["latency_histogram"]["count"] \
+            == record["offered"]
+        err = capsys.readouterr().err
+        assert "wrote latency histogram" in err
+
+    def test_loadgen_deadline_and_queue_flags_parse(self, capsys):
+        assert main(["loadgen", *FAST, "--deadline-ms", "50",
+                     "--queue-capacity", "64", "--workers", "2",
+                     "--slots", "2"]) == 0

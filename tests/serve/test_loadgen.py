@@ -1,0 +1,153 @@
+"""Load generator: deterministic schedules, honest reports, overload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    LoadConfig,
+    LoadGenerator,
+    RuntimeConfig,
+    ServingRuntime,
+)
+
+
+class TestLoadConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"rps": 0}, {"rps": -5}, {"duration_s": 0}, {"slots": 0},
+    ])
+    def test_rejects_nonpositive_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadConfig(**kwargs)
+
+
+class TestSchedule:
+    def _generator(self, make_world, **config_kw):
+        platform = make_world(users=20)
+        runtime = ServingRuntime(platform, RuntimeConfig(num_shards=2))
+        return LoadGenerator(
+            runtime, platform.users.user_ids(),
+            LoadConfig(**config_kw),
+        )
+
+    def test_same_seed_same_schedule(self, make_world):
+        generator = self._generator(
+            make_world, rps=300, duration_s=1.0, seed=5)
+        assert generator.schedule() == generator.schedule()
+
+    def test_different_seed_different_schedule(self, make_world):
+        a = self._generator(make_world, rps=300, duration_s=1.0, seed=5)
+        b = self._generator(make_world, rps=300, duration_s=1.0, seed=6)
+        assert a.schedule() != b.schedule()
+
+    def test_schedule_is_clock_free_and_sorted(self, make_world):
+        generator = self._generator(
+            make_world, rps=500, duration_s=0.5, seed=5)
+        plan = generator.schedule()
+        assert plan, "a 500rps half-second plan cannot be empty"
+        offsets = [offset for offset, _ in plan]
+        assert offsets == sorted(offsets)
+        assert all(0 <= offset < 0.5 for offset in offsets)
+        user_ids = {request.user_id for _, request in plan}
+        assert user_ids <= set(generator.user_ids)
+
+    def test_max_requests_caps_the_plan(self, make_world):
+        generator = self._generator(
+            make_world, rps=1000, duration_s=1.0, seed=5,
+            max_requests=17)
+        assert len(generator.schedule()) == 17
+
+    def test_requests_carry_config(self, make_world):
+        generator = self._generator(
+            make_world, rps=200, duration_s=0.2, seed=5,
+            slots=3, deadline_s=0.5)
+        for _, request in generator.schedule():
+            assert request.slots == 3
+            assert request.deadline_s == 0.5
+
+    def test_needs_users(self, make_world):
+        platform = make_world(users=5)
+        runtime = ServingRuntime(platform, RuntimeConfig(num_shards=1))
+        with pytest.raises(ValueError, match="at least one user"):
+            LoadGenerator(runtime, [])
+
+
+class TestRun:
+    def test_uncontended_run_serves_everything(self, make_world):
+        platform = make_world(users=30)
+        runtime = ServingRuntime(
+            platform,
+            RuntimeConfig(num_shards=2, queue_capacity=2048),
+        )
+        generator = LoadGenerator(
+            runtime, platform.users.user_ids(),
+            LoadConfig(rps=400, duration_s=0.5, seed=9),
+        )
+        with runtime:
+            report = generator.run()
+        assert report.offered > 0
+        assert report.tally.served == report.offered
+        assert report.tally.shed == 0
+        assert report.tally.errors == 0
+        assert report.wall_s > 0
+        assert report.achieved_rps > 0
+        assert report.latency.count == report.offered
+
+    def test_percentiles_are_monotone(self, make_world):
+        platform = make_world(users=20)
+        runtime = ServingRuntime(platform, RuntimeConfig(num_shards=2))
+        generator = LoadGenerator(
+            runtime, platform.users.user_ids(),
+            LoadConfig(rps=300, duration_s=0.3, seed=9),
+        )
+        with runtime:
+            report = generator.run()
+        quantiles = report.percentiles()
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert 0 <= quantiles["p50"] <= quantiles["p95"] \
+            <= quantiles["p99"]
+
+    def test_record_is_json_ready(self, make_world):
+        import json
+
+        platform = make_world(users=10)
+        runtime = ServingRuntime(platform, RuntimeConfig(num_shards=1))
+        generator = LoadGenerator(
+            runtime, platform.users.user_ids(),
+            LoadConfig(rps=100, duration_s=0.2, seed=9),
+        )
+        with runtime:
+            record = generator.run().record()
+        parsed = json.loads(json.dumps(record))
+        assert parsed["config"]["seed"] == 9
+        assert set(parsed["tally"]) \
+            == {"served", "shed", "timeout", "errors", "impressions"}
+        assert {"p50", "p95", "p99", "mean"} <= set(parsed["latency"])
+        assert parsed["latency_histogram"]["kind"] == "histogram"
+
+    def test_overload_sheds_instead_of_queueing_unboundedly(
+            self, make_world):
+        platform = make_world(users=30)
+        # One slow lane: a single shard with a tiny queue, swamped by a
+        # pre-spawned burst so shedding is deterministic.
+        runtime = ServingRuntime(
+            platform, RuntimeConfig(num_shards=1, queue_capacity=4)
+        )
+        generator = LoadGenerator(
+            runtime, platform.users.user_ids(),
+            LoadConfig(rps=5000, duration_s=0.1, seed=9,
+                       max_requests=200),
+        )
+        runtime.start(spawn_workers=False)
+        plan = generator.schedule()
+        futures = [runtime.submit(request) for _, request in plan]
+        shed_early = sum(1 for f in futures if f.done())
+        runtime.spawn_workers()
+        results = [f.result(timeout=10) for f in futures]
+        runtime.stop()
+        tally_shed = sum(1 for r in results
+                         if not r.ok and r.status.name == "SHED")
+        assert shed_early == tally_shed
+        assert tally_shed == len(plan) - 4
+        served = sum(1 for r in results if r.ok)
+        assert served == 4

@@ -1,0 +1,86 @@
+"""The request/response types: validation, envelope semantics, tally."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    AdRequest,
+    AdResponse,
+    ServeResult,
+    ServeStatus,
+    ServeTally,
+)
+
+
+class TestAdRequest:
+    def test_defaults(self):
+        request = AdRequest(user_id="u1")
+        assert request.slots == 1
+        assert request.context_page is None
+        assert request.deadline_s is None
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError, match="at least one slot"):
+            AdRequest(user_id="u1", slots=0)
+
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            AdRequest(user_id="u1", deadline_s=-0.1)
+
+    def test_zero_deadline_is_legal(self):
+        # Deadline 0 means "already stale unless served instantly" —
+        # the overload tests rely on it.
+        assert AdRequest(user_id="u1", deadline_s=0.0).deadline_s == 0.0
+
+    def test_frozen(self):
+        request = AdRequest(user_id="u1")
+        with pytest.raises(AttributeError):
+            request.slots = 5
+
+
+class TestAdResponse:
+    def test_filled_slots_counts_ads(self):
+        response = AdResponse(user_id="u1", ad_ids=("a", "b"),
+                              lost_to_competition=1)
+        assert response.filled_slots == 2
+
+    def test_empty_response(self):
+        assert AdResponse(user_id="u1").filled_slots == 0
+
+
+class TestServeResult:
+    def test_latency_decomposes(self):
+        result = ServeResult(
+            request=AdRequest(user_id="u1"),
+            status=ServeStatus.SERVED,
+            shard_index=0,
+            queued_s=0.002,
+            service_s=0.003,
+        )
+        assert result.latency_s == pytest.approx(0.005)
+
+    def test_ok_only_for_served(self):
+        request = AdRequest(user_id="u1")
+        assert ServeResult(request, ServeStatus.SERVED, 0).ok
+        for status in (ServeStatus.SHED, ServeStatus.TIMEOUT,
+                       ServeStatus.ERROR):
+            assert not ServeResult(request, status, 0).ok
+
+
+class TestServeTally:
+    def test_counts_by_status_and_impressions(self):
+        tally = ServeTally()
+        request = AdRequest(user_id="u1")
+        tally.add(ServeResult(
+            request, ServeStatus.SERVED, 0,
+            response=AdResponse(user_id="u1", ad_ids=("a", "b")),
+        ))
+        tally.add(ServeResult(request, ServeStatus.SHED, 0))
+        tally.add(ServeResult(request, ServeStatus.TIMEOUT, 0))
+        tally.add(ServeResult(request, ServeStatus.ERROR, 0,
+                              error="boom"))
+        assert tally.submitted == 4
+        assert (tally.served, tally.shed, tally.timeout,
+                tally.errors) == (1, 1, 1, 1)
+        assert tally.impressions == 2

@@ -102,3 +102,29 @@ def test_api_tour_scenario_end_to_end():
         obs_provider.run_delivery()
     assert reg.value("delivery.slots_served") > 0
     assert "delivery.slots_served" in export.to_table(reg)
+
+    # 10. serve it like a platform
+    from repro import (
+        AdRequest,
+        LoadConfig,
+        LoadGenerator,
+        RuntimeConfig,
+        ServingRuntime,
+    )
+
+    runtime = ServingRuntime(platform, RuntimeConfig(
+        num_shards=4,
+        queue_capacity=256,
+    ))
+    with runtime:
+        result = runtime.submit(
+            AdRequest(user.user_id, slots=2, deadline_s=0.05)
+        ).result()
+        assert result.ok and result.response.filled_slots <= 2
+
+        report = LoadGenerator(
+            runtime, platform.users.user_ids(),
+            LoadConfig(rps=300, duration_s=0.3, seed=42),
+        ).run()
+    assert set(report.percentiles()) == {"p50", "p95", "p99"}
+    assert report.tally.errors == 0
