@@ -58,6 +58,12 @@ from repro.serve import (
     ServingRuntime,
     ShardRouter,
 )
+from repro.store import (
+    JournalStore,
+    MemoryStore,
+    Snapshot,
+    StateStore,
+)
 
 __version__ = "1.0.0"
 
@@ -68,8 +74,10 @@ __all__ = [
     "Codebook",
     "PacedCampaignRunner",
     "Encoding",
+    "JournalStore",
     "LoadConfig",
     "LoadGenerator",
+    "MemoryStore",
     "Placement",
     "PlatformConfig",
     "RevealKind",
@@ -79,6 +87,8 @@ __all__ = [
     "ServeStatus",
     "ServingRuntime",
     "ShardRouter",
+    "Snapshot",
+    "StateStore",
     "Tread",
     "TreadClient",
     "TransparencyProvider",

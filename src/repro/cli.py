@@ -29,6 +29,18 @@ Commands
     The same world and runtime, reported from the load generator's
     side: offered vs achieved RPS, shed/timeout counts, and optionally
     the full latency histogram as JSON (``--histogram-out``).
+``checkpoint``
+    Serve a deterministic sharded scenario with per-shard journaling,
+    snapshot every shard mid-run, keep serving, and write the journals,
+    snapshots, a manifest, and the final canonical state report to a
+    directory.
+``restore``
+    Rebuild the same world from a ``checkpoint`` directory via
+    snapshot + journal-suffix replay and verify the recovered state is
+    byte-identical to the recorded final report (exit 0 iff it is).
+``replay``
+    Rebuild the same world by folding each shard's *full* journal onto
+    a fresh state — no snapshot — and verify the same byte-identity.
 
 Global flags: ``-v`` / ``-vv`` attach a stderr handler to the
 ``repro.*`` loggers (INFO / DEBUG); ``--version`` prints the package
@@ -172,6 +184,43 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--histogram-out", metavar="FILE", default=None,
                         help="write the latency histogram + tally JSON "
                              "to FILE")
+
+    checkpoint = commands.add_parser(
+        "checkpoint", help="journal a deterministic sharded run, "
+                           "snapshot mid-run, record the final state"
+    )
+    checkpoint.add_argument("--out", required=True, metavar="DIR",
+                            help="directory for journals, snapshots, "
+                                 "manifest, and final report")
+    checkpoint.add_argument("--seed", type=int, default=11)
+    checkpoint.add_argument("--users", type=int, default=40,
+                            help="persona-mix population size")
+    checkpoint.add_argument("--shards", type=int, default=4)
+    checkpoint.add_argument("--rounds", type=int, default=4,
+                            help="full serving rounds over the "
+                                 "population")
+    checkpoint.add_argument("--checkpoint-after", type=int, default=2,
+                            help="take the snapshot after this many "
+                                 "rounds (rest lands in the journal "
+                                 "suffix)")
+    checkpoint.add_argument("--slots", type=int, default=3,
+                            help="ad slots per user per round")
+
+    restore = commands.add_parser(
+        "restore", help="recover every shard from snapshot + journal "
+                        "suffix and diff against the recorded state"
+    )
+    restore.add_argument("--from", dest="state_dir", required=True,
+                         metavar="DIR",
+                         help="a directory written by 'repro checkpoint'")
+
+    replay = commands.add_parser(
+        "replay", help="fold each shard's full journal onto fresh state "
+                       "and diff against the recorded state"
+    )
+    replay.add_argument("--from", dest="state_dir", required=True,
+                        metavar="DIR",
+                        help="a directory written by 'repro checkpoint'")
     return parser
 
 
@@ -519,6 +568,167 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if tally.errors == 0 and tally.served > 0 else 1
 
 
+def _build_state_world(seed: int, users: int, shards: int,
+                       journal_dir: Optional[str] = None):
+    """The deterministic world behind ``checkpoint``/``restore``/
+    ``replay``: a seeded persona-mix population with a launched Tread
+    sweep, sharded with keyed competition so any two invocations with
+    the same manifest produce identical serving decisions.
+    """
+    from repro.serve import ShardRouter, journal_store_factory
+    from repro.workloads.competition import zero_competition
+
+    platform = AdPlatform(
+        config=PlatformConfig(name="state-cli"),
+        catalog=build_us_catalog(platform_count=40, partner_count=25),
+        competing_draw=zero_competition(),
+    )
+    web = WebDirectory()
+    builder = PopulationBuilder(platform, seed=seed)
+    builder.spawn_mix(
+        [ESTABLISHED_PROFESSIONAL, AVERAGE_CONSUMER,
+         RECENT_ARRIVAL_GRAD_STUDENT],
+        users,
+    )
+    builder.finalize()
+    provider = TransparencyProvider(platform, web, budget=10_000.0,
+                                    bid_cap_cpm=10.0)
+    for user_id in platform.users.user_ids():
+        provider.optin.via_page_like(user_id)
+    provider.launch_partner_sweep()
+    factory = (journal_store_factory(journal_dir)
+               if journal_dir is not None else None)
+    router = ShardRouter(platform, num_shards=shards,
+                         competition=KeyedCompetition(seed=seed),
+                         store_factory=factory)
+    return platform, router
+
+
+def _serve_rounds(platform, router, rounds: int, slots: int) -> None:
+    """Round-robin every user through their shard, ``rounds`` times."""
+    for _ in range(rounds):
+        for user in platform.users:
+            shard = router.shard_for(user.user_id)
+            base = shard.claim_slots(user.user_id, slots)
+            with shard.engine.serving_session():
+                shard.serve_user_slots(user, base, slots)
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.store.audit import canonical_json, state_report
+
+    if not 0 <= args.checkpoint_after <= args.rounds:
+        print("--checkpoint-after must be within [0, --rounds]",
+              file=sys.stderr)
+        return 2
+    platform, router = _build_state_world(
+        args.seed, args.users, args.shards, journal_dir=args.out)
+    _serve_rounds(platform, router, args.checkpoint_after, args.slots)
+    snapshots = router.checkpoint_shards(
+        directory=args.out, label=f"after-round-{args.checkpoint_after}")
+    _serve_rounds(platform, router,
+                  args.rounds - args.checkpoint_after, args.slots)
+    for shard in router.shards:
+        shard.store.flush()
+    manifest = {
+        "seed": args.seed,
+        "users": args.users,
+        "shards": args.shards,
+        "rounds": args.rounds,
+        "checkpoint_after": args.checkpoint_after,
+        "slots": args.slots,
+    }
+    with open(os.path.join(args.out, "manifest.json"), "w",
+              encoding="utf-8") as stream:
+        json.dump(manifest, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    report = state_report(router)
+    with open(os.path.join(args.out, "final_report.json"), "w",
+              encoding="utf-8") as stream:
+        stream.write(canonical_json(report))
+        stream.write("\n")
+    journaled = sum(shard.store.record_count for shard in router.shards)
+    for shard in router.shards:
+        shard.store.close()
+    rows = [
+        ("shards", args.shards),
+        ("rounds (snapshot after)",
+         f"{args.rounds} ({args.checkpoint_after})"),
+        ("records journaled", journaled),
+        ("snapshot journal seqs",
+         ", ".join(str(s.journal_seq) for s in snapshots)),
+        ("impressions", report["totals"]["impressions"]),
+        ("total spend", f"${report['totals']['spend']:.4f}"),
+    ]
+    print(format_table(("checkpoint", "value"), rows,
+                       title=f"repro checkpoint -> {args.out}"))
+    return 0
+
+
+def _load_state_manifest(state_dir: str) -> dict:
+    import os
+
+    with open(os.path.join(state_dir, "manifest.json"),
+              encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def _diff_against_recorded(router, state_dir: str,
+                           mode: str) -> int:
+    """Shared tail of ``restore``/``replay``: byte-diff the rebuilt
+    router's report against the recorded one."""
+    import os
+
+    from repro.store.audit import canonical_json, state_report
+
+    with open(os.path.join(state_dir, "final_report.json"),
+              encoding="utf-8") as stream:
+        recorded = stream.read().strip()
+    rebuilt = canonical_json(state_report(router))
+    for shard in router.shards:
+        shard.store.close()
+    identical = rebuilt == recorded
+    rows = [
+        ("recorded report bytes", len(recorded)),
+        ("rebuilt report bytes", len(rebuilt)),
+        ("byte-identical", "yes" if identical else "NO"),
+    ]
+    print(format_table((mode, "value"), rows,
+                       title=f"repro {mode} <- {state_dir}"))
+    if not identical:
+        print(f"{mode} diverged from the recorded final state",
+              file=sys.stderr)
+    return 0 if identical else 1
+
+
+def _cmd_restore(state_dir: str) -> int:
+    manifest = _load_state_manifest(state_dir)
+    _, router = _build_state_world(
+        manifest["seed"], manifest["users"], manifest["shards"])
+    for index in range(router.num_shards):
+        router.recover_shard(index, state_dir)
+    return _diff_against_recorded(router, state_dir, "restore")
+
+
+def _cmd_replay(state_dir: str) -> int:
+    from repro.serve import shard_journal_path
+    from repro.store import JournalStore
+
+    manifest = _load_state_manifest(state_dir)
+    _, router = _build_state_world(
+        manifest["seed"], manifest["users"], manifest["shards"])
+    replayed = 0
+    for index, shard in enumerate(router.shards):
+        records = JournalStore.read(
+            shard_journal_path(state_dir, index, router.num_shards))
+        replayed += shard.store.replay(records)
+    print(f"replayed {replayed} records across "
+          f"{router.num_shards} shard(s)", file=sys.stderr)
+    return _diff_against_recorded(router, state_dir, "replay")
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "catalog":
         if args.catalog_command == "stats":
@@ -540,6 +750,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
+    if args.command == "restore":
+        return _cmd_restore(args.state_dir)
+    if args.command == "replay":
+        return _cmd_replay(args.state_dir)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

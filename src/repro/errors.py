@@ -76,3 +76,8 @@ class OptInError(ReproError):
 
 class ProviderError(ReproError):
     """A transparency-provider operation failed."""
+
+
+class StoreError(ReproError):
+    """A state-store operation failed (corrupt journal, snapshot version
+    mismatch, unknown record kind, owner-name clash, ...)."""

@@ -130,6 +130,17 @@ METRICS: Dict[str, MetricSpec] = {
     "serve.request_latency_s": MetricSpec(
         HISTOGRAM, "End-to-end request latency (submit to result), "
                    "seconds.", LATENCY_BUCKETS),
+    # -- state store -------------------------------------------------------
+    "store.records_appended": MetricSpec(
+        COUNTER, "Change records appended to a state store journal."),
+    "store.journal_bytes": MetricSpec(
+        COUNTER, "Bytes written to on-disk JSONL journals."),
+    "store.checkpoints_taken": MetricSpec(
+        COUNTER, "Snapshots produced by StateStore.checkpoint()."),
+    "store.restores": MetricSpec(
+        COUNTER, "Snapshots loaded back via StateStore.restore()."),
+    "store.records_replayed": MetricSpec(
+        COUNTER, "Journal records folded back onto owners by replay()."),
     # -- user-side client --------------------------------------------------
     "client.syncs": MetricSpec(
         COUNTER, "TreadClient feed syncs (full decode passes)."),
@@ -148,6 +159,9 @@ SPANS: Dict[str, str] = {
     "loadgen.run": "One open-loop load-generation run.",
     "provider.launch": "Render + submit one batch of Treads.",
     "client.sync": "One client-side feed scan and decode.",
+    "store.checkpoint": "Dump every attached state owner to a snapshot.",
+    "store.restore": "Load a snapshot back into the attached owners.",
+    "store.replay": "Fold journal records onto the attached owners.",
 }
 
 #: Event kinds emitted on the obs event bus, kind -> meaning.

@@ -26,13 +26,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import AudienceError, AudienceTooSmallError
+from repro.errors import AudienceError, AudienceTooSmallError, StoreError
 from repro.platform.attributes import AttributeCatalog
 from repro.platform.pii import PIIRecord, validate_upload
 from repro.platform.pixels import PixelRegistry
 from repro.platform.users import UserStore
+from repro.store.records import (
+    AudienceDelta,
+    ChangeRecord,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.store.store import MemoryStore, StateStore
 
 
 class AudienceKind(enum.Enum):
@@ -108,7 +115,19 @@ class Audience:
 
 
 class AudienceRegistry:
-    """Platform-internal audience store and membership resolver."""
+    """Platform-internal audience store and membership resolver.
+
+    A :class:`~repro.store.store.StateOwner`: every audience creation is
+    journaled as an :class:`~repro.store.records.AudienceDelta` carrying
+    the audience's full config (and, for frozen PII audiences, its
+    matched member ids), so a registry can be rebuilt from its journal
+    alone. Replaying an identical delta onto a registry that already
+    holds the audience is a no-op — a replayed journal may legitimately
+    re-describe audiences a rebuilt world already created.
+    """
+
+    store_name = "audiences"
+    handled_kinds: Tuple[str, ...] = (AudienceDelta.kind,)
 
     def __init__(
         self,
@@ -118,14 +137,21 @@ class AudienceRegistry:
         min_custom_audience_size: int = 20,
         reach_floor: int = 1000,
         reach_quantum: int = 50,
+        store: Optional[StateStore] = None,
     ):
         self._users = users
         self._pixels = pixels
         self._catalog = catalog
+        self._store = store if store is not None else MemoryStore()
+        self._store.attach(self)
         self._audiences: Dict[str, Audience] = {}
         self.min_custom_audience_size = min_custom_audience_size
         self.reach_floor = reach_floor
         self.reach_quantum = reach_quantum
+
+    @property
+    def store(self) -> StateStore:
+        return self._store
 
     # -- creation ----------------------------------------------------------
 
@@ -235,8 +261,83 @@ class AudienceRegistry:
             raise AudienceError(
                 f"duplicate audience id {audience.audience_id!r}"
             )
+        self._store.append(self._delta_for(audience))
         self._audiences[audience.audience_id] = audience
         return audience
+
+    # -- state owner -------------------------------------------------------
+
+    @staticmethod
+    def _delta_for(audience: Audience) -> AudienceDelta:
+        """The journal record fully describing one audience. Member ids
+        are sorted so equal audiences yield byte-identical records."""
+        return AudienceDelta(
+            audience_id=audience.audience_id,
+            owner_account_id=audience.owner_account_id,
+            audience_kind=audience.kind.value,
+            name=audience.name,
+            member_ids=tuple(sorted(audience._matched_user_ids)),
+            pixel_id=audience.pixel_id or "",
+            page_id=audience.page_id or "",
+            phrases=tuple(audience.phrases),
+            seed_audience_id=audience.seed_audience_id or "",
+            similarity_threshold=audience.similarity_threshold,
+        )
+
+    @staticmethod
+    def _audience_from_delta(delta: AudienceDelta) -> Audience:
+        try:
+            kind = AudienceKind(delta.audience_kind)
+        except ValueError:
+            raise StoreError(
+                f"unknown audience kind {delta.audience_kind!r} in "
+                f"delta for {delta.audience_id!r}") from None
+        return Audience(
+            audience_id=delta.audience_id,
+            owner_account_id=delta.owner_account_id,
+            kind=kind,
+            name=delta.name,
+            _matched_user_ids=set(delta.member_ids),
+            pixel_id=delta.pixel_id or None,
+            page_id=delta.page_id or None,
+            phrases=tuple(delta.phrases),
+            seed_audience_id=delta.seed_audience_id or None,
+            similarity_threshold=delta.similarity_threshold,
+        )
+
+    def apply_record(self, record: ChangeRecord) -> None:
+        """Fold one journaled delta in — idempotently: an identical
+        delta for an audience we already hold is skipped, a conflicting
+        one is an error."""
+        if not isinstance(record, AudienceDelta):
+            raise StoreError(
+                f"audiences cannot apply record kind {record.kind!r}")
+        existing = self._audiences.get(record.audience_id)
+        if existing is not None:
+            if self._delta_for(existing) == record:
+                return
+            raise StoreError(
+                f"conflicting audience_delta for {record.audience_id!r}")
+        self._audiences[record.audience_id] = (
+            self._audience_from_delta(record))
+
+    def state_dump(self) -> Dict[str, Any]:
+        return {
+            "audiences": [
+                record_to_dict(self._delta_for(audience))
+                for audience in self._audiences.values()
+            ],
+        }
+
+    def state_load(self, state: Dict[str, Any]) -> None:
+        self._audiences = {}
+        for data in state.get("audiences", []):
+            delta = record_from_dict(dict(data))
+            if not isinstance(delta, AudienceDelta):
+                raise StoreError(
+                    f"audience dump holds a {delta.kind!r} record")
+            self._audiences[delta.audience_id] = (
+                self._audience_from_delta(delta))
 
     def create_lookalike_audience(
         self,

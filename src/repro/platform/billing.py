@@ -10,6 +10,18 @@ A detail the paper leans on: attributes a user does *not* have cost
 nothing — the corresponding Treads are never delivered, so no charge is
 ever recorded. The ledger makes that observable ("zero per-user cost for
 Treads corresponding to targeting parameters that a user does not have").
+
+State model (PR 4): the ledger is a
+:class:`~repro.store.store.StateOwner` — ``state_dump`` captures the
+charge log plus the account budgets it governs, and ``apply_record``
+folds a journaled charge back in (deducting budget) without re-emitting
+obs signals, so replay never double-counts. Delivery-path charges are
+*implied* by the impression record that lands in the same journal
+(``charge_impression(journal=False)``; the delivery engine re-debits
+them on replay via :meth:`BillingLedger.apply_implied_charge`); only
+direct charges with no impression behind them journal their own
+:class:`~repro.store.records.ChargeRecorded` (re-exported here as
+``ChargeRecord``).
 """
 
 from __future__ import annotations
@@ -17,11 +29,14 @@ from __future__ import annotations
 import logging
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import StoreError
 from repro.obs import events as obs_events
 from repro.obs.metrics import registry as obs_registry
 from repro.platform.ads import AdInventory
+from repro.store.records import ChangeRecord, ChargeRecorded, record_from_dict, record_to_dict
+from repro.store.store import MemoryStore, StateStore
 
 _log = logging.getLogger("repro.platform.billing")
 
@@ -29,15 +44,8 @@ _log = logging.getLogger("repro.platform.billing")
 #: second-price charges must not keep an account formally solvent.
 _BUDGET_EPSILON = 1e-9
 
-
-@dataclass(frozen=True)
-class ChargeRecord:
-    """One billed impression."""
-
-    ad_id: str
-    account_id: str
-    amount: float
-    impression_seq: int
+#: One billed impression — the journal record *is* the ledger entry.
+ChargeRecord = ChargeRecorded
 
 
 @dataclass
@@ -53,8 +61,14 @@ class Invoice:
 class BillingLedger:
     """Append-only charge log with per-ad and per-account aggregation."""
 
-    def __init__(self, inventory: AdInventory):
+    store_name = "billing"
+    handled_kinds: Tuple[str, ...] = (ChargeRecorded.kind,)
+
+    def __init__(self, inventory: AdInventory,
+                 store: Optional[StateStore] = None):
         self._inventory = inventory
+        self._store = store if store is not None else MemoryStore()
+        self._store.attach(self)
         self._charges: List[ChargeRecord] = []
         self._spend_by_ad: Dict[str, float] = defaultdict(float)
         self._impressions_by_ad: Dict[str, int] = defaultdict(int)
@@ -64,12 +78,38 @@ class BillingLedger:
         self._obs_exhausted = reg.counter("billing.budget_exhausted")
         self._bus = obs_events.bus()
 
+    @property
+    def store(self) -> StateStore:
+        return self._store
+
     def charge_impression(self, ad_id: str, account_id: str, amount: float,
-                          impression_seq: int) -> ChargeRecord:
-        """Charge one impression to the advertiser's account budget."""
+                          impression_seq: int,
+                          journal: bool = True) -> ChargeRecord:
+        """Charge one impression to the advertiser's account budget.
+
+        ``journal=False`` is the delivery engine's path: the
+        :class:`~repro.store.records.ImpressionRecorded` it journals for
+        the same event carries the identical ``(ad, account, price,
+        seq)`` tuple, so the charge is *implied* by the impression
+        record and replayed from it (one journal record per delivered
+        impression, not two). Direct charges with no impression record
+        behind them must keep the default and journal themselves.
+        """
         account = self._inventory.account(account_id)
         solvent_before = account.budget > _BUDGET_EPSILON
         account.charge(amount)
+        record = ChargeRecord(
+            ad_id=ad_id,
+            account_id=account_id,
+            amount=amount,
+            impression_seq=impression_seq,
+        )
+        # Journal only once the charge has committed: the journal is the
+        # exact log of mutations that happened, so replaying it cannot
+        # invent a charge a raised BudgetError prevented.
+        if journal:
+            self._store.append(record)
+        self._fold_charge(record)
         if self._obs_on:
             self._obs_charged.inc()
         if solvent_before and account.budget <= _BUDGET_EPSILON:
@@ -80,16 +120,77 @@ class BillingLedger:
                 self._bus.emit(obs_events.BudgetExhausted(
                     account_id=account_id, last_charge=amount,
                 ))
-        record = ChargeRecord(
+        return record
+
+    # -- state owner -------------------------------------------------------
+
+    def _fold_charge(self, record: ChargeRecord) -> None:
+        """Log + aggregate one charge (shared by live path and replay)."""
+        self._charges.append(record)
+        self._spend_by_ad[record.ad_id] += record.amount
+        self._impressions_by_ad[record.ad_id] += 1
+
+    def apply_record(self, record: ChangeRecord) -> None:
+        """Replay one journaled charge: deduct the budget and fold the
+        aggregates, with no obs emission and no re-journaling."""
+        if not isinstance(record, ChargeRecorded):
+            raise StoreError(
+                f"billing cannot apply record kind {record.kind!r}")
+        self._inventory.account(record.account_id).charge(record.amount)
+        self._fold_charge(record)
+
+    def apply_implied_charge(self, ad_id: str, account_id: str,
+                             amount: float, impression_seq: int) -> None:
+        """Replay the charge implied by a journaled impression.
+
+        The delivery engine calls this from its own ``apply_record``
+        when it folds an :class:`ImpressionRecorded` back in — the
+        impression *is* the charge's journal entry (see
+        :meth:`charge_impression`), so replay must re-debit here or the
+        recovered ledger would under-bill."""
+        self.apply_record(ChargeRecord(
             ad_id=ad_id,
             account_id=account_id,
             amount=amount,
             impression_seq=impression_seq,
-        )
-        self._charges.append(record)
-        self._spend_by_ad[ad_id] += amount
-        self._impressions_by_ad[ad_id] += 1
-        return record
+        ))
+
+    def _governed_accounts(self) -> List[Any]:
+        """The accounts whose budgets this ledger's charges mutate: the
+        shard-local clones when billing against a ShardAccountsView,
+        else the full inventory."""
+        local = getattr(self._inventory, "local_accounts", None)
+        if local is not None:
+            return list(local().values())
+        return list(self._inventory.accounts())
+
+    def state_dump(self) -> Dict[str, Any]:
+        return {
+            "charges": [record_to_dict(r) for r in self._charges],
+            "budgets": {
+                account.account_id: account.budget
+                for account in self._governed_accounts()
+            },
+        }
+
+    def state_load(self, state: Dict[str, Any]) -> None:
+        """Replace the ledger's state with a prior dump: refold the
+        charge log (aggregates only), then pin budgets to the dumped
+        values — budgets are authoritative in the dump, not re-derived,
+        so a restored ledger is exact even mid-exhaustion."""
+        self._charges = []
+        self._spend_by_ad = defaultdict(float)
+        self._impressions_by_ad = defaultdict(int)
+        for data in state.get("charges", []):
+            record = record_from_dict(dict(data))
+            if not isinstance(record, ChargeRecorded):
+                raise StoreError(
+                    f"billing dump holds a {record.kind!r} record")
+            self._fold_charge(record)
+        for account_id, budget in state.get("budgets", {}).items():
+            self._inventory.account(account_id).budget = float(budget)
+
+    # -- reads -------------------------------------------------------------
 
     def spend_for_ad(self, ad_id: str) -> float:
         return self._spend_by_ad.get(ad_id, 0.0)

@@ -18,17 +18,28 @@ so a slot only evaluates ads reachable from the user's own attributes and
 page likes, each via a **compiled flat matcher** instead of re-walking the
 spec's AST. Reporting reads (per-ad impressions, clicks, unique reach) are
 maintained incrementally at delivery time instead of scanning the logs.
+
+State model (PR 4, see docs/state.md): the engine is a
+:class:`~repro.store.store.StateOwner`. Every impression and click is a
+journal record — ``Impression`` *is*
+:class:`repro.store.records.ImpressionRecorded` and ``Click`` *is*
+:class:`repro.store.records.ClickRecorded` — appended to the engine's
+:class:`~repro.store.store.StateStore` at commit time and then folded
+into the in-memory structures by one shared ``_apply_*`` path. Replay,
+snapshot restore, and shard migration reuse that same fold, minus the
+journaling and obs emission that only the live path performs.
 """
 
 from __future__ import annotations
 
 import itertools
 import logging
-from collections import defaultdict
+from collections import Counter, defaultdict
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import StoreError
 from repro.obs import events as obs_events
 from repro.obs import tracing as obs_tracing
 from repro.obs.metrics import MetricsRegistry, registry as obs_registry
@@ -38,30 +49,26 @@ from repro.platform.audiences import AudienceRegistry
 from repro.platform.billing import BillingLedger
 from repro.platform.targeting import AudienceResolver, CompiledSpec
 from repro.platform.users import UserProfile, UserStore
+from repro.store.records import (
+    CapIncremented,
+    ChangeRecord,
+    ClickRecorded,
+    ImpressionRecorded,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.store.store import MemoryStore, StateStore
 
 _EMPTY_SET: frozenset = frozenset()
 
 _log = logging.getLogger("repro.platform.delivery")
 
+#: Platform-internal record of one delivered impression — the journal
+#: record *is* the log entry (see the state-model note above).
+Impression = ImpressionRecorded
 
-@dataclass(frozen=True)
-class Impression:
-    """Platform-internal record of one delivered impression."""
-
-    seq: int
-    ad_id: str
-    account_id: str
-    user_id: str
-    price: float
-
-
-@dataclass(frozen=True)
-class Click:
-    """Platform-internal record of one ad click."""
-
-    ad_id: str
-    user_id: str
-    click_seq: int
+#: Platform-internal record of one ad click.
+Click = ClickRecorded
 
 
 @dataclass(frozen=True)
@@ -100,23 +107,6 @@ class DeliveryStats:
     no_eligible_ad: int = 0
 
 
-@dataclass
-class DeliveryStateExport:
-    """Portable per-user delivery state (see ``export_state``).
-
-    The serving layer's shard rebalance migrates users between engines
-    by exporting their state from the old owner and importing it into
-    the new one: frequency caps (``shown_counts``) make deliver-once
-    survive the move, feeds keep the user-visible history, and the
-    impression/click logs keep cross-shard reporting aggregation exact.
-    """
-
-    impressions: List[Impression] = field(default_factory=list)
-    clicks: List[Click] = field(default_factory=list)
-    feeds: Dict[str, List[DeliveredAd]] = field(default_factory=dict)
-    shown_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
-
-
 #: Process-wide engine id sequence for engines constructed without an
 #: explicit ``engine_id`` (debuggability: shard-owned engines name the
 #: shard instead).
@@ -143,6 +133,11 @@ class DeliveryEngine:
     debuggable.
     """
 
+    store_name = "delivery"
+    handled_kinds: Tuple[str, ...] = (
+        ImpressionRecorded.kind, ClickRecorded.kind, CapIncremented.kind,
+    )
+
     def __init__(
         self,
         inventory: AdInventory,
@@ -154,6 +149,7 @@ class DeliveryEngine:
         min_match_count: int = 0,
         metrics: Optional[MetricsRegistry] = None,
         engine_id: Optional[str] = None,
+        store: Optional[StateStore] = None,
     ):
         if frequency_cap < 1:
             raise ValueError("frequency cap must be >= 1")
@@ -161,6 +157,8 @@ class DeliveryEngine:
             raise ValueError("min match count cannot be negative")
         self.engine_id = (engine_id if engine_id is not None
                           else f"engine-{next(_ENGINE_IDS)}")
+        self._store = store if store is not None else MemoryStore()
+        self._store.attach(self)
         self._inventory = inventory
         self._audiences = audiences
         self._ledger = ledger
@@ -402,26 +400,26 @@ class DeliveryEngine:
         return outcome
 
     def _deliver(self, ad: Ad, user: UserProfile, price: float) -> None:
+        """Live delivery: charge, journal, fold, emit obs signals."""
         seq = self._impression_seq
-        self._impression_seq += 1
+        # The charge commits before the impression exists anywhere; a
+        # raised BudgetError leaves the journal without a trace of this
+        # slot. journal=False: the ImpressionRecorded appended below is
+        # the journal entry for the whole delivery — impression and
+        # charge are one atomic event with one record, and replay
+        # re-derives the debit from it (apply_record below).
         self._ledger.charge_impression(
             ad_id=ad.ad_id,
             account_id=ad.account_id,
             amount=price,
             impression_seq=seq,
+            journal=False,
         )
         impression = Impression(seq=seq, ad_id=ad.ad_id,
                                 account_id=ad.account_id,
                                 user_id=user.user_id, price=price)
-        self._impressions.append(impression)
-        # Reporting views, maintained at delivery time so report reads
-        # never scan the full impression log.
-        per_ad = self._impressions_by_ad.get(ad.ad_id)
-        if per_ad is None:
-            per_ad = self._impressions_by_ad[ad.ad_id] = []
-            self._reach_by_ad[ad.ad_id] = set()
-        per_ad.append(impression)
-        self._reach_by_ad[ad.ad_id].add(user.user_id)
+        self._store.append(impression)
+        self._apply_impression(impression, ad)
         if self._obs_on:
             self._obs_impressions.inc()
         if self._bus.active:
@@ -432,29 +430,53 @@ class DeliveryEngine:
                 price=price,
                 impression_seq=seq,
             ))
-        key = (ad.ad_id, user.user_id)
+
+    def _apply_impression(self, impression: Impression,
+                          ad: Optional[Ad] = None) -> None:
+        """Fold one impression into every in-memory structure.
+
+        Shared by the live path, snapshot restore, migration import, and
+        journal replay — the non-live callers pass no ``ad`` (it is
+        re-read from the shared inventory) and run with no match cache,
+        so the live-only pruning below is naturally inert for them.
+        """
+        if ad is None:
+            ad = self._inventory.ad(impression.ad_id)
+        self._impressions.append(impression)
+        # Reporting views, maintained at delivery time so report reads
+        # never scan the full impression log.
+        per_ad = self._impressions_by_ad.get(impression.ad_id)
+        if per_ad is None:
+            per_ad = self._impressions_by_ad[impression.ad_id] = []
+            self._reach_by_ad[impression.ad_id] = set()
+        per_ad.append(impression)
+        self._reach_by_ad[impression.ad_id].add(impression.user_id)
+        if impression.seq >= self._impression_seq:
+            self._impression_seq = impression.seq + 1
+        key = (impression.ad_id, impression.user_id)
         shown = self._shown_counts.get(key, 0) + 1
         self._shown_counts[key] = shown
         if shown >= self.frequency_cap:
-            self._capped_for_user.setdefault(user.user_id, set()).add(ad.ad_id)
+            self._capped_for_user.setdefault(
+                impression.user_id, set()).add(impression.ad_id)
             # Caps are monotone within a run, so a just-capped ad can be
             # pruned from the user's cached match list — later slots then
             # scan only still-deliverable entries instead of re-skipping
             # every capped one.
             cache = self._match_cache
             if cache is not None:
-                matched = cache.get(user.user_id)
+                matched = cache.get(impression.user_id)
                 if matched is not None:
                     if self._obs_on:
                         self._obs_pruned.inc()
-                    cache[user.user_id] = [
+                    cache[impression.user_id] = [
                         entry for entry in matched if entry[0] is not ad
                     ]
         creative = ad.creative
-        self._feeds[user.user_id].append(
+        self._feeds[impression.user_id].append(
             DeliveredAd(
-                ad_id=ad.ad_id,
-                account_id=ad.account_id,
+                ad_id=impression.ad_id,
+                account_id=impression.account_id,
                 headline=creative.headline,
                 body=creative.body,
                 image=(creative.image.frozen()
@@ -462,7 +484,7 @@ class DeliveryEngine:
                 landing_url=(
                     str(creative.landing_url) if creative.landing_url else None
                 ),
-                impression_seq=seq,
+                impression_seq=impression.seq,
             )
         )
 
@@ -615,13 +637,31 @@ class DeliveryEngine:
             )
         click = Click(ad_id=ad_id, user_id=user_id,
                       click_seq=len(self._clicks))
-        self._clicks.append(click)
-        self._clicks_by_ad[ad_id] = self._clicks_by_ad.get(ad_id, 0) + 1
+        self._store.append(click)
+        self._apply_click(click)
         self._obs_clicks.inc()
         if self._bus.active:
             self._bus.emit(obs_events.ClickRecorded(
                 ad_id=ad_id, user_id=user_id, click_seq=click.click_seq,
             ))
+
+    def _apply_click(self, click: Click) -> None:
+        """Fold one click into the log and the per-ad view (shared by
+        the live path, restore, import, and replay)."""
+        self._clicks.append(click)
+        self._clicks_by_ad[click.ad_id] = (
+            self._clicks_by_ad.get(click.ad_id, 0) + 1
+        )
+
+    def _apply_cap(self, record: CapIncremented) -> None:
+        """Fold a bare cap adjustment (migration-only; see
+        :class:`repro.store.records.CapIncremented`)."""
+        key = (record.ad_id, record.user_id)
+        shown = self._shown_counts.get(key, 0) + record.count
+        self._shown_counts[key] = shown
+        if shown >= self.frequency_cap:
+            self._capped_for_user.setdefault(
+                record.user_id, set()).add(record.ad_id)
 
     def clicks(self) -> List[Click]:
         """Platform-internal click log, in click order."""
@@ -664,72 +704,160 @@ class DeliveryEngine:
             "in_session": self._match_cache is not None,
         }
 
+    @property
+    def store(self) -> StateStore:
+        return self._store
+
+    def _require_out_of_session(self, operation: str) -> None:
+        if self._match_cache is not None:
+            raise StoreError(
+                f"{self.engine_id}: cannot {operation} inside a "
+                "serving session"
+            )
+
+    def _extra_caps(
+        self,
+        impressions: Sequence[Impression],
+        shown_counts: Dict[Tuple[str, str], int],
+    ) -> List[List[object]]:
+        """Cap counts beyond what ``impressions`` imply, sorted for
+        deterministic dumps. Empty for any state this engine delivered
+        itself; non-empty only after a bare-cap import."""
+        implied = Counter(
+            (imp.ad_id, imp.user_id) for imp in impressions
+        )
+        extras: List[List[object]] = []
+        for key in sorted(shown_counts):
+            excess = shown_counts[key] - implied.get(key, 0)
+            if excess > 0:
+                extras.append([key[0], key[1], excess])
+        return extras
+
     def export_state(
         self, user_ids: Optional[Set[str]] = None
-    ) -> DeliveryStateExport:
+    ) -> Dict[str, Any]:
         """Export per-user delivery state, optionally for a user subset.
 
         Everything exported is per-user, so exporting the users a shard
         is giving up and importing them elsewhere preserves every
-        engine-level invariant (deliver-once via ``shown_counts``, exact
-        reporting via the logs). Records are shared, not copied —
-        :class:`Impression`/:class:`Click`/:class:`DeliveredAd` are
-        frozen dataclasses.
+        engine-level invariant (deliver-once via the cap counts, exact
+        reporting via the logs). The export is JSON-safe — impressions
+        and clicks as their journal-record dicts, caps beyond those the
+        impressions imply as explicit ``extra_caps`` — because it is
+        also the engine's snapshot section (see :meth:`state_dump`);
+        feeds are not exported, they are rebuilt from the impressions
+        and the shared inventory on import.
         """
         if user_ids is None:
-            return DeliveryStateExport(
-                impressions=list(self._impressions),
-                clicks=list(self._clicks),
-                feeds={u: list(ads) for u, ads in self._feeds.items()},
-                shown_counts=dict(self._shown_counts),
-            )
-        return DeliveryStateExport(
-            impressions=[i for i in self._impressions
-                         if i.user_id in user_ids],
-            clicks=[c for c in self._clicks if c.user_id in user_ids],
-            feeds={u: list(ads) for u, ads in self._feeds.items()
-                   if u in user_ids},
-            shown_counts={key: count
-                          for key, count in self._shown_counts.items()
-                          if key[1] in user_ids},
-        )
+            impressions: List[Impression] = self._impressions
+            clicks: List[Click] = self._clicks
+            shown = self._shown_counts
+        else:
+            impressions = [i for i in self._impressions
+                           if i.user_id in user_ids]
+            clicks = [c for c in self._clicks if c.user_id in user_ids]
+            shown = {key: count
+                     for key, count in self._shown_counts.items()
+                     if key[1] in user_ids}
+        return {
+            "impressions": [record_to_dict(i) for i in impressions],
+            "clicks": [record_to_dict(c) for c in clicks],
+            "extra_caps": self._extra_caps(impressions, shown),
+        }
 
-    def import_state(self, state: DeliveryStateExport) -> None:
-        """Merge exported per-user state into this engine.
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Merge exported per-user state into this engine, journaling it.
 
         The migration hook behind :meth:`repro.serve.ShardRouter.rebalance`:
-        reporting views, caps, and feeds are rebuilt incrementally so
-        every read (``impressions_for_ad``, ``unique_reach``,
-        ``record_click`` validation) answers as if this engine had
-        delivered the imported impressions itself. Must not be called
-        mid-session (single-owner rule; the serving layer only migrates
-        between serving windows).
+        each imported impression/click/cap is appended to this engine's
+        store (the receiving journal must account for every unit of
+        state it holds, or crash recovery after a migration would lose
+        it) and folded through the same ``_apply_*`` path as live
+        delivery, so every read answers as if this engine had delivered
+        the imported impressions itself. Must not be called mid-session
+        (single-owner rule; the serving layer only migrates between
+        serving windows).
         """
-        if self._match_cache is not None:
-            raise RuntimeError(
-                f"{self.engine_id}: cannot import state inside a "
-                "serving session"
+        self._require_out_of_session("import state")
+        self._fold_state(state, journal=True)
+
+    def _fold_state(self, state: Dict[str, Any], journal: bool) -> None:
+        for data in state.get("impressions", []):
+            record = record_from_dict(dict(data))
+            if not isinstance(record, ImpressionRecorded):
+                raise StoreError(
+                    f"delivery state holds a {record.kind!r} record "
+                    "in its impressions section")
+            if journal:
+                self._store.append(record)
+            self._apply_impression(record)
+        for data in state.get("clicks", []):
+            record = record_from_dict(dict(data))
+            if not isinstance(record, ClickRecorded):
+                raise StoreError(
+                    f"delivery state holds a {record.kind!r} record "
+                    "in its clicks section")
+            if journal:
+                self._store.append(record)
+            self._apply_click(record)
+        for ad_id, user_id, count in state.get("extra_caps", []):
+            cap = CapIncremented(ad_id=ad_id, user_id=user_id,
+                                 count=int(count))
+            if journal:
+                self._store.append(cap)
+            self._apply_cap(cap)
+
+    # -- state owner ---------------------------------------------------------
+
+    def state_dump(self) -> Dict[str, Any]:
+        dump = self.export_state()
+        dump["impression_seq"] = self._impression_seq
+        return dump
+
+    def state_load(self, state: Dict[str, Any]) -> None:
+        """Replace all mutable delivery state with a prior dump.
+
+        Unlike :meth:`import_state` this is the restore path: nothing is
+        journaled (the records behind this dump are already in the
+        journal, before the snapshot point), and existing state is
+        discarded first.
+        """
+        self._require_out_of_session("load state")
+        self._impression_seq = 0
+        self._impressions = []
+        self._clicks = []
+        self._feeds = defaultdict(list)
+        self._shown_counts = {}
+        self._capped_for_user = {}
+        self._impressions_by_ad = {}
+        self._reach_by_ad = {}
+        self._clicks_by_ad = {}
+        self._fold_state(state, journal=False)
+        seq = state.get("impression_seq")
+        if isinstance(seq, int) and seq > self._impression_seq:
+            self._impression_seq = seq
+
+    def apply_record(self, record: ChangeRecord) -> None:
+        """Replay one journal record (no journaling, no obs).
+
+        An impression record implies its charge (see ``_deliver``), so
+        replaying one re-debits the ledger first — matching the live
+        order — then folds the impression. Snapshot restore does NOT
+        come through here: the ledger's own dump carries the charge log
+        and budgets, so only journal replay re-derives charges.
+        """
+        if isinstance(record, ImpressionRecorded):
+            self._ledger.apply_implied_charge(
+                ad_id=record.ad_id,
+                account_id=record.account_id,
+                amount=record.price,
+                impression_seq=record.seq,
             )
-        max_seq = self._impression_seq
-        for impression in state.impressions:
-            self._impressions.append(impression)
-            per_ad = self._impressions_by_ad.get(impression.ad_id)
-            if per_ad is None:
-                per_ad = self._impressions_by_ad[impression.ad_id] = []
-                self._reach_by_ad[impression.ad_id] = set()
-            per_ad.append(impression)
-            self._reach_by_ad[impression.ad_id].add(impression.user_id)
-            max_seq = max(max_seq, impression.seq + 1)
-        self._impression_seq = max_seq
-        for click in state.clicks:
-            self._clicks.append(click)
-            self._clicks_by_ad[click.ad_id] = (
-                self._clicks_by_ad.get(click.ad_id, 0) + 1
-            )
-        for user_id, delivered in state.feeds.items():
-            self._feeds[user_id].extend(delivered)
-        for (ad_id, user_id), count in state.shown_counts.items():
-            shown = self._shown_counts.get((ad_id, user_id), 0) + count
-            self._shown_counts[(ad_id, user_id)] = shown
-            if shown >= self.frequency_cap:
-                self._capped_for_user.setdefault(user_id, set()).add(ad_id)
+            self._apply_impression(record)
+        elif isinstance(record, ClickRecorded):
+            self._apply_click(record)
+        elif isinstance(record, CapIncremented):
+            self._apply_cap(record)
+        else:
+            raise StoreError(
+                f"delivery cannot apply record kind {record.kind!r}")

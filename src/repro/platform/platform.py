@@ -57,6 +57,7 @@ from repro.platform.reporting import (
 from repro.platform.targeting import TargetingSpec, parse
 from repro.platform.users import UserProfile, UserStore
 from repro.platform.web import Browser, Visit
+from repro.store.store import MemoryStore, StateStore
 
 _log = logging.getLogger("repro.platform")
 
@@ -124,10 +125,15 @@ class AdPlatform:
         config: Optional[PlatformConfig] = None,
         catalog: Optional[AttributeCatalog] = None,
         competing_draw: Optional[CompetingBidDraw] = None,
+        store: Optional[StateStore] = None,
     ):
         self.config = config or PlatformConfig()
         self.catalog = catalog if catalog is not None else build_us_catalog()
         self.ids = IdFactory(prefix=self.config.name)
+        # One state store shared by every mutable-state owner on this
+        # platform (audiences, billing, delivery): pass a JournalStore
+        # for a durable write-ahead journal, default is in-memory.
+        self.store = store if store is not None else MemoryStore()
         self.users = UserStore()
         self.pixels = PixelRegistry()
         self.audiences = AudienceRegistry(
@@ -137,9 +143,10 @@ class AdPlatform:
             min_custom_audience_size=self.config.min_custom_audience_size,
             reach_floor=self.config.reach_floor,
             reach_quantum=self.config.reach_quantum,
+            store=self.store,
         )
         self.inventory = AdInventory()
-        self.ledger = BillingLedger(self.inventory)
+        self.ledger = BillingLedger(self.inventory, store=self.store)
         self.policy = PolicyEngine(
             self.catalog, strictness=self.config.policy_strictness
         )
@@ -156,6 +163,7 @@ class AdPlatform:
             frequency_cap=self.config.frequency_cap,
             floor_price_cpm=self.config.floor_price_cpm,
             min_match_count=self.config.min_delivery_match_count,
+            store=self.store,
         )
         self.delivery.attach_user_store(self.users)
         self.reporting = ReportingService(

@@ -26,7 +26,10 @@ from repro.serve.sharding import (
     KeyedCompetition,
     Shard,
     ShardRouter,
+    journal_store_factory,
     shard_index,
+    shard_journal_path,
+    shard_snapshot_path,
 )
 
 __all__ = [
@@ -43,5 +46,8 @@ __all__ = [
     "ServingRuntime",
     "Shard",
     "ShardRouter",
+    "journal_store_factory",
     "shard_index",
+    "shard_journal_path",
+    "shard_snapshot_path",
 ]

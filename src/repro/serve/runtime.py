@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import List, Optional, Sequence
 
+from repro.errors import StoreError
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.platform.platform import AdPlatform
@@ -51,7 +52,13 @@ from repro.serve.requests import (
     ServeResult,
     ServeStatus,
 )
-from repro.serve.sharding import KeyedCompetition, Shard, ShardRouter
+from repro.serve.sharding import (
+    KeyedCompetition,
+    Shard,
+    ShardRouter,
+    journal_store_factory,
+)
+from repro.store.snapshot import Snapshot
 
 _log = logging.getLogger("repro.serve.runtime")
 
@@ -72,6 +79,13 @@ class RuntimeConfig:
     max_batch: int = 32
     #: Deadline applied to requests that do not carry their own.
     default_deadline_s: Optional[float] = None
+    #: Directory for per-shard write-ahead journals and snapshots. When
+    #: set (and no prebuilt router is passed), every shard's state store
+    #: is an on-disk :class:`repro.store.JournalStore` and the runtime
+    #: supports :meth:`ServingRuntime.checkpoint` /
+    #: :meth:`ServingRuntime.recover_shard`. ``None`` keeps shard state
+    #: in memory.
+    journal_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -122,6 +136,10 @@ class ServingRuntime:
             platform,
             num_shards=self.config.num_shards,
             competition=competition,
+            store_factory=(
+                journal_store_factory(self.config.journal_dir)
+                if self.config.journal_dir is not None else None
+            ),
         )
         if router is not None and config is not None \
                 and router.num_shards != config.num_shards:
@@ -190,7 +208,15 @@ class ServingRuntime:
 
     def stop(self, drain: bool = True,
              timeout: Optional[float] = 30.0) -> None:
-        """Stop workers; by default finishes queued work first."""
+        """Stop workers; by default finishes queued work first.
+
+        Requests still queued when the workers exit — ``drain=False``, a
+        drain that timed out, or admission without workers — are
+        resolved as TIMEOUT on the way down: an admitted request's
+        future always gets a terminal result, never a silent drop, so
+        ``served + shed + timeout + errored == submitted`` holds across
+        shutdown too.
+        """
         if not self._running:
             return
         if drain and self._workers:
@@ -199,7 +225,34 @@ class ServingRuntime:
         for thread in self._workers:
             thread.join(timeout=timeout)
         self._workers = []
+        self._flush_unserved()
+        for shard in self.router.shards:
+            shard.store.flush()
         self._running = False
+
+    def _flush_unserved(self) -> None:
+        """Resolve every still-queued request as TIMEOUT (no delivery
+        work was or will be done for it)."""
+        flushed = 0
+        for shard in self.router.shards:
+            shard_queue = self._queues[shard.index]
+            while True:
+                try:
+                    item = shard_queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._m_depth.dec()
+                self._m_timeout.inc()
+                self._resolve(item, ServeResult(
+                    request=item.request,
+                    status=ServeStatus.TIMEOUT,
+                    shard_index=shard.index,
+                    queued_s=perf_counter() - item.enqueued_at,
+                ))
+                flushed += 1
+        if flushed:
+            _log.info("shutdown drained %d unserved requests as TIMEOUT",
+                      flushed)
 
     def __enter__(self) -> "ServingRuntime":
         return self.start()
@@ -233,6 +286,38 @@ class ServingRuntime:
         ]
         self._submit_locks = [threading.Lock() for _ in range(num_shards)]
 
+    def checkpoint(self, label: str = "") -> List[Snapshot]:
+        """Snapshot every shard's state at its journal position.
+
+        Drains in-flight work first (a snapshot mid-batch would split a
+        request's effects across the snapshot boundary), then dumps each
+        shard under its lock. With a ``journal_dir`` configured the
+        snapshots are also written next to the journals, where
+        :meth:`recover_shard` finds them. The caller must not race new
+        submissions against the checkpoint.
+        """
+        if self._running:
+            self.drain()
+        return self.router.checkpoint_shards(
+            directory=self.config.journal_dir, label=label)
+
+    def recover_shard(self, index: int) -> Shard:
+        """Rebuild one shard from its on-disk snapshot + journal.
+
+        The crash-recovery entry point: call with the runtime stopped
+        (e.g. after a shard's state was lost mid-run), then start again
+        — the replacement shard carries every cap, charge, feed, and
+        slot counter the journal proves, so nothing is re-delivered or
+        double-charged when serving resumes.
+        """
+        if self._running:
+            raise RuntimeError("stop the runtime before recovering a shard")
+        if self.config.journal_dir is None:
+            raise StoreError(
+                "shard recovery needs a runtime configured with "
+                "journal_dir")
+        return self.router.recover_shard(index, self.config.journal_dir)
+
     # -- admission ---------------------------------------------------------
 
     def submit(self, request: AdRequest) -> "Future[ServeResult]":
@@ -253,9 +338,10 @@ class ServingRuntime:
             # Slot indices are claimed at admission, under the submit
             # lock, so the competing-bid key for each of this user's
             # slots depends only on submission order — not on when a
-            # worker gets to the request or how many shards exist.
-            base_seq = shard.slot_seq.get(request.user_id, 0)
-            shard.slot_seq[request.user_id] = base_seq + request.slots
+            # worker gets to the request or how many shards exist. The
+            # claim is journaled (see Shard.claim_slots) so a recovered
+            # shard resumes the same keyed sequence.
+            base_seq = shard.claim_slots(request.user_id, request.slots)
             item = _QueuedRequest(
                 request=request,
                 future=future,

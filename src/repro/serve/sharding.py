@@ -36,16 +36,49 @@ from __future__ import annotations
 import hashlib
 import logging
 import math
+import os
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.errors import StoreError
 from repro.platform.ads import AdAccount, AdInventory
 from repro.platform.billing import BillingLedger
-from repro.platform.delivery import DeliveryEngine, DeliveryStateExport
+from repro.platform.delivery import DeliveryEngine
 from repro.platform.platform import AdPlatform
+from repro.store.records import ChangeRecord, SlotClaimed
+from repro.store.snapshot import Snapshot
+from repro.store.store import JournalStore, MemoryStore, StateStore
 
 _log = logging.getLogger("repro.serve.sharding")
+
+#: Builds one shard's state store: ``(shard_index, num_shards) -> store``.
+StoreFactory = Callable[[int, int], StateStore]
+
+
+def shard_journal_path(directory: str, index: int, num_shards: int) -> str:
+    """The canonical per-shard journal file. Shard count is part of the
+    name so a rebalanced router starts fresh files instead of folding a
+    differently-partitioned history into them."""
+    return os.path.join(
+        directory, f"shard-{index}-of-{num_shards}.journal.jsonl")
+
+
+def shard_snapshot_path(directory: str, index: int, num_shards: int) -> str:
+    """The canonical per-shard snapshot file (see
+    :func:`shard_journal_path` on naming)."""
+    return os.path.join(
+        directory, f"shard-{index}-of-{num_shards}.snapshot.json")
+
+
+def journal_store_factory(directory: str,
+                          fsync: bool = False) -> StoreFactory:
+    """A :data:`StoreFactory` giving every shard an on-disk JSONL
+    write-ahead journal under ``directory``."""
+    def factory(index: int, num_shards: int) -> StateStore:
+        return JournalStore(
+            shard_journal_path(directory, index, num_shards), fsync=fsync)
+    return factory
 
 
 def shard_index(user_id: str, num_shards: int, salt: str = "") -> int:
@@ -183,15 +216,33 @@ class Shard:
     counter that keys :class:`KeyedCompetition` — assigned at admission
     time so the key depends on submission order, never on which worker
     dequeues first.
+
+    The shard is itself a :class:`~repro.store.store.StateOwner` on its
+    ``store`` (shared with its engine and ledger): slot claims are
+    journaled as :class:`~repro.store.records.SlotClaimed` so a
+    recovered shard resumes each user's slot counter — and therefore the
+    keyed competition sequence — exactly where the dead shard stopped.
     """
+
+    store_name = "shard"
+    handled_kinds = (SlotClaimed.kind,)
 
     index: int
     engine: DeliveryEngine
     ledger: BillingLedger
     accounts: ShardAccountsView
     cursor: CompetitionCursor
+    store: StateStore
     lock: threading.Lock = field(default_factory=threading.Lock)
     slot_seq: Dict[str, int] = field(default_factory=dict)
+
+    def claim_slots(self, user_id: str, slots: int) -> int:
+        """Claim the user's next ``slots`` slot indices (journaled);
+        returns the base index. Caller serializes per-shard admission."""
+        base = self.slot_seq.get(user_id, 0)
+        self.slot_seq[user_id] = base + slots
+        self.store.append(SlotClaimed(user_id=user_id, slots=slots))
+        return base
 
     def serve_user_slots(self, user, base_seq: int,
                          slots: int) -> List:
@@ -204,6 +255,25 @@ class Shard:
             self.cursor.key = (user.user_id, base_seq + offset)
             outcomes.append(self.engine.serve_slot(user))
         return outcomes
+
+    # -- state owner -------------------------------------------------------
+
+    def state_dump(self) -> Dict[str, Any]:
+        return {"slot_seq": dict(self.slot_seq)}
+
+    def state_load(self, state: Dict[str, Any]) -> None:
+        self.slot_seq = {
+            str(user_id): int(seq)
+            for user_id, seq in state.get("slot_seq", {}).items()
+        }
+
+    def apply_record(self, record: ChangeRecord) -> None:
+        if not isinstance(record, SlotClaimed):
+            raise StoreError(
+                f"shard cannot apply record kind {record.kind!r}")
+        self.slot_seq[record.user_id] = (
+            self.slot_seq.get(record.user_id, 0) + record.slots
+        )
 
 
 class ShardRouter:
@@ -224,6 +294,7 @@ class ShardRouter:
         num_shards: int = 4,
         competition: Optional[KeyedCompetition] = None,
         salt: str = "",
+        store_factory: Optional[StoreFactory] = None,
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -234,39 +305,59 @@ class ShardRouter:
             sigma=platform.config.competition_sigma,
         )
         self.salt = salt
+        #: Builds each shard's state store; default is in-memory. Pass
+        #: :func:`journal_store_factory` for per-shard on-disk WAL
+        #: journals (what :class:`repro.serve.ServingRuntime` does when
+        #: configured with a ``journal_dir``).
+        self._store_factory: StoreFactory = (
+            store_factory
+            if store_factory is not None
+            else (lambda index, total: MemoryStore())
+        )
         #: Ledgers of shards retired by rebalance(); their charges are
         #: part of total spend but no longer receive new ones.
         self._retired_ledgers: List[BillingLedger] = []
         self.shards: List[Shard] = self._build_shards(num_shards)
 
+    def _build_shard(self, index: int, num_shards: int,
+                     store: Optional[StateStore] = None) -> Shard:
+        """One fresh shard: its own store, account view, ledger, engine,
+        and competition cursor; the store has the engine, ledger, and
+        shard attached as state owners."""
+        if store is None:
+            store = self._store_factory(index, num_shards)
+        accounts = ShardAccountsView(
+            self.platform.inventory, shard_name=f"shard-{index}"
+        )
+        ledger = BillingLedger(accounts, store=store)
+        engine = DeliveryEngine(
+            inventory=accounts,
+            audiences=self.platform.audiences,
+            ledger=ledger,
+            competing_draw=(cursor := self.competition.cursor()),
+            frequency_cap=self.platform.config.frequency_cap,
+            floor_price_cpm=self.platform.config.floor_price_cpm,
+            min_match_count=(
+                self.platform.config.min_delivery_match_count
+            ),
+            engine_id=f"shard-{index}/{num_shards}",
+            store=store,
+        )
+        engine.attach_user_store(self.platform.users)
+        shard = Shard(
+            index=index,
+            engine=engine,
+            ledger=ledger,
+            accounts=accounts,
+            cursor=cursor,
+            store=store,
+        )
+        store.attach(shard)
+        return shard
+
     def _build_shards(self, num_shards: int) -> List[Shard]:
-        shards = []
-        for index in range(num_shards):
-            accounts = ShardAccountsView(
-                self.platform.inventory, shard_name=f"shard-{index}"
-            )
-            ledger = BillingLedger(accounts)
-            engine = DeliveryEngine(
-                inventory=accounts,
-                audiences=self.platform.audiences,
-                ledger=ledger,
-                competing_draw=(cursor := self.competition.cursor()),
-                frequency_cap=self.platform.config.frequency_cap,
-                floor_price_cpm=self.platform.config.floor_price_cpm,
-                min_match_count=(
-                    self.platform.config.min_delivery_match_count
-                ),
-                engine_id=f"shard-{index}/{num_shards}",
-            )
-            engine.attach_user_store(self.platform.users)
-            shards.append(Shard(
-                index=index,
-                engine=engine,
-                ledger=ledger,
-                accounts=accounts,
-                cursor=cursor,
-            ))
-        return shards
+        return [self._build_shard(index, num_shards)
+                for index in range(num_shards)]
 
     @property
     def num_shards(self) -> int:
@@ -278,20 +369,26 @@ class ShardRouter:
     def shard_for(self, user_id: str) -> Shard:
         return self.shards[self.shard_index(user_id)]
 
-    # -- rebalance ---------------------------------------------------------
+    # -- rebalance / checkpoint / recovery ---------------------------------
 
     def rebalance(self, num_shards: int) -> None:
         """Re-partition users onto ``num_shards`` fresh shards.
 
         Quiescent-time operation (no serving in flight): exports every
         old shard's per-user delivery state, rebuilds the shard set,
-        and imports each user's state into its new owner. Frequency
-        caps travel with the user, so an ad delivered before the
-        rebalance can never be delivered again after it; aggregate
-        reports are unchanged because the same records are merely
-        re-homed. Retired shard ledgers are kept so combined spend
-        stays exact.
+        and imports each user's state into its new owner — the same
+        snapshot-shaped dicts (and the same ``_apply_*`` fold) that
+        checkpoint/restore and crash recovery use, so migration shares
+        their code path and their tests. Frequency caps travel with the
+        user, so an ad delivered before the rebalance can never be
+        delivered again after it; aggregate reports are unchanged
+        because the same records are merely re-homed; imported state is
+        re-journaled into the receiving shard's store so recovery after
+        a rebalance stays lossless. Retired shard ledgers are kept so
+        combined spend stays exact.
         """
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
         old_shards = self.shards
         for shard in old_shards:
             shard.lock.acquire()
@@ -303,37 +400,92 @@ class ShardRouter:
             self._retired_ledgers.extend(
                 shard.ledger for shard in old_shards
             )
+            for shard in old_shards:
+                shard.store.close()
             self.shards = self._build_shards(num_shards)
-            merged = DeliveryStateExport()
+            per_shard: List[Dict[str, Any]] = [
+                {"impressions": [], "clicks": [], "extra_caps": []}
+                for _ in range(num_shards)
+            ]
+            total_impressions = 0
             for export in exports:
-                merged.impressions.extend(export.impressions)
-                merged.clicks.extend(export.clicks)
-                merged.feeds.update(export.feeds)
-                merged.shown_counts.update(export.shown_counts)
-            per_shard = [DeliveryStateExport()
-                         for _ in range(num_shards)]
-            for impression in merged.impressions:
-                per_shard[self.shard_index(impression.user_id)] \
-                    .impressions.append(impression)
-            for click in merged.clicks:
-                per_shard[self.shard_index(click.user_id)] \
-                    .clicks.append(click)
-            for user_id, delivered in merged.feeds.items():
-                per_shard[self.shard_index(user_id)] \
-                    .feeds[user_id] = delivered
-            for key, count in merged.shown_counts.items():
-                per_shard[self.shard_index(key[1])] \
-                    .shown_counts[key] = count
+                for data in export["impressions"]:
+                    per_shard[self.shard_index(data["user_id"])][
+                        "impressions"].append(data)
+                    total_impressions += 1
+                for data in export["clicks"]:
+                    per_shard[self.shard_index(data["user_id"])][
+                        "clicks"].append(data)
+                for ad_id, user_id, count in export["extra_caps"]:
+                    per_shard[self.shard_index(user_id)][
+                        "extra_caps"].append([ad_id, user_id, count])
             for shard, state in zip(self.shards, per_shard):
                 shard.engine.import_state(state)
             for user_id, seq in slot_seqs.items():
-                self.shards[self.shard_index(user_id)] \
-                    .slot_seq[user_id] = seq
+                if seq > 0:
+                    self.shards[self.shard_index(user_id)] \
+                        .claim_slots(user_id, seq)
         finally:
             for shard in old_shards:
                 shard.lock.release()
         _log.info("rebalanced %d -> %d shards (%d impressions re-homed)",
-                  len(old_shards), num_shards, len(merged.impressions))
+                  len(old_shards), num_shards, total_impressions)
+
+    def checkpoint_shards(self, directory: Optional[str] = None,
+                          label: str = "") -> List[Snapshot]:
+        """Snapshot every shard's store at its current journal position.
+
+        Quiescent-time operation: each shard's lock is held while its
+        owners dump. With ``directory``, each snapshot is also written
+        to :func:`shard_snapshot_path` next to the shard's journal —
+        the bundle :meth:`recover_shard` reads.
+        """
+        snapshots = []
+        for shard in self.shards:
+            with shard.lock:
+                snapshot = shard.store.checkpoint(
+                    label=label or f"shard-{shard.index}")
+            if directory is not None:
+                snapshot.save(shard_snapshot_path(
+                    directory, shard.index, self.num_shards))
+            snapshots.append(snapshot)
+        return snapshots
+
+    def recover_shard(self, index: int, directory: str) -> Shard:
+        """Rebuild one shard from its on-disk journal (plus snapshot, if
+        one was taken) and swap it into the router.
+
+        The crash-recovery path: the replacement shard restores the
+        latest snapshot, then replays the journal suffix written after
+        it. Budgets come from the snapshot and every post-snapshot
+        charge is re-deducted exactly once during replay, so nothing is
+        double-charged; caps, feeds, logs, and slot counters land
+        exactly where the dead shard left them.
+        """
+        if not 0 <= index < self.num_shards:
+            raise ValueError(f"no shard {index} in a "
+                             f"{self.num_shards}-shard router")
+        journal = shard_journal_path(directory, index, self.num_shards)
+        records = JournalStore.read(journal)
+        # Re-open the same journal file for the replacement shard: the
+        # history stays in place and new appends continue after it.
+        store = JournalStore(journal)
+        shard = self._build_shard(index, self.num_shards, store=store)
+        replay_from = 0
+        snapshot_file = shard_snapshot_path(
+            directory, index, self.num_shards)
+        if os.path.exists(snapshot_file):
+            snapshot = Snapshot.load(snapshot_file)
+            store.restore(snapshot)
+            replay_from = snapshot.journal_seq
+        applied = store.replay(records[replay_from:])
+        self.shards[index] = shard
+        _log.info(
+            "recovered shard %d/%d from %s (snapshot at %d, %d records "
+            "replayed)", index, self.num_shards, directory, replay_from,
+            applied,
+        )
+        return shard
 
     # -- cross-shard aggregation -------------------------------------------
 

@@ -1,0 +1,116 @@
+"""Canonical state reports for checkpoint/restore verification.
+
+The CLI's ``checkpoint`` / ``restore`` / ``replay`` commands — and the
+crash-recovery tests — all answer the same question: *does this world's
+end-state match that world's end-state, byte for byte?* This module
+gives them one shared notion of "end-state": a plain, JSON-serialisable
+dict covering every aggregate the store layer promises to preserve
+(per-ad delivery counts, per-account spend and remaining budget, and
+whole-world totals), rendered with sorted keys so equal states always
+serialise to equal bytes.
+
+Duck-typed on purpose: ``state_report`` accepts a
+:class:`~repro.serve.sharding.ShardRouter` (aggregates across shards),
+a single ``Shard``, or an ``AdPlatform`` — anything that exposes
+engine/ledger pairs — without importing any of those modules, so
+``repro.store`` stays dependency-free below the platform layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["canonical_json", "state_report"]
+
+
+def _engine_ledger_pairs(target: Any) -> List[Tuple[Any, Any]]:
+    """Extract (delivery engine, billing ledger) pairs from ``target``."""
+    shards = getattr(target, "shards", None)
+    if shards is not None:
+        return [(shard.engine, shard.ledger) for shard in shards]
+    ledger = getattr(target, "ledger", None)
+    engine = getattr(target, "engine", None) or getattr(
+        target, "delivery", None)
+    if engine is not None and ledger is not None:
+        return [(engine, ledger)]
+    raise TypeError(
+        "state_report needs a router (.shards), a shard "
+        "(.engine/.ledger), or a platform (.delivery/.ledger); got "
+        f"{type(target).__name__}"
+    )
+
+
+def _charged_accounts_of(ledger: Any) -> Iterable[Any]:
+    """The accounts the ledger has actually charged, in charge order.
+
+    Deliberately *not* every account the ledger's inventory view has
+    touched: a live run may lazily clone an account just to read its
+    budget during an auction, and replay (which only re-applies
+    committed charges) never recreates those read-only clones. Charged
+    accounts, by contrast, exist — with identical budgets — on both
+    paths, so they are the comparable set.
+    """
+    seen: Dict[str, Any] = {}
+    for charge in ledger.all_charges():
+        if charge.account_id not in seen:
+            seen[charge.account_id] = ledger._inventory.account(
+                charge.account_id)
+    return list(seen.values())
+
+
+def state_report(target: Any) -> Dict[str, Any]:
+    """One canonical, JSON-serialisable summary of delivery + billing
+    state, aggregated across however many engine/ledger pairs ``target``
+    holds. Two worlds are "the same" iff their reports are equal.
+    """
+    ads: Dict[str, Dict[str, Any]] = {}
+    accounts: Dict[str, Dict[str, float]] = {}
+    total_impressions = 0
+    total_clicks = 0
+    total_spend = 0.0
+    for engine, ledger in _engine_ledger_pairs(target):
+        for impression in engine.impressions():
+            row = ads.setdefault(
+                impression.ad_id,
+                {"impressions": 0, "clicks": 0, "reach": set(),
+                 "spend": 0.0},
+            )
+            row["impressions"] += 1
+            row["spend"] += impression.price
+            row["reach"].add(impression.user_id)
+            total_impressions += 1
+            total_spend += impression.price
+        for click in engine.clicks():
+            row = ads.setdefault(
+                click.ad_id,
+                {"impressions": 0, "clicks": 0, "reach": set(),
+                 "spend": 0.0},
+            )
+            row["clicks"] += 1
+            total_clicks += 1
+        for account in _charged_accounts_of(ledger):
+            row2 = accounts.setdefault(
+                account.account_id, {"spent": 0.0, "budget": 0.0})
+            row2["spent"] += ledger.spend_for_account(account.account_id)
+            row2["budget"] += round(account.budget, 10)
+    for row in ads.values():
+        row["reach"] = len(row["reach"])
+        row["spend"] = round(row["spend"], 10)
+    for row2 in accounts.values():
+        row2["spent"] = round(row2["spent"], 10)
+        row2["budget"] = round(row2["budget"], 10)
+    return {
+        "ads": ads,
+        "accounts": accounts,
+        "totals": {
+            "impressions": total_impressions,
+            "clicks": total_clicks,
+            "spend": round(total_spend, 10),
+        },
+    }
+
+
+def canonical_json(report: Dict[str, Any]) -> str:
+    """Stable byte rendering: equal reports → equal strings."""
+    return json.dumps(report, sort_keys=True, separators=(",", ":"))

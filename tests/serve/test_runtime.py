@@ -245,3 +245,66 @@ class TestMetrics:
                 runtime.rebalance(4)
         runtime.rebalance(4)
         assert runtime.router.num_shards == 4
+
+
+class TestShutdownDrain:
+    """Admitted-but-unserved requests are classified, never dropped.
+
+    If admission ran without (or faster than) workers, stopping the
+    runtime must resolve every queued future as TIMEOUT — the admission
+    invariant ``served + shed + timeout + errored == submitted`` has to
+    hold across shutdown, not just steady state.
+    """
+
+    def test_stop_without_workers_times_out_queued_requests(
+            self, make_world):
+        platform = make_world(users=10)
+        registry = MetricsRegistry("serve-drain")
+        with use_registry(registry):
+            runtime = ServingRuntime(
+                platform, RuntimeConfig(num_shards=2, queue_capacity=64)
+            )
+            runtime.start(spawn_workers=False)
+            futures = [runtime.submit(AdRequest(uid))
+                       for uid in platform.users.user_ids()]
+            runtime.stop()
+        assert all(f.done() for f in futures)
+        results = [f.result(timeout=0) for f in futures]
+        assert {r.status for r in results} == {ServeStatus.TIMEOUT}
+        assert all(r.response is None for r in results)
+        assert all(r.queued_s >= 0.0 for r in results)
+        assert registry.value("serve.requests_submitted") == 10
+        assert registry.value("serve.requests_timeout") == 10
+        assert registry.value("serve.requests_served") == 0
+        assert registry.value("serve.queue_depth") == 0
+
+    def test_drained_shutdown_preserves_the_admission_invariant(
+            self, make_world):
+        platform = make_world(users=12)
+        registry = MetricsRegistry("serve-drain-mixed")
+        with use_registry(registry):
+            runtime = ServingRuntime(
+                platform, RuntimeConfig(num_shards=1, queue_capacity=4)
+            )
+            runtime.start(spawn_workers=False)
+            futures = [runtime.submit(AdRequest(uid))
+                       for uid in platform.users.user_ids()]
+            runtime.stop()  # 4 admitted -> TIMEOUT, 8 shed at admission
+        statuses = [f.result(timeout=0).status for f in futures]
+        assert statuses.count(ServeStatus.TIMEOUT) == 4
+        assert statuses.count(ServeStatus.SHED) == 8
+        submitted = registry.value("serve.requests_submitted")
+        assert submitted == 12
+        assert (registry.value("serve.requests_served")
+                + registry.value("serve.requests_shed")
+                + registry.value("serve.requests_timeout")
+                + registry.value("serve.requests_errored")) == submitted
+
+    def test_stop_is_idempotent_after_flush(self, make_world):
+        platform = make_world(users=5)
+        runtime = ServingRuntime(platform, RuntimeConfig(num_shards=1))
+        runtime.start(spawn_workers=False)
+        future = runtime.submit(AdRequest(platform.users.user_ids()[0]))
+        runtime.stop()
+        runtime.stop()  # second stop: no-op, no double-resolution
+        assert future.result(timeout=0).status is ServeStatus.TIMEOUT

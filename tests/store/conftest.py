@@ -1,0 +1,53 @@
+"""Fixtures for the state-store suite: a small deterministic world.
+
+Same shape as the serving suite's ``make_world`` but smaller (the store
+tests assert byte-level equalities, not scale), and parameterized on
+the platform's shared store so the journaled and in-memory backends run
+the identical scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.provider import TransparencyProvider
+from repro.platform.catalog import build_us_catalog
+from repro.platform.platform import AdPlatform, PlatformConfig
+from repro.platform.web import WebDirectory
+from repro.workloads.competition import zero_competition
+from repro.workloads.personas import (
+    AVERAGE_CONSUMER,
+    ESTABLISHED_PROFESSIONAL,
+    RECENT_ARRIVAL_GRAD_STUDENT,
+)
+from repro.workloads.population import PopulationBuilder
+
+
+@pytest.fixture
+def make_store_world():
+    """Factory: identically-seeded platform + launched sweep, with an
+    optional explicit shared state store."""
+
+    def build(seed: int = 11, users: int = 12, store=None):
+        platform = AdPlatform(
+            config=PlatformConfig(name="store-test"),
+            catalog=build_us_catalog(platform_count=40, partner_count=25),
+            competing_draw=zero_competition(),
+            store=store,
+        )
+        web = WebDirectory()
+        builder = PopulationBuilder(platform, seed=seed)
+        builder.spawn_mix(
+            [ESTABLISHED_PROFESSIONAL, AVERAGE_CONSUMER,
+             RECENT_ARRIVAL_GRAD_STUDENT],
+            users,
+        )
+        builder.finalize()
+        provider = TransparencyProvider(platform, web, budget=5000.0,
+                                        bid_cap_cpm=10.0)
+        for user_id in platform.users.user_ids():
+            provider.optin.via_page_like(user_id)
+        provider.launch_partner_sweep()
+        return platform, provider
+
+    return build

@@ -1,0 +1,86 @@
+"""Diffs docs/state.md against the repro.store record catalog.
+
+Same contract as the observability docs-sync suite: every registered
+record kind must appear in the doc's catalog table with exactly the
+dataclass's fields, and every kind-shaped row the doc contains must
+exist in :data:`repro.store.records.RECORD_TYPES` — so the page cannot
+drift from the code in either direction.
+"""
+
+import re
+from dataclasses import fields
+from pathlib import Path
+
+import pytest
+
+from repro.store import SNAPSHOT_VERSION
+from repro.store.records import RECORD_TYPES
+
+DOC_PATH = Path(__file__).resolve().parents[2] / "docs" / "state.md"
+
+#: Catalog rows: | `kind` | ClassName | field, field, ... | folded by |
+_ROW = re.compile(
+    r"^\| `([a-z_]+)` \| (\w+) \| ([^|]+) \| ([^|]+) \|", re.MULTILINE
+)
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    return DOC_PATH.read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def catalog_rows(doc_text):
+    section = re.search(
+        r"^## Record catalog$(.*?)(?=^## |\Z)",
+        doc_text, re.MULTILINE | re.DOTALL,
+    )
+    assert section, "docs/state.md lost its 'Record catalog' section"
+    rows = {m.group(1): m for m in _ROW.finditer(section.group(1))}
+    assert rows, "record catalog table not found"
+    return rows
+
+
+class TestRecordCatalog:
+    def test_every_kind_documented(self, catalog_rows):
+        missing = sorted(set(RECORD_TYPES) - set(catalog_rows))
+        assert not missing, f"record kinds missing from docs: {missing}"
+
+    def test_no_phantom_kinds_documented(self, catalog_rows):
+        phantoms = sorted(set(catalog_rows) - set(RECORD_TYPES))
+        assert not phantoms, f"docs mention unknown kinds: {phantoms}"
+
+    def test_documented_class_names_match(self, catalog_rows):
+        for kind, row in catalog_rows.items():
+            assert row.group(2) == RECORD_TYPES[kind].__name__, (
+                f"{kind} documented as {row.group(2)}, "
+                f"implemented by {RECORD_TYPES[kind].__name__}"
+            )
+
+    def test_documented_fields_match_dataclasses(self, catalog_rows):
+        for kind, row in catalog_rows.items():
+            documented = [f.strip() for f in row.group(3).split(",")]
+            actual = [f.name for f in fields(RECORD_TYPES[kind])]
+            assert documented == actual, (
+                f"{kind}: docs say {documented}, dataclass has {actual}"
+            )
+
+
+class TestFormatPins:
+    def test_snapshot_version_documented(self, doc_text):
+        assert f"currently {SNAPSHOT_VERSION}" in doc_text, (
+            "docs/state.md must state the current SNAPSHOT_VERSION"
+        )
+
+    def test_doc_names_its_enforcement(self, doc_text):
+        assert "repro.store.records" in doc_text
+        assert "test_docs_sync" in doc_text
+
+    def test_store_metrics_mentioned_here_exist(self, doc_text):
+        from repro.obs import names
+        mentioned = re.findall(r"`(store\.[a-z_]+)`", doc_text)
+        assert mentioned, "docs/state.md should list the store metrics"
+        for name in mentioned:
+            assert name in names.METRICS or name in names.SPANS, (
+                f"docs/state.md mentions unregistered {name}"
+            )

@@ -1,0 +1,136 @@
+"""Deterministic replay at the platform layer.
+
+The platform's audiences, billing, and delivery all journal into one
+shared store; these tests pin the two recovery identities the state
+layer promises:
+
+1. restore(snapshot) + replay(journal suffix) == live end state;
+2. replay(full journal) onto a freshly built identical world == live
+   end state (the CLI ``replay`` semantic — audience-delta folding must
+   be idempotent for this, since world-building re-creates audiences).
+"""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import JournalStore, MemoryStore
+from repro.store.audit import canonical_json, state_report
+
+
+def _drive(provider, rounds):
+    provider.run_delivery(max_rounds=rounds)
+
+
+class TestSnapshotSuffixReplay:
+    @pytest.mark.parametrize("backend", ["memory", "journal"])
+    def test_restore_plus_suffix_reproduces_live_state(
+            self, make_store_world, tmp_path, backend):
+        store = (MemoryStore() if backend == "memory"
+                 else JournalStore(str(tmp_path / "wal.jsonl")))
+        platform, provider = make_store_world(store=store)
+        _drive(provider, rounds=2)
+        snapshot = platform.store.checkpoint(label="mid")
+        _drive(provider, rounds=3)
+
+        final_report = canonical_json(state_report(platform))
+        final_export = platform.delivery.export_state()
+        journal = platform.store.records()
+        assert snapshot.journal_seq < len(journal), \
+            "post-snapshot serving should have extended the journal"
+
+        platform.store.restore(snapshot)
+        mid_report = canonical_json(state_report(platform))
+        assert mid_report != final_report, \
+            "restore should have rewound past the post-snapshot rounds"
+        applied = platform.store.replay(journal[snapshot.journal_seq:])
+        assert applied == len(journal) - snapshot.journal_seq
+        assert canonical_json(state_report(platform)) == final_report
+        assert platform.delivery.export_state() == final_export
+        store.close()
+
+    def test_restore_is_exact_not_approximate(self, make_store_world):
+        platform, provider = make_store_world()
+        _drive(provider, rounds=2)
+        snapshot = platform.store.checkpoint()
+        mid_export = platform.delivery.export_state()
+        mid_spend = provider.total_spend()
+        _drive(provider, rounds=3)
+        platform.store.restore(snapshot)
+        assert platform.delivery.export_state() == mid_export
+        assert provider.total_spend() == pytest.approx(mid_spend)
+
+    def test_snapshot_bytes_stable_across_checkpoints(
+            self, make_store_world):
+        platform, provider = make_store_world()
+        _drive(provider, rounds=2)
+        first = platform.store.checkpoint(label="x")
+        second = platform.store.checkpoint(label="x")
+        assert first.to_json() == second.to_json()
+
+
+def _add_page_audience(platform):
+    account_id = platform.inventory.accounts()[0].account_id
+    return platform.audiences.create_page_audience(
+        "aud-replay", account_id, page_id="page-replay",
+        name="replay probe",
+    )
+
+
+class TestFullJournalReplay:
+    def test_fresh_world_plus_full_journal_matches_live(
+            self, make_store_world):
+        platform, provider = make_store_world()
+        _add_page_audience(platform)
+        _drive(provider, rounds=4)
+        live_report = canonical_json(state_report(platform))
+        live_audiences = platform.audiences.state_dump()
+        journal = platform.store.records()
+
+        rebuilt, _ = make_store_world()
+        rebuilt.store.replay(journal)
+        assert canonical_json(state_report(rebuilt)) == live_report
+        assert rebuilt.audiences.state_dump() == live_audiences
+
+    def test_audience_deltas_fold_idempotently(self, make_store_world):
+        platform, _ = make_store_world()
+        _add_page_audience(platform)
+        deltas = [r for r in platform.store.records()
+                  if r.kind == "audience_delta"]
+        assert deltas, "audience creation should journal a delta"
+        before = platform.audiences.state_dump()
+        platform.store.replay(deltas)  # identical payloads: no-ops
+        assert platform.audiences.state_dump() == before
+
+    def test_conflicting_audience_delta_rejected(self, make_store_world):
+        platform, _ = make_store_world()
+        _add_page_audience(platform)
+        delta = next(r for r in platform.store.records()
+                     if r.kind == "audience_delta")
+        from dataclasses import replace
+        clash = replace(delta, name=delta.name + "-mutated")
+        with pytest.raises(StoreError, match="conflict"):
+            platform.audiences.apply_record(clash)
+
+    def test_charge_replay_redebits_budgets(self, make_store_world):
+        # Zero-competition second-price auctions clear at $0, so charge
+        # the ledger directly with nonzero amounts to make the re-debit
+        # observable.
+        platform, _ = make_store_world()
+        account = platform.inventory.accounts()[0]
+        for seq, amount in enumerate((0.002, 0.005, 0.011)):
+            platform.ledger.charge_impression(
+                "ad-bill", account.account_id, amount, impression_seq=seq)
+        spent = platform.ledger.spend_for_account(account.account_id)
+        assert spent == pytest.approx(0.018)
+        charges = [r for r in platform.store.records()
+                   if r.kind == "charge"]
+
+        rebuilt, _ = make_store_world()
+        budget_before = rebuilt.inventory.account(
+            account.account_id).budget
+        rebuilt.store.replay(charges)
+        assert rebuilt.ledger.spend_for_account(
+            account.account_id) == pytest.approx(spent)
+        assert rebuilt.inventory.account(
+            account.account_id).budget == pytest.approx(
+                budget_before - spent)

@@ -1,0 +1,73 @@
+"""Snapshot format: canonical bytes, versioning, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import SNAPSHOT_VERSION, Snapshot
+
+
+def _snapshot(**overrides):
+    base = dict(version=SNAPSHOT_VERSION, journal_seq=4,
+                state={"b": {"x": 1}, "a": {"y": [1, 2]}}, label="t")
+    base.update(overrides)
+    return Snapshot(**base)
+
+
+class TestCanonicalBytes:
+    def test_equal_state_is_byte_identical(self):
+        left = _snapshot()
+        right = Snapshot(version=SNAPSHOT_VERSION, journal_seq=4,
+                         state={"a": {"y": [1, 2]}, "b": {"x": 1}},
+                         label="t")
+        assert left.to_json() == right.to_json()
+
+    def test_keys_are_sorted(self):
+        data = json.loads(_snapshot().to_json())
+        assert list(data) == sorted(data)
+        assert list(data["state"]) == ["a", "b"]
+
+    def test_json_round_trip(self):
+        snapshot = _snapshot()
+        again = Snapshot.from_json(snapshot.to_json())
+        assert again == snapshot
+        assert again.to_json() == snapshot.to_json()
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "s.snapshot.json")
+        snapshot = _snapshot()
+        snapshot.save(path)
+        assert Snapshot.load(path) == snapshot
+
+
+class TestValidation:
+    def test_unsupported_version(self):
+        text = _snapshot().to_json().replace(
+            f'"version":{SNAPSHOT_VERSION}', '"version":999')
+        with pytest.raises(StoreError, match="version 999"):
+            Snapshot.from_json(text)
+
+    def test_corrupt_text(self):
+        with pytest.raises(StoreError, match="corrupt snapshot"):
+            Snapshot.from_json("{oops")
+
+    def test_non_object(self):
+        with pytest.raises(StoreError, match="not a JSON object"):
+            Snapshot.from_json("[]")
+
+    def test_bad_journal_seq(self):
+        payload = json.loads(_snapshot().to_json())
+        payload["journal_seq"] = -2
+        with pytest.raises(StoreError, match="bad journal_seq"):
+            Snapshot.from_json(json.dumps(payload))
+
+    def test_bad_state_section(self):
+        payload = json.loads(_snapshot().to_json())
+        payload["state"] = "nope"
+        with pytest.raises(StoreError, match="bad state section"):
+            Snapshot.from_json(json.dumps(payload))
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(StoreError, match="no snapshot at"):
+            Snapshot.load(str(tmp_path / "absent.json"))

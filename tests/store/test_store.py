@@ -1,0 +1,185 @@
+"""StateStore backends: journaling, owner registry, checkpoint/replay
+mechanics — exercised with a minimal counter-style owner so the store's
+own contract is pinned independently of the platform."""
+
+import threading
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import (
+    JournalStore,
+    MemoryStore,
+    SlotClaimed,
+    Snapshot,
+    StateOwner,
+)
+from repro.store.store import open_store
+
+
+class CounterOwner:
+    """Tiny state owner: per-user counters driven by SlotClaimed."""
+
+    store_name = "counter"
+    handled_kinds = (SlotClaimed.kind,)
+
+    def __init__(self, store):
+        self.counts = {}
+        self._store = store
+        store.attach(self)
+
+    def claim(self, user_id, slots):
+        record = SlotClaimed(user_id=user_id, slots=slots)
+        self._store.append(record)
+        self.apply_record(record)
+
+    def state_dump(self):
+        return {"counts": dict(self.counts)}
+
+    def state_load(self, state):
+        self.counts = {str(k): int(v)
+                       for k, v in state["counts"].items()}
+
+    def apply_record(self, record):
+        self.counts[record.user_id] = (
+            self.counts.get(record.user_id, 0) + record.slots)
+
+
+@pytest.fixture(params=["memory", "journal"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        built = MemoryStore()
+    else:
+        built = JournalStore(str(tmp_path / "wal.jsonl"))
+    yield built
+    built.close()
+
+
+class TestJournaling:
+    def test_append_and_read_back(self, store):
+        owner = CounterOwner(store)
+        owner.claim("u-1", 3)
+        owner.claim("u-2", 1)
+        owner.claim("u-1", 3)
+        assert store.record_count == 3
+        assert store.records() == [
+            SlotClaimed("u-1", 3), SlotClaimed("u-2", 1),
+            SlotClaimed("u-1", 3),
+        ]
+        assert owner.counts == {"u-1": 6, "u-2": 1}
+
+    def test_owner_protocol_runtime_checkable(self, store):
+        assert isinstance(CounterOwner(store), StateOwner)
+
+    def test_duplicate_owner_name_rejected(self, store):
+        CounterOwner(store)
+        with pytest.raises(StoreError, match="already attached"):
+            CounterOwner(store)
+
+    def test_kind_claim_clash_rejected(self, store):
+        CounterOwner(store)
+
+        class Rival(CounterOwner):
+            store_name = "rival"
+
+        with pytest.raises(StoreError, match="already handled"):
+            Rival(store)
+
+    def test_open_store_factory(self, tmp_path):
+        assert isinstance(open_store(), MemoryStore)
+        journaled = open_store(str(tmp_path / "j.jsonl"))
+        assert isinstance(journaled, JournalStore)
+        journaled.close()
+
+
+class TestJournalDurability:
+    def test_journal_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        first = JournalStore(path)
+        CounterOwner(first).claim("u-1", 2)
+        first.close()
+        reopened = JournalStore(path)
+        assert reopened.record_count == 1
+        owner = CounterOwner(reopened)
+        owner.claim("u-2", 5)
+        assert reopened.record_count == 2
+        reopened.close()
+        assert JournalStore.read(path) == [
+            SlotClaimed("u-1", 2), SlotClaimed("u-2", 5),
+        ]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert JournalStore.read(str(tmp_path / "nope.jsonl")) == []
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"kind":"slot_claim","user_id":"u","slots":1}\n'
+                        "garbage\n", encoding="utf-8")
+        with pytest.raises(StoreError, match="corrupt journal line"):
+            JournalStore.read(str(path))
+
+    def test_fsync_mode_appends(self, tmp_path):
+        store = JournalStore(str(tmp_path / "wal.jsonl"), fsync=True)
+        CounterOwner(store).claim("u-1", 1)
+        store.close()
+        assert store.record_count == 1
+
+    def test_concurrent_appends_all_land(self, tmp_path):
+        store = JournalStore(str(tmp_path / "wal.jsonl"))
+        owner = CounterOwner(store)
+        threads = [
+            threading.Thread(
+                target=lambda: [owner.claim("u", 1) for _ in range(50)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.record_count == 200
+        assert len(store.records()) == 200
+        store.close()
+
+
+class TestCheckpointRestoreReplay:
+    def test_checkpoint_captures_position_and_state(self, store):
+        owner = CounterOwner(store)
+        owner.claim("u-1", 3)
+        snapshot = store.checkpoint(label="mid")
+        assert snapshot.journal_seq == 1
+        assert snapshot.label == "mid"
+        assert snapshot.state == {"counter": {"counts": {"u-1": 3}}}
+
+    def test_restore_then_suffix_replay_reaches_end_state(self, store):
+        owner = CounterOwner(store)
+        owner.claim("u-1", 3)
+        snapshot = store.checkpoint()
+        owner.claim("u-1", 2)
+        owner.claim("u-2", 7)
+        final = dict(owner.counts)
+        journal = store.records()
+
+        store.restore(snapshot)
+        assert owner.counts == {"u-1": 3}
+        applied = store.replay(journal[snapshot.journal_seq:])
+        assert applied == 2
+        assert owner.counts == final
+
+    def test_restore_rejects_section_mismatch(self, store):
+        CounterOwner(store)
+        with pytest.raises(StoreError, match="mismatch"):
+            store.restore(Snapshot(version=1, journal_seq=0,
+                                   state={"stranger": {}}))
+
+    def test_replay_rejects_unclaimed_kind(self, store):
+        with pytest.raises(StoreError, match="no attached owner"):
+            store.replay([SlotClaimed("u-1", 1)])
+
+    def test_replay_twice_is_not_journaled(self, store):
+        owner = CounterOwner(store)
+        owner.claim("u-1", 1)
+        journal = store.records()
+        store.replay(journal)
+        # replay applied (counts doubled) but journaled nothing
+        assert owner.counts == {"u-1": 2}
+        assert store.record_count == 1
