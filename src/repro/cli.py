@@ -62,7 +62,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro import __version__
 from repro.analysis.tables import format_table
 from repro.obs import export as obs_export
-from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.metrics import MetricsRegistry, registry, use_registry
 from repro.obs.tracing import Tracer, use_tracer
 from repro.core.bitsplit import bits_needed, treads_needed_enumeration
 from repro.core.client import TreadClient
@@ -159,9 +159,15 @@ def _build_parser() -> argparse.ArgumentParser:
     for sub in (serve, loadgen):
         sub.add_argument("--shards", type=int, default=4,
                          help="user shards (engines + queues)")
+        sub.add_argument("--backend", choices=("thread", "process"),
+                         default="thread",
+                         help="shard workers: in-process threads "
+                              "(default) or one subprocess per shard "
+                              "over batched IPC")
         sub.add_argument("--workers", type=int, default=1,
                          help="worker threads per shard (1 = "
-                              "deterministic replay)")
+                              "deterministic replay; process backend "
+                              "requires 1)")
         sub.add_argument("--duration", type=float, default=2.0,
                          help="offered-load duration, seconds")
         sub.add_argument("--rps", type=float,
@@ -493,6 +499,7 @@ def _run_serving_world(args: argparse.Namespace
             num_shards=args.shards,
             workers_per_shard=args.workers,
             queue_capacity=args.queue_capacity,
+            backend=args.backend,
         ),
         competition=KeyedCompetition(seed=args.seed),
     )
@@ -510,6 +517,9 @@ def _run_serving_world(args: argparse.Namespace
     )
     with runtime:
         report = generator.run()
+    # After stop: on the process backend, worker registries have merged
+    # back, so these are the fleet-wide (cross-process) histograms.
+    report.attach_runtime_histograms(registry())
     return runtime, report
 
 
@@ -519,6 +529,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     tally = report.tally
     rows = [
         ("shards x workers", f"{args.shards} x {args.workers}"),
+        ("backend", args.backend),
         ("offered / achieved rps",
          f"{report.config.rps:.0f} / {report.achieved_rps:.0f}"),
         ("served", tally.served),
@@ -546,8 +557,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     tally = report.tally
     rows = [
         ("offered", report.offered),
+        ("backend", args.backend),
         ("target / achieved rps",
          f"{report.config.rps:.0f} / {report.achieved_rps:.0f}"),
+        ("served rps", f"{report.served_rps:.0f}"),
         ("served", tally.served),
         ("shed (queue full)", tally.shed),
         ("timeout (deadline)", tally.timeout),

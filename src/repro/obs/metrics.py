@@ -25,7 +25,17 @@ import os
 import threading
 from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.obs import names as _names
 
@@ -56,6 +66,24 @@ class Counter:
     def snapshot(self) -> Dict[str, object]:
         return {"kind": self.kind, "name": self.name, "value": self._value}
 
+    def to_state(self) -> Dict[str, object]:
+        """Compact serializable form, mergeable across processes."""
+        return {"kind": self.kind, "name": self.name, "help": self.help,
+                "value": self._value}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Counter":
+        counter = cls(str(state["name"]), help=str(state.get("help", "")))
+        counter._value = int(state["value"])  # type: ignore[arg-type]
+        return counter
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another process's count into this one (sums)."""
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge counter {other.name!r} into {self.name!r}")
+        self._value += other._value
+
 
 class Gauge:
     """A value that goes up and down (current level, not a rate)."""
@@ -84,6 +112,25 @@ class Gauge:
 
     def snapshot(self) -> Dict[str, object]:
         return {"kind": self.kind, "name": self.name, "value": self._value}
+
+    def to_state(self) -> Dict[str, object]:
+        """Compact serializable form, mergeable across processes."""
+        return {"kind": self.kind, "name": self.name, "help": self.help,
+                "value": self._value}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Gauge":
+        gauge = cls(str(state["name"]), help=str(state.get("help", "")))
+        gauge._value = float(state["value"])  # type: ignore[arg-type]
+        return gauge
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another process's level into this one (sums: per-process
+        queue depths and the like add up to the fleet-wide level)."""
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge gauge {other.name!r} into {self.name!r}")
+        self._value += other._value
 
 
 class Histogram:
@@ -150,7 +197,13 @@ class Histogram:
         for bound, count in zip(self.buckets, self._counts):
             if running + count >= rank:
                 if count == 0:
-                    return bound
+                    # The rank sits exactly on the cumulative boundary:
+                    # the quantile is the *previous* bound, not this
+                    # empty bucket's upper edge. Returning ``bound``
+                    # here would make quantiles of a merged histogram
+                    # (whose empty buckets land in different places)
+                    # disagree with the single-registry answer.
+                    return lower
                 return lower + (bound - lower) * (rank - running) / count
             running += count
             lower = bound
@@ -187,8 +240,78 @@ class Histogram:
             ],
         }
 
+    def to_state(self) -> Dict[str, object]:
+        """Compact serializable form, mergeable across processes.
+
+        Unlike :meth:`snapshot` (Prometheus-style *cumulative* pairs),
+        this carries the raw non-cumulative per-bucket counts and the
+        exact bounds: the representation a receiving process needs to
+        reconstruct a histogram whose interpolated quantiles are
+        identical to the originals' — merged quantiles then match the
+        single-registry answer on identical samples by construction.
+        """
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Histogram":
+        bounds = [float(b) for b in state["buckets"]]  # type: ignore[union-attr]
+        hist = cls(str(state["name"]), help=str(state.get("help", "")),
+                   buckets=bounds)
+        counts = [int(c) for c in state["counts"]]  # type: ignore[union-attr]
+        if len(counts) != len(bounds) + 1:
+            raise ValueError(
+                f"histogram state for {hist.name!r} carries "
+                f"{len(counts)} counts for {len(bounds)} bounds "
+                f"(expected bounds + 1 for the +Inf bucket)")
+        hist._counts = counts
+        hist._sum = float(state["sum"])  # type: ignore[arg-type]
+        hist._count = int(state["count"])  # type: ignore[arg-type]
+        return hist
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another process's observations into this histogram.
+
+        Requires identical bucket bounds: merging mismatched layouts
+        would silently corrupt every quantile, so it is an error.
+        """
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into "
+                f"{self.name!r}")
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: refusing to merge mismatched "
+                f"bucket bounds {other.buckets} into {self.buckets}")
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self._sum += other._sum
+        self._count += other._count
+
 
 Instrument = TypeVar("Instrument", Counter, Gauge, Histogram)
+
+_STATE_KINDS = {
+    Counter.kind: Counter,
+    Gauge.kind: Gauge,
+    Histogram.kind: Histogram,
+}
+
+
+def instrument_from_state(state: Dict[str, object]):
+    """Rebuild a Counter/Gauge/Histogram from its ``to_state`` form."""
+    kind = state.get("kind")
+    cls = _STATE_KINDS.get(str(kind))
+    if cls is None:
+        raise ValueError(f"unknown instrument kind {kind!r}")
+    return cls.from_state(state)
 
 
 class MetricsRegistry:
@@ -266,6 +389,34 @@ class MetricsRegistry:
             for name, instrument in sorted(self._instruments.items())
         }
 
+    def to_state(self) -> List[Dict[str, object]]:
+        """Every instrument's ``to_state`` form — what a shard worker
+        process ships back to the parent at shutdown."""
+        return [
+            instrument.to_state()  # type: ignore[attr-defined]
+            for _, instrument in sorted(self._instruments.items())
+        ]
+
+    def merge_state(self, states: Iterable[Dict[str, object]]) -> None:
+        """Fold another registry's ``to_state`` dump into this one.
+
+        Instruments are interned by name first (with the incoming help
+        text and bucket bounds), so existing instrument objects — and
+        therefore every reference hot paths resolved before the merge —
+        see the merged totals.
+        """
+        for state in states:
+            incoming = instrument_from_state(state)
+            if isinstance(incoming, Histogram):
+                mine: object = self.histogram(
+                    incoming.name, help=incoming.help,
+                    buckets=incoming.buckets)
+            elif isinstance(incoming, Gauge):
+                mine = self.gauge(incoming.name, help=incoming.help)
+            else:
+                mine = self.counter(incoming.name, help=incoming.help)
+            mine.merge(incoming)  # type: ignore[attr-defined]
+
     def reset(self) -> None:
         """Drop every instrument (fresh-run semantics for the CLI)."""
         self._instruments.clear()
@@ -324,6 +475,14 @@ class NullRegistry(MetricsRegistry):
     def histogram(self, name: str, help: str = "",
                   buckets: Optional[Sequence[float]] = None) -> Histogram:
         return self._histogram
+
+    def to_state(self) -> List[Dict[str, object]]:
+        return []
+
+    def merge_state(self, states: Iterable[Dict[str, object]]) -> None:
+        # Merging into the shared inert instruments would mutate them
+        # for every caller; no-op mode records nothing, merges nothing.
+        pass
 
 
 NULL_REGISTRY = NullRegistry()

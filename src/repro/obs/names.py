@@ -130,6 +130,18 @@ METRICS: Dict[str, MetricSpec] = {
     "serve.request_latency_s": MetricSpec(
         HISTOGRAM, "End-to-end request latency (submit to result), "
                    "seconds.", LATENCY_BUCKETS),
+    "serve.service_time_s": MetricSpec(
+        HISTOGRAM, "Per-request delivery service time on the serving "
+                   "shard (excludes queueing and IPC), seconds.",
+        LATENCY_BUCKETS),
+    "serve.ipc_batches": MetricSpec(
+        COUNTER, "Request batches framed to shard worker processes."),
+    "serve.ipc_bytes": MetricSpec(
+        COUNTER, "Bytes exchanged with shard worker processes, both "
+                 "directions (frame headers included)."),
+    "serve.workers_lost": MetricSpec(
+        COUNTER, "Shard worker processes lost mid-run (connection "
+                 "dropped before a clean shutdown)."),
     # -- state store -------------------------------------------------------
     "store.records_appended": MetricSpec(
         COUNTER, "Change records appended to a state store journal."),

@@ -5,14 +5,18 @@ call at a time; this package wraps it in the shape of a real serving
 system: typed requests with deadlines (:mod:`repro.serve.requests`),
 users consistently hashed onto shard-owned engines
 (:mod:`repro.serve.sharding`), worker pools with bounded queues,
-micro-batching and load shedding (:mod:`repro.serve.runtime`), and an
-open-loop load generator to measure it honestly
-(:mod:`repro.serve.loadgen`). Delivery semantics are unchanged — a
+micro-batching and load shedding (:mod:`repro.serve.runtime`), an
+optional process-per-shard backend that moves each shard's engine into
+a subprocess behind a length-prefixed pipe protocol
+(:mod:`repro.serve.ipc`), and an open-loop load generator to measure
+it honestly (:mod:`repro.serve.loadgen`). Delivery semantics are
+unchanged — a
 fixed request sequence produces byte-identical reports for any shard
 count — so everything the paper's analyses say about reach and
 delivery still holds when served this way.
 """
 
+from repro.serve.ipc import Framer, ShardWorkerClient, WorkerLost
 from repro.serve.loadgen import LoadConfig, LoadGenerator, LoadReport
 from repro.serve.requests import (
     AdRequest,
@@ -21,7 +25,7 @@ from repro.serve.requests import (
     ServeStatus,
     ServeTally,
 )
-from repro.serve.runtime import RuntimeConfig, ServingRuntime
+from repro.serve.runtime import BACKENDS, RuntimeConfig, ServingRuntime
 from repro.serve.sharding import (
     KeyedCompetition,
     Shard,
@@ -35,6 +39,8 @@ from repro.serve.sharding import (
 __all__ = [
     "AdRequest",
     "AdResponse",
+    "BACKENDS",
+    "Framer",
     "KeyedCompetition",
     "LoadConfig",
     "LoadGenerator",
@@ -46,6 +52,8 @@ __all__ = [
     "ServingRuntime",
     "Shard",
     "ShardRouter",
+    "ShardWorkerClient",
+    "WorkerLost",
     "journal_store_factory",
     "shard_index",
     "shard_journal_path",

@@ -1,0 +1,386 @@
+"""Process-per-shard IPC: the framing codec and the shard worker loop.
+
+The thread backend proved shard-count invariance but buys no CPU — every
+shard worker contends for one GIL. This module is the escape hatch: each
+shard's delivery engine, billing ledger, and journal move into a forked
+worker process, and the parent speaks to it over a socketpair using a
+length-prefixed, batched request/response framing.
+
+Division of labour (the whole point of the design):
+
+* **Parent** — admission control. Bounded queues, shedding, deadline
+  checks, and slot-index claims all happen before a single byte crosses
+  the socket, so an overloaded runtime refuses work at in-process cost:
+  shed and timed-out requests cost the worker process *nothing*.
+* **Worker** — delivery. One single-threaded loop: receive a batch
+  frame, serve it under one engine serving session, group-commit the
+  journal, answer with per-request outcomes. The worker owns the
+  shard's ``shard-i-of-n`` journal/snapshot files; flushing before every
+  acknowledgement means a ``kill -9`` can never lose acknowledged work.
+
+Wire format: every message is one frame — a 4-byte big-endian length
+followed by a pickled ``(op, payload)`` tuple. Batching happens at the
+message level (one ``serve`` frame carries a whole micro-batch), so the
+per-request framing overhead amortizes exactly like the engine's
+serving-session costs do.
+
+Spawning uses the ``fork`` start method: the child inherits the built
+platform world (catalog, users, audiences, compiled matchers) by
+copy-on-write instead of pickling it, and is forked before the parent
+starts any router threads. The child installs a **fresh** metrics
+registry first thing — the parent's pre-fork counts arrived via fork
+too, and folding them back at shutdown would double-count — so the
+state it ships home at ``stop`` is exactly this worker's own work.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import socket
+import struct
+import threading
+from multiprocessing import get_context
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.store.snapshot import SNAPSHOT_VERSION, Snapshot
+from repro.store.store import JournalStore, MemoryStore, StateStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serve.sharding import Shard, ShardRouter
+
+_log = logging.getLogger("repro.serve.ipc")
+
+_HEADER = struct.Struct("!I")
+
+#: Hard ceiling on one frame's payload; anything larger is a protocol
+#: error (a corrupt length prefix reads as garbage gigabytes).
+MAX_FRAME_BYTES = 1 << 29
+
+OP_SERVE = "serve"
+OP_CHECKPOINT = "checkpoint"
+OP_STOP = "stop"
+
+#: One request on the wire: ``(user_id, base_seq, slots)``.
+ServeFrameItem = Tuple[str, int, int]
+#: One outcome on the wire:
+#: ``(served, ad_ids, lost, unfilled, error, service_s)``.
+ServeReplyItem = Tuple[bool, Tuple[str, ...], int, int,
+                       Optional[str], float]
+
+
+class WorkerLost(ConnectionError):
+    """The peer process went away mid-conversation (EOF, broken pipe)."""
+
+
+class Framer:
+    """Length-prefixed message framing over a stream socket.
+
+    ``send`` writes one frame (4-byte big-endian payload length, then
+    the pickled message); ``recv`` blocks for exactly one frame and
+    raises :class:`WorkerLost` on EOF or a reset — the only two shapes a
+    dead peer can take on a socketpair. Byte totals accumulate on
+    ``bytes_sent`` / ``bytes_received`` so callers can meter IPC volume
+    without the codec knowing about metrics.
+
+    Not thread-safe: one conversation, one owner (the runtime gives
+    each worker client its own lock).
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, message: Any) -> None:
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(payload) > MAX_FRAME_BYTES:
+            raise ValueError(
+                f"frame payload of {len(payload)} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte frame limit")
+        frame = _HEADER.pack(len(payload)) + payload
+        try:
+            self._sock.sendall(frame)
+        except OSError as exc:
+            raise WorkerLost(f"peer gone while sending: {exc}") from None
+        self.bytes_sent += len(frame)
+
+    def recv(self) -> Any:
+        header = self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise WorkerLost(
+                f"frame length {length} exceeds the {MAX_FRAME_BYTES}-"
+                f"byte limit (corrupt stream)")
+        payload = self._recv_exact(length)
+        self.bytes_received += _HEADER.size + length
+        return pickle.loads(payload)
+
+    def _recv_exact(self, size: int) -> bytes:
+        chunks = []
+        remaining = size
+        while remaining > 0:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except OSError as exc:
+                raise WorkerLost(
+                    f"peer gone while receiving: {exc}") from None
+            if not chunk:
+                raise WorkerLost("peer closed the stream")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close never matters
+            pass
+
+
+class ShardWorkerClient:
+    """Parent-side handle on one shard's worker process.
+
+    Serializes its conversation with a lock (the shard's router thread
+    and the runtime's checkpoint path share the socket), tracks whether
+    the worker has been lost, and meters frames/bytes into the serving
+    metrics. Every request either returns the worker's reply or raises
+    :class:`WorkerLost` — after which the client is permanently dead and
+    further requests fail fast without touching the socket.
+    """
+
+    def __init__(self, process: Any, framer: Framer, index: int):
+        self.process = process
+        self.framer = framer
+        self.index = index
+        self.lost = False
+        self._lock = threading.Lock()
+        reg = _metrics.registry()
+        self._m_batches = reg.counter("serve.ipc_batches")
+        self._m_bytes = reg.counter("serve.ipc_bytes")
+        self._m_lost = reg.counter("serve.workers_lost")
+
+    def request(self, op: str, payload: Any) -> Any:
+        with self._lock:
+            if self.lost:
+                raise WorkerLost(
+                    f"shard {self.index} worker already lost")
+            before = self.framer.bytes_sent + self.framer.bytes_received
+            try:
+                self.framer.send((op, payload))
+                status, reply = self.framer.recv()
+            except WorkerLost:
+                self.lost = True
+                self._m_lost.inc()
+                raise
+            finally:
+                self._m_bytes.inc(
+                    self.framer.bytes_sent + self.framer.bytes_received
+                    - before)
+        if status != "ok":
+            raise RuntimeError(
+                f"shard {self.index} worker failed {op!r}: {reply}")
+        return reply
+
+    def serve_batch(self,
+                    batch: List[ServeFrameItem]) -> List[ServeReplyItem]:
+        """One batched request/response round trip."""
+        self._m_batches.inc()
+        replies = self.request(OP_SERVE, batch)
+        if len(replies) != len(batch):
+            raise RuntimeError(
+                f"shard {self.index} worker answered {len(replies)} "
+                f"outcomes for a batch of {len(batch)}")
+        return replies
+
+    def checkpoint(self, label: str,
+                   directory: Optional[str]) -> Snapshot:
+        """Snapshot the worker's store at its journal position (and, with
+        a directory, save it next to the journal for recovery)."""
+        reply = self.request(
+            OP_CHECKPOINT, {"label": label, "directory": directory})
+        return Snapshot(
+            version=SNAPSHOT_VERSION,
+            journal_seq=int(reply["journal_seq"]),
+            state=reply["state"],
+            label=str(reply["label"]),
+        )
+
+    def shutdown(self) -> Tuple[Snapshot, List[Dict[str, object]]]:
+        """Stop the worker cleanly; returns its final state snapshot and
+        its metrics registry dump for the parent-side merge-back."""
+        reply = self.request(OP_STOP, None)
+        snapshot = Snapshot(
+            version=SNAPSHOT_VERSION,
+            journal_seq=int(reply["journal_seq"]),
+            state=reply["state"],
+            label="final",
+        )
+        self.reap()
+        return snapshot, reply["metrics"]
+
+    def reap(self, timeout: float = 10.0) -> None:
+        """Close the channel and collect the process (terminate if it
+        ignores the closed socket)."""
+        self.framer.close()
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+
+
+def spawn_shard_worker(router: "ShardRouter", index: int,
+                       journal_dir: Optional[str],
+                       seed_state: Optional[Dict[str, Dict[str, Any]]],
+                       ) -> ShardWorkerClient:
+    """Fork one shard worker and return the parent-side client.
+
+    Must be called before the parent starts its router threads (fork
+    with live threads inherits their locks mid-flight). ``seed_state``
+    is the parent shadow shard's checkpoint state — ``None`` on a
+    first, empty spawn; otherwise the worker restores it and (when
+    journaling) writes a seed snapshot at its current journal position
+    so recovery never replays records the seed already contains.
+    """
+    ctx = get_context("fork")
+    parent_sock, child_sock = socket.socketpair()
+    process = ctx.Process(
+        target=_worker_main,
+        args=(child_sock, parent_sock, router, index, journal_dir,
+              seed_state),
+        name=f"serve-shard{index}-proc",
+        daemon=True,
+    )
+    process.start()
+    child_sock.close()
+    return ShardWorkerClient(process, Framer(parent_sock), index)
+
+
+# -- the worker process ----------------------------------------------------
+
+
+def _worker_main(child_sock: socket.socket, parent_sock: socket.socket,
+                 router: "ShardRouter", index: int,
+                 journal_dir: Optional[str],
+                 seed_state: Optional[Dict[str, Dict[str, Any]]]) -> None:
+    """Entry point of a forked shard worker (runs in the child only)."""
+    from repro.serve.sharding import (
+        shard_journal_path,
+        shard_snapshot_path,
+    )
+
+    parent_sock.close()
+    # Fresh registry before any instrumented object is built: the
+    # parent's pre-fork counts were inherited and must not be shipped
+    # back (they would double-count at merge time).
+    _metrics.set_registry(_metrics.MetricsRegistry(
+        f"shard-{index}-worker"))
+    num_shards = router.num_shards
+    store: StateStore
+    if journal_dir is not None:
+        store = JournalStore(
+            shard_journal_path(journal_dir, index, num_shards))
+    else:
+        store = MemoryStore()
+    shard = router._build_shard(index, num_shards, store=store)
+    if seed_state is not None:
+        store.restore(Snapshot(
+            version=SNAPSHOT_VERSION,
+            journal_seq=store.record_count,
+            state=seed_state,
+            label="seed",
+        ))
+        if journal_dir is not None:
+            # Pin the seed on disk: seeded state may include claims the
+            # journal never saw (e.g. shed requests), so recovery must
+            # start from this snapshot, not from a journal-only fold.
+            store.checkpoint(label="seed").save(shard_snapshot_path(
+                journal_dir, index, num_shards))
+    service_hist = _metrics.registry().histogram("serve.service_time_s")
+    framer = Framer(child_sock)
+    users = router.platform.users
+    try:
+        while True:
+            try:
+                op, payload = framer.recv()
+            except WorkerLost:
+                # Parent gone (crash or GC'd client): flush what is
+                # acknowledged and exit quietly.
+                store.close()
+                return
+            if op == OP_SERVE:
+                replies = _serve_in_child(shard, users, payload,
+                                          service_hist)
+                # Group-commit the batch before acknowledging: an acked
+                # outcome is always journal-backed, so SIGKILL between
+                # batches loses nothing the parent was told about.
+                store.flush()
+                framer.send(("ok", replies))
+            elif op == OP_CHECKPOINT:
+                snapshot = store.checkpoint(
+                    label=payload["label"] or f"shard-{index}")
+                directory = payload.get("directory")
+                if directory is not None:
+                    snapshot.save(shard_snapshot_path(
+                        directory, index, num_shards))
+                framer.send(("ok", {
+                    "journal_seq": snapshot.journal_seq,
+                    "state": snapshot.state,
+                    "label": snapshot.label,
+                }))
+            elif op == OP_STOP:
+                snapshot = store.checkpoint(label="final")
+                store.close()
+                framer.send(("ok", {
+                    "journal_seq": snapshot.journal_seq,
+                    "state": snapshot.state,
+                    "metrics": _metrics.registry().to_state(),
+                }))
+                return
+            else:
+                framer.send(("error", f"unknown op {op!r}"))
+    except WorkerLost:  # pragma: no cover - parent died mid-reply
+        store.close()
+    finally:
+        framer.close()
+
+
+def _serve_in_child(shard: "Shard", users: Any,
+                    batch: List[ServeFrameItem],
+                    service_hist: Any) -> List[ServeReplyItem]:
+    """Serve one batch inside the worker; per-request error fencing.
+
+    Slot indices were claimed by the parent at admission; the worker
+    journals a *bridging* claim up to ``base_seq + slots`` so its
+    journal-consistent counter absorbs any gap left by requests the
+    parent shed or timed out (which never reach this process at all).
+    """
+    replies: List[ServeReplyItem] = []
+    with shard.lock, shard.engine.serving_session():
+        for user_id, base_seq, slots in batch:
+            started = perf_counter()
+            try:
+                shard.claim_through(user_id, base_seq + slots)
+                user = users.get(user_id)
+                outcomes = shard.serve_user_slots(user, base_seq, slots)
+                ad_ids = []
+                lost = 0
+                unfilled = 0
+                for outcome in outcomes:
+                    if outcome.won:
+                        ad_ids.append(outcome.winner.ad_id)
+                    elif outcome.competing_bid > 0:
+                        lost += 1
+                    else:
+                        unfilled += 1
+                service_s = perf_counter() - started
+                service_hist.observe(service_s)
+                replies.append((True, tuple(ad_ids), lost, unfilled,
+                                None, service_s))
+            except Exception as exc:  # noqa: BLE001 - per-request fence
+                replies.append((False, (), 0, 0,
+                                f"{type(exc).__name__}: {exc}",
+                                perf_counter() - started))
+    return replies

@@ -70,6 +70,12 @@ class LoadReport:
         "loadgen.request_latency_s", buckets=LATENCY_BUCKETS))
     #: Wall-clock seconds from first submission to last result.
     wall_s: float = 0.0
+    #: Serve-side histograms captured from the runtime's registry after
+    #: the run (``to_state`` form) — on the process backend these are
+    #: the *merged* cross-process histograms, folded in at stop. See
+    #: :meth:`attach_runtime_histograms`.
+    runtime_histograms: Dict[str, Dict[str, object]] = field(
+        default_factory=dict)
 
     @property
     def offered(self) -> int:
@@ -79,12 +85,64 @@ class LoadReport:
     def achieved_rps(self) -> float:
         return self.offered / self.wall_s if self.wall_s > 0 else 0.0
 
+    @property
+    def served_rps(self) -> float:
+        return (self.tally.served / self.wall_s
+                if self.wall_s > 0 else 0.0)
+
     def percentiles(self) -> Dict[str, float]:
         return self.latency.percentiles()
 
+    def summary(self) -> Dict[str, object]:
+        """Offered vs achieved load plus the per-status outcome split.
+
+        ``achieved_rps`` counts every submission the clock got out the
+        door (the open-loop honesty check against the ``offered_rps``
+        target); ``served_rps`` counts only requests that completed a
+        delivery pass — the gap between the two is exactly what
+        admission control refused.
+        """
+        tally = self.tally
+        total = tally.submitted
+        statuses = {
+            "served": tally.served,
+            "shed": tally.shed,
+            "timeout": tally.timeout,
+            "error": tally.errors,
+        }
+        return {
+            "offered": total,
+            "offered_rps": self.config.rps,
+            "achieved_rps": self.achieved_rps,
+            "served_rps": self.served_rps,
+            "wall_s": self.wall_s,
+            "statuses": {
+                status: {
+                    "count": count,
+                    "fraction": count / total if total else 0.0,
+                }
+                for status, count in statuses.items()
+            },
+            "latency": dict(self.percentiles(),
+                            mean=self.latency.mean),
+        }
+
+    def attach_runtime_histograms(self, registry) -> None:
+        """Capture the runtime's serve-side latency histograms.
+
+        Call *after* the runtime has stopped: on the process backend
+        that is when worker registries fold into the parent, so the
+        captured ``serve.service_time_s`` histogram is the merged
+        cross-process one.
+        """
+        for name in ("serve.request_latency_s", "serve.service_time_s"):
+            hist = registry.get(name)
+            if isinstance(hist, Histogram) and hist.count:
+                self.runtime_histograms[name] = hist.to_state()
+
     def record(self) -> Dict[str, object]:
         """JSON-serializable summary (CLI ``--histogram-out``, bench)."""
-        return {
+        out: Dict[str, object] = {
             "config": {
                 "rps": self.config.rps,
                 "duration_s": self.config.duration_s,
@@ -92,20 +150,18 @@ class LoadReport:
                 "deadline_s": self.config.deadline_s,
                 "seed": self.config.seed,
             },
-            "offered": self.offered,
-            "achieved_rps": self.achieved_rps,
-            "wall_s": self.wall_s,
-            "tally": {
-                "served": self.tally.served,
-                "shed": self.tally.shed,
-                "timeout": self.tally.timeout,
-                "errors": self.tally.errors,
-                "impressions": self.tally.impressions,
-            },
-            "latency": dict(self.percentiles(),
-                            mean=self.latency.mean),
-            "latency_histogram": self.latency.snapshot(),
         }
+        out.update(self.summary())
+        out["tally"] = {
+            "served": self.tally.served,
+            "shed": self.tally.shed,
+            "timeout": self.tally.timeout,
+            "errors": self.tally.errors,
+            "impressions": self.tally.impressions,
+        }
+        out["latency_histogram"] = self.latency.snapshot()
+        out["runtime_histograms"] = dict(self.runtime_histograms)
+        return out
 
 
 class LoadGenerator:

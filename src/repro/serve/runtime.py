@@ -29,6 +29,16 @@ delivery reports for any shard count (``tests/serve/``). Raising
 shard's queue interleave, which trades that replay guarantee away;
 aggregate invariants (caps, deliver-iff-match) still hold because the
 shard lock keeps each engine single-entrant.
+
+Two backends, one admission plane. ``backend="thread"`` runs the loop
+above with in-process workers (GIL-bound — fine for determinism tests,
+flat for throughput). ``backend="process"`` forks one worker process
+per shard and the same loop becomes a router thread: dequeue, deadline-
+check, then frame the surviving micro-batch to the worker over the
+batched IPC codec in :mod:`repro.serve.ipc`. Admission, shedding,
+deadlines, and slot-claim sequencing stay in the parent either way, so
+the two backends produce byte-identical delivery reports and overload
+never costs a worker process anything.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from repro.errors import StoreError
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.platform.platform import AdPlatform
+from repro.serve import ipc as _ipc
 from repro.serve.requests import (
     AdRequest,
     AdResponse,
@@ -59,6 +70,9 @@ from repro.serve.sharding import (
     journal_store_factory,
 )
 from repro.store.snapshot import Snapshot
+
+#: Valid values for :attr:`RuntimeConfig.backend`.
+BACKENDS = ("thread", "process")
 
 _log = logging.getLogger("repro.serve.runtime")
 
@@ -86,6 +100,11 @@ class RuntimeConfig:
     #: :meth:`ServingRuntime.recover_shard`. ``None`` keeps shard state
     #: in memory.
     journal_dir: Optional[str] = None
+    #: ``"thread"`` serves from in-process shard workers (the GIL-bound
+    #: default); ``"process"`` forks one worker process per shard and
+    #: serves over batched IPC frames — true multi-core scale-out with
+    #: admission control still in the parent (``docs/serving.md``).
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -96,6 +115,15 @@ class RuntimeConfig:
             raise ValueError("queue capacity must be positive")
         if self.max_batch < 1:
             raise ValueError("batch size must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got "
+                f"{self.backend!r}")
+        if self.backend == "process" and self.workers_per_shard != 1:
+            raise ValueError(
+                "the process backend serves each shard from one "
+                "single-threaded worker process; workers_per_shard "
+                "must be 1")
 
 
 class _QueuedRequest:
@@ -132,13 +160,25 @@ class ServingRuntime:
         router: Optional[ShardRouter] = None,
     ):
         self.config = config or RuntimeConfig()
+        if router is not None and self.config.backend == "process":
+            # The process backend's router shards are in-memory shadows
+            # seeded into (and merged back from) worker processes; a
+            # prebuilt router would smuggle in stores the workers also
+            # own.
+            raise ValueError(
+                "the process backend builds its own shadow router; "
+                "do not pass one in")
         self.router = router or ShardRouter(
             platform,
             num_shards=self.config.num_shards,
             competition=competition,
+            # Thread workers journal in-process. Process workers own
+            # the journal files themselves: the parent-side shards stay
+            # in-memory shadows, seeded at spawn and refreshed at stop.
             store_factory=(
                 journal_store_factory(self.config.journal_dir)
-                if self.config.journal_dir is not None else None
+                if (self.config.journal_dir is not None
+                    and self.config.backend == "thread") else None
             ),
         )
         if router is not None and config is not None \
@@ -152,6 +192,11 @@ class ServingRuntime:
         self._submit_locks = [threading.Lock()
                               for _ in range(self.router.num_shards)]
         self._workers: List[threading.Thread] = []
+        self._clients: List[Optional[_ipc.ShardWorkerClient]] = []
+        #: True once the shadow shards hold state worker processes must
+        #: inherit (after a merge-back, recovery, or rebalance) — the
+        #: signal to seed freshly spawned workers.
+        self._shadow_dirty = False
         self._stop = threading.Event()
         self._running = False
         self._pending = 0
@@ -165,6 +210,7 @@ class ServingRuntime:
         self._m_depth = reg.gauge("serve.queue_depth")
         self._m_batch = reg.histogram("serve.batch_size")
         self._m_latency = reg.histogram("serve.request_latency_s")
+        self._m_service = reg.histogram("serve.service_time_s")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -193,11 +239,14 @@ class ServingRuntime:
     def spawn_workers(self) -> None:
         if self._workers:
             raise RuntimeError("workers already spawned")
+        if self.config.backend == "process":
+            self._spawn_process_workers()
+            return
         for shard in self.router.shards:
             for worker_index in range(self.config.workers_per_shard):
                 thread = threading.Thread(
                     target=self._worker_loop,
-                    args=(shard, self._queues[shard.index]),
+                    args=(shard, self._queues[shard.index], None),
                     name=f"serve-shard{shard.index}-w{worker_index}",
                     daemon=True,
                 )
@@ -205,6 +254,35 @@ class ServingRuntime:
                 self._workers.append(thread)
         _log.info("serving runtime started: %d shards x %d workers",
                   self.router.num_shards, self.config.workers_per_shard)
+
+    def _spawn_process_workers(self) -> None:
+        """Fork one worker process per shard, then start the router
+        threads that speak to them.
+
+        Order matters twice: every fork happens before any router
+        thread exists (forking with live threads inherits their locks
+        mid-flight), and workers are seeded from the shadow shards'
+        checkpoints only once those shadows actually hold state —
+        a first spawn starts empty and cheap.
+        """
+        for shard in self.router.shards:
+            seed_state = (shard.store.checkpoint(label="spawn-seed").state
+                          if self._shadow_dirty else None)
+            self._clients.append(_ipc.spawn_shard_worker(
+                self.router, shard.index, self.config.journal_dir,
+                seed_state))
+        for shard in self.router.shards:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(shard, self._queues[shard.index],
+                      self._clients[shard.index]),
+                name=f"serve-shard{shard.index}-io",
+                daemon=True,
+            )
+            thread.start()
+            self._workers.append(thread)
+        _log.info("serving runtime started: %d shard worker processes",
+                  self.router.num_shards)
 
     def stop(self, drain: bool = True,
              timeout: Optional[float] = 30.0) -> None:
@@ -226,9 +304,47 @@ class ServingRuntime:
             thread.join(timeout=timeout)
         self._workers = []
         self._flush_unserved()
+        if self._clients:
+            self._merge_back_workers()
         for shard in self.router.shards:
             shard.store.flush()
         self._running = False
+
+    def _merge_back_workers(self) -> None:
+        """Stop every worker process and fold its world back in.
+
+        Each worker answers the stop frame with a final checkpoint of
+        its store (restored into the parent's shadow shard, so every
+        aggregation API keeps working unchanged after the run) and its
+        metrics registry dump (merged into the parent registry). The
+        shadow keeps the parent's admission-time slot counters where
+        they ran ahead of the worker's — shed and timed-out requests
+        claimed slot keys the worker never saw, and the thread backend
+        counts those claims too. A worker that died mid-run is skipped:
+        its shadow stays stale until :meth:`recover_shard` rebuilds it
+        from the journal the worker flushed batch by batch.
+        """
+        reg = _metrics.registry()
+        for shard, client in zip(self.router.shards, self._clients):
+            if client is None:
+                continue
+            admission_seq = dict(shard.slot_seq)
+            try:
+                snapshot, metrics_state = client.shutdown()
+            except (_ipc.WorkerLost, RuntimeError) as exc:
+                _log.warning(
+                    "shard %d worker lost before merge-back (%s); "
+                    "shadow state is stale until recover_shard",
+                    shard.index, exc)
+                client.reap()
+                continue
+            shard.store.restore(snapshot)
+            for user_id, seq in admission_seq.items():
+                if seq > shard.slot_seq.get(user_id, 0):
+                    shard.slot_seq[user_id] = seq
+            reg.merge_state(metrics_state)
+        self._clients = []
+        self._shadow_dirty = True
 
     def _flush_unserved(self) -> None:
         """Resolve every still-queued request as TIMEOUT (no delivery
@@ -280,6 +396,8 @@ class ServingRuntime:
         if self._running:
             raise RuntimeError("stop the runtime before rebalancing")
         self.router.rebalance(num_shards)
+        if self.config.backend == "process":
+            self._shadow_dirty = True
         self._queues = [
             queue.Queue(maxsize=self.config.queue_capacity)
             for _ in range(num_shards)
@@ -298,6 +416,24 @@ class ServingRuntime:
         """
         if self._running:
             self.drain()
+        if self.config.backend == "process":
+            if self._clients:
+                # The workers hold the live state and journal position;
+                # they snapshot at their own journal offsets (and save
+                # next to their journals), exactly like a thread-mode
+                # shard does in-process.
+                return [client.checkpoint(label, self.config.journal_dir)
+                        for client in self._clients
+                        if client is not None]
+            if self.config.journal_dir is not None:
+                # A stopped process runtime's shadows are in-memory
+                # merges at journal position 0 — writing them to disk
+                # would pair a stale journal_seq with the journal a
+                # worker wrote, and recovery would double-apply the
+                # suffix.
+                raise RuntimeError(
+                    "the process backend checkpoints through its "
+                    "worker processes; start the runtime first")
         return self.router.checkpoint_shards(
             directory=self.config.journal_dir, label=label)
 
@@ -316,6 +452,15 @@ class ServingRuntime:
             raise StoreError(
                 "shard recovery needs a runtime configured with "
                 "journal_dir")
+        if self.config.backend == "process":
+            # Rebuild the in-memory shadow from the worker's journal +
+            # snapshot; the journal file stays closed — it belongs to
+            # the replacement worker the next start() spawns (seeded
+            # from this recovered shadow).
+            shard = self.router.recover_shard(
+                index, self.config.journal_dir, reopen_journal=False)
+            self._shadow_dirty = True
+            return shard
         return self.router.recover_shard(index, self.config.journal_dir)
 
     # -- admission ---------------------------------------------------------
@@ -374,7 +519,15 @@ class ServingRuntime:
     # -- the worker --------------------------------------------------------
 
     def _worker_loop(self, shard: Shard,
-                     shard_queue: "queue.Queue[_QueuedRequest]") -> None:
+                     shard_queue: "queue.Queue[_QueuedRequest]",
+                     client: Optional[_ipc.ShardWorkerClient]) -> None:
+        """Drain one shard's queue into micro-batches.
+
+        The same loop serves both backends: with ``client=None`` the
+        batch runs in-process on this thread (thread backend); with a
+        client it is framed to the shard's worker process and this
+        thread only does admission + IPC (process backend).
+        """
         while True:
             try:
                 first = shard_queue.get(timeout=0.05)
@@ -388,10 +541,17 @@ class ServingRuntime:
                     batch.append(shard_queue.get_nowait())
                 except queue.Empty:
                     break
-            self._serve_batch(shard, batch)
+            if client is None:
+                self._serve_batch(shard, batch)
+            else:
+                self._serve_batch_remote(shard, client, batch)
 
-    def _serve_batch(self, shard: Shard,
-                     batch: List[_QueuedRequest]) -> None:
+    def _admit_batch(self, shard: Shard,
+                     batch: List[_QueuedRequest]) -> List[_QueuedRequest]:
+        """Deadline-check a dequeued batch; expired requests resolve as
+        TIMEOUT here, before any delivery work — and, on the process
+        backend, before any IPC: overload costs the worker process
+        nothing."""
         self._m_depth.dec(len(batch))
         now = perf_counter()
         live: List[_QueuedRequest] = []
@@ -408,6 +568,11 @@ class ServingRuntime:
                 ))
             else:
                 live.append(item)
+        return live
+
+    def _serve_batch(self, shard: Shard,
+                     batch: List[_QueuedRequest]) -> None:
+        live = self._admit_batch(shard, batch)
         if not live:
             return
         self._m_batch.observe(len(live))
@@ -457,6 +622,8 @@ class ServingRuntime:
             else:
                 unfilled += 1
         self._m_served.inc()
+        service_s = perf_counter() - started
+        self._m_service.observe(service_s)
         return ServeResult(
             request=request,
             status=ServeStatus.SERVED,
@@ -468,9 +635,85 @@ class ServingRuntime:
                 unfilled=unfilled,
             ),
             queued_s=started - item.enqueued_at,
-            service_s=perf_counter() - started,
+            service_s=service_s,
             batch_size=batch_size,
         )
+
+    # -- the process-backend router thread ---------------------------------
+
+    def _serve_batch_remote(self, shard: Shard,
+                            client: _ipc.ShardWorkerClient,
+                            batch: List[_QueuedRequest]) -> None:
+        """Frame one admitted micro-batch to the shard's worker process
+        and resolve its futures from the per-request outcomes.
+
+        Admission (shed happened at submit; deadlines checked here)
+        stays entirely in the parent — only surviving requests cross
+        the socket. A lost worker resolves the batch as ERROR instead
+        of hanging; the journal it flushed per batch is what
+        :meth:`ServingRuntime.recover_shard` later replays.
+        """
+        live = self._admit_batch(shard, batch)
+        if not live:
+            return
+        self._m_batch.observe(len(live))
+        if client.lost:
+            self._fail_batch(shard, live, "shard worker lost")
+            return
+        frame = [(item.request.user_id, item.base_seq,
+                  item.request.slots) for item in live]
+        sent_at = perf_counter()
+        try:
+            replies = client.serve_batch(frame)
+        except _ipc.WorkerLost:
+            self._fail_batch(shard, live, "shard worker lost mid-batch")
+            return
+        except Exception as exc:  # noqa: BLE001 - batch-level fence
+            self._fail_batch(shard, live,
+                             f"{type(exc).__name__}: {exc}")
+            return
+        for item, reply in zip(live, replies):
+            served, ad_ids, lost, unfilled, error, service_s = reply
+            if served:
+                self._m_served.inc()
+                result = ServeResult(
+                    request=item.request,
+                    status=ServeStatus.SERVED,
+                    shard_index=shard.index,
+                    response=AdResponse(
+                        user_id=item.request.user_id,
+                        ad_ids=tuple(ad_ids),
+                        lost_to_competition=lost,
+                        unfilled=unfilled,
+                    ),
+                    queued_s=sent_at - item.enqueued_at,
+                    service_s=service_s,
+                    batch_size=len(live),
+                )
+            else:
+                self._m_errored.inc()
+                result = ServeResult(
+                    request=item.request,
+                    status=ServeStatus.ERROR,
+                    shard_index=shard.index,
+                    error=error,
+                    queued_s=sent_at - item.enqueued_at,
+                    service_s=service_s,
+                    batch_size=len(live),
+                )
+            self._resolve(item, result)
+
+    def _fail_batch(self, shard: Shard, live: List[_QueuedRequest],
+                    error: str) -> None:
+        for item in live:
+            self._m_errored.inc()
+            self._resolve(item, ServeResult(
+                request=item.request,
+                status=ServeStatus.ERROR,
+                shard_index=shard.index,
+                error=error,
+                queued_s=perf_counter() - item.enqueued_at,
+            ))
 
     # -- bookkeeping -------------------------------------------------------
 

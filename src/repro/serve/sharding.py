@@ -244,6 +244,23 @@ class Shard:
         self.store.append(SlotClaimed(user_id=user_id, slots=slots))
         return base
 
+    def claim_through(self, user_id: str, target: int) -> None:
+        """Journal a claim bringing the user's slot counter up to
+        ``target``; a no-op if it is already there.
+
+        The process backend's claim shape: admission claims happen in
+        the *parent* (so shed requests cost the worker nothing yet
+        still consume slot keys), and the worker bridges its own
+        journal-consistent counter to the parent-issued base the first
+        time a request for that user actually reaches it — gaps left by
+        shed or timed-out requests fold into the next served claim, so
+        a recovered worker resumes the exact keyed sequence."""
+        current = self.slot_seq.get(user_id, 0)
+        if target > current:
+            self.slot_seq[user_id] = target
+            self.store.append(
+                SlotClaimed(user_id=user_id, slots=target - current))
+
     def serve_user_slots(self, user, base_seq: int,
                          slots: int) -> List:
         """Serve ``slots`` keyed slots for one user; returns outcomes.
@@ -451,7 +468,8 @@ class ShardRouter:
             snapshots.append(snapshot)
         return snapshots
 
-    def recover_shard(self, index: int, directory: str) -> Shard:
+    def recover_shard(self, index: int, directory: str,
+                      reopen_journal: bool = True) -> Shard:
         """Rebuild one shard from its on-disk journal (plus snapshot, if
         one was taken) and swap it into the router.
 
@@ -461,6 +479,13 @@ class ShardRouter:
         charge is re-deducted exactly once during replay, so nothing is
         double-charged; caps, feeds, logs, and slot counters land
         exactly where the dead shard left them.
+
+        ``reopen_journal=False`` rebuilds the shard onto an in-memory
+        store instead of re-opening the journal file for append — the
+        process backend's shape, where the router's shards are shadows
+        and the journal belongs to a worker process that will be
+        re-spawned (and seeded from the recovered shadow) on the next
+        start.
         """
         if not 0 <= index < self.num_shards:
             raise ValueError(f"no shard {index} in a "
@@ -469,7 +494,8 @@ class ShardRouter:
         records = JournalStore.read(journal)
         # Re-open the same journal file for the replacement shard: the
         # history stays in place and new appends continue after it.
-        store = JournalStore(journal)
+        store: StateStore = (JournalStore(journal) if reopen_journal
+                             else MemoryStore())
         shard = self._build_shard(index, self.num_shards, store=store)
         replay_from = 0
         snapshot_file = shard_snapshot_path(

@@ -139,6 +139,10 @@ class TestServingInstrumentation:
         "serve.queue_depth",
         "serve.batch_size",
         "serve.request_latency_s",
+        "serve.service_time_s",
+        "serve.ipc_batches",
+        "serve.ipc_bytes",
+        "serve.workers_lost",
     )
     SERVE_SPANS = ("serve.batch", "loadgen.run")
 

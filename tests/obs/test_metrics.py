@@ -188,3 +188,99 @@ class TestNullRegistry:
         reg.counter("a")
         reg.histogram("h")
         assert reg.instruments() == {}
+
+
+class TestMergeAndState:
+    """Cross-process merge: two registries' worth of samples must look
+    exactly like one registry that saw everything (the process-backend
+    merge-back contract)."""
+
+    def test_counter_state_round_trip_and_merge(self):
+        counter = Counter("c", help="h")
+        counter.inc(3)
+        clone = Counter.from_state(counter.to_state())
+        assert clone.value == 3 and clone.name == "c"
+        clone.merge(counter)
+        assert clone.value == 6
+
+    def test_counter_merge_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("a").merge(Counter("b"))
+
+    def test_gauge_merge_sums(self):
+        left, right = Gauge("g"), Gauge("g")
+        left.set(2.5)
+        right.set(-1.0)
+        left.merge(right)
+        assert left.value == pytest.approx(1.5)
+        assert Gauge.from_state(left.to_state()).value \
+            == pytest.approx(1.5)
+
+    def test_histogram_state_round_trip(self):
+        hist = Histogram("h", buckets=(1, 5, 10))
+        for value in (0.5, 3, 7, 42):
+            hist.observe(value)
+        clone = Histogram.from_state(hist.to_state())
+        assert clone.bucket_counts() == hist.bucket_counts()
+        assert clone.sum == pytest.approx(hist.sum)
+        assert clone.count == hist.count
+
+    def test_histogram_merge_bounds_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="bucket"):
+            Histogram("h", buckets=(1, 2)).merge(
+                Histogram("h", buckets=(1, 3)))
+
+    def test_merged_quantiles_match_single_registry(self):
+        """The satellite acceptance: split a sample stream across two
+        histograms, merge, and every quantile agrees exactly with one
+        histogram that observed the whole stream."""
+        buckets = (0.001, 0.01, 0.1, 1.0, 10.0)
+        whole = Histogram("h", buckets=buckets)
+        left = Histogram("h", buckets=buckets)
+        right = Histogram("h", buckets=buckets)
+        samples = [0.0005 * i for i in range(1, 200)] \
+            + [0.5, 2.0, 20.0, 0.009]
+        for index, value in enumerate(samples):
+            whole.observe(value)
+            (left if index % 2 else right).observe(value)
+        left.merge(right)
+        for q in (0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert left.quantile(q) == pytest.approx(whole.quantile(q)), q
+        assert left.percentiles() == whole.percentiles()
+        assert left.count == whole.count
+        assert left.sum == pytest.approx(whole.sum)
+
+    def test_empty_bucket_interpolation_returns_lower_edge(self):
+        """A rank landing on a cumulative boundary of an empty bucket
+        resolves to the bucket's lower edge — the value that a merged
+        and an unmerged histogram agree on."""
+        hist = Histogram("h", buckets=(1, 2, 4))
+        hist.observe(0.5)
+        hist.observe(0.5)
+        # rank 2 of 2 sits at the top of bucket (<=1); quantile beyond
+        # must not wander into the empty (1, 2] bucket's upper bound
+        assert hist.quantile(1.0) == pytest.approx(1.0)
+
+    def test_registry_state_round_trip_and_merge(self):
+        parent = MetricsRegistry("parent")
+        parent.counter("hits").inc(2)
+        parent.histogram("lat", buckets=(1, 10)).observe(0.5)
+        worker = MetricsRegistry("worker")
+        worker.counter("hits").inc(3)
+        worker.counter("worker_only").inc(1)
+        worker.histogram("lat", buckets=(1, 10)).observe(5.0)
+
+        # pre-resolved references must see merged totals afterwards
+        hits = parent.counter("hits")
+        parent.merge_state(worker.to_state())
+        assert hits.value == 5
+        assert parent.counter("worker_only").value == 1
+        merged_lat = parent.histogram("lat", buckets=(1, 10))
+        assert merged_lat.count == 2
+        assert merged_lat.sum == pytest.approx(5.5)
+
+    def test_null_registry_state_is_inert(self):
+        assert NULL_REGISTRY.to_state() == []
+        NULL_REGISTRY.merge_state(
+            [{"kind": "counter", "name": "x", "help": "", "value": 9}])
+        assert NULL_REGISTRY.counter("x").value == 0

@@ -1,0 +1,222 @@
+"""The IPC layer on its own: framing codec, bridging claims, workers.
+
+The equivalence and recovery suites prove the process backend
+end-to-end; these tests pin the pieces — the length-prefixed codec's
+edge cases, the journal-consistent ``claim_through`` bridge, worker
+lifecycle (spawn, serve, checkpoint, clean shutdown), the seed
+snapshot written on a seeded spawn, and the metrics merge-back.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.obs import metrics as _metrics
+from repro.serve import (
+    AdRequest,
+    Framer,
+    KeyedCompetition,
+    RuntimeConfig,
+    ServingRuntime,
+    WorkerLost,
+)
+from repro.serve.sharding import shard_snapshot_path
+from repro.store.records import SlotClaimed
+from repro.store.snapshot import Snapshot
+
+
+@pytest.fixture
+def framer_pair():
+    left_sock, right_sock = socket.socketpair()
+    left, right = Framer(left_sock), Framer(right_sock)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFramer:
+    def test_round_trip(self, framer_pair):
+        left, right = framer_pair
+        message = ("serve", [("u1", 0, 2), ("u2", 4, 1)])
+        left.send(message)
+        assert right.recv() == message
+
+    def test_many_messages_in_order(self, framer_pair):
+        left, right = framer_pair
+        for i in range(200):
+            left.send({"seq": i})
+        for i in range(200):
+            assert right.recv() == {"seq": i}
+
+    def test_large_payload(self, framer_pair):
+        left, right = framer_pair
+        payload = ["x" * 1024] * 4096  # ~4 MiB, spans many recv chunks
+        done = threading.Event()
+        received = []
+
+        def reader():
+            received.append(right.recv())
+            done.set()
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        left.send(payload)
+        assert done.wait(timeout=30)
+        assert received[0] == payload
+
+    def test_byte_accounting_includes_headers(self, framer_pair):
+        left, right = framer_pair
+        left.send("ping")
+        right.recv()
+        assert left.bytes_sent > 4
+        assert right.bytes_received == left.bytes_sent
+
+    def test_closed_peer_raises_worker_lost(self, framer_pair):
+        left, right = framer_pair
+        right.close()
+        with pytest.raises(WorkerLost):
+            left.recv()
+
+    def test_oversize_frame_rejected_at_send(self, framer_pair):
+        left, _ = framer_pair
+        from repro.serve import ipc
+
+        huge = b"x" * (ipc.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ValueError, match="frame"):
+            left.send(huge)
+
+    def test_corrupt_length_prefix_rejected(self):
+        left_sock, right_sock = socket.socketpair()
+        try:
+            left_sock.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(WorkerLost, match="corrupt"):
+                Framer(right_sock).recv()
+        finally:
+            left_sock.close()
+            right_sock.close()
+
+
+class TestClaimThrough:
+    def test_bridges_gap_and_journals_delta(self, make_world):
+        from repro.serve import ShardRouter
+
+        router = ShardRouter(make_world(users=5), num_shards=1)
+        shard = router.shards[0]
+        user_id = router.platform.users.user_ids()[0]
+        shard.claim_slots(user_id, 2)  # seq now 2
+        # parent shed a 3-slot request: the worker sees the next request
+        # at base_seq 5 and must bridge 2 -> 7
+        shard.claim_through(user_id, 7)
+        assert shard.slot_seq[user_id] == 7
+        claimed = [record for record in shard.store.records()
+                   if isinstance(record, SlotClaimed)
+                   and record.user_id == user_id]
+        assert sum(record.slots for record in claimed) == 7
+
+    def test_noop_when_target_not_ahead(self, make_world):
+        from repro.serve import ShardRouter
+
+        router = ShardRouter(make_world(users=5), num_shards=1)
+        shard = router.shards[0]
+        user_id = router.platform.users.user_ids()[0]
+        shard.claim_slots(user_id, 4)
+        before = len(shard.store.records())
+        shard.claim_through(user_id, 3)
+        assert shard.slot_seq[user_id] == 4
+        assert len(shard.store.records()) == before
+
+
+class TestWorkerLifecycle:
+    def _runtime(self, platform, tmp_path=None, shards=2):
+        return ServingRuntime(
+            platform,
+            RuntimeConfig(
+                num_shards=shards, backend="process",
+                journal_dir=None if tmp_path is None else str(tmp_path),
+            ),
+            competition=KeyedCompetition(seed=13),
+        )
+
+    def test_ipc_metrics_metered(self, make_world):
+        registry = _metrics.MetricsRegistry("ipc-meter")
+        with _metrics.use_registry(registry):
+            platform = make_world(users=10)
+            runtime = self._runtime(platform)
+            with runtime:
+                results = runtime.serve_and_wait([
+                    AdRequest(uid, slots=1)
+                    for uid in platform.users.user_ids()
+                ])
+            assert all(result.ok for result in results)
+        assert registry.counter("serve.ipc_batches").value > 0
+        assert registry.counter("serve.ipc_bytes").value > 0
+        assert registry.counter("serve.workers_lost").value == 0
+
+    def test_worker_metrics_merge_back(self, make_world):
+        """Delivery happened only in the workers, yet after stop the
+        parent registry carries the fleet-wide delivery counters."""
+        registry = _metrics.MetricsRegistry("merge-back")
+        with _metrics.use_registry(registry):
+            platform = make_world(users=10)
+            runtime = self._runtime(platform)
+            with runtime:
+                results = runtime.serve_and_wait([
+                    AdRequest(uid, slots=2)
+                    for uid in platform.users.user_ids()
+                ])
+            assert all(result.ok for result in results)
+            served = sum(1 for result in results if result.ok)
+        slots = registry.counter("delivery.slots_served").value
+        assert slots == 2 * served
+        service = registry.get("serve.service_time_s")
+        assert service is not None and service.count == served
+
+    def test_seeded_respawn_writes_seed_snapshot(self, make_world,
+                                                 tmp_path):
+        platform = make_world(users=10)
+        runtime = self._runtime(platform, tmp_path, shards=1)
+        with runtime:
+            assert runtime.serve_and_wait(
+                [AdRequest(uid, slots=1)
+                 for uid in platform.users.user_ids()])
+        snapshot_file = shard_snapshot_path(str(tmp_path), 0, 1)
+        assert not os.path.exists(snapshot_file)
+        # second start: shadows are dirty, workers get seeded and must
+        # pin the seed on disk so recovery starts past it
+        with runtime:
+            assert runtime.serve_and_wait(
+                [AdRequest(uid, slots=1)
+                 for uid in platform.users.user_ids()])
+        seed_snapshot = Snapshot.load(snapshot_file)
+        assert seed_snapshot.label == "seed"
+        assert seed_snapshot.journal_seq > 0
+
+    def test_process_backend_rejects_prebuilt_router(self, make_world):
+        from repro.serve import ShardRouter
+
+        platform = make_world(users=5)
+        router = ShardRouter(platform, num_shards=2)
+        with pytest.raises(ValueError, match="shadow router"):
+            ServingRuntime(
+                platform,
+                RuntimeConfig(num_shards=2, backend="process"),
+                router=router,
+            )
+
+    def test_process_backend_requires_single_worker(self):
+        with pytest.raises(ValueError, match="workers_per_shard"):
+            RuntimeConfig(backend="process", workers_per_shard=2)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            RuntimeConfig(backend="greenlet")
+
+    def test_stopped_journaled_checkpoint_refuses(self, make_world,
+                                                  tmp_path):
+        runtime = self._runtime(make_world(users=5), tmp_path, shards=1)
+        with pytest.raises(RuntimeError, match="start the runtime"):
+            runtime.checkpoint("too-early")

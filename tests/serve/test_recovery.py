@@ -11,6 +11,8 @@ slot counters (hence same keyed competition), and the same charges
 from __future__ import annotations
 
 import json
+import os
+import signal
 
 import pytest
 
@@ -18,6 +20,7 @@ from repro.serve import (
     AdRequest,
     KeyedCompetition,
     RuntimeConfig,
+    ServeStatus,
     ServingRuntime,
     ShardRouter,
     journal_store_factory,
@@ -182,46 +185,48 @@ class TestShardCrashRecovery:
         assert canonical_json(state_report(rebuilt)) == live
 
 
+def _drive(runtime, platform, repeat, slots=2):
+    """Submit ``repeat`` rounds over every user; all must be SERVED."""
+    futures = []
+    for _ in range(repeat):
+        for uid in platform.users.user_ids():
+            futures.append(runtime.submit(AdRequest(uid, slots=slots)))
+    for future in futures:
+        assert future.result(timeout=30).ok
+    return len(futures)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
 class TestRuntimeRecovery:
     def test_runtime_checkpoint_recover_and_resume(self, make_world,
-                                                   tmp_path):
+                                                   tmp_path, backend):
         seed = 11
-        requests_a = None
-        # identical request sequences against both runtimes
-        def drive(runtime, platform, repeat):
-            futures = []
-            for _ in range(repeat):
-                for uid in platform.users.user_ids():
-                    futures.append(runtime.submit(AdRequest(uid, slots=2)))
-            for future in futures:
-                assert future.result(timeout=30).ok
-            return len(futures)
-
         ref_platform = make_world(seed=seed)
         reference = ServingRuntime(
             ref_platform,
-            RuntimeConfig(num_shards=3, queue_capacity=4096),
+            RuntimeConfig(num_shards=3, queue_capacity=4096,
+                          backend=backend),
             competition=KeyedCompetition(seed=13),
         )
         with reference:
-            drive(reference, ref_platform, 2)
-            drive(reference, ref_platform, 1)
+            _drive(reference, ref_platform, 2)
+            _drive(reference, ref_platform, 1)
 
         platform = make_world(seed=seed)
         runtime = ServingRuntime(
             platform,
             RuntimeConfig(num_shards=3, queue_capacity=4096,
-                          journal_dir=str(tmp_path)),
+                          journal_dir=str(tmp_path), backend=backend),
             competition=KeyedCompetition(seed=13),
         )
         with runtime:
-            drive(runtime, platform, 2)
+            _drive(runtime, platform, 2)
             runtime.checkpoint("mid-run")
         # crash shard 1 while stopped; recover from disk
         runtime.router.shards[1].store.close()
         runtime.recover_shard(1)
         with runtime:
-            drive(runtime, platform, 1)
+            _drive(runtime, platform, 1)
 
         assert (canonical_json(state_report(runtime.router))
                 == canonical_json(state_report(reference.router)))
@@ -229,24 +234,105 @@ class TestRuntimeRecovery:
                 == reference.router.aggregate_report())
         _close(runtime.router)
 
-    def test_recover_requires_journal_dir(self, make_world):
+    def test_recover_requires_journal_dir(self, make_world, backend):
         from repro.errors import StoreError
 
         runtime = ServingRuntime(make_world(users=5),
-                                 RuntimeConfig(num_shards=1))
+                                 RuntimeConfig(num_shards=1,
+                                               backend=backend))
         with pytest.raises(StoreError, match="journal_dir"):
             runtime.recover_shard(0)
 
     def test_recover_requires_stopped_runtime(self, make_world,
-                                              tmp_path):
+                                              tmp_path, backend):
         runtime = ServingRuntime(
             make_world(users=5),
-            RuntimeConfig(num_shards=1, journal_dir=str(tmp_path)),
+            RuntimeConfig(num_shards=1, journal_dir=str(tmp_path),
+                          backend=backend),
         )
         with runtime:
             with pytest.raises(RuntimeError, match="stop"):
                 runtime.recover_shard(0)
         _close(runtime.router)
+
+
+class TestWorkerSigkill:
+    """kill -9 of a shard worker process: fail fast, recover fully."""
+
+    def test_killed_worker_fails_fast_and_isolates(self, make_world,
+                                                   tmp_path):
+        platform = make_world(users=20)
+        runtime = ServingRuntime(
+            platform,
+            RuntimeConfig(num_shards=2, backend="process",
+                          journal_dir=str(tmp_path)),
+            competition=KeyedCompetition(seed=13),
+        )
+        with runtime:
+            uids = platform.users.user_ids()
+            _drive(runtime, platform, 1, slots=1)
+            victim = 0
+            victim_uid = next(
+                u for u in uids
+                if runtime.router.shard_for(u).index == victim)
+            other_uid = next(
+                u for u in uids
+                if runtime.router.shard_for(u).index != victim)
+            process = runtime._clients[victim].process
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=10)
+            # requests to the dead shard resolve as ERROR, not a hang
+            result = runtime.submit(
+                AdRequest(victim_uid, slots=1)).result(timeout=30)
+            assert result.status is ServeStatus.ERROR
+            # the other shard is unaffected
+            assert runtime.submit(
+                AdRequest(other_uid, slots=1)).result(timeout=30).ok
+        # stop() above skipped the dead worker's merge-back cleanly
+
+    def test_sigkill_recover_resume_byte_identical(self, make_world,
+                                                   tmp_path):
+        """Round A -> drain -> SIGKILL one worker -> stop -> recover
+        from its per-batch-flushed journal -> round B == an
+        uninterrupted run. Nothing acknowledged is lost; nothing is
+        double-charged."""
+        seed = 11
+        ref_platform = make_world(seed=seed)
+        reference = ServingRuntime(
+            ref_platform,
+            RuntimeConfig(num_shards=3, queue_capacity=4096,
+                          backend="process"),
+            competition=KeyedCompetition(seed=13),
+        )
+        with reference:
+            _drive(reference, ref_platform, 2)
+            _drive(reference, ref_platform, 1)
+
+        platform = make_world(seed=seed)
+        runtime = ServingRuntime(
+            platform,
+            RuntimeConfig(num_shards=3, queue_capacity=4096,
+                          backend="process", journal_dir=str(tmp_path)),
+            competition=KeyedCompetition(seed=13),
+        )
+        victim = 1
+        with runtime:
+            _drive(runtime, platform, 2)
+            assert runtime.drain()
+            # every acknowledged batch is journal-flushed, so a hard
+            # kill of the idle worker loses nothing
+            process = runtime._clients[victim].process
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=10)
+        runtime.recover_shard(victim)
+        with runtime:
+            _drive(runtime, platform, 1)
+
+        assert (canonical_json(state_report(runtime.router))
+                == canonical_json(state_report(reference.router)))
+        assert (runtime.router.aggregate_report()
+                == reference.router.aggregate_report())
+        assert _spends(runtime.router) == _spends(reference.router)
 
 
 class TestJournaledEquivalence:

@@ -12,6 +12,11 @@ Three layers of equivalence, each against a stronger reference:
 3. Replay determinism — the same world and request sequence served
    twice through the runtime gives the same report (the
    workers-per-shard=1 contract).
+
+Every layer runs on both backends: the process backend moves each
+shard's engine into a subprocess behind the IPC codec, and these tests
+are the proof that the wire does not change delivery — thread and
+process runs of the same world are byte-identical too.
 """
 
 from __future__ import annotations
@@ -41,10 +46,12 @@ def _request_sequence(platform):
     ]
 
 
-def _serve_through(platform, num_shards, median_cpm=2.0):
+def _serve_through(platform, num_shards, median_cpm=2.0,
+                   backend="thread"):
     runtime = ServingRuntime(
         platform,
-        RuntimeConfig(num_shards=num_shards, queue_capacity=4096),
+        RuntimeConfig(num_shards=num_shards, queue_capacity=4096,
+                      backend=backend),
         competition=KeyedCompetition(seed=7, median_cpm=median_cpm),
     )
     with runtime:
@@ -53,11 +60,13 @@ def _serve_through(platform, num_shards, median_cpm=2.0):
     return runtime
 
 
+@pytest.mark.parametrize("backend", ["thread", "process"])
 class TestShardCountInvariance:
-    def test_1_4_8_shards_byte_identical(self, make_world):
+    def test_1_4_8_shards_byte_identical(self, make_world, backend):
         reports = {}
         for num_shards in (1, 4, 8):
-            runtime = _serve_through(make_world(seed=SEED), num_shards)
+            runtime = _serve_through(make_world(seed=SEED), num_shards,
+                                     backend=backend)
             reports[num_shards] = json.dumps(
                 runtime.router.aggregate_report(), sort_keys=True
             )
@@ -66,9 +75,11 @@ class TestShardCountInvariance:
         assert json.loads(reports[1]), \
             "vacuous equivalence: nothing was delivered"
 
-    def test_feeds_identical_across_shard_counts(self, make_world):
+    def test_feeds_identical_across_shard_counts(self, make_world,
+                                                 backend):
         runtimes = {
-            num_shards: _serve_through(make_world(seed=SEED), num_shards)
+            num_shards: _serve_through(make_world(seed=SEED), num_shards,
+                                       backend=backend)
             for num_shards in (1, 4)
         }
         user_ids = sorted(
@@ -81,22 +92,25 @@ class TestShardCountInvariance:
             }
             assert feeds[1] == feeds[4]
 
-    def test_replay_same_world_same_report(self, make_world):
-        first = _serve_through(make_world(seed=SEED), 4)
-        second = _serve_through(make_world(seed=SEED), 4)
+    def test_replay_same_world_same_report(self, make_world, backend):
+        first = _serve_through(make_world(seed=SEED), 4, backend=backend)
+        second = _serve_through(make_world(seed=SEED), 4,
+                                backend=backend)
         assert json.dumps(first.router.aggregate_report(),
                           sort_keys=True) \
             == json.dumps(second.router.aggregate_report(),
                           sort_keys=True)
 
 
+@pytest.mark.parametrize("backend", ["thread", "process"])
 class TestSingleEngineAgreement:
     """No competition on either path -> sharded == synchronous engine."""
 
     @pytest.fixture
-    def pair(self, make_world):
+    def pair(self, make_world, backend):
         served = make_world(seed=SEED)
-        runtime = _serve_through(served, 4, median_cpm=0.0)
+        runtime = _serve_through(served, 4, median_cpm=0.0,
+                                 backend=backend)
         reference = make_world(seed=SEED)
         for _ in range(ROUNDS):
             reference.run_delivery(slots_per_user=SLOTS)
@@ -125,3 +139,21 @@ class TestSingleEngineAgreement:
         runtime, reference = pair
         assert runtime.router.total_impressions() \
             == len(reference.delivery.impressions())
+
+
+class TestBackendAgreement:
+    """Thread and process backends serve the same world identically."""
+
+    def test_thread_process_byte_identical(self, make_world):
+        reports = {
+            backend: json.dumps(
+                _serve_through(make_world(seed=SEED), 4,
+                               backend=backend)
+                .router.aggregate_report(),
+                sort_keys=True,
+            )
+            for backend in ("thread", "process")
+        }
+        assert reports["thread"] == reports["process"]
+        assert json.loads(reports["thread"]), \
+            "vacuous equivalence: nothing was delivered"

@@ -128,3 +128,15 @@ def test_api_tour_scenario_end_to_end():
         ).run()
     assert set(report.percentiles()) == {"p50", "p95", "p99"}
     assert report.tally.errors == 0
+
+    # 10 (continued): the process backend serves the same world from
+    # one worker process per shard, then merges state back at stop
+    proc_runtime = ServingRuntime(platform, RuntimeConfig(
+        num_shards=4, backend="process",
+    ))
+    with proc_runtime:
+        results = proc_runtime.serve_and_wait(
+            [AdRequest(uid, slots=1)
+             for uid in platform.users.user_ids()])
+    assert all(r.ok for r in results)
+    assert proc_runtime.router.total_impressions() > 0
