@@ -1,0 +1,108 @@
+"""CI trace-smoke validator: prove a ``--trace-out`` Chrome trace and
+a ``--metrics-out`` Prometheus snapshot are real and connected.
+
+Usage::
+
+    python benchmarks/validate_trace.py <backend> <trace.json> <metrics.prom>
+
+Checks, in order:
+
+1. The trace file is a loadable Chrome trace-event JSON array of
+   complete (``"ph": "X"``) events.
+2. Every non-null ``parent_id`` resolves to a span in the same file —
+   on the process backend that includes links that cross the process
+   boundary (worker-origin child, parent-origin request span).
+3. At least one SERVED request has its complete chain:
+   ``serve.request`` with both ``serve.queue_wait`` and
+   ``serve.engine`` children sharing its trace id.
+4. On the process backend, engine spans carry a nonzero origin
+   (rendered as distinct ``pid`` tracks), i.e. they were recorded in
+   worker processes and merged over IPC.
+5. The metrics snapshot carries the served counter and the telemetry
+   poll counter (the streaming plane actually ran).
+
+Exits non-zero with a message on the first failed check.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(message: str) -> None:
+    print(f"trace-smoke FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main(argv) -> int:
+    if len(argv) != 4:
+        fail(f"usage: validate_trace.py <backend> <trace.json> "
+             f"<metrics.prom> (got {argv[1:]})")
+    backend, trace_path, metrics_path = argv[1], argv[2], argv[3]
+
+    with open(trace_path, encoding="utf-8") as stream:
+        events = json.load(stream)
+    if not events:
+        fail("chrome trace is empty")
+    if not all(event.get("ph") == "X" for event in events):
+        fail("trace carries non-complete (ph != 'X') events")
+
+    span_ids = {event["args"]["span_id"] for event in events}
+    dangling = [event for event in events
+                if event["args"].get("parent_id") is not None
+                and event["args"]["parent_id"] not in span_ids]
+    if dangling:
+        fail(f"{len(dangling)} events have unresolved parent_ids, "
+             f"first: {dangling[0]['name']}")
+
+    children = defaultdict(set)
+    for event in events:
+        parent = event["args"].get("parent_id")
+        if parent is not None:
+            children[parent].add(event["name"])
+    requests = [event for event in events
+                if event["name"] == "serve.request"]
+    if not requests:
+        fail("no serve.request spans in trace")
+    complete = [
+        event for event in requests
+        if {"serve.queue_wait", "serve.engine"}
+        <= children[event["args"]["span_id"]]
+    ]
+    if not complete:
+        fail("no serve.request has a complete "
+             "queue_wait + engine child chain")
+
+    origins = sorted({event["pid"] for event in events})
+    if backend == "process":
+        engine_origins = {event["pid"] for event in events
+                          if event["name"] == "serve.engine"}
+        if engine_origins == {0}:
+            fail("process backend but every serve.engine span has "
+                 "origin 0 — nothing was merged across the boundary")
+
+    with open(metrics_path, encoding="utf-8") as stream:
+        text = stream.read()
+    served = None
+    polls = None
+    for line in text.splitlines():
+        if line.startswith("serve_requests_served "):
+            served = float(line.split()[-1])
+        elif line.startswith("serve_telemetry_polls "):
+            polls = float(line.split()[-1])
+    if not served:
+        fail("metrics snapshot: serve_requests_served missing or zero")
+    if not polls:
+        fail("metrics snapshot: serve_telemetry_polls missing or zero "
+             "— the streaming plane never ticked")
+
+    print(f"trace-smoke OK [{backend}]: {len(events)} spans, "
+          f"{len(complete)}/{len(requests)} complete request chains, "
+          f"origins={origins}, served={served:.0f}, polls={polls:.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

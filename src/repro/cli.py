@@ -28,7 +28,13 @@ Commands
 ``loadgen``
     The same world and runtime, reported from the load generator's
     side: offered vs achieved RPS, shed/timeout counts, and optionally
-    the full latency histogram as JSON (``--histogram-out``).
+    the full latency histogram as JSON (``--histogram-out``). With
+    ``--slo p99=5ms,availability=99%`` the run is scored against the
+    objectives and the exit code says whether they held.
+``top``
+    The same run as ``loadgen``, watched live: a redrawing terminal
+    view of per-shard rps, queue depth, shed/timeout rates, and
+    latency quantiles out of the streaming telemetry plane.
 ``checkpoint``
     Serve a deterministic sharded scenario with per-shard journaling,
     snapshot every shard mid-run, keep serving, and write the journals,
@@ -45,8 +51,10 @@ Commands
 Global flags: ``-v`` / ``-vv`` attach a stderr handler to the
 ``repro.*`` loggers (INFO / DEBUG); ``--version`` prints the package
 version; ``--trace-out FILE`` on the delivery-running commands
-(``demo``, ``validate``, ``stats``, ``serve``, ``loadgen``) writes span
-JSONL for the run.
+(``demo``, ``validate``, ``stats``, ``serve``, ``loadgen``, ``top``)
+writes the run's spans — on the process backend the merged
+cross-process trace — as JSONL or, with ``--trace-format chrome``, a
+``chrome://tracing`` JSON array.
 """
 
 from __future__ import annotations
@@ -56,13 +64,16 @@ import contextlib
 import io
 import json
 import logging
+import os
 import sys
+import threading
 from typing import List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.analysis.tables import format_table
 from repro.obs import export as obs_export
 from repro.obs.metrics import MetricsRegistry, registry, use_registry
+from repro.obs.slo import SLOSpec, parse_slo
 from repro.obs.tracing import Tracer, use_tracer
 from repro.core.bitsplit import bits_needed, treads_needed_enumeration
 from repro.core.client import TreadClient
@@ -156,7 +167,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "loadgen", help="open-loop load generation against the serving "
                         "runtime"
     )
-    for sub in (serve, loadgen):
+    top = commands.add_parser(
+        "top", help="loadgen with a live terminal view: per-shard rps, "
+                    "queue depth, shed/timeout rates, latency quantiles"
+    )
+    for sub in (serve, loadgen, top):
         sub.add_argument("--shards", type=int, default=4,
                          help="user shards (engines + queues)")
         sub.add_argument("--backend", choices=("thread", "process"),
@@ -186,10 +201,29 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--queue-capacity", type=int, default=256,
                          help="bounded per-shard queue; overflow is "
                               "SHED")
+        sub.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="write a Prometheus snapshot of the live "
+                              "(cross-process) registry to FILE on "
+                              "every telemetry tick, atomically, plus "
+                              "a final one after the run")
+        sub.add_argument("--telemetry-interval", type=float,
+                         default=None, metavar="SECONDS",
+                         help="streaming worker-telemetry poll period; "
+                              "defaults to 0.1 when --metrics-out is "
+                              "set (and always streams under 'top'), "
+                              "otherwise off")
         _add_trace_out(sub)
+    for sub in (loadgen, top):
+        sub.add_argument("--slo", metavar="SPEC", default=None,
+                         help="comma-separated objectives like "
+                              "p99=5ms,availability=99%%; exit 1 when "
+                              "the run violates any of them")
     loadgen.add_argument("--histogram-out", metavar="FILE", default=None,
                         help="write the latency histogram + tally JSON "
                              "to FILE")
+    top.add_argument("--interval", type=float, default=0.5,
+                     metavar="SECONDS",
+                     help="redraw period of the live view")
 
     checkpoint = commands.add_parser(
         "checkpoint", help="journal a deterministic sharded run, "
@@ -233,7 +267,13 @@ def _build_parser() -> argparse.ArgumentParser:
 def _add_trace_out(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--trace-out", metavar="FILE", default=None,
-        help="write span JSONL for this run to FILE",
+        help="write the run's spans to FILE (on the process backend, "
+             "the merged cross-process trace)",
+    )
+    subparser.add_argument(
+        "--trace-format", choices=("jsonl", "chrome"), default="jsonl",
+        help="span serialization for --trace-out: JSONL records "
+             "(default) or a chrome://tracing JSON array",
     )
 
 
@@ -471,13 +511,43 @@ def _cmd_stats(scenario: str, stats_format: str) -> int:
     return 0
 
 
-def _run_serving_world(args: argparse.Namespace
-                       ) -> Tuple[ServingRuntime, LoadReport]:
-    """Build a persona-mix world with a full Tread sweep and load it.
+def _telemetry_interval_for(args: argparse.Namespace) -> Optional[float]:
+    """Resolve the runtime's streaming poll period from the flags.
 
-    Shared engine room for ``serve`` and ``loadgen`` — same world, same
-    runtime, same generator; the two commands differ only in which side
-    of the run they report.
+    Explicit ``--telemetry-interval`` wins; otherwise ``--metrics-out``
+    needs a stream to snapshot (100 ms default), and ``top`` always
+    streams (at half its redraw period so every frame has fresh rows).
+    """
+    explicit = getattr(args, "telemetry_interval", None)
+    if explicit is not None:
+        return explicit
+    if getattr(args, "metrics_out", None) is not None:
+        return 0.1
+    if args.command == "top":
+        return max(0.05, args.interval / 2.0)
+    return None
+
+
+def _write_metrics_snapshot(path: str, reg: MetricsRegistry) -> None:
+    """Atomically replace ``path`` with a Prometheus dump of ``reg``
+    (write-then-rename, so a concurrent scraper never reads a torn
+    file)."""
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as stream:
+        stream.write(obs_export.to_prometheus(reg))
+    os.replace(tmp_path, path)
+
+
+def _build_serving_world(args: argparse.Namespace
+                         ) -> Tuple[ServingRuntime, LoadGenerator]:
+    """Build a persona-mix world with a full Tread sweep, runtime, and
+    generator.
+
+    Shared engine room for ``serve``, ``loadgen``, and ``top`` — same
+    world, same runtime, same generator; the commands differ only in
+    which side of the run they report. ``--metrics-out`` hangs a
+    telemetry listener here so Prometheus snapshots land on every tick
+    of the streaming plane.
     """
     platform = AdPlatform(config=PlatformConfig(name="serve"))
     web = WebDirectory()
@@ -500,6 +570,7 @@ def _run_serving_world(args: argparse.Namespace
             workers_per_shard=args.workers,
             queue_capacity=args.queue_capacity,
             backend=args.backend,
+            telemetry_interval_s=_telemetry_interval_for(args),
         ),
         competition=KeyedCompetition(seed=args.seed),
     )
@@ -515,11 +586,63 @@ def _run_serving_world(args: argparse.Namespace
             seed=args.seed,
         ),
     )
-    with runtime:
-        report = generator.run()
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        runtime.add_telemetry_listener(
+            lambda rt, sample: _write_metrics_snapshot(
+                metrics_out, rt.live_metrics()))
+    return runtime, generator
+
+
+def _finish_serving_run(args: argparse.Namespace,
+                        report: LoadReport) -> None:
+    """Post-run bookkeeping shared by serve/loadgen/top: capture the
+    merged runtime histograms and write the final metrics snapshot."""
     # After stop: on the process backend, worker registries have merged
     # back, so these are the fleet-wide (cross-process) histograms.
     report.attach_runtime_histograms(registry())
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        _write_metrics_snapshot(metrics_out, registry())
+        print(f"wrote metrics snapshot to {metrics_out}",
+              file=sys.stderr)
+
+
+def _parse_slo_arg(args: argparse.Namespace) -> Optional[SLOSpec]:
+    """Parse ``--slo`` up front (before spending a run on it); raises
+    SystemExit(2) on a malformed spec, argparse-style."""
+    text = getattr(args, "slo", None)
+    if text is None:
+        return None
+    try:
+        return parse_slo(text)
+    except ValueError as exc:
+        print(f"invalid --slo spec: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _apply_slo_gate(report: LoadReport,
+                    spec: Optional[SLOSpec]) -> bool:
+    """Score the report, print one verdict line per objective, and
+    return whether every objective held."""
+    if spec is None:
+        return True
+    evaluation = report.evaluate_slo(spec, registry=registry())
+    for result in evaluation.results:
+        print(f"slo: {result.describe()}")
+    if not evaluation.ok:
+        print(f"slo violated: {len(evaluation.violations)} of "
+              f"{len(evaluation.results)} objective(s) missed",
+              file=sys.stderr)
+    return evaluation.ok
+
+
+def _run_serving_world(args: argparse.Namespace
+                       ) -> Tuple[ServingRuntime, LoadReport]:
+    runtime, generator = _build_serving_world(args)
+    with runtime:
+        report = generator.run()
+    _finish_serving_run(args, report)
     return runtime, report
 
 
@@ -552,6 +675,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    spec = _parse_slo_arg(args)  # fail fast, before spending a run
     _, report = _run_serving_world(args)
     quantiles = report.percentiles()
     tally = report.tally
@@ -572,13 +696,124 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     print(format_table(("load generation", "value"), rows,
                        title=f"repro loadgen: {args.rps:.0f} rps for "
                              f"{args.duration:.1f}s, seed {args.seed}"))
+    slo_ok = _apply_slo_gate(report, spec)
     if args.histogram_out is not None:
         with open(args.histogram_out, "w", encoding="utf-8") as stream:
             json.dump(report.record(), stream, indent=2)
             stream.write("\n")
         print(f"wrote latency histogram to {args.histogram_out}",
               file=sys.stderr)
-    return 0 if tally.errors == 0 and tally.served > 0 else 1
+    return 0 if tally.errors == 0 and tally.served > 0 and slo_ok else 1
+
+
+def _render_top_frame(runtime: ServingRuntime, shards: int,
+                      window_s: float, elapsed_s: float) -> str:
+    """One frame of the ``repro top`` view, rendered from the
+    telemetry buffer (no locks held on the serving path)."""
+    buffer = runtime.telemetry
+    latest = buffer.latest()
+    lines = [
+        f"repro top — {elapsed_s:5.1f}s elapsed, "
+        f"{len(buffer)} telemetry samples "
+        f"(window {window_s:.1f}s)"
+    ]
+    if latest is None:
+        lines.append("  waiting for first telemetry sample...")
+        return "\n".join(lines)
+    header = (f"  {'shard':>5} {'rps':>8} {'queue':>6} {'shed/s':>8} "
+              f"{'tmo/s':>8} {'p50ms':>8} {'p95ms':>8} {'p99ms':>8}")
+    lines.append(header)
+    for index in range(shards):
+        prefix = f"serve.shard{index}"
+        hist = buffer.histogram_window(f"{prefix}.latency_s", window_s)
+        if hist is not None and hist.count:
+            q = hist.percentiles()
+            p50, p95, p99 = (q["p50"] * 1000, q["p95"] * 1000,
+                             q["p99"] * 1000)
+            quantile_cells = (f"{p50:8.2f} {p95:8.2f} {p99:8.2f}")
+        else:
+            quantile_cells = f"{'-':>8} {'-':>8} {'-':>8}"
+        lines.append(
+            f"  {index:>5} "
+            f"{buffer.rate(f'{prefix}.served', window_s):8.1f} "
+            f"{latest.scalar(f'{prefix}.queue_depth'):6.0f} "
+            f"{buffer.rate(f'{prefix}.shed', window_s):8.1f} "
+            f"{buffer.rate(f'{prefix}.timeout', window_s):8.1f} "
+            f"{quantile_cells}"
+        )
+    lines.append(
+        f"  total: {latest.scalar('serve.requests_served'):.0f} served, "
+        f"{latest.scalar('serve.requests_shed'):.0f} shed, "
+        f"{latest.scalar('serve.requests_timeout'):.0f} timeout, "
+        f"{latest.scalar('serve.requests_errored'):.0f} errored "
+        f"({buffer.rate('serve.requests_served', window_s):.0f} rps "
+        f"served over the window)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Loadgen watched live: a redraw loop over the telemetry buffer.
+
+    The generator runs in a daemon thread; the main thread wakes every
+    ``--interval`` seconds and paints per-shard rates/queue depths/
+    quantiles from the streaming samples. On a tty each frame repaints
+    in place (ANSI home+clear); on a pipe frames print sequentially,
+    which is what the tests read.
+    """
+    import time as _time
+
+    spec = _parse_slo_arg(args)
+    runtime, generator = _build_serving_world(args)
+    window_s = max(1.0, 4.0 * args.interval)
+    holder: dict = {}
+
+    def _drive() -> None:
+        try:
+            holder["report"] = generator.run()
+        except BaseException as exc:  # surfaced after the loop
+            holder["error"] = exc
+
+    is_tty = sys.stdout.isatty()
+    start = _time.perf_counter()
+    with runtime:
+        driver = threading.Thread(target=_drive, name="top-loadgen",
+                                  daemon=True)
+        driver.start()
+        while driver.is_alive():
+            driver.join(timeout=args.interval)
+            frame = _render_top_frame(
+                runtime, args.shards, window_s,
+                _time.perf_counter() - start)
+            if is_tty:
+                sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n")
+            else:
+                sys.stdout.write(frame + "\n")
+            sys.stdout.flush()
+    if "error" in holder:
+        raise holder["error"]
+    report: LoadReport = holder["report"]
+    _finish_serving_run(args, report)
+    quantiles = report.percentiles()
+    tally = report.tally
+    rows = [
+        ("offered", report.offered),
+        ("backend", args.backend),
+        ("target / achieved rps",
+         f"{report.config.rps:.0f} / {report.achieved_rps:.0f}"),
+        ("served / shed / timeout / errors",
+         f"{tally.served} / {tally.shed} / {tally.timeout} / "
+         f"{tally.errors}"),
+        ("latency p50 / p95 / p99 (ms)",
+         " / ".join(f"{quantiles[p] * 1000:.2f}"
+                    for p in ("p50", "p95", "p99"))),
+        ("telemetry samples", runtime.telemetry.appended),
+    ]
+    print(format_table(("repro top", "value"), rows,
+                       title=f"final: {args.rps:.0f} rps for "
+                             f"{args.duration:.1f}s, seed {args.seed}"))
+    slo_ok = _apply_slo_gate(report, spec)
+    return 0 if tally.errors == 0 and tally.served > 0 and slo_ok else 1
 
 
 def _build_state_world(seed: int, users: int, shards: int,
@@ -763,6 +998,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "checkpoint":
         return _cmd_checkpoint(args)
     if args.command == "restore":
@@ -782,7 +1019,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     with use_tracer(run_tracer):
         code = _dispatch(args)
     with open(trace_out, "w", encoding="utf-8") as stream:
-        written = run_tracer.write_jsonl(stream)
+        if getattr(args, "trace_format", "jsonl") == "chrome":
+            written = run_tracer.write_chrome_trace(stream)
+        else:
+            written = run_tracer.write_jsonl(stream)
     print(f"wrote {written} spans to {trace_out}", file=sys.stderr)
     return code
 

@@ -10,7 +10,12 @@ legible. Four pieces, one per module:
 * :mod:`~repro.obs.tracing` — monotonic-clock span tracing with
   parent/child nesting (``with tracing.tracer().span("serve_slot")``);
 * :mod:`~repro.obs.export` — Prometheus text format, JSONL, and table
-  renderings of a registry.
+  renderings of a registry;
+* :mod:`~repro.obs.timeseries` — a bounded ring buffer of timestamped
+  registry samples (the live telemetry stream);
+* :mod:`~repro.obs.slo` — service-level objectives parsed from
+  ``p99=5ms,availability=99%`` strings, scored against load reports
+  and the live time series (burn rate).
 
 :mod:`~repro.obs.names` is the catalog every instrument name lives in;
 ``docs/observability.md`` is kept in sync with it by test.
@@ -62,11 +67,28 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
+from repro.obs.slo import (
+    ObjectiveResult,
+    SLOEvaluation,
+    SLOObjective,
+    SLOSpec,
+    burn_rate,
+    evaluate_report,
+    parse_slo,
+)
+from repro.obs.timeseries import (
+    MetricSample,
+    TimeSeriesBuffer,
+    histogram_delta,
+    sample_registry,
+)
 from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
     Span,
+    SpanContext,
     Tracer,
+    chrome_trace_json,
     load_jsonl_spans,
     set_tracer,
     tracer,
@@ -83,22 +105,35 @@ __all__ = [
     "Histogram",
     "ImpressionDelivered",
     "JsonlSink",
+    "MetricSample",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullRegistry",
     "NullTracer",
+    "ObjectiveResult",
     "ObsEvent",
+    "SLOEvaluation",
+    "SLOObjective",
+    "SLOSpec",
     "Span",
+    "SpanContext",
+    "TimeSeriesBuffer",
     "Tracer",
     "TreadsLaunched",
     "bind",
+    "burn_rate",
     "bus",
+    "chrome_trace_json",
+    "evaluate_report",
     "event_from_record",
+    "histogram_delta",
     "load_jsonl_events",
     "load_jsonl_spans",
     "names",
+    "parse_slo",
     "registry",
+    "sample_registry",
     "set_registry",
     "set_tracer",
     "tracer",

@@ -12,11 +12,14 @@ construction (the delivery engine) or through :func:`bind`, which
 re-resolves only when the global registry identity changes — so the
 per-event cost is one bound-method call.
 
-Concurrency: instruments are plain Python attributes mutated without
-locks. The simulator is synchronous; under threads the single-opcode
-int/float adds are GIL-coalesced, which is the usual "good enough for
-monitoring" guarantee (documented, and pinned by
+Concurrency: instrument *updates* are plain Python attributes mutated
+without locks. The simulator is synchronous; under threads the
+single-opcode int/float adds are GIL-coalesced, which is the usual
+"good enough for monitoring" guarantee (documented, and pinned by
 ``tests/obs/test_metrics.py``) — not a synchronisation primitive.
+*Structural* operations (interning, ``merge_state``, ``snapshot``,
+``to_state``) are serialized on a per-registry lock so live telemetry
+merges never tear a concurrent export.
 """
 
 from __future__ import annotations
@@ -281,6 +284,10 @@ class Histogram:
 
         Requires identical bucket bounds: merging mismatched layouts
         would silently corrupt every quantile, so it is an error.
+        The bucket-count list is replaced in one assignment (never
+        mutated in place), so a concurrent reader sees either the old
+        counts or the new — each bucket is monotone across snapshots,
+        never half-merged.
         """
         if other.name != self.name:
             raise ValueError(
@@ -290,10 +297,11 @@ class Histogram:
             raise ValueError(
                 f"histogram {self.name!r}: refusing to merge mismatched "
                 f"bucket bounds {other.buckets} into {self.buckets}")
-        for index, count in enumerate(other._counts):
-            self._counts[index] += count
+        merged = [mine + theirs for mine, theirs
+                  in zip(self._counts, other._counts)]
         self._sum += other._sum
         self._count += other._count
+        self._counts = merged
 
 
 Instrument = TypeVar("Instrument", Counter, Gauge, Histogram)
@@ -322,6 +330,15 @@ class MetricsRegistry:
     :mod:`repro.obs.names` catalog, so call sites just name the metric.
     Requesting an existing name as a different kind raises — one name,
     one schema, process-wide.
+
+    Structural operations — interning, cross-process merges, snapshots
+    and state dumps — are serialized on a per-registry lock, so a
+    telemetry thread folding worker registries in can never tear a
+    concurrent ``snapshot()``/``to_prometheus`` read (pinned by
+    ``tests/obs/test_metrics.py``). Individual ``inc``/``observe``
+    calls stay lock-free: hot paths hold instrument references and the
+    single-opcode updates are GIL-coalesced, the usual "good enough for
+    monitoring" guarantee.
     """
 
     enabled = True
@@ -329,6 +346,7 @@ class MetricsRegistry:
     def __init__(self, name: str = "default"):
         self.name = name
         self._instruments: Dict[str, object] = {}
+        self._structural_lock = threading.RLock()
 
     # -- instrument factories ---------------------------------------------
 
@@ -346,29 +364,32 @@ class MetricsRegistry:
         return self._intern(name, Histogram, help, buckets=buckets)
 
     def _intern(self, name, cls, help, **kwargs):
-        existing = self._instruments.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, requested {cls.kind}"
-                )
-            return existing
-        if not help:
-            spec = _names.METRICS.get(name)
-            help = spec.help if spec is not None else ""
-        instrument = cls(name, help=help, **kwargs) if kwargs \
-            else cls(name, help=help)
-        self._instruments[name] = instrument
-        return instrument
+        with self._structural_lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                return existing
+            if not help:
+                spec = _names.METRICS.get(name)
+                help = spec.help if spec is not None else ""
+            instrument = cls(name, help=help, **kwargs) if kwargs \
+                else cls(name, help=help)
+            self._instruments[name] = instrument
+            return instrument
 
     # -- reads -------------------------------------------------------------
 
     def instruments(self) -> Dict[str, object]:
-        return dict(self._instruments)
+        with self._structural_lock:
+            return dict(self._instruments)
 
     def names(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._instruments))
+        with self._structural_lock:
+            return tuple(sorted(self._instruments))
 
     def get(self, name: str) -> Optional[object]:
         return self._instruments.get(name)
@@ -384,18 +405,21 @@ class MetricsRegistry:
         return instrument.value  # type: ignore[union-attr]
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        return {
-            name: instrument.snapshot()  # type: ignore[attr-defined]
-            for name, instrument in sorted(self._instruments.items())
-        }
+        with self._structural_lock:
+            return {
+                name: instrument.snapshot()  # type: ignore[attr-defined]
+                for name, instrument in sorted(self._instruments.items())
+            }
 
     def to_state(self) -> List[Dict[str, object]]:
         """Every instrument's ``to_state`` form — what a shard worker
-        process ships back to the parent at shutdown."""
-        return [
-            instrument.to_state()  # type: ignore[attr-defined]
-            for _, instrument in sorted(self._instruments.items())
-        ]
+        process ships back to the parent at shutdown (and what the
+        telemetry plane streams mid-run)."""
+        with self._structural_lock:
+            return [
+                instrument.to_state()  # type: ignore[attr-defined]
+                for _, instrument in sorted(self._instruments.items())
+            ]
 
     def merge_state(self, states: Iterable[Dict[str, object]]) -> None:
         """Fold another registry's ``to_state`` dump into this one.
@@ -403,23 +427,26 @@ class MetricsRegistry:
         Instruments are interned by name first (with the incoming help
         text and bucket bounds), so existing instrument objects — and
         therefore every reference hot paths resolved before the merge —
-        see the merged totals.
+        see the merged totals. The whole fold happens under the
+        structural lock, so concurrent snapshots observe it atomically.
         """
-        for state in states:
-            incoming = instrument_from_state(state)
-            if isinstance(incoming, Histogram):
-                mine: object = self.histogram(
-                    incoming.name, help=incoming.help,
-                    buckets=incoming.buckets)
-            elif isinstance(incoming, Gauge):
-                mine = self.gauge(incoming.name, help=incoming.help)
-            else:
-                mine = self.counter(incoming.name, help=incoming.help)
-            mine.merge(incoming)  # type: ignore[attr-defined]
+        with self._structural_lock:
+            for state in states:
+                incoming = instrument_from_state(state)
+                if isinstance(incoming, Histogram):
+                    mine: object = self.histogram(
+                        incoming.name, help=incoming.help,
+                        buckets=incoming.buckets)
+                elif isinstance(incoming, Gauge):
+                    mine = self.gauge(incoming.name, help=incoming.help)
+                else:
+                    mine = self.counter(incoming.name, help=incoming.help)
+                mine.merge(incoming)  # type: ignore[attr-defined]
 
     def reset(self) -> None:
         """Drop every instrument (fresh-run semantics for the CLI)."""
-        self._instruments.clear()
+        with self._structural_lock:
+            self._instruments.clear()
 
 
 class _NullCounter(Counter):

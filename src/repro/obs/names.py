@@ -142,6 +142,20 @@ METRICS: Dict[str, MetricSpec] = {
     "serve.workers_lost": MetricSpec(
         COUNTER, "Shard worker processes lost mid-run (connection "
                  "dropped before a clean shutdown)."),
+    "serve.telemetry_polls": MetricSpec(
+        COUNTER, "Periodic telemetry samples taken by the runtime's "
+                 "streaming thread (worker registries polled + merged "
+                 "into the live time series)."),
+    "serve.trace_spans_merged": MetricSpec(
+        COUNTER, "Spans recorded in shard worker processes and adopted "
+                 "into the parent tracer over IPC."),
+    # -- service-level objectives -----------------------------------------
+    "slo.availability": MetricSpec(
+        GAUGE, "SERVED / resolved requests for the scored run "
+               "(shed, timeout and error all spend error budget)."),
+    "slo.error_budget_burn_rate": MetricSpec(
+        GAUGE, "Observed error rate over the rate the availability "
+               "target allows (1.0 = exactly on budget)."),
     # -- state store -------------------------------------------------------
     "store.records_appended": MetricSpec(
         COUNTER, "Change records appended to a state store journal."),
@@ -168,6 +182,11 @@ SPANS: Dict[str, str] = {
     "delivery.run_until_saturated": "One saturating campaign run.",
     "serve_slot": "One ad slot: eligibility, auction, delivery.",
     "serve.batch": "One micro-batched delivery pass on a shard.",
+    "serve.request": "One request, admission to resolved result.",
+    "serve.queue_wait": "Time a request sat in its shard queue.",
+    "serve.engine": "One request's delivery pass on the serving shard.",
+    "serve.ipc_roundtrip": "One framed batch round-trip to a shard "
+                           "worker process.",
     "loadgen.run": "One open-loop load-generation run.",
     "provider.launch": "Render + submit one batch of Treads.",
     "client.sync": "One client-side feed scan and decode.",

@@ -1,0 +1,298 @@
+"""Service-level objectives: parse, evaluate, and track burn rate.
+
+An SLO string is a comma-separated list of objectives::
+
+    p99=5ms,p50=500us,availability=99.9%
+
+Latency objectives name a quantile (``p50``/``p95``/``p99``/any
+``p<number>``) with a duration threshold (``us``/``ms``/``s``, bare
+numbers are seconds). The availability objective takes a percentage or
+a fraction and is measured as SERVED / resolved — shed, timed-out and
+errored requests all spend error budget, because to the caller they
+are all "the system did not answer".
+
+:func:`evaluate_report` scores a finished
+:class:`~repro.serve.loadgen.LoadReport` (duck-typed: anything with a
+``latency`` histogram and a ``tally``), powering the
+``repro loadgen --slo`` exit gate. :func:`burn_rate` reads the live
+:class:`~repro.obs.timeseries.TimeSeriesBuffer` instead, answering the
+operational question "at the error rate of the last N seconds, how
+many times faster than allowed are we spending error budget?" — 1.0
+means exactly on budget, >1 means burning hot.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesBuffer
+
+LATENCY = "latency"
+AVAILABILITY = "availability"
+
+_QUANTILE_KEY = re.compile(r"^p(\d+(?:\.\d+)?)$")
+_DURATION = re.compile(r"^(\d+(?:\.\d+)?)\s*(us|ms|s)?$")
+
+#: Gauge names the evaluator publishes (cataloged in
+#: :mod:`repro.obs.names`).
+AVAILABILITY_GAUGE = "slo.availability"
+BURN_RATE_GAUGE = "slo.error_budget_burn_rate"
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One parsed objective.
+
+    ``kind`` is :data:`LATENCY` (``quantile`` set, ``threshold`` in
+    seconds, "observed must be <=") or :data:`AVAILABILITY`
+    (``threshold`` a fraction in (0, 1], "observed must be >=").
+    ``raw`` keeps the original spelling for error messages and
+    summaries.
+    """
+
+    kind: str
+    threshold: float
+    quantile: Optional[float] = None
+    raw: str = ""
+
+    def label(self) -> str:
+        if self.kind == LATENCY:
+            assert self.quantile is not None
+            pct = self.quantile * 100
+            text = f"{pct:g}"
+            return f"p{text}"
+        return AVAILABILITY
+
+    def describe(self) -> str:
+        if self.kind == LATENCY:
+            return f"{self.label()} <= {_format_duration(self.threshold)}"
+        return f"availability >= {self.threshold * 100:g}%"
+
+    def met_by(self, observed: float) -> bool:
+        if self.kind == LATENCY:
+            return observed <= self.threshold
+        return observed >= self.threshold
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A set of objectives, as parsed from one ``--slo`` string."""
+
+    objectives: Tuple[SLOObjective, ...]
+
+    @property
+    def availability_target(self) -> Optional[float]:
+        for objective in self.objectives:
+            if objective.kind == AVAILABILITY:
+                return objective.threshold
+        return None
+
+    def describe(self) -> str:
+        return ", ".join(o.describe() for o in self.objectives)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:g}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1000:g}ms"
+    return f"{seconds * 1_000_000:g}us"
+
+
+def _parse_duration(text: str, raw: str) -> float:
+    match = _DURATION.match(text.strip())
+    if match is None:
+        raise ValueError(
+            f"SLO objective {raw!r}: cannot parse duration {text!r} "
+            f"(expected e.g. 5ms, 500us, 0.25s)")
+    value = float(match.group(1))
+    unit = match.group(2) or "s"
+    scale = {"us": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+    return value * scale
+
+
+def _parse_fraction(text: str, raw: str) -> float:
+    text = text.strip()
+    percent = text.endswith("%")
+    if percent:
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"SLO objective {raw!r}: cannot parse availability "
+            f"{text!r} (expected e.g. 99.9% or 0.999)") from None
+    if percent or value > 1.0:
+        value /= 100.0
+    if not 0.0 < value <= 1.0:
+        raise ValueError(
+            f"SLO objective {raw!r}: availability target must land in "
+            f"(0, 1] after conversion, got {value}")
+    return value
+
+
+def parse_slo(text: str) -> SLOSpec:
+    """Parse ``"p99=5ms,availability=99%"`` into an :class:`SLOSpec`."""
+    objectives = []
+    seen: Dict[str, str] = {}
+    for part in text.split(","):
+        raw = part.strip()
+        if not raw:
+            continue
+        if "=" not in raw:
+            raise ValueError(
+                f"SLO objective {raw!r}: expected key=value "
+                f"(e.g. p99=5ms or availability=99%)")
+        key, value = (piece.strip() for piece in raw.split("=", 1))
+        key = key.lower()
+        if key in seen:
+            raise ValueError(
+                f"SLO objective {raw!r}: {key!r} already given "
+                f"as {seen[key]!r}")
+        seen[key] = raw
+        quantile_match = _QUANTILE_KEY.match(key)
+        if quantile_match is not None:
+            quantile = float(quantile_match.group(1)) / 100.0
+            if not 0.0 < quantile < 1.0:
+                raise ValueError(
+                    f"SLO objective {raw!r}: quantile must land "
+                    f"strictly inside (0, 100)")
+            objectives.append(SLOObjective(
+                kind=LATENCY, threshold=_parse_duration(value, raw),
+                quantile=quantile, raw=raw))
+        elif key == AVAILABILITY:
+            objectives.append(SLOObjective(
+                kind=AVAILABILITY, threshold=_parse_fraction(value, raw),
+                raw=raw))
+        else:
+            raise ValueError(
+                f"SLO objective {raw!r}: unknown key {key!r} "
+                f"(expected p<quantile> or availability)")
+    if not objectives:
+        raise ValueError(f"SLO spec {text!r} names no objectives")
+    return SLOSpec(objectives=tuple(objectives))
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """One objective scored against an observation."""
+
+    objective: SLOObjective
+    observed: float
+    ok: bool
+
+    def describe(self) -> str:
+        if self.objective.kind == LATENCY:
+            observed = _format_duration(self.observed)
+        else:
+            observed = f"{self.observed * 100:.3f}%"
+        verdict = "ok" if self.ok else "VIOLATED"
+        return f"{self.objective.describe()}: observed {observed} [{verdict}]"
+
+
+@dataclass(frozen=True)
+class SLOEvaluation:
+    """Every objective's verdict for one run (or one window)."""
+
+    spec: SLOSpec
+    results: Tuple[ObjectiveResult, ...]
+    resolved: int
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def violations(self) -> Tuple[ObjectiveResult, ...]:
+        return tuple(r for r in self.results if not r.ok)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "resolved": self.resolved,
+            "objectives": [
+                {
+                    "objective": result.objective.raw
+                                 or result.objective.describe(),
+                    "kind": result.objective.kind,
+                    "target": result.objective.threshold,
+                    "observed": result.observed,
+                    "ok": result.ok,
+                }
+                for result in self.results
+            ],
+        }
+
+
+def evaluate_report(report, spec: SLOSpec,
+                    registry: Optional[MetricsRegistry] = None
+                    ) -> SLOEvaluation:
+    """Score a finished load run against ``spec``.
+
+    ``report`` is duck-typed on :class:`~repro.serve.loadgen.LoadReport`
+    — a ``latency`` histogram plus a ``tally`` with ``submitted`` /
+    ``served`` counts. A run that resolved zero requests fails every
+    objective (an idle gate should not pass green). When ``registry``
+    is given, the availability and burn-rate gauges are published
+    there.
+    """
+    tally = report.tally
+    resolved = int(tally.submitted)
+    availability = (tally.served / resolved) if resolved else 0.0
+    results = []
+    for objective in spec.objectives:
+        if objective.kind == LATENCY:
+            assert objective.quantile is not None
+            observed = report.latency.quantile(objective.quantile)
+            ok = resolved > 0 and objective.met_by(observed)
+        else:
+            observed = availability
+            ok = resolved > 0 and objective.met_by(observed)
+        results.append(ObjectiveResult(
+            objective=objective, observed=observed, ok=ok))
+    evaluation = SLOEvaluation(spec=spec, results=tuple(results),
+                               resolved=resolved)
+    if registry is not None and registry.enabled:
+        registry.gauge(AVAILABILITY_GAUGE).set(availability)
+        target = spec.availability_target
+        if target is not None:
+            registry.gauge(BURN_RATE_GAUGE).set(
+                _burn_from(availability, target))
+    return evaluation
+
+
+def _burn_from(availability: float, target: float) -> float:
+    """Observed error rate over the error budget the target allows."""
+    budget = 1.0 - target
+    error_rate = max(0.0, 1.0 - availability)
+    if budget <= 0.0:
+        # A 100% target has zero budget: any error burns infinitely
+        # fast; report 0 only when nothing failed.
+        return 0.0 if error_rate == 0.0 else float("inf")
+    return error_rate / budget
+
+
+def burn_rate(buffer: TimeSeriesBuffer, spec: SLOSpec,
+              window_s: Optional[float] = None,
+              submitted: str = "serve.requests_submitted",
+              served: str = "serve.requests_served") -> float:
+    """Error-budget burn rate over the buffer's trailing window.
+
+    Differences the submitted/served counters across ``window_s``
+    seconds of the live time series: burn 1.0 means errors arrive
+    exactly as fast as the availability target permits, >1 means the
+    budget drains faster than it accrues. 0.0 when the spec carries no
+    availability objective or the window saw no traffic.
+    """
+    target = spec.availability_target
+    if target is None:
+        return 0.0
+    offered = buffer.delta(submitted, window_s)
+    if offered <= 0:
+        return 0.0
+    answered = buffer.delta(served, window_s)
+    availability = min(1.0, answered / offered)
+    return _burn_from(availability, target)

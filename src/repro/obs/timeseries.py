@@ -1,0 +1,225 @@
+"""Bounded in-memory time series of registry samples.
+
+The live telemetry plane periodically snapshots a
+:class:`~repro.obs.metrics.MetricsRegistry` (parent-side counters plus
+the per-shard worker states streamed over IPC) into
+:class:`MetricSample` rows and appends them to a
+:class:`TimeSeriesBuffer` — a ring buffer bounded both by sample count
+and by age, so a long soak run holds a sliding window of recent
+history in O(capacity) memory no matter how long it runs.
+
+Samples carry *cumulative* values (counter totals, cumulative
+histograms), exactly as the registry exports them. Rates and windowed
+distributions are derived at read time: :meth:`TimeSeriesBuffer.rate`
+differences counter totals across a window, and
+:meth:`TimeSeriesBuffer.histogram_window` subtracts two cumulative
+histograms to recover the distribution of observations inside the
+window. Deriving at read time keeps the write path a plain snapshot
+and makes every reader (``repro top``, the SLO evaluator, a future
+HTTP gateway) see the same numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One timestamped snapshot of scalar and histogram instruments.
+
+    ``t_s`` is seconds on the tracer/monotonic timeline (not wall
+    time): deltas between samples are what matters, not absolutes.
+    Scalars hold counter/gauge values plus each histogram's cumulative
+    observation count (exposed under the histogram's own name, so rate
+    math works uniformly). Histograms are deep copies — mutating the
+    live registry after sampling never rewrites history.
+    """
+
+    t_s: float
+    scalars: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def scalar(self, name: str, default: float = 0.0) -> float:
+        return self.scalars.get(name, default)
+
+
+def sample_registry(
+    registry: MetricsRegistry,
+    t_s: float,
+    extra_scalars: Optional[Dict[str, float]] = None,
+    extra_histograms: Optional[Dict[str, Histogram]] = None,
+) -> MetricSample:
+    """Snapshot ``registry`` into an immutable :class:`MetricSample`.
+
+    ``extra_scalars`` / ``extra_histograms`` let the caller fold in
+    values that live outside the registry (per-shard runtime stats,
+    queue depths read from the runtime object). Extra histograms are
+    copied too, so callers may pass live instruments.
+    """
+    scalars: Dict[str, float] = {}
+    histograms: Dict[str, Histogram] = {}
+    for state in registry.to_state():
+        name = str(state["name"])
+        if state["kind"] == Histogram.kind:
+            hist = Histogram.from_state(state)
+            histograms[name] = hist
+            scalars[name] = float(hist.count)
+        else:
+            scalars[name] = float(state["value"])  # type: ignore[arg-type]
+    if extra_scalars:
+        scalars.update(extra_scalars)
+    if extra_histograms:
+        for name, hist in extra_histograms.items():
+            copied = Histogram.from_state(hist.to_state())
+            histograms[name] = copied
+            scalars[name] = float(copied.count)
+    return MetricSample(t_s=t_s, scalars=scalars, histograms=histograms)
+
+
+def histogram_delta(later: Histogram, earlier: Optional[Histogram]
+                    ) -> Histogram:
+    """The observations recorded between two cumulative snapshots.
+
+    Bucket-wise ``later - earlier``, clamped at zero (a registry reset
+    or a recovered shard can make cumulative counts step backwards;
+    a negative distribution is never the right answer). With
+    ``earlier=None`` the later snapshot is returned as-is (copied).
+    """
+    if earlier is None or earlier.buckets != later.buckets:
+        return Histogram.from_state(later.to_state())
+    delta = Histogram(later.name, help=later.help, buckets=later.buckets)
+    counts = [max(0, lc - ec)
+              for lc, ec in zip(later._counts, earlier._counts)]
+    delta._counts = counts
+    delta._count = sum(counts)
+    delta._sum = max(0.0, later.sum - earlier.sum)
+    return delta
+
+
+class TimeSeriesBuffer:
+    """Ring buffer of :class:`MetricSample` rows, bounded two ways.
+
+    ``capacity`` caps the number of retained samples; ``max_age_s``
+    (optional) additionally drops samples older than the newest by
+    more than the retention window. Appends and reads are serialized
+    on a lock — the telemetry thread writes while ``repro top`` and
+    the SLO evaluator read.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 max_age_s: Optional[float] = None):
+        if capacity < 2:
+            raise ValueError("a useful time series needs capacity >= 2")
+        if max_age_s is not None and max_age_s <= 0:
+            raise ValueError("max_age_s must be positive when set")
+        self.capacity = capacity
+        self.max_age_s = max_age_s
+        self._samples: List[MetricSample] = []
+        self._lock = threading.Lock()
+        self._appended = 0
+
+    def append(self, sample: MetricSample) -> None:
+        with self._lock:
+            self._samples.append(sample)
+            self._appended += 1
+            if len(self._samples) > self.capacity:
+                del self._samples[: len(self._samples) - self.capacity]
+            if self.max_age_s is not None:
+                horizon = sample.t_s - self.max_age_s
+                keep = 0
+                while (keep < len(self._samples) - 1
+                       and self._samples[keep].t_s < horizon):
+                    keep += 1
+                if keep:
+                    del self._samples[:keep]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    @property
+    def appended(self) -> int:
+        """Total samples ever appended (including evicted ones)."""
+        with self._lock:
+            return self._appended
+
+    def samples(self) -> Tuple[MetricSample, ...]:
+        with self._lock:
+            return tuple(self._samples)
+
+    def latest(self) -> Optional[MetricSample]:
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def first(self) -> Optional[MetricSample]:
+        with self._lock:
+            return self._samples[0] if self._samples else None
+
+    def window(self, window_s: Optional[float] = None
+               ) -> Tuple[Optional[MetricSample], Optional[MetricSample]]:
+        """``(earlier, latest)`` spanning at most ``window_s`` seconds.
+
+        ``earlier`` is the oldest retained sample no older than
+        ``latest.t_s - window_s`` (the whole buffer when ``window_s``
+        is None). Returns ``(None, None)`` when empty and
+        ``(None, latest)`` when only one sample exists — callers treat
+        a missing ``earlier`` as "since the beginning".
+        """
+        with self._lock:
+            if not self._samples:
+                return (None, None)
+            latest = self._samples[-1]
+            if len(self._samples) == 1:
+                return (None, latest)
+            if window_s is None:
+                return (self._samples[0], latest)
+            horizon = latest.t_s - window_s
+            earlier = None
+            for sample in self._samples[:-1]:
+                if sample.t_s >= horizon:
+                    earlier = sample
+                    break
+            if earlier is None:
+                earlier = self._samples[-2]
+            return (earlier, latest)
+
+    def delta(self, name: str, window_s: Optional[float] = None) -> float:
+        """Increase of scalar ``name`` over the window (clamped >= 0)."""
+        earlier, latest = self.window(window_s)
+        if latest is None:
+            return 0.0
+        base = earlier.scalar(name) if earlier is not None else 0.0
+        return max(0.0, latest.scalar(name) - base)
+
+    def rate(self, name: str, window_s: Optional[float] = None) -> float:
+        """Per-second rate of scalar ``name`` over the window."""
+        earlier, latest = self.window(window_s)
+        if latest is None or earlier is None:
+            return 0.0
+        span = latest.t_s - earlier.t_s
+        if span <= 0:
+            return 0.0
+        return max(0.0, latest.scalar(name) - earlier.scalar(name)) / span
+
+    def histogram_window(self, name: str,
+                         window_s: Optional[float] = None
+                         ) -> Optional[Histogram]:
+        """Distribution of ``name`` observations inside the window.
+
+        Subtracts the earlier cumulative histogram from the latest
+        (see :func:`histogram_delta`); None when the latest sample
+        does not carry the histogram.
+        """
+        earlier, latest = self.window(window_s)
+        if latest is None:
+            return None
+        later_hist = latest.histograms.get(name)
+        if later_hist is None:
+            return None
+        earlier_hist = earlier.histograms.get(name) if earlier else None
+        return histogram_delta(later_hist, earlier_hist)

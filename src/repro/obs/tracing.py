@@ -1,28 +1,76 @@
-"""Lightweight span tracing for the delivery path.
+"""Distributed span tracing for the delivery and serving paths.
 
 ``with trace.span("serve_slot", user_id=...):`` times a region on the
 monotonic clock and records it as a :class:`Span` with parent/child
 nesting (spans opened inside an open span point at it). The default
 process tracer is a :class:`NullTracer` — tracing is opt-in, unlike
-metrics — so library code guards per-slot spans with ``tracer.enabled``
-and pays one attribute read when tracing is off.
+metrics — so library code guards per-request spans with
+``tracer.enabled`` and pays one attribute read when tracing is off.
+
+The tracer is **thread-safe**: every thread gets its own span stack
+(``threading.local``), so concurrent serving workers nest their spans
+independently and never cross-link parents, while id allocation and the
+finished-span list share one lock. Spans can also cross threads and
+processes explicitly:
+
+* :meth:`Tracer.begin_span` / :meth:`Tracer.finish_span` manage a span
+  whose lifetime straddles threads (a request admitted on one thread
+  and resolved on another) without touching any stack;
+* :meth:`Tracer.record_span` writes an already-elapsed region (queue
+  wait, measured at dequeue time) directly;
+* a :class:`SpanContext` — ``(trace_id, span_id)`` — travels in IPC
+  frames so a worker process parents its spans under the submitting
+  process's request span, and :meth:`Tracer.adopt` folds the worker's
+  finished spans back into the parent tracer.
+
+Cross-process alignment: a tracer's epoch is a raw ``perf_counter``
+reading, and ``CLOCK_MONOTONIC`` is system-wide, so a forked worker
+constructs its tracer with the parent's ``epoch_raw`` and both sides
+emit offsets on one shared timeline. Span ids are ``(origin << 40) |
+seq`` — give each worker a distinct ``origin`` and ids never collide
+across the merge.
 
 Finished spans accumulate on the tracer and serialize to JSONL
-(``--trace-out`` on the CLI); records carry start offsets relative to
-the tracer's epoch, so two spans from one tracer order and nest
-correctly even though the monotonic clock has no wall-time meaning.
+(``--trace-out`` on the CLI) or to the Chrome trace-event JSON array
+format (``--trace-format chrome``; load it in ``chrome://tracing`` or
+https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, IO, Iterator, List, Optional, Tuple
+from typing import (
+    Dict,
+    IO,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+    Union,
+)
 
-#: Schema tag on every span record, bumped with the record shape.
-SPAN_SCHEMA = 1
+#: Schema tag on every span record. Bumped to 2 when spans grew
+#: ``trace_id``/``origin``/``tid`` (all optional; schema-1 records
+#: still load).
+SPAN_SCHEMA = 2
+
+#: Span-id layout: the low 40 bits are a per-tracer sequence, the high
+#: bits the tracer's ``origin`` — so ids allocated in different
+#: processes never collide after a merge.
+ORIGIN_SHIFT = 40
+
+
+class SpanContext(NamedTuple):
+    """What crosses a thread or process boundary: enough to parent."""
+
+    trace_id: Optional[str]
+    span_id: int
 
 
 @dataclass
@@ -35,6 +83,12 @@ class Span:
     start_s: float
     end_s: Optional[float] = None
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: Request-scoped correlation id, shared along a parent chain.
+    trace_id: Optional[str] = None
+    #: Which tracer (process) allocated this span; 0 is the root.
+    origin: int = 0
+    #: Identity of the thread that opened the span (Chrome-trace lane).
+    tid: int = 0
 
     @property
     def finished(self) -> bool:
@@ -46,6 +100,11 @@ class Span:
             raise ValueError(f"span {self.name!r} is still open")
         return self.end_s - self.start_s
 
+    @property
+    def context(self) -> SpanContext:
+        """This span as a propagatable parent reference."""
+        return SpanContext(self.trace_id, self.span_id)
+
     def record(self) -> Dict[str, object]:
         data: Dict[str, object] = {
             "kind": "span",
@@ -56,62 +115,303 @@ class Span:
             "start_s": self.start_s,
             "duration_s": self.duration_s,
         }
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
+        if self.origin:
+            data["origin"] = self.origin
+        if self.tid:
+            data["tid"] = self.tid
         if self.attrs:
             data["attrs"] = self.attrs
         return data
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "Span":
+        """Rebuild a finished span from its ``record()`` form."""
+        if record.get("kind") != "span":
+            raise ValueError(f"not a span record: {record!r}")
+        if record.get("schema") not in (1, SPAN_SCHEMA):
+            raise ValueError(
+                f"unsupported span schema {record.get('schema')!r}"
+            )
+        start_s = float(record["start_s"])  # type: ignore[arg-type]
+        return cls(
+            name=str(record["name"]),
+            span_id=int(record["span_id"]),  # type: ignore[arg-type]
+            parent_id=(None if record["parent_id"] is None
+                       else int(record["parent_id"])),  # type: ignore[arg-type]
+            start_s=start_s,
+            end_s=start_s + float(record["duration_s"]),  # type: ignore[arg-type]
+            attrs=dict(record.get("attrs", {})),  # type: ignore[arg-type]
+            trace_id=(None if record.get("trace_id") is None
+                      else str(record["trace_id"])),
+            origin=int(record.get("origin", 0)),  # type: ignore[arg-type]
+            tid=int(record.get("tid", 0)),  # type: ignore[arg-type]
+        )
 
 
 class Tracer:
     """Collects spans; one instance per traced run (or process).
 
-    Not thread-safe: the span stack is a plain list, matching the
-    synchronous simulator. ``spans`` holds finished spans in completion
-    order (children before parents — standard for tracers, since a
-    parent finishes last).
+    Thread-safe: each thread nests spans on its own stack, and the
+    shared mutable state (id allocation, the finished-span list) is
+    lock-guarded. ``spans`` holds finished spans in completion order
+    (children before parents — standard for tracers, since a parent
+    finishes last).
+
+    ``epoch`` (a raw ``perf_counter`` reading) and ``origin`` exist for
+    cross-process tracing: a forked worker builds its tracer with the
+    parent's ``epoch_raw`` so both sides share a timeline, and a
+    nonzero ``origin`` so its span ids cannot collide with the
+    parent's (see :data:`ORIGIN_SHIFT`).
     """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self._epoch = perf_counter()
-        self._next_id = 1
-        self._stack: List[Span] = []
+    def __init__(self, epoch: Optional[float] = None, origin: int = 0):
+        if origin < 0:
+            raise ValueError("tracer origin must be non-negative")
+        self.epoch_raw = perf_counter() if epoch is None else epoch
+        self.origin = origin
         self.spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._next_seq = 1
+        self._next_trace = 1
+        self._local = threading.local()
+
+    # -- clock and id plumbing ---------------------------------------------
+
+    def offset(self, raw_perf_counter: float) -> float:
+        """A raw ``perf_counter`` reading as an epoch-relative offset."""
+        return raw_perf_counter - self.epoch_raw
+
+    def now(self) -> float:
+        return perf_counter() - self.epoch_raw
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        return (self.origin << ORIGIN_SHIFT) | seq
+
+    def new_trace_id(self) -> str:
+        """A fresh request-scoped correlation id."""
+        with self._lock:
+            seq = self._next_trace
+            self._next_trace += 1
+        return f"t{self.origin:x}-{seq:x}"
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def _resolve_parent(
+        self, parent_context: Optional[SpanContext]
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """Explicit context wins; otherwise this thread's open span."""
+        if parent_context is not None:
+            return parent_context.span_id, parent_context.trace_id
+        stack = self._stack
+        if stack:
+            return stack[-1].span_id, stack[-1].trace_id
+        return None, None
+
+    # -- span lifecycles ---------------------------------------------------
 
     @contextmanager
-    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+    def span(self, name: str,
+             parent_context: Optional[SpanContext] = None,
+             **attrs: object) -> Iterator[Span]:
+        """Stack-based nesting on the calling thread.
+
+        ``parent_context`` overrides the stack parent — that is how a
+        worker parents its span under a request span that lives in
+        another thread or process.
+        """
+        parent_id, trace_id = self._resolve_parent(parent_context)
         current = Span(
             name=name,
-            span_id=self._next_id,
-            parent_id=self._stack[-1].span_id if self._stack else None,
-            start_s=perf_counter() - self._epoch,
+            span_id=self._allocate_id(),
+            parent_id=parent_id,
+            start_s=self.now(),
             attrs=attrs,
+            trace_id=trace_id,
+            origin=self.origin,
+            tid=threading.get_ident(),
         )
-        self._next_id += 1
-        self._stack.append(current)
+        stack = self._stack
+        stack.append(current)
         try:
             yield current
         finally:
-            current.end_s = perf_counter() - self._epoch
-            self._stack.pop()
-            self.spans.append(current)
+            current.end_s = self.now()
+            stack.pop()
+            self._append(current)
+
+    def begin_span(self, name: str,
+                   parent_context: Optional[SpanContext] = None,
+                   trace_id: Optional[str] = None,
+                   **attrs: object) -> Span:
+        """Open a span that is NOT on any thread's stack.
+
+        For lifetimes that straddle threads — begin at admission,
+        :meth:`finish_span` at resolution, wherever that happens.
+        An explicit ``trace_id`` starts a new trace at this span.
+        """
+        parent_id, inherited = self._resolve_parent(parent_context)
+        return Span(
+            name=name,
+            span_id=self._allocate_id(),
+            parent_id=parent_id,
+            start_s=self.now(),
+            attrs=attrs,
+            trace_id=trace_id if trace_id is not None else inherited,
+            origin=self.origin,
+            tid=threading.get_ident(),
+        )
+
+    def finish_span(self, span: Span, **attrs: object) -> Span:
+        """Close a :meth:`begin_span` span and record it."""
+        if span.finished:
+            raise ValueError(f"span {span.name!r} already finished")
+        if attrs:
+            span.attrs.update(attrs)
+        span.end_s = self.now()
+        self._append(span)
+        return span
+
+    def record_span(self, name: str, start_s: float, end_s: float,
+                    parent_context: Optional[SpanContext] = None,
+                    trace_id: Optional[str] = None,
+                    **attrs: object) -> Span:
+        """Record an already-elapsed region (offsets in epoch seconds).
+
+        For regions measured after the fact — queue wait is only known
+        at dequeue time. Use :meth:`offset` to convert raw
+        ``perf_counter`` readings.
+        """
+        parent_id = (parent_context.span_id
+                     if parent_context is not None else None)
+        if trace_id is None and parent_context is not None:
+            trace_id = parent_context.trace_id
+        span = Span(
+            name=name,
+            span_id=self._allocate_id(),
+            parent_id=parent_id,
+            start_s=start_s,
+            end_s=end_s,
+            attrs=attrs,
+            trace_id=trace_id,
+            origin=self.origin,
+            tid=threading.get_ident(),
+        )
+        self._append(span)
+        return span
+
+    def current_context(self) -> Optional[SpanContext]:
+        """The calling thread's innermost open span, as a context."""
+        stack = self._stack
+        return stack[-1].context if stack else None
+
+    # -- cross-process merge -----------------------------------------------
+
+    def adopt(self,
+              spans: Iterable[Union[Span, Dict[str, object]]]) -> int:
+        """Fold finished foreign spans (objects or ``record()`` dicts)
+        into this tracer; returns how many were adopted."""
+        adopted = 0
+        for item in spans:
+            span = (item if isinstance(item, Span)
+                    else Span.from_record(item))
+            if not span.finished:
+                raise ValueError(
+                    f"cannot adopt open span {span.name!r}")
+            self._append(span)
+            adopted += 1
+        return adopted
+
+    def drain(self) -> List[Span]:
+        """Atomically take every finished span (worker-side shipping)."""
+        with self._lock:
+            drained = self.spans
+            self.spans = []
+        return drained
+
+    # -- reads and exports -------------------------------------------------
 
     @property
     def open_depth(self) -> int:
+        """Open spans on the *calling thread's* stack."""
         return len(self._stack)
 
     def find(self, name: str) -> List[Span]:
-        return [s for s in self.spans if s.name == name]
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
 
     def to_jsonl(self) -> str:
+        with self._lock:
+            spans = list(self.spans)
         return "".join(
-            json.dumps(span.record()) + "\n" for span in self.spans
+            json.dumps(span.record()) + "\n" for span in spans
         )
 
     def write_jsonl(self, stream: IO[str]) -> int:
         """Write finished spans to ``stream``; returns the span count."""
+        with self._lock:
+            count = len(self.spans)
         stream.write(self.to_jsonl())
-        return len(self.spans)
+        return count
+
+    def to_chrome_trace(self) -> str:
+        with self._lock:
+            spans = list(self.spans)
+        return chrome_trace_json(spans)
+
+    def write_chrome_trace(self, stream: IO[str]) -> int:
+        """Write the Chrome trace-event JSON array; returns the span
+        count."""
+        with self._lock:
+            count = len(self.spans)
+        stream.write(self.to_chrome_trace())
+        return count
+
+
+def chrome_trace_json(spans: Iterable[Span]) -> str:
+    """Finished spans as a Chrome trace-event JSON array.
+
+    Complete events (``"ph": "X"``) with microsecond timestamps; the
+    span's ``origin`` becomes the pid lane (0 = the root process, one
+    per shard worker) and the opening thread's identity the tid lane.
+    ``span_id``/``parent_id``/``trace_id`` ride in ``args`` so the
+    parent links survive the format round trip.
+    """
+    events: List[Dict[str, object]] = []
+    for span in spans:
+        args: Dict[str, object] = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+            "pid": span.origin,
+            "tid": span.tid or span.origin,
+            "args": args,
+        })
+    return json.dumps(events)
 
 
 class _NullSpanContext:
@@ -128,16 +428,57 @@ _NULL_SPAN = _NullSpanContext()
 
 
 class NullTracer:
-    """Tracing disabled: ``span`` hands back one shared inert context."""
+    """Tracing disabled: ``span`` hands back one shared inert context.
+
+    The cross-thread/-process entry points all answer inert values so
+    call sites can stay unguarded where one extra call per *request*
+    (not per event) is acceptable; hot paths still check ``enabled``.
+    """
 
     enabled = False
+    origin = 0
     spans: Tuple[Span, ...] = ()
 
-    def span(self, name: str, **attrs: object) -> _NullSpanContext:
+    def span(self, name: str,
+             parent_context: Optional[SpanContext] = None,
+             **attrs: object) -> _NullSpanContext:
         return _NULL_SPAN
+
+    def begin_span(self, name: str,
+                   parent_context: Optional[SpanContext] = None,
+                   trace_id: Optional[str] = None,
+                   **attrs: object) -> None:
+        return None
+
+    def finish_span(self, span: object, **attrs: object) -> None:
+        return None
+
+    def record_span(self, name: str, start_s: float, end_s: float,
+                    parent_context: Optional[SpanContext] = None,
+                    trace_id: Optional[str] = None,
+                    **attrs: object) -> None:
+        return None
+
+    def current_context(self) -> None:
+        return None
+
+    def new_trace_id(self) -> str:
+        return ""
+
+    def offset(self, raw_perf_counter: float) -> float:
+        return 0.0
+
+    def adopt(self, spans: Iterable[object]) -> int:
+        return 0
+
+    def drain(self) -> List[Span]:
+        return []
 
     def to_jsonl(self) -> str:
         return ""
+
+    def to_chrome_trace(self) -> str:
+        return "[]"
 
 
 NULL_TRACER = NullTracer()
@@ -175,20 +516,5 @@ def load_jsonl_spans(text: str) -> List[Span]:
         line = line.strip()
         if not line:
             continue
-        record = json.loads(line)
-        if record.get("kind") != "span":
-            raise ValueError(f"not a span record: {record!r}")
-        if record.get("schema") != SPAN_SCHEMA:
-            raise ValueError(
-                f"unsupported span schema {record.get('schema')!r}"
-            )
-        span = Span(
-            name=record["name"],
-            span_id=record["span_id"],
-            parent_id=record["parent_id"],
-            start_s=record["start_s"],
-            end_s=record["start_s"] + record["duration_s"],
-            attrs=record.get("attrs", {}),
-        )
-        spans.append(span)
+        spans.append(Span.from_record(json.loads(line)))
     return spans

@@ -45,6 +45,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.store.snapshot import SNAPSHOT_VERSION, Snapshot
 from repro.store.store import JournalStore, MemoryStore, StateStore
 
@@ -61,10 +62,14 @@ MAX_FRAME_BYTES = 1 << 29
 
 OP_SERVE = "serve"
 OP_CHECKPOINT = "checkpoint"
+OP_TELEMETRY = "telemetry"
 OP_STOP = "stop"
 
-#: One request on the wire: ``(user_id, base_seq, slots)``.
-ServeFrameItem = Tuple[str, int, int]
+#: Trace propagation on the wire: ``(trace_id, parent_span_id)`` of the
+#: submitting process's request span, or ``None`` when tracing is off.
+TraceContextItem = Optional[Tuple[Optional[str], int]]
+#: One request on the wire: ``(user_id, base_seq, slots, trace_ctx)``.
+ServeFrameItem = Tuple[str, int, int, TraceContextItem]
 #: One outcome on the wire:
 #: ``(served, ad_ids, lost, unfilled, error, service_s)``.
 ServeReplyItem = Tuple[bool, Tuple[str, ...], int, int,
@@ -208,9 +213,22 @@ class ShardWorkerClient:
             label=str(reply["label"]),
         )
 
-    def shutdown(self) -> Tuple[Snapshot, List[Dict[str, object]]]:
-        """Stop the worker cleanly; returns its final state snapshot and
-        its metrics registry dump for the parent-side merge-back."""
+    def poll_telemetry(self) -> Dict[str, object]:
+        """One streaming telemetry poll.
+
+        The worker answers with its cumulative metrics registry dump
+        (``"metrics"``, ``to_state`` form — the parent *replaces* its
+        previous snapshot for this shard, it must not fold successive
+        polls together) and the spans it finished since the last poll
+        (``"spans"``, ``record()`` dicts, drained worker-side).
+        """
+        return self.request(OP_TELEMETRY, None)
+
+    def shutdown(self) -> Tuple[Snapshot, List[Dict[str, object]],
+                                List[Dict[str, object]]]:
+        """Stop the worker cleanly; returns its final state snapshot,
+        its metrics registry dump, and its remaining finished spans for
+        the parent-side merge-back."""
         reply = self.request(OP_STOP, None)
         snapshot = Snapshot(
             version=SNAPSHOT_VERSION,
@@ -219,7 +237,7 @@ class ShardWorkerClient:
             label="final",
         )
         self.reap()
-        return snapshot, reply["metrics"]
+        return snapshot, reply["metrics"], reply.get("spans", [])
 
     def reap(self, timeout: float = 10.0) -> None:
         """Close the channel and collect the process (terminate if it
@@ -277,6 +295,17 @@ def _worker_main(child_sock: socket.socket, parent_sock: socket.socket,
     # back (they would double-count at merge time).
     _metrics.set_registry(_metrics.MetricsRegistry(
         f"shard-{index}-worker"))
+    # Same for tracing, with two twists: the fresh tracer shares the
+    # parent tracer's epoch (CLOCK_MONOTONIC is system-wide, so both
+    # sides emit offsets on one timeline) and takes a per-worker origin
+    # so its span ids cannot collide with any other process's after the
+    # merge-back.
+    inherited_tracer = _tracing.tracer()
+    if inherited_tracer.enabled:
+        _tracing.set_tracer(_tracing.Tracer(
+            epoch=inherited_tracer.epoch_raw, origin=index + 1))
+    else:
+        _tracing.set_tracer(_tracing.NULL_TRACER)
     num_shards = router.num_shards
     store: StateStore
     if journal_dir is not None:
@@ -330,6 +359,12 @@ def _worker_main(child_sock: socket.socket, parent_sock: socket.socket,
                     "state": snapshot.state,
                     "label": snapshot.label,
                 }))
+            elif op == OP_TELEMETRY:
+                framer.send(("ok", {
+                    "metrics": _metrics.registry().to_state(),
+                    "spans": [span.record()
+                              for span in _tracing.tracer().drain()],
+                }))
             elif op == OP_STOP:
                 snapshot = store.checkpoint(label="final")
                 store.close()
@@ -337,6 +372,8 @@ def _worker_main(child_sock: socket.socket, parent_sock: socket.socket,
                     "journal_seq": snapshot.journal_seq,
                     "state": snapshot.state,
                     "metrics": _metrics.registry().to_state(),
+                    "spans": [span.record()
+                              for span in _tracing.tracer().drain()],
                 }))
                 return
             else:
@@ -356,11 +393,27 @@ def _serve_in_child(shard: "Shard", users: Any,
     journals a *bridging* claim up to ``base_seq + slots`` so its
     journal-consistent counter absorbs any gap left by requests the
     parent shed or timed out (which never reach this process at all).
+
+    Each frame item carries the submitting process's request-span
+    context; when tracing is on, the per-request ``serve.engine`` span
+    parents under it — that is the link that makes the merged trace
+    nest across the process boundary.
     """
+    trc = _tracing.tracer()
     replies: List[ServeReplyItem] = []
-    with shard.lock, shard.engine.serving_session():
-        for user_id, base_seq, slots in batch:
+    with shard.lock, \
+            trc.span("serve.batch", shard=shard.index,
+                     batch_size=len(batch)), \
+            shard.engine.serving_session():
+        for user_id, base_seq, slots, trace_ctx in batch:
             started = perf_counter()
+            span = None
+            if trc.enabled:
+                parent = (_tracing.SpanContext(*trace_ctx)
+                          if trace_ctx is not None else None)
+                span = trc.begin_span("serve.engine",
+                                      parent_context=parent,
+                                      user_id=user_id, slots=slots)
             try:
                 shard.claim_through(user_id, base_seq + slots)
                 user = users.get(user_id)
@@ -377,9 +430,13 @@ def _serve_in_child(shard: "Shard", users: Any,
                         unfilled += 1
                 service_s = perf_counter() - started
                 service_hist.observe(service_s)
+                if span is not None:
+                    trc.finish_span(span, served=True)
                 replies.append((True, tuple(ad_ids), lost, unfilled,
                                 None, service_s))
             except Exception as exc:  # noqa: BLE001 - per-request fence
+                if span is not None:
+                    trc.finish_span(span, served=False)
                 replies.append((False, (), 0, 0,
                                 f"{type(exc).__name__}: {exc}",
                                 perf_counter() - started))

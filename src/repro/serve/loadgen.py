@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.obs import tracing as _tracing
 from repro.obs.metrics import Histogram
 from repro.obs.names import LATENCY_BUCKETS
+from repro.obs.slo import SLOEvaluation, SLOSpec, evaluate_report
 from repro.serve.requests import AdRequest, ServeResult, ServeTally
 from repro.serve.runtime import ServingRuntime
 
@@ -76,6 +77,9 @@ class LoadReport:
     #: :meth:`attach_runtime_histograms`.
     runtime_histograms: Dict[str, Dict[str, object]] = field(
         default_factory=dict)
+    #: Set by :meth:`evaluate_slo` — the verdict behind the
+    #: ``repro loadgen --slo`` exit gate, surfaced in :meth:`summary`.
+    slo: Optional[SLOEvaluation] = None
 
     @property
     def offered(self) -> int:
@@ -110,7 +114,7 @@ class LoadReport:
             "timeout": tally.timeout,
             "error": tally.errors,
         }
-        return {
+        out: Dict[str, object] = {
             "offered": total,
             "offered_rps": self.config.rps,
             "achieved_rps": self.achieved_rps,
@@ -126,6 +130,17 @@ class LoadReport:
             "latency": dict(self.percentiles(),
                             mean=self.latency.mean),
         }
+        if self.slo is not None:
+            out["slo"] = self.slo.summary()
+        return out
+
+    def evaluate_slo(self, spec: SLOSpec,
+                     registry=None) -> SLOEvaluation:
+        """Score this run against ``spec``; the verdict sticks to the
+        report (``summary()``/``record()`` carry it) and is returned.
+        With a registry, the ``slo.*`` gauges are published there."""
+        self.slo = evaluate_report(self, spec, registry=registry)
+        return self.slo
 
     def attach_runtime_histograms(self, registry) -> None:
         """Capture the runtime's serve-side latency histograms.

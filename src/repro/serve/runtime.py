@@ -47,14 +47,19 @@ import logging
 import queue
 import threading
 from concurrent.futures import Future
-from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import StoreError
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
+from repro.obs.names import LATENCY_BUCKETS
+from repro.obs.timeseries import (
+    MetricSample,
+    TimeSeriesBuffer,
+    sample_registry,
+)
 from repro.platform.platform import AdPlatform
 from repro.serve import ipc as _ipc
 from repro.serve.requests import (
@@ -105,6 +110,14 @@ class RuntimeConfig:
     #: serves over batched IPC frames — true multi-core scale-out with
     #: admission control still in the parent (``docs/serving.md``).
     backend: str = "thread"
+    #: When set, a telemetry thread samples the live registry (and, on
+    #: the process backend, polls every worker's registry + finished
+    #: spans over IPC) every this-many seconds into
+    #: :attr:`ServingRuntime.telemetry`. ``None`` (default) streams
+    #: nothing — the merge still happens once at :meth:`stop`.
+    telemetry_interval_s: Optional[float] = None
+    #: Sliding retention window of the telemetry time series, seconds.
+    telemetry_retention_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -124,22 +137,62 @@ class RuntimeConfig:
                 "the process backend serves each shard from one "
                 "single-threaded worker process; workers_per_shard "
                 "must be 1")
+        if self.telemetry_interval_s is not None \
+                and self.telemetry_interval_s <= 0:
+            raise ValueError("telemetry interval must be positive")
+        if self.telemetry_retention_s <= 0:
+            raise ValueError("telemetry retention must be positive")
 
 
 class _QueuedRequest:
     """A request in flight: payload, its future, and admission facts."""
 
     __slots__ = ("request", "future", "base_seq", "deadline_s",
-                 "enqueued_at")
+                 "enqueued_at", "span")
 
     def __init__(self, request: AdRequest, future: "Future[ServeResult]",
                  base_seq: int, deadline_s: Optional[float],
-                 enqueued_at: float):
+                 enqueued_at: float,
+                 span: Optional[_tracing.Span] = None):
         self.request = request
         self.future = future
         self.base_seq = base_seq
         self.deadline_s = deadline_s
         self.enqueued_at = enqueued_at
+        #: The request's ``serve.request`` span (None with tracing off):
+        #: begun at admission, finished wherever the result resolves.
+        self.span = span
+
+
+class _ShardStats:
+    """Parent-side live outcome counts for one shard.
+
+    The process backend resolves every result in the parent, so these
+    run during the run even while the worker's own registry is remote;
+    updates are single GIL-coalesced adds on the resolve path (same
+    guarantee as the registry's instruments).
+    """
+
+    __slots__ = ("served", "shed", "timeout", "errored", "latency")
+
+    def __init__(self, index: int):
+        self.served = 0
+        self.shed = 0
+        self.timeout = 0
+        self.errored = 0
+        self.latency = _metrics.Histogram(
+            f"serve.shard{index}.latency_s", buckets=LATENCY_BUCKETS)
+
+    def add(self, status: ServeStatus, latency_s: float) -> None:
+        if status is ServeStatus.SERVED:
+            self.served += 1
+        elif status is ServeStatus.SHED:
+            self.shed += 1
+        elif status is ServeStatus.TIMEOUT:
+            self.timeout += 1
+        else:
+            self.errored += 1
+        self.latency.observe(latency_s)
 
 
 class ServingRuntime:
@@ -201,6 +254,20 @@ class ServingRuntime:
         self._running = False
         self._pending = 0
         self._pending_cond = threading.Condition()
+        #: Live time series the telemetry thread appends to (readable
+        #: any time; populated only with ``telemetry_interval_s`` set —
+        #: or by explicit :meth:`sample_telemetry` calls).
+        self.telemetry = TimeSeriesBuffer(
+            capacity=4096, max_age_s=self.config.telemetry_retention_s)
+        self._telemetry_thread: Optional[threading.Thread] = None
+        self._telemetry_listeners: List[
+            Callable[["ServingRuntime", MetricSample], None]] = []
+        self._telemetry_lock = threading.Lock()
+        #: Latest ``to_state`` dump per shard worker (process backend),
+        #: replaced wholesale on every poll, cleared at merge-back.
+        self._worker_states: Dict[int, List[Dict[str, object]]] = {}
+        self._shard_stats = [_ShardStats(i)
+                             for i in range(self.router.num_shards)]
         reg = _metrics.registry()
         self._m_submitted = reg.counter("serve.requests_submitted")
         self._m_served = reg.counter("serve.requests_served")
@@ -211,6 +278,8 @@ class ServingRuntime:
         self._m_batch = reg.histogram("serve.batch_size")
         self._m_latency = reg.histogram("serve.request_latency_s")
         self._m_service = reg.histogram("serve.service_time_s")
+        self._m_polls = reg.counter("serve.telemetry_polls")
+        self._m_spans_merged = reg.counter("serve.trace_spans_merged")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -234,6 +303,13 @@ class ServingRuntime:
         self._running = True
         if spawn_workers:
             self.spawn_workers()
+        if self.config.telemetry_interval_s is not None:
+            self._telemetry_thread = threading.Thread(
+                target=self._telemetry_loop,
+                name="serve-telemetry",
+                daemon=True,
+            )
+            self._telemetry_thread.start()
         return self
 
     def spawn_workers(self) -> None:
@@ -303,12 +379,19 @@ class ServingRuntime:
         for thread in self._workers:
             thread.join(timeout=timeout)
         self._workers = []
+        if self._telemetry_thread is not None:
+            self._telemetry_thread.join(timeout=timeout)
+            self._telemetry_thread = None
         self._flush_unserved()
         if self._clients:
             self._merge_back_workers()
         for shard in self.router.shards:
             shard.store.flush()
         self._running = False
+        if self.config.telemetry_interval_s is not None:
+            # One last sample after the merge-back, so the series'
+            # final row carries the complete (merged) totals.
+            self.sample_telemetry()
 
     def _merge_back_workers(self) -> None:
         """Stop every worker process and fold its world back in.
@@ -325,12 +408,13 @@ class ServingRuntime:
         from the journal the worker flushed batch by batch.
         """
         reg = _metrics.registry()
+        trc = _tracing.tracer()
         for shard, client in zip(self.router.shards, self._clients):
             if client is None:
                 continue
             admission_seq = dict(shard.slot_seq)
             try:
-                snapshot, metrics_state = client.shutdown()
+                snapshot, metrics_state, spans = client.shutdown()
             except (_ipc.WorkerLost, RuntimeError) as exc:
                 _log.warning(
                     "shard %d worker lost before merge-back (%s); "
@@ -343,7 +427,13 @@ class ServingRuntime:
                 if seq > shard.slot_seq.get(user_id, 0):
                     shard.slot_seq[user_id] = seq
             reg.merge_state(metrics_state)
+            if spans:
+                self._m_spans_merged.inc(trc.adopt(spans))
         self._clients = []
+        # The workers' counts now live in the parent registry; keeping
+        # the streamed per-shard snapshots around would double-count
+        # them in every later live_metrics() read.
+        self._worker_states = {}
         self._shadow_dirty = True
 
     def _flush_unserved(self) -> None:
@@ -391,6 +481,93 @@ class ServingRuntime:
                 self._pending_cond.wait(timeout=remaining)
         return True
 
+    # -- live telemetry ----------------------------------------------------
+
+    def add_telemetry_listener(
+        self,
+        listener: Callable[["ServingRuntime", MetricSample], None],
+    ) -> None:
+        """Call ``listener(runtime, sample)`` after every telemetry
+        sample (exception-fenced; a failing listener never stalls the
+        stream). ``repro top`` and ``--metrics-out`` hang off this."""
+        self._telemetry_listeners.append(listener)
+
+    def _telemetry_loop(self) -> None:
+        interval = self.config.telemetry_interval_s
+        assert interval is not None
+        while not self._stop.wait(interval):
+            try:
+                self.sample_telemetry()
+            except Exception:  # noqa: BLE001 - keep the stream alive
+                _log.exception("telemetry sample failed")
+
+    def sample_telemetry(self) -> MetricSample:
+        """Take one telemetry sample; append it to :attr:`telemetry`.
+
+        On the process backend this is the streaming merge: every live
+        worker is polled for its cumulative registry state (replacing
+        the previous per-shard snapshot) and for spans finished since
+        the last poll (adopted into the current tracer), so counters
+        and traces advance *during* the run instead of materialising
+        at stop. The sample combines :meth:`live_metrics` with
+        parent-side per-shard outcome counts and queue depths under
+        ``serve.shard<i>.*`` keys.
+        """
+        trc = _tracing.tracer()
+        with self._telemetry_lock:
+            for shard, client in zip(self.router.shards, self._clients):
+                if client is None or client.lost:
+                    continue
+                try:
+                    reply = client.poll_telemetry()
+                except (_ipc.WorkerLost, RuntimeError) as exc:
+                    _log.warning("shard %d telemetry poll failed: %s",
+                                 shard.index, exc)
+                    continue
+                self._worker_states[shard.index] = reply["metrics"]
+                spans = reply.get("spans") or []
+                if spans:
+                    self._m_spans_merged.inc(trc.adopt(spans))
+            self._m_polls.inc()
+            extra_scalars: Dict[str, float] = {}
+            extra_hists: Dict[str, _metrics.Histogram] = {}
+            for index, stats in enumerate(self._shard_stats):
+                prefix = f"serve.shard{index}"
+                if index < len(self._queues):
+                    extra_scalars[f"{prefix}.queue_depth"] = float(
+                        self._queues[index].qsize())
+                extra_scalars[f"{prefix}.served"] = float(stats.served)
+                extra_scalars[f"{prefix}.shed"] = float(stats.shed)
+                extra_scalars[f"{prefix}.timeout"] = float(stats.timeout)
+                extra_scalars[f"{prefix}.errored"] = float(stats.errored)
+                extra_hists[f"{prefix}.latency_s"] = stats.latency
+            sample = sample_registry(
+                self.live_metrics(), perf_counter(),
+                extra_scalars=extra_scalars,
+                extra_histograms=extra_hists)
+            self.telemetry.append(sample)
+        for listener in list(self._telemetry_listeners):
+            try:
+                listener(self, sample)
+            except Exception:  # noqa: BLE001 - listeners are fenced
+                _log.exception("telemetry listener failed")
+        return sample
+
+    def live_metrics(self) -> _metrics.MetricsRegistry:
+        """The run's counters *as of now*, merged across processes.
+
+        A fresh registry folding the parent's registry state with the
+        latest streamed snapshot from every shard worker — the mid-run
+        equivalent of the merge :meth:`stop` performs once at the end.
+        (After stop, the worker snapshots are cleared and the parent
+        registry already holds the merged totals.)
+        """
+        merged = _metrics.MetricsRegistry(name="live")
+        merged.merge_state(_metrics.registry().to_state())
+        for state in self._worker_states.values():
+            merged.merge_state(state)
+        return merged
+
     def rebalance(self, num_shards: int) -> None:
         """Re-shard users (must be stopped; see ``ShardRouter.rebalance``)."""
         if self._running:
@@ -403,6 +580,8 @@ class ServingRuntime:
             for _ in range(num_shards)
         ]
         self._submit_locks = [threading.Lock() for _ in range(num_shards)]
+        self._shard_stats = [_ShardStats(i) for i in range(num_shards)]
+        self._worker_states = {}
 
     def checkpoint(self, label: str = "") -> List[Snapshot]:
         """Snapshot every shard's state at its journal position.
@@ -479,6 +658,18 @@ class ServingRuntime:
                       if request.deadline_s is not None
                       else self.config.default_deadline_s)
         self._m_submitted.inc()
+        trc = _tracing.tracer()
+        span = None
+        if trc.enabled:
+            # Off-stack: the span begins on the submitting thread and
+            # finishes wherever the result resolves (a shard worker
+            # thread, a router thread, or shutdown). A fresh trace id
+            # makes it the root of this request's trace; the enclosing
+            # loadgen.run span (if any) still parents it.
+            span = trc.begin_span(
+                "serve.request", trace_id=trc.new_trace_id(),
+                user_id=request.user_id, shard=shard.index,
+                slots=request.slots)
         with self._submit_locks[shard.index]:
             # Slot indices are claimed at admission, under the submit
             # lock, so the competing-bid key for each of this user's
@@ -493,6 +684,7 @@ class ServingRuntime:
                 base_seq=base_seq,
                 deadline_s=deadline_s,
                 enqueued_at=perf_counter(),
+                span=span,
             )
             try:
                 self._queues[shard.index].put_nowait(item)
@@ -553,6 +745,7 @@ class ServingRuntime:
         backend, before any IPC: overload costs the worker process
         nothing."""
         self._m_depth.dec(len(batch))
+        trc = _tracing.tracer()
         now = perf_counter()
         live: List[_QueuedRequest] = []
         for item in batch:
@@ -567,6 +760,14 @@ class ServingRuntime:
                     queued_s=now - item.enqueued_at,
                 ))
             else:
+                if item.span is not None:
+                    # Queue wait is only known at dequeue: record the
+                    # already-elapsed region under the request span.
+                    trc.record_span(
+                        "serve.queue_wait",
+                        trc.offset(item.enqueued_at), trc.offset(now),
+                        parent_context=item.span.context,
+                        shard=shard.index)
                 live.append(item)
         return live
 
@@ -577,17 +778,20 @@ class ServingRuntime:
             return
         self._m_batch.observe(len(live))
         trc = _tracing.tracer()
-        # The Tracer's span stack is a plain list (not thread-safe); only
-        # emit batch spans when this runtime cannot interleave them.
-        single_threaded = (self.router.num_shards
-                           * self.config.workers_per_shard == 1)
-        span_cm = (trc.span("serve.batch", shard=shard.index,
-                            batch_size=len(live))
-                   if single_threaded or not trc.enabled
-                   else nullcontext())
-        with shard.lock, span_cm, shard.engine.serving_session():
+        # Tracer span stacks are thread-local, so every worker thread
+        # emits its batch spans concurrently without cross-linking.
+        with shard.lock, \
+                trc.span("serve.batch", shard=shard.index,
+                         batch_size=len(live)), \
+                shard.engine.serving_session():
             for item in live:
                 started = perf_counter()
+                engine_span = None
+                if item.span is not None:
+                    engine_span = trc.begin_span(
+                        "serve.engine", parent_context=item.span.context,
+                        user_id=item.request.user_id,
+                        slots=item.request.slots)
                 try:
                     result = self._serve_one(shard, item, started,
                                              len(live))
@@ -602,6 +806,10 @@ class ServingRuntime:
                         service_s=perf_counter() - started,
                         batch_size=len(live),
                     )
+                if engine_span is not None:
+                    trc.finish_span(
+                        engine_span,
+                        served=result.status is ServeStatus.SERVED)
                 self._resolve(item, result)
 
     def _serve_one(self, shard: Shard, item: _QueuedRequest,
@@ -660,11 +868,21 @@ class ServingRuntime:
         if client.lost:
             self._fail_batch(shard, live, "shard worker lost")
             return
-        frame = [(item.request.user_id, item.base_seq,
-                  item.request.slots) for item in live]
+        trc = _tracing.tracer()
+        # Each frame item carries its request span's (trace_id,
+        # span_id): the worker's serve.engine spans parent under it
+        # across the process boundary.
+        frame: List[_ipc.ServeFrameItem] = [
+            (item.request.user_id, item.base_seq, item.request.slots,
+             ((item.span.trace_id, item.span.span_id)
+              if item.span is not None else None))
+            for item in live
+        ]
         sent_at = perf_counter()
         try:
-            replies = client.serve_batch(frame)
+            with trc.span("serve.ipc_roundtrip", shard=shard.index,
+                          batch_size=len(live)):
+                replies = client.serve_batch(frame)
         except _ipc.WorkerLost:
             self._fail_batch(shard, live, "shard worker lost mid-batch")
             return
@@ -720,6 +938,11 @@ class ServingRuntime:
     def _resolve(self, item: _QueuedRequest, result: ServeResult,
                  count_pending: bool = True) -> None:
         self._m_latency.observe(result.latency_s)
+        self._shard_stats[result.shard_index].add(
+            result.status, result.latency_s)
+        if item.span is not None:
+            _tracing.tracer().finish_span(
+                item.span, status=result.status.value)
         item.future.set_result(result)
         if count_pending:
             with self._pending_cond:

@@ -143,8 +143,13 @@ class TestServingInstrumentation:
         "serve.ipc_batches",
         "serve.ipc_bytes",
         "serve.workers_lost",
+        "serve.telemetry_polls",
+        "serve.trace_spans_merged",
+        "slo.availability",
+        "slo.error_budget_burn_rate",
     )
-    SERVE_SPANS = ("serve.batch", "loadgen.run")
+    SERVE_SPANS = ("serve.batch", "serve.request", "serve.queue_wait",
+                   "serve.engine", "serve.ipc_roundtrip", "loadgen.run")
 
     def test_serve_metrics_registered(self):
         for name in self.SERVE_METRICS:

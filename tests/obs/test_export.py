@@ -5,6 +5,7 @@ import json
 from repro.obs.export import (
     escape_help,
     prometheus_name,
+    snapshot_dict,
     to_jsonl,
     to_prometheus,
     to_table,
@@ -82,3 +83,97 @@ class TestJsonlAndTable:
 
     def test_table_empty_registry(self):
         assert "no metrics recorded" in to_table(MetricsRegistry())
+
+
+class TestConcurrentMergeSnapshot:
+    """Exporters racing registry.merge_state must never tear.
+
+    The telemetry plane merges worker states on one thread while
+    ``--metrics-out`` renders Prometheus text and ``repro top`` takes
+    dict snapshots on others. Structural registry ops are serialized
+    on the registry lock and histogram merges replace the bucket list
+    in a single assignment, so every read must see internally-ordered,
+    monotonically advancing values — never a half-merged bucket list.
+    """
+
+    BUCKETS = (0.001, 0.01, 0.1, 1.0)
+    ROUNDS = 150
+
+    def _worker_state(self):
+        reg = MetricsRegistry("worker")
+        reg.counter("serve.requests_served").inc(3)
+        hist = reg.histogram("serve.service_time_s",
+                             buckets=self.BUCKETS)
+        for value in (0.0005, 0.005, 0.05, 0.5, 2.0):
+            hist.observe(value)
+        return reg.to_state()
+
+    def test_snapshots_stay_monotone_under_merge(self):
+        import threading
+
+        target = MetricsRegistry("parent")
+        target.counter("serve.requests_served")
+        target.histogram("serve.service_time_s", buckets=self.BUCKETS)
+        state = self._worker_state()
+        start = threading.Barrier(3)
+        done = threading.Event()
+        errors = []
+
+        def merger():
+            start.wait()
+            for _ in range(self.ROUNDS):
+                target.merge_state(state)
+            done.set()
+
+        def dict_reader():
+            start.wait()
+            last_value = 0.0
+            last_buckets = None
+            while not done.is_set():
+                snap = snapshot_dict(target)
+                value = snap["serve.requests_served"]["value"]
+                if value < last_value:
+                    errors.append(("counter went backwards",
+                                   value, last_value))
+                if value % 3 != 0:
+                    errors.append(("torn counter", value))
+                last_value = value
+                pairs = snap["serve.service_time_s"]["buckets"]
+                counts = [count for _, count in pairs]
+                if counts != sorted(counts):
+                    errors.append(("non-cumulative buckets", counts))
+                if last_buckets is not None and any(
+                        now < before for now, before
+                        in zip(counts, last_buckets)):
+                    errors.append(("bucket went backwards",
+                                   counts, last_buckets))
+                last_buckets = counts
+
+        def prometheus_reader():
+            start.wait()
+            last_count = 0
+            while not done.is_set():
+                text = to_prometheus(target)
+                for line in text.splitlines():
+                    if line.startswith("serve_service_time_s_count "):
+                        count = int(line.split()[-1])
+                        if count < last_count:
+                            errors.append(("prom count backwards",
+                                           count, last_count))
+                        last_count = count
+
+        threads = [threading.Thread(target=fn) for fn in
+                   (merger, dict_reader, prometheus_reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        final = snapshot_dict(target)
+        assert final["serve.requests_served"]["value"] \
+            == 3 * self.ROUNDS
+        assert final["serve.service_time_s"]["count"] \
+            == 5 * self.ROUNDS
+        # +Inf cumulative bucket equals the total observation count.
+        assert final["serve.service_time_s"]["buckets"][-1][1] \
+            == 5 * self.ROUNDS

@@ -1,0 +1,162 @@
+"""Tests for SLO parsing, evaluation, and burn-rate tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.names import LATENCY_BUCKETS
+from repro.obs.slo import (
+    AVAILABILITY,
+    AVAILABILITY_GAUGE,
+    BURN_RATE_GAUGE,
+    LATENCY,
+    burn_rate,
+    evaluate_report,
+    parse_slo,
+)
+from repro.obs.timeseries import MetricSample, TimeSeriesBuffer
+
+
+class _FakeTally:
+    def __init__(self, submitted: int, served: int):
+        self.submitted = submitted
+        self.served = served
+
+
+class _FakeReport:
+    """Duck-typed stand-in for LoadReport: latency + tally."""
+
+    def __init__(self, submitted: int, served: int,
+                 latencies=()):
+        self.tally = _FakeTally(submitted, served)
+        self.latency = Histogram("loadgen.request_latency_s",
+                                 buckets=LATENCY_BUCKETS)
+        for value in latencies:
+            self.latency.observe(value)
+
+
+class TestParse:
+    def test_full_spec(self):
+        spec = parse_slo("p99=5ms,p50=500us,availability=99.9%")
+        kinds = [o.kind for o in spec.objectives]
+        assert kinds == [LATENCY, LATENCY, AVAILABILITY]
+        p99, p50, avail = spec.objectives
+        assert p99.quantile == pytest.approx(0.99)
+        assert p99.threshold == pytest.approx(0.005)
+        assert p50.threshold == pytest.approx(0.0005)
+        assert avail.threshold == pytest.approx(0.999)
+        assert spec.availability_target == pytest.approx(0.999)
+
+    def test_bare_number_is_seconds(self):
+        spec = parse_slo("p95=0.25")
+        assert spec.objectives[0].threshold == pytest.approx(0.25)
+
+    def test_availability_fraction_and_bare_percent(self):
+        assert parse_slo("availability=0.99").objectives[0] \
+            .threshold == pytest.approx(0.99)
+        # A bare number above 1 is clearly a percentage.
+        assert parse_slo("availability=99").objectives[0] \
+            .threshold == pytest.approx(0.99)
+
+    def test_describe_round_trips_spelling(self):
+        spec = parse_slo("p99=5ms,availability=99%")
+        assert spec.describe() == "p99 <= 5ms, availability >= 99%"
+
+    @pytest.mark.parametrize("bad", [
+        "", " , ", "bogus", "p99", "p99=xyz", "p0=1ms", "p100=1ms",
+        "availability=0", "availability=200%", "latency=5ms",
+        "p99=5ms,p99=6ms",
+    ])
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+
+class TestEvaluate:
+    def test_all_objectives_met(self):
+        report = _FakeReport(100, 100, latencies=[0.001] * 100)
+        evaluation = evaluate_report(
+            report, parse_slo("p99=50ms,availability=99%"))
+        assert evaluation.ok
+        assert evaluation.resolved == 100
+        assert not evaluation.violations
+
+    def test_latency_violation(self):
+        report = _FakeReport(100, 100, latencies=[0.1] * 100)
+        evaluation = evaluate_report(report, parse_slo("p99=1ms"))
+        assert not evaluation.ok
+        result = evaluation.violations[0]
+        assert result.objective.kind == LATENCY
+        assert "VIOLATED" in result.describe()
+
+    def test_availability_counts_unserved_as_error_budget(self):
+        # 90 served of 100 submitted: shed/timeout/error all burn.
+        report = _FakeReport(100, 90, latencies=[0.001] * 90)
+        evaluation = evaluate_report(
+            report, parse_slo("availability=95%"))
+        assert not evaluation.ok
+        assert evaluation.results[0].observed == pytest.approx(0.90)
+
+    def test_zero_resolved_fails_everything(self):
+        report = _FakeReport(0, 0)
+        evaluation = evaluate_report(
+            report, parse_slo("p99=1s,availability=1%"))
+        assert not evaluation.ok
+        assert len(evaluation.violations) == 2
+
+    def test_summary_shape(self):
+        report = _FakeReport(10, 10, latencies=[0.001] * 10)
+        summary = evaluate_report(
+            report, parse_slo("p99=1s")).summary()
+        assert summary["ok"] is True
+        assert summary["resolved"] == 10
+        assert summary["objectives"][0]["objective"] == "p99=1s"
+        assert summary["objectives"][0]["ok"] is True
+
+    def test_publishes_gauges_to_registry(self):
+        reg = MetricsRegistry("slo-test")
+        report = _FakeReport(100, 95, latencies=[0.001] * 95)
+        evaluate_report(report, parse_slo("availability=99%"),
+                        registry=reg)
+        assert reg.value(AVAILABILITY_GAUGE) == pytest.approx(0.95)
+        # 5% errors against a 1% budget: burning 5x.
+        assert reg.value(BURN_RATE_GAUGE) == pytest.approx(5.0)
+
+    def test_perfect_target_with_errors_burns_infinitely(self):
+        reg = MetricsRegistry("slo-inf")
+        report = _FakeReport(10, 9, latencies=[0.001] * 9)
+        evaluate_report(report, parse_slo("availability=100%"),
+                        registry=reg)
+        assert reg.value(BURN_RATE_GAUGE) == float("inf")
+
+
+class TestBurnRate:
+    @staticmethod
+    def _buffer(*rows):
+        buf = TimeSeriesBuffer()
+        for t_s, submitted, served in rows:
+            buf.append(MetricSample(t_s=t_s, scalars={
+                "serve.requests_submitted": float(submitted),
+                "serve.requests_served": float(served),
+            }))
+        return buf
+
+    def test_on_budget_is_one(self):
+        # 100 offered, 99 served against a 99% target: burn 1.0.
+        buf = self._buffer((0.0, 0, 0), (1.0, 100, 99))
+        assert burn_rate(buf, parse_slo("availability=99%")) \
+            == pytest.approx(1.0)
+
+    def test_burning_hot(self):
+        buf = self._buffer((0.0, 0, 0), (1.0, 100, 90))
+        assert burn_rate(buf, parse_slo("availability=99%")) \
+            == pytest.approx(10.0)
+
+    def test_no_availability_objective_is_zero(self):
+        buf = self._buffer((0.0, 0, 0), (1.0, 100, 50))
+        assert burn_rate(buf, parse_slo("p99=5ms")) == 0.0
+
+    def test_no_traffic_is_zero(self):
+        buf = self._buffer((0.0, 50, 50), (1.0, 50, 50))
+        assert burn_rate(buf, parse_slo("availability=99%")) == 0.0

@@ -1,0 +1,172 @@
+"""Tests for the bounded telemetry time series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.timeseries import (
+    MetricSample,
+    TimeSeriesBuffer,
+    histogram_delta,
+    sample_registry,
+)
+
+
+def _sample(t_s: float, **scalars: float) -> MetricSample:
+    return MetricSample(t_s=t_s, scalars=dict(scalars))
+
+
+class TestSampleRegistry:
+    def test_scalars_and_histograms_captured(self):
+        reg = MetricsRegistry("ts-test")
+        reg.counter("serve.requests_served").inc(7)
+        reg.gauge("serve.queue_depth").set(3)
+        hist = reg.histogram("serve.request_latency_s",
+                             buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        sample = sample_registry(reg, t_s=1.0)
+        assert sample.scalar("serve.requests_served") == 7.0
+        assert sample.scalar("serve.queue_depth") == 3.0
+        # Histogram counts double as scalars under the same name.
+        assert sample.scalar("serve.request_latency_s") == 2.0
+        assert sample.histograms["serve.request_latency_s"].count == 2
+
+    def test_histograms_are_deep_copies(self):
+        reg = MetricsRegistry("ts-copy")
+        hist = reg.histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        sample = sample_registry(reg, t_s=0.0)
+        hist.observe(0.5)
+        assert sample.histograms["h"].count == 1
+        assert hist.count == 2
+
+    def test_extra_scalars_and_histograms(self):
+        reg = MetricsRegistry("ts-extra")
+        live = Histogram("serve.shard0.latency_s", buckets=(1.0,))
+        live.observe(0.25)
+        sample = sample_registry(
+            reg, t_s=2.0,
+            extra_scalars={"serve.shard0.queue_depth": 4.0},
+            extra_histograms={"serve.shard0.latency_s": live},
+        )
+        assert sample.scalar("serve.shard0.queue_depth") == 4.0
+        assert sample.scalar("serve.shard0.latency_s") == 1.0
+        live.observe(0.25)
+        assert sample.histograms["serve.shard0.latency_s"].count == 1
+
+    def test_missing_scalar_defaults(self):
+        assert _sample(0.0).scalar("absent") == 0.0
+        assert _sample(0.0).scalar("absent", default=-1.0) == -1.0
+
+
+class TestHistogramDelta:
+    def test_subtracts_cumulative_snapshots(self):
+        earlier = Histogram("h", buckets=(1.0, 2.0))
+        earlier.observe(0.5)
+        later = Histogram("h", buckets=(1.0, 2.0))
+        later.observe(0.5)
+        later.observe(1.5)
+        later.observe(5.0)
+        delta = histogram_delta(later, earlier)
+        assert delta.count == 2
+        assert delta.sum == pytest.approx(6.5)
+
+    def test_none_earlier_returns_copy(self):
+        later = Histogram("h", buckets=(1.0,))
+        later.observe(0.5)
+        delta = histogram_delta(later, None)
+        assert delta.count == 1
+        later.observe(0.5)
+        assert delta.count == 1
+
+    def test_bucket_mismatch_returns_later_copy(self):
+        earlier = Histogram("h", buckets=(1.0,))
+        earlier.observe(0.5)
+        later = Histogram("h", buckets=(2.0,))
+        later.observe(0.5)
+        assert histogram_delta(later, earlier).count == 1
+
+    def test_backwards_counts_clamp_to_zero(self):
+        earlier = Histogram("h", buckets=(1.0,))
+        earlier.observe(0.5)
+        earlier.observe(0.5)
+        later = Histogram("h", buckets=(1.0,))
+        later.observe(0.5)
+        delta = histogram_delta(later, earlier)
+        assert delta.count == 0
+        assert delta.sum == 0.0
+
+
+class TestTimeSeriesBuffer:
+    def test_capacity_bound(self):
+        buf = TimeSeriesBuffer(capacity=3)
+        for t in range(6):
+            buf.append(_sample(float(t)))
+        assert len(buf) == 3
+        assert buf.appended == 6
+        assert [s.t_s for s in buf.samples()] == [3.0, 4.0, 5.0]
+
+    def test_age_bound_keeps_at_least_the_latest(self):
+        buf = TimeSeriesBuffer(capacity=100, max_age_s=1.0)
+        buf.append(_sample(0.0))
+        buf.append(_sample(0.5))
+        buf.append(_sample(10.0))
+        assert [s.t_s for s in buf.samples()] == [10.0]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesBuffer(capacity=1)
+        with pytest.raises(ValueError):
+            TimeSeriesBuffer(max_age_s=0.0)
+
+    def test_window_picks_earliest_inside_horizon(self):
+        buf = TimeSeriesBuffer()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            buf.append(_sample(t))
+        earlier, latest = buf.window(1.5)
+        assert latest.t_s == 3.0
+        assert earlier.t_s == 2.0
+        earlier, latest = buf.window(None)
+        assert (earlier.t_s, latest.t_s) == (0.0, 3.0)
+
+    def test_window_on_empty_and_single(self):
+        buf = TimeSeriesBuffer()
+        assert buf.window() == (None, None)
+        buf.append(_sample(1.0))
+        earlier, latest = buf.window()
+        assert earlier is None
+        assert latest.t_s == 1.0
+
+    def test_rate_and_delta(self):
+        buf = TimeSeriesBuffer()
+        buf.append(_sample(0.0, served=100.0))
+        buf.append(_sample(2.0, served=150.0))
+        assert buf.delta("served") == 50.0
+        assert buf.rate("served") == pytest.approx(25.0)
+        # Counter reset clamps at zero rather than going negative.
+        buf.append(_sample(3.0, served=10.0))
+        assert buf.delta("served", window_s=1.5) == 0.0
+
+    def test_rate_needs_two_samples(self):
+        buf = TimeSeriesBuffer()
+        assert buf.rate("anything") == 0.0
+        buf.append(_sample(1.0, served=5.0))
+        assert buf.rate("served") == 0.0
+
+    def test_histogram_window(self):
+        buf = TimeSeriesBuffer()
+        h1 = Histogram("lat", buckets=(1.0,))
+        h1.observe(0.5)
+        buf.append(MetricSample(t_s=0.0, scalars={},
+                                histograms={"lat": h1}))
+        h2 = Histogram("lat", buckets=(1.0,))
+        h2.observe(0.5)
+        h2.observe(0.7)
+        h2.observe(0.9)
+        buf.append(MetricSample(t_s=1.0, scalars={},
+                                histograms={"lat": h2}))
+        windowed = buf.histogram_window("lat")
+        assert windowed.count == 2
+        assert buf.histogram_window("absent") is None

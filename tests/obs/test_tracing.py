@@ -1,13 +1,18 @@
-"""Tests for span tracing: nesting, timing, JSONL round-trip."""
+"""Tests for span tracing: nesting, timing, JSONL round-trip,
+thread safety, and the cross-process context surface."""
 
 import io
+import json
+import threading
 
 import pytest
 
 from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
+    SpanContext,
     Tracer,
+    chrome_trace_json,
     load_jsonl_spans,
     tracer,
     use_tracer,
@@ -68,6 +73,195 @@ class TestSpans:
         with trc.span("s", user_id="u-1", n=3):
             pass
         assert trc.find("s")[0].attrs == {"user_id": "u-1", "n": 3}
+
+
+class TestThreadSafety:
+    """One shared Tracer, many threads: stacks must stay per-thread.
+
+    The span stack is thread-local — a span opened on thread A must
+    never become the parent of a span opened on thread B, and ids must
+    never collide under concurrent allocation.
+    """
+
+    def test_concurrent_spans_never_cross_link(self):
+        trc = Tracer()
+        threads = 8
+        per_thread = 50
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def work(tid: int) -> None:
+            barrier.wait()
+            try:
+                for i in range(per_thread):
+                    with trc.span("outer", tid=tid, i=i) as outer:
+                        with trc.span("inner", tid=tid, i=i) as inner:
+                            pass
+                    if inner.parent_id != outer.span_id:
+                        errors.append((tid, i, "cross-linked parent"))
+                    if outer.parent_id is not None:
+                        errors.append((tid, i, "outer got a parent"))
+            except BaseException as exc:  # pragma: no cover
+                errors.append((tid, exc))
+
+        workers = [threading.Thread(target=work, args=(t,))
+                   for t in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert errors == []
+        assert trc.open_depth == 0
+        spans = trc.spans
+        assert len(spans) == threads * per_thread * 2
+        ids = [span.span_id for span in spans]
+        assert len(set(ids)) == len(ids), "span id collision"
+        # Every inner span's parent is an outer span from the SAME
+        # thread's iteration (attrs carry tid/i to check against).
+        by_id = {span.span_id: span for span in spans}
+        for span in spans:
+            if span.name != "inner":
+                continue
+            parent = by_id[span.parent_id]
+            assert parent.attrs["tid"] == span.attrs["tid"]
+            assert parent.attrs["i"] == span.attrs["i"]
+
+    def test_concurrent_trace_ids_unique(self):
+        trc = Tracer()
+        out = []
+        lock = threading.Lock()
+
+        def work() -> None:
+            local = [trc.new_trace_id() for _ in range(200)]
+            with lock:
+                out.extend(local)
+
+        workers = [threading.Thread(target=work) for _ in range(6)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert len(set(out)) == len(out)
+
+
+class TestContexts:
+    def test_begin_finish_off_stack(self):
+        trc = Tracer()
+        span = trc.begin_span("request", trace_id=trc.new_trace_id(),
+                              user_id="u-1")
+        assert trc.open_depth == 0  # off-stack: no thread-local push
+        trc.finish_span(span, status="served")
+        assert span.finished
+        assert span.attrs["status"] == "served"
+        with pytest.raises(ValueError):
+            trc.finish_span(span)
+
+    def test_explicit_parent_context_links_across_stacks(self):
+        trc = Tracer()
+        parent = trc.begin_span("request", trace_id=trc.new_trace_id())
+        child = trc.begin_span("engine", parent_context=parent.context)
+        trc.finish_span(child)
+        trc.finish_span(parent)
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == parent.trace_id
+
+    def test_record_span_backfills_a_window(self):
+        trc = Tracer()
+        parent = trc.begin_span("request", trace_id=trc.new_trace_id())
+        span = trc.record_span("queue_wait", 1.0, 1.5,
+                               parent_context=parent.context)
+        trc.finish_span(parent)
+        assert span.finished
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.parent_id == parent.span_id
+
+    def test_span_ids_carry_origin(self):
+        parent_trc = Tracer()
+        worker_trc = Tracer(epoch=parent_trc.epoch_raw, origin=3)
+        with worker_trc.span("remote"):
+            pass
+        span = worker_trc.spans[0]
+        assert span.origin == 3
+        assert span.span_id >> 40 == 3
+        with parent_trc.span("local"):
+            pass
+        assert parent_trc.spans[0].span_id >> 40 == 0
+
+
+class TestAdopt:
+    def test_adopt_merges_worker_spans(self):
+        parent = Tracer()
+        worker = Tracer(epoch=parent.epoch_raw, origin=1)
+        with parent.span("request") as request:
+            with worker.span("engine",
+                             parent_context=request.context):
+                pass
+        records = [span.record() for span in worker.drain()]
+        assert list(worker.spans) == []
+        assert parent.adopt(records) == 1
+        merged = {span.name: span for span in parent.spans}
+        assert merged["engine"].parent_id == request.span_id
+        assert merged["engine"].origin == 1
+
+    def test_adopt_accepts_span_objects(self):
+        parent = Tracer()
+        worker = Tracer(epoch=parent.epoch_raw, origin=2)
+        with worker.span("w"):
+            pass
+        assert parent.adopt(worker.drain()) == 1
+        assert parent.find("w")[0].origin == 2
+
+    def test_adopt_rejects_open_spans(self):
+        parent = Tracer()
+        worker = Tracer(origin=1)
+        open_span = worker.begin_span("open")
+        with pytest.raises(ValueError):
+            parent.adopt([open_span])
+
+    def test_drain_is_take_all(self):
+        trc = Tracer()
+        with trc.span("a"):
+            pass
+        drained = trc.drain()
+        assert [span.name for span in drained] == ["a"]
+        assert trc.drain() == []
+        assert list(trc.spans) == []
+
+
+class TestChromeTrace:
+    def test_chrome_events_resolve_parents(self):
+        trc = Tracer()
+        with trc.span("outer"):
+            with trc.span("inner"):
+                pass
+        events = json.loads(trc.to_chrome_trace())
+        assert len(events) == 2
+        by_name = {event["name"]: event for event in events}
+        assert all(event["ph"] == "X" for event in events)
+        assert by_name["inner"]["args"]["parent_id"] \
+            == by_name["outer"]["args"]["span_id"]
+        assert by_name["inner"]["ts"] >= by_name["outer"]["ts"]
+        assert by_name["inner"]["dur"] <= by_name["outer"]["dur"]
+
+    def test_write_chrome_trace_returns_count(self):
+        trc = Tracer()
+        with trc.span("only"):
+            pass
+        buffer = io.StringIO()
+        assert trc.write_chrome_trace(buffer) == 1
+        assert json.loads(buffer.getvalue())[0]["name"] == "only"
+
+    def test_origin_maps_to_pid(self):
+        parent = Tracer()
+        worker = Tracer(epoch=parent.epoch_raw, origin=2)
+        with worker.span("remote"):
+            pass
+        parent.adopt(worker.drain())
+        with parent.span("local"):
+            pass
+        events = json.loads(chrome_trace_json(parent.spans))
+        pids = {event["name"]: event["pid"] for event in events}
+        assert pids == {"remote": 2, "local": 0}
 
 
 class TestJsonl:

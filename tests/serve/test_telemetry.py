@@ -1,0 +1,280 @@
+"""The live telemetry plane, observed from the serve layer.
+
+Three guarantees under test, on both backends:
+
+1. Streaming — worker metrics flow into the runtime's time-series
+   buffer *during* the run (counters visibly advance between samples),
+   not just at shutdown's merge-back.
+2. Cross-process tracing — a request served on the process backend
+   yields one connected span chain: ``serve.request`` (parent
+   process) → ``serve.queue_wait`` + ``serve.engine`` (the engine
+   span recorded in the worker process, origin != 0), all sharing the
+   request's trace id.
+3. Non-interference — turning telemetry and tracing on changes no
+   delivery outcome: thread and process runs stay byte-identical to
+   each other and to a telemetry-off run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.slo import parse_slo
+from repro.obs.tracing import Tracer, use_tracer
+from repro.serve import (
+    AdRequest,
+    KeyedCompetition,
+    LoadConfig,
+    LoadGenerator,
+    RuntimeConfig,
+    ServingRuntime,
+)
+
+SEED = 29
+BACKENDS = ["thread", "process"]
+
+
+def _runtime(platform, backend, **overrides):
+    config = dict(num_shards=2, queue_capacity=4096, backend=backend)
+    config.update(overrides)
+    return ServingRuntime(
+        platform,
+        RuntimeConfig(**config),
+        competition=KeyedCompetition(seed=7),
+    )
+
+
+def _requests(platform, rounds=2, slots=1):
+    return [
+        AdRequest(user_id=user_id, slots=slots)
+        for _ in range(rounds)
+        for user_id in sorted(platform.users.user_ids())
+    ]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStreaming:
+    def test_counters_advance_during_the_run(self, make_world, backend):
+        """Samples taken mid-run must show served counts growing —
+        the defining property of *streaming* telemetry vs merge-at-
+        stop."""
+        platform = make_world(seed=SEED)
+        reg = MetricsRegistry("stream-test")
+        mid_run = []
+        with use_registry(reg):
+            runtime = _runtime(platform, backend,
+                               telemetry_interval_s=0.05)
+            runtime.add_telemetry_listener(
+                lambda rt, sample: mid_run.append(
+                    sample.scalar("serve.requests_served")))
+            with runtime:
+                generator = LoadGenerator(
+                    runtime, platform.users.user_ids(),
+                    LoadConfig(rps=400.0, duration_s=1.0, seed=SEED))
+                report = generator.run()
+        assert report.tally.served > 0
+        assert report.tally.errors == 0
+        # At least one sample landed while requests were in flight
+        # (strictly between zero and the final count), and the series
+        # never goes backwards.
+        assert len(mid_run) >= 3
+        assert mid_run == sorted(mid_run)
+        assert any(0 < count < report.tally.served
+                   for count in mid_run), (
+            "no sample caught the run in flight: "
+            f"{mid_run} vs served={report.tally.served}")
+        assert reg.value("serve.telemetry_polls") >= len(mid_run)
+
+    def test_buffer_rates_and_shard_scalars(self, make_world, backend):
+        platform = make_world(seed=SEED)
+        reg = MetricsRegistry("rates-test")
+        with use_registry(reg):
+            runtime = _runtime(platform, backend,
+                               telemetry_interval_s=0.05)
+            with runtime:
+                generator = LoadGenerator(
+                    runtime, platform.users.user_ids(),
+                    LoadConfig(rps=300.0, duration_s=0.8, seed=SEED))
+                report = generator.run()
+        buffer = runtime.telemetry
+        assert len(buffer) >= 3
+        latest = buffer.latest()
+        # Per-shard extras cover every shard and sum to the total.
+        per_shard = [latest.scalar(f"serve.shard{i}.served")
+                     for i in range(2)]
+        assert sum(per_shard) == report.tally.served
+        assert latest.scalar("serve.requests_served") \
+            == report.tally.served
+        # The cumulative shard histograms carry every served request;
+        # a windowed read (latest minus first sample) can only see a
+        # subset of that.
+        total_hist = sum(
+            latest.histograms[f"serve.shard{i}.latency_s"].count
+            for i in range(2))
+        assert total_hist == report.tally.served
+        windowed = sum(
+            buffer.histogram_window(f"serve.shard{i}.latency_s").count
+            for i in range(2))
+        assert 0 < windowed <= total_hist
+
+    def test_final_sample_taken_at_stop(self, make_world, backend):
+        """Even a run shorter than the poll period ends with one
+        complete sample (taken during stop), so post-run readers
+        always see the final state."""
+        platform = make_world(seed=SEED, users=10)
+        reg = MetricsRegistry("final-sample")
+        with use_registry(reg):
+            runtime = _runtime(platform, backend,
+                               telemetry_interval_s=30.0)
+            with runtime:
+                results = runtime.serve_and_wait(
+                    _requests(platform, rounds=1))
+        assert all(result.ok for result in results)
+        latest = runtime.telemetry.latest()
+        assert latest is not None
+        assert latest.scalar("serve.requests_served") == len(results)
+
+    def test_listener_exceptions_do_not_kill_the_stream(
+            self, make_world, backend):
+        platform = make_world(seed=SEED, users=10)
+        reg = MetricsRegistry("listener-fence")
+        calls = []
+
+        def bad_listener(rt, sample):
+            calls.append(sample.t_s)
+            raise RuntimeError("listener boom")
+
+        with use_registry(reg):
+            runtime = _runtime(platform, backend,
+                               telemetry_interval_s=0.05)
+            runtime.add_telemetry_listener(bad_listener)
+            with runtime:
+                generator = LoadGenerator(
+                    runtime, platform.users.user_ids(),
+                    LoadConfig(rps=200.0, duration_s=0.5, seed=SEED))
+                report = generator.run()
+        assert report.tally.errors == 0
+        assert len(calls) >= 2, "stream died after the first raise"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRequestTracing:
+    def _traced_run(self, make_world, backend, **overrides):
+        platform = make_world(seed=SEED, users=15)
+        trc = Tracer()
+        reg = MetricsRegistry("trace-test")
+        with use_tracer(trc), use_registry(reg):
+            runtime = _runtime(platform, backend, **overrides)
+            with runtime:
+                results = runtime.serve_and_wait(
+                    _requests(platform, rounds=1))
+        assert all(result.ok for result in results)
+        return trc, reg, results
+
+    def test_every_request_has_a_complete_chain(self, make_world,
+                                                backend):
+        trc, _, results = self._traced_run(make_world, backend)
+        spans = trc.spans
+        by_id = {span.span_id: span for span in spans}
+        requests = [s for s in spans if s.name == "serve.request"]
+        assert len(requests) == len(results)
+        for request in requests:
+            children = [s for s in spans
+                        if s.parent_id == request.span_id]
+            names = {child.name for child in children}
+            assert names == {"serve.queue_wait", "serve.engine"}, (
+                f"request {request.span_id} chain incomplete: {names}")
+            for child in children:
+                assert child.trace_id == request.trace_id
+                assert by_id[child.parent_id] is request
+        # Distinct requests get distinct trace ids.
+        trace_ids = [request.trace_id for request in requests]
+        assert len(set(trace_ids)) == len(trace_ids)
+
+    def test_engine_spans_record_worker_origin(self, make_world,
+                                               backend):
+        trc, reg, results = self._traced_run(make_world, backend)
+        engines = trc.find("serve.engine")
+        assert len(engines) == len(results)
+        origins = {span.origin for span in engines}
+        if backend == "process":
+            # Engine work happened in worker processes: origin is the
+            # shard index + 1, never the parent's 0.
+            assert origins == {1, 2}
+            assert reg.value("serve.trace_spans_merged") \
+                >= len(engines)
+        else:
+            assert origins == {0}
+        # Parent-side spans always carry origin 0.
+        assert {s.origin for s in trc.find("serve.request")} == {0}
+
+    def test_tracing_off_adds_no_spans(self, make_world, backend):
+        platform = make_world(seed=SEED, users=10)
+        reg = MetricsRegistry("no-trace")
+        with use_registry(reg):
+            runtime = _runtime(platform, backend)
+            with runtime:
+                results = runtime.serve_and_wait(
+                    _requests(platform, rounds=1))
+        assert all(result.ok for result in results)
+
+
+class TestNonInterference:
+    def _report_json(self, make_world, backend, telemetry, tracing):
+        platform = make_world(seed=SEED)
+        reg = MetricsRegistry(f"ni-{backend}-{telemetry}-{tracing}")
+        overrides = {}
+        if telemetry:
+            overrides["telemetry_interval_s"] = 0.05
+        trc = Tracer() if tracing else None
+        ctx = use_tracer(trc) if trc is not None else None
+        with use_registry(reg):
+            if ctx is not None:
+                ctx.__enter__()
+            try:
+                runtime = _runtime(platform, backend, **overrides)
+                with runtime:
+                    results = runtime.serve_and_wait(
+                        _requests(platform, rounds=2, slots=2))
+            finally:
+                if ctx is not None:
+                    ctx.__exit__(None, None, None)
+        assert all(result.ok for result in results)
+        return json.dumps(runtime.router.aggregate_report(),
+                          sort_keys=True)
+
+    def test_telemetry_and_tracing_change_no_outcome(self, make_world):
+        baseline = self._report_json(make_world, "thread",
+                                     telemetry=False, tracing=False)
+        assert json.loads(baseline), "vacuous equivalence"
+        for backend in BACKENDS:
+            instrumented = self._report_json(
+                make_world, backend, telemetry=True, tracing=True)
+            assert instrumented == baseline, (
+                f"{backend} backend diverged with telemetry on")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSLOOnRealRuns:
+    def test_report_evaluates_against_spec(self, make_world, backend):
+        platform = make_world(seed=SEED)
+        reg = MetricsRegistry("slo-run")
+        with use_registry(reg):
+            runtime = _runtime(platform, backend)
+            with runtime:
+                generator = LoadGenerator(
+                    runtime, platform.users.user_ids(),
+                    LoadConfig(rps=200.0, duration_s=0.5, seed=SEED))
+                report = generator.run()
+        evaluation = report.evaluate_slo(
+            parse_slo("p99=30s,availability=1%"), registry=reg)
+        assert evaluation.ok
+        assert report.summary()["slo"]["ok"] is True
+        assert reg.value("slo.availability") == pytest.approx(
+            report.tally.served / report.tally.submitted)
+        impossible = report.evaluate_slo(parse_slo("p99=1us"))
+        assert not impossible.ok
+        assert report.summary()["slo"]["ok"] is False
