@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test equivalence bench bench-perf check
+.PHONY: test equivalence bench bench-perf check service-smoke
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -19,6 +19,14 @@ bench:
 ## Delivery throughput tiers with real pytest-benchmark statistics.
 bench-perf:
 	$(PYTHON) -m pytest benchmarks/bench_perf_throughput.py --benchmark-only
+
+## The gateway kill drill + 60s HTTP/in-process equivalence soak, both
+## serving backends (what the CI service-smoke matrix runs).
+service-smoke:
+	$(PYTHON) benchmarks/service_smoke.py --backend thread \
+		--out-dir service-smoke-thread
+	$(PYTHON) benchmarks/service_smoke.py --backend process \
+		--out-dir service-smoke-process
 
 ## What CI runs: tier-1 suite (includes the equivalence tests) plus the
 ## benchmark shape checks.

@@ -35,6 +35,18 @@ Commands
     The same run as ``loadgen``, watched live: a redrawing terminal
     view of per-shard rps, queue depth, shed/timeout rates, and
     latency quantiles out of the streaming telemetry plane.
+``gateway``
+    Serve the runtime over HTTP: ad requests, the durable multi-tenant
+    campaign/audience API, live metrics, and SLO verdicts — all from
+    one asyncio front. The world is rebuilt from the journal
+    directory's manifest on restart and every shard journal plus the
+    tenancy journal is replayed, so ``kill -9`` loses nothing
+    acknowledged.
+``httpgen``
+    HTTP-mode load generation against a running gateway: the same
+    seeded open-loop schedule as ``loadgen``, offered over pipelined
+    keep-alive connections, with the same summary table, ``--slo``
+    exit gate, and ``--histogram-out`` record.
 ``checkpoint``
     Serve a deterministic sharded scenario with per-shard journaling,
     snapshot every shard mid-run, keep serving, and write the journals,
@@ -224,6 +236,64 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument("--interval", type=float, default=0.5,
                      metavar="SECONDS",
                      help="redraw period of the live view")
+
+    gateway = commands.add_parser(
+        "gateway", help="serve ad requests and the durable campaign "
+                        "API over HTTP"
+    )
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 = ephemeral; the bound "
+                              "port is printed on the ready line)")
+    gateway.add_argument("--journal-dir", required=True, metavar="DIR",
+                         help="directory for the world manifest, the "
+                              "per-shard journals, and the tenancy "
+                              "journal; reusing one recovers it")
+    gateway.add_argument("--backend", choices=("thread", "process"),
+                         default="thread")
+    gateway.add_argument("--shards", type=int, default=4)
+    gateway.add_argument("--users", type=int, default=150,
+                         help="persona-mix population size")
+    gateway.add_argument("--seed", type=int, default=42)
+    gateway.add_argument("--queue-capacity", type=int, default=256)
+    gateway.add_argument("--deadline-ms", type=float, default=None,
+                         help="default per-request latency budget")
+    gateway.add_argument("--slo", metavar="SPEC", default=None,
+                         help="default objectives for GET /v1/slo")
+    gateway.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="write a Prometheus snapshot of the live "
+                              "registry to FILE on every telemetry "
+                              "tick, atomically")
+    gateway.add_argument("--telemetry-interval", type=float,
+                         default=None, metavar="SECONDS",
+                         help="streaming worker-telemetry poll period; "
+                              "defaults to 0.1 when --metrics-out is "
+                              "set, otherwise off")
+    _add_trace_out(gateway)
+
+    httpgen = commands.add_parser(
+        "httpgen", help="open-loop load generation against a running "
+                        "gateway, over HTTP"
+    )
+    httpgen.add_argument("--url", default="http://127.0.0.1:8080",
+                         help="base url of the gateway")
+    httpgen.add_argument("--rps", type=float, default=500.0)
+    httpgen.add_argument("--duration", type=float, default=2.0)
+    httpgen.add_argument("--slots", type=int, default=1)
+    httpgen.add_argument("--deadline-ms", type=float, default=None)
+    httpgen.add_argument("--seed", type=int, default=42)
+    httpgen.add_argument("--connections", type=int, default=1,
+                         help="pipelined keep-alive connections; "
+                              "requests partition by user so per-user "
+                              "order is preserved")
+    httpgen.add_argument("--slo", metavar="SPEC", default=None,
+                         help="comma-separated objectives like "
+                              "p99=5ms,availability=99%%; exit 1 when "
+                              "the run violates any of them")
+    httpgen.add_argument("--histogram-out", metavar="FILE",
+                         default=None,
+                         help="write the latency histogram + tally "
+                              "JSON to FILE")
 
     checkpoint = commands.add_parser(
         "checkpoint", help="journal a deterministic sharded run, "
@@ -977,6 +1047,153 @@ def _cmd_replay(state_dir: str) -> int:
     return _diff_against_recorded(router, state_dir, "replay")
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.gateway import (
+        GatewayApp,
+        GatewayServer,
+        TenantRegistry,
+        WorldManifest,
+        build_runtime,
+        build_world,
+        existing_shard_journals,
+        load_manifest,
+        open_tenancy_store,
+        recover_runtime_shards,
+        save_manifest,
+        tenancy_journal_path,
+    )
+    from repro.store import JournalStore
+    from repro.store.audit import canonical_json, state_report
+
+    spec = _parse_slo_arg(args)
+    manifest = load_manifest(args.journal_dir)
+    if manifest is None:
+        manifest = WorldManifest(
+            seed=args.seed,
+            users=args.users,
+            shards=args.shards,
+            backend=args.backend,
+            queue_capacity=args.queue_capacity,
+            workers=1,
+            deadline_ms=args.deadline_ms,
+        )
+        save_manifest(args.journal_dir, manifest)
+    else:
+        print(f"recovering world from {args.journal_dir} "
+              f"(manifest wins over the world flags)", file=sys.stderr)
+    present = existing_shard_journals(args.journal_dir, manifest)
+    platform = build_world(manifest)
+    runtime = build_runtime(
+        platform, manifest, journal_dir=args.journal_dir,
+        telemetry_interval_s=_telemetry_interval_for(args))
+    recovered = recover_runtime_shards(runtime, args.journal_dir,
+                                       manifest, indices=present)
+    if recovered:
+        print(f"recovered shard journal(s) {list(recovered)}",
+              file=sys.stderr)
+    tenancy_records = []
+    tenancy_file = tenancy_journal_path(args.journal_dir)
+    if os.path.exists(tenancy_file):
+        tenancy_records = JournalStore.read(tenancy_file)
+    store = open_tenancy_store(args.journal_dir)
+    tenants = TenantRegistry(platform, store)
+    for record in tenancy_records:
+        tenants.apply_record(record)
+    if tenancy_records:
+        print(f"replayed {len(tenancy_records)} tenancy record(s)",
+              file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        runtime.add_telemetry_listener(
+            lambda rt, sample: _write_metrics_snapshot(
+                metrics_out, rt.live_metrics()))
+    runtime.start()
+    server = GatewayServer(
+        GatewayApp(platform, runtime, tenants, manifest,
+                   slo_spec=spec),
+        host=args.host, port=args.port)
+    try:
+        server.start()
+    except RuntimeError as exc:
+        print(f"gateway: {exc}", file=sys.stderr)
+        runtime.stop()
+        store.close()
+        return 1
+    print(f"gateway listening on {server.url} "
+          f"(journal dir {args.journal_dir})", flush=True)
+    stopping = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda _s, _f: stopping.set())
+    stopping.wait()
+    print("gateway shutting down", file=sys.stderr)
+    server.stop()
+    runtime.stop()
+    report = state_report(runtime.router)
+    with open(os.path.join(args.journal_dir, "final_report.json"),
+              "w", encoding="utf-8") as stream:
+        stream.write(canonical_json(report))
+        stream.write("\n")
+    if runtime.config.backend != "process":
+        for shard in runtime.router.shards:
+            shard.store.close()
+    store.close()
+    if metrics_out is not None:
+        _write_metrics_snapshot(metrics_out, registry())
+    return 0
+
+
+def _cmd_httpgen(args: argparse.Namespace) -> int:
+    from repro.gateway import HttpLoadGenerator
+
+    spec = _parse_slo_arg(args)
+    generator = HttpLoadGenerator(
+        args.url,
+        config=LoadConfig(
+            rps=args.rps,
+            duration_s=args.duration,
+            slots=args.slots,
+            deadline_s=(args.deadline_ms / 1000.0
+                        if args.deadline_ms is not None else None),
+            seed=args.seed,
+        ),
+        connections=args.connections,
+    )
+    try:
+        report = generator.run()
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"httpgen: {exc}", file=sys.stderr)
+        return 1
+    quantiles = report.percentiles()
+    tally = report.tally
+    rows = [
+        ("gateway", args.url),
+        ("offered", report.offered),
+        ("connections", args.connections),
+        ("target / achieved rps",
+         f"{report.config.rps:.0f} / {report.achieved_rps:.0f}"),
+        ("served", tally.served),
+        ("shed (429)", tally.shed),
+        ("timeout (504)", tally.timeout),
+        ("errors", tally.errors),
+        ("p50 (ms)", f"{quantiles['p50'] * 1000:.3f}"),
+        ("p95 (ms)", f"{quantiles['p95'] * 1000:.3f}"),
+        ("p99 (ms)", f"{quantiles['p99'] * 1000:.3f}"),
+    ]
+    print(format_table(("http load generation", "value"), rows,
+                       title=f"repro httpgen: {args.rps:.0f} rps for "
+                             f"{args.duration:.1f}s, seed {args.seed}"))
+    slo_ok = _apply_slo_gate(report, spec)
+    if args.histogram_out is not None:
+        with open(args.histogram_out, "w", encoding="utf-8") as stream:
+            json.dump(report.record(), stream, indent=2)
+            stream.write("\n")
+        print(f"wrote latency histogram to {args.histogram_out}",
+              file=sys.stderr)
+    return 0 if tally.errors == 0 and tally.served > 0 and slo_ok else 1
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "catalog":
         if args.catalog_command == "stats":
@@ -1000,6 +1217,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_loadgen(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
+    if args.command == "httpgen":
+        return _cmd_httpgen(args)
     if args.command == "checkpoint":
         return _cmd_checkpoint(args)
     if args.command == "restore":

@@ -1,0 +1,79 @@
+"""``repro.gateway`` — the HTTP service front over the serving runtime.
+
+A stdlib-asyncio HTTP/1.1 server (:mod:`repro.gateway.server`) routing
+into one :class:`~repro.gateway.app.GatewayApp`: ad requests flow into
+the :class:`~repro.serve.ServingRuntime` micro-batch path, campaign
+and audience mutations flow through the durable
+:class:`~repro.gateway.tenancy.TenantRegistry` journal, and the
+observability endpoints re-export the live metrics/SLO plane. The
+world behind the service is a pure function of a
+:class:`~repro.gateway.world.WorldManifest`, which is what makes
+``kill -9`` recovery byte-exact. ``repro gateway`` serves;
+``repro httpgen`` (:mod:`repro.gateway.httpgen`) drives it with the
+same seeded open-loop schedule the in-process generator uses.
+"""
+
+from repro.gateway.app import (
+    Done,
+    GatewayApp,
+    PendingServe,
+    serve_result_response,
+)
+from repro.gateway.http import (
+    DEFAULT_MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    HttpError,
+    Request,
+    error_body,
+    json_body,
+    read_request,
+    render_response,
+)
+from repro.gateway.httpgen import HttpLoadGenerator, fetch_json
+from repro.gateway.server import GatewayServer
+from repro.gateway.tenancy import TenantRegistry
+from repro.gateway.world import (
+    MANIFEST_FILENAME,
+    TENANCY_JOURNAL,
+    WorldManifest,
+    build_runtime,
+    build_world,
+    existing_shard_journals,
+    load_manifest,
+    manifest_path,
+    open_tenancy_store,
+    recover_runtime_shards,
+    save_manifest,
+    tenancy_journal_path,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "Done",
+    "GatewayApp",
+    "GatewayServer",
+    "HttpError",
+    "HttpLoadGenerator",
+    "MANIFEST_FILENAME",
+    "MAX_HEADER_BYTES",
+    "PendingServe",
+    "Request",
+    "TENANCY_JOURNAL",
+    "TenantRegistry",
+    "WorldManifest",
+    "build_runtime",
+    "build_world",
+    "error_body",
+    "existing_shard_journals",
+    "fetch_json",
+    "json_body",
+    "load_manifest",
+    "manifest_path",
+    "open_tenancy_store",
+    "read_request",
+    "recover_runtime_shards",
+    "render_response",
+    "save_manifest",
+    "serve_result_response",
+    "tenancy_journal_path",
+]

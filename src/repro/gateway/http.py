@@ -1,0 +1,207 @@
+"""Minimal HTTP/1.1 wire layer: request parsing and response framing.
+
+Stdlib-asyncio only — no third-party HTTP stack. The subset implemented
+is exactly what the gateway needs: ``Content-Length``-framed bodies,
+keep-alive by default (with pipelining — see
+:mod:`repro.gateway.server`), and structured JSON error bodies. Parse
+failures map to an :class:`HttpError` with a machine-readable ``code``;
+the server renders them as ``{"error": {"code", "message"}}`` and never
+leaks a stack trace to the client.
+
+Deliberately unsupported (501/400, never silent misframing):
+``Transfer-Encoding`` (chunked bodies), ``Expect: 100-continue``, and
+HTTP/0.9/2. Requests without a ``Content-Length`` carry no body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import unquote, urlsplit
+
+#: Cap on the request line + headers block, bytes.
+MAX_HEADER_BYTES = 16384
+
+#: Default cap on request bodies, bytes (1 MiB).
+DEFAULT_MAX_BODY_BYTES = 1024 * 1024
+
+#: Reason phrases for the statuses the gateway emits.
+REASONS: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served, with its HTTP mapping.
+
+    ``code`` is a stable machine-readable slug (``invalid_json``,
+    ``unknown_user``, ...) rendered into the structured error body;
+    ``message`` is the human-readable line next to it.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 close: bool = False):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        #: Parse-level failures poison the connection's framing; the
+        #: server closes after responding when this is set.
+        self.close = close
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Dict[str, object]:
+        """The body as a JSON object; 400 ``invalid_json`` otherwise."""
+        if not self.body:
+            raise HttpError(400, "invalid_json",
+                            "request body must be a JSON object")
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "invalid_json",
+                            "request body is not valid JSON") from None
+        if not isinstance(data, dict):
+            raise HttpError(400, "invalid_json",
+                            "request body must be a JSON object")
+        return data
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for pair in raw.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        out[unquote(key)] = unquote(value)
+    return out
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = DEFAULT_MAX_BODY_BYTES
+                       ) -> Optional[Request]:
+    """Read and parse one request off the stream.
+
+    Returns ``None`` on a clean EOF between requests (the client hung
+    up a keep-alive connection); raises :class:`HttpError` on anything
+    malformed. The caller creates the stream with ``limit=`` at least
+    :data:`MAX_HEADER_BYTES` so oversized header blocks surface as
+    ``LimitOverrunError`` here rather than unbounded buffering.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated_request",
+                        "connection closed mid-request", close=True
+                        ) from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "headers_too_large",
+                        f"request head exceeds {MAX_HEADER_BYTES} bytes",
+                        close=True) from None
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise HttpError(400, "bad_request_line",
+                        "undecodable request head", close=True) from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[0].isalpha() \
+            or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "bad_request_line",
+                        f"malformed request line: {lines[0]!r}",
+                        close=True)
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, "bad_header",
+                            f"malformed header line: {line!r}",
+                            close=True)
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "transfer_encoding_unsupported",
+                        "chunked request bodies are not supported",
+                        close=True)
+    raw_length = headers.get("content-length", "0")
+    if not raw_length.isdigit():
+        raise HttpError(400, "bad_content_length",
+                        f"Content-Length is not a number: {raw_length!r}",
+                        close=True)
+    length = int(raw_length)
+    if length > max_body:
+        raise HttpError(413, "body_too_large",
+                        f"request body of {length} bytes exceeds the "
+                        f"{max_body}-byte limit", close=True)
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated_body",
+                            "connection closed mid-body", close=True
+                            ) from None
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=_parse_query(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(status: int, body: bytes,
+                    content_type: str = "application/json",
+                    close: bool = False,
+                    extra_headers: Optional[Dict[str, str]] = None
+                    ) -> bytes:
+    """Frame one response, ``Content-Length`` included."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def json_body(payload: object) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def error_body(code: str, message: str) -> bytes:
+    """The structured error body: ``{"error": {"code", "message"}}``."""
+    return json_body({"error": {"code": code, "message": message}})

@@ -1,0 +1,314 @@
+"""HTTP-mode open-loop load generation against a live gateway.
+
+Reuses the in-process generator's arrival plan —
+:func:`repro.serve.loadgen.build_schedule` is a pure function of
+``(seed, config, user population)`` — so ``repro httpgen`` against a
+gateway offers the byte-identical request stream that ``repro loadgen``
+offers in process. With per-user request ordering preserved (requests
+are partitioned across connections by user hash, pipelined in plan
+order within each connection), the server-side delivery report comes
+out byte-identical too.
+
+The wire loop is deliberately raw sockets, not ``http.client``: each
+connection runs a *sender* thread (paced against the shared clock,
+writing pipelined ``POST /v1/serve`` frames) and a *receiver* thread
+(parsing ``Content-Length``-framed responses and FIFO-matching them to
+in-flight sends — HTTP/1.1 pipelining guarantees response order), so
+the offered schedule never self-throttles on response latency; that
+open-loop honesty is the whole point of the seeded generator.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import threading
+import time
+import zlib
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.serve.loadgen import LoadConfig, LoadReport, build_schedule
+from repro.serve.requests import (
+    AdRequest,
+    AdResponse,
+    ServeResult,
+    ServeStatus,
+)
+
+_log = logging.getLogger(__name__)
+
+#: HTTP status -> ServeStatus for resolved ad requests (inverse of the
+#: gateway's response mapping; anything unlisted is ERROR).
+HTTP_SERVE_STATUS: Dict[int, ServeStatus] = {
+    200: ServeStatus.SERVED,
+    429: ServeStatus.SHED,
+    504: ServeStatus.TIMEOUT,
+}
+
+_RESULT_TIMEOUT_S = 60.0
+
+
+def _parse_base(url: str) -> Tuple[str, int]:
+    split = urlsplit(url if "//" in url else f"//{url}")
+    if split.scheme not in ("", "http"):
+        raise ValueError(f"httpgen speaks plain http, not {url!r}")
+    if not split.hostname:
+        raise ValueError(f"no host in gateway url {url!r}")
+    return split.hostname, split.port or 80
+
+
+def fetch_json(url: str, path: str,
+               timeout_s: float = 10.0) -> Dict[str, object]:
+    """One blocking GET; raises on non-2xx or a non-object body."""
+    host, port = _parse_base(url)
+    with socket.create_connection((host, port),
+                                  timeout=timeout_s) as sock:
+        sock.sendall(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1"))
+        stream = sock.makefile("rb")
+        status, body = _read_response(stream)
+    if not 200 <= status < 300:
+        raise RuntimeError(
+            f"GET {path} answered {status}: {body[:200]!r}")
+    data = json.loads(body.decode("utf-8"))
+    if not isinstance(data, dict):
+        raise RuntimeError(f"GET {path} returned a non-object body")
+    return data
+
+
+def _read_response(stream) -> Tuple[int, bytes]:
+    """Parse one ``Content-Length``-framed response off ``stream``."""
+    status_line = stream.readline()
+    if not status_line:
+        raise ConnectionError("connection closed before response")
+    parts = status_line.decode("latin-1").split(" ", 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionError(
+            f"malformed status line: {status_line!r}")
+    status = int(parts[1])
+    length = 0
+    while True:
+        line = stream.readline()
+        if not line:
+            raise ConnectionError("connection closed mid-headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = stream.read(length) if length else b""
+    if len(body) != length:
+        raise ConnectionError("connection closed mid-body")
+    return status, body
+
+
+class HttpLoadGenerator:
+    """Drive a gateway at a target RPS over ``connections`` sockets."""
+
+    def __init__(self, url: str, config: Optional[LoadConfig] = None,
+                 connections: int = 1,
+                 user_ids: Optional[Sequence[str]] = None):
+        if connections < 1:
+            raise ValueError("need at least one connection")
+        self.url = url
+        self.host, self.port = _parse_base(url)
+        self.config = config or LoadConfig()
+        self.connections = connections
+        self._user_ids = list(user_ids) if user_ids else None
+
+    def user_ids(self) -> List[str]:
+        """The target population — fetched from the gateway so both
+        generators sample the identical id list in identical order."""
+        if self._user_ids is None:
+            data = fetch_json(self.url, "/v1/users")
+            self._user_ids = [str(u) for u in data["user_ids"]]  # type: ignore[union-attr]
+        return self._user_ids
+
+    def run(self) -> LoadReport:
+        """Offer the schedule, wait for every response, report."""
+        plan = build_schedule(self.user_ids(), self.config)
+        report = LoadReport(config=self.config)
+        results: List[Optional[ServeResult]] = [None] * len(plan)
+        lanes: List[List[Tuple[int, float, AdRequest]]] = [
+            [] for _ in range(self.connections)]
+        for index, (offset, request) in enumerate(plan):
+            lane = zlib.crc32(
+                request.user_id.encode("utf-8")) % self.connections
+            lanes[lane].append((index, offset, request))
+        start = time.perf_counter()
+        workers = [
+            _Connection(self, lane_plan, results, start)
+            for lane_plan in lanes if lane_plan
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=self.config.duration_s
+                        + _RESULT_TIMEOUT_S)
+        report.wall_s = time.perf_counter() - start
+        for index, result in enumerate(results):
+            if result is None:
+                result = ServeResult(
+                    request=plan[index][1], status=ServeStatus.ERROR,
+                    shard_index=-1, error="no response received")
+            report.tally.add(result)
+            report.latency.observe(result.latency_s)
+        _log.info(
+            "httpgen: offered %d at %.0f rps target (%.0f achieved) "
+            "over %d connection(s), served=%d shed=%d timeout=%d "
+            "errors=%d",
+            report.offered, self.config.rps, report.achieved_rps,
+            len(workers), report.tally.served, report.tally.shed,
+            report.tally.timeout, report.tally.errors,
+        )
+        return report
+
+
+class _Connection:
+    """One pipelined socket: a paced sender plus a framing receiver."""
+
+    def __init__(self, gen: HttpLoadGenerator,
+                 plan: List[Tuple[int, float, AdRequest]],
+                 results: List[Optional[ServeResult]],
+                 clock_zero: float):
+        self.gen = gen
+        self.plan = plan
+        self.results = results
+        self.clock_zero = clock_zero
+        #: (plan index, send time) of requests on the wire, FIFO.
+        self.in_flight: Deque[Tuple[int, float, AdRequest]] = deque()
+        self._lock = threading.Lock()
+        self._sender = threading.Thread(
+            target=self._send_loop, daemon=True)
+        self._receiver = threading.Thread(
+            target=self._recv_loop, daemon=True)
+        self._sock: Optional[socket.socket] = None
+        self._dead = False
+
+    def start(self) -> None:
+        self._sock = socket.create_connection(
+            (self.gen.host, self.gen.port), timeout=_RESULT_TIMEOUT_S)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sender.start()
+        self._receiver.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._sender.join(timeout=timeout)
+        self._receiver.join(timeout=timeout)
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def _frame(self, request: AdRequest) -> bytes:
+        payload: Dict[str, object] = {
+            "user_id": request.user_id,
+            "slots": request.slots,
+        }
+        if request.deadline_s is not None:
+            payload["deadline_ms"] = request.deadline_s * 1000.0
+        body = json.dumps(payload).encode("utf-8")
+        head = (f"POST /v1/serve HTTP/1.1\r\n"
+                f"Host: {self.gen.host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n")
+        return head.encode("latin-1") + body
+
+    def _send_loop(self) -> None:
+        assert self._sock is not None
+        try:
+            for index, offset, request in self.plan:
+                ahead = offset - (time.perf_counter() - self.clock_zero)
+                if ahead > 0:
+                    time.sleep(ahead)
+                frame = self._frame(request)
+                with self._lock:
+                    if self._dead:
+                        return
+                    self.in_flight.append(
+                        (index, time.perf_counter(), request))
+                self._sock.sendall(frame)
+        except (ConnectionError, OSError):
+            self._mark_dead("send failed")
+
+    def _recv_loop(self) -> None:
+        assert self._sock is not None
+        stream = self._sock.makefile("rb")
+        expected = len(self.plan)
+        received = 0
+        try:
+            while received < expected:
+                status, body = _read_response(stream)
+                now = time.perf_counter()
+                with self._lock:
+                    if not self.in_flight:
+                        raise ConnectionError(
+                            "response without an in-flight request")
+                    index, sent, request = self.in_flight.popleft()
+                self.results[index] = _to_result(
+                    request, status, body, latency=now - sent)
+                received += 1
+        except (ConnectionError, OSError, ValueError):
+            self._mark_dead("connection lost mid-run")
+
+    def _mark_dead(self, why: str) -> None:
+        """Resolve every in-flight request as ERROR so counts
+        reconcile; unsent requests stay ``None`` and the report marks
+        them at collection time."""
+        with self._lock:
+            if self._dead:
+                return
+            self._dead = True
+            pending = list(self.in_flight)
+            self.in_flight.clear()
+        for index, _sent, request in pending:
+            self.results[index] = ServeResult(
+                request=request, status=ServeStatus.ERROR,
+                shard_index=-1, error=why)
+        try:
+            assert self._sock is not None
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+
+def _to_result(request: AdRequest, status: int, body: bytes,
+               latency: float) -> ServeResult:
+    serve_status = HTTP_SERVE_STATUS.get(status, ServeStatus.ERROR)
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        data = {}
+    if not isinstance(data, dict):
+        data = {}
+    response = None
+    error = None
+    if serve_status is ServeStatus.SERVED:
+        response = AdResponse(
+            user_id=str(data.get("user_id", request.user_id)),
+            ad_ids=tuple(data.get("ad_ids", ())),
+            lost_to_competition=int(
+                data.get("lost_to_competition", 0)),
+            unfilled=int(data.get("unfilled", 0)),
+        )
+    else:
+        detail = data.get("error")
+        if isinstance(detail, dict):
+            error = str(detail.get("message", f"http {status}"))
+        else:
+            error = f"http {status}"
+    return ServeResult(
+        request=request,
+        status=serve_status,
+        shard_index=int(data.get("shard", -1)),
+        response=response,
+        error=error,
+        queued_s=0.0,
+        service_s=latency,
+        batch_size=int(data.get("batch_size", 0)),
+    )

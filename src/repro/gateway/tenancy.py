@@ -1,0 +1,284 @@
+"""Durable multi-tenant campaign/audience registry.
+
+The gateway's management API is multi-tenant: each *org* owns one
+platform ad account plus the campaigns and audiences created under it.
+Every accepted mutation becomes one typed change record
+(:class:`~repro.store.records.OrgCreated` /
+:class:`~repro.store.records.CampaignCreated` /
+:class:`~repro.store.records.CampaignPaused` /
+:class:`~repro.store.records.AudienceCreated`) appended *and flushed*
+to the gateway journal before the HTTP 2xx goes out — so a ``kill -9``
+of the gateway can never lose an acknowledged write.
+
+Recovery replays the journal through :meth:`TenantRegistry.apply_record`
+onto a world rebuilt from the same manifest. Records carry the platform
+ids the original mutation was granted; replay re-executes the mutation
+(the :class:`~repro.platform.platform.AdPlatform` ``IdFactory`` counts
+deterministically, so a faithful rebuild regenerates identical ids) and
+raises :class:`~repro.errors.StoreError` on any mismatch — folding a
+journal onto the wrong world is detected, not absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StoreError
+from repro.obs.metrics import registry as obs_registry
+from repro.platform.platform import AdPlatform
+from repro.store import StateStore
+from repro.store.records import (
+    AudienceCreated,
+    CampaignCreated,
+    CampaignPaused,
+    ChangeRecord,
+    OrgCreated,
+    record_from_dict,
+    record_to_dict,
+)
+
+
+class TenantRegistry:
+    """State owner mapping gateway orgs onto platform primitives.
+
+    All mutation entry points run on the gateway's event-loop thread —
+    single-threaded by construction, so the journal order *is* the
+    mutation order and no locking is needed.
+    """
+
+    store_name = "gateway_tenants"
+    handled_kinds = (OrgCreated.kind, CampaignCreated.kind,
+                     CampaignPaused.kind, AudienceCreated.kind)
+
+    def __init__(self, platform: AdPlatform, store: StateStore):
+        self.platform = platform
+        self._store = store
+        self._orgs: Dict[str, OrgCreated] = {}
+        self._campaigns: Dict[str, CampaignCreated] = {}
+        self._audiences: Dict[str, AudienceCreated] = {}
+        self._paused: set = set()
+        self._m_journaled = obs_registry().counter(
+            "gateway.mutations_journaled")
+        store.attach(self)
+
+    # -- live mutations (journal, then absorb) -----------------------------
+
+    def create_org(self, name: str, budget: float) -> OrgCreated:
+        """Open a tenant org backed by a fresh platform ad account.
+
+        Platform mutation first (validation failures propagate before
+        anything is journaled), then the record is appended + flushed —
+        durable — and only then absorbed into the live views.
+        """
+        account = self.platform.create_ad_account(name, budget=budget)
+        record = OrgCreated(
+            org_id=f"org-{len(self._orgs) + 1}",
+            name=name,
+            account_id=account.account_id,
+            budget=budget,
+        )
+        self._journal(record)
+        self._absorb_org(record)
+        return record
+
+    def create_campaign(self, org_id: str, name: str) -> CampaignCreated:
+        org = self.org(org_id)
+        campaign = self.platform.create_campaign(org.account_id, name)
+        record = CampaignCreated(
+            org_id=org_id,
+            campaign_id=campaign.campaign_id,
+            name=name,
+        )
+        self._journal(record)
+        self._absorb_campaign(record)
+        return record
+
+    def pause_campaign(self, org_id: str,
+                       campaign_id: str) -> CampaignPaused:
+        org = self.org(org_id)
+        campaign = self.campaign(campaign_id)
+        if campaign.org_id != org_id:
+            raise StoreError(
+                f"campaign {campaign_id!r} does not belong to org "
+                f"{org_id!r}")
+        self._pause_ads(org.account_id, campaign_id)
+        record = CampaignPaused(org_id=org_id, campaign_id=campaign_id)
+        self._journal(record)
+        self._absorb_pause(record)
+        return record
+
+    def create_audience(self, org_id: str, name: str,
+                        phrases: Tuple[str, ...]) -> AudienceCreated:
+        org = self.org(org_id)
+        audience = self.platform.create_keyword_audience(
+            org.account_id, phrases, name=name)
+        record = AudienceCreated(
+            org_id=org_id,
+            audience_id=audience.audience_id,
+            name=name,
+            phrases=tuple(phrases),
+        )
+        self._journal(record)
+        self._absorb_audience(record)
+        return record
+
+    def _journal(self, record: ChangeRecord) -> None:
+        self._store.append(record)
+        self._store.flush()
+        self._m_journaled.inc()
+
+    def _pause_ads(self, account_id: str, campaign_id: str) -> None:
+        for ad in self.platform.inventory.ads_in_campaign(campaign_id):
+            self.platform.pause_ad(account_id, ad.ad_id)
+
+    # -- live views --------------------------------------------------------
+
+    def org(self, org_id: str) -> OrgCreated:
+        try:
+            return self._orgs[org_id]
+        except KeyError:
+            raise StoreError(f"unknown org {org_id!r}") from None
+
+    def campaign(self, campaign_id: str) -> CampaignCreated:
+        try:
+            return self._campaigns[campaign_id]
+        except KeyError:
+            raise StoreError(
+                f"unknown campaign {campaign_id!r}") from None
+
+    def audience(self, audience_id: str) -> AudienceCreated:
+        try:
+            return self._audiences[audience_id]
+        except KeyError:
+            raise StoreError(
+                f"unknown audience {audience_id!r}") from None
+
+    def orgs(self) -> List[OrgCreated]:
+        return list(self._orgs.values())
+
+    def campaigns_for(self, org_id: str) -> List[CampaignCreated]:
+        self.org(org_id)
+        return [c for c in self._campaigns.values()
+                if c.org_id == org_id]
+
+    def audiences(self, org_id: Optional[str] = None
+                  ) -> List[AudienceCreated]:
+        if org_id is None:
+            return list(self._audiences.values())
+        self.org(org_id)
+        return [a for a in self._audiences.values()
+                if a.org_id == org_id]
+
+    def is_paused(self, campaign_id: str) -> bool:
+        return campaign_id in self._paused
+
+    # -- StateOwner protocol -----------------------------------------------
+
+    def state_dump(self) -> Dict[str, object]:
+        return {
+            "orgs": [record_to_dict(r) for r in self._orgs.values()],
+            "campaigns": [record_to_dict(r)
+                          for r in self._campaigns.values()],
+            "audiences": [record_to_dict(r)
+                          for r in self._audiences.values()],
+            "paused": sorted(self._paused),
+        }
+
+    def state_load(self, state: Dict[str, object]) -> None:
+        self._orgs = {}
+        self._campaigns = {}
+        self._audiences = {}
+        self._paused = set()
+        for data in state.get("orgs", []):  # type: ignore[union-attr]
+            record = record_from_dict(dict(data))
+            assert isinstance(record, OrgCreated)
+            self._orgs[record.org_id] = record
+        for data in state.get("campaigns", []):  # type: ignore[union-attr]
+            record = record_from_dict(dict(data))
+            assert isinstance(record, CampaignCreated)
+            self._campaigns[record.campaign_id] = record
+        for data in state.get("audiences", []):  # type: ignore[union-attr]
+            record = record_from_dict(dict(data))
+            assert isinstance(record, AudienceCreated)
+            self._audiences[record.audience_id] = record
+        self._paused = set(state.get("paused", []))  # type: ignore[arg-type]
+
+    def apply_record(self, record: ChangeRecord) -> None:
+        """Replay path: re-execute the mutation and verify the ids.
+
+        Idempotent — a record already absorbed with an identical
+        payload is a no-op (a journal may be folded twice); the same id
+        with a *conflicting* payload is corruption and raises.
+        """
+        if isinstance(record, OrgCreated):
+            existing = self._orgs.get(record.org_id)
+            if existing is not None:
+                self._require_identical(existing, record)
+                return
+            account = self.platform.create_ad_account(
+                record.name, budget=record.budget)
+            self._verify_id("account", account.account_id,
+                            record.account_id, record)
+            self._absorb_org(record)
+        elif isinstance(record, CampaignCreated):
+            existing = self._campaigns.get(record.campaign_id)
+            if existing is not None:
+                self._require_identical(existing, record)
+                return
+            org = self.org(record.org_id)
+            campaign = self.platform.create_campaign(
+                org.account_id, record.name)
+            self._verify_id("campaign", campaign.campaign_id,
+                            record.campaign_id, record)
+            self._absorb_campaign(record)
+        elif isinstance(record, CampaignPaused):
+            org = self.org(record.org_id)
+            self.campaign(record.campaign_id)
+            self._pause_ads(org.account_id, record.campaign_id)
+            self._absorb_pause(record)
+        elif isinstance(record, AudienceCreated):
+            existing = self._audiences.get(record.audience_id)
+            if existing is not None:
+                self._require_identical(existing, record)
+                return
+            org = self.org(record.org_id)
+            audience = self.platform.create_keyword_audience(
+                org.account_id, record.phrases, name=record.name)
+            self._verify_id("audience", audience.audience_id,
+                            record.audience_id, record)
+            self._absorb_audience(record)
+        else:
+            raise StoreError(
+                f"tenant registry cannot apply {record.kind!r}")
+
+    @staticmethod
+    def _require_identical(existing: ChangeRecord,
+                           record: ChangeRecord) -> None:
+        if existing != record:
+            raise StoreError(
+                f"conflicting replay for {record.kind!r}: journal has "
+                f"{record}, registry holds {existing}")
+
+    @staticmethod
+    def _verify_id(what: str, regenerated: str, recorded: str,
+                   record: ChangeRecord) -> None:
+        if regenerated != recorded:
+            raise StoreError(
+                f"replayed {record.kind!r} regenerated {what} id "
+                f"{regenerated!r} but the journal recorded "
+                f"{recorded!r} — this journal belongs to a different "
+                f"world")
+
+    # -- absorb (shared by live + replay) ----------------------------------
+
+    def _absorb_org(self, record: OrgCreated) -> None:
+        self._orgs[record.org_id] = record
+
+    def _absorb_campaign(self, record: CampaignCreated) -> None:
+        self._campaigns[record.campaign_id] = record
+
+    def _absorb_pause(self, record: CampaignPaused) -> None:
+        self._paused.add(record.campaign_id)
+
+    def _absorb_audience(self, record: AudienceCreated) -> None:
+        self._audiences[record.audience_id] = record

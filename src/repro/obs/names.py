@@ -122,6 +122,11 @@ METRICS: Dict[str, MetricSpec] = {
                  "(shed at dequeue, before any delivery work)."),
     "serve.requests_errored": MetricSpec(
         COUNTER, "Requests that raised during a delivery pass (ERROR)."),
+    "serve.errors": MetricSpec(
+        COUNTER, "ERROR results, with a per-exception-type breakdown: "
+                 "each failure also increments a dynamic "
+                 "serve.errors.<ExceptionType> counter (CamelCase "
+                 "suffix, e.g. serve.errors.CatalogError)."),
     "serve.queue_depth": MetricSpec(
         GAUGE, "Requests currently queued across all shards."),
     "serve.batch_size": MetricSpec(
@@ -156,6 +161,22 @@ METRICS: Dict[str, MetricSpec] = {
     "slo.error_budget_burn_rate": MetricSpec(
         GAUGE, "Observed error rate over the rate the availability "
                "target allows (1.0 = exactly on budget)."),
+    # -- HTTP gateway ------------------------------------------------------
+    "gateway.connections": MetricSpec(
+        COUNTER, "TCP connections accepted by the HTTP gateway."),
+    "gateway.requests": MetricSpec(
+        COUNTER, "HTTP requests parsed and routed by the gateway."),
+    "gateway.http_errors": MetricSpec(
+        COUNTER, "HTTP responses with a 4xx/5xx status (parse "
+                 "failures, unknown routes, shed/timeout mappings)."),
+    "gateway.request_s": MetricSpec(
+        HISTOGRAM, "Wall-clock time from a parsed request to its "
+                   "response being queued for write, seconds.",
+        LATENCY_BUCKETS),
+    "gateway.mutations_journaled": MetricSpec(
+        COUNTER, "Tenancy mutations (org/campaign/audience writes) "
+                 "appended + flushed to the gateway journal before "
+                 "their 2xx response."),
     # -- state store -------------------------------------------------------
     "store.records_appended": MetricSpec(
         COUNTER, "Change records appended to a state store journal."),
@@ -188,6 +209,8 @@ SPANS: Dict[str, str] = {
     "serve.ipc_roundtrip": "One framed batch round-trip to a shard "
                            "worker process.",
     "loadgen.run": "One open-loop load-generation run.",
+    "gateway.request": "One HTTP request: parse, route, handle, "
+                       "response queued.",
     "provider.launch": "Render + submit one batch of Treads.",
     "client.sync": "One client-side feed scan and decode.",
     "store.checkpoint": "Dump every attached state owner to a snapshot.",

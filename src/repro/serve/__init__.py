@@ -17,7 +17,12 @@ delivery still holds when served this way.
 """
 
 from repro.serve.ipc import Framer, ShardWorkerClient, WorkerLost
-from repro.serve.loadgen import LoadConfig, LoadGenerator, LoadReport
+from repro.serve.loadgen import (
+    LoadConfig,
+    LoadGenerator,
+    LoadReport,
+    build_schedule,
+)
 from repro.serve.requests import (
     AdRequest,
     AdResponse,
@@ -54,6 +59,7 @@ __all__ = [
     "ShardRouter",
     "ShardWorkerClient",
     "WorkerLost",
+    "build_schedule",
     "journal_store_factory",
     "shard_index",
     "shard_journal_path",

@@ -179,6 +179,35 @@ class LoadReport:
         return out
 
 
+def build_schedule(user_ids: Sequence[str],
+                   config: LoadConfig) -> List[Tuple[float, AdRequest]]:
+    """The full open-loop arrival plan: ``(offset_s, request)`` pairs.
+
+    Pure function of (seed, config, user population) — no clock
+    involved, so two consumers of the same inputs (the in-process
+    :class:`LoadGenerator` and the HTTP-mode ``repro httpgen``) offer
+    byte-identical request streams.
+    """
+    if not user_ids:
+        raise ValueError("load generation needs at least one user")
+    rng = random.Random(config.seed)
+    plan: List[Tuple[float, AdRequest]] = []
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(config.rps)
+        if clock >= config.duration_s:
+            break
+        if config.max_requests is not None \
+                and len(plan) >= config.max_requests:
+            break
+        plan.append((clock, AdRequest(
+            user_id=rng.choice(user_ids),
+            slots=config.slots,
+            deadline_s=config.deadline_s,
+        )))
+    return plan
+
+
 class LoadGenerator:
     """Drives a :class:`ServingRuntime` at a target RPS.
 
@@ -204,22 +233,7 @@ class LoadGenerator:
         Pure function of (seed, config, user population) — no clock
         involved, so tests can compare two schedules directly.
         """
-        rng = random.Random(self.config.seed)
-        plan: List[Tuple[float, AdRequest]] = []
-        clock = 0.0
-        while True:
-            clock += rng.expovariate(self.config.rps)
-            if clock >= self.config.duration_s:
-                break
-            if self.config.max_requests is not None \
-                    and len(plan) >= self.config.max_requests:
-                break
-            plan.append((clock, AdRequest(
-                user_id=rng.choice(self.user_ids),
-                slots=self.config.slots,
-                deadline_s=self.config.deadline_s,
-            )))
-        return plan
+        return build_schedule(self.user_ids, self.config)
 
     def run(self) -> LoadReport:
         """Offer the schedule, wait for every result, report."""

@@ -274,6 +274,7 @@ class ServingRuntime:
         self._m_shed = reg.counter("serve.requests_shed")
         self._m_timeout = reg.counter("serve.requests_timeout")
         self._m_errored = reg.counter("serve.requests_errored")
+        self._m_errors = reg.counter("serve.errors")
         self._m_depth = reg.gauge("serve.queue_depth")
         self._m_batch = reg.histogram("serve.batch_size")
         self._m_latency = reg.histogram("serve.request_latency_s")
@@ -796,7 +797,7 @@ class ServingRuntime:
                     result = self._serve_one(shard, item, started,
                                              len(live))
                 except Exception as exc:  # noqa: BLE001 - per-request fence
-                    self._m_errored.inc()
+                    self._count_error(type(exc).__name__)
                     result = ServeResult(
                         request=item.request,
                         status=ServeStatus.ERROR,
@@ -888,7 +889,8 @@ class ServingRuntime:
             return
         except Exception as exc:  # noqa: BLE001 - batch-level fence
             self._fail_batch(shard, live,
-                             f"{type(exc).__name__}: {exc}")
+                             f"{type(exc).__name__}: {exc}",
+                             reason=type(exc).__name__)
             return
         for item, reply in zip(live, replies):
             served, ad_ids, lost, unfilled, error, service_s = reply
@@ -909,7 +911,7 @@ class ServingRuntime:
                     batch_size=len(live),
                 )
             else:
-                self._m_errored.inc()
+                self._count_error(_error_reason(error))
                 result = ServeResult(
                     request=item.request,
                     status=ServeStatus.ERROR,
@@ -922,9 +924,9 @@ class ServingRuntime:
             self._resolve(item, result)
 
     def _fail_batch(self, shard: Shard, live: List[_QueuedRequest],
-                    error: str) -> None:
+                    error: str, reason: str = "WorkerLost") -> None:
         for item in live:
-            self._m_errored.inc()
+            self._count_error(reason)
             self._resolve(item, ServeResult(
                 request=item.request,
                 status=ServeStatus.ERROR,
@@ -932,6 +934,19 @@ class ServingRuntime:
                 error=error,
                 queued_s=perf_counter() - item.enqueued_at,
             ))
+
+    def _count_error(self, reason: str) -> None:
+        """Count one ERROR result: the pinned aggregates plus a dynamic
+        per-exception-type breakdown counter.
+
+        ``serve.errors.<ExceptionType>`` names are created on demand
+        (the registry accepts uncatalogued names with empty help); the
+        CamelCase suffix keeps them visually distinct from the
+        catalogued all-lowercase instrument names.
+        """
+        self._m_errored.inc()
+        self._m_errors.inc()
+        _metrics.registry().counter(f"serve.errors.{reason}").inc()
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -949,3 +964,18 @@ class ServingRuntime:
                 self._pending -= 1
                 if self._pending <= 0:
                     self._pending_cond.notify_all()
+
+
+def _error_reason(error: Optional[str]) -> str:
+    """Exception-type label for a worker-side error string.
+
+    Worker replies carry ``"TypeError: message"``-style strings, not
+    exception objects; the prefix before the first colon is the type
+    name when it looks like one, else the label falls back to
+    ``RemoteError``.
+    """
+    if error:
+        prefix = error.split(":", 1)[0].strip()
+        if prefix.isidentifier():
+            return prefix
+    return "RemoteError"

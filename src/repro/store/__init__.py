@@ -8,12 +8,16 @@ writes through a :class:`StateStore`; see ``docs/state.md``.
 """
 
 from repro.store.records import (
+    AudienceCreated,
     AudienceDelta,
+    CampaignCreated,
+    CampaignPaused,
     CapIncremented,
     ChangeRecord,
     ChargeRecorded,
     ClickRecorded,
     ImpressionRecorded,
+    OrgCreated,
     RECORD_TYPES,
     SlotClaimed,
     decode_line,
@@ -31,13 +35,17 @@ from repro.store.store import (
 )
 
 __all__ = [
+    "AudienceCreated",
     "AudienceDelta",
+    "CampaignCreated",
+    "CampaignPaused",
     "CapIncremented",
     "ChangeRecord",
     "ChargeRecorded",
     "ClickRecorded",
     "ImpressionRecorded",
     "JournalStore",
+    "OrgCreated",
     "MemoryStore",
     "RECORD_TYPES",
     "SNAPSHOT_VERSION",

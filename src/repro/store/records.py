@@ -139,6 +139,61 @@ class SlotClaimed(ChangeRecord):
     slots: int
 
 
+@dataclass(frozen=True)
+class OrgCreated(ChangeRecord):
+    """A gateway tenant org came into existence.
+
+    Gateway-tenancy record: carries the platform ad-account id the org
+    was given, so replaying the gateway journal onto a freshly rebuilt
+    world re-creates the account and verifies the id sequence matches.
+    """
+
+    kind: ClassVar[str] = "org_created"
+
+    org_id: str
+    name: str
+    account_id: str
+    budget: float
+
+
+@dataclass(frozen=True)
+class CampaignCreated(ChangeRecord):
+    """A campaign was created under a gateway org."""
+
+    kind: ClassVar[str] = "campaign_created"
+
+    org_id: str
+    campaign_id: str
+    name: str
+
+
+@dataclass(frozen=True)
+class CampaignPaused(ChangeRecord):
+    """Every ad in a gateway org's campaign was paused."""
+
+    kind: ClassVar[str] = "campaign_paused"
+
+    org_id: str
+    campaign_id: str
+
+
+@dataclass(frozen=True)
+class AudienceCreated(ChangeRecord):
+    """A keyword audience was created through the gateway API.
+
+    Distinct from :class:`AudienceDelta` (the engine-side membership
+    snapshot): this is the *tenancy* fact — which org asked for which
+    phrases — and replaying it re-runs the platform's audience build.
+    """
+
+    kind: ClassVar[str] = "audience_created"
+
+    org_id: str
+    audience_id: str
+    name: str
+    phrases: Tuple[str, ...] = ()
+
+
 #: kind -> record class; the authoritative catalog (docs-sync enforced).
 RECORD_TYPES: Dict[str, Type[ChangeRecord]] = {
     cls.kind: cls
@@ -149,6 +204,10 @@ RECORD_TYPES: Dict[str, Type[ChangeRecord]] = {
         CapIncremented,
         AudienceDelta,
         SlotClaimed,
+        OrgCreated,
+        CampaignCreated,
+        CampaignPaused,
+        AudienceCreated,
     )
 }
 

@@ -25,6 +25,7 @@ journaled backend whose overhead the scale bench bounds at <= 15%).
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -34,6 +35,8 @@ from repro.obs import tracing as _tracing
 from repro.obs.metrics import registry as obs_registry
 from repro.store.records import ChangeRecord, decode_line, encode_line
 from repro.store.snapshot import SNAPSHOT_VERSION, Snapshot
+
+_log = logging.getLogger(__name__)
 
 try:  # pragma: no cover - 3.8+ always has Protocol
     from typing import Protocol, runtime_checkable
@@ -250,6 +253,7 @@ class JournalStore(StateStore):
             os.makedirs(directory, exist_ok=True)
         self._count = 0
         if os.path.exists(path):
+            _truncate_torn_tail(path)
             with open(path, "r", encoding="utf-8") as fh:
                 self._count = sum(1 for line in fh if line.strip())
         self._fh = open(path, "a", encoding="utf-8")
@@ -302,15 +306,68 @@ class JournalStore(StateStore):
     @staticmethod
     def read(path: str) -> List[ChangeRecord]:
         """Decode a journal file (usable without opening a store —
-        recovery reads the dead shard's journal this way)."""
+        recovery reads the dead shard's journal this way).
+
+        Tolerates a **torn tail**: if the final non-blank line is
+        unterminated or fails to decode — the signature of a writer
+        killed mid-append — it is dropped with a warning instead of
+        failing the whole recovery. The dropped suffix was never
+        acknowledged (acks happen after flush writes the full line), so
+        dropping it loses nothing a caller was promised. Corruption
+        anywhere *before* the final line still raises
+        :class:`~repro.errors.StoreError`: that is damage, not a torn
+        write.
+        """
         if not os.path.exists(path):
             return []
         out: List[ChangeRecord] = []
         with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                if line.strip():
-                    out.append(decode_line(line))
+            lines = [line for line in fh if line.strip()]
+        for index, line in enumerate(lines):
+            is_last = index == len(lines) - 1
+            if is_last and not line.endswith("\n"):
+                _log.warning(
+                    "journal %s: dropping unterminated final line "
+                    "(torn write, %d bytes)", path, len(line))
+                break
+            try:
+                out.append(decode_line(line))
+            except StoreError:
+                if is_last:
+                    _log.warning(
+                        "journal %s: dropping undecodable final line "
+                        "(torn write, %d bytes)", path, len(line))
+                    break
+                raise
         return out
+
+
+def _truncate_torn_tail(path: str) -> None:
+    """Chop an unterminated final line off a journal before reopening
+    it for append.
+
+    A writer killed mid-flush can leave a partial last line with no
+    trailing newline; appending to it would weld the next record onto
+    the garbage and corrupt *two* records. The partial line was never
+    acknowledged (acks follow the flush that writes the newline), so
+    truncating back to the last newline is lossless for every accepted
+    write.
+    """
+    with open(path, "r+b") as fh:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size == 0:
+            return
+        fh.seek(size - 1)
+        if fh.read(1) == b"\n":
+            return
+        fh.seek(0)
+        data = fh.read()
+        keep = data.rfind(b"\n") + 1
+        _log.warning(
+            "journal %s: truncating torn final line before reopen "
+            "(%d bytes dropped)", path, size - keep)
+        fh.truncate(keep)
 
 
 def open_store(path: Optional[str] = None, fsync: bool = False) -> StateStore:

@@ -1,0 +1,241 @@
+"""HTTP wire layer: parsing edges, framing, and error-body discipline.
+
+Two halves: pure parser tests driving :func:`read_request` over an
+in-memory stream, and live-socket tests sending deliberately broken
+bytes at a running gateway. The invariant under test throughout: a
+malformed request gets a structured ``{"error": {code, message}}``
+body with the right status — never a stack trace, never a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.gateway import (
+    DEFAULT_MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    HttpError,
+    read_request,
+    render_response,
+)
+from tests.gateway.conftest import (
+    error_code,
+    http_request,
+    parse_response,
+    raw_exchange,
+    split_pipelined,
+)
+
+
+def parse(data: bytes, **kwargs):
+    async def _run():
+        reader = asyncio.StreamReader(limit=MAX_HEADER_BYTES)
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(_run())
+    finally:
+        loop.close()
+
+
+def frame(method: str = "POST", path: str = "/v1/serve",
+          body: bytes = b"", headers: str = "") -> bytes:
+    return (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\n{headers}\r\n"
+            ).encode("latin-1") + body
+
+
+class TestParser:
+    def test_parses_method_path_query_body(self):
+        request = parse(frame(
+            "POST", "/v1/serve?x=1&y=two%20words", body=b'{"a": 1}'))
+        assert request.method == "POST"
+        assert request.path == "/v1/serve"
+        assert request.query == {"x": "1", "y": "two words"}
+        assert request.json() == {"a": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET /healthz HTTP/1.1\r\nHost")
+        assert exc.value.status == 400
+        assert exc.value.code == "truncated_request"
+        assert exc.value.close
+
+    def test_oversized_head_is_431(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET / HTTP/1.1\r\nX-Pad: " +
+                  b"a" * (MAX_HEADER_BYTES + 100) + b"\r\n\r\n")
+        assert exc.value.status == 431
+
+    @pytest.mark.parametrize("line", [
+        b"GARBAGE\r\n\r\n",
+        b"GET /x\r\n\r\n",
+        b"GET /x HTTP/2\r\n\r\n",
+        b"123 /x HTTP/1.1\r\n\r\n",
+        b"GET /x HTTP/1.1 extra\r\n\r\n",
+    ])
+    def test_malformed_request_line_is_400(self, line):
+        with pytest.raises(HttpError) as exc:
+            parse(line)
+        assert exc.value.status == 400
+        assert exc.value.code == "bad_request_line"
+
+    def test_malformed_header_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert exc.value.code == "bad_header"
+
+    @pytest.mark.parametrize("value", ["abc", "-5", "1.5", ""])
+    def test_garbage_content_length_is_400(self, value):
+        with pytest.raises(HttpError) as exc:
+            parse(f"POST /x HTTP/1.1\r\nContent-Length: {value}"
+                  f"\r\n\r\n".encode())
+        assert exc.value.status == 400
+        assert exc.value.code == "bad_content_length"
+
+    def test_missing_content_length_means_empty_body(self):
+        request = parse(b"POST /x HTTP/1.1\r\nHost: t\r\n\r\n"
+                        b'{"ignored": true}')
+        assert request.body == b""
+
+    def test_oversized_body_is_413(self):
+        assert DEFAULT_MAX_BODY_BYTES == 1024 * 1024
+        with pytest.raises(HttpError) as exc:
+            parse(frame(body=b"x" * 200), max_body=100)
+        assert exc.value.status == 413
+        assert exc.value.code == "body_too_large"
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        assert exc.value.code == "truncated_body"
+
+    def test_transfer_encoding_is_501(self):
+        with pytest.raises(HttpError) as exc:
+            parse(b"POST /x HTTP/1.1\r\n"
+                  b"Transfer-Encoding: chunked\r\n\r\n")
+        assert exc.value.status == 501
+
+    def test_non_json_body_is_structured_400(self):
+        request = parse(frame(body=b"not json at all"))
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.code == "invalid_json"
+
+    def test_json_array_body_rejected(self):
+        request = parse(frame(body=b"[1, 2, 3]"))
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.code == "invalid_json"
+
+
+class TestRenderResponse:
+    def test_frames_content_length_and_connection(self):
+        raw = render_response(200, b'{"ok": true}')
+        head = raw.split(b"\r\n\r\n")[0]
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: 12" in head
+        assert b"Connection: keep-alive" in head
+
+    def test_close_and_extra_headers(self):
+        raw = render_response(429, b"{}", close=True,
+                              extra_headers={"Retry-After": "1"})
+        head = raw.split(b"\r\n\r\n")[0]
+        assert b"Connection: close" in head
+        assert b"Retry-After: 1" in head
+
+
+class TestLiveWire:
+    """Broken bytes against a real listening gateway."""
+
+    def test_pipelined_requests_answered_in_order(self, gateway_stack):
+        stack = gateway_stack()
+        burst = (b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+                 b"GET /v1/users HTTP/1.1\r\nHost: t\r\n\r\n"
+                 b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n")
+        responses = split_pipelined(raw_exchange(stack.url, burst))
+        assert [status for status, _ in responses] == [200, 200, 404]
+        users = json.loads(responses[1][1])
+        assert len(users["user_ids"]) == 24
+
+    def test_pipelined_serves_resolve_in_order(self, gateway_stack):
+        stack = gateway_stack()
+        users = list(stack.platform.users.user_ids())[:3]
+        burst = b""
+        for user_id in users:
+            body = json.dumps({"user_id": user_id}).encode()
+            burst += (f"POST /v1/serve HTTP/1.1\r\nHost: t\r\n"
+                      f"Content-Length: {len(body)}\r\n\r\n"
+                      ).encode() + body
+        responses = split_pipelined(raw_exchange(stack.url, burst))
+        assert len(responses) == 3
+        for (status, body), user_id in zip(responses, users):
+            assert status == 200
+            assert json.loads(body)["user_id"] == user_id
+
+    def test_malformed_json_is_structured_400(self, gateway_stack):
+        stack = gateway_stack()
+        body = b"{broken"
+        raw = raw_exchange(
+            stack.url,
+            (f"POST /v1/orgs HTTP/1.1\r\nHost: t\r\n"
+             f"Content-Length: {len(body)}\r\n\r\n").encode() + body)
+        status, data = parse_response(raw)
+        assert status == 400
+        assert error_code(data) == "invalid_json"
+        assert "Traceback" not in raw.decode("latin-1")
+
+    def test_garbage_content_length_live(self, gateway_stack):
+        stack = gateway_stack()
+        raw = raw_exchange(
+            stack.url,
+            b"POST /v1/orgs HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: banana\r\n\r\n")
+        status, data = parse_response(raw)
+        assert status == 400
+        assert error_code(data) == "bad_content_length"
+
+    def test_oversized_body_live_is_413(self, gateway_stack):
+        stack = gateway_stack()
+        raw = raw_exchange(
+            stack.url,
+            (f"POST /v1/orgs HTTP/1.1\r\nHost: t\r\n"
+             f"Content-Length: {DEFAULT_MAX_BODY_BYTES + 1}\r\n\r\n"
+             ).encode())
+        status, data = parse_response(raw)
+        assert status == 413
+        assert error_code(data) == "body_too_large"
+
+    def test_bad_request_line_live(self, gateway_stack):
+        stack = gateway_stack()
+        status, data = parse_response(
+            raw_exchange(stack.url, b"WHAT EVEN\r\n\r\n"))
+        assert status == 400
+        assert error_code(data) == "bad_request_line"
+
+    def test_keep_alive_survives_a_4xx(self, gateway_stack):
+        """A routing 404 must not poison the connection: the next
+        pipelined request on the same socket still gets served."""
+        stack = gateway_stack()
+        burst = (b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n"
+                 b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        responses = split_pipelined(raw_exchange(stack.url, burst))
+        assert [status for status, _ in responses] == [404, 200]
+
+    def test_unknown_route_and_method(self, gateway_stack):
+        stack = gateway_stack()
+        status, data = http_request(stack.url, "GET", "/v1/nothing")
+        assert status == 404
+        assert error_code(data) == "not_found"
+        status, data = http_request(stack.url, "DELETE", "/v1/orgs")
+        assert status == 405
+        assert error_code(data) == "method_not_allowed"

@@ -1,0 +1,169 @@
+"""HTTP-mode load generation: equivalence, recovery, reconciliation.
+
+The headline test: the same seeded schedule offered over HTTP and
+in-process produces byte-identical server-side delivery state. Plus:
+crash recovery (journals folded into a fresh runtime reproduce the
+stopped runtime's report) and count reconciliation when the gateway
+dies mid-run (every offered request resolves, most as ERROR).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway import (
+    GatewayApp,
+    GatewayServer,
+    HttpLoadGenerator,
+    TenantRegistry,
+    WorldManifest,
+    build_runtime,
+    fetch_json,
+    open_tenancy_store,
+    recover_runtime_shards,
+)
+from repro.gateway.httpgen import _parse_base
+from repro.serve import LoadConfig, LoadGenerator
+from repro.store import JournalStore
+from repro.store.audit import canonical_json, state_report
+
+CONFIG = LoadConfig(rps=250.0, duration_s=1.2, seed=7)
+
+
+class TestParseBase:
+    @pytest.mark.parametrize("url,expected", [
+        ("http://127.0.0.1:8080", ("127.0.0.1", 8080)),
+        ("http://localhost", ("localhost", 80)),
+        ("127.0.0.1:9999", ("127.0.0.1", 9999)),
+    ])
+    def test_accepts_http_and_bare(self, url, expected):
+        assert _parse_base(url) == expected
+
+    @pytest.mark.parametrize("url", ["https://x", "ftp://x", "http://"])
+    def test_rejects_non_http(self, url):
+        with pytest.raises(ValueError):
+            _parse_base(url)
+
+
+class TestFetchJson:
+    def test_fetches_users(self, gateway_stack):
+        stack = gateway_stack()
+        data = fetch_json(stack.url, "/v1/users")
+        assert len(data["user_ids"]) == 24
+
+    def test_non_2xx_raises(self, gateway_stack):
+        stack = gateway_stack()
+        with pytest.raises(RuntimeError, match="404"):
+            fetch_json(stack.url, "/v1/nothing")
+
+
+class TestEquivalence:
+    def test_http_run_matches_in_process_run(self, make_world,
+                                             gateway_stack):
+        """Same seed, same world build, same schedule: the HTTP path
+        and the in-process path must land the identical delivery
+        state, byte for byte."""
+        stack = gateway_stack(journal=False)
+        report_http = HttpLoadGenerator(
+            stack.url, config=CONFIG, connections=1).run()
+        assert report_http.tally.errors == 0
+        stack.runtime.stop()
+        state_http = canonical_json(state_report(stack.runtime.router))
+
+        platform = make_world(seed=11, users=24)
+        manifest = WorldManifest(seed=11, users=24, shards=2)
+        runtime = build_runtime(platform, manifest)
+        runtime.start()
+        report_proc = LoadGenerator(
+            runtime, list(platform.users.user_ids()),
+            config=CONFIG).run()
+        runtime.stop()
+        state_proc = canonical_json(state_report(runtime.router))
+
+        assert state_http == state_proc
+        assert report_http.tally.submitted \
+            == report_proc.tally.submitted
+        assert report_http.tally.impressions \
+            == report_proc.tally.impressions
+
+    def test_multi_connection_run_reconciles(self, gateway_stack):
+        """Across several pipelined connections every offered request
+        still resolves exactly once (served + errors == offered)."""
+        stack = gateway_stack()
+        report = HttpLoadGenerator(
+            stack.url, config=CONFIG, connections=3).run()
+        tally = report.tally
+        assert tally.submitted == (tally.served + tally.shed
+                                   + tally.timeout + tally.errors)
+        assert tally.served > 0
+        assert tally.errors == 0
+
+
+class TestCrashRecovery:
+    def test_journals_rebuild_the_stopped_state(self, make_world,
+                                                gateway_stack,
+                                                tmp_path):
+        """Serve over HTTP with journaling, stop, then fold the shard
+        journals into a *fresh* world: byte-identical state report.
+        (The benchmark drives the real ``kill -9`` variant; this
+        covers the recovery machinery in-process.)"""
+        stack = gateway_stack(journal=True)
+        journal_dir = stack.runtime.config.journal_dir
+        stack.tenants.create_org("acme", 40.0)
+        stack.tenants.create_campaign("org-1", "launch")
+        report = HttpLoadGenerator(
+            stack.url, config=CONFIG, connections=1).run()
+        assert report.tally.errors == 0
+        stack.runtime.stop()
+        expected = canonical_json(state_report(stack.runtime.router))
+        expected_tenants = stack.tenants.state_dump()
+        stack.close()
+
+        manifest = WorldManifest(seed=11, users=24, shards=2)
+        platform = make_world(seed=11, users=24)
+        runtime = build_runtime(platform, manifest,
+                                journal_dir=journal_dir)
+        recovered = recover_runtime_shards(runtime, journal_dir,
+                                           manifest)
+        assert recovered == (0, 1)
+        rebuilt = canonical_json(state_report(runtime.router))
+        assert rebuilt == expected
+
+        from repro.gateway.world import tenancy_journal_path
+
+        records = JournalStore.read(tenancy_journal_path(journal_dir))
+        store = open_tenancy_store(str(tmp_path / "fresh-tenancy"))
+        tenants = TenantRegistry(platform, store)
+        for record in records:
+            tenants.apply_record(record)
+        assert tenants.state_dump() == expected_tenants
+        for shard in runtime.router.shards:
+            shard.store.close()
+        store.close()
+
+    def test_gateway_death_resolves_every_request(self, gateway_stack):
+        """Kill the server (not the runtime) mid-run: the generator
+        must still resolve every scheduled request — the tail as
+        ERROR — instead of hanging or dropping silently."""
+        import threading
+        import time
+
+        stack = gateway_stack()
+        config = LoadConfig(rps=150.0, duration_s=2.0, seed=3)
+        generator = HttpLoadGenerator(stack.url, config=config,
+                                      connections=2)
+        user_ids = generator.user_ids()  # fetch before the kill
+        assert user_ids
+        killer = threading.Timer(0.5, stack.server.stop)
+        killer.start()
+        try:
+            report = generator.run()
+        finally:
+            killer.cancel()
+        from repro.serve.loadgen import build_schedule
+
+        tally = report.tally
+        assert tally.submitted == len(build_schedule(user_ids, config))
+        assert tally.submitted == (tally.served + tally.shed
+                                   + tally.timeout + tally.errors)
+        assert tally.errors > 0

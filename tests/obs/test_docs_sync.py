@@ -136,6 +136,7 @@ class TestServingInstrumentation:
         "serve.requests_shed",
         "serve.requests_timeout",
         "serve.requests_errored",
+        "serve.errors",
         "serve.queue_depth",
         "serve.batch_size",
         "serve.request_latency_s",

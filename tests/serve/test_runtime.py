@@ -237,6 +237,38 @@ class TestMetrics:
         batch = registry.get("serve.batch_size")
         assert batch is not None and batch.count >= 1
 
+    def test_error_reason_breakdown(self, make_world):
+        # An ERROR result increments the aggregate serve.errors plus a
+        # dynamic per-exception-type counter named after the reason.
+        platform = make_world(users=5)
+        registry = MetricsRegistry("serve-errors-test")
+        with use_registry(registry):
+            runtime = ServingRuntime(
+                platform, RuntimeConfig(num_shards=1))
+            with runtime:
+                result = runtime.submit(
+                    AdRequest("no-such-user")).result(timeout=10)
+        assert result.status is ServeStatus.ERROR
+        assert registry.value("serve.requests_errored") == 1
+        assert registry.value("serve.errors") == 1
+        assert registry.value("serve.errors.CatalogError") == 1
+
+    def test_error_reason_breakdown_process_backend(self, make_world):
+        # Same contract across the IPC boundary: the worker's error
+        # string carries the exception type, the parent labels it.
+        platform = make_world(users=5)
+        registry = MetricsRegistry("serve-errors-remote-test")
+        with use_registry(registry):
+            runtime = ServingRuntime(
+                platform,
+                RuntimeConfig(num_shards=1, backend="process"))
+            with runtime:
+                result = runtime.submit(
+                    AdRequest("no-such-user")).result(timeout=30)
+        assert result.status is ServeStatus.ERROR
+        assert registry.value("serve.errors") == 1
+        assert registry.value("serve.errors.CatalogError") == 1
+
     def test_rebalance_requires_stopped_runtime(self, make_world):
         platform = make_world(users=10)
         runtime = ServingRuntime(platform, RuntimeConfig(num_shards=2))

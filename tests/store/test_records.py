@@ -7,11 +7,15 @@ import pytest
 from repro.errors import StoreError
 from repro.store import (
     RECORD_TYPES,
+    AudienceCreated,
     AudienceDelta,
+    CampaignCreated,
+    CampaignPaused,
     CapIncremented,
     ChargeRecorded,
     ClickRecorded,
     ImpressionRecorded,
+    OrgCreated,
     SlotClaimed,
 )
 from repro.store.records import (
@@ -32,6 +36,12 @@ SAMPLES = [
                   audience_kind="pii", name="uploaded",
                   member_ids=("u-1", "u-2")),
     SlotClaimed(user_id="u-1", slots=3),
+    OrgCreated(org_id="org-1", name="acme", account_id="acct-9",
+               budget=500.0),
+    CampaignCreated(org_id="org-1", campaign_id="camp-1", name="spring"),
+    CampaignPaused(org_id="org-1", campaign_id="camp-1"),
+    AudienceCreated(org_id="org-1", audience_id="aud-7", name="runners",
+                    phrases=("running", "marathon")),
 ]
 
 
@@ -41,7 +51,8 @@ class TestCatalog:
         assert sorted(kinds) == sorted(set(kinds))
         assert set(RECORD_TYPES) == {
             "impression", "click", "charge", "cap_increment",
-            "audience_delta", "slot_claim",
+            "audience_delta", "slot_claim", "org_created",
+            "campaign_created", "campaign_paused", "audience_created",
         }
 
     def test_samples_cover_every_kind(self):

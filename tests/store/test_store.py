@@ -111,10 +111,13 @@ class TestJournalDurability:
     def test_read_missing_file_is_empty(self, tmp_path):
         assert JournalStore.read(str(tmp_path / "nope.jsonl")) == []
 
-    def test_corrupt_line_raises(self, tmp_path):
+    def test_corrupt_mid_file_line_raises(self, tmp_path):
+        # Damage *before* the final line is corruption, not a torn
+        # write — recovery must refuse rather than silently skip.
         path = tmp_path / "wal.jsonl"
-        path.write_text('{"kind":"slot_claim","user_id":"u","slots":1}\n'
-                        "garbage\n", encoding="utf-8")
+        path.write_text("garbage\n"
+                        '{"kind":"slot_claim","user_id":"u","slots":1}\n',
+                        encoding="utf-8")
         with pytest.raises(StoreError, match="corrupt journal line"):
             JournalStore.read(str(path))
 
@@ -138,6 +141,70 @@ class TestJournalDurability:
             t.join()
         assert store.record_count == 200
         assert len(store.records()) == 200
+        store.close()
+
+
+class TestTornWrites:
+    """A writer killed mid-flush leaves a partial final line; recovery
+    must drop it (it was never acknowledged), not crash."""
+
+    GOOD = '{"kind":"slot_claim","user_id":"u-1","slots":2}\n'
+    TORN = '{"kind":"slot_claim","user_id":"u-2","slo'  # no newline
+
+    def test_read_drops_unterminated_final_line(self, tmp_path, caplog):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(self.GOOD + self.TORN, encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.store.store"):
+            records = JournalStore.read(str(path))
+        assert records == [SlotClaimed("u-1", 2)]
+        assert any("torn write" in r.message for r in caplog.records)
+
+    def test_read_drops_undecodable_final_line(self, tmp_path, caplog):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(self.GOOD + "gar{bage\n", encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.store.store"):
+            records = JournalStore.read(str(path))
+        assert records == [SlotClaimed("u-1", 2)]
+        assert any("torn write" in r.message for r in caplog.records)
+
+    def test_reopen_truncates_tail_then_appends_cleanly(self, tmp_path,
+                                                        caplog):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(self.GOOD + self.TORN, encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.store.store"):
+            store = JournalStore(str(path))
+        assert store.record_count == 1
+        assert any("torn" in r.message for r in caplog.records)
+        CounterOwner(store).claim("u-3", 4)
+        store.close()
+        # The torn tail is gone from disk: the appended record starts
+        # on its own line instead of welding onto the partial one.
+        assert JournalStore.read(str(path)) == [
+            SlotClaimed("u-1", 2), SlotClaimed("u-3", 4),
+        ]
+
+    def test_restore_and_replay_survive_torn_tail(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        first = JournalStore(str(path))
+        owner = CounterOwner(first)
+        owner.claim("u-1", 2)
+        snapshot = first.checkpoint()
+        owner.claim("u-2", 5)
+        first.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(self.TORN)
+        reopened = JournalStore(str(path))
+        rebuilt = CounterOwner(reopened)
+        reopened.restore(snapshot)
+        reopened.replay(reopened.records()[snapshot.journal_seq:])
+        assert rebuilt.counts == {"u-1": 2, "u-2": 5}
+        reopened.close()
+
+    def test_empty_file_reopen_is_fine(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text("", encoding="utf-8")
+        store = JournalStore(str(path))
+        assert store.record_count == 0
         store.close()
 
 

@@ -140,3 +140,49 @@ def test_api_tour_scenario_end_to_end():
              for uid in platform.users.user_ids()])
     assert all(r.ok for r in results)
     assert proc_runtime.router.total_impressions() > 0
+
+    # 12. put it on the network (section 11 is the journal round-trip,
+    # exercised by the checkpoint/restore CLI tests)
+    import tempfile
+
+    from repro.gateway import (
+        GatewayApp,
+        GatewayServer,
+        HttpLoadGenerator,
+        TenantRegistry,
+        WorldManifest,
+        build_runtime,
+        build_world,
+        fetch_json,
+        open_tenancy_store,
+        save_manifest,
+    )
+
+    journal_dir = tempfile.mkdtemp()
+    manifest = WorldManifest(seed=11, users=24, shards=2)
+    save_manifest(journal_dir, manifest)
+    gw_platform = build_world(manifest)
+    gw_runtime = build_runtime(gw_platform, manifest,
+                               journal_dir=journal_dir)
+    tenancy_store = open_tenancy_store(journal_dir)
+    tenants = TenantRegistry(gw_platform, tenancy_store)
+    server = GatewayServer(GatewayApp(gw_platform, gw_runtime, tenants,
+                                      manifest))
+    gw_runtime.start()
+    server.start()
+    try:
+        assert fetch_json(server.url, "/healthz")["status"] == "ok"
+        org = tenants.create_org("acme", 40.0)
+        assert fetch_json(
+            server.url, f"/v1/orgs/{org.org_id}")["name"] == "acme"
+        report = HttpLoadGenerator(
+            server.url,
+            config=LoadConfig(rps=200, duration_s=0.4, seed=7),
+        ).run()
+        assert report.tally.errors == 0
+    finally:
+        server.stop()
+        gw_runtime.stop()
+        for shard in gw_runtime.router.shards:
+            shard.store.close()
+        tenancy_store.close()
