@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test equivalence bench bench-perf check service-smoke
+.PHONY: test equivalence bench bench-perf check service-smoke scale-smoke
 
 ## Tier-1 test suite (the gate every change must keep green).
 test:
@@ -19,6 +19,15 @@ bench:
 ## Delivery throughput tiers with real pytest-benchmark statistics.
 bench-perf:
 	$(PYTHON) -m pytest benchmarks/bench_perf_throughput.py --benchmark-only
+
+## The columnar scale tiers: the 100k-user sweep CI runs under a hard
+## RSS ceiling, then the full million-user proof (about five single-core
+## minutes; numbers land in benchmarks/perf_trajectory.json scale_1m).
+scale-smoke:
+	$(PYTHON) -m pytest -q \
+		benchmarks/bench_scale_1m.py::test_scale_100k_columnar_sweep \
+		--benchmark-disable
+	$(PYTHON) -m repro populate --users 100000 --columnar --stats
 
 ## The gateway kill drill + 60s HTTP/in-process equivalence soak, both
 ## serving backends (what the CI service-smoke matrix runs).

@@ -295,6 +295,23 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the latency histogram + tally "
                               "JSON to FILE")
 
+    populate = commands.add_parser(
+        "populate", help="stream a persona-mix population into a "
+                         "(optionally columnar) world and report its "
+                         "storage footprint"
+    )
+    populate.add_argument("--users", type=int, default=100_000,
+                          help="population size")
+    populate.add_argument("--columnar", action="store_true",
+                          help="use the packed-numpy columnar user "
+                               "store (PlatformConfig.columnar_users)")
+    populate.add_argument("--stats", action="store_true",
+                          help="print the store's shape/size summary "
+                               "after populating")
+    populate.add_argument("--seed", type=int, default=42)
+    populate.add_argument("--chunk-size", type=int, default=10_000,
+                          help="users spawned per streamed chunk")
+
     checkpoint = commands.add_parser(
         "checkpoint", help="journal a deterministic sharded run, "
                            "snapshot mid-run, record the final state"
@@ -932,6 +949,56 @@ def _serve_rounds(platform, router, rounds: int, slots: int) -> None:
                 shard.serve_user_slots(user, base, slots)
 
 
+def _cmd_populate(args: argparse.Namespace) -> int:
+    import time
+
+    if args.users < 1:
+        print("populate: --users must be >= 1", file=sys.stderr)
+        return 2
+    platform = AdPlatform(
+        config=PlatformConfig(name="populate",
+                              columnar_users=args.columnar),
+        catalog=build_us_catalog(),
+    )
+    builder = PopulationBuilder(platform, seed=args.seed)
+    personas = [AVERAGE_CONSUMER, ESTABLISHED_PROFESSIONAL,
+                RECENT_ARRIVAL_GRAD_STUDENT]
+    started = time.perf_counter()
+    spawned = 0
+    for chunk in builder.spawn_stream(personas, args.users,
+                                      chunk_size=args.chunk_size):
+        spawned += len(chunk)
+    builder.finalize()
+    elapsed = time.perf_counter() - started
+
+    store_kind = "columnar" if args.columnar else "legacy"
+    rows: List[Tuple[str, str]] = [
+        ("store", store_kind),
+        ("users", f"{spawned:,}"),
+        ("populate (s)", f"{elapsed:.2f}"),
+        ("users/s", f"{spawned / elapsed:,.0f}" if elapsed > 0
+         else "inf"),
+    ]
+    if args.stats:
+        if args.columnar:
+            stats = platform.users.stats()
+            rows.extend([
+                ("binary attr vocab", str(stats["binary_attr_vocab"])),
+                ("page vocab", str(stats["page_vocab"])),
+                ("multi columns", str(stats["multi_columns"])),
+                ("column bytes", f"{stats['column_bytes']:,}"),
+                ("attr bitset density",
+                 f"{stats['attr_bitset_density']:.4f}"),
+                ("dense ids", str(stats["dense_ids"])),
+            ])
+        else:
+            rows.append(("stats", "columnar-only; rerun with "
+                                  "--columnar"))
+    print(format_table(("metric", "value"), rows,
+                       title=f"populate — {store_kind} store"))
+    return 0
+
+
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
     import os
 
@@ -1221,6 +1288,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_gateway(args)
     if args.command == "httpgen":
         return _cmd_httpgen(args)
+    if args.command == "populate":
+        return _cmd_populate(args)
     if args.command == "checkpoint":
         return _cmd_checkpoint(args)
     if args.command == "restore":

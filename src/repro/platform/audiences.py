@@ -28,7 +28,10 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import AudienceError, AudienceTooSmallError, StoreError
+from repro.platform import bitset
 from repro.platform.attributes import AttributeCatalog
 from repro.platform.pii import PIIRecord, validate_upload
 from repro.platform.pixels import PixelRegistry
@@ -148,6 +151,11 @@ class AudienceRegistry:
         self.min_custom_audience_size = min_custom_audience_size
         self.reach_floor = reach_floor
         self.reach_quantum = reach_quantum
+        #: Columnar user stores expose membership as row bitsets; the
+        #: registry then resolves set algebra with bitwise ops.
+        self._columnar = hasattr(users, "attribute_bitset")
+        #: audience_id -> ((users epoch, pixels seq), member count).
+        self._count_cache: Dict[str, Tuple[Tuple[int, int], int]] = {}
 
     @property
     def store(self) -> StateStore:
@@ -391,6 +399,8 @@ class AudienceRegistry:
         if audience.kind is AudienceKind.PIXEL:
             assert audience.pixel_id is not None
             return self._pixels.visitors(audience.pixel_id)
+        if self._columnar:
+            return self._users.rows_to_ids(self.member_bitset(audience_id))
         if audience.kind is AudienceKind.KEYWORD:
             return self._keyword_members(audience)
         if audience.kind is AudienceKind.LOOKALIKE:
@@ -401,6 +411,70 @@ class AudienceRegistry:
             for profile in self._users
             if audience.page_id in profile.liked_pages
         }
+
+    def member_bitset(self, audience_id: str) -> np.ndarray:
+        """Membership as a bitset over the columnar store's rows.
+
+        Columnar worlds only. Dynamic kinds become column algebra: page
+        audiences are one column extraction, keyword audiences a union of
+        attribute columns, lookalikes a vectorized popcount of shared
+        attributes against each seed row — no per-profile Python loop.
+        """
+        if not self._columnar:
+            raise AudienceError(
+                "member_bitset needs a columnar user store")
+        store = self._users
+        nrows = len(store)
+        audience = self.get(audience_id)
+        if audience.kind is AudienceKind.PII:
+            rows = [store.row_of(uid) for uid in audience._matched_user_ids]
+            return bitset.from_indices(
+                [r for r in rows if r is not None], nrows)
+        if audience.kind is AudienceKind.PIXEL:
+            assert audience.pixel_id is not None
+            rows = [store.row_of(uid)
+                    for uid in self._pixels.visitors(audience.pixel_id)]
+            return bitset.from_indices(
+                [r for r in rows if r is not None], nrows)
+        if audience.kind is AudienceKind.PAGE:
+            assert audience.page_id is not None
+            return store.page_bitset(audience.page_id)
+        if audience.kind is AudienceKind.KEYWORD:
+            assert self._catalog is not None
+            matched: Set[str] = set()
+            for phrase in audience.phrases:
+                for attribute in self._catalog.search(phrase):
+                    matched.add(attribute.attr_id)
+            return bitset.union_all(
+                [store.attribute_bitset(attr_id) for attr_id in matched],
+                nrows)
+        assert audience.seed_audience_id is not None
+        return self._lookalike_bitset(audience, nrows)
+
+    def _lookalike_bitset(self, audience: Audience,
+                          nrows: int) -> np.ndarray:
+        """Vectorized lookalike expansion over the attribute matrix.
+
+        For each seed row, AND its attribute bitset against every user's
+        row and popcount — users sharing >= threshold binary attributes
+        with any seed member join (seed members included, as in the
+        object path).
+        """
+        seed_bits = self.member_bitset(audience.seed_audience_id)
+        cols = self._users.columns
+        matrix = cols.attr_bits[:nrows]
+        threshold = audience.similarity_threshold
+        mask = np.zeros(nrows, dtype=bool)
+        for seed_row in bitset.iter_indices(seed_bits):
+            row_bits = matrix[seed_row]
+            if bitset.popcount(row_bits) < threshold:
+                continue
+            shared = bitset.row_popcounts(matrix & row_bits)
+            mask |= shared >= threshold
+        packed = np.packbits(mask.astype(np.uint8), bitorder="little")
+        out = bitset.make_bitset(nrows)
+        out.view(np.uint8)[: packed.size] = packed
+        return bitset.union(out, seed_bits)
 
     def _keyword_members(self, audience: Audience) -> Set[str]:
         """Platform-internal keyword match: phrase -> attributes -> users."""
@@ -419,6 +493,15 @@ class AudienceRegistry:
 
     def is_member(self, audience_id: str, user_id: str) -> bool:
         """The :data:`~repro.platform.targeting.AudienceResolver` hook."""
+        audience = self.get(audience_id)
+        if audience.kind is AudienceKind.PII:
+            return user_id in audience._matched_user_ids
+        if self._columnar and audience.kind is AudienceKind.PAGE:
+            # O(1) bit probe instead of materializing the page column.
+            assert audience.page_id is not None
+            row = self._users.row_of(user_id)
+            return (row is not None
+                    and self._users.columns.has_page(row, audience.page_id))
         return user_id in self.members(audience_id)
 
     def cached_resolver(self) -> Callable[[str, str], bool]:
@@ -436,6 +519,20 @@ class AudienceRegistry:
         page likes, pixel fires, or PII uploads. Callers that cannot
         guarantee that must use :meth:`is_member`.
         """
+        if self._columnar:
+            store = self._users
+            bit_snapshots: Dict[str, np.ndarray] = {}
+
+            def resolve_bits(audience_id: str, user_id: str) -> bool:
+                bits = bit_snapshots.get(audience_id)
+                if bits is None:
+                    bits = self.member_bitset(audience_id)
+                    bit_snapshots[audience_id] = bits
+                row = store.row_of(user_id)
+                return row is not None and bitset.test_bit(bits, row)
+
+            return resolve_bits
+
         snapshots: Dict[str, Set[str]] = {}
 
         def resolve(audience_id: str, user_id: str) -> bool:
@@ -456,12 +553,41 @@ class AudienceRegistry:
         audience = self.get(audience_id)
         if audience.kind is AudienceKind.PAGE:
             return
-        size = len(self.members(audience_id))
+        size = self.membership_count(audience_id)
         if size < self.min_custom_audience_size:
             raise AudienceTooSmallError(
                 f"audience {audience_id!r} has {size} members; platform "
                 f"minimum is {self.min_custom_audience_size}"
             )
+
+    def membership_count(self, audience_id: str) -> int:
+        """Current member count, cached against the world's mutation state.
+
+        PII audiences are frozen, so their count is just the set's size.
+        Dynamic kinds key a cached count on ``(users.mutation_epoch,
+        pixels.mutation_seq)`` — valid as long as mutations flow through
+        the store APIs (``set_attribute`` on a registered profile,
+        ``like_page``, ``attach_pii``, pixel fires), which bump those
+        counters. Columnar worlds count via popcount of the member bitset;
+        either way, a repeated reach probe of an unchanged world is O(1).
+        """
+        audience = self.get(audience_id)
+        if audience.kind is AudienceKind.PII:
+            return len(audience._matched_user_ids)
+        users_epoch = getattr(self._users, "mutation_epoch", None)
+        if users_epoch is None:
+            # A store without an epoch gives us nothing to key on.
+            return len(self.members(audience_id))
+        key = (users_epoch, self._pixels.mutation_seq)
+        cached = self._count_cache.get(audience_id)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        if self._columnar:
+            count = bitset.popcount(self.member_bitset(audience_id))
+        else:
+            count = len(self.members(audience_id))
+        self._count_cache[audience_id] = (key, count)
+        return count
 
     def _lookalike_members(self, audience: Audience) -> Set[str]:
         """Expand a seed audience by binary-attribute overlap.
@@ -487,9 +613,13 @@ class AudienceRegistry:
     # -- advertiser-facing -------------------------------------------------
 
     def estimated_reach(self, audience_id: str) -> ReachEstimate:
-        """Rounded potential reach, the only size signal advertisers get."""
+        """Rounded potential reach, the only size signal advertisers get.
+
+        Served from :meth:`membership_count`'s epoch-keyed cache — the
+        advertiser polling reach in a loop no longer re-materializes the
+        audience each time."""
         return round_reach(
-            len(self.members(audience_id)),
+            self.membership_count(audience_id),
             floor=self.reach_floor,
             quantum=self.reach_quantum,
         )

@@ -65,13 +65,26 @@ class BillingLedger:
     handled_kinds: Tuple[str, ...] = (ChargeRecorded.kind,)
 
     def __init__(self, inventory: AdInventory,
-                 store: Optional[StateStore] = None):
+                 store: Optional[StateStore] = None,
+                 compact: bool = False):
         self._inventory = inventory
         self._store = store if store is not None else MemoryStore()
         self._store.attach(self)
+        #: Compact (million-user) mode: keep only the aggregates below —
+        #: never the per-impression charge log. Invoices and per-account
+        #: spend are aggregate-built in both modes (float-identical to
+        #: a scan, since both add amounts in charge order); compact only
+        #: drops the log itself, so ``all_charges``/``state_dump`` — the
+        #: APIs that *are* the log — raise.
+        self._compact = compact
         self._charges: List[ChargeRecord] = []
         self._spend_by_ad: Dict[str, float] = defaultdict(float)
         self._impressions_by_ad: Dict[str, int] = defaultdict(int)
+        self._spend_by_account: Dict[str, float] = defaultdict(float)
+        self._impressions_by_account: Dict[str, int] = defaultdict(int)
+        #: ad_id -> billing account, in first-charge order (rebuilds the
+        #: invoice's per-ad breakdown without the charge log).
+        self._account_by_ad: Dict[str, str] = {}
         reg = obs_registry()
         self._obs_on = reg.enabled
         self._obs_charged = reg.counter("billing.impressions_charged")
@@ -126,9 +139,13 @@ class BillingLedger:
 
     def _fold_charge(self, record: ChargeRecord) -> None:
         """Log + aggregate one charge (shared by live path and replay)."""
-        self._charges.append(record)
+        if not self._compact:
+            self._charges.append(record)
         self._spend_by_ad[record.ad_id] += record.amount
         self._impressions_by_ad[record.ad_id] += 1
+        self._spend_by_account[record.account_id] += record.amount
+        self._impressions_by_account[record.account_id] += 1
+        self._account_by_ad.setdefault(record.ad_id, record.account_id)
 
     def apply_record(self, record: ChangeRecord) -> None:
         """Replay one journaled charge: deduct the budget and fold the
@@ -165,6 +182,9 @@ class BillingLedger:
         return list(self._inventory.accounts())
 
     def state_dump(self) -> Dict[str, Any]:
+        if self._compact:
+            raise StoreError(
+                "compact billing ledger does not retain the charge log")
         return {
             "charges": [record_to_dict(r) for r in self._charges],
             "budgets": {
@@ -181,6 +201,9 @@ class BillingLedger:
         self._charges = []
         self._spend_by_ad = defaultdict(float)
         self._impressions_by_ad = defaultdict(int)
+        self._spend_by_account = defaultdict(float)
+        self._impressions_by_account = defaultdict(int)
+        self._account_by_ad = {}
         for data in state.get("charges", []):
             record = record_from_dict(dict(data))
             if not isinstance(record, ChargeRecorded):
@@ -199,10 +222,7 @@ class BillingLedger:
         return self._impressions_by_ad.get(ad_id, 0)
 
     def spend_for_account(self, account_id: str) -> float:
-        return sum(
-            record.amount for record in self._charges
-            if record.account_id == account_id
-        )
+        return self._spend_by_account.get(account_id, 0.0)
 
     def effective_cpm(self, ad_id: str) -> float:
         """Realised dollars per thousand impressions for one ad."""
@@ -222,15 +242,17 @@ class BillingLedger:
         platform (e.g., for billing purposes)").
         """
         invoice = Invoice(account_id=account_id)
-        for record in self._charges:
-            if record.account_id != account_id:
-                continue
-            invoice.total += record.amount
-            invoice.impressions += 1
-            invoice.by_ad[record.ad_id] = (
-                invoice.by_ad.get(record.ad_id, 0.0) + record.amount
-            )
+        invoice.total = self._spend_by_account.get(account_id, 0.0)
+        invoice.impressions = self._impressions_by_account.get(account_id, 0)
+        invoice.by_ad = {
+            ad_id: self._spend_by_ad[ad_id]
+            for ad_id, owner in self._account_by_ad.items()
+            if owner == account_id
+        }
         return invoice
 
     def all_charges(self) -> List[ChargeRecord]:
+        if self._compact:
+            raise StoreError(
+                "compact billing ledger does not retain the charge log")
         return list(self._charges)

@@ -39,10 +39,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import StoreError
 from repro.obs import events as obs_events
 from repro.obs import tracing as obs_tracing
 from repro.obs.metrics import MetricsRegistry, registry as obs_registry
+from repro.platform import bitset
 from repro.platform.ads import Ad, AdImage, AdInventory, AdStatus
 from repro.platform.auction import AuctionOutcome, CompetingBidDraw, run_auction
 from repro.platform.audiences import AudienceRegistry
@@ -150,11 +153,15 @@ class DeliveryEngine:
         metrics: Optional[MetricsRegistry] = None,
         engine_id: Optional[str] = None,
         store: Optional[StateStore] = None,
+        compact: bool = False,
     ):
         if frequency_cap < 1:
             raise ValueError("frequency cap must be >= 1")
         if min_match_count < 0:
             raise ValueError("min match count cannot be negative")
+        if compact and frequency_cap != 1:
+            raise ValueError("compact delivery requires a frequency cap "
+                             "of 1")
         self.engine_id = (engine_id if engine_id is not None
                           else f"engine-{next(_ENGINE_IDS)}")
         self._store = store if store is not None else MemoryStore()
@@ -167,8 +174,21 @@ class DeliveryEngine:
         self.floor_price = floor_price_cpm / 1000.0
         self.min_match_count = min_match_count
         self._user_store: Optional[UserStore] = None
+        #: Columnar stores expose ``row_of``; bound once at attach time.
+        self._row_of: Optional[Any] = None
         self._match_count_cache: Dict[str, int] = {}
         self._impression_seq = 0
+        #: Million-user memory mode: per-impression structures (logs,
+        #: feeds, per-pair cap counts) are replaced by per-ad shown-user
+        #: bitsets plus count aggregates. Deliver-iff-match and the
+        #: cap-of-1 invariant are unchanged; the APIs that *are* the
+        #: per-impression state raise StoreError instead of lying.
+        self._compact = compact
+        #: Compact mode: ad_id -> bitset of user rows already shown.
+        self._shown_bits: Dict[str, np.ndarray] = {}
+        self._impression_count = 0
+        self._impression_count_by_ad: Dict[str, int] = {}
+        self._click_count = 0
         self._impressions: List[Impression] = []
         self._clicks: List[Click] = []
         self._feeds: Dict[str, List[DeliveredAd]] = defaultdict(list)
@@ -188,6 +208,11 @@ class DeliveryEngine:
         self._index_by_page: Dict[str, List[tuple]] = {}
         #: Ads with no attribute/page anchor — evaluated for every slot.
         self._index_general: List[tuple] = []
+        # -- columnar (code-keyed) bucket maps (see _sync_code_maps) -------
+        self._code_maps_key: Optional[tuple] = None
+        self._attr_code_buckets: Dict[int, List[tuple]] = {}
+        self._multi_anchor_cols: List[tuple] = []
+        self._page_code_buckets: Dict[int, List[tuple]] = {}
         #: Resolver in force for spec evaluation. Delivery runs swap in a
         #: snapshot resolver (one membership materialization per audience
         #: per run); one-off serve_slot calls use the live resolver.
@@ -229,8 +254,10 @@ class DeliveryEngine:
 
     def attach_user_store(self, users: UserStore) -> None:
         """Wire the platform's user store (needed for the narrow-targeting
-        defense's match counting)."""
+        defense's match counting, and for compact mode's user-row
+        bitsets)."""
         self._user_store = users
+        self._row_of = getattr(users, "row_of", None)
 
     def _matches_enough_users(self, ad: Ad, matcher: CompiledSpec) -> bool:
         """Narrow-targeting defense: an ad whose full spec matches fewer
@@ -287,8 +314,14 @@ class DeliveryEngine:
 
         Every ad lives in exactly one bucket, so the union is
         duplicate-free: the buckets anchored on the user's own attributes
-        and page likes, plus the general bucket.
+        and page likes, plus the general bucket. Columnar users
+        (:class:`~repro.platform.colstore.UserView`) take the bitmap
+        path: their set attribute/page *codes* are probed against
+        code-keyed bucket maps, skipping the string round-trip entirely.
         """
+        row = getattr(user, "row", None)
+        if row is not None:
+            return self._candidate_buckets_columnar(user, row)
         buckets: List[List[tuple]] = []
         by_attr = self._index_by_attr
         if by_attr:
@@ -300,6 +333,68 @@ class DeliveryEngine:
         if by_page:
             for page_id in user.liked_pages:
                 bucket = by_page.get(page_id)
+                if bucket is not None:
+                    buckets.append(bucket)
+        if self._index_general:
+            buckets.append(self._index_general)
+        return buckets
+
+    def _sync_code_maps(self, cols: Any) -> None:
+        """Key the anchor buckets by the column store's integer codes.
+
+        Bucket lists are shared (appended to in place by
+        :meth:`_ensure_index`), so the maps stay current until either
+        new ads create new anchors or the store interns new attribute/
+        page codes — both visible in the cache key below.
+        """
+        key = (id(cols), self._indexed_ad_count, len(cols.attrs),
+               len(cols.pages), len(cols.multi_cols))
+        if self._code_maps_key == key:
+            return
+        attr_map: Dict[int, List[tuple]] = {}
+        multi_anchors: List[tuple] = []
+        for attr_id, bucket in self._index_by_attr.items():
+            code = cols.attrs.get(attr_id)
+            if code is not None:
+                attr_map[code] = bucket
+            col = cols.multi_cols.get(attr_id)
+            if col is not None:
+                multi_anchors.append((col, bucket))
+        page_map: Dict[int, List[tuple]] = {}
+        for page_id, bucket in self._index_by_page.items():
+            code = cols.pages.get(page_id)
+            if code is not None:
+                page_map[code] = bucket
+        self._attr_code_buckets = attr_map
+        self._multi_anchor_cols = multi_anchors
+        self._page_code_buckets = page_map
+        self._code_maps_key = key
+
+    def _candidate_buckets_columnar(self, user: Any,
+                                    row: int) -> List[List[tuple]]:
+        """Bitmap candidate collection: probe the user's row directly.
+
+        The row's set attribute codes (one ``to_indices`` over its
+        bitset) and assigned multi columns index straight into the
+        code-keyed bucket maps — no attribute-id strings are
+        materialized on this path.
+        """
+        cols = user.columns
+        self._sync_code_maps(cols)
+        buckets: List[List[tuple]] = []
+        attr_map = self._attr_code_buckets
+        if attr_map:
+            for code in cols.attr_codes_of(row):
+                bucket = attr_map.get(int(code))
+                if bucket is not None:
+                    buckets.append(bucket)
+        for col, bucket in self._multi_anchor_cols:
+            if col[row]:
+                buckets.append(bucket)
+        page_map = self._page_code_buckets
+        if page_map:
+            for code in bitset.to_indices(cols.page_bits[row]):
+                bucket = page_map.get(int(code))
                 if bucket is not None:
                     buckets.append(bucket)
         if self._index_general:
@@ -333,9 +428,30 @@ class DeliveryEngine:
                     matched.append(entry)
         if self._obs_on:
             self._obs_bucket_size.observe(candidates)
+        if self._compact and matched:
+            # Compact mode keeps no per-pair cap counts: ads already
+            # shown (cap of 1) are filtered here, at match time, via the
+            # per-ad shown bitsets. Within a session the cache pruning in
+            # _apply_impression keeps the list current, so the slot path
+            # needs no cap check at all.
+            row = self._compact_row(user.user_id)
+            if row is not None:
+                matched = [entry for entry in matched
+                           if not self._shown_to(entry[0].ad_id, row)]
         if cache is not None:
             cache[user.user_id] = matched
         return matched
+
+    def _compact_row(self, user_id: str) -> Optional[int]:
+        if self._row_of is None:
+            raise StoreError(
+                f"{self.engine_id}: compact delivery needs a columnar "
+                "user store attached")
+        return self._row_of(user_id)
+
+    def _shown_to(self, ad_id: str, row: int) -> bool:
+        bits = self._shown_bits.get(ad_id)
+        return bits is not None and bitset.test_bit(bits, row)
 
     def _slot_contenders(self, user: UserProfile) -> Tuple[List[Ad], bool]:
         """Eligible ads for one slot, already deduplicated per account.
@@ -442,6 +558,9 @@ class DeliveryEngine:
         """
         if ad is None:
             ad = self._inventory.ad(impression.ad_id)
+        if self._compact:
+            self._apply_impression_compact(impression, ad)
+            return
         self._impressions.append(impression)
         # Reporting views, maintained at delivery time so report reads
         # never scan the full impression log.
@@ -487,6 +606,43 @@ class DeliveryEngine:
                 impression_seq=impression.seq,
             )
         )
+
+    def _apply_impression_compact(self, impression: Impression,
+                                  ad: Ad) -> None:
+        """Compact fold: one bit and three counters per impression.
+
+        Setting the user's bit in the ad's shown bitset *is* the cap
+        state, the reach set, and the per-pair count all at once (cap of
+        1 makes them coincide). No log entry, no feed entry.
+        """
+        row = self._compact_row(impression.user_id)
+        if row is None:
+            raise StoreError(
+                f"{self.engine_id}: impression for unknown user "
+                f"{impression.user_id!r} in compact mode")
+        assert self._user_store is not None
+        bits = self._shown_bits.get(impression.ad_id)
+        if bits is None:
+            bits = bitset.make_bitset(len(self._user_store))
+            self._shown_bits[impression.ad_id] = bits
+        if row >= bits.shape[0] * bitset.WORD_BITS:
+            bits = bitset.ensure_width(bits, row + 1)
+            self._shown_bits[impression.ad_id] = bits
+        bitset.set_bit(bits, row)
+        self._impression_count += 1
+        self._impression_count_by_ad[impression.ad_id] = (
+            self._impression_count_by_ad.get(impression.ad_id, 0) + 1)
+        if impression.seq >= self._impression_seq:
+            self._impression_seq = impression.seq + 1
+        cache = self._match_cache
+        if cache is not None:
+            matched = cache.get(impression.user_id)
+            if matched is not None:
+                if self._obs_on:
+                    self._obs_pruned.inc()
+                cache[impression.user_id] = [
+                    entry for entry in matched if entry[0] is not ad
+                ]
 
     @contextmanager
     def serving_session(self) -> Iterator["DeliveryEngine"]:
@@ -617,26 +773,51 @@ class DeliveryEngine:
 
     # -- views ---------------------------------------------------------------
 
+    def _require_full_logs(self, operation: str) -> None:
+        if self._compact:
+            raise StoreError(
+                f"{self.engine_id}: compact delivery does not retain "
+                f"per-impression state ({operation})")
+
     def feed(self, user_id: str) -> List[DeliveredAd]:
         """The ads a user has seen, in delivery order (user-visible)."""
+        self._require_full_logs("feed")
         return list(self._feeds[user_id])
 
     def impressions(self) -> List[Impression]:
         """Platform-internal impression log (reporting reads this)."""
+        self._require_full_logs("impressions")
         return list(self._impressions)
 
     def impressions_for_ad(self, ad_id: str) -> List[Impression]:
+        self._require_full_logs("impressions_for_ad")
         return list(self._impressions_by_ad.get(ad_id, ()))
+
+    def impression_count(self) -> int:
+        """Total delivered impressions (works in both modes)."""
+        if self._compact:
+            return self._impression_count
+        return len(self._impressions)
+
+    def impression_count_for_ad(self, ad_id: str) -> int:
+        if self._compact:
+            return self._impression_count_by_ad.get(ad_id, 0)
+        return len(self._impressions_by_ad.get(ad_id, ()))
 
     def record_click(self, user_id: str, ad_id: str) -> None:
         """Record a click; only users who actually received the ad can
         click it (anything else is a caller bug, not ad traffic)."""
-        if self._shown_counts.get((ad_id, user_id), 0) == 0:
+        if self._compact:
+            row = self._compact_row(user_id)
+            shown = row is not None and self._shown_to(ad_id, row)
+        else:
+            shown = self._shown_counts.get((ad_id, user_id), 0) > 0
+        if not shown:
             raise ValueError(
                 f"user {user_id!r} never received ad {ad_id!r}"
             )
         click = Click(ad_id=ad_id, user_id=user_id,
-                      click_seq=len(self._clicks))
+                      click_seq=self._click_count)
         self._store.append(click)
         self._apply_click(click)
         self._obs_clicks.inc()
@@ -648,7 +829,9 @@ class DeliveryEngine:
     def _apply_click(self, click: Click) -> None:
         """Fold one click into the log and the per-ad view (shared by
         the live path, restore, import, and replay)."""
-        self._clicks.append(click)
+        if not self._compact:
+            self._clicks.append(click)
+        self._click_count += 1
         self._clicks_by_ad[click.ad_id] = (
             self._clicks_by_ad.get(click.ad_id, 0) + 1
         )
@@ -665,6 +848,7 @@ class DeliveryEngine:
 
     def clicks(self) -> List[Click]:
         """Platform-internal click log, in click order."""
+        self._require_full_logs("clicks")
         return list(self._clicks)
 
     def clicks_for_ad(self, ad_id: str) -> int:
@@ -672,10 +856,20 @@ class DeliveryEngine:
 
     def unique_reach(self, ad_id: str) -> Set[str]:
         """Distinct users reached by an ad (platform-internal)."""
+        if self._compact:
+            bits = self._shown_bits.get(ad_id)
+            if bits is None:
+                return set()
+            assert self._user_store is not None
+            return self._user_store.rows_to_ids(bits)
         return set(self._reach_by_ad.get(ad_id, ()))
 
     def reach_count(self, ad_id: str) -> int:
-        """Number of distinct users reached — O(1), no set copy."""
+        """Number of distinct users reached — O(1), no set copy (one
+        popcount in compact mode)."""
+        if self._compact:
+            bits = self._shown_bits.get(ad_id)
+            return 0 if bits is None else bitset.popcount(bits)
         return len(self._reach_by_ad.get(ad_id, ()))
 
     # -- state snapshot / migration ------------------------------------------
@@ -687,6 +881,25 @@ class DeliveryEngine:
         serving layer surfaces one per shard, keyed by ``engine_id``, so
         an imbalanced or double-delivering shard is visible at a glance.
         """
+        if self._compact:
+            nbits = (len(self._user_store)
+                     if self._user_store is not None else 0)
+            reached = bitset.union_all(
+                list(self._shown_bits.values()), nbits)
+            return {
+                "engine_id": self.engine_id,
+                "impressions": self._impression_count,
+                "clicks": self._click_count,
+                "users_with_feeds": 0,
+                "users_reached": bitset.popcount(reached),
+                "ads_delivered": len(self._shown_bits),
+                "capped_pairs": sum(
+                    bitset.popcount(bits)
+                    for bits in self._shown_bits.values()
+                ),
+                "indexed_ads": self._indexed_ad_count,
+                "in_session": self._match_cache is not None,
+            }
         return {
             "engine_id": self.engine_id,
             "impressions": len(self._impressions),
@@ -748,6 +961,7 @@ class DeliveryEngine:
         feeds are not exported, they are rebuilt from the impressions
         and the shared inventory on import.
         """
+        self._require_full_logs("export state")
         if user_ids is None:
             impressions: List[Impression] = self._impressions
             clicks: List[Click] = self._clicks
@@ -779,6 +993,7 @@ class DeliveryEngine:
         serving windows).
         """
         self._require_out_of_session("import state")
+        self._require_full_logs("import state")
         self._fold_state(state, journal=True)
 
     def _fold_state(self, state: Dict[str, Any], journal: bool) -> None:
@@ -832,6 +1047,10 @@ class DeliveryEngine:
         self._impressions_by_ad = {}
         self._reach_by_ad = {}
         self._clicks_by_ad = {}
+        self._shown_bits = {}
+        self._impression_count = 0
+        self._impression_count_by_ad = {}
+        self._click_count = 0
         self._fold_state(state, journal=False)
         seq = state.get("impression_seq")
         if isinstance(seq, int) and seq > self._impression_seq:

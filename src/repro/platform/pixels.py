@@ -51,6 +51,13 @@ class PixelRegistry:
 
     _pixels: Dict[str, TrackingPixel] = field(default_factory=dict)
     _events: Dict[str, List[PixelEvent]] = field(default_factory=dict)
+    _mutation_seq: int = 0
+
+    @property
+    def mutation_seq(self) -> int:
+        """Bumped whenever an event lands; pixel-audience reach caches
+        key on it (together with the user store's epoch)."""
+        return self._mutation_seq
 
     def issue(self, pixel_id: str, owner_account_id: str,
               label: str = "") -> TrackingPixel:
@@ -89,6 +96,8 @@ class PixelRegistry:
             )
             self._events[pixel_id].append(event)
             fired.append(event)
+        if fired:
+            self._mutation_seq += 1
         return fired
 
     def events(self, pixel_id: str) -> List[PixelEvent]:

@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
 
-from repro.errors import AccountError, TargetingError
+from repro.errors import AccountError, StoreError, TargetingError
 from repro.ids import IdFactory
 from repro.obs import events as obs_events
 from repro.obs.metrics import registry as obs_registry
@@ -43,6 +43,7 @@ from repro.platform.audiences import Audience, AudienceRegistry, ReachEstimate
 from repro.platform.auction import CompetingBidDraw
 from repro.platform.billing import BillingLedger, Invoice
 from repro.platform.catalog import build_us_catalog
+from repro.platform.colstore import ColumnarUserStore, UserView
 from repro.platform.databroker import BrokerNetwork, IngestReport
 from repro.platform.delivery import DeliveredAd, DeliveryEngine, DeliveryStats
 from repro.platform.explanations import AdExplanation, ExplanationService
@@ -115,6 +116,18 @@ class PlatformConfig:
     competition_median_cpm: float = 2.0
     competition_sigma: float = 0.5
     reporting: ReportingConfig = field(default_factory=ReportingConfig)
+    #: Back the user base with the columnar store
+    #: (:mod:`repro.platform.colstore`): numpy attribute matrices and
+    #: bitset audience algebra instead of per-user Python objects. The
+    #: platform API is unchanged; ``register_user`` returns a
+    #: :class:`~repro.platform.colstore.UserView`.
+    columnar_users: bool = False
+    #: Million-user memory mode: delivery keeps per-ad shown-user bitsets
+    #: and count aggregates instead of per-impression logs, and billing
+    #: keeps per-account/per-ad aggregates instead of the charge list.
+    #: Requires ``columnar_users`` and ``frequency_cap == 1``; APIs that
+    #: would need the dropped per-event state raise ``StoreError``.
+    compact_delivery: bool = False
 
 
 class AdPlatform:
@@ -134,7 +147,17 @@ class AdPlatform:
         # platform (audiences, billing, delivery): pass a JournalStore
         # for a durable write-ahead journal, default is in-memory.
         self.store = store if store is not None else MemoryStore()
-        self.users = UserStore()
+        if self.config.compact_delivery and not (
+                self.config.columnar_users
+                and self.config.frequency_cap == 1):
+            raise StoreError(
+                "compact_delivery requires columnar_users and a frequency "
+                "cap of 1")
+        self.users: Union[UserStore, ColumnarUserStore]
+        if self.config.columnar_users:
+            self.users = ColumnarUserStore(store=self.store)
+        else:
+            self.users = UserStore()
         self.pixels = PixelRegistry()
         self.audiences = AudienceRegistry(
             users=self.users,
@@ -146,7 +169,10 @@ class AdPlatform:
             store=self.store,
         )
         self.inventory = AdInventory()
-        self.ledger = BillingLedger(self.inventory, store=self.store)
+        self.ledger = BillingLedger(
+            self.inventory, store=self.store,
+            compact=self.config.compact_delivery,
+        )
         self.policy = PolicyEngine(
             self.catalog, strictness=self.config.policy_strictness
         )
@@ -164,6 +190,7 @@ class AdPlatform:
             floor_price_cpm=self.config.floor_price_cpm,
             min_match_count=self.config.min_delivery_match_count,
             store=self.store,
+            compact=self.config.compact_delivery,
         )
         self.delivery.attach_user_store(self.users)
         self.reporting = ReportingService(
@@ -207,16 +234,26 @@ class AdPlatform:
         age: int = 30,
         gender: str = "unknown",
         zip_code: str = "00000",
-    ) -> UserProfile:
-        """Create a platform user account."""
+    ) -> Union[UserProfile, UserView]:
+        """Create a platform user account.
+
+        Columnar platforms append a row directly and hand back its
+        :class:`~repro.platform.colstore.UserView` — same read/write
+        API, no transient profile object."""
+        user_id = self.ids.next("user")
+        self._obs_users.inc()
+        if isinstance(self.users, ColumnarUserStore):
+            return self.users.new_user(
+                user_id, country=country, age=age, gender=gender,
+                zip_code=zip_code,
+            )
         profile = UserProfile(
-            user_id=self.ids.next("user"),
+            user_id=user_id,
             country=country,
             age=age,
             gender=gender,
             zip_code=zip_code,
         )
-        self._obs_users.inc()
         return self.users.add(profile)
 
     def browser_for(self, user_id: str) -> Browser:
@@ -228,7 +265,7 @@ class AdPlatform:
     def like_page(self, user_id: str, page_id: str) -> None:
         """User likes a platform page — the validation's opt-in action."""
         self.inventory.page(page_id)
-        self.users.get(user_id).liked_pages.add(page_id)
+        self.users.like_page(user_id, page_id)
 
     def observe_visit(self, visit: Visit) -> None:
         """Fire this platform's pixels present on a visited page.
@@ -533,7 +570,7 @@ class AdPlatform:
 
     def _resolve_users(
         self, user_ids: Optional[Iterable[str]]
-    ) -> List[UserProfile]:
+    ) -> List[Union[UserProfile, UserView]]:
         if user_ids is None:
             return list(self.users)
         return [self.users.get(user_id) for user_id in user_ids]

@@ -14,7 +14,7 @@ subset (see :mod:`repro.platform.adpreferences`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from repro.errors import CatalogError, PIIError
 from repro.hashing import PII_KINDS, hash_pii
@@ -57,6 +57,10 @@ class UserProfile:
     multi_attrs: Dict[str, str] = field(default_factory=dict)
     pii_hashes: Dict[str, Set[str]] = field(default_factory=dict)
     liked_pages: Set[str] = field(default_factory=set)
+    #: Installed by the owning store so attribute writes that happen
+    #: *after* registration keep the store's attribute index current.
+    _listener: Optional[Callable[[str, bool], None]] = field(
+        default=None, repr=False, compare=False)
 
     def has_attribute(self, attr_id: str) -> bool:
         """True when a binary attribute is set (or a multi attr assigned)."""
@@ -100,6 +104,8 @@ class UserProfile:
                     f"binary attribute {attribute.attr_id!r} takes no value"
                 )
             self.binary_attrs.add(attribute.attr_id)
+            if self._listener is not None:
+                self._listener(attribute.attr_id, True)
             return
         if value is None:
             raise CatalogError(
@@ -107,11 +113,15 @@ class UserProfile:
             )
         attribute.value_index(value)  # validates membership
         self.multi_attrs[attribute.attr_id] = value
+        if self._listener is not None:
+            self._listener(attribute.attr_id, True)
 
     def clear_attribute(self, attr_id: str) -> None:
         """Unset an attribute (used by the broker-shutdown scenario)."""
         self.binary_attrs.discard(attr_id)
         self.multi_attrs.pop(attr_id, None)
+        if self._listener is not None:
+            self._listener(attr_id, False)
 
     def set_attributes(self, attrs: Dict[str, Optional[str]],
                        catalog: AttributeCatalog) -> None:
@@ -130,6 +140,10 @@ class UserStore:
     def __init__(self) -> None:
         self._profiles: Dict[str, UserProfile] = {}
         self._pii_index: Dict[str, Set[str]] = {}
+        #: attr_id -> ids of users carrying it (kept current by the
+        #: write-through listener installed on registered profiles).
+        self._attr_index: Dict[str, Set[str]] = {}
+        self._epoch = 0
 
     def __len__(self) -> int:
         return len(self._profiles)
@@ -140,15 +154,46 @@ class UserStore:
     def __contains__(self, user_id: str) -> bool:
         return user_id in self._profiles
 
+    @property
+    def mutation_epoch(self) -> int:
+        """Bumped on every membership-relevant mutation made through the
+        store API; derived caches (audience reach counts) key on it."""
+        return self._epoch
+
     def add(self, profile: UserProfile) -> UserProfile:
-        """Register a profile; re-registering the same id is an error."""
+        """Register a profile; re-registering the same id is an error.
+
+        Profiles carrying PII of an unindexable kind are rejected *before*
+        any state changes, so a bad profile can never leave the store
+        half-registered or the PII index partially built.
+        """
         if profile.user_id in self._profiles:
             raise CatalogError(f"duplicate user id {profile.user_id!r}")
+        for kind in profile.pii_hashes:
+            if kind not in PII_KINDS:
+                raise PIIError(
+                    f"profile {profile.user_id!r} carries unindexed PII "
+                    f"kind {kind!r}")
         self._profiles[profile.user_id] = profile
         for kind, digests in profile.pii_hashes.items():
             for digest in digests:
                 self._index_pii(kind, digest, profile.user_id)
+        for attr_id in profile.attribute_ids():
+            self._attr_index.setdefault(attr_id, set()).add(profile.user_id)
+        user_id = profile.user_id
+        profile._listener = (
+            lambda attr_id, present: self._profile_changed(
+                user_id, attr_id, present))
+        self._epoch += 1
         return profile
+
+    def _profile_changed(self, user_id: str, attr_id: str,
+                         present: bool) -> None:
+        if present:
+            self._attr_index.setdefault(attr_id, set()).add(user_id)
+        else:
+            self._attr_index.get(attr_id, set()).discard(user_id)
+        self._epoch += 1
 
     def get(self, user_id: str) -> UserProfile:
         try:
@@ -167,6 +212,12 @@ class UserStore:
         profile = self.get(user_id)
         profile.add_pii_hash(kind, digest)
         self._index_pii(kind, digest, user_id)
+        self._epoch += 1
+
+    def like_page(self, user_id: str, page_id: str) -> None:
+        """Record a page like (the epoch-honest mutation path)."""
+        self.get(user_id).liked_pages.add(page_id)
+        self._epoch += 1
 
     def _index_pii(self, kind: str, digest: str, user_id: str) -> None:
         self._pii_index.setdefault(f"{kind}:{digest}", set()).add(user_id)
@@ -180,8 +231,15 @@ class UserStore:
         return set(self._pii_index.get(f"{kind}:{digest}", set()))
 
     def users_with_attribute(self, attr_id: str) -> List[UserProfile]:
-        """All profiles with ``attr_id`` set/assigned (platform-internal)."""
-        return [p for p in self._profiles.values() if p.has_attribute(attr_id)]
+        """All profiles with ``attr_id`` set/assigned (platform-internal).
+
+        Served from the write-through attribute index — one bucket probe,
+        not a scan over every profile in the store.
+        """
+        ids = self._attr_index.get(attr_id)
+        if not ids:
+            return []
+        return [self._profiles[uid] for uid in sorted(ids)]
 
     def user_ids(self) -> List[str]:
         return list(self._profiles)

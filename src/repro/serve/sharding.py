@@ -34,6 +34,7 @@ here because they are where "no shared mutable state" costs something:
 from __future__ import annotations
 
 import hashlib
+import json
 import logging
 import math
 import os
@@ -69,6 +70,15 @@ def shard_snapshot_path(directory: str, index: int, num_shards: int) -> str:
     :func:`shard_journal_path` on naming)."""
     return os.path.join(
         directory, f"shard-{index}-of-{num_shards}.snapshot.json")
+
+
+def users_columns_path(directory: str) -> str:
+    """The columnar user store's snapshot file in a checkpoint bundle.
+
+    User columns are platform-global (shards partition delivery state,
+    not users), so the bundle holds exactly one such file regardless of
+    shard count."""
+    return os.path.join(directory, "users-columns.json")
 
 
 def journal_store_factory(directory: str,
@@ -455,7 +465,10 @@ class ShardRouter:
         Quiescent-time operation: each shard's lock is held while its
         owners dump. With ``directory``, each snapshot is also written
         to :func:`shard_snapshot_path` next to the shard's journal —
-        the bundle :meth:`recover_shard` reads.
+        the bundle :meth:`recover_shard` reads — and, when the platform
+        runs a columnar user store, its column blocks are dumped once to
+        :func:`users_columns_path` (users are global, not sharded, so
+        one file covers every shard; see :meth:`restore_user_columns`).
         """
         snapshots = []
         for shard in self.shards:
@@ -466,7 +479,37 @@ class ShardRouter:
                 snapshot.save(shard_snapshot_path(
                     directory, shard.index, self.num_shards))
             snapshots.append(snapshot)
+        if directory is not None:
+            users = self.platform.users
+            if hasattr(users, "attribute_bitset"):
+                os.makedirs(directory, exist_ok=True)
+                with open(users_columns_path(directory), "w",
+                          encoding="utf-8") as fh:
+                    json.dump(users.state_dump(), fh)
         return snapshots
+
+    def restore_user_columns(self, directory: str) -> None:
+        """Load the columnar user store dumped by :meth:`checkpoint_shards`.
+
+        The inverse seam for a fresh columnar platform rehydrating a
+        checkpoint bundle: shard state comes back per shard via
+        :meth:`recover_shard`; the user columns come back here, in one
+        ``state_load`` of the packed blocks. Raises
+        :class:`~repro.errors.StoreError` when the bundle has no
+        columns file or the platform's user store is not columnar.
+        """
+        users = self.platform.users
+        if not hasattr(users, "attribute_bitset"):
+            raise StoreError(
+                "restore_user_columns needs a columnar user store "
+                "(PlatformConfig.columnar_users)")
+        path = users_columns_path(directory)
+        if not os.path.exists(path):
+            raise StoreError(
+                f"checkpoint bundle {directory!r} has no users-columns "
+                f"snapshot")
+        with open(path, "r", encoding="utf-8") as fh:
+            users.state_load(json.load(fh))
 
     def recover_shard(self, index: int, directory: str,
                       reopen_journal: bool = True) -> Shard:

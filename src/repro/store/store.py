@@ -221,6 +221,36 @@ class MemoryStore(StateStore):
         return len(self._records)
 
 
+class NullStore(StateStore):
+    """Journal-discarding backend for bounded-memory scale runs.
+
+    ``append`` counts the record and drops it. At the million-user tier
+    a full sweep emits ~11M ``ImpressionRecorded`` records; a
+    :class:`MemoryStore` would hold them all, which is exactly the
+    per-impression state the compact delivery mode exists to avoid.
+    Owners still attach and checkpoints still work (they dump owner
+    state, not the journal) — only replay-from-journal is off the
+    table, so :meth:`records` raises instead of returning an empty
+    list that would make "replay reproduced the end state" a lie.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._count = 0
+
+    def append(self, record: ChangeRecord) -> None:
+        self._count += 1
+        self._obs_appended.inc()
+
+    def records(self) -> List[ChangeRecord]:
+        raise StoreError("null store discards journal records; "
+                         "replay is unavailable")
+
+    @property
+    def record_count(self) -> int:
+        return self._count
+
+
 class JournalStore(StateStore):
     """Append-only JSONL write-ahead journal on disk.
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.platform.attributes import Attribute, AttributeKind
 from repro.platform.databroker import IngestReport
@@ -64,13 +64,55 @@ class PopulationBuilder:
         )
         return [self._spawn_one(persona) for persona in chosen]
 
+    def spawn_stream(
+        self,
+        personas: Sequence[Persona],
+        count: int,
+        weights: Optional[Sequence[float]] = None,
+        chunk_size: int = 10_000,
+        track_personas: bool = False,
+    ) -> Iterator[List[str]]:
+        """Create ``count`` users from a persona mix, yielding user-id
+        chunks instead of materializing profile objects.
+
+        This is the bounded-memory path for million-user populations:
+        each chunk holds ``chunk_size`` id strings, never a list of
+        profiles, and persona ground truth is skipped unless
+        ``track_personas`` is set (a million-entry ``persona_of`` dict
+        defeats the point). Against a columnar user store the per-user
+        cost is one appended row; the flyweight views created along the
+        way are garbage the moment the chunk is yielded.
+
+        The population is deterministic in ``(seed, chunk_size)``. It
+        matches ``spawn_mix`` exactly when one chunk covers the whole
+        count; smaller chunks interleave the persona draws and per-user
+        draws differently, which reorders the RNG stream (still
+        reproducible, just not draw-for-draw identical to the batch
+        path).
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        pool = list(personas)
+        weight_list = list(weights) if weights else None
+        remaining = count
+        while remaining > 0:
+            take = min(chunk_size, remaining)
+            chosen = self._rng.choices(pool, weights=weight_list, k=take)
+            chunk = []
+            for persona in chosen:
+                user = self._spawn_one(persona, track=track_personas)
+                chunk.append(user.user_id)
+            yield chunk
+            remaining -= take
+
     def finalize(self) -> List[IngestReport]:
         """Run the broker ingest pipeline; returns per-broker reports."""
         return self.platform.ingest_brokers()
 
     # ------------------------------------------------------------------
 
-    def _spawn_one(self, persona: Persona) -> UserProfile:
+    def _spawn_one(self, persona: Persona,
+                   track: bool = True) -> UserProfile:
         rng = self._rng
         user = self.platform.register_user(
             country=self.platform.config.country,
@@ -78,7 +120,8 @@ class PopulationBuilder:
             gender=rng.choice(persona.genders),
             zip_code=rng.choice(_ZIP_POOL),
         )
-        self.persona_of[user.user_id] = persona.name
+        if track:
+            self.persona_of[user.user_id] = persona.name
         pii = self._attach_pii(user, persona)
         self._set_platform_attributes(user, persona)
         if rng.random() < persona.broker_coverage:

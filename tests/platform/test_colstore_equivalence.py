@@ -1,0 +1,185 @@
+"""Property suite: the columnar store is observationally equivalent to
+the legacy object store.
+
+Hypothesis drives identical random operation sequences into a
+``UserStore`` of ``UserProfile`` objects and a ``ColumnarUserStore`` of
+packed numpy columns, then asserts every observable the platform layers
+read — per-user attribute probes, store-level inverted queries, PII
+matching, and audience membership of every kind — answers identically.
+This is the license for every layer above to dispatch on store type
+without re-proving its own behavior.
+
+The property classes simply don't exist when hypothesis is absent
+(some CI environments install only the runtime deps); the deterministic
+``TestDeterministicEquivalence`` runs everywhere so plain ``pytest``
+still exercises the seam.
+"""
+
+from repro.hashing import hash_pii
+from repro.platform.attributes import (
+    AttributeCatalog,
+    make_binary,
+    make_multi,
+)
+from repro.platform.audiences import AudienceRegistry
+from repro.platform.colstore import ColumnarUserStore
+from repro.platform.pii import record_from_raw
+from repro.platform.pixels import PixelRegistry
+from repro.platform.users import UserProfile, UserStore
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI without hypothesis
+    HAVE_HYPOTHESIS = False
+
+USER_IDS = tuple(f"u-{index:03d}" for index in range(6))
+BIN_NAMES = ("Salsa", "Jazz", "Soccer", "Chess", "Gardening")
+BINS = tuple(make_binary(f"b{i}", name, ("Interest",))
+             for i, name in enumerate(BIN_NAMES))
+MULTIS = (
+    make_multi("m0", "Tier", ("Demo",), values=("low", "mid", "high")),
+    make_multi("m1", "Band", ("Demo",), values=("x", "y")),
+)
+PAGES = ("p0", "p1")
+PII_VALUES = ("a@x.com", "b@x.com", "c@x.com")
+ALL_ATTR_IDS = tuple(a.attr_id for a in BINS + MULTIS)
+
+
+def _op_strategy():
+    user = st.sampled_from(USER_IDS)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("set_bin"), user, st.sampled_from(BINS)),
+            st.tuples(st.just("clear"), user,
+                      st.sampled_from(ALL_ATTR_IDS)),
+            st.tuples(st.just("set_multi"), user, st.sampled_from(MULTIS),
+                      st.sampled_from(("low", "mid", "high", "x", "y"))),
+            st.tuples(st.just("like"), user, st.sampled_from(PAGES)),
+            st.tuples(st.just("unlike"), user, st.sampled_from(PAGES)),
+            st.tuples(st.just("pii"), user, st.sampled_from(PII_VALUES)),
+        ),
+        max_size=40,
+    )
+
+
+
+
+def _build_stores(ops):
+    """Apply one op sequence to both stores; returns (legacy, columnar)."""
+    legacy = UserStore()
+    columnar = ColumnarUserStore()
+    for index, user_id in enumerate(USER_IDS):
+        legacy.add(UserProfile(user_id=user_id, age=20 + index,
+                               gender="female" if index % 2 else "male",
+                               zip_code=f"{10001 + index:05d}"))
+        columnar.new_user(user_id, age=20 + index,
+                          gender="female" if index % 2 else "male",
+                          zip_code=f"{10001 + index:05d}")
+    for op in ops:
+        for store in (legacy, columnar):
+            user = store.get(op[1])
+            if op[0] == "set_bin":
+                user.set_attribute(op[2])
+            elif op[0] == "clear":
+                user.clear_attribute(op[2])
+            elif op[0] == "set_multi":
+                attribute, value = op[2], op[3]
+                if value in attribute.values:
+                    user.set_attribute(attribute, value)
+            elif op[0] == "like":
+                store.like_page(op[1], op[2])
+            elif op[0] == "unlike":
+                user.liked_pages.discard(op[2])
+            elif op[0] == "pii":
+                store.attach_pii(op[1], "email", op[2])
+    return legacy, columnar
+
+
+def _assert_observationally_equal(legacy, columnar):
+    assert legacy.user_ids() == columnar.user_ids()
+    for user_id in USER_IDS:
+        profile = legacy.get(user_id)
+        view = columnar.get(user_id)
+        assert sorted(profile.attribute_ids()) == sorted(view.attribute_ids())
+        for attr_id in ALL_ATTR_IDS:
+            assert profile.has_attribute(attr_id) == \
+                view.has_attribute(attr_id), (user_id, attr_id)
+            assert profile.attribute_value(attr_id) == \
+                view.attribute_value(attr_id), (user_id, attr_id)
+        assert set(profile.liked_pages) == set(view.liked_pages)
+        assert (profile.age, profile.gender, profile.zip_code) == \
+            (view.age, view.gender, view.zip_code)
+    for attr_id in ALL_ATTR_IDS:
+        assert [p.user_id for p in legacy.users_with_attribute(attr_id)] \
+            == [v.user_id for v in columnar.users_with_attribute(attr_id)]
+    for value in PII_VALUES:
+        digest = hash_pii("email", value)
+        assert legacy.users_matching_pii("email", digest) == \
+            columnar.users_matching_pii("email", digest)
+
+
+def _audience_memberships(store):
+    """Members of one audience of each kind, built over ``store``."""
+    catalog = AttributeCatalog(attributes=list(BINS + MULTIS))
+    registry = AudienceRegistry(
+        users=store, pixels=PixelRegistry(), catalog=catalog,
+        min_custom_audience_size=1)
+    registry.create_page_audience("aud-page", "acct", PAGES[0])
+    registry.create_keyword_audience("aud-kw", "acct",
+                                     [BIN_NAMES[0], BIN_NAMES[1]])
+    registry.create_pii_audience(
+        "aud-pii", "acct",
+        [record_from_raw("email", v) for v in PII_VALUES])
+    registry.create_lookalike_audience("aud-look", "acct", "aud-pii",
+                                       similarity_threshold=2)
+    out = {}
+    for audience_id in ("aud-page", "aud-kw", "aud-pii", "aud-look"):
+        out[audience_id] = sorted(registry.members(audience_id))
+        for user_id in USER_IDS:
+            key = (audience_id, user_id)
+            out[key] = registry.is_member(audience_id, user_id)
+        out[audience_id, "reach"] = str(
+            registry.estimated_reach(audience_id))
+    return out
+
+
+if HAVE_HYPOTHESIS:
+    class TestPropertyEquivalence:
+        @settings(max_examples=80, deadline=None)
+        @given(ops=_op_strategy())
+        def test_random_ops_observationally_equal(self, ops):
+            legacy, columnar = _build_stores(ops)
+            _assert_observationally_equal(legacy, columnar)
+
+        @settings(max_examples=40, deadline=None)
+        @given(ops=_op_strategy())
+        def test_audience_membership_equal(self, ops):
+            legacy, columnar = _build_stores(ops)
+            assert _audience_memberships(legacy) == \
+                _audience_memberships(columnar)
+
+
+class TestDeterministicEquivalence:
+    """No-hypothesis fallback pinning the same seam on a fixed script."""
+
+    OPS = [
+        ("set_bin", "u-000", BINS[0]),
+        ("set_bin", "u-000", BINS[1]),
+        ("set_bin", "u-001", BINS[0]),
+        ("set_multi", "u-002", MULTIS[0], "mid"),
+        ("set_multi", "u-002", MULTIS[0], "high"),  # overwrite
+        ("like", "u-003", PAGES[0]),
+        ("like", "u-000", PAGES[0]),
+        ("unlike", "u-003", PAGES[0]),
+        ("pii", "u-004", PII_VALUES[0]),
+        ("pii", "u-005", PII_VALUES[0]),  # shared digest, two users
+        ("clear", "u-000", "b1"),
+        ("clear", "u-002", "m0"),
+    ]
+
+    def test_fixed_script(self):
+        legacy, columnar = _build_stores(self.OPS)
+        _assert_observationally_equal(legacy, columnar)
+        assert _audience_memberships(legacy) == \
+            _audience_memberships(columnar)

@@ -365,3 +365,45 @@ class TestJournaledEquivalence:
                 if line.strip():
                     total += len(json.loads(line))
         assert total > 0
+
+
+class TestColumnarCheckpointBundle:
+    """User-column blocks travel with the checkpoint bundle."""
+
+    def test_columnar_bundle_round_trip(self, make_world, tmp_path):
+        from repro.platform.catalog import build_us_catalog
+        from repro.platform.platform import AdPlatform, PlatformConfig
+        from repro.serve.sharding import users_columns_path
+
+        platform = make_world(seed=17, columnar=True)
+        router = ShardRouter(platform, num_shards=2,
+                             competition=KeyedCompetition(seed=7))
+        _serve_round(router, platform)  # columnar serving path works
+        router.checkpoint_shards(directory=str(tmp_path))
+        assert os.path.exists(users_columns_path(str(tmp_path)))
+
+        # A fresh, unpopulated columnar world rehydrates the columns.
+        fresh = AdPlatform(
+            config=PlatformConfig(name="serve-test", columnar_users=True),
+            catalog=build_us_catalog(platform_count=40, partner_count=25),
+        )
+        fresh_router = ShardRouter(fresh, num_shards=2)
+        fresh_router.restore_user_columns(str(tmp_path))
+        assert fresh.users.user_ids() == platform.users.user_ids()
+        for original in platform.users:
+            twin = fresh.users.get(original.user_id)
+            assert sorted(twin.attribute_ids()) == \
+                sorted(original.attribute_ids())
+            assert set(twin.liked_pages) == set(original.liked_pages)
+
+    def test_legacy_bundle_has_no_columns_file(self, make_world, tmp_path):
+        from repro.errors import StoreError
+        from repro.serve.sharding import users_columns_path
+
+        platform = make_world(seed=17)
+        router = ShardRouter(platform, num_shards=2,
+                             competition=KeyedCompetition(seed=7))
+        router.checkpoint_shards(directory=str(tmp_path))
+        assert not os.path.exists(users_columns_path(str(tmp_path)))
+        with pytest.raises(StoreError, match="columnar user store"):
+            router.restore_user_columns(str(tmp_path))

@@ -186,3 +186,27 @@ def test_api_tour_scenario_end_to_end():
         for shard in gw_runtime.router.shards:
             shard.store.close()
         tenancy_store.close()
+
+    # 13. scale it to a hundred thousand users
+    from repro.workloads.competition import zero_competition
+
+    big = AdPlatform(
+        config=PlatformConfig(name="big", columnar_users=True),
+        catalog=build_us_catalog(),
+        competing_draw=zero_competition(),
+    )
+    partner_attrs = big.catalog.partner_attributes()
+    for i in range(100_000):
+        person = big.register_user()
+        for k in range(3):
+            person.set_attribute(partner_attrs[(i * 3 + k)
+                                               % len(partner_attrs)])
+
+    stats = big.users.stats()
+    assert stats["rows"] == 100_000
+    assert stats["dense_ids"]
+    assert stats["column_bytes"] < 64 * 1024 * 1024
+
+    target = partner_attrs[0]
+    carriers = big.users.users_with_attribute(target.attr_id)
+    assert all(u.has_attribute(target.attr_id) for u in carriers)
