@@ -20,12 +20,14 @@ bench:
 bench-perf:
 	$(PYTHON) -m pytest benchmarks/bench_perf_throughput.py --benchmark-only
 
-## The columnar scale tiers: the 100k-user sweep CI runs under a hard
-## RSS ceiling, then the full million-user proof (about five single-core
-## minutes; numbers land in benchmarks/perf_trajectory.json scale_1m).
+## The columnar scale tiers: the 100k-user scalar sweep and the 100k
+## batch-sweep comparison (byte-identical reports, >=3x impressions/s)
+## CI runs under a hard RSS ceiling; the full million-user proof is
+## REPRO_SCALE_1M=1 (numbers land in perf_trajectory.json scale_1m).
 scale-smoke:
 	$(PYTHON) -m pytest -q \
 		benchmarks/bench_scale_1m.py::test_scale_100k_columnar_sweep \
+		benchmarks/bench_scale_1m.py::test_scale_100k_batch_sweep \
 		--benchmark-disable
 	$(PYTHON) -m repro populate --users 100000 --columnar --stats
 

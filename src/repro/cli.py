@@ -311,6 +311,17 @@ def _build_parser() -> argparse.ArgumentParser:
     populate.add_argument("--seed", type=int, default=42)
     populate.add_argument("--chunk-size", type=int, default=10_000,
                           help="users spawned per streamed chunk")
+    populate.add_argument("--sweep", action="store_true",
+                          help="after populating, launch the full "
+                               "partner sweep and deliver it through "
+                               "the vectorized batch sweep engine "
+                               "(implies --columnar, compact "
+                               "delivery, journal discarded)")
+    populate.add_argument("--sweep-workers", type=int, default=None,
+                          metavar="N",
+                          help="fork N row-range workers for the "
+                               "sweep (default: in-process, single "
+                               "worker)")
 
     checkpoint = commands.add_parser(
         "checkpoint", help="journal a deterministic sharded run, "
@@ -952,14 +963,33 @@ def _serve_rounds(platform, router, rounds: int, slots: int) -> None:
 def _cmd_populate(args: argparse.Namespace) -> int:
     import time
 
+    from repro.store.store import NullStore
+    from repro.workloads.competition import zero_competition
+
     if args.users < 1:
         print("populate: --users must be >= 1", file=sys.stderr)
         return 2
-    platform = AdPlatform(
-        config=PlatformConfig(name="populate",
-                              columnar_users=args.columnar),
-        catalog=build_us_catalog(),
-    )
+    if args.sweep_workers is not None and not args.sweep:
+        print("populate: --sweep-workers needs --sweep", file=sys.stderr)
+        return 2
+    columnar = args.columnar or args.sweep
+    if args.sweep:
+        # The batch sweep wants the million-user memory shape: columnar
+        # rows, compact delivery state, journal records discarded, and
+        # a constant competing draw (required for --sweep-workers).
+        platform = AdPlatform(
+            config=PlatformConfig(name="populate", columnar_users=True,
+                                  compact_delivery=True),
+            catalog=build_us_catalog(),
+            competing_draw=zero_competition(),
+            store=NullStore(),
+        )
+    else:
+        platform = AdPlatform(
+            config=PlatformConfig(name="populate",
+                                  columnar_users=columnar),
+            catalog=build_us_catalog(),
+        )
     builder = PopulationBuilder(platform, seed=args.seed)
     personas = [AVERAGE_CONSUMER, ESTABLISHED_PROFESSIONAL,
                 RECENT_ARRIVAL_GRAD_STUDENT]
@@ -971,7 +1001,7 @@ def _cmd_populate(args: argparse.Namespace) -> int:
     builder.finalize()
     elapsed = time.perf_counter() - started
 
-    store_kind = "columnar" if args.columnar else "legacy"
+    store_kind = "columnar" if columnar else "legacy"
     rows: List[Tuple[str, str]] = [
         ("store", store_kind),
         ("users", f"{spawned:,}"),
@@ -980,7 +1010,7 @@ def _cmd_populate(args: argparse.Namespace) -> int:
          else "inf"),
     ]
     if args.stats:
-        if args.columnar:
+        if columnar:
             stats = platform.users.stats()
             rows.extend([
                 ("binary attr vocab", str(stats["binary_attr_vocab"])),
@@ -994,6 +1024,27 @@ def _cmd_populate(args: argparse.Namespace) -> int:
         else:
             rows.append(("stats", "columnar-only; rerun with "
                                   "--columnar"))
+    if args.sweep:
+        provider = TransparencyProvider(platform, WebDirectory(),
+                                        budget=50_000.0)
+        for user_id in platform.users.user_ids():
+            provider.optin.via_page_like(user_id)
+        provider.launch_partner_sweep()
+        deliver_wall = time.perf_counter()
+        deliver_cpu = time.process_time()
+        provider.run_delivery(sweep=True,
+                              sweep_workers=args.sweep_workers)
+        deliver_wall = time.perf_counter() - deliver_wall
+        deliver_cpu = time.process_time() - deliver_cpu
+        impressions = provider.total_impressions()
+        rows.extend([
+            ("sweep workers", str(args.sweep_workers or 1)),
+            ("sweep impressions", f"{impressions:,}"),
+            ("sweep wall (s)", f"{deliver_wall:.2f}"),
+            ("sweep cpu (s)", f"{deliver_cpu:.2f}"),
+            ("impressions/s", f"{impressions / deliver_wall:,.0f}"
+             if deliver_wall > 0 else "inf"),
+        ])
     print(format_table(("metric", "value"), rows,
                        title=f"populate — {store_kind} store"))
     return 0

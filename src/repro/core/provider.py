@@ -565,6 +565,16 @@ class TransparencyProvider:
     def total_impressions(self) -> int:
         return self.platform.invoice(self.account.account_id).impressions
 
-    def run_delivery(self, max_rounds: int = 50) -> None:
-        """Drive the platform until the Tread campaign saturates."""
-        self.platform.run_until_saturated(max_rounds=max_rounds)
+    def run_delivery(self, max_rounds: int = 50, sweep: bool = False,
+                     sweep_workers: Optional[int] = None) -> None:
+        """Drive the platform until the Tread campaign saturates.
+
+        ``sweep=True`` uses the vectorized batch sweep (columnar
+        platforms only) — same deliveries and reports, column algebra
+        instead of the per-user loop; ``sweep_workers`` > 1 additionally
+        partitions rows across forked processes (compact platforms)."""
+        if sweep:
+            self.platform.run_sweep(max_rounds=max_rounds,
+                                    workers=sweep_workers)
+        else:
+            self.platform.run_until_saturated(max_rounds=max_rounds)

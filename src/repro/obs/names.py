@@ -72,6 +72,18 @@ METRICS: Dict[str, MetricSpec] = {
         COUNTER, "Capped ads pruned from a user's cached match list."),
     "delivery.clicks_recorded": MetricSpec(
         COUNTER, "Ad clicks recorded by the platform."),
+    "delivery.sweep_rounds": MetricSpec(
+        COUNTER, "Vectorized batch-sweep rounds executed by "
+                 "sweep_slots (each auctions one slot per still-active "
+                 "user in the swept row range)."),
+    "delivery.sweep_fallback_specs": MetricSpec(
+        COUNTER, "Sweep candidates whose targeting spec could not be "
+                 "lowered to a column-mask program and was evaluated "
+                 "with the per-user compiled matcher instead."),
+    "delivery.sweep_budget_fallback_rounds": MetricSpec(
+        COUNTER, "Sweep rounds replayed through the scalar per-user "
+                 "path because an account's budget could flip "
+                 "mid-round (affordability pre-check failed)."),
     # -- auction -----------------------------------------------------------
     "auction.contenders": MetricSpec(
         HISTOGRAM, "Per-account contenders entering each slot auction.",
@@ -90,6 +102,11 @@ METRICS: Dict[str, MetricSpec] = {
     "targeting.compile_cache_hits": MetricSpec(
         COUNTER, "compile_spec calls served from the compiled-spec "
                  "cache."),
+    "targeting.specs_lowered": MetricSpec(
+        COUNTER, "Targeting specs lowered to column-mask programs."),
+    "targeting.lower_fallbacks": MetricSpec(
+        COUNTER, "lower_spec calls that declined (unlowerable node), "
+                 "flagging the spec for the per-user matcher."),
     # -- platform facade ---------------------------------------------------
     "platform.ads_submitted": MetricSpec(
         COUNTER, "Ads submitted through the advertiser API."),

@@ -89,6 +89,37 @@ def run_auction(
     return outcome
 
 
+def observe_auctions(
+    contender_counts,
+    prices_won,
+    lost_count: int,
+) -> None:
+    """Bulk-record a whole round of auction outcomes.
+
+    The batch sweep (:meth:`repro.platform.delivery.DeliveryEngine.
+    sweep_slots`) decides thousands of slot auctions per vectorized
+    round; this folds them into the same four instruments
+    :func:`run_auction` maintains, in one update per round.
+    ``contender_counts`` is the per-slot eligible-account count (any
+    array-like), ``prices_won`` the per-impression dollar prices of the
+    won slots, ``lost_count`` how many slots had no tracked winner.
+    No-op while the registry is disabled, same as the scalar path.
+    """
+    instruments = _instruments()
+    if instruments is None:
+        return
+    contenders, clearing_price, slots_won, slots_lost = instruments
+    contenders.observe_many(contender_counts)
+    won = len(prices_won)
+    if won:
+        slots_won.inc(won)
+        import numpy as np
+        clearing_price.observe_many(
+            np.asarray(prices_won, dtype=np.float64) * 1000.0)
+    if lost_count:
+        slots_lost.inc(lost_count)
+
+
 def _decide(
     eligible_ads: Sequence[Ad],
     competing_bid: float,

@@ -156,6 +156,11 @@ class AudienceRegistry:
         self._columnar = hasattr(users, "attribute_bitset")
         #: audience_id -> ((users epoch, pixels seq), member count).
         self._count_cache: Dict[str, Tuple[Tuple[int, int], int]] = {}
+        #: audience_id -> ((users epoch, pixels seq), member bitset).
+        #: The columnar twin of _count_cache: the materialized mask
+        #: itself, shared by reach estimates and the batch sweep's
+        #: mask-program evaluation (repro.platform.targeting).
+        self._bitset_cache: Dict[str, Tuple[Tuple[int, int], np.ndarray]] = {}
 
     @property
     def store(self) -> StateStore:
@@ -451,6 +456,28 @@ class AudienceRegistry:
         assert audience.seed_audience_id is not None
         return self._lookalike_bitset(audience, nrows)
 
+    def member_bitset_cached(self, audience_id: str) -> np.ndarray:
+        """:meth:`member_bitset`, memoized against world mutations.
+
+        Keyed on ``(users.mutation_epoch, pixels.mutation_seq)`` exactly
+        like the count cache, so any store-API mutation (attributes, page
+        likes, new rows, pixel fires, PII uploads) invalidates the mask.
+        This is the resolver the batch sweep and reach estimation share:
+        the same materialized audience answers every row-range
+        evaluation until the world actually changes. Callers must not
+        mutate the returned array.
+        """
+        users_epoch = getattr(self._users, "mutation_epoch", None)
+        if users_epoch is None:
+            return self.member_bitset(audience_id)
+        key = (users_epoch, self._pixels.mutation_seq)
+        cached = self._bitset_cache.get(audience_id)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        bits = self.member_bitset(audience_id)
+        self._bitset_cache[audience_id] = (key, bits)
+        return bits
+
     def _lookalike_bitset(self, audience: Audience,
                           nrows: int) -> np.ndarray:
         """Vectorized lookalike expansion over the attribute matrix.
@@ -526,7 +553,7 @@ class AudienceRegistry:
             def resolve_bits(audience_id: str, user_id: str) -> bool:
                 bits = bit_snapshots.get(audience_id)
                 if bits is None:
-                    bits = self.member_bitset(audience_id)
+                    bits = self.member_bitset_cached(audience_id)
                     bit_snapshots[audience_id] = bits
                 row = store.row_of(user_id)
                 return row is not None and bitset.test_bit(bits, row)
@@ -583,7 +610,9 @@ class AudienceRegistry:
         if cached is not None and cached[0] == key:
             return cached[1]
         if self._columnar:
-            count = bitset.popcount(self.member_bitset(audience_id))
+            # One materialization serves both: the popcount here and any
+            # batch-sweep mask evaluation reuse the same cached bitset.
+            count = bitset.popcount(self.member_bitset_cached(audience_id))
         else:
             count = len(self.members(audience_id))
         self._count_cache[audience_id] = (key, count)

@@ -135,6 +135,48 @@ class BillingLedger:
                 ))
         return record
 
+    def charge_impressions_bulk(self, ad_id: str, account_id: str,
+                                amount_total: float, count: int) -> None:
+        """Charge ``count`` impressions of one ad in a single debit.
+
+        The batch sweep's O(1) billing fold, used where one debit is
+        float-identical to ``count`` sequential charges: the
+        all-zero-price rounds of the Treads economics, and partitioned-
+        sweep merge deltas (:meth:`~repro.platform.delivery.
+        DeliveryEngine.absorb_sweep_delta`). Rounds with nonzero prices
+        bill per impression through :meth:`charge_impression` instead —
+        budget and spend accumulate in delivery order, so float
+        association matches the scalar path bit for bit. Compact mode
+        only — the full-logs path bills per impression so each charge
+        record exists — and never journals (the sweep's impression
+        records, when kept, imply the charges exactly as on the scalar
+        path).
+        """
+        if not self._compact:
+            raise StoreError(
+                "bulk impression charges require the compact ledger; "
+                "the full-logs path bills per impression")
+        if count <= 0:
+            raise ValueError("bulk charge needs a positive count")
+        account = self._inventory.account(account_id)
+        solvent_before = account.budget > _BUDGET_EPSILON
+        account.charge(amount_total)
+        self._spend_by_ad[ad_id] += amount_total
+        self._impressions_by_ad[ad_id] += count
+        self._spend_by_account[account_id] += amount_total
+        self._impressions_by_account[account_id] += count
+        self._account_by_ad.setdefault(ad_id, account_id)
+        if self._obs_on:
+            self._obs_charged.inc(count)
+        if solvent_before and account.budget <= _BUDGET_EPSILON:
+            self._obs_exhausted.inc()
+            _log.info("account %s budget exhausted (last charge $%.6f)",
+                      account_id, amount_total)
+            if self._bus.active:
+                self._bus.emit(obs_events.BudgetExhausted(
+                    account_id=account_id, last_charge=amount_total,
+                ))
+
     # -- state owner -------------------------------------------------------
 
     def _fold_charge(self, record: ChargeRecord) -> None:

@@ -97,6 +97,16 @@ def from_indices(indices: Sequence[int], nbits: int) -> np.ndarray:
     return bits
 
 
+def or_indices(bits: np.ndarray, indices: Sequence[int]) -> None:
+    """OR the given bit indices into ``bits`` in place (bulk
+    :func:`set_bit` — the batch sweep's per-round shown-bitset fold)."""
+    if len(indices) == 0:
+        return
+    idx = np.asarray(indices, dtype=np.int64)
+    np.bitwise_or.at(bits, idx >> 6,
+                     np.uint64(1) << (idx & 63).astype(np.uint64))
+
+
 def to_indices(bits: np.ndarray) -> np.ndarray:
     """Indices of set bits, ascending (the decoded member rows)."""
     if bits.size == 0:
@@ -190,3 +200,46 @@ def column_bitset(matrix: np.ndarray, nrows: int, bit: int) -> np.ndarray:
 def select_rows(matrix: np.ndarray, rows: np.ndarray) -> List[np.ndarray]:
     """Materialize the given row bitsets (helper for lookalike probes)."""
     return [matrix[int(r)] for r in rows]
+
+
+def pack_bools(flags: np.ndarray) -> np.ndarray:
+    """Pack a boolean (or 0/1) row-flag array into a bitset.
+
+    Bit ``i`` of the result is ``flags[i]`` — the inverse of
+    :func:`unpack_range` over ``[0, len(flags))``. The batch sweep packs
+    mask-program outputs through here so eligibility lives in the same
+    word layout as the store's columns and the shown bitsets.
+    """
+    out = make_bitset(len(flags))
+    if len(flags):
+        packed = np.packbits(np.asarray(flags, dtype=np.uint8),
+                             bitorder="little")
+        out.view(np.uint8)[: packed.size] = packed
+    return out
+
+
+def unpack_range(bits: np.ndarray, start: int, stop: int) -> np.ndarray:
+    """Bits ``[start, stop)`` of a bitset as a boolean array.
+
+    ``start`` must be byte-aligned (``start % 8 == 0``; sweep callers
+    use 64-aligned row ranges). Bits past the array's width read as
+    zero, so a narrow bitset against a wide row range is handled the
+    same way :func:`test_bit` handles it.
+    """
+    if start % 8 != 0:
+        raise ValueError(f"unpack_range start must be byte-aligned, "
+                         f"got {start}")
+    n = stop - start
+    out = np.zeros(max(0, n), dtype=bool)
+    if n <= 0 or bits.size == 0:
+        return out
+    byte_view = np.ascontiguousarray(bits).view(np.uint8)
+    take = min(n, max(0, byte_view.size * 8 - start))
+    if take <= 0:
+        return out
+    first = start // 8
+    nbytes = (take + 7) // 8
+    out[:take] = np.unpackbits(
+        byte_view[first:first + nbytes], count=take, bitorder="little",
+    ).astype(bool)
+    return out

@@ -47,10 +47,15 @@ from repro.obs import tracing as obs_tracing
 from repro.obs.metrics import MetricsRegistry, registry as obs_registry
 from repro.platform import bitset
 from repro.platform.ads import Ad, AdImage, AdInventory, AdStatus
-from repro.platform.auction import AuctionOutcome, CompetingBidDraw, run_auction
+from repro.platform.auction import (
+    AuctionOutcome,
+    CompetingBidDraw,
+    observe_auctions,
+    run_auction,
+)
 from repro.platform.audiences import AudienceRegistry
 from repro.platform.billing import BillingLedger
-from repro.platform.targeting import AudienceResolver, CompiledSpec
+from repro.platform.targeting import AudienceResolver, CompiledSpec, lower_spec
 from repro.platform.users import UserProfile, UserStore
 from repro.store.records import (
     CapIncremented,
@@ -248,6 +253,11 @@ class DeliveryEngine:
             "delivery.frequency_cap_rejections")
         self._obs_pruned = reg.counter("delivery.saturation_pruned")
         self._obs_clicks = reg.counter("delivery.clicks_recorded")
+        self._obs_sweep_rounds = reg.counter("delivery.sweep_rounds")
+        self._obs_sweep_fallback_specs = reg.counter(
+            "delivery.sweep_fallback_specs")
+        self._obs_sweep_budget_rounds = reg.counter(
+            "delivery.sweep_budget_fallback_rounds")
         self._bus = obs_events.bus()
 
     # -- eligibility ---------------------------------------------------------
@@ -770,6 +780,490 @@ class DeliveryEngine:
             stats.lost_to_competition, len(users),
         )
         return stats
+
+    # -- batch sweep ---------------------------------------------------------
+    #
+    # The vectorized twin of run_until_saturated for columnar stores:
+    # eligibility is evaluated for a whole row range at once via
+    # column-mask programs (repro.platform.targeting.lower_spec), each
+    # round's per-user second-price auction is an argmax over a
+    # (candidates x users) bit matrix processed in bounded blocks, and
+    # the results fold in bulk (shown-bitset ORs, aggregate billing
+    # debits, batched counters). Semantics — winners, prices, stats,
+    # reports — are identical to running the scalar loop over the same
+    # rows (pinned by tests/integration/test_columnar_equivalence.py);
+    # the two escape hatches back to the scalar path are per-spec
+    # (unlowerable Expr -> per-user matcher fills that ad's mask) and
+    # per-round (an account budget that could flip eligibility mid-round
+    # replays the round through serve_slot's exact code path).
+
+    def sweep_slots(
+        self,
+        rows: Optional[Tuple[int, int]] = None,
+        *,
+        max_rounds: int = 50,
+        block_rows: int = 1 << 16,
+        _collect_delta: bool = False,
+    ):
+        """Saturate delivery over a columnar row range, vectorized.
+
+        ``rows`` is a ``(start, stop)`` half-open row range (default:
+        the whole store); ``start`` must be 64-aligned so bitset state
+        slices word-cleanly. ``block_rows`` bounds the unpacked working
+        set: each round's auction runs over blocks of at most this many
+        users, so peak transient memory stays flat regardless of range
+        size. Returns the same :class:`DeliveryStats` the scalar
+        :meth:`run_until_saturated` would have produced.
+
+        ``_collect_delta`` is the parallel partitioner's hook
+        (:mod:`repro.platform.parsweep`): compact-mode sweeps then also
+        return a per-ad ``{ad_id: (account_id, start_word, words,
+        count, price_sum)}`` fold that a parent engine can absorb with
+        :meth:`absorb_sweep_delta`.
+        """
+        users = self._user_store
+        cols = getattr(users, "columns", None)
+        if cols is None:
+            raise StoreError(
+                f"{self.engine_id}: batch sweep needs a columnar user "
+                "store attached (attach_user_store with a "
+                "ColumnarUserStore)")
+        if self.frequency_cap != 1:
+            raise ValueError("batch sweep requires a frequency cap of 1")
+        if block_rows <= 0 or block_rows % bitset.WORD_BITS:
+            raise ValueError("block_rows must be a positive multiple "
+                             f"of {bitset.WORD_BITS}")
+        start, stop = (0, cols.count) if rows is None else rows
+        if start % bitset.WORD_BITS:
+            raise ValueError(
+                f"sweep range must start on a {bitset.WORD_BITS}-bit "
+                f"boundary, got {start}")
+        if not 0 <= start <= stop <= cols.count:
+            raise ValueError(
+                f"sweep range [{start}, {stop}) outside the store's "
+                f"{cols.count} rows")
+        stats = DeliveryStats()
+        delta: Optional[Dict[str, list]] = {} if _collect_delta else None
+        if _collect_delta and not self._compact:
+            raise StoreError(
+                f"{self.engine_id}: sweep deltas are a compact-mode "
+                "fold (parallel sweeps merge bitsets and counters)")
+        with self.serving_session():
+            self._run_sweep(stats, cols, start, stop, max_rounds,
+                            block_rows, delta)
+        _log.info(
+            "sweep_slots[%d:%d]: %d slots (%d filled, %d lost)",
+            start, stop, stats.slots, stats.filled_by_tracked_ads,
+            stats.lost_to_competition,
+        )
+        if _collect_delta:
+            out = {
+                ad_id: (rec[0], start // bitset.WORD_BITS, rec[1],
+                        rec[2], rec[3])
+                for ad_id, rec in delta.items()  # type: ignore[union-attr]
+            }
+            return stats, out
+        return stats
+
+    def _sweep_candidates(self) -> List[tuple]:
+        """Every indexed entry once, in global auction-priority order.
+
+        Sorting by (bid desc, ad id asc) makes "first eligible
+        candidate" coincide with the scalar path's winner (per-account
+        champions, then top-2 — both use exactly this order), so each
+        user's winner is one argmax over the availability matrix.
+        """
+        self._ensure_index()
+        entries: List[tuple] = []
+        for bucket in self._index_by_attr.values():
+            entries.extend(bucket)
+        for bucket in self._index_by_page.values():
+            entries.extend(bucket)
+        entries.extend(self._index_general)
+        if self.min_match_count > 0:
+            entries = [e for e in entries
+                       if self._matches_enough_users(e[0], e[3])]
+        entries.sort(key=lambda e: (-e[2], e[0].ad_id))
+        return entries
+
+    def _sweep_eligibility(self, entries: List[tuple], cols: Any,
+                           start: int, stop: int) -> np.ndarray:
+        """Per-candidate packed eligibility over rows [start, stop).
+
+        Bit ``r`` of row ``i`` (relative to ``start``) says entry ``i``'s
+        spec matches store row ``start + r``. Lowered specs evaluate as
+        one mask program; unlowerable specs fall back to the per-user
+        compiled matcher (counted by ``delivery.sweep_fallback_specs``).
+        """
+        from repro.platform.colstore import UserView
+        n = stop - start
+        avail = np.zeros((len(entries), bitset.words_for(n)),
+                         dtype=np.uint64)
+        bits_resolver = getattr(
+            self._audiences, "member_bitset_cached", None)
+        fallbacks = 0
+        for i, (ad, _account, _bid, matcher) in enumerate(entries):
+            program = lower_spec(ad.targeting)
+            if program is not None:
+                flags = program.evaluate(cols, start, stop,
+                                         resolver=bits_resolver)
+            else:
+                fallbacks += 1
+                fn = matcher.fn
+                resolver = self._resolver
+                store = self._user_store
+                flags = np.zeros(n, dtype=bool)
+                for r in range(start, stop):
+                    if fn(UserView(store, r), resolver):
+                        flags[r - start] = True
+            avail[i] = bitset.pack_bools(flags)
+        if self._obs_on and fallbacks:
+            self._obs_sweep_fallback_specs.inc(fallbacks)
+        return avail
+
+    def _sweep_subtract_shown(self, avail: np.ndarray,
+                              entries: List[tuple],
+                              start: int, stop: int) -> None:
+        """Remove already-shown (capped) pairs from the availability
+        matrix. Idempotent — also the resync after a scalar fallback
+        round delivered through the per-impression path."""
+        range_words = avail.shape[1]
+        word0 = start // bitset.WORD_BITS
+        if self._compact:
+            for i, entry in enumerate(entries):
+                shown = self._shown_bits.get(entry[0].ad_id)
+                if shown is None:
+                    continue
+                part = shown[word0:word0 + range_words]
+                if part.size:
+                    avail[i, :part.size] &= ~part
+            return
+        if not self._capped_for_user or self._row_of is None:
+            return
+        position = {e[0].ad_id: i for i, e in enumerate(entries)}
+        for user_id, ads in self._capped_for_user.items():
+            row = self._row_of(user_id)
+            if row is None or not start <= row < stop:
+                continue
+            rel = row - start
+            for ad_id in ads:
+                i = position.get(ad_id)
+                if i is not None:
+                    bitset.clear_bit(avail[i], rel)
+
+    def _run_sweep(self, stats: DeliveryStats, cols: Any, start: int,
+                   stop: int, max_rounds: int, block_rows: int,
+                   delta: Optional[Dict[str, list]]) -> None:
+        from repro.platform.colstore import UserView
+        n = stop - start
+        if n == 0:
+            return
+        entries = self._sweep_candidates()
+        if not entries:
+            return
+        avail = self._sweep_eligibility(entries, cols, start, stop)
+        self._sweep_subtract_shown(avail, entries, start, stop)
+        account_index: Dict[str, int] = {}
+        acct_idx = np.empty(len(entries), dtype=np.int64)
+        for i, entry in enumerate(entries):
+            acct_idx[i] = account_index.setdefault(
+                entry[0].account_id, len(account_index))
+        bids = np.array([e[2] for e in entries], dtype=np.float64)
+        active = AdStatus.ACTIVE
+        draw = self._competing_draw
+        constant = getattr(draw, "constant", None)
+        floor = self.floor_price
+        obs_on = self._obs_on
+
+        for _ in range(max_rounds):
+            # Round candidates: the dynamic checks the scalar slot path
+            # applies per user, hoisted — status and affordability are
+            # user-independent, so one pass per round suffices.
+            rc = [i for i, e in enumerate(entries)
+                  if e[0].status is active and e[1].budget + 1e-12 >= e[2]]
+            if not rc:
+                break
+            rc_arr = np.asarray(rc, dtype=np.int64)
+            mat = avail if len(rc) == len(entries) else avail[rc_arr]
+            acct_rc = acct_idx[rc_arr]
+            multi_account = len(np.unique(acct_rc)) > 1
+            mat_bytes = mat.view(np.uint8)
+
+            # Phase A: per-block winner/runner-up selection. Both are
+            # draw-independent (the competing bid only decides win/lose
+            # and price), so no RNG is consumed before the budget
+            # certificate — a fallback round must replay with a virgin
+            # draw stream.
+            win_rows: List[np.ndarray] = []
+            win_cands: List[np.ndarray] = []
+            win_runner: List[np.ndarray] = []
+            contender_counts: List[np.ndarray] = []
+            for r0 in range(0, n, block_rows):
+                r1 = min(r0 + block_rows, n)
+                nb = r1 - r0
+                block = np.unpackbits(
+                    mat_bytes[:, r0 // 8: r0 // 8 + (nb + 7) // 8],
+                    axis=1, count=nb, bitorder="little")
+                positions = np.arange(nb)
+                wpos = block.argmax(axis=0)
+                has = block[wpos, positions] == 1
+                if not has.any():
+                    continue
+                hrows = np.flatnonzero(has)
+                if multi_account:
+                    winner_acct = acct_rc[wpos]
+                    others = np.where(
+                        acct_rc[:, None] == winner_acct[None, :], 0, block)
+                    rpos = others.argmax(axis=0)
+                    rhas = others[rpos, positions] == 1
+                    runner = np.where(
+                        rhas, bids[rc_arr[rpos]], 0.0)[hrows]
+                    counts = np.zeros(nb, dtype=np.int64)
+                    for a in np.unique(acct_rc):
+                        counts += block[acct_rc == a].any(axis=0)
+                    contender_counts.append(counts[hrows])
+                else:
+                    runner = np.zeros(len(hrows), dtype=np.float64)
+                    contender_counts.append(
+                        np.ones(len(hrows), dtype=np.int64))
+                win_rows.append(hrows + r0)
+                win_cands.append(rc_arr[wpos[hrows]])
+                win_runner.append(runner)
+            if not win_rows:
+                # No user in range has any eligible candidate left: the
+                # scalar loop would drop every user and stop. Nothing
+                # is counted (dropped users never reach the auction).
+                break
+            rel_rows = np.concatenate(win_rows)
+            wcand = np.concatenate(win_cands)
+            runner = np.concatenate(win_runner)
+            slots = len(rel_rows)
+            winner_bids = bids[wcand]
+
+            # Phase B: the budget certificate. The vector round assumed
+            # eligibility fixed at round start; that is exactly the
+            # scalar outcome unless some account's budget could cross
+            # below a candidate's bid mid-round. Bound each win's charge
+            # (the exact price under a constant draw, the winner's bid
+            # otherwise), sum per account, and require every round
+            # candidate to remain affordable under full planned spend —
+            # budgets are monotone, so passing the worst case certifies
+            # every intermediate state.
+            if constant is not None:
+                bound = np.minimum(
+                    np.maximum(np.maximum(runner, constant), floor),
+                    winner_bids)
+            else:
+                bound = winner_bids
+            planned = np.zeros(len(account_index))
+            np.add.at(planned, acct_idx[wcand], bound)
+            certified = all(
+                entries[i][1].budget - planned[acct_idx[i]] + 1e-12
+                >= entries[i][2]
+                for i in rc
+            )
+            if not certified:
+                if delta is not None:
+                    raise StoreError(
+                        f"{self.engine_id}: budget flip inside a "
+                        "partitioned sweep range; run the sweep "
+                        "single-process (sweep_slots) so the scalar "
+                        "fallback can replay the round exactly")
+                if obs_on:
+                    self._obs_sweep_budget_rounds.inc()
+                # Exact scalar replay of this round: the same per-user
+                # code path run_until_saturated uses, over every row in
+                # range (users with nothing eligible contribute nothing,
+                # matching the scalar loop's drop-from-rotation). The
+                # session match cache may hold entries the bulk applies
+                # never pruned — drop it wholesale first.
+                if self._match_cache is not None:
+                    self._match_cache.clear()
+                progressed = False
+                store = self._user_store
+                for r in range(start, stop):
+                    user = UserView(store, r)
+                    contenders, had_eligible = self._slot_contenders(user)
+                    if not had_eligible:
+                        continue
+                    stats.slots += 1
+                    outcome = self._auction_slot(user, contenders)
+                    if outcome.won:
+                        stats.filled_by_tracked_ads += 1
+                        progressed = True
+                    else:
+                        stats.lost_to_competition += 1
+                self._sweep_subtract_shown(avail, entries, start, stop)
+                if not progressed:
+                    break
+                continue
+
+            # Phase C: decide, count, and apply in bulk. Draws happen
+            # here, one per auctioned user in ascending row order — the
+            # exact sequence the scalar loop consumes.
+            if constant is not None:
+                competing = np.full(slots, constant)
+            else:
+                competing = np.fromiter(
+                    (draw() for _ in range(slots)),
+                    dtype=np.float64, count=slots)
+            won = (winner_bids > competing) & (winner_bids >= floor)
+            price = np.minimum(
+                np.maximum(np.maximum(runner, competing), floor),
+                winner_bids)
+            wins = int(won.sum())
+            stats.slots += slots
+            stats.filled_by_tracked_ads += wins
+            stats.lost_to_competition += slots - wins
+            if obs_on:
+                self._obs_slots.inc(slots)
+                self._obs_sweep_rounds.inc()
+            observe_auctions(np.concatenate(contender_counts),
+                             price[won], slots - wins)
+            if wins == 0:
+                break
+            self._sweep_apply(entries, start, stop, rel_rows[won],
+                              wcand[won], price[won], avail, delta)
+
+    def _sweep_apply(self, entries: List[tuple], start: int, stop: int,
+                     rel_rows: np.ndarray, wcand: np.ndarray,
+                     price: np.ndarray, avail: np.ndarray,
+                     delta: Optional[Dict[str, list]]) -> None:
+        """Fold one vector round's wins into engine + ledger state."""
+        from repro.platform.colstore import UserView
+        users = self._user_store
+        assert users is not None
+        n = stop - start
+        order = np.argsort(wcand, kind="stable")
+        grouped = np.split(
+            order, np.flatnonzero(np.diff(wcand[order])) + 1)
+        if not self._compact:
+            # Full-logs mode: deliver each win through the exact scalar
+            # commit path (charge -> journal -> fold -> obs -> bus), in
+            # ascending row order, so journals and feeds are
+            # byte-identical to the scalar loop.
+            for j in range(len(rel_rows)):
+                entry = entries[int(wcand[j])]
+                self._deliver(entry[0],
+                              UserView(users, start + int(rel_rows[j])),
+                              float(price[j]))
+            for group in grouped:
+                cand = int(wcand[group[0]])
+                avail[cand] &= ~bitset.from_indices(rel_rows[group], n)
+            return
+
+        count = len(rel_rows)
+        seq_base = self._impression_seq
+        discards = getattr(self._store, "discards_records", False)
+        if discards:
+            self._store.note_discarded(count)
+        bus_on = self._bus.active
+        # Rounds that cleared at nonzero prices bill per impression in
+        # delivery (row) order — budget and spend then accumulate in the
+        # exact float association the scalar path produces, interleaved
+        # across ads. The all-zero rounds of the Treads economics (zero
+        # competition, zero floor) skip this and take the O(1) per-ad
+        # debit below.
+        priced = bool(np.any(price))
+        if priced or not discards or bus_on:
+            # Journaling stores get real per-impression records with the
+            # same seq/user/price/order the scalar path would append —
+            # charge first, then journal, as _deliver does.
+            for j in range(count):
+                ad = entries[int(wcand[j])][0]
+                amount = float(price[j])
+                if priced:
+                    self._ledger.charge_impression(
+                        ad.ad_id, ad.account_id, amount, seq_base + j,
+                        journal=False)
+                if not discards or bus_on:
+                    user_id = users.id_of(start + int(rel_rows[j]))
+                    if not discards:
+                        self._store.append(Impression(
+                            seq=seq_base + j, ad_id=ad.ad_id,
+                            account_id=ad.account_id, user_id=user_id,
+                            price=amount))
+                    if bus_on:
+                        self._bus.emit(obs_events.ImpressionDelivered(
+                            ad_id=ad.ad_id, account_id=ad.account_id,
+                            user_id=user_id, price=amount,
+                            impression_seq=seq_base + j))
+        for group in grouped:
+            cand = int(wcand[group[0]])
+            ad = entries[cand][0]
+            group_rows = rel_rows[group]
+            if priced:
+                total = 0.0
+                for value in price[group]:
+                    total += float(value)
+            else:
+                total = 0.0
+                self._ledger.charge_impressions_bulk(
+                    ad.ad_id, ad.account_id, 0.0, len(group))
+            shown = self._shown_bits.get(ad.ad_id)
+            if shown is None:
+                shown = bitset.make_bitset(len(users))
+            if stop > shown.shape[0] * bitset.WORD_BITS:
+                shown = bitset.ensure_width(shown, stop)
+            bitset.or_indices(shown, group_rows + start)
+            self._shown_bits[ad.ad_id] = shown
+            added = bitset.from_indices(group_rows, n)
+            avail[cand] &= ~added
+            self._impression_count_by_ad[ad.ad_id] = (
+                self._impression_count_by_ad.get(ad.ad_id, 0)
+                + len(group))
+            if delta is not None:
+                record = delta.get(ad.ad_id)
+                if record is None:
+                    record = delta[ad.ad_id] = [
+                        ad.account_id, bitset.make_bitset(n), 0, 0.0]
+                record[1] |= added
+                record[2] += len(group)
+                record[3] += total
+        self._impression_count += count
+        self._impression_seq = seq_base + count
+        if self._obs_on:
+            self._obs_impressions.inc(count)
+
+    def absorb_sweep_delta(self, delta: Dict[str, tuple]) -> None:
+        """Fold a partitioned sweep's per-ad results into this engine.
+
+        The parent side of :mod:`repro.platform.parsweep`: each value is
+        the ``(account_id, start_word, words, count, price_sum)`` tuple
+        a worker's ``sweep_slots(..., _collect_delta=True)`` produced
+        for a disjoint row range. Ads fold in sorted id order so the
+        merge is deterministic regardless of worker arrival order.
+        """
+        if not self._compact:
+            raise StoreError(
+                f"{self.engine_id}: sweep deltas fold into compact "
+                "engines only")
+        users = self._user_store
+        assert users is not None
+        total = 0
+        for ad_id in sorted(delta):
+            account_id, start_word, words, count, price_sum = delta[ad_id]
+            shown = self._shown_bits.get(ad_id)
+            if shown is None:
+                shown = bitset.make_bitset(len(users))
+            need_bits = (start_word + len(words)) * bitset.WORD_BITS
+            if need_bits > shown.shape[0] * bitset.WORD_BITS:
+                shown = bitset.ensure_width(shown, need_bits)
+            shown[start_word:start_word + len(words)] |= words
+            self._shown_bits[ad_id] = shown
+            self._impression_count_by_ad[ad_id] = (
+                self._impression_count_by_ad.get(ad_id, 0) + count)
+            self._ledger.charge_impressions_bulk(
+                ad_id, account_id, price_sum, count)
+            total += count
+        if total:
+            self._impression_count += total
+            self._impression_seq += total
+            discards = getattr(self._store, "discards_records", False)
+            if discards:
+                self._store.note_discarded(total)
+            if self._obs_on:
+                self._obs_impressions.inc(total)
 
     # -- views ---------------------------------------------------------------
 

@@ -568,6 +568,29 @@ class AdPlatform:
         users = self._resolve_users(user_ids)
         return self.delivery.run_until_saturated(users, max_rounds=max_rounds)
 
+    def run_sweep(self, max_rounds: int = 50,
+                  workers: Optional[int] = None) -> DeliveryStats:
+        """Saturate delivery over the whole user base, vectorized.
+
+        The batch twin of :meth:`run_until_saturated` for columnar
+        platforms: eligibility, auctions, and state folds all run as
+        column algebra over row blocks
+        (:meth:`~repro.platform.delivery.DeliveryEngine.sweep_slots`),
+        producing the same impressions, spend, stats, and reports as
+        the scalar loop. ``workers`` > 1 partitions the row space
+        across forked processes (compact platforms only — see
+        :mod:`repro.platform.parsweep`).
+        """
+        if not isinstance(self.users, ColumnarUserStore):
+            raise StoreError(
+                "run_sweep needs columnar_users=True; use "
+                "run_until_saturated on object-store platforms")
+        if workers is not None and workers > 1:
+            from repro.platform.parsweep import parallel_sweep
+            return parallel_sweep(self.delivery, workers=workers,
+                                  max_rounds=max_rounds)
+        return self.delivery.sweep_slots(max_rounds=max_rounds)
+
     def _resolve_users(
         self, user_ids: Optional[Iterable[str]]
     ) -> List[Union[UserProfile, UserView]]:

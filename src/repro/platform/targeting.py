@@ -32,8 +32,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.errors import TargetingError, TargetingSyntaxError
 from repro.obs.metrics import bind as _obs_bind
+from repro.platform import bitset
 from repro.platform.attributes import AttributeCatalog, AttributeKind
 from repro.platform.users import UserProfile
 
@@ -678,3 +681,239 @@ def compile_spec(spec: "TargetingSpec | Expr | str") -> CompiledSpec:
     )
     _COMPILE_CACHE[key] = compiled
     return compiled
+
+
+# ---------------------------------------------------------------------------
+# Mask lowerer: Expr tree -> column-mask program over UserColumns ranges.
+# ---------------------------------------------------------------------------
+#
+# The batch sweep (:meth:`repro.platform.delivery.DeliveryEngine.sweep_slots`)
+# evaluates eligibility for an entire row range of the columnar store in one
+# shot instead of once per user. :func:`lower_spec` lowers an Expr tree to a
+# :class:`MaskProgram` — a composition of vectorized column ops (attr/page
+# bit-column extraction, coded demographic comparisons, multi-attr code
+# matches, audience-membership bitset slices) producing a boolean eligibility
+# array for ``rows [start, stop)``.
+#
+# The lowerer is deliberately *exact-type* dispatched: an ``Expr`` subclass
+# (say, an experiment's opaque predicate that still compiles through
+# :func:`_fragment`'s isinstance checks with base-class semantics) may
+# override ``matches`` in ways the column program cannot see. Such specs —
+# and only such specs — return ``None`` from :func:`lower_spec`, which is the
+# per-spec fallback flag routing delivery to the per-user compiled matcher.
+
+#: Resolves an audience id to its full-population membership bitset
+#: (packed ``uint64``, bit = store row). The sweep binds this to
+#: :meth:`repro.platform.audiences.AudienceRegistry.member_bitset_cached`.
+MaskResolver = Callable[[str], np.ndarray]
+
+
+class _Unlowerable(Exception):
+    """Internal: the Expr tree contains a node the lowerer can't handle."""
+
+
+@dataclass(frozen=True)
+class MaskProgram:
+    """A targeting spec lowered to a vectorized row-range evaluator.
+
+    ``evaluate(cols, start, stop, resolver)`` returns a boolean array of
+    length ``stop - start`` where entry ``i`` says whether store row
+    ``start + i`` matches the spec — elementwise identical to running the
+    compiled matcher over each row's :class:`~repro.platform.colstore.UserView`
+    (``tests/platform/test_mask_lowering.py`` enforces the property on
+    random trees and populations).
+
+    ``start`` must be byte-aligned (``start % 8 == 0``) so audience
+    bitsets can be sliced without bit-shifting; sweep callers use
+    64-aligned blocks.
+    """
+
+    source: str
+    fn: Callable[..., np.ndarray]
+    referenced_audiences: Tuple[str, ...]
+
+    def evaluate(self, cols, start: int, stop: int,
+                 resolver: Optional[MaskResolver] = None) -> np.ndarray:
+        if resolver is None and self.referenced_audiences:
+            raise TargetingError(
+                f"mask program references audiences "
+                f"{list(self.referenced_audiences)} but no bitset resolver "
+                f"was given"
+            )
+        return self.fn(cols, start, stop, resolver)
+
+
+def _zeros(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=bool)
+
+
+def _bit_flags(matrix: np.ndarray, code: Optional[int],
+               start: int, stop: int) -> np.ndarray:
+    """Column ``code`` of a user-major bitset matrix as booleans.
+
+    ``None`` / out-of-width codes read as all-False — the same semantics
+    :func:`repro.platform.bitset.test_bit` gives scalar probes.
+    """
+    if code is None or code >= matrix.shape[1] * bitset.WORD_BITS:
+        return _zeros(stop - start)
+    word, shift = code >> 6, np.uint64(code & 63)
+    return ((matrix[start:stop, word] >> shift) & np.uint64(1)).astype(bool)
+
+
+def _lower(expr: Expr) -> Callable[..., np.ndarray]:
+    """Recursively build the range evaluator for ``expr``.
+
+    Dispatch is on ``type(expr) is X`` — never isinstance — so subclassed
+    nodes with overridden semantics fall through to :class:`_Unlowerable`
+    and the per-user fallback path.
+    """
+    kind = type(expr)
+    if kind is All:
+        return lambda cols, start, stop, r: np.ones(stop - start, dtype=bool)
+    if kind is HasAttr:
+        attr_id = expr.attr_id
+
+        def has_attr(cols, start, stop, r):
+            out = _bit_flags(cols.attr_bits, cols.attrs.get(attr_id),
+                             start, stop)
+            multi = cols.multi_cols.get(attr_id)
+            if multi is not None:
+                out |= multi[start:stop] != 0
+            return out
+
+        return has_attr
+    if kind is AttrIs:
+        attr_id, value = expr.attr_id, expr.value
+
+        def attr_is(cols, start, stop, r):
+            multi = cols.multi_cols.get(attr_id)
+            if multi is None:
+                return _zeros(stop - start)
+            code = cols.multi_vocabs[attr_id].get(value)
+            if code is None:
+                return _zeros(stop - start)
+            return multi[start:stop] == code + 1
+
+        return attr_is
+    if kind is AgeBetween:
+        lo, hi = expr.min_age, expr.max_age
+        return lambda cols, start, stop, r: (
+            (cols.age[start:stop] >= lo) & (cols.age[start:stop] <= hi))
+    if kind is GenderIs:
+        gender = expr.gender
+
+        def gender_is(cols, start, stop, r):
+            code = cols.genders.get(gender)
+            if code is None:
+                return _zeros(stop - start)
+            return cols.gender[start:stop] == code
+
+        return gender_is
+    if kind is InCountry:
+        country = expr.country
+
+        def in_country(cols, start, stop, r):
+            code = cols.countries.get(country)
+            if code is None:
+                return _zeros(stop - start)
+            return cols.country[start:stop] == code
+
+        return in_country
+    if kind is InZip:
+        zips = sorted(expr.zips)
+
+        def in_zip(cols, start, stop, r):
+            codes = [c for c in (cols.zips.get(z) for z in zips)
+                     if c is not None]
+            if not codes:
+                return _zeros(stop - start)
+            return np.isin(cols.zip[start:stop],
+                           np.asarray(codes, dtype=np.int32))
+
+        return in_zip
+    if kind is InAudience:
+        audience_id = expr.audience_id
+        return lambda cols, start, stop, r: bitset.unpack_range(
+            r(audience_id), start, stop)
+    if kind is LikesPage:
+        page_id = expr.page_id
+        return lambda cols, start, stop, r: _bit_flags(
+            cols.page_bits, cols.pages.get(page_id), start, stop)
+    if kind is Not:
+        child = _lower(expr.child)
+        return lambda cols, start, stop, r: ~child(cols, start, stop, r)
+    if kind is And or kind is Or:
+        parts = [_lower(op) for op in expr.operands]
+
+        def combine(cols, start, stop, r, fold=(np.ndarray.__iand__
+                                                if kind is And
+                                                else np.ndarray.__ior__)):
+            out = parts[0](cols, start, stop, r)
+            for part in parts[1:]:
+                fold(out, part(cols, start, stop, r))
+            return out
+
+        return combine
+    raise _Unlowerable(type(expr).__qualname__)
+
+
+def _lower_key(expr: Expr) -> Tuple[str, Tuple[str, ...]]:
+    """Cache key: canonical string *plus* the exact node types.
+
+    The string form alone would alias an ``Expr`` subclass with its base
+    (both print the same), letting a cached base-class program serve a
+    subclass whose overridden ``matches`` it does not honor — or a cached
+    fallback verdict block a perfectly lowerable base spec.
+    """
+    return (expr.to_string(),
+            tuple(type(node).__qualname__ for node in expr.walk()))
+
+
+#: Lowered-program cache. ``None`` values are cached too: a spec that
+#: falls back once falls back forever (specs are immutable).
+_LOWER_CACHE: dict = {}
+_LOWER_MISSING = object()
+
+#: Late-bound lowerer instruments — lowered-program builds and per-spec
+#: fallbacks to the scalar matcher.
+_obs_lower = _obs_bind(lambda reg: (
+    reg.counter("targeting.specs_lowered"),
+    reg.counter("targeting.lower_fallbacks"),
+))
+
+
+def lower_spec(spec: "TargetingSpec | Expr | str") -> Optional[MaskProgram]:
+    """Lower a spec to a :class:`MaskProgram`, or ``None`` (cached).
+
+    ``None`` is the per-spec fallback flag: the tree contains a node the
+    column algebra cannot express (in practice, an ``Expr`` subclass with
+    overridden semantics), so the caller must evaluate that spec with the
+    per-user compiled matcher instead.
+    """
+    if isinstance(spec, str):
+        expr = parse(spec).expr
+    elif isinstance(spec, TargetingSpec):
+        expr = spec.expr
+    else:
+        expr = spec
+    key = _lower_key(expr)
+    cached = _LOWER_CACHE.get(key, _LOWER_MISSING)
+    if cached is not _LOWER_MISSING:
+        return cached
+    lowered_c, fallback_c = _obs_lower()
+    try:
+        fn = _lower(expr)
+    except _Unlowerable:
+        fallback_c.inc()
+        _LOWER_CACHE[key] = None
+        return None
+    lowered_c.inc()
+    audiences = tuple(
+        node.audience_id for node in expr.walk() if type(node) is InAudience)
+    program = MaskProgram(
+        source=expr.to_string(),
+        fn=fn,
+        referenced_audiences=audiences,
+    )
+    _LOWER_CACHE[key] = program
+    return program

@@ -18,10 +18,16 @@ Division of labour (the whole point of the design):
   shard's ``shard-i-of-n`` journal/snapshot files; flushing before every
   acknowledgement means a ``kill -9`` can never lose acknowledged work.
 
-Wire format: every message is one frame — a 4-byte big-endian length
-followed by a pickled ``(op, payload)`` tuple. Batching happens at the
-message level (one ``serve`` frame carries a whole micro-batch), so the
-per-request framing overhead amortizes exactly like the engine's
+Wire format: every message is one frame — a 4-byte big-endian body
+length, then a body of ``(payload length, buffer count)``, one 8-byte
+length per out-of-band buffer, the protocol-5 pickle payload, and the
+raw buffer bytes. Buffer-exporting objects (numpy arrays, bytearrays —
+the batch sweep's bitset deltas) travel out-of-band: their bytes go
+straight from the object to the socket via scatter-gather ``sendmsg``
+and land in preallocated receive buffers that the unpickler references
+zero-copy, never transiting a pickle-internal copy. Batching happens at
+the message level (one ``serve`` frame carries a whole micro-batch), so
+the per-request framing overhead amortizes exactly like the engine's
 serving-session costs do.
 
 Spawning uses the ``fork`` start method: the child inherits the built
@@ -55,9 +61,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 _log = logging.getLogger("repro.serve.ipc")
 
 _HEADER = struct.Struct("!I")
+#: Frame body prefix: (pickle payload length, out-of-band buffer count).
+_BODY_HEADER = struct.Struct("!II")
+#: One out-of-band buffer's byte length.
+_BUF_LEN = struct.Struct("!Q")
 
-#: Hard ceiling on one frame's payload; anything larger is a protocol
-#: error (a corrupt length prefix reads as garbage gigabytes).
+#: Hard ceiling on one frame's body (payload + buffers); anything larger
+#: is a protocol error (a corrupt length prefix reads as garbage
+#: gigabytes).
 MAX_FRAME_BYTES = 1 << 29
 
 OP_SERVE = "serve"
@@ -83,12 +94,19 @@ class WorkerLost(ConnectionError):
 class Framer:
     """Length-prefixed message framing over a stream socket.
 
-    ``send`` writes one frame (4-byte big-endian payload length, then
-    the pickled message); ``recv`` blocks for exactly one frame and
-    raises :class:`WorkerLost` on EOF or a reset — the only two shapes a
-    dead peer can take on a socketpair. Byte totals accumulate on
-    ``bytes_sent`` / ``bytes_received`` so callers can meter IPC volume
-    without the codec knowing about metrics.
+    ``send`` writes one frame: a 4-byte big-endian body length, a
+    ``(payload length, buffer count)`` prefix, the out-of-band buffer
+    lengths, the protocol-5 pickle payload, then the raw buffer bytes —
+    all gathered into the socket with ``sendmsg`` so exported buffers
+    (numpy arrays, bytearrays) never pass through a pickle-internal
+    copy. ``recv`` blocks for exactly one frame, reads each buffer into
+    its own preallocated ``bytearray`` via ``recv_into``, and hands the
+    unpickler zero-copy ``memoryview``\\ s of them; it raises
+    :class:`WorkerLost` on EOF or a reset — the only two shapes a dead
+    peer can take on a socketpair. Byte totals (headers included)
+    accumulate on ``bytes_sent`` / ``bytes_received``, buffer counts on
+    ``buffers_sent`` / ``buffers_received``, so callers can meter IPC
+    volume without the codec knowing about metrics.
 
     Not thread-safe: one conversation, one owner (the runtime gives
     each worker client its own lock).
@@ -98,45 +116,101 @@ class Framer:
         self._sock = sock
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.buffers_sent = 0
+        self.buffers_received = 0
 
     def send(self, message: Any) -> None:
-        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-        if len(payload) > MAX_FRAME_BYTES:
+        raws: List[memoryview] = []
+
+        def export(buffer: pickle.PickleBuffer) -> bool:
+            try:
+                raws.append(buffer.raw())
+            except BufferError:
+                # Non-contiguous exporter: let pickle serialize it
+                # in-band rather than flattening it ourselves.
+                return False
+            return True
+
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL,
+                               buffer_callback=export)
+        lengths = [raw.nbytes for raw in raws]
+        body_length = (_BODY_HEADER.size + _BUF_LEN.size * len(raws)
+                       + len(payload) + sum(lengths))
+        if body_length > MAX_FRAME_BYTES:
             raise ValueError(
-                f"frame payload of {len(payload)} bytes exceeds the "
+                f"frame payload of {body_length} bytes exceeds the "
                 f"{MAX_FRAME_BYTES}-byte frame limit")
-        frame = _HEADER.pack(len(payload)) + payload
-        try:
-            self._sock.sendall(frame)
-        except OSError as exc:
-            raise WorkerLost(f"peer gone while sending: {exc}") from None
-        self.bytes_sent += len(frame)
+        header = b"".join([
+            _HEADER.pack(body_length),
+            _BODY_HEADER.pack(len(payload), len(raws)),
+            *(_BUF_LEN.pack(length) for length in lengths),
+        ])
+        self._send_parts([header, payload, *raws])
+        self.bytes_sent += _HEADER.size + body_length
+        self.buffers_sent += len(raws)
+
+    def _send_parts(self, parts: List[Any]) -> None:
+        """Scatter-gather the frame sections; no concatenation copy."""
+        views = [memoryview(part).cast("B") for part in parts]
+        views = [view for view in views if view.nbytes]
+        while views:
+            try:
+                sent = self._sock.sendmsg(views)
+            except OSError as exc:
+                raise WorkerLost(
+                    f"peer gone while sending: {exc}") from None
+            while views and sent >= views[0].nbytes:
+                sent -= views[0].nbytes
+                views.pop(0)
+            if sent:
+                views[0] = views[0][sent:]
 
     def recv(self) -> Any:
-        header = self._recv_exact(_HEADER.size)
-        (length,) = _HEADER.unpack(header)
-        if length > MAX_FRAME_BYTES:
+        (body_length,) = _HEADER.unpack(self._recv_exact(_HEADER.size))
+        if body_length > MAX_FRAME_BYTES:
             raise WorkerLost(
-                f"frame length {length} exceeds the {MAX_FRAME_BYTES}-"
-                f"byte limit (corrupt stream)")
-        payload = self._recv_exact(length)
-        self.bytes_received += _HEADER.size + length
-        return pickle.loads(payload)
+                f"frame length {body_length} exceeds the "
+                f"{MAX_FRAME_BYTES}-byte limit (corrupt stream)")
+        payload_length, buffer_count = _BODY_HEADER.unpack(
+            self._recv_exact(_BODY_HEADER.size))
+        lengths_raw = self._recv_exact(_BUF_LEN.size * buffer_count)
+        lengths = [
+            _BUF_LEN.unpack_from(lengths_raw, i * _BUF_LEN.size)[0]
+            for i in range(buffer_count)
+        ]
+        if (_BODY_HEADER.size + _BUF_LEN.size * buffer_count
+                + payload_length + sum(lengths)) != body_length:
+            raise WorkerLost(
+                "frame sections disagree with the body length "
+                "(corrupt stream)")
+        payload = self._recv_exact(payload_length)
+        buffers = []
+        for length in lengths:
+            buffer = bytearray(length)
+            self._recv_into_exact(buffer)
+            buffers.append(buffer)
+        self.bytes_received += _HEADER.size + body_length
+        self.buffers_received += buffer_count
+        return pickle.loads(payload,
+                            buffers=[memoryview(b) for b in buffers])
 
     def _recv_exact(self, size: int) -> bytes:
-        chunks = []
-        remaining = size
-        while remaining > 0:
+        buffer = bytearray(size)
+        self._recv_into_exact(buffer)
+        return bytes(buffer)
+
+    def _recv_into_exact(self, buffer: bytearray) -> None:
+        view = memoryview(buffer)
+        received = 0
+        while received < len(buffer):
             try:
-                chunk = self._sock.recv(min(remaining, 1 << 20))
+                count = self._sock.recv_into(view[received:])
             except OSError as exc:
                 raise WorkerLost(
                     f"peer gone while receiving: {exc}") from None
-            if not chunk:
+            if count == 0:
                 raise WorkerLost("peer closed the stream")
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+            received += count
 
     def close(self) -> None:
         try:

@@ -232,7 +232,15 @@ class NullStore(StateStore):
     state, not the journal) — only replay-from-journal is off the
     table, so :meth:`records` raises instead of returning an empty
     list that would make "replay reproduced the end state" a lie.
+
+    ``discards_records`` advertises the drop to bulk producers: the
+    batch sweep checks it and calls :meth:`note_discarded` with a whole
+    round's impression count instead of materializing record objects
+    that would be thrown away one by one.
     """
+
+    #: Appended records are dropped — bulk writers may skip building them.
+    discards_records = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -241,6 +249,17 @@ class NullStore(StateStore):
     def append(self, record: ChangeRecord) -> None:
         self._count += 1
         self._obs_appended.inc()
+
+    def note_discarded(self, count: int) -> None:
+        """Account for ``count`` records that were never materialized.
+
+        Keeps :attr:`record_count` and the ``store.records_appended``
+        counter identical to ``count`` individual :meth:`append` calls.
+        """
+        if count < 0:
+            raise ValueError("discarded record count cannot be negative")
+        self._count += count
+        self._obs_appended.inc(count)
 
     def records(self) -> List[ChangeRecord]:
         raise StoreError("null store discards journal records; "

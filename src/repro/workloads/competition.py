@@ -47,6 +47,11 @@ def fixed_competition(cpm: float) -> CompetingBidDraw:
     def draw() -> float:
         return price
 
+    # Advertise determinism: the batch sweep and its parallel partitioner
+    # (repro.platform.parsweep) can vectorize pricing — and certify that
+    # budgets cannot flip mid-round — only for draws whose every value is
+    # a known constant.
+    draw.constant = price  # type: ignore[attr-defined]
     return draw
 
 
@@ -61,6 +66,7 @@ def zero_competition() -> CompetingBidDraw:
     def draw() -> float:
         return 0.0
 
+    draw.constant = 0.0  # type: ignore[attr-defined]
     return draw
 
 

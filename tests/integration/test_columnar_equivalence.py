@@ -28,9 +28,12 @@ from repro.platform.web import WebDirectory
 from repro.workloads.competition import zero_competition
 
 
-def _sweep_world(columnar: bool, users: int = 2000, compact: bool = False):
+def _sweep_world(columnar: bool, users: int = 2000, compact: bool = False,
+                 sweep: bool = False):
     """The scale-tier world: ``users`` users, 10 rotating partner
-    attributes each, full partner sweep launched."""
+    attributes each, full partner sweep launched. ``sweep`` routes
+    delivery through the vectorized batch sweep engine instead of the
+    scalar per-user loop."""
     platform = AdPlatform(
         config=PlatformConfig(name="coleq", columnar_users=columnar,
                               compact_delivery=compact),
@@ -45,7 +48,7 @@ def _sweep_world(columnar: bool, users: int = 2000, compact: bool = False):
             user.set_attribute(attrs[(i * 10 + k) % len(attrs)])
         provider.optin.via_page_like(user.user_id)
     provider.launch_partner_sweep()
-    provider.run_delivery()
+    provider.run_delivery(sweep=sweep)
     return platform, provider
 
 
@@ -79,13 +82,40 @@ class TestScaleSweepEquivalence:
         assert legacy_invoice.total == columnar_invoice.total
         assert legacy_invoice.impressions == columnar_invoice.impressions
 
+    @pytest.mark.parametrize("compact", [False, True])
+    def test_reports_byte_identical_scalar_vs_batch_sweep(self, compact):
+        """The batch-sweep acceptance bar: the vectorized engine must
+        reproduce the scalar loop's 2,000-user reports byte for byte."""
+        scalar_platform, scalar_provider = _sweep_world(
+            columnar=True, compact=compact)
+        batch_platform, batch_provider = _sweep_world(
+            columnar=True, compact=compact, sweep=True)
+
+        assert batch_provider.total_impressions() == 2000 * 11
+
+        scalar_json = _canonical_reports(
+            scalar_platform, scalar_provider.account.account_id)
+        batch_json = _canonical_reports(
+            batch_platform, batch_provider.account.account_id)
+        assert scalar_json == batch_json
+        assert json.loads(batch_json), "reports must be non-empty"
+
+        scalar_invoice = scalar_platform.invoice(
+            scalar_provider.account.account_id)
+        batch_invoice = batch_platform.invoice(
+            batch_provider.account.account_id)
+        assert scalar_invoice.total == batch_invoice.total
+        assert scalar_invoice.impressions == batch_invoice.impressions
+
 
 class TestDeliverIffMatch:
     """The paper's core premise, pinned on each storage/delivery mode."""
 
-    @pytest.mark.parametrize("columnar", [False, True])
-    def test_each_user_gets_exactly_their_treads(self, columnar):
-        platform, provider = _sweep_world(columnar=columnar, users=300)
+    @pytest.mark.parametrize("columnar,sweep", [
+        (False, False), (True, False), (True, True)])
+    def test_each_user_gets_exactly_their_treads(self, columnar, sweep):
+        platform, provider = _sweep_world(columnar=columnar, users=300,
+                                          sweep=sweep)
         attrs = platform.catalog.partner_attributes()
         # ad_id -> the attribute its Tread reveals (None for control).
         ad_attr = {tread.ad_id: tread.payload.attr_id

